@@ -1,0 +1,96 @@
+//! Core-algorithm microbenchmarks: GBR vs Binary Reduction vs ddmin on
+//! synthetic dependency forests (no bytecode involved).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbr_core::{
+    binary_reduction, closure_size_order, ddmin, generalized_binary_reduction, DepGraph,
+    GbrConfig, Instance, TestOutcome,
+};
+use lbr_logic::{Clause, Cnf, Var, VarSet};
+
+/// `n` variables arranged as chains of 4 (`4k ⇒ 4k+1 ⇒ 4k+2 ⇒ 4k+3`).
+fn forest_cnf(n: usize) -> Cnf {
+    let mut cnf = Cnf::new(n);
+    for k in 0..n / 4 {
+        for i in 0..3 {
+            cnf.add_clause(Clause::edge(
+                Var::new((4 * k + i) as u32),
+                Var::new((4 * k + i + 1) as u32),
+            ));
+        }
+    }
+    cnf
+}
+
+/// The bug needs the tails of two specific chains.
+fn needed(n: usize) -> [Var; 2] {
+    [Var::new((n / 2 + 3) as u32), Var::new(3)]
+}
+
+fn bench_gbr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbr-forest");
+    for n in [64usize, 256, 1024] {
+        let cnf = forest_cnf(n);
+        let order = closure_size_order(&cnf);
+        let instance = Instance::over_all_vars(cnf);
+        let [a, b] = needed(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let mut bug = |s: &VarSet| s.contains(a) && s.contains(b);
+                generalized_binary_reduction(&instance, &order, &mut bug, &GbrConfig::default())
+                    .expect("reduces")
+                    .solution
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_binary_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary-reduction-forest");
+    for n in [64usize, 256, 1024] {
+        let cnf = forest_cnf(n);
+        let graph = DepGraph::from_graph_cnf(&cnf).expect("graph constraints");
+        let [a, b] = needed(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let mut bug = |s: &VarSet| s.contains(a) && s.contains(b);
+                binary_reduction(&graph, &mut bug)
+                    .expect("reduces")
+                    .solution
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ddmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddmin-forest");
+    for n in [64usize, 256] {
+        let cnf = forest_cnf(n);
+        let atoms: Vec<VarSet> = (0..n as u32)
+            .map(|i| VarSet::from_iter_with_universe(n, [Var::new(i)]))
+            .collect();
+        let [a, b] = needed(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let (result, _) = ddmin(&atoms, n, |s| {
+                    if !cnf.eval(s) {
+                        TestOutcome::Unresolved
+                    } else if s.contains(a) && s.contains(b) {
+                        TestOutcome::Fail
+                    } else {
+                        TestOutcome::Pass
+                    }
+                });
+                result.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gbr, bench_binary_reduction, bench_ddmin);
+criterion_main!(benches);

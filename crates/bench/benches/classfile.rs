@@ -1,0 +1,59 @@
+//! Class-file substrate benchmarks: binary writer/reader throughput and
+//! whole-program verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lbr_classfile::{read_program, verify_program, write_program};
+use lbr_workload::{generate, WorkloadConfig};
+
+fn programs() -> Vec<(usize, lbr_classfile::Program)> {
+    [12usize, 48, 96]
+        .into_iter()
+        .map(|classes| {
+            let p = generate(&WorkloadConfig {
+                seed: 9,
+                classes,
+                interfaces: classes / 4,
+                plant: vec![],
+                ..WorkloadConfig::default()
+            });
+            (classes, p)
+        })
+        .collect()
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classfile-write");
+    for (classes, program) in programs() {
+        let bytes = write_program(&program).len() as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &program, |b, p| {
+            b.iter(|| write_program(p).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classfile-read");
+    for (classes, program) in programs() {
+        let bytes = write_program(&program);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &bytes, |b, data| {
+            b.iter(|| read_program(data).expect("decodes").len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classfile-verify");
+    for (classes, program) in programs() {
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &program, |b, p| {
+            b.iter(|| verify_program(p).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write, bench_read, bench_verify);
+criterion_main!(benches);

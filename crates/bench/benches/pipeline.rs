@@ -1,0 +1,57 @@
+//! End-to-end pipeline benchmarks: one full reduction per strategy on a
+//! small NJR-like benchmark (this is the expensive, headline comparison —
+//! Criterion sample counts are reduced accordingly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbr_core::LossyPick;
+use lbr_decompiler::{BugSet, DecompilerOracle};
+use lbr_jreduce::{build_model, run_reduction, Strategy};
+use lbr_logic::MsaStrategy;
+use lbr_workload::{generate, WorkloadConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let program = generate(&WorkloadConfig {
+        seed: 13,
+        classes: 24,
+        interfaces: 8,
+        plant: BugSet::decompiler_a().kinds().to_vec(),
+        ..WorkloadConfig::default()
+    });
+    let oracle = DecompilerOracle::new(&program, BugSet::decompiler_a());
+    assert!(oracle.is_failing());
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for strategy in [
+        Strategy::JReduce,
+        Strategy::Logical(MsaStrategy::GreedyClosure),
+        Strategy::Lossy(LossyPick::FirstFirst),
+        Strategy::Lossy(LossyPick::LastLast),
+    ] {
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                run_reduction(&program, &oracle, strategy, 0.0)
+                    .expect("reduces")
+                    .final_metrics
+                    .bytes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_generation(c: &mut Criterion) {
+    let program = generate(&WorkloadConfig {
+        seed: 13,
+        classes: 48,
+        interfaces: 12,
+        plant: vec![],
+        ..WorkloadConfig::default()
+    });
+    c.bench_function("build-model-48-classes", |b| {
+        b.iter(|| build_model(&program).expect("valid").cnf.len())
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_model_generation);
+criterion_main!(benches);

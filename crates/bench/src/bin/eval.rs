@@ -1,0 +1,159 @@
+//! The evaluation binary: regenerates every table and figure of the
+//! paper's Section 5 on the synthetic NJR-like suite.
+//!
+//! ```text
+//! eval [--experiment all|stats|fig8a|fig8b|lossy|ablate-msa|ablate-order|ddmin|csv]
+//!      [--programs N] [--scale F] [--seed N] [--cost SECS]
+//! ```
+
+use lbr_bench::{
+    compute_stats, headline_strategies, lossy_strategies, render_ablation, render_csv,
+    render_fig8a, render_fig8b, render_lossy, render_stats, run_grid, EvalConfig,
+};
+use lbr_core::LossyPick;
+use lbr_jreduce::Strategy;
+use lbr_logic::MsaStrategy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_owned();
+    let mut config = EvalConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> String {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {flag}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match flag {
+            "--experiment" | "-e" => {
+                experiment = value(i);
+                i += 2;
+            }
+            "--programs" | "-p" => {
+                config.programs = value(i).parse().expect("--programs takes a number");
+                i += 2;
+            }
+            "--scale" => {
+                config.scale = value(i).parse().expect("--scale takes a number");
+                i += 2;
+            }
+            "--seed" => {
+                config.seed = value(i).parse().expect("--seed takes a number");
+                i += 2;
+            }
+            "--cost" => {
+                config.cost_per_call_secs = value(i).parse().expect("--cost takes seconds");
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: eval [--experiment all|stats|fig8a|fig8b|lossy|per-error|ablate-msa|ablate-order|ddmin|csv]"
+                );
+                println!("            [--programs N] [--scale F] [--seed N] [--cost SECS]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "building suite: {} programs, scale {:.2}, seed {} …",
+        config.programs, config.scale, config.seed
+    );
+    let benchmarks = config.suite();
+    eprintln!("suite has {} failing instances", benchmarks.len());
+    let stats = compute_stats(&benchmarks);
+
+    let run = |strategies: &[Strategy]| run_grid(&config, &benchmarks, strategies);
+
+    match experiment.as_str() {
+        "stats" => {
+            let records = run(&headline_strategies());
+            print!("{}", render_stats(&stats, &records));
+        }
+        "fig8a" => {
+            let records = run(&headline_strategies());
+            print!("{}", render_fig8a(&records));
+        }
+        "fig8b" => {
+            let records = run(&headline_strategies());
+            print!("{}", render_fig8b(&records));
+        }
+        "lossy" => {
+            let records = run(&lossy_strategies());
+            print!("{}", render_lossy(&records));
+        }
+        "ablate-msa" => {
+            let strategies: Vec<Strategy> = MsaStrategy::ALL
+                .iter()
+                .map(|&m| Strategy::Logical(m))
+                .collect();
+            let records = run(&strategies);
+            print!(
+                "{}",
+                render_ablation(&records, "A1: MSA strategy ablation")
+            );
+        }
+        "ablate-order" => {
+            let records = run(&[
+                Strategy::Logical(MsaStrategy::GreedyClosure),
+                Strategy::LogicalNaturalOrder,
+            ]);
+            print!(
+                "{}",
+                render_ablation(&records, "A2: variable-order ablation (Theorem 4.5)")
+            );
+        }
+        "ddmin" => {
+            let records = run(&[
+                Strategy::Logical(MsaStrategy::GreedyClosure),
+                Strategy::DdminItems,
+            ]);
+            print!("{}", render_ablation(&records, "A3: ddmin baseline"));
+        }
+        "per-error" => {
+            print!("{}", lbr_bench::render_per_error(&config, &benchmarks));
+        }
+        "csv" => {
+            let records = run(&[
+                Strategy::JReduce,
+                Strategy::Logical(MsaStrategy::GreedyClosure),
+                Strategy::Lossy(LossyPick::FirstFirst),
+                Strategy::Lossy(LossyPick::LastLast),
+            ]);
+            print!("{}", render_csv(&records));
+        }
+        "all" => {
+            let records = run(&[
+                Strategy::JReduce,
+                Strategy::Logical(MsaStrategy::GreedyClosure),
+                Strategy::Lossy(LossyPick::FirstFirst),
+                Strategy::Lossy(LossyPick::LastLast),
+            ]);
+            print!("{}", render_stats(&stats, &records));
+            println!();
+            print!("{}", render_fig8a(&records));
+            println!();
+            print!("{}", render_fig8b(&records));
+            println!();
+            print!("{}", render_lossy(&records));
+            println!();
+            print!(
+                "{}",
+                render_ablation(&records, "Summary: all strategies")
+            );
+        }
+        other => {
+            eprintln!("unknown experiment {other} (try --help)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Generates an NJR-like benchmark program and writes it as an `LBRC`
+//! container (the workspace's class-file bundle format).
+//!
+//! ```text
+//! gen --out bench.lbrc [--seed N] [--classes N] [--interfaces N]
+//!     [--decompiler a|b|c|all] [--disasm]
+//! ```
+
+use lbr_classfile::{disassemble_program, program_byte_size, write_program};
+use lbr_decompiler::{BugSet, DecompilerOracle};
+use lbr_workload::{generate, WorkloadConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut config = WorkloadConfig::default();
+    let mut decompiler = "a".to_owned();
+    let mut disasm = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            });
+            i += 1;
+            v
+        };
+        match flag {
+            "--out" | "-o" => out = Some(value()),
+            "--seed" => config.seed = value().parse().expect("--seed takes a number"),
+            "--classes" => config.classes = value().parse().expect("--classes takes a number"),
+            "--interfaces" => {
+                config.interfaces = value().parse().expect("--interfaces takes a number")
+            }
+            "--decompiler" | "-d" => decompiler = value(),
+            "--disasm" => disasm = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: gen --out bench.lbrc [--seed N] [--classes N] [--interfaces N] [--decompiler a|b|c|all] [--disasm]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let bugs = bugset_by_name(&decompiler);
+    config.plant = bugs.kinds().to_vec();
+    let program = generate(&config);
+    let oracle = DecompilerOracle::new(&program, bugs);
+    eprintln!(
+        "generated: {} classes, {} bytes; decompiler {decompiler} produces {} errors",
+        program.len(),
+        program_byte_size(&program),
+        oracle.error_count()
+    );
+    if disasm {
+        print!("{}", disassemble_program(&program));
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, write_program(&program))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => {
+            if !disasm {
+                eprintln!("no --out given; use --disasm to print instead");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn bugset_by_name(name: &str) -> BugSet {
+    match name {
+        "a" => BugSet::decompiler_a(),
+        "b" => BugSet::decompiler_b(),
+        "c" => BugSet::decompiler_c(),
+        "all" => BugSet::all(),
+        other => {
+            eprintln!("unknown decompiler {other} (a|b|c|all)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Reduces a benchmark container: the command-line face of the paper's
+//! tool.
+//!
+//! ```text
+//! reduce --input bench.lbrc --decompiler a|b|c|all
+//!        [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]
+//!        [--out reduced.lbrc] [--disasm] [--per-error] [--cost SECS]
+//! ```
+
+use lbr_classfile::{disassemble_program, read_program, write_class_directory, write_program};
+use lbr_core::LossyPick;
+use lbr_decompiler::{BugSet, DecompilerOracle};
+use lbr_jreduce::{run_per_error, run_reduction, Strategy};
+use lbr_logic::MsaStrategy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut decompiler = "a".to_owned();
+    let mut strategy = "logical".to_owned();
+    let mut disasm = false;
+    let mut per_error = false;
+    let mut cost = 33.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            });
+            i += 1;
+            v
+        };
+        match flag {
+            "--input" | "-i" => input = Some(value()),
+            "--out" | "-o" => out = Some(value()),
+            "--out-dir" => out_dir = Some(value()),
+            "--decompiler" | "-d" => decompiler = value(),
+            "--strategy" | "-s" => strategy = value(),
+            "--cost" => cost = value().parse().expect("--cost takes seconds"),
+            "--disasm" => disasm = true,
+            "--per-error" => per_error = true,
+            "--help" | "-h" => {
+                println!("usage: reduce --input bench.lbrc [--decompiler a|b|c|all]");
+                println!("              [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]");
+                println!("              [--out reduced.lbrc] [--out-dir dir/] [--disasm] [--per-error] [--cost SECS]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let input = input.unwrap_or_else(|| {
+        eprintln!("--input is required (try --help)");
+        std::process::exit(2);
+    });
+    let bytes = std::fs::read(&input).unwrap_or_else(|e| panic!("cannot read {input}: {e}"));
+    let program = read_program(&bytes).unwrap_or_else(|e| panic!("bad container: {e}"));
+    let bugs = match decompiler.as_str() {
+        "a" => BugSet::decompiler_a(),
+        "b" => BugSet::decompiler_b(),
+        "c" => BugSet::decompiler_c(),
+        "all" => BugSet::all(),
+        other => {
+            eprintln!("unknown decompiler {other}");
+            std::process::exit(2);
+        }
+    };
+    let oracle = DecompilerOracle::new(&program, bugs);
+    if !oracle.is_failing() {
+        eprintln!("the input does not trigger decompiler {decompiler}'s bugs — nothing to reduce");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "input: {} classes; {} compiler errors to preserve",
+        program.len(),
+        oracle.error_count()
+    );
+
+    if per_error {
+        let report = run_per_error(&program, &oracle, cost)
+            .unwrap_or_else(|e| panic!("per-error reduction failed: {e}"));
+        println!("per-error witnesses ({} searches, {} tool runs):", report.errors.len(), report.total_calls);
+        for (error, size) in &report.errors {
+            println!("  {:>4} classes {:>8} bytes  {error}", size.classes, size.bytes);
+        }
+        return;
+    }
+
+    let strategy = match strategy.as_str() {
+        "logical" => Strategy::Logical(MsaStrategy::GreedyClosure),
+        "logical-min" => Strategy::LogicalMinimized,
+        "jreduce" => Strategy::JReduce,
+        "lossy1" => Strategy::Lossy(LossyPick::FirstFirst),
+        "lossy2" => Strategy::Lossy(LossyPick::LastLast),
+        "ddmin" => Strategy::DdminItems,
+        other => {
+            eprintln!("unknown strategy {other}");
+            std::process::exit(2);
+        }
+    };
+    let report = run_reduction(&program, &oracle, strategy, cost)
+        .unwrap_or_else(|e| panic!("reduction failed: {e}"));
+    println!(
+        "{}: {} → {} classes, {} → {} bytes ({:.1}%), {} tool runs, errors preserved: {}",
+        report.strategy,
+        report.initial.classes,
+        report.final_metrics.classes,
+        report.initial.bytes,
+        report.final_metrics.bytes,
+        100.0 * report.relative_bytes(),
+        report.predicate_calls,
+        report.errors_preserved,
+    );
+    if disasm {
+        print!("{}", disassemble_program(&report.reduced));
+    }
+    if let Some(path) = out {
+        std::fs::write(&path, write_program(&report.reduced))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(dir) = out_dir {
+        let n = write_class_directory(&report.reduced, std::path::Path::new(&dir))
+            .unwrap_or_else(|e| panic!("cannot write {dir}: {e}"));
+        eprintln!("wrote {n} class files to {dir}");
+    }
+}

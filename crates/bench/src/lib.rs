@@ -1,0 +1,514 @@
+//! The evaluation harness: runs strategy × benchmark grids and renders
+//! every table and figure of the paper's Section 5.
+//!
+//! The `eval` binary drives this library; Criterion benches reuse the same
+//! suite construction. Experiment index (see `DESIGN.md`):
+//!
+//! * `stats` — the benchmark-statistics paragraph (geo-means),
+//! * `fig8a` — cumulative frequency of time and final relative sizes,
+//! * `fig8b` — mean reduction factor over (modeled) time,
+//! * `lossy` — the two lossy encodings vs the full reducer,
+//! * `ablate-msa`, `ablate-order`, `ddmin` — ablations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use lbr_core::{LossyPick, ReductionTrace};
+use lbr_jreduce::{run_reduction, Strategy};
+use lbr_logic::MsaStrategy;
+use lbr_workload::{geometric_mean, suite, suite_stats, Benchmark, SuiteConfig, SuiteStats};
+use std::fmt::Write as _;
+
+/// Configuration of an evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Suite seed.
+    pub seed: u64,
+    /// Number of generated programs (≤ 3 failing instances each).
+    pub programs: usize,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Modeled seconds per tool invocation (the paper measured ≈33 s).
+    pub cost_per_call_secs: f64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            seed: 42,
+            programs: 8,
+            scale: 1.0,
+            cost_per_call_secs: 33.0,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Builds the benchmark suite for this configuration.
+    pub fn suite(&self) -> Vec<Benchmark> {
+        suite(&SuiteConfig {
+            seed: self.seed,
+            programs: self.programs,
+            scale: self.scale,
+        })
+    }
+}
+
+/// One (benchmark, strategy) outcome, flattened for reporting.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Classes before reduction.
+    pub initial_classes: usize,
+    /// Bytes before reduction.
+    pub initial_bytes: usize,
+    /// Classes after reduction.
+    pub final_classes: usize,
+    /// Bytes after reduction.
+    pub final_bytes: usize,
+    /// Predicate invocations.
+    pub calls: u64,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Modeled tool seconds (`calls × cost`).
+    pub modeled_secs: f64,
+    /// Reduction-over-time trace (sizes in bytes).
+    pub trace: ReductionTrace,
+    /// Item count of the logical model (0 for class-graph strategies).
+    pub items: usize,
+    /// Clause count of the logical model.
+    pub clauses: usize,
+    /// Graph-constraint fraction of the model.
+    pub graph_fraction: f64,
+    /// Soundness: errors preserved and result verifies.
+    pub sound: bool,
+}
+
+impl RunRecord {
+    /// Final relative byte size.
+    pub fn relative_bytes(&self) -> f64 {
+        self.final_bytes as f64 / self.initial_bytes.max(1) as f64
+    }
+
+    /// Final relative class count.
+    pub fn relative_classes(&self) -> f64 {
+        self.final_classes as f64 / self.initial_classes.max(1) as f64
+    }
+}
+
+/// Runs `strategies` over the whole suite, skipping (and reporting) failed
+/// runs.
+pub fn run_grid(
+    config: &EvalConfig,
+    benchmarks: &[Benchmark],
+    strategies: &[Strategy],
+) -> Vec<RunRecord> {
+    let mut out = Vec::new();
+    for b in benchmarks {
+        let oracle = b.oracle();
+        for &strategy in strategies {
+            match run_reduction(&b.program, &oracle, strategy, config.cost_per_call_secs) {
+                Ok(report) => out.push(RunRecord {
+                    benchmark: b.name.clone(),
+                    strategy: report.strategy.clone(),
+                    initial_classes: report.initial.classes,
+                    initial_bytes: report.initial.bytes,
+                    final_classes: report.final_metrics.classes,
+                    final_bytes: report.final_metrics.bytes,
+                    calls: report.predicate_calls,
+                    wall_secs: report.wall_secs,
+                    modeled_secs: report.modeled_secs,
+                    trace: report.trace.clone(),
+                    items: report.model_stats.map_or(0, |s| s.items),
+                    clauses: report.model_stats.map_or(0, |s| s.clauses),
+                    graph_fraction: report.model_stats.map_or(0.0, |s| s.graph_fraction),
+                    sound: report.errors_preserved && report.still_valid,
+                }),
+                Err(e) => eprintln!("warning: {} / {}: {e}", b.name, strategy.name()),
+            }
+        }
+    }
+    out
+}
+
+/// The strategies of the headline comparison (Figure 8a/8b).
+pub fn headline_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::JReduce,
+        Strategy::Logical(MsaStrategy::GreedyClosure),
+    ]
+}
+
+/// The strategies of the lossy-encoding comparison.
+pub fn lossy_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Logical(MsaStrategy::GreedyClosure),
+        Strategy::Lossy(LossyPick::FirstFirst),
+        Strategy::Lossy(LossyPick::LastLast),
+    ]
+}
+
+fn records_of<'r>(records: &'r [RunRecord], strategy: &str) -> Vec<&'r RunRecord> {
+    records.iter().filter(|r| r.strategy == strategy).collect()
+}
+
+fn fmt_secs(s: f64) -> String {
+    let total = s.round() as i64;
+    format!("{}:{:02}:{:02}", total / 3600, (total % 3600) / 60, total % 60)
+}
+
+// ----------------------------------------------------------------------
+// Experiment renderers.
+// ----------------------------------------------------------------------
+
+/// E2 — the "Statistics" paragraph.
+pub fn render_stats(stats: &SuiteStats, records: &[RunRecord]) -> String {
+    let logical = records_of(records, "logical/greedy");
+    let items = geometric_mean(logical.iter().map(|r| r.items as f64));
+    let clauses = geometric_mean(logical.iter().map(|r| r.clauses as f64));
+    let graph = if logical.is_empty() {
+        0.0
+    } else {
+        logical.iter().map(|r| r.graph_fraction).sum::<f64>() / logical.len() as f64
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "# E2: Benchmark statistics (geometric means)");
+    let _ = writeln!(out, "#     paper: 227 instances, 184 classes, 285 KB, 9.2 errors,");
+    let _ = writeln!(out, "#            2.9k items, 8.7k clauses, 97.5% graph clauses");
+    let _ = writeln!(out, "instances            {}", stats.benchmarks);
+    let _ = writeln!(out, "classes              {:.1}", stats.classes);
+    let _ = writeln!(out, "bytes                {:.0} ({:.1} KB)", stats.bytes, stats.bytes / 1024.0);
+    let _ = writeln!(out, "errors               {:.1}", stats.errors);
+    let _ = writeln!(out, "reducible items      {items:.0}");
+    let _ = writeln!(out, "model clauses        {clauses:.0}");
+    let _ = writeln!(out, "graph-clause share   {:.1}%", 100.0 * graph);
+    out
+}
+
+/// E3 — Figure 8a: cumulative frequency of time spent and final relative
+/// sizes (classes and bytes), plus the geometric-mean summary row.
+pub fn render_fig8a(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# E3: Figure 8a — cumulative frequency diagrams");
+    let _ = writeln!(
+        out,
+        "#     paper geo-means: time 218.6s (jreduce) vs 680.7s (ours, 3.1x);"
+    );
+    let _ = writeln!(
+        out,
+        "#     classes 22.8% vs 8.4%; bytes 24.3% vs 4.6% (5.3x better)"
+    );
+    for strategy in ["jreduce", "logical/greedy"] {
+        let rs = records_of(records, strategy);
+        if rs.is_empty() {
+            continue;
+        }
+        let gm_time = geometric_mean(rs.iter().map(|r| r.modeled_secs));
+        let gm_classes = geometric_mean(rs.iter().map(|r| 100.0 * r.relative_classes()));
+        let gm_bytes = geometric_mean(rs.iter().map(|r| 100.0 * r.relative_bytes()));
+        let _ = writeln!(out, "\n## {strategy}  (n = {})", rs.len());
+        let _ = writeln!(
+            out,
+            "geo-mean: time {} ({gm_time:.1}s)  classes {gm_classes:.1}%  bytes {gm_bytes:.1}%",
+            fmt_secs(gm_time)
+        );
+        let _ = writeln!(out, "cumulative frequency (fraction of benchmarks ≤ x):");
+        let _ = writeln!(out, "{:>10} {:>12} {:>12} {:>12}", "quantile", "time(s)", "classes%", "bytes%");
+        let mut times: Vec<f64> = rs.iter().map(|r| r.modeled_secs).collect();
+        let mut classes: Vec<f64> = rs.iter().map(|r| 100.0 * r.relative_classes()).collect();
+        let mut bytes: Vec<f64> = rs.iter().map(|r| 100.0 * r.relative_bytes()).collect();
+        times.sort_by(f64::total_cmp);
+        classes.sort_by(f64::total_cmp);
+        bytes.sort_by(f64::total_cmp);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let idx = ((q * rs.len() as f64).ceil() as usize).clamp(1, rs.len()) - 1;
+            let _ = writeln!(
+                out,
+                "{:>10} {:>12.1} {:>12.1} {:>12.1}",
+                format!("{:.0}%", q * 100.0),
+                times[idx],
+                classes[idx],
+                bytes[idx]
+            );
+        }
+    }
+    // Headline ratios.
+    let j = records_of(records, "jreduce");
+    let l = records_of(records, "logical/greedy");
+    if !j.is_empty() && !l.is_empty() {
+        let jb = geometric_mean(j.iter().map(|r| r.relative_bytes()));
+        let lb = geometric_mean(l.iter().map(|r| r.relative_bytes()));
+        let jt = geometric_mean(j.iter().map(|r| r.modeled_secs.max(1.0)));
+        let lt = geometric_mean(l.iter().map(|r| r.modeled_secs.max(1.0)));
+        let _ = writeln!(
+            out,
+            "\nheadline: ours reduces bytes {:.1}x better than jreduce ({:.1}% vs {:.1}%), {:.1}x slower",
+            jb / lb.max(1e-9),
+            100.0 * lb,
+            100.0 * jb,
+            lt / jt.max(1e-9),
+        );
+    }
+    out
+}
+
+/// E4 — Figure 8b: mean reduction factor over modeled time.
+pub fn render_fig8b(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# E4: Figure 8b — mean reduction over time");
+    let _ = writeln!(out, "#     series: reduction factor (initial/best bytes so far), modeled time");
+    let max_time = records
+        .iter()
+        .map(|r| r.modeled_secs)
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let steps = 24;
+    let strategies: Vec<String> = {
+        let mut s: Vec<String> = records.iter().map(|r| r.strategy.clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    };
+    let _ = write!(out, "{:>10}", "time(s)");
+    for s in &strategies {
+        let _ = write!(out, " {s:>22}");
+    }
+    let _ = writeln!(out);
+    for step in 0..=steps {
+        let t = max_time * step as f64 / steps as f64;
+        let _ = write!(out, "{t:>10.0}");
+        for s in &strategies {
+            let rs = records_of(records, s);
+            let factor = geometric_mean(rs.iter().map(|r| {
+                let best = r
+                    .trace
+                    .best_at_modeled_time(t)
+                    .unwrap_or(r.initial_bytes as u64);
+                r.initial_bytes as f64 / best.max(1) as f64
+            }));
+            let _ = write!(out, " {factor:>21.2}x");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// E5 — the lossy-encoding comparison.
+pub fn render_lossy(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# E5: Lossy encodings vs the full logical reducer");
+    let _ = writeln!(out, "#     paper: lossy-1/2 produce 5%/8% more bytes; ours strictly");
+    let _ = writeln!(out, "#     better on 48%/51% of benchmarks (79%/84% with ≥5% non-graph)");
+    let logical = records_of(records, "logical/greedy");
+    for lossy_name in ["lossy-1", "lossy-2"] {
+        let lossy = records_of(records, lossy_name);
+        if lossy.is_empty() || logical.is_empty() {
+            continue;
+        }
+        // Pair by benchmark.
+        let mut more_bytes = Vec::new();
+        let mut strictly_better = 0usize;
+        let mut strictly_better_nongraph = 0usize;
+        let mut nongraph_total = 0usize;
+        let mut paired = 0usize;
+        for l in &logical {
+            if let Some(x) = lossy.iter().find(|r| r.benchmark == l.benchmark) {
+                paired += 1;
+                more_bytes.push(x.final_bytes as f64 / l.final_bytes.max(1) as f64);
+                if l.final_bytes < x.final_bytes {
+                    strictly_better += 1;
+                }
+                if l.graph_fraction <= 0.95 {
+                    nongraph_total += 1;
+                    if l.final_bytes < x.final_bytes {
+                        strictly_better_nongraph += 1;
+                    }
+                }
+            }
+        }
+        let gm = geometric_mean(more_bytes.iter().copied());
+        let _ = writeln!(
+            out,
+            "\n{lossy_name}: {:.1}% more bytes than logical (geo-mean, n={paired})",
+            100.0 * (gm - 1.0)
+        );
+        let _ = writeln!(
+            out,
+            "logical strictly better on {:.0}% of benchmarks",
+            100.0 * strictly_better as f64 / paired.max(1) as f64
+        );
+        if nongraph_total > 0 {
+            let _ = writeln!(
+                out,
+                "  … {:.0}% of the {} benchmarks with ≥5% non-graph clauses",
+                100.0 * strictly_better_nongraph as f64 / nongraph_total as f64,
+                nongraph_total
+            );
+        }
+    }
+    out
+}
+
+/// A1/A2/A3 — ablation tables (one row per strategy).
+pub fn render_ablation(records: &[RunRecord], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let strategies: Vec<String> = {
+        let mut s: Vec<String> = records.iter().map(|r| r.strategy.clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    };
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "strategy", "n", "bytes%", "classes%", "calls", "sound"
+    );
+    for s in &strategies {
+        let rs = records_of(records, s);
+        let bytes = geometric_mean(rs.iter().map(|r| 100.0 * r.relative_bytes()));
+        let classes = geometric_mean(rs.iter().map(|r| 100.0 * r.relative_classes()));
+        let calls = geometric_mean(rs.iter().map(|r| r.calls as f64));
+        let sound = rs.iter().all(|r| r.sound);
+        let _ = writeln!(
+            out,
+            "{s:<24} {:>8} {bytes:>9.1}% {classes:>9.1}% {calls:>10.0} {:>8}",
+            rs.len(),
+            if sound { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
+/// E6 — per-error reduction: one GBR search per distinct compiler error
+/// (the paper's long-running cases: "73 searches … 951 decompilations").
+pub fn render_per_error(config: &EvalConfig, benchmarks: &[Benchmark]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# E6: per-error reduction (one search per distinct error)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>9} {:>14} {:>16}",
+        "benchmark", "errors", "searches", "tool runs", "witness bytes"
+    );
+    let mut witness_sizes: Vec<f64> = Vec::new();
+    for b in benchmarks {
+        let oracle = b.oracle();
+        match lbr_jreduce::run_per_error(&b.program, &oracle, config.cost_per_call_secs) {
+            Ok(report) => {
+                let gm = geometric_mean(report.errors.iter().map(|(_, s)| s.bytes as f64));
+                witness_sizes.extend(report.errors.iter().map(|(_, s)| s.bytes as f64));
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>7} {:>9} {:>14} {:>15.0}g",
+                    b.name,
+                    oracle.error_count(),
+                    report.errors.len(),
+                    report.total_calls,
+                    gm
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:<12} failed: {e}", b.name);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nper-error witnesses are tiny: geo-mean {:.0} bytes across {} searches",
+        geometric_mean(witness_sizes.iter().copied()),
+        witness_sizes.len()
+    );
+    out
+}
+
+/// Renders the full per-run CSV (for external plotting).
+pub fn render_csv(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "benchmark,strategy,initial_classes,initial_bytes,final_classes,final_bytes,calls,wall_secs,modeled_secs,items,clauses,graph_fraction,sound"
+    );
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{:.3},{:.1},{},{},{:.4},{}",
+            r.benchmark,
+            r.strategy,
+            r.initial_classes,
+            r.initial_bytes,
+            r.final_classes,
+            r.final_bytes,
+            r.calls,
+            r.wall_secs,
+            r.modeled_secs,
+            r.items,
+            r.clauses,
+            r.graph_fraction,
+            r.sound
+        );
+    }
+    out
+}
+
+/// Convenience for tests and benches: one small suite.
+pub fn small_suite() -> Vec<Benchmark> {
+    EvalConfig {
+        programs: 2,
+        scale: 0.6,
+        ..EvalConfig::default()
+    }
+    .suite()
+}
+
+/// Re-export for the `eval` binary and benches.
+pub use lbr_workload::SuiteStats as Stats;
+
+/// Computes suite statistics (thin wrapper, re-exported for `eval`).
+pub fn compute_stats(benchmarks: &[Benchmark]) -> SuiteStats {
+    suite_stats(benchmarks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_runs_and_renders() {
+        let config = EvalConfig {
+            programs: 1,
+            scale: 0.4,
+            ..EvalConfig::default()
+        };
+        let benchmarks = config.suite();
+        assert!(!benchmarks.is_empty());
+        let records = run_grid(&config, &benchmarks, &headline_strategies());
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.sound), "all runs must be sound");
+        let stats = compute_stats(&benchmarks);
+        for text in [
+            render_stats(&stats, &records),
+            render_fig8a(&records),
+            render_fig8b(&records),
+            render_ablation(&records, "test"),
+            render_csv(&records),
+        ] {
+            assert!(!text.is_empty());
+        }
+    }
+
+    #[test]
+    fn lossy_render_pairs_benchmarks() {
+        let config = EvalConfig {
+            programs: 1,
+            scale: 0.4,
+            ..EvalConfig::default()
+        };
+        let benchmarks = config.suite();
+        let records = run_grid(&config, &benchmarks, &lossy_strategies());
+        let text = render_lossy(&records);
+        assert!(text.contains("lossy-1"));
+    }
+}

@@ -1,0 +1,186 @@
+//! A `javap`-style disassembler.
+//!
+//! Bug reports built from reduced inputs need a human-readable rendering
+//! of the surviving class files; this module prints classes, members and
+//! bytecode in a stable textual form (also handy in tests and examples).
+
+use crate::{ClassFile, Code, Insn, Program};
+use std::fmt::Write as _;
+
+/// Renders a whole program, classes in name order.
+pub fn disassemble_program(program: &Program) -> String {
+    let mut out = String::new();
+    for class in program.classes() {
+        out.push_str(&disassemble_class(class));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one class.
+pub fn disassemble_class(class: &ClassFile) -> String {
+    let mut out = String::new();
+    let kind = if class.is_interface() { "interface" } else { "class" };
+    let _ = write!(out, "{} {} {}", class.flags, kind, class.name);
+    if let Some(s) = &class.superclass {
+        let _ = write!(out, " extends {s}");
+    }
+    if !class.interfaces.is_empty() {
+        let kw = if class.is_interface() { "extends" } else { "implements" };
+        let _ = write!(out, " {} {}", kw, class.interfaces.join(", "));
+    }
+    let _ = writeln!(out, " {{");
+    for f in &class.fields {
+        let _ = writeln!(out, "  {} {}: {};", f.flags, f.name, f.ty.descriptor());
+    }
+    for m in &class.methods {
+        let _ = write!(out, "  {} {}{}", m.flags, m.name, m.desc);
+        match &m.code {
+            None => {
+                let _ = writeln!(out, ";");
+            }
+            Some(code) => {
+                let _ = writeln!(out, " {{");
+                out.push_str(&disassemble_code(code));
+                let _ = writeln!(out, "  }}");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a method body with instruction indices (branch targets refer
+/// to these indices).
+pub fn disassemble_code(code: &Code) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "    // max_stack={} max_locals={}",
+        code.max_stack, code.max_locals
+    );
+    for (i, insn) in code.insns.iter().enumerate() {
+        let _ = writeln!(out, "    {i:>4}: {}", mnemonic(insn));
+    }
+    out
+}
+
+/// The mnemonic of one instruction.
+pub fn mnemonic(insn: &Insn) -> String {
+    match insn {
+        Insn::Nop => "nop".into(),
+        Insn::IConst(v) => format!("iconst {v}"),
+        Insn::AConstNull => "aconst_null".into(),
+        Insn::ILoad(s) => format!("iload {s}"),
+        Insn::IStore(s) => format!("istore {s}"),
+        Insn::ALoad(s) => format!("aload {s}"),
+        Insn::AStore(s) => format!("astore {s}"),
+        Insn::Pop => "pop".into(),
+        Insn::Dup => "dup".into(),
+        Insn::IAdd => "iadd".into(),
+        Insn::LdcClass(c) => format!("ldc {c}.class"),
+        Insn::New(c) => format!("new {c}"),
+        Insn::GetField(f) => format!("getfield {f}"),
+        Insn::PutField(f) => format!("putfield {f}"),
+        Insn::InvokeVirtual(m) => format!("invokevirtual {m}"),
+        Insn::InvokeInterface(m) => format!("invokeinterface {m}"),
+        Insn::InvokeSpecial(m) => format!("invokespecial {m}"),
+        Insn::InvokeStatic(m) => format!("invokestatic {m}"),
+        Insn::CheckCast(c) => format!("checkcast {c}"),
+        Insn::InstanceOf(c) => format!("instanceof {c}"),
+        Insn::Goto(t) => format!("goto {t}"),
+        Insn::IfEq(t) => format!("ifeq {t}"),
+        Insn::Return => "return".into(),
+        Insn::AReturn => "areturn".into(),
+        Insn::IReturn => "ireturn".into(),
+        Insn::AThrow => "athrow".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FieldInfo, MethodDescriptor, MethodInfo, MethodRef, Type};
+
+    fn sample() -> ClassFile {
+        let mut c = ClassFile::new_class("A");
+        c.interfaces.push("I".into());
+        c.fields.push(FieldInfo::new("f", Type::Int));
+        c.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::new(vec![Type::Int], Some(Type::reference("B"))),
+            Code::new(
+                2,
+                2,
+                vec![
+                    Insn::ILoad(1),
+                    Insn::IfEq(4),
+                    Insn::AConstNull,
+                    Insn::AReturn,
+                    Insn::New("B".into()),
+                    Insn::Dup,
+                    Insn::InvokeSpecial(MethodRef::new("B", "<init>", MethodDescriptor::void())),
+                    Insn::AReturn,
+                ],
+            ),
+        ));
+        c.methods
+            .push(MethodInfo::new_abstract("abs", MethodDescriptor::void()));
+        c
+    }
+
+    #[test]
+    fn renders_class_shape() {
+        let text = disassemble_class(&sample());
+        assert!(text.contains("class A extends Object implements I {"));
+        assert!(text.contains("f: I;"));
+        assert!(text.contains("m(I)LB;"));
+        assert!(text.contains("abs()V;"), "{text}");
+    }
+
+    #[test]
+    fn renders_instructions_with_indices() {
+        let text = disassemble_class(&sample());
+        assert!(text.contains("0: iload 1"));
+        assert!(text.contains("1: ifeq 4"));
+        assert!(text.contains("invokespecial B.<init>()V"));
+        assert!(text.contains("max_stack=2 max_locals=2"));
+    }
+
+    #[test]
+    fn program_rendering_is_name_ordered() {
+        let mut p = Program::new();
+        p.insert(ClassFile::new_class("Zed"));
+        p.insert(ClassFile::new_class("Abc"));
+        let text = disassemble_program(&p);
+        let a = text.find("class Abc").expect("Abc rendered");
+        let z = text.find("class Zed").expect("Zed rendered");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn mnemonics_cover_all_variants() {
+        // Smoke the remaining mnemonics.
+        for insn in [
+            Insn::Nop,
+            Insn::IConst(3),
+            Insn::IStore(2),
+            Insn::AStore(2),
+            Insn::Pop,
+            Insn::IAdd,
+            Insn::LdcClass("A".into()),
+            Insn::GetField(crate::FieldRef::new("A", "f", Type::Int)),
+            Insn::PutField(crate::FieldRef::new("A", "f", Type::Int)),
+            Insn::InvokeVirtual(MethodRef::new("A", "m", MethodDescriptor::void())),
+            Insn::InvokeInterface(MethodRef::new("I", "m", MethodDescriptor::void())),
+            Insn::InvokeStatic(MethodRef::new("A", "s", MethodDescriptor::void())),
+            Insn::InstanceOf("A".into()),
+            Insn::Goto(0),
+            Insn::Return,
+            Insn::IReturn,
+            Insn::AThrow,
+        ] {
+            assert!(!mnemonic(&insn).is_empty());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Access flags, encoded as in the JVM class-file format.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A set of access flags (a `u16` bit set, JVM encoding).
+///
+/// # Examples
+///
+/// ```
+/// use lbr_classfile::Flags;
+/// let f = Flags::PUBLIC | Flags::ABSTRACT;
+/// assert!(f.contains(Flags::ABSTRACT));
+/// assert!(!f.contains(Flags::STATIC));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags(u16);
+
+impl Flags {
+    /// No flags.
+    pub const EMPTY: Flags = Flags(0);
+    /// `ACC_PUBLIC`.
+    pub const PUBLIC: Flags = Flags(0x0001);
+    /// `ACC_PRIVATE`.
+    pub const PRIVATE: Flags = Flags(0x0002);
+    /// `ACC_STATIC`.
+    pub const STATIC: Flags = Flags(0x0008);
+    /// `ACC_FINAL`.
+    pub const FINAL: Flags = Flags(0x0010);
+    /// `ACC_SUPER` (historical, set on classes).
+    pub const SUPER: Flags = Flags(0x0020);
+    /// `ACC_INTERFACE`.
+    pub const INTERFACE: Flags = Flags(0x0200);
+    /// `ACC_ABSTRACT`.
+    pub const ABSTRACT: Flags = Flags(0x0400);
+
+    /// Builds from the raw `u16`.
+    pub const fn from_bits(bits: u16) -> Flags {
+        Flags(bits)
+    }
+
+    /// The raw `u16`.
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Whether all of `other`'s flags are set.
+    pub const fn contains(self, other: Flags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the `ACC_INTERFACE` bit is set.
+    pub const fn is_interface(self) -> bool {
+        self.contains(Flags::INTERFACE)
+    }
+
+    /// Whether the `ACC_ABSTRACT` bit is set.
+    pub const fn is_abstract(self) -> bool {
+        self.contains(Flags::ABSTRACT)
+    }
+
+    /// Whether the `ACC_STATIC` bit is set.
+    pub const fn is_static(self) -> bool {
+        self.contains(Flags::STATIC)
+    }
+}
+
+impl BitOr for Flags {
+    type Output = Flags;
+    fn bitor(self, rhs: Flags) -> Flags {
+        Flags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Flags {
+    fn bitor_assign(&mut self, rhs: Flags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        for (flag, name) in [
+            (Flags::PUBLIC, "public"),
+            (Flags::PRIVATE, "private"),
+            (Flags::STATIC, "static"),
+            (Flags::FINAL, "final"),
+            (Flags::INTERFACE, "interface"),
+            (Flags::ABSTRACT, "abstract"),
+        ] {
+            if self.contains(flag) {
+                parts.push(name);
+            }
+        }
+        if parts.is_empty() {
+            write!(f, "(none)")
+        } else {
+            write!(f, "{}", parts.join(" "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_operations() {
+        let f = Flags::PUBLIC | Flags::FINAL;
+        assert!(f.contains(Flags::PUBLIC));
+        assert!(f.contains(Flags::FINAL));
+        assert!(!f.contains(Flags::STATIC));
+        assert_eq!(f.bits(), 0x0011);
+        assert_eq!(Flags::from_bits(0x0011), f);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!((Flags::INTERFACE | Flags::ABSTRACT).is_interface());
+        assert!(Flags::ABSTRACT.is_abstract());
+        assert!(Flags::STATIC.is_static());
+        assert!(!Flags::EMPTY.is_interface());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Flags::EMPTY.to_string(), "(none)");
+        assert_eq!((Flags::PUBLIC | Flags::ABSTRACT).to_string(), "public abstract");
+    }
+}

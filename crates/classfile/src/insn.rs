@@ -1,0 +1,289 @@
+//! The bytecode instruction set.
+//!
+//! A pragmatic subset of the JVM's: constants, local slots, object
+//! creation, field access, the four `invoke` forms, casts, simple integer
+//! arithmetic, conditional and unconditional branches, and returns.
+//! Instructions carry *resolved* symbolic references (names and
+//! descriptors); the binary writer lowers them to constant-pool indices
+//! using the real JVM opcodes.
+
+use crate::{MethodDescriptor, Type};
+use std::fmt;
+
+/// A symbolic field reference `class.name : ty`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldRef {
+    /// The class that the instruction names (resolution may find the field
+    /// in a superclass).
+    pub class: String,
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+}
+
+impl FieldRef {
+    /// Creates a field reference.
+    pub fn new(class: impl Into<String>, name: impl Into<String>, ty: Type) -> Self {
+        FieldRef {
+            class: class.into(),
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}:{}", self.class, self.name, self.ty.descriptor())
+    }
+}
+
+/// A symbolic method reference `class.name(desc)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodRef {
+    /// The class or interface the instruction names.
+    pub class: String,
+    /// Method name (`<init>` for constructors).
+    pub name: String,
+    /// Method descriptor.
+    pub desc: MethodDescriptor,
+}
+
+impl MethodRef {
+    /// Creates a method reference.
+    pub fn new(class: impl Into<String>, name: impl Into<String>, desc: MethodDescriptor) -> Self {
+        MethodRef {
+            class: class.into(),
+            name: name.into(),
+            desc,
+        }
+    }
+
+    /// Whether this references a constructor.
+    pub fn is_init(&self) -> bool {
+        self.name == "<init>"
+    }
+}
+
+impl fmt::Display for MethodRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}{}", self.class, self.name, self.desc)
+    }
+}
+
+/// One bytecode instruction. Branch targets are *instruction indices* into
+/// the owning [`Code`](crate::Code); the binary writer converts them to
+/// byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// Do nothing.
+    Nop,
+    /// Push the integer constant.
+    IConst(i32),
+    /// Push `null`.
+    AConstNull,
+    /// Push an `int` from a local slot.
+    ILoad(u16),
+    /// Store an `int` into a local slot.
+    IStore(u16),
+    /// Push a reference from a local slot.
+    ALoad(u16),
+    /// Store a reference into a local slot.
+    AStore(u16),
+    /// Pop the top of the stack.
+    Pop,
+    /// Duplicate the top of the stack.
+    Dup,
+    /// Pop two `int`s, push their sum.
+    IAdd,
+    /// Load a class constant (reflection — the paper's generics
+    /// approximation targets exactly this).
+    LdcClass(String),
+    /// Allocate an instance of the named class.
+    New(String),
+    /// Push the value of an instance field.
+    GetField(FieldRef),
+    /// Store into an instance field.
+    PutField(FieldRef),
+    /// Invoke a virtual method.
+    InvokeVirtual(MethodRef),
+    /// Invoke an interface method.
+    InvokeInterface(MethodRef),
+    /// Invoke a constructor or superclass method directly.
+    InvokeSpecial(MethodRef),
+    /// Invoke a static method.
+    InvokeStatic(MethodRef),
+    /// Cast the top-of-stack reference.
+    CheckCast(String),
+    /// Replace the top-of-stack reference with an `int` instance test.
+    InstanceOf(String),
+    /// Unconditional jump to the instruction index.
+    Goto(u16),
+    /// Pop an `int`; jump if zero.
+    IfEq(u16),
+    /// Return `void`.
+    Return,
+    /// Return the top-of-stack reference.
+    AReturn,
+    /// Return the top-of-stack `int`.
+    IReturn,
+    /// Throw the top-of-stack reference.
+    AThrow,
+}
+
+impl Insn {
+    /// The JVM opcode used in the binary encoding.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Insn::Nop => 0x00,
+            Insn::AConstNull => 0x01,
+            Insn::IConst(_) => 0x12, // encoded via ldc of an Integer constant
+            Insn::ILoad(_) => 0x15,
+            Insn::ALoad(_) => 0x19,
+            Insn::IStore(_) => 0x36,
+            Insn::AStore(_) => 0x3a,
+            Insn::Pop => 0x57,
+            Insn::Dup => 0x59,
+            Insn::IAdd => 0x60,
+            Insn::LdcClass(_) => 0x13, // ldc_w
+            Insn::New(_) => 0xbb,
+            Insn::GetField(_) => 0xb4,
+            Insn::PutField(_) => 0xb5,
+            Insn::InvokeVirtual(_) => 0xb6,
+            Insn::InvokeSpecial(_) => 0xb7,
+            Insn::InvokeStatic(_) => 0xb8,
+            Insn::InvokeInterface(_) => 0xb9,
+            Insn::CheckCast(_) => 0xc0,
+            Insn::InstanceOf(_) => 0xc1,
+            Insn::Goto(_) => 0xa7,
+            Insn::IfEq(_) => 0x99,
+            Insn::Return => 0xb1,
+            Insn::AReturn => 0xb0,
+            Insn::IReturn => 0xac,
+            Insn::AThrow => 0xbf,
+        }
+    }
+
+    /// Encoded size in bytes (opcode + operands).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Insn::Nop
+            | Insn::AConstNull
+            | Insn::Pop
+            | Insn::Dup
+            | Insn::IAdd
+            | Insn::Return
+            | Insn::AReturn
+            | Insn::IReturn
+            | Insn::AThrow => 1,
+            Insn::ILoad(_) | Insn::IStore(_) | Insn::ALoad(_) | Insn::AStore(_) => 3,
+            Insn::IConst(_) => 5,
+            Insn::LdcClass(_)
+            | Insn::New(_)
+            | Insn::GetField(_)
+            | Insn::PutField(_)
+            | Insn::InvokeVirtual(_)
+            | Insn::InvokeSpecial(_)
+            | Insn::InvokeStatic(_)
+            | Insn::CheckCast(_)
+            | Insn::InstanceOf(_)
+            | Insn::Goto(_)
+            | Insn::IfEq(_) => 3,
+            Insn::InvokeInterface(_) => 5, // JVM quirk: count + zero bytes
+        }
+    }
+
+    /// Whether execution cannot fall through to the next instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Insn::Goto(_) | Insn::Return | Insn::AReturn | Insn::IReturn | Insn::AThrow
+        )
+    }
+
+    /// The class names this instruction references.
+    pub fn referenced_classes(&self) -> Vec<&str> {
+        match self {
+            Insn::LdcClass(c) | Insn::New(c) | Insn::CheckCast(c) | Insn::InstanceOf(c) => {
+                vec![c]
+            }
+            Insn::GetField(f) | Insn::PutField(f) => {
+                let mut v = vec![f.class.as_str()];
+                v.extend(f.ty.class_name());
+                v
+            }
+            Insn::InvokeVirtual(m)
+            | Insn::InvokeInterface(m)
+            | Insn::InvokeSpecial(m)
+            | Insn::InvokeStatic(m) => {
+                let mut v = vec![m.class.as_str()];
+                v.extend(m.desc.referenced_classes());
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcodes_are_jvm_opcodes() {
+        assert_eq!(Insn::New("A".into()).opcode(), 0xbb);
+        assert_eq!(
+            Insn::InvokeVirtual(MethodRef::new("A", "m", MethodDescriptor::void())).opcode(),
+            0xb6
+        );
+        assert_eq!(Insn::CheckCast("A".into()).opcode(), 0xc0);
+        assert_eq!(Insn::Return.opcode(), 0xb1);
+    }
+
+    #[test]
+    fn encoded_lengths() {
+        assert_eq!(Insn::Nop.encoded_len(), 1);
+        assert_eq!(Insn::ALoad(0).encoded_len(), 3);
+        assert_eq!(
+            Insn::InvokeInterface(MethodRef::new("I", "m", MethodDescriptor::void()))
+                .encoded_len(),
+            5
+        );
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Insn::Return.is_terminator());
+        assert!(Insn::Goto(0).is_terminator());
+        assert!(Insn::AThrow.is_terminator());
+        assert!(!Insn::IfEq(0).is_terminator());
+        assert!(!Insn::Dup.is_terminator());
+    }
+
+    #[test]
+    fn referenced_classes() {
+        let m = Insn::InvokeVirtual(MethodRef::new(
+            "A",
+            "m",
+            MethodDescriptor::new(vec![Type::reference("B")], Some(Type::reference("C"))),
+        ));
+        assert_eq!(m.referenced_classes(), vec!["A", "B", "C"]);
+        let f = Insn::GetField(FieldRef::new("A", "f", Type::reference("D")));
+        assert_eq!(f.referenced_classes(), vec!["A", "D"]);
+        assert!(Insn::IAdd.referenced_classes().is_empty());
+    }
+
+    #[test]
+    fn display_refs() {
+        assert_eq!(
+            FieldRef::new("A", "f", Type::Int).to_string(),
+            "A.f:I"
+        );
+        assert_eq!(
+            MethodRef::new("A", "m", MethodDescriptor::void()).to_string(),
+            "A.m()V"
+        );
+        assert!(MethodRef::new("A", "<init>", MethodDescriptor::void()).is_init());
+    }
+}

@@ -1,0 +1,144 @@
+//! Filesystem I/O: programs as directories of `.class` files.
+//!
+//! The paper's artifact writes reduced benchmarks as class-file trees
+//! ("writes the class-files instead of using symbolic links"); this module
+//! does the same, one `<ClassName>.class` per class, so a reduced input
+//! can be attached to a bug report or inspected with the disassembler.
+
+use crate::{read_class, write_class, Program, ReadError};
+use std::io;
+use std::path::Path;
+
+/// An error from directory I/O.
+#[derive(Debug)]
+pub enum DirError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A `.class` file failed to decode.
+    Read {
+        /// The offending file name.
+        file: String,
+        /// The decode error.
+        cause: ReadError,
+    },
+}
+
+impl std::fmt::Display for DirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirError::Io(e) => write!(f, "io error: {e}"),
+            DirError::Read { file, cause } => write!(f, "{file}: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for DirError {}
+
+impl From<io::Error> for DirError {
+    fn from(e: io::Error) -> Self {
+        DirError::Io(e)
+    }
+}
+
+/// Writes every class of `program` as `<dir>/<Name>.class`, creating the
+/// directory if needed. Returns the number of files written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_class_directory(program: &Program, dir: &Path) -> Result<usize, DirError> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = 0;
+    for class in program.classes() {
+        let path = dir.join(format!("{}.class", class.name));
+        std::fs::write(path, write_class(class))?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+/// Reads every `*.class` file in `dir` into a program.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and per-file decode failures.
+pub fn read_class_directory(dir: &Path) -> Result<Program, DirError> {
+    let mut program = Program::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "class"))
+        .collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let bytes = std::fs::read(entry.path())?;
+        let class = read_class(&bytes).map_err(|cause| DirError::Read {
+            file: entry.file_name().to_string_lossy().into_owned(),
+            cause,
+        })?;
+        program.insert(class);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassFile, Code, Insn, MethodDescriptor, MethodInfo};
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lbr-io-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> Program {
+        let mut a = ClassFile::new_class("Alpha");
+        a.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        let b = ClassFile::new_interface("Beta");
+        [a, b].into_iter().collect()
+    }
+
+    #[test]
+    fn directory_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let p = sample();
+        let written = write_class_directory(&p, &dir).expect("writes");
+        assert_eq!(written, 2);
+        assert!(dir.join("Alpha.class").exists());
+        assert!(dir.join("Beta.class").exists());
+        let back = read_class_directory(&dir).expect("reads");
+        assert_eq!(back, p);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_class_files_are_ignored() {
+        let dir = temp_dir("ignore");
+        write_class_directory(&sample(), &dir).expect("writes");
+        std::fs::write(dir.join("README.txt"), b"not a class").expect("writes");
+        let back = read_class_directory(&dir).expect("reads");
+        assert_eq!(back.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_class_file_is_reported_with_its_name() {
+        let dir = temp_dir("corrupt");
+        write_class_directory(&sample(), &dir).expect("writes");
+        std::fs::write(dir.join("Zeta.class"), b"garbage").expect("writes");
+        let err = read_class_directory(&dir).expect_err("must fail");
+        assert!(err.to_string().contains("Zeta.class"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        let dir = temp_dir("missing");
+        assert!(read_class_directory(&dir).is_err());
+    }
+}

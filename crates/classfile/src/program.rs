@@ -1,0 +1,552 @@
+//! A set of class files and the hierarchy queries on it.
+//!
+//! `Program` is the unit of reduction: the buggy tool consumes a program,
+//! and sub-inputs are programs with items removed. The hierarchy queries —
+//! subtype paths, member resolution — return the *relations they used*
+//! (extends / implements / interface-extends steps), which is exactly what
+//! the logical constraint generator needs: keeping a use of subtyping means
+//! keeping every relation on its derivation path.
+
+use crate::{ClassFile, FieldInfo, MethodInfo, MethodDescriptor, OBJECT};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt;
+
+/// One step of a subtype derivation or member resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// `sub extends sup` (a class superclass edge).
+    Extends {
+        /// Subclass.
+        sub: String,
+        /// Superclass.
+        sup: String,
+    },
+    /// `class implements iface`.
+    Implements {
+        /// The class.
+        class: String,
+        /// The interface.
+        iface: String,
+    },
+    /// `sub extends sup` between interfaces.
+    IfaceExtends {
+        /// The sub-interface.
+        sub: String,
+        /// The super-interface.
+        sup: String,
+    },
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Extends { sub, sup } => write!(f, "{sub} extends {sup}"),
+            Step::Implements { class, iface } => write!(f, "{class} implements {iface}"),
+            Step::IfaceExtends { sub, sup } => write!(f, "{sub} extends(i) {sup}"),
+        }
+    }
+}
+
+/// The result of resolving a field or method from a starting class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The class or interface that declares the member.
+    pub declaring: String,
+    /// The hierarchy steps walked from the named class to `declaring`.
+    pub steps: Vec<Step>,
+}
+
+/// A program: a named set of class files with an implicit built-in
+/// `Object`.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_classfile::{ClassFile, Program};
+/// let mut p = Program::new();
+/// p.insert(ClassFile::new_class("A"));
+/// assert!(p.get("A").is_some());
+/// assert!(p.get("Object").is_some()); // built-in
+/// assert!(p.is_subtype("A", "Object"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    classes: BTreeMap<String, ClassFile>,
+    object: ClassFile,
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Program {
+    /// An empty program (containing only the built-in `Object`, which
+    /// provides the no-argument constructor every class chain bottoms out
+    /// in).
+    pub fn new() -> Self {
+        let mut object = ClassFile::new_class(OBJECT);
+        object.superclass = None;
+        object.methods.push(crate::MethodInfo::new(
+            "<init>",
+            crate::MethodDescriptor::void(),
+            crate::Code::new(0, 1, vec![crate::Insn::Return]),
+        ));
+        Program {
+            classes: BTreeMap::new(),
+            object,
+        }
+    }
+
+    /// Inserts (or replaces) a class. Returns the previous one, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an attempt to redefine `Object`.
+    pub fn insert(&mut self, class: ClassFile) -> Option<ClassFile> {
+        assert_ne!(class.name, OBJECT, "Object is built in");
+        self.classes.insert(class.name.clone(), class)
+    }
+
+    /// Removes a class by name.
+    pub fn remove(&mut self, name: &str) -> Option<ClassFile> {
+        self.classes.remove(name)
+    }
+
+    /// Looks up a class (the built-in `Object` included).
+    pub fn get(&self, name: &str) -> Option<&ClassFile> {
+        if name == OBJECT {
+            Some(&self.object)
+        } else {
+            self.classes.get(name)
+        }
+    }
+
+    /// Mutable lookup of a user class.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut ClassFile> {
+        self.classes.get_mut(name)
+    }
+
+    /// Whether the program declares (or builds in) `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Number of user classes (excluding `Object`).
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether there are no user classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates user classes in name order.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassFile> {
+        self.classes.values()
+    }
+
+    /// Iterates user class names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.classes.keys().map(String::as_str)
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchy queries.
+    // ------------------------------------------------------------------
+
+    /// The superclass chain starting at `name` (exclusive) up to and
+    /// including `Object`. Stops early at an undefined or cyclic class.
+    pub fn superclass_chain(&self, name: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut cur = name.to_owned();
+        seen.insert(cur.clone());
+        while let Some(c) = self.get(&cur) {
+            match &c.superclass {
+                Some(s) if seen.insert(s.clone()) => {
+                    out.push(s.clone());
+                    cur = s.clone();
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Whether the hierarchy contains an extends/implements cycle through
+    /// `name`.
+    pub fn has_hierarchy_cycle(&self, name: &str) -> bool {
+        // DFS over all supertype edges.
+        let mut visiting = HashSet::new();
+        self.cycle_dfs(name, &mut visiting, &mut HashSet::new())
+    }
+
+    fn cycle_dfs(
+        &self,
+        name: &str,
+        visiting: &mut HashSet<String>,
+        done: &mut HashSet<String>,
+    ) -> bool {
+        if done.contains(name) {
+            return false;
+        }
+        if !visiting.insert(name.to_owned()) {
+            return true;
+        }
+        if let Some(c) = self.get(name) {
+            let supers = c.superclass.iter().chain(c.interfaces.iter());
+            for s in supers {
+                if self.cycle_dfs(s, visiting, done) {
+                    return true;
+                }
+            }
+        }
+        visiting.remove(name);
+        done.insert(name.to_owned());
+        false
+    }
+
+    /// Finds the shortest subtype derivation from `sub` to `sup`, as the
+    /// list of hierarchy steps used. `Some(vec![])` when `sub == sup`.
+    pub fn subtype_path(&self, sub: &str, sup: &str) -> Option<Vec<Step>> {
+        if sub == sup {
+            return Some(Vec::new());
+        }
+        // BFS over supertype edges.
+        let mut queue = VecDeque::new();
+        let mut pred: BTreeMap<String, (String, Step)> = BTreeMap::new();
+        queue.push_back(sub.to_owned());
+        let mut seen = HashSet::new();
+        seen.insert(sub.to_owned());
+        while let Some(cur) = queue.pop_front() {
+            let Some(c) = self.get(&cur) else { continue };
+            let mut edges: Vec<(String, Step)> = Vec::new();
+            if let Some(s) = &c.superclass {
+                if !c.is_interface() {
+                    edges.push((
+                        s.clone(),
+                        Step::Extends {
+                            sub: cur.clone(),
+                            sup: s.clone(),
+                        },
+                    ));
+                }
+            }
+            for i in &c.interfaces {
+                let step = if c.is_interface() {
+                    Step::IfaceExtends {
+                        sub: cur.clone(),
+                        sup: i.clone(),
+                    }
+                } else {
+                    Step::Implements {
+                        class: cur.clone(),
+                        iface: i.clone(),
+                    }
+                };
+                edges.push((i.clone(), step));
+            }
+            for (next, step) in edges {
+                if seen.insert(next.clone()) {
+                    pred.insert(next.clone(), (cur.clone(), step));
+                    if next == sup {
+                        // Reconstruct.
+                        let mut path = Vec::new();
+                        let mut node = sup.to_owned();
+                        while node != sub {
+                            let (prev, step) = pred[&node].clone();
+                            path.push(step);
+                            node = prev;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `sub` is a subtype of `sup`.
+    pub fn is_subtype(&self, sub: &str, sup: &str) -> bool {
+        self.subtype_path(sub, sup).is_some()
+    }
+
+    /// The least upper bound used by the verifier's merge: the common type
+    /// if equal, otherwise `Object`.
+    pub fn merge_types(&self, a: &str, b: &str) -> String {
+        if a == b {
+            a.to_owned()
+        } else {
+            OBJECT.to_owned()
+        }
+    }
+
+    /// All interfaces transitively reachable from `name` (via implements,
+    /// interface-extends and superclasses), with the step path to each.
+    pub fn interface_closure(&self, name: &str) -> Vec<(String, Vec<Step>)> {
+        let mut out = Vec::new();
+        let mut queue = VecDeque::new();
+        let mut seen = HashSet::new();
+        queue.push_back((name.to_owned(), Vec::new()));
+        seen.insert(name.to_owned());
+        while let Some((cur, path)) = queue.pop_front() {
+            let Some(c) = self.get(&cur) else { continue };
+            if c.is_interface() && cur != name {
+                out.push((cur.clone(), path.clone()));
+            }
+            if let Some(s) = &c.superclass {
+                if !c.is_interface() && seen.insert(s.clone()) {
+                    let mut p = path.clone();
+                    p.push(Step::Extends {
+                        sub: cur.clone(),
+                        sup: s.clone(),
+                    });
+                    queue.push_back((s.clone(), p));
+                }
+            }
+            for i in &c.interfaces {
+                if seen.insert(i.clone()) {
+                    let mut p = path.clone();
+                    p.push(if c.is_interface() {
+                        Step::IfaceExtends {
+                            sub: cur.clone(),
+                            sup: i.clone(),
+                        }
+                    } else {
+                        Step::Implements {
+                            class: cur.clone(),
+                            iface: i.clone(),
+                        }
+                    });
+                    queue.push_back((i.clone(), p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolves a field named on `class`, walking the superclass chain.
+    pub fn resolve_field(&self, class: &str, field: &str) -> Option<(Resolution, &FieldInfo)> {
+        let mut steps = Vec::new();
+        let mut cur = class.to_owned();
+        let mut guard = 0;
+        loop {
+            let c = self.get(&cur)?;
+            if let Some(f) = c.field(field) {
+                return Some((
+                    Resolution {
+                        declaring: cur.clone(),
+                        steps,
+                    },
+                    f,
+                ));
+            }
+            let sup = c.superclass.clone()?;
+            steps.push(Step::Extends {
+                sub: cur.clone(),
+                sup: sup.clone(),
+            });
+            cur = sup;
+            guard += 1;
+            if guard > self.len() + 2 {
+                return None; // cycle
+            }
+        }
+    }
+
+    /// Resolves a method named on `class`: first the superclass chain,
+    /// then (breadth-first) the superinterfaces.
+    pub fn resolve_method(
+        &self,
+        class: &str,
+        name: &str,
+        desc: &MethodDescriptor,
+    ) -> Option<(Resolution, &MethodInfo)> {
+        // Class chain.
+        let mut steps = Vec::new();
+        let mut cur = class.to_owned();
+        let mut guard = 0;
+        while let Some(c) = self.get(&cur) {
+            if let Some(m) = c.method(name, desc) {
+                return Some((
+                    Resolution {
+                        declaring: cur.clone(),
+                        steps,
+                    },
+                    m,
+                ));
+            }
+            if c.is_interface() {
+                break; // interfaces handled below
+            }
+            match c.superclass.clone() {
+                Some(sup) => {
+                    steps.push(Step::Extends {
+                        sub: cur.clone(),
+                        sup: sup.clone(),
+                    });
+                    cur = sup;
+                }
+                None => break,
+            }
+            guard += 1;
+            if guard > self.len() + 2 {
+                return None;
+            }
+        }
+        // Interface closure.
+        for (iface, path) in self.interface_closure(class) {
+            if let Some(c) = self.get(&iface) {
+                if let Some(m) = c.method(name, desc) {
+                    return Some((
+                        Resolution {
+                            declaring: iface.clone(),
+                            steps: path,
+                        },
+                        m,
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<ClassFile> for Program {
+    fn from_iter<T: IntoIterator<Item = ClassFile>>(iter: T) -> Self {
+        let mut p = Program::new();
+        for c in iter {
+            p.insert(c);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Code, Flags, Type};
+
+    fn sample() -> Program {
+        // interface J; interface I extends J; class A implements I;
+        // class B extends A; field A.f; method I.m abstract, A.m concrete.
+        let mut j = ClassFile::new_interface("J");
+        j.methods.push(MethodInfo::new_abstract("p", MethodDescriptor::void()));
+        let mut i = ClassFile::new_interface("I");
+        i.interfaces.push("J".into());
+        i.methods.push(MethodInfo::new_abstract("m", MethodDescriptor::void()));
+        let mut a = ClassFile::new_class("A");
+        a.interfaces.push("I".into());
+        a.fields.push(FieldInfo::new("f", Type::Int));
+        a.methods.push(MethodInfo::new("m", MethodDescriptor::void(), Code::trivial(1)));
+        let mut b = ClassFile::new_class("B");
+        b.superclass = Some("A".into());
+        [j, i, a, b].into_iter().collect()
+    }
+
+    #[test]
+    fn chain_and_subtyping() {
+        let p = sample();
+        assert_eq!(p.superclass_chain("B"), vec!["A", "Object"]);
+        assert!(p.is_subtype("B", "A"));
+        assert!(p.is_subtype("B", "Object"));
+        assert!(p.is_subtype("B", "I"));
+        assert!(p.is_subtype("B", "J"));
+        assert!(p.is_subtype("I", "J"));
+        assert!(!p.is_subtype("A", "B"));
+        assert!(!p.is_subtype("J", "I"));
+    }
+
+    #[test]
+    fn subtype_paths_record_relations() {
+        let p = sample();
+        let path = p.subtype_path("B", "J").expect("subtype");
+        assert_eq!(
+            path,
+            vec![
+                Step::Extends { sub: "B".into(), sup: "A".into() },
+                Step::Implements { class: "A".into(), iface: "I".into() },
+                Step::IfaceExtends { sub: "I".into(), sup: "J".into() },
+            ]
+        );
+        assert_eq!(p.subtype_path("A", "A"), Some(vec![]));
+        assert_eq!(p.subtype_path("A", "B"), None);
+    }
+
+    #[test]
+    fn field_resolution_walks_supers() {
+        let p = sample();
+        let (res, f) = p.resolve_field("B", "f").expect("resolves");
+        assert_eq!(res.declaring, "A");
+        assert_eq!(f.ty, Type::Int);
+        assert_eq!(res.steps.len(), 1);
+        assert!(p.resolve_field("B", "nope").is_none());
+    }
+
+    #[test]
+    fn method_resolution_class_then_interface() {
+        let p = sample();
+        let (res, m) = p
+            .resolve_method("B", "m", &MethodDescriptor::void())
+            .expect("resolves");
+        assert_eq!(res.declaring, "A");
+        assert!(m.code.is_some());
+        // p is only declared on interface J.
+        let (res, m) = p
+            .resolve_method("B", "p", &MethodDescriptor::void())
+            .expect("resolves via interfaces");
+        assert_eq!(res.declaring, "J");
+        assert!(m.code.is_none());
+    }
+
+    #[test]
+    fn interface_closure_with_paths() {
+        let p = sample();
+        let closure = p.interface_closure("B");
+        let names: Vec<&str> = closure.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["I", "J"]);
+        let (_, path_j) = &closure[1];
+        assert_eq!(path_j.len(), 3);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut p = Program::new();
+        let mut a = ClassFile::new_class("A");
+        a.superclass = Some("B".into());
+        let mut b = ClassFile::new_class("B");
+        b.superclass = Some("A".into());
+        p.insert(a);
+        p.insert(b);
+        assert!(p.has_hierarchy_cycle("A"));
+        assert!(!sample().has_hierarchy_cycle("B"));
+        // superclass_chain terminates on cycles.
+        assert!(p.superclass_chain("A").len() <= 2);
+    }
+
+    #[test]
+    fn merge_types() {
+        let p = sample();
+        assert_eq!(p.merge_types("A", "A"), "A");
+        assert_eq!(p.merge_types("A", "B"), "Object");
+    }
+
+    #[test]
+    #[should_panic(expected = "Object is built in")]
+    fn cannot_redefine_object() {
+        let mut p = Program::new();
+        p.insert(ClassFile::new_class(OBJECT));
+    }
+
+    #[test]
+    fn abstract_flag_queries() {
+        let mut c = ClassFile::new_class("A");
+        c.flags |= Flags::ABSTRACT;
+        assert!(!c.is_instantiable());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property test: any well-formed in-memory class survives the binary
+//! writer/reader round trip — including branchy code, odd flags, and
+//! adversarial names the workload generator would never produce.
+
+use lbr_classfile::{
+    read_class, write_class, ClassFile, Code, FieldInfo, FieldRef, Flags, Insn,
+    MethodDescriptor, MethodInfo, MethodRef, Type,
+};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z_$][A-Za-z0-9_$]{0,11}"
+}
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    prop_oneof![Just(Type::Int), arb_name().prop_map(Type::reference)]
+}
+
+fn arb_desc() -> impl Strategy<Value = MethodDescriptor> {
+    (
+        prop::collection::vec(arb_type(), 0..4),
+        prop::option::of(arb_type()),
+    )
+        .prop_map(|(params, ret)| MethodDescriptor::new(params, ret))
+}
+
+fn arb_field_ref() -> impl Strategy<Value = FieldRef> {
+    (arb_name(), arb_name(), arb_type()).prop_map(|(c, n, t)| FieldRef::new(c, n, t))
+}
+
+fn arb_method_ref() -> impl Strategy<Value = MethodRef> {
+    (arb_name(), arb_name(), arb_desc()).prop_map(|(c, n, d)| MethodRef::new(c, n, d))
+}
+
+/// Instructions with branch targets bounded by `len` so the encoded
+/// offsets always land on real instructions.
+fn arb_insn(len: u16) -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        any::<i32>().prop_map(Insn::IConst),
+        Just(Insn::AConstNull),
+        (0u16..8).prop_map(Insn::ILoad),
+        (0u16..8).prop_map(Insn::IStore),
+        (0u16..8).prop_map(Insn::ALoad),
+        (0u16..8).prop_map(Insn::AStore),
+        Just(Insn::Pop),
+        Just(Insn::Dup),
+        Just(Insn::IAdd),
+        arb_name().prop_map(Insn::LdcClass),
+        arb_name().prop_map(Insn::New),
+        arb_field_ref().prop_map(Insn::GetField),
+        arb_field_ref().prop_map(Insn::PutField),
+        arb_method_ref().prop_map(Insn::InvokeVirtual),
+        arb_method_ref().prop_map(Insn::InvokeInterface),
+        arb_method_ref().prop_map(Insn::InvokeSpecial),
+        arb_method_ref().prop_map(Insn::InvokeStatic),
+        arb_name().prop_map(Insn::CheckCast),
+        arb_name().prop_map(Insn::InstanceOf),
+        (0..len).prop_map(Insn::Goto),
+        (0..len).prop_map(Insn::IfEq),
+        Just(Insn::Return),
+        Just(Insn::AReturn),
+        Just(Insn::IReturn),
+        Just(Insn::AThrow),
+    ]
+}
+
+fn arb_code() -> impl Strategy<Value = Code> {
+    (1u16..24).prop_flat_map(|len| {
+        (
+            prop::collection::vec(arb_insn(len), len as usize..=len as usize),
+            0u16..16,
+            0u16..16,
+        )
+            .prop_map(|(insns, max_stack, max_locals)| Code::new(max_stack, max_locals, insns))
+    })
+}
+
+fn arb_flags() -> impl Strategy<Value = Flags> {
+    // Any u16 round-trips; use realistic-ish combinations.
+    prop_oneof![
+        Just(Flags::PUBLIC),
+        Just(Flags::PUBLIC | Flags::FINAL),
+        Just(Flags::PUBLIC | Flags::STATIC),
+        Just(Flags::PUBLIC | Flags::ABSTRACT),
+        any::<u16>().prop_map(Flags::from_bits),
+    ]
+}
+
+fn arb_class() -> impl Strategy<Value = ClassFile> {
+    (
+        arb_name(),
+        arb_flags(),
+        prop::option::of(arb_name()),
+        prop::collection::vec(arb_name(), 0..3),
+        prop::collection::vec(
+            (arb_flags(), arb_name(), arb_type())
+                .prop_map(|(flags, name, ty)| FieldInfo { flags, name, ty }),
+            0..4,
+        ),
+        prop::collection::vec(
+            (arb_flags(), arb_name(), arb_desc(), prop::option::of(arb_code())).prop_map(
+                |(flags, name, desc, code)| MethodInfo {
+                    flags,
+                    name,
+                    desc,
+                    code,
+                },
+            ),
+            0..4,
+        ),
+    )
+        .prop_map(|(name, flags, superclass, interfaces, fields, methods)| ClassFile {
+            name,
+            flags,
+            superclass,
+            interfaces,
+            fields,
+            methods,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn class_roundtrip(class in arb_class()) {
+        let bytes = write_class(&class);
+        let back = read_class(&bytes)
+            .unwrap_or_else(|e| panic!("decode failed: {e} for {class:?}"));
+        prop_assert_eq!(back, class);
+    }
+
+    #[test]
+    fn truncation_never_panics(class in arb_class(), cut in 0usize..64) {
+        let bytes = write_class(&class);
+        let cut = cut.min(bytes.len());
+        // Decoding a truncated prefix must error, never panic.
+        let _ = read_class(&bytes[..bytes.len() - cut]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Binary Reduction over dependency-graph closures — the J-Reduce
+//! algorithm (Kalhauge & Palsberg, ESEC/FSE 2019).
+//!
+//! J-Reduce's five steps: (1) map the input to its dependency graph,
+//! (2) compute the closure of each node, (3) form a list of the closures,
+//! (4) run a reduction algorithm on the list, (5) output the union of the
+//! reduced list. Binary Reduction is the reduction algorithm of step 4: it
+//! repeatedly binary-searches the shortest closure-list prefix that still
+//! fails, learns that prefix's last closure, and shrinks the search space —
+//! exactly the special case of GBR where all constraints are graph
+//! constraints and progressions are closure lists.
+
+use crate::{Closure, DepGraph, Predicate};
+use lbr_logic::VarSet;
+
+/// Why a Binary Reduction run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinaryReductionError {
+    /// The predicate rejected the whole search space — `P(I)` was false or
+    /// the predicate is not monotone.
+    PredicateNotMonotone,
+}
+
+impl std::fmt::Display for BinaryReductionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinaryReductionError::PredicateNotMonotone => {
+                write!(f, "predicate rejected the whole search space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinaryReductionError {}
+
+/// The result of a successful Binary Reduction run.
+#[derive(Debug, Clone)]
+pub struct BinaryReductionOutcome {
+    /// The failure-inducing dependency-closed sub-input.
+    pub solution: VarSet,
+    /// Main-loop iterations (closures learned).
+    pub iterations: usize,
+}
+
+/// Runs Binary Reduction on the dependency graph.
+///
+/// Every tested sub-input is a union of transitive closures and therefore
+/// valid by construction. The required nodes of the graph (and their
+/// closure) are always kept.
+///
+/// # Errors
+///
+/// [`BinaryReductionError::PredicateNotMonotone`] if even the full input
+/// fails the predicate.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_core::{binary_reduction, DepGraph};
+/// use lbr_logic::{Var, VarSet};
+/// let mut g = DepGraph::new(4);
+/// g.add_edge(Var::new(0), Var::new(1));
+/// let mut bug = |s: &VarSet| s.contains(Var::new(1));
+/// let out = binary_reduction(&g, &mut bug).expect("reduces");
+/// assert_eq!(out.solution.iter().collect::<Vec<_>>(), vec![Var::new(1)]);
+/// ```
+pub fn binary_reduction(
+    graph: &DepGraph,
+    predicate: &mut dyn Predicate,
+) -> Result<BinaryReductionOutcome, BinaryReductionError> {
+    let closures = graph.closure_list();
+    let mut kept = graph.closure_of(graph.required().iter());
+    // Active closures not already inside `kept`, in dependency order.
+    let mut active: Vec<&Closure> = closures.iter().filter(|c| !c.set.is_subset(&kept)).collect();
+    let mut iterations = 0usize;
+
+    loop {
+        if predicate.test(&kept) {
+            return Ok(BinaryReductionOutcome {
+                solution: kept,
+                iterations,
+            });
+        }
+        if active.is_empty() {
+            return Err(BinaryReductionError::PredicateNotMonotone);
+        }
+        // Prefix unions U_r = kept ∪ closures[0..=r]; U_{last} is the whole
+        // remaining search space.
+        let mut prefix_unions: Vec<VarSet> = Vec::with_capacity(active.len());
+        let mut acc = kept.clone();
+        for c in &active {
+            acc.union_with(&c.set);
+            prefix_unions.push(acc.clone());
+        }
+        // Binary search the least r with P(U_r). `kept` itself failed
+        // (index "-1"); U at the last index is the whole remaining search
+        // space, presumed true by monotonicity.
+        let mut lo: isize = -1; // P false here (kept alone)
+        let mut hi = active.len() - 1; // P presumed true here
+        let mut hi_verified = false;
+        while hi as isize - lo > 1 {
+            let mid = ((lo + hi as isize) / 2) as usize;
+            if predicate.test(&prefix_unions[mid]) {
+                hi = mid;
+                hi_verified = true;
+            } else {
+                lo = mid as isize;
+            }
+        }
+        if !hi_verified && !predicate.test(&prefix_unions[hi]) {
+            return Err(BinaryReductionError::PredicateNotMonotone);
+        }
+        let r = hi;
+        // Learn: the closure at r must contribute to any failing input in
+        // this search space; keep it and shrink the space to the prefix.
+        kept.union_with(&active[r].set);
+        active.truncate(r);
+        active.retain(|c| !c.set.is_subset(&kept));
+        iterations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Oracle;
+    use lbr_logic::Var;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn keeps_required_closure() {
+        let mut g = DepGraph::new(3);
+        g.add_edge(v(0), v(1));
+        g.require(v(0));
+        let mut bug = |_: &VarSet| true;
+        let out = binary_reduction(&g, &mut bug).unwrap();
+        assert!(out.solution.contains(v(0)) && out.solution.contains(v(1)));
+        assert!(!out.solution.contains(v(2)));
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn finds_needed_closure() {
+        // Three independent chains; bug needs the head of chain 1.
+        let mut g = DepGraph::new(6);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(2), v(3));
+        g.add_edge(v(4), v(5));
+        let mut bug = |s: &VarSet| s.contains(v(2));
+        let out = binary_reduction(&g, &mut bug).unwrap();
+        assert!(out.solution.contains(v(2)) && out.solution.contains(v(3)));
+        assert_eq!(out.solution.len(), 2);
+    }
+
+    #[test]
+    fn conjunction_of_two_closures() {
+        let mut g = DepGraph::new(6);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(2), v(3));
+        g.add_edge(v(4), v(5));
+        let mut bug = |s: &VarSet| s.contains(v(1)) && s.contains(v(5));
+        let out = binary_reduction(&g, &mut bug).unwrap();
+        assert!(out.solution.contains(v(1)) && out.solution.contains(v(5)));
+        // Closure granularity can keep the heads (0 and 4) too, but must
+        // drop chain 2-3 entirely.
+        assert!(!out.solution.contains(v(2)) && !out.solution.contains(v(3)));
+    }
+
+    #[test]
+    fn cycle_is_all_or_nothing() {
+        // The paper's Section 2 class graph: the only closure containing M
+        // is everything.
+        let mut g = DepGraph::new(4); // M=0, A=1, B=2, I=3
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(0), v(3));
+        g.add_edge(v(1), v(3));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(2), v(3));
+        g.add_edge(v(3), v(2));
+        g.require(v(0));
+        let mut bug = |s: &VarSet| s.contains(v(0));
+        let out = binary_reduction(&g, &mut bug).unwrap();
+        assert_eq!(out.solution.len(), 4, "J-Reduce cannot reduce below class level");
+    }
+
+    #[test]
+    fn logarithmic_predicate_calls() {
+        let n = 128;
+        let mut g = DepGraph::new(n);
+        // 64 independent 2-chains.
+        for i in 0..64u32 {
+            g.add_edge(v(2 * i), v(2 * i + 1));
+        }
+        let mut bug = |s: &VarSet| s.contains(v(77));
+        let mut oracle = Oracle::new(&mut bug, 0.0);
+        let out = binary_reduction(&g, &mut oracle).unwrap();
+        assert!(out.solution.contains(v(77)));
+        assert!(
+            oracle.calls() <= 30,
+            "expected O(log) calls, got {}",
+            oracle.calls()
+        );
+    }
+
+    #[test]
+    fn rejecting_predicate_errors() {
+        let g = DepGraph::new(2);
+        let mut bug = |_: &VarSet| false;
+        assert_eq!(
+            binary_reduction(&g, &mut bug).unwrap_err(),
+            BinaryReductionError::PredicateNotMonotone
+        );
+    }
+
+    #[test]
+    fn every_tested_input_is_closed() {
+        let mut g = DepGraph::new(8);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(3), v(4));
+        g.add_edge(v(5), v(6));
+        g.require(v(7));
+        let gc = g.clone();
+        let mut bug = move |s: &VarSet| {
+            assert!(gc.is_closed(s), "tested input not dependency-closed: {s:?}");
+            s.contains(v(4))
+        };
+        let out = binary_reduction(&g, &mut bug).unwrap();
+        assert!(out.solution.contains(v(4)) && out.solution.contains(v(7)));
+    }
+}

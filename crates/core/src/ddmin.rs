@@ -1,0 +1,247 @@
+//! The classic `ddmin` algorithm (Zeller & Hildebrandt, 2002) with
+//! validity-aware outcomes.
+//!
+//! `ddmin` partitions the atoms of the input into `n` chunks and tests each
+//! chunk and each complement, doubling granularity when stuck. Running a
+//! sub-input has three outcomes — the paper's "the failure still happens,
+//! the failure is gone, and don't know" — captured by [`TestOutcome`]. The
+//! "don't know" outcome is the *test-case validity problem*: for inputs
+//! with internal dependencies most subsets are invalid, which is why ddmin
+//! "tends to produce disappointing results" on bytecode and why the paper's
+//! logical modeling wins.
+
+use lbr_logic::VarSet;
+
+/// Outcome of running the tool on a sub-input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestOutcome {
+    /// The failure is still induced (ddmin's *fail*, ✘).
+    Fail,
+    /// The program behaves correctly (ddmin's *pass*, ✔).
+    Pass,
+    /// The sub-input is invalid — nothing was learned (*don't know*, ?).
+    Unresolved,
+}
+
+/// Statistics of a [`ddmin`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DdminStats {
+    /// Total test invocations.
+    pub tests: u64,
+    /// Tests that came back [`TestOutcome::Unresolved`].
+    pub unresolved: u64,
+}
+
+/// Runs ddmin over `atoms` (disjoint groups of variables forming the
+/// reduction units), returning a 1-minimal failing subset of the atoms as a
+/// single variable set.
+///
+/// `test` receives the union of the candidate atoms. The initial input (all
+/// atoms) must fail; if it does not, the full input is returned unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_core::{ddmin, TestOutcome};
+/// use lbr_logic::{Var, VarSet};
+/// // Eight singleton atoms; the failure needs atoms 1 and 5.
+/// let atoms: Vec<VarSet> = (0..8)
+///     .map(|i| VarSet::from_iter_with_universe(8, [Var::new(i)]))
+///     .collect();
+/// let (result, _stats) = ddmin(&atoms, 8, |s| {
+///     if s.contains(Var::new(1)) && s.contains(Var::new(5)) {
+///         TestOutcome::Fail
+///     } else {
+///         TestOutcome::Pass
+///     }
+/// });
+/// assert_eq!(result.len(), 2);
+/// ```
+pub fn ddmin<F>(atoms: &[VarSet], universe: usize, mut test: F) -> (VarSet, DdminStats)
+where
+    F: FnMut(&VarSet) -> TestOutcome,
+{
+    let mut stats = DdminStats::default();
+    let mut current: Vec<VarSet> = atoms.to_vec();
+    let mut run = |s: &VarSet, stats: &mut DdminStats| {
+        stats.tests += 1;
+        let o = test(s);
+        if o == TestOutcome::Unresolved {
+            stats.unresolved += 1;
+        }
+        o
+    };
+
+    if current.is_empty() {
+        return (VarSet::empty(universe), stats);
+    }
+    let mut n = 2usize.min(current.len());
+
+    'outer: loop {
+        let chunks = partition(&current, n);
+        // Reduce to subset.
+        for chunk in &chunks {
+            let candidate = union_of(chunk, universe);
+            if run(&candidate, &mut stats) == TestOutcome::Fail {
+                current = chunk.clone();
+                n = 2.min(current.len().max(1));
+                if current.len() <= 1 {
+                    break 'outer;
+                }
+                continue 'outer;
+            }
+        }
+        // Reduce to complement.
+        if n > 2 || chunks.len() > 2 {
+            for (i, _) in chunks.iter().enumerate() {
+                let complement: Vec<VarSet> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .flat_map(|(_, c)| c.clone())
+                    .collect();
+                let candidate = union_of(&complement, universe);
+                if run(&candidate, &mut stats) == TestOutcome::Fail {
+                    current = complement;
+                    n = (n - 1).max(2).min(current.len());
+                    continue 'outer;
+                }
+            }
+        }
+        // Increase granularity.
+        if n >= current.len() {
+            break;
+        }
+        n = (2 * n).min(current.len());
+    }
+    (union_of(&current, universe), stats)
+}
+
+/// Splits a list of atoms into `n` nearly equal chunks.
+fn partition(atoms: &[VarSet], n: usize) -> Vec<Vec<VarSet>> {
+    let n = n.min(atoms.len()).max(1);
+    let base = atoms.len() / n;
+    let extra = atoms.len() % n;
+    let mut out = Vec::with_capacity(n);
+    let mut idx = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        out.push(atoms[idx..idx + size].to_vec());
+        idx += size;
+    }
+    out
+}
+
+fn union_of(atoms: &[VarSet], universe: usize) -> VarSet {
+    let mut s = VarSet::empty(universe);
+    for a in atoms {
+        s.union_with(a);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_logic::{Clause, Cnf, Var};
+
+    fn singletons(n: usize) -> Vec<VarSet> {
+        (0..n as u32)
+            .map(|i| VarSet::from_iter_with_universe(n, [Var::new(i)]))
+            .collect()
+    }
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn finds_single_atom() {
+        let atoms = singletons(16);
+        let (r, stats) = ddmin(&atoms, 16, |s| {
+            if s.contains(v(9)) {
+                TestOutcome::Fail
+            } else {
+                TestOutcome::Pass
+            }
+        });
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![v(9)]);
+        assert!(stats.tests > 0);
+    }
+
+    #[test]
+    fn finds_pair_across_chunks() {
+        let atoms = singletons(8);
+        let (r, _) = ddmin(&atoms, 8, |s| {
+            if s.contains(v(0)) && s.contains(v(7)) {
+                TestOutcome::Fail
+            } else {
+                TestOutcome::Pass
+            }
+        });
+        assert!(r.contains(v(0)) && r.contains(v(7)));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn validity_unresolved_counts() {
+        // Validity model: 0 ⇒ 1. Most subsets invalid.
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        let atoms = singletons(4);
+        let (r, stats) = ddmin(&atoms, 4, |s| {
+            if !cnf.eval(s) {
+                TestOutcome::Unresolved
+            } else if s.contains(v(0)) {
+                TestOutcome::Fail
+            } else {
+                TestOutcome::Pass
+            }
+        });
+        assert!(r.contains(v(0)) && r.contains(v(1)));
+        assert!(stats.unresolved > 0, "dependencies should cause don't-knows");
+    }
+
+    #[test]
+    fn empty_atoms() {
+        let (r, _) = ddmin(&[], 4, |_| TestOutcome::Pass);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn one_minimality() {
+        // The result must be 1-minimal: removing any single atom passes.
+        let atoms = singletons(12);
+        let needed = [v(2), v(5), v(11)];
+        let mut check = |s: &VarSet| {
+            if needed.iter().all(|&x| s.contains(x)) {
+                TestOutcome::Fail
+            } else {
+                TestOutcome::Pass
+            }
+        };
+        let (r, _) = ddmin(&atoms, 12, &mut check);
+        assert_eq!(r.len(), 3);
+        for x in r.clone().iter() {
+            let mut smaller = r.clone();
+            smaller.remove(x);
+            assert_eq!(check(&smaller), TestOutcome::Pass);
+        }
+    }
+
+    #[test]
+    fn partition_sizes() {
+        let atoms = singletons(7);
+        let chunks = partition(&atoms, 3);
+        assert_eq!(chunks.len(), 3);
+        let sizes: Vec<usize> = chunks.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn non_failing_input_returns_everything() {
+        let atoms = singletons(4);
+        let (r, _) = ddmin(&atoms, 4, |_| TestOutcome::Pass);
+        assert_eq!(r.len(), 4);
+    }
+}

@@ -1,0 +1,617 @@
+//! Generalized Binary Reduction (Algorithm 1 of the paper).
+//!
+//! GBR solves the Input Reduction Problem approximately in polynomial time.
+//! It interleaves two building blocks: runs of the black-box predicate `P`
+//! and computations of an approximate minimal satisfying assignment
+//! ([`msa`](lbr_logic::msa)). The key data structure is the *progression* —
+//! a list of disjoint variable sets every prefix of which is a valid
+//! sub-input — so `P` is only ever applied to valid inputs.
+//!
+//! The main loop (quoting the paper): while `¬P(D₀)`, find the minimal
+//! prefix `D^∪_r` of the progression that satisfies `P` (by binary search),
+//! learn the set `D_r` (some element of it must be in every solution within
+//! the current search space), and rebuild the progression over the smaller
+//! search space `D^∪_r` with the learned clause conjoined.
+
+use crate::{Instance, Predicate};
+use lbr_logic::{msa, Clause, Cnf, MsaStrategy, VarOrder, VarSet};
+
+/// Configuration for [`generalized_binary_reduction`].
+#[derive(Debug, Clone)]
+pub struct GbrConfig {
+    /// Strategy for the approximate minimal-satisfying-assignment calls.
+    pub msa_strategy: MsaStrategy,
+    /// Safety bound on main-loop iterations (defaults to a generous
+    /// multiple of `|I|`; the paper proves at most `|I|` are needed when
+    /// the predicate is monotone).
+    pub max_iterations: Option<usize>,
+    /// Anytime budget: stop after this many predicate invocations and
+    /// return the smallest valid failing input seen so far. This is the
+    /// paper's "fixed time window" scenario — "we can stop both algorithms
+    /// at any point in the execution and use the smallest input until that
+    /// point that preserves the error message."
+    pub max_predicate_calls: Option<u64>,
+}
+
+impl Default for GbrConfig {
+    fn default() -> Self {
+        GbrConfig {
+            msa_strategy: MsaStrategy::GreedyClosure,
+            max_iterations: None,
+            max_predicate_calls: None,
+        }
+    }
+}
+
+/// Why a GBR run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GbrError {
+    /// The validity model `R⁺` became unsatisfiable — the instance's
+    /// assumptions (`R_I(I)` holds) were violated.
+    ModelUnsatisfiable,
+    /// The predicate rejected the whole search space, contradicting the
+    /// monotonicity assumption (or `P(I)` was false to begin with).
+    PredicateNotMonotone,
+    /// The iteration safety bound was hit.
+    IterationLimit,
+}
+
+impl std::fmt::Display for GbrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GbrError::ModelUnsatisfiable => write!(f, "dependency model became unsatisfiable"),
+            GbrError::PredicateNotMonotone => {
+                write!(f, "predicate rejected the whole search space (not monotone, or P(I) false)")
+            }
+            GbrError::IterationLimit => write!(f, "iteration safety bound exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for GbrError {}
+
+/// The result of a successful GBR run.
+#[derive(Debug, Clone)]
+pub struct GbrOutcome {
+    /// The failure-inducing valid sub-input `D₀` (or, when the anytime
+    /// budget ran out, the smallest failing input seen so far).
+    pub solution: VarSet,
+    /// Main-loop iterations executed (learned sets added).
+    pub iterations: usize,
+    /// The learned sets `L`, in learning order.
+    pub learned: Vec<VarSet>,
+    /// Length of each progression built (diagnostics).
+    pub progression_lengths: Vec<usize>,
+    /// Whether the run stopped because `max_predicate_calls` was reached
+    /// (the solution is then a best-effort answer, not a converged one).
+    pub budget_exhausted: bool,
+}
+
+/// Runs Generalized Binary Reduction on `(I, P, R_I)`.
+///
+/// `order` is the total variable order `<` that drives both `MSA_<` and the
+/// progression seeds. On success the returned solution satisfies both the
+/// predicate and the validity model.
+///
+/// # Errors
+///
+/// See [`GbrError`]. In particular the instance must satisfy the paper's
+/// assumptions: `R_I(I)` and `P(I)` hold and `P` is monotone on valid
+/// sub-inputs.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_core::{closure_size_order, generalized_binary_reduction, GbrConfig, Instance};
+/// use lbr_logic::{Clause, Cnf, Var, VarSet};
+///
+/// // Model: 0 ⇒ 1. Bug needs variable 1.
+/// let mut cnf = Cnf::new(3);
+/// cnf.add_clause(Clause::edge(Var::new(0), Var::new(1)));
+/// let order = closure_size_order(&cnf);
+/// let instance = Instance::over_all_vars(cnf);
+/// let mut bug = |s: &VarSet| s.contains(Var::new(1));
+/// let out = generalized_binary_reduction(&instance, &order, &mut bug, &GbrConfig::default())
+///     .expect("reduction succeeds");
+/// assert_eq!(out.solution.iter().collect::<Vec<_>>(), vec![Var::new(1)]);
+/// ```
+pub fn generalized_binary_reduction(
+    instance: &Instance,
+    order: &VarOrder,
+    predicate: &mut dyn Predicate,
+    config: &GbrConfig,
+) -> Result<GbrOutcome, GbrError> {
+    let universe = instance.vars.universe();
+    let mut learned: Vec<VarSet> = Vec::new();
+    let mut search_space = instance.vars.clone();
+    let mut progression = build_progression(
+        &instance.cnf,
+        order,
+        config.msa_strategy,
+        &learned,
+        &search_space,
+    )?;
+    let mut progression_lengths = vec![progression.len()];
+    let max_iterations = config
+        .max_iterations
+        .unwrap_or_else(|| 4 * instance.vars.len() + 16);
+    let mut budget = Budgeted {
+        inner: predicate,
+        calls: 0,
+        limit: config.max_predicate_calls,
+        best: None,
+    };
+
+    for iteration in 0..=max_iterations {
+        if iteration == max_iterations {
+            return Err(GbrError::IterationLimit);
+        }
+        // Anytime stop: the current search space is itself a valid failing
+        // input (invariant), so a best-so-far answer always exists.
+        let Some(d0_fails) = budget.test(&progression[0]) else {
+            return Ok(anytime_outcome(budget, search_space, iteration, learned, progression_lengths));
+        };
+        if d0_fails {
+            return Ok(GbrOutcome {
+                solution: progression[0].clone(),
+                iterations: iteration,
+                learned,
+                progression_lengths,
+                budget_exhausted: false,
+            });
+        }
+        if progression.len() == 1 {
+            // D^∪ = D₀ and P(D₀) failed: the invariant P(D^∪) is broken.
+            return Err(GbrError::PredicateNotMonotone);
+        }
+        // Prefix unions D^∪_r for r in 0..len.
+        let mut prefix_unions: Vec<VarSet> = Vec::with_capacity(progression.len());
+        let mut acc = VarSet::empty(universe);
+        for d in &progression {
+            acc.union_with(d);
+            prefix_unions.push(acc.clone());
+        }
+        // Binary search for the minimal r with P(D^∪_r). Invariant
+        // (INV-PRO) guarantees P holds at the full progression; lo is
+        // always a failing index, hi a (presumed) succeeding one.
+        let mut lo = 0usize;
+        let mut hi = progression.len() - 1;
+        let mut hi_verified = false;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let Some(mid_fails) = budget.test(&prefix_unions[mid]) else {
+                return Ok(anytime_outcome(budget, search_space, iteration, learned, progression_lengths));
+            };
+            if mid_fails {
+                hi = mid;
+                hi_verified = true;
+            } else {
+                lo = mid;
+            }
+        }
+        if !hi_verified {
+            match budget.test(&prefix_unions[hi]) {
+                None => {
+                    return Ok(anytime_outcome(budget, search_space, iteration, learned, progression_lengths))
+                }
+                Some(false) => return Err(GbrError::PredicateNotMonotone),
+                Some(true) => {}
+            }
+        }
+        let r = hi;
+        learned.push(progression[r].clone());
+        search_space = prefix_unions[r].clone();
+        progression = build_progression(
+            &instance.cnf,
+            order,
+            config.msa_strategy,
+            &learned,
+            &search_space,
+        )?;
+        progression_lengths.push(progression.len());
+    }
+    unreachable!("loop returns or errors before exhausting the range");
+}
+
+/// A predicate wrapper enforcing the anytime call budget and remembering
+/// the smallest passing (still-failing-the-tool) input seen.
+struct Budgeted<'p> {
+    inner: &'p mut dyn Predicate,
+    calls: u64,
+    limit: Option<u64>,
+    best: Option<VarSet>,
+}
+
+impl Budgeted<'_> {
+    /// Runs the predicate; `None` once the budget is exhausted.
+    fn test(&mut self, input: &VarSet) -> Option<bool> {
+        if self.limit.is_some_and(|l| self.calls >= l) {
+            return None;
+        }
+        self.calls += 1;
+        let outcome = self.inner.test(input);
+        if outcome && self.best.as_ref().is_none_or(|b| input.len() < b.len()) {
+            self.best = Some(input.clone());
+        }
+        Some(outcome)
+    }
+}
+
+fn anytime_outcome(
+    budget: Budgeted<'_>,
+    search_space: VarSet,
+    iterations: usize,
+    learned: Vec<VarSet>,
+    progression_lengths: Vec<usize>,
+) -> GbrOutcome {
+    GbrOutcome {
+        solution: budget.best.unwrap_or(search_space),
+        iterations,
+        learned,
+        progression_lengths,
+        budget_exhausted: true,
+    }
+}
+
+/// The `PROGRESSION_{R_I,<}(L, J)` subroutine.
+///
+/// Produces a non-empty list of disjoint subsets of `J` whose union is `J`,
+/// such that (a) every prefix union is a model of `R_I` restricted to `J`
+/// and (b) every prefix union overlaps every learned set in `L`.
+///
+/// Entry 0 is `MSA_<(R⁺)`; entry `k+1` is built by picking the `<`-least
+/// uncovered variable `x` and computing `MSA_<(R⁺ ∧ x | D^∪_k = 1)`.
+pub fn build_progression(
+    cnf: &Cnf,
+    order: &VarOrder,
+    strategy: MsaStrategy,
+    learned: &[VarSet],
+    search_space: &VarSet,
+) -> Result<Vec<VarSet>, GbrError> {
+    let universe = search_space.universe();
+    let no_force = VarSet::empty(universe);
+    // R⁺: conjoin one positive clause per learned set, then set variables
+    // outside J to false.
+    let mut rplus = cnf.restrict(search_space, &no_force);
+    for l in learned {
+        let members: Vec<_> = l.iter().filter(|v| search_space.contains(*v)).collect();
+        if members.is_empty() {
+            return Err(GbrError::ModelUnsatisfiable);
+        }
+        rplus.add_clause(Clause::implication([], members));
+    }
+
+    let d0 = msa(&rplus, order, strategy).ok_or(GbrError::ModelUnsatisfiable)?;
+    let mut covered = d0.clone();
+    // Condition away what is already decided true; remaining clauses range
+    // over J \ covered.
+    let mut current = rplus.restrict(search_space, &covered);
+    let mut progression = vec![d0];
+
+    while let Some(x) = order.min_in_difference(search_space, &covered) {
+        let mut seed = VarSet::empty(universe);
+        seed.insert(x);
+        let conditioned = current.restrict(search_space, &seed);
+        match msa(&conditioned, order, strategy) {
+            Some(extra) => {
+                let mut entry = extra;
+                entry.insert(x);
+                covered.union_with(&entry);
+                current = current.restrict(search_space, &entry);
+                progression.push(entry);
+            }
+            None => {
+                // `x` cannot be made true inside this search space. Close
+                // the progression with the whole remainder: its prefix is
+                // the full search space, which is valid by assumption.
+                let rest = search_space.difference(&covered);
+                covered.union_with(&rest);
+                progression.push(rest);
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(covered, *search_space, "progression must cover J");
+    #[cfg(debug_assertions)]
+    check_progression_invariants(cnf, learned, search_space, &progression);
+    Ok(progression)
+}
+
+/// Debug-mode check of Lemma 4.3's progression invariants: entries are
+/// disjoint (INV-D), every prefix union is a model of `R_I` restricted to
+/// `J`, and every prefix overlaps every learned set (INV-PRO).
+#[cfg(debug_assertions)]
+fn check_progression_invariants(
+    cnf: &Cnf,
+    learned: &[VarSet],
+    search_space: &VarSet,
+    progression: &[VarSet],
+) {
+    let universe = search_space.universe();
+    let no_force = VarSet::empty(universe);
+    let restricted = cnf.restrict(search_space, &no_force);
+    let mut acc = VarSet::empty(universe);
+    for (i, d) in progression.iter().enumerate() {
+        assert!(acc.is_disjoint(d), "INV-D violated at entry {i}");
+        acc.union_with(d);
+        // The final entry may be the unshrunk remainder (the fallback when
+        // a variable cannot be made true); its prefix is the whole search
+        // space, valid by the instance's assumption rather than by MSA.
+        let is_fallback_tail = i + 1 == progression.len() && acc == *search_space;
+        assert!(
+            restricted.eval(&acc) || is_fallback_tail,
+            "INV-PRO validity violated at prefix {i}"
+        );
+        for (k, l) in learned.iter().enumerate() {
+            assert!(
+                !acc.is_disjoint(l),
+                "INV-PRO overlap violated: prefix {i} misses learned set {k}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Oracle;
+    use lbr_logic::{Lit, Var};
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    fn chain_instance(n: usize) -> Instance {
+        // 0 ⇒ 1 ⇒ … ⇒ n-1
+        let mut cnf = Cnf::new(n);
+        for i in 0..n - 1 {
+            cnf.add_clause(Clause::edge(v(i as u32), v(i as u32 + 1)));
+        }
+        Instance::over_all_vars(cnf)
+    }
+
+    #[test]
+    fn progression_prefixes_are_valid_and_disjoint() {
+        let inst = chain_instance(6);
+        let order = VarOrder::natural(6);
+        let prog = build_progression(
+            &inst.cnf,
+            &order,
+            MsaStrategy::GreedyClosure,
+            &[],
+            &inst.vars,
+        )
+        .expect("progression");
+        let mut acc = VarSet::empty(6);
+        for (i, d) in prog.iter().enumerate() {
+            assert!(acc.is_disjoint(d), "entry {i} overlaps prefix");
+            acc.union_with(d);
+            assert!(inst.cnf.eval(&acc), "prefix {i} invalid");
+        }
+        assert_eq!(acc, inst.vars);
+    }
+
+    #[test]
+    fn progression_overlaps_learned_sets() {
+        let inst = chain_instance(6);
+        let order = VarOrder::natural(6);
+        let learned = vec![VarSet::from_iter_with_universe(6, [v(4)])];
+        let prog = build_progression(
+            &inst.cnf,
+            &order,
+            MsaStrategy::GreedyClosure,
+            &learned,
+            &inst.vars,
+        )
+        .expect("progression");
+        // D0 must contain v4 (and therefore v5 by the chain).
+        assert!(prog[0].contains(v(4)));
+        assert!(prog[0].contains(v(5)));
+    }
+
+    #[test]
+    fn finds_single_required_var() {
+        let inst = chain_instance(8);
+        let order = crate::closure_size_order(&inst.cnf);
+        // Bug requires exactly variable 5 (and validity pulls 6, 7).
+        let mut bug = |s: &VarSet| s.contains(v(5));
+        let out =
+            generalized_binary_reduction(&inst, &order, &mut bug, &GbrConfig::default()).unwrap();
+        assert!(out.solution.contains(v(5)));
+        assert!(inst.cnf.eval(&out.solution));
+        // Chain validity forces 6 and 7 as well; nothing below 5 needed.
+        assert!(!out.solution.contains(v(0)));
+        assert_eq!(out.solution.len(), 3);
+    }
+
+    #[test]
+    fn finds_conjunction_of_two_vars() {
+        // No constraints at all; bug needs both 2 and 6.
+        let inst = Instance::over_all_vars(Cnf::new(8));
+        let order = VarOrder::natural(8);
+        let mut bug = |s: &VarSet| s.contains(v(2)) && s.contains(v(6));
+        let out =
+            generalized_binary_reduction(&inst, &order, &mut bug, &GbrConfig::default()).unwrap();
+        let got: Vec<Var> = out.solution.iter().collect();
+        assert_eq!(got, vec![v(2), v(6)]);
+        assert_eq!(out.iterations, 2); // one learned set per variable
+    }
+
+    #[test]
+    fn respects_non_graph_constraints() {
+        // (2 ∧ 3) ⇒ 4; bug needs 2 and 3 — solution must include 4.
+        let mut cnf = Cnf::new(5);
+        cnf.add_clause(Clause::implication([v(2), v(3)], [v(4)]));
+        let inst = Instance::over_all_vars(cnf);
+        let order = VarOrder::natural(5);
+        let mut bug = |s: &VarSet| s.contains(v(2)) && s.contains(v(3));
+        let out =
+            generalized_binary_reduction(&inst, &order, &mut bug, &GbrConfig::default()).unwrap();
+        assert!(out.solution.contains(v(4)));
+        assert!(inst.cnf.eval(&out.solution));
+        assert!(!out.solution.contains(v(0)));
+    }
+
+    #[test]
+    fn paper_suboptimality_example() {
+        // Section 4.4: (a ∧ b ⇒ c) ∧ (c ⇒ b), P true iff b, order (c, b, a).
+        // GBR returns {b, c}, suboptimal vs {b}.
+        let (c, b, a) = (v(0), v(1), v(2));
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([a, b], [c]));
+        cnf.add_clause(Clause::edge(c, b));
+        let inst = Instance::over_all_vars(cnf);
+        let order = VarOrder::from_permutation(vec![c, b, a]);
+        let mut bug = |s: &VarSet| s.contains(b);
+        let out =
+            generalized_binary_reduction(&inst, &order, &mut bug, &GbrConfig::default()).unwrap();
+        let got: Vec<Var> = out.solution.iter().collect();
+        assert_eq!(got, vec![c, b], "expected the paper's suboptimal {{b, c}}");
+    }
+
+    #[test]
+    fn local_minimality_on_graph_constraints() {
+        // Theorem 4.5: with only graph constraints and a well-picked order
+        // (closure-size ascending), the solution is locally minimal —
+        // removing any single variable breaks P or validity.
+        let mut cnf = Cnf::new(6);
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        cnf.add_clause(Clause::edge(v(2), v(3)));
+        cnf.add_clause(Clause::edge(v(4), v(5)));
+        let inst = Instance::over_all_vars(cnf.clone());
+        let order = crate::closure_size_order(&cnf);
+        let mut bug = |s: &VarSet| s.contains(v(1)) && s.contains(v(3));
+        let out =
+            generalized_binary_reduction(&inst, &order, &mut bug, &GbrConfig::default()).unwrap();
+        let bug2 = |s: &VarSet| s.contains(v(1)) && s.contains(v(3));
+        assert!(bug2(&out.solution));
+        assert_eq!(out.solution.len(), 2, "optimal is {{1, 3}}");
+        for rem in out.solution.clone().iter() {
+            let mut smaller = out.solution.clone();
+            smaller.remove(rem);
+            let still_valid = inst.cnf.eval(&smaller);
+            assert!(
+                !still_valid || !bug2(&smaller),
+                "removing {rem} kept a valid failing input — not locally minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_order_can_be_suboptimal_on_chains() {
+        // With the *natural* order on a chain, the first progression is
+        // [∅, everything]: GBR learns nothing useful and returns the whole
+        // chain. This motivates `closure_size_order`.
+        let inst = chain_instance(8);
+        let natural = VarOrder::natural(8);
+        let mut bug = |s: &VarSet| s.contains(v(5));
+        let out =
+            generalized_binary_reduction(&inst, &natural, &mut bug, &GbrConfig::default())
+                .unwrap();
+        assert_eq!(out.solution.len(), 8, "natural order keeps everything");
+        // The closure-size order recovers the minimal suffix {5, 6, 7}.
+        let good = crate::closure_size_order(&inst.cnf);
+        let mut bug = |s: &VarSet| s.contains(v(5));
+        let out =
+            generalized_binary_reduction(&inst, &good, &mut bug, &GbrConfig::default()).unwrap();
+        assert_eq!(out.solution.len(), 3);
+    }
+
+    #[test]
+    fn anytime_budget_returns_best_so_far() {
+        let inst = chain_instance(32);
+        let order = crate::closure_size_order(&inst.cnf);
+        // Converged run for reference.
+        let mut bug = |s: &VarSet| s.contains(v(20));
+        let full = generalized_binary_reduction(&inst, &order, &mut bug, &GbrConfig::default())
+            .expect("converges");
+        assert!(!full.budget_exhausted);
+        // A budget of 2 calls cannot converge, but must return something
+        // valid and failing.
+        for limit in [1u64, 2, 3, 5] {
+            let mut bug = |s: &VarSet| s.contains(v(20));
+            let config = GbrConfig {
+                max_predicate_calls: Some(limit),
+                ..GbrConfig::default()
+            };
+            let out = generalized_binary_reduction(&inst, &order, &mut bug, &config)
+                .expect("anytime result");
+            if out.budget_exhausted {
+                assert!(inst.cnf.eval(&out.solution), "limit {limit}: invalid");
+                assert!(out.solution.contains(v(20)), "limit {limit}: failure lost");
+                assert!(out.solution.len() >= full.solution.len());
+            } else {
+                assert_eq!(out.solution, full.solution);
+            }
+        }
+        // A generous budget converges to the same answer.
+        let mut bug = |s: &VarSet| s.contains(v(20));
+        let config = GbrConfig {
+            max_predicate_calls: Some(10_000),
+            ..GbrConfig::default()
+        };
+        let out = generalized_binary_reduction(&inst, &order, &mut bug, &config).unwrap();
+        assert!(!out.budget_exhausted);
+        assert_eq!(out.solution, full.solution);
+    }
+
+    #[test]
+    fn non_monotone_predicate_is_detected() {
+        let inst = Instance::over_all_vars(Cnf::new(4));
+        let order = VarOrder::natural(4);
+        // P is false everywhere — violates P(I).
+        let mut bug = |_: &VarSet| false;
+        let err = generalized_binary_reduction(&inst, &order, &mut bug, &GbrConfig::default())
+            .unwrap_err();
+        assert_eq!(err, GbrError::PredicateNotMonotone);
+    }
+
+    #[test]
+    fn unsatisfiable_model_is_detected() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::unit(Lit::pos(v(0))));
+        cnf.add_clause(Clause::unit(Lit::neg(v(0))));
+        let inst = Instance::over_all_vars(cnf);
+        let order = VarOrder::natural(2);
+        let mut bug = |_: &VarSet| true;
+        let err = generalized_binary_reduction(&inst, &order, &mut bug, &GbrConfig::default())
+            .unwrap_err();
+        assert_eq!(err, GbrError::ModelUnsatisfiable);
+    }
+
+    #[test]
+    fn oracle_counts_polynomially_on_chain() {
+        let n = 64;
+        let inst = chain_instance(n);
+        let order = crate::closure_size_order(&inst.cnf);
+        let mut bug = |s: &VarSet| s.contains(v(40));
+        let mut oracle = Oracle::new(&mut bug, 0.0);
+        let out =
+            generalized_binary_reduction(&inst, &order, &mut oracle, &GbrConfig::default())
+                .unwrap();
+        assert!(out.solution.contains(v(40)));
+        assert_eq!(out.solution.len(), 24, "minimal suffix {{40..63}}");
+        // One search: ~log2(n) + constant probes.
+        assert!(
+            oracle.calls() <= 2 * (n as u64).ilog2() as u64 + 8,
+            "too many predicate calls: {}",
+            oracle.calls()
+        );
+    }
+
+    #[test]
+    fn all_msa_strategies_reduce() {
+        let inst = chain_instance(10);
+        let order = crate::closure_size_order(&inst.cnf);
+        for strategy in MsaStrategy::ALL {
+            let mut bug = |s: &VarSet| s.contains(v(7));
+            let config = GbrConfig {
+                msa_strategy: strategy,
+                ..GbrConfig::default()
+            };
+            let out = generalized_binary_reduction(&inst, &order, &mut bug, &config).unwrap();
+            assert!(out.solution.contains(v(7)), "{strategy:?}");
+            assert!(inst.cnf.eval(&out.solution), "{strategy:?}");
+        }
+    }
+}

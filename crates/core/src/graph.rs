@@ -1,0 +1,350 @@
+//! Dependency graphs, strongly connected components, and closures.
+//!
+//! J-Reduce (Kalhauge & Palsberg, ESEC/FSE 2019) models validity with a
+//! dependency graph: an edge `x → y` means "keeping x requires keeping y",
+//! and the valid sub-inputs are exactly the transitive closures. This module
+//! provides the graph, Tarjan's SCC algorithm, per-node closures, and the
+//! topologically ordered closure list that Binary Reduction consumes.
+
+use lbr_logic::{Clause, ClauseShape, Cnf, Var, VarSet};
+
+/// A dependency graph over variables `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_core::DepGraph;
+/// use lbr_logic::Var;
+/// let mut g = DepGraph::new(3);
+/// g.add_edge(Var::new(0), Var::new(1));
+/// g.add_edge(Var::new(1), Var::new(2));
+/// let c = g.closure_of([Var::new(0)]);
+/// assert_eq!(c.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    n: usize,
+    adj: Vec<Vec<Var>>,
+    required: VarSet,
+}
+
+impl DepGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DepGraph {
+            n,
+            adj: vec![Vec::new(); n],
+            required: VarSet::empty(n),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the dependency `from → to` ("keeping `from` requires `to`").
+    pub fn add_edge(&mut self, from: Var, to: Var) {
+        assert!(from.index() < self.n && to.index() < self.n, "node out of range");
+        if from != to && !self.adj[from.index()].contains(&to) {
+            self.adj[from.index()].push(to);
+        }
+    }
+
+    /// Marks a node as required in every sub-input.
+    pub fn require(&mut self, v: Var) {
+        self.required.insert(v);
+    }
+
+    /// The set of required nodes.
+    pub fn required(&self) -> &VarSet {
+        &self.required
+    }
+
+    /// Successors of `v`.
+    pub fn successors(&self, v: Var) -> &[Var] {
+        &self.adj[v.index()]
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// The transitive closure of a seed set (the seed, all required nodes'
+    /// closure excluded — pure reachability from `seed`).
+    pub fn closure_of<I: IntoIterator<Item = Var>>(&self, seed: I) -> VarSet {
+        let mut out = VarSet::empty(self.n);
+        let mut stack: Vec<Var> = seed.into_iter().collect();
+        while let Some(v) = stack.pop() {
+            if out.insert(v) {
+                stack.extend(self.adj[v.index()].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Whether `sub` is dependency-closed (every edge from a member stays
+    /// inside) and contains all required nodes.
+    pub fn is_closed(&self, sub: &VarSet) -> bool {
+        if !self.required.is_subset(sub) {
+            return false;
+        }
+        sub.iter().all(|v| self.adj[v.index()].iter().all(|t| sub.contains(*t)))
+    }
+
+    /// Converts to the equivalent CNF (edges become implications, required
+    /// nodes become positive units) — a *graph constraint* in the paper's
+    /// terminology.
+    pub fn to_cnf(&self) -> Cnf {
+        let mut cnf = Cnf::new(self.n);
+        for v in 0..self.n {
+            for &t in &self.adj[v] {
+                cnf.add_clause(Clause::edge(Var::new(v as u32), t));
+            }
+        }
+        for r in self.required.iter() {
+            cnf.add_clause(Clause::unit(lbr_logic::Lit::pos(r)));
+        }
+        cnf
+    }
+
+    /// Builds a graph from a CNF consisting solely of graph constraints.
+    ///
+    /// Returns `None` if any clause is not an edge or a positive unit — use
+    /// [`lossy_encode`](crate::lossy_encode) first for general CNF.
+    pub fn from_graph_cnf(cnf: &Cnf) -> Option<Self> {
+        let mut g = DepGraph::new(cnf.num_vars());
+        for c in cnf.clauses() {
+            match c.shape() {
+                ClauseShape::Edge { from, to } => g.add_edge(from, to),
+                ClauseShape::UnitPositive(v) => g.require(v),
+                _ => return None,
+            }
+        }
+        Some(g)
+    }
+
+    /// Computes strongly connected components with Tarjan's algorithm.
+    ///
+    /// Components are returned in *reverse topological order of the
+    /// condensation*: if component `A` has an edge to component `B`
+    /// (A depends on B), then `B` appears before `A`. This is the order a
+    /// progression wants — every prefix of closures is dependency-closed.
+    pub fn sccs(&self) -> Vec<Vec<Var>> {
+        Tarjan::run(self)
+    }
+
+    /// The topologically ordered closure list (Step 2–3 of the J-Reduce
+    /// recipe): one entry per SCC, in dependency order, each entry being the
+    /// full transitive closure of that SCC.
+    pub fn closure_list(&self) -> Vec<Closure> {
+        self.sccs()
+            .into_iter()
+            .map(|scc| {
+                let set = self.closure_of(scc.iter().copied());
+                Closure { scc, set }
+            })
+            .collect()
+    }
+}
+
+/// One entry of a closure list: a strongly connected component and its full
+/// transitive closure.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// The members of the SCC itself.
+    pub scc: Vec<Var>,
+    /// The transitive closure of the SCC (includes the SCC).
+    pub set: VarSet,
+}
+
+/// Iterative Tarjan SCC.
+struct Tarjan<'g> {
+    graph: &'g DepGraph,
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<Var>,
+    next_index: u32,
+    out: Vec<Vec<Var>>,
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+impl<'g> Tarjan<'g> {
+    fn run(graph: &'g DepGraph) -> Vec<Vec<Var>> {
+        let n = graph.len();
+        let mut t = Tarjan {
+            graph,
+            index: vec![UNVISITED; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            out: Vec::new(),
+        };
+        for v in 0..n {
+            if t.index[v] == UNVISITED {
+                t.visit(Var::new(v as u32));
+            }
+        }
+        // Tarjan emits components in reverse topological order of the
+        // condensation (callees before callers), which is what we want.
+        t.out
+    }
+
+    fn visit(&mut self, root: Var) {
+        // Explicit stack: (node, next-successor-index).
+        let mut work: Vec<(Var, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut si)) = work.last_mut() {
+            if *si == 0 {
+                self.index[v.index()] = self.next_index;
+                self.lowlink[v.index()] = self.next_index;
+                self.next_index += 1;
+                self.stack.push(v);
+                self.on_stack[v.index()] = true;
+            }
+            if let Some(&w) = self.graph.adj[v.index()].get(*si) {
+                *si += 1;
+                if self.index[w.index()] == UNVISITED {
+                    work.push((w, 0));
+                } else if self.on_stack[w.index()] {
+                    self.lowlink[v.index()] =
+                        self.lowlink[v.index()].min(self.index[w.index()]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    self.lowlink[parent.index()] =
+                        self.lowlink[parent.index()].min(self.lowlink[v.index()]);
+                }
+                if self.lowlink[v.index()] == self.index[v.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = self.stack.pop().expect("scc stack non-empty");
+                        self.on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    self.out.push(comp);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    fn paper_class_graph() -> DepGraph {
+        // Section 2 class-level graph: M -> A, M -> I, A -> I, A -> B,
+        // B -> I, I -> B.  Nodes: M=0, A=1, B=2, I=3.
+        let mut g = DepGraph::new(4);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(0), v(3));
+        g.add_edge(v(1), v(3));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(2), v(3));
+        g.add_edge(v(3), v(2));
+        g.require(v(0));
+        g
+    }
+
+    #[test]
+    fn closure_reaches_everything_from_m() {
+        // The paper's point: the only closure containing M is all classes.
+        let g = paper_class_graph();
+        let c = g.closure_of([v(0)]);
+        assert_eq!(c.len(), 4);
+        assert!(g.is_closed(&c));
+    }
+
+    #[test]
+    fn sccs_group_cycle() {
+        let g = paper_class_graph();
+        let sccs = g.sccs();
+        // {B, I} form a cycle; M and A are singletons.
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().any(|s| s == &vec![v(2), v(3)]));
+        // Dependency order: {B,I} first, then A, then M.
+        assert_eq!(sccs.last().expect("nonempty"), &vec![v(0)]);
+    }
+
+    #[test]
+    fn closure_list_prefixes_are_closed() {
+        let g = paper_class_graph();
+        let list = g.closure_list();
+        let mut acc = VarSet::empty(g.len());
+        for closure in &list {
+            acc.union_with(&closure.set);
+            // Prefix unions are dependency-closed (ignoring `required`).
+            for m in acc.iter() {
+                for &t in g.successors(m) {
+                    assert!(acc.contains(t));
+                }
+            }
+        }
+        assert_eq!(acc.len(), 4);
+    }
+
+    #[test]
+    fn cnf_roundtrip() {
+        let g = paper_class_graph();
+        let cnf = g.to_cnf();
+        assert!(cnf.clauses().iter().all(|c| c.is_graph_constraint()));
+        let g2 = DepGraph::from_graph_cnf(&cnf).expect("graph cnf");
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.required(), g.required());
+    }
+
+    #[test]
+    fn from_cnf_rejects_general_clauses() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([v(0), v(1)], [v(2)]));
+        assert!(DepGraph::from_graph_cnf(&cnf).is_none());
+    }
+
+    #[test]
+    fn is_closed_checks_required() {
+        let g = paper_class_graph();
+        let empty = VarSet::empty(4);
+        assert!(!g.is_closed(&empty)); // M required
+        let all = VarSet::full(4);
+        assert!(g.is_closed(&all));
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        let n = 50_000;
+        let mut g = DepGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(v(i as u32), v(i as u32 + 1));
+        }
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), n);
+        // Dependency order: the sink (n-1) first.
+        assert_eq!(sccs[0], vec![v(n as u32 - 1)]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = DepGraph::new(1);
+        g.add_edge(v(0), v(0));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.sccs().len(), 1);
+    }
+}

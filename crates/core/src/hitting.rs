@@ -1,0 +1,101 @@
+//! The Hitting Set reduction behind Theorem 4.2.
+//!
+//! The Input Reduction Problem is NP-complete because the Hitting Set
+//! Problem (Karp, 1972) reduces to it: given a collection of sets
+//! `S₁, …, Sₖ` over a universe `U` and a budget `k`, build the instance
+//! whose variables are `U`, whose validity model is trivial (`R_I = true`),
+//! and whose predicate accepts a subset iff it intersects every `Sᵢ`. A
+//! failure-inducing sub-input of size ≤ k is then exactly a hitting set of
+//! size ≤ k. This module provides the constructive mapping (useful both as
+//! documentation and as a stress generator for the algorithms).
+
+use crate::{Instance, Predicate};
+use lbr_logic::{Cnf, Var, VarSet};
+
+/// A Hitting Set instance: sets over the universe `0..universe`.
+#[derive(Debug, Clone)]
+pub struct HittingSet {
+    /// Universe size.
+    pub universe: usize,
+    /// The sets that must each be hit.
+    pub sets: Vec<VarSet>,
+}
+
+impl HittingSet {
+    /// Creates an instance from member lists.
+    pub fn new(universe: usize, sets: Vec<Vec<u32>>) -> Self {
+        HittingSet {
+            universe,
+            sets: sets
+                .into_iter()
+                .map(|s| VarSet::from_iter_with_universe(universe, s.into_iter().map(Var::new)))
+                .collect(),
+        }
+    }
+
+    /// Whether `candidate` hits every set.
+    pub fn is_hitting(&self, candidate: &VarSet) -> bool {
+        self.sets.iter().all(|s| !s.is_disjoint(candidate))
+    }
+
+    /// Maps to an Input Reduction Problem instance: trivial validity model,
+    /// predicate = "hits every set". The predicate is monotone, as
+    /// Definition 4.1 requires.
+    pub fn to_reduction_instance(&self) -> (Instance, impl FnMut(&VarSet) -> bool + '_) {
+        let instance = Instance::new(VarSet::full(self.universe), Cnf::new(self.universe));
+        let sets = &self.sets;
+        let predicate = move |candidate: &VarSet| sets.iter().all(|s| !s.is_disjoint(candidate));
+        (instance, predicate)
+    }
+}
+
+/// Verifies the reduction's correctness on a candidate: the predicate of
+/// the mapped instance accepts exactly the hitting sets.
+pub fn reduction_is_faithful(hs: &HittingSet, candidate: &VarSet) -> bool {
+    let (_, mut pred) = hs.to_reduction_instance();
+    Predicate::test(&mut pred, candidate) == hs.is_hitting(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generalized_binary_reduction, GbrConfig};
+    use lbr_logic::VarOrder;
+
+    #[test]
+    fn mapping_is_faithful() {
+        let hs = HittingSet::new(5, vec![vec![0, 1], vec![1, 2], vec![3]]);
+        for bits in 0..32u32 {
+            let mut c = VarSet::empty(5);
+            for i in 0..5 {
+                if bits >> i & 1 == 1 {
+                    c.insert(Var::new(i));
+                }
+            }
+            assert!(reduction_is_faithful(&hs, &c));
+        }
+    }
+
+    #[test]
+    fn gbr_finds_a_hitting_set() {
+        let hs = HittingSet::new(6, vec![vec![0, 1], vec![1, 2], vec![4, 5]]);
+        let (instance, mut pred) = hs.to_reduction_instance();
+        let order = VarOrder::natural(6);
+        let out = generalized_binary_reduction(&instance, &order, &mut pred, &GbrConfig::default())
+            .expect("hitting sets exist");
+        assert!(hs.is_hitting(&out.solution));
+        // {1, 4} (or {1, 5}) is optimal; GBR should find size 2.
+        assert_eq!(out.solution.len(), 2);
+    }
+
+    #[test]
+    fn predicate_is_monotone() {
+        let hs = HittingSet::new(4, vec![vec![0], vec![2, 3]]);
+        let small = VarSet::from_iter_with_universe(4, [Var::new(0), Var::new(2)]);
+        let big = VarSet::full(4);
+        assert!(hs.is_hitting(&small));
+        assert!(hs.is_hitting(&big));
+        let tiny = VarSet::from_iter_with_universe(4, [Var::new(0)]);
+        assert!(!hs.is_hitting(&tiny));
+    }
+}

@@ -1,0 +1,239 @@
+//! Lossy encodings of CNF into graph constraints (Section 4.3).
+//!
+//! Any clause `(a₁ ∧ … ∧ aₙ) ⇒ (b₁ ∨ … ∨ bₘ)` is *implied by* the single
+//! edge `a_{i'} ⇒ b_{j'}` for any choice of `i', j'`, so replacing every
+//! non-graph clause with such an edge yields a stronger, graph-only model:
+//! every solution of the encoding is a valid sub-input, but some valid
+//! sub-inputs are lost. The paper evaluates two variants — pick the first
+//! of each (`i' = 1, j' = 1`) or the last (`i' = n, j' = m`) — and finds
+//! both come close to the full logical reducer.
+
+use crate::DepGraph;
+use lbr_logic::{Clause, ClauseShape, Cnf, Lit, Var, VarOrder, VarSet};
+
+/// Which antecedent/consequent literal the lossy encoding keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LossyPick {
+    /// `i' = 1, j' = 1`: the `<`-least body variable implies the `<`-least
+    /// head variable.
+    FirstFirst,
+    /// `i' = n, j' = m`: the `<`-greatest of each.
+    LastLast,
+}
+
+impl LossyPick {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LossyPick::FirstFirst => "lossy-1",
+            LossyPick::LastLast => "lossy-2",
+        }
+    }
+}
+
+/// Encodes `cnf` into a graph-constraint-only CNF by replacing every
+/// non-graph clause with one implied edge (or unit), per `pick`.
+///
+/// Clauses with no positive literal become a negative unit (`a_{i'} ⇒
+/// false`); [`lossy_graph`] turns those into forbidden variables.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_core::{lossy_encode, LossyPick};
+/// use lbr_logic::{Clause, Cnf, Var, VarOrder};
+/// let (a, b, c) = (Var::new(0), Var::new(1), Var::new(2));
+/// let mut cnf = Cnf::new(3);
+/// cnf.add_clause(Clause::implication([a, b], [c])); // (a ∧ b) ⇒ c
+/// let order = VarOrder::natural(3);
+/// let lossy = lossy_encode(&cnf, &order, LossyPick::FirstFirst);
+/// assert_eq!(lossy.clauses()[0], Clause::edge(a, c));
+/// ```
+pub fn lossy_encode(cnf: &Cnf, order: &VarOrder, pick: LossyPick) -> Cnf {
+    let mut out = Cnf::new(cnf.num_vars());
+    for c in cnf.clauses() {
+        if c.is_graph_constraint() {
+            out.add_clause(c.clone());
+            continue;
+        }
+        let body: Option<Var> = pick_var(c.negatives(), order, pick);
+        let head: Option<Var> = pick_var(c.positives(), order, pick);
+        match (body, head) {
+            (Some(a), Some(b)) => {
+                out.add_clause(Clause::edge(a, b));
+            }
+            (None, Some(b)) => {
+                out.add_clause(Clause::unit(Lit::pos(b)));
+            }
+            (Some(a), None) => {
+                out.add_clause(Clause::unit(Lit::neg(a)));
+            }
+            (None, None) => {
+                out.add_clause(Clause::empty());
+            }
+        }
+    }
+    out
+}
+
+fn pick_var<I: Iterator<Item = Var>>(vars: I, order: &VarOrder, pick: LossyPick) -> Option<Var> {
+    match pick {
+        LossyPick::FirstFirst => vars.min_by_key(|&v| order.rank(v)),
+        LossyPick::LastLast => vars.max_by_key(|&v| order.rank(v)),
+    }
+}
+
+/// The result of lowering a lossy encoding to a dependency graph.
+#[derive(Debug, Clone)]
+pub struct LossyGraph {
+    /// The dependency graph over the original variables.
+    pub graph: DepGraph,
+    /// Variables the encoding forbids (negative units and everything whose
+    /// closure reaches them). These cannot appear in any sub-input of the
+    /// encoded model.
+    pub forbidden: VarSet,
+}
+
+/// Lowers `cnf` (already lossily encoded, or naturally graph-only) to a
+/// dependency graph plus a forbidden set.
+///
+/// Returns `None` if the encoding is contradictory: a required variable's
+/// closure reaches a forbidden variable, or an empty clause is present.
+pub fn lossy_graph(cnf: &Cnf, order: &VarOrder, pick: LossyPick) -> Option<LossyGraph> {
+    let encoded = lossy_encode(cnf, order, pick);
+    let n = encoded.num_vars();
+    let mut graph = DepGraph::new(n);
+    let mut forbidden_seeds: Vec<Var> = Vec::new();
+    for c in encoded.clauses() {
+        match c.shape() {
+            ClauseShape::Edge { from, to } => graph.add_edge(from, to),
+            ClauseShape::UnitPositive(v) => graph.require(v),
+            ClauseShape::UnitNegative(v) => forbidden_seeds.push(v),
+            ClauseShape::Empty => return None,
+            _ => unreachable!("lossy_encode emits only graph shapes and units"),
+        }
+    }
+    // A variable is forbidden if its closure reaches a forbidden seed:
+    // compute reachability in the reversed graph from the seeds.
+    let mut reverse = DepGraph::new(n);
+    for v in 0..n {
+        for &t in graph.successors(Var::new(v as u32)) {
+            reverse.add_edge(t, Var::new(v as u32));
+        }
+    }
+    let forbidden = reverse.closure_of(forbidden_seeds);
+    if graph.required().iter().any(|r| forbidden.contains(r)) {
+        return None;
+    }
+    Some(LossyGraph { graph, forbidden })
+}
+
+/// The soundness statement of Section 4.3: every model of the lossy
+/// encoding is a model of the original CNF. Exposed for tests and
+/// documentation; always true by construction.
+pub fn lossy_is_sound(original: &Cnf, encoded: &Cnf, model: &VarSet) -> bool {
+    !encoded.eval(model) || original.eval(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn graph_clauses_pass_through() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        let order = VarOrder::natural(2);
+        for pick in [LossyPick::FirstFirst, LossyPick::LastLast] {
+            let e = lossy_encode(&cnf, &order, pick);
+            assert_eq!(e.clauses(), cnf.clauses());
+        }
+    }
+
+    #[test]
+    fn general_clause_first_and_last() {
+        // (0 ∧ 1) ⇒ (2 ∨ 3)
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(Clause::implication([v(0), v(1)], [v(2), v(3)]));
+        let order = VarOrder::natural(4);
+        let first = lossy_encode(&cnf, &order, LossyPick::FirstFirst);
+        assert_eq!(first.clauses()[0], Clause::edge(v(0), v(2)));
+        let last = lossy_encode(&cnf, &order, LossyPick::LastLast);
+        assert_eq!(last.clauses()[0], Clause::edge(v(1), v(3)));
+    }
+
+    #[test]
+    fn positive_disjunction_becomes_unit() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([], [v(1), v(2)]));
+        let order = VarOrder::natural(3);
+        let first = lossy_encode(&cnf, &order, LossyPick::FirstFirst);
+        assert_eq!(first.clauses()[0], Clause::unit(Lit::pos(v(1))));
+    }
+
+    #[test]
+    fn negative_disjunction_becomes_forbidden() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::new(vec![Lit::neg(v(0)), Lit::neg(v(1))]));
+        cnf.add_clause(Clause::edge(v(2), v(0)));
+        let order = VarOrder::natural(3);
+        let lg = lossy_graph(&cnf, &order, LossyPick::FirstFirst).expect("consistent");
+        // Seed 0 forbidden; 2 depends on 0, so 2 is forbidden too.
+        assert!(lg.forbidden.contains(v(0)));
+        assert!(lg.forbidden.contains(v(2)));
+        assert!(!lg.forbidden.contains(v(1)));
+    }
+
+    #[test]
+    fn required_forbidden_is_contradiction() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(Clause::unit(Lit::pos(v(0))));
+        cnf.add_clause(Clause::new(vec![Lit::neg(v(0))]));
+        // ¬0 is already a unit-negative graph... it is not a graph
+        // constraint, so it is lossily encoded to itself.
+        let order = VarOrder::natural(1);
+        assert!(lossy_graph(&cnf, &order, LossyPick::FirstFirst).is_none());
+    }
+
+    #[test]
+    fn soundness_every_encoded_model_satisfies_original() {
+        // Paper's example: replacing ([A◁I] ∧ [I.m()]) ⇒ [A.m()] with
+        // [A◁I] ⇒ [A.m()] preserves soundness.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([v(0), v(1)], [v(2)]));
+        let order = VarOrder::natural(3);
+        let encoded = lossy_encode(&cnf, &order, LossyPick::FirstFirst);
+        // Exhaustively: every model of `encoded` models `cnf`.
+        for bits in 0..8u32 {
+            let mut s = VarSet::empty(3);
+            for i in 0..3 {
+                if bits >> i & 1 == 1 {
+                    s.insert(v(i));
+                }
+            }
+            assert!(lossy_is_sound(&cnf, &encoded, &s));
+        }
+        // And the encoding is strictly stronger: {0, 2} models cnf but the
+        // lossy model demands 2 whenever 0.
+        let mut s = VarSet::empty(3);
+        s.insert(v(0));
+        assert!(cnf.eval(&s), "{{0}} models the original clause");
+        assert!(!encoded.eval(&s), "but not the stronger encoding");
+    }
+
+    #[test]
+    fn paper_figure2_lossy_first() {
+        // The four non-graph clauses of Figure 2 under (i'=1, j'=1) become
+        // [A◁I] ⇒ [A.m()] etc. Using indices: A◁I=0, I.m=1, A.m=2.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([v(0), v(1)], [v(2)]));
+        let order = VarOrder::natural(3);
+        let e = lossy_encode(&cnf, &order, LossyPick::FirstFirst);
+        assert_eq!(e.clauses(), &[Clause::edge(v(0), v(2))]);
+        assert!(e.clauses().iter().all(Clause::is_graph_constraint));
+    }
+}

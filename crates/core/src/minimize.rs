@@ -1,0 +1,191 @@
+//! Local minimization of a reduction result.
+//!
+//! Theorem 4.5 guarantees GBR's output is *locally minimal* for graph
+//! constraints with a well-picked order: no proper subset satisfies the
+//! predicate. For general constraints (or a poorly picked order) the
+//! output may admit further shrinking; this module provides the greedy
+//! postpass that tries to remove each variable — together with everything
+//! the validity model then forces out — while the predicate keeps failing.
+//!
+//! The pass costs at most `|solution|` extra predicate invocations per
+//! sweep, so it trades tool runs for output size — an ablation knob the
+//! harness exposes.
+
+use crate::{Instance, Predicate};
+use lbr_logic::{Var, VarOrder, VarSet};
+
+/// Statistics from a [`minimize_solution`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Predicate invocations spent.
+    pub predicate_calls: u64,
+    /// Variables removed from the solution.
+    pub removed: usize,
+    /// Full sweeps performed.
+    pub sweeps: usize,
+}
+
+/// Greedily shrinks a valid failure-inducing solution while keeping it
+/// valid and failing. Sweeps in reverse `<` order until a fixpoint.
+///
+/// For each candidate variable `v`, the pass computes the *largest* valid
+/// sub-solution without `v` (downward repair: removing `v` may force
+/// removing its dependents) and keeps it if the predicate still fails.
+///
+/// The result is locally minimal: removing any single variable (with its
+/// forced consequences) either breaks validity or loses the failure.
+pub fn minimize_solution(
+    instance: &Instance,
+    order: &VarOrder,
+    predicate: &mut dyn Predicate,
+    solution: &VarSet,
+) -> (VarSet, MinimizeStats) {
+    let mut current = solution.clone();
+    let mut stats = MinimizeStats::default();
+    loop {
+        stats.sweeps += 1;
+        let mut changed = false;
+        let mut candidates: Vec<Var> = current.iter().collect();
+        order.sort(&mut candidates);
+        candidates.reverse();
+        for v in candidates {
+            if !current.contains(v) {
+                continue; // already dropped by an earlier shrink
+            }
+            if let Some(smaller) = shrink_without(instance, order, &current, v) {
+                if smaller.len() < current.len() {
+                    stats.predicate_calls += 1;
+                    if predicate.test(&smaller) {
+                        stats.removed += current.len() - smaller.len();
+                        current = smaller;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return (current, stats);
+        }
+    }
+}
+
+/// The *largest* valid subset of `solution` that excludes `v`, computed by
+/// downward repair: drop `v`, then while some clause is violated, drop one
+/// of its kept antecedents (removal can only ever fix clauses whose
+/// negative literals are still kept). Returns `None` when a violated
+/// clause has no removable antecedent — `v` is not removable at all.
+fn shrink_without(
+    instance: &Instance,
+    order: &VarOrder,
+    solution: &VarSet,
+    v: Var,
+) -> Option<VarSet> {
+    let mut kept = solution.clone();
+    kept.remove(v);
+    loop {
+        let violated = instance.cnf.clauses().iter().find(|c| !c.eval(&kept));
+        let Some(clause) = violated else {
+            debug_assert!(instance.cnf.eval(&kept));
+            return Some(kept);
+        };
+        // Violated means: every negative literal's variable is kept and no
+        // positive literal's variable is. Repair by removing the <-largest
+        // kept antecedent (largest = least fundamental under the order).
+        let removable = clause.negatives().filter(|w| kept.contains(*w));
+        let pick = removable.max_by_key(|&w| order.rank(w))?;
+        kept.remove(pick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_logic::{Clause, Cnf};
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn removes_unneeded_variables() {
+        // No constraints; solution carries dead weight.
+        let instance = Instance::over_all_vars(Cnf::new(5));
+        let order = VarOrder::natural(5);
+        let solution = VarSet::full(5);
+        let mut bug = |s: &VarSet| s.contains(v(1)) && s.contains(v(3));
+        let (min, stats) = minimize_solution(&instance, &order, &mut bug, &solution);
+        assert_eq!(min.iter().collect::<Vec<_>>(), vec![v(1), v(3)]);
+        assert!(stats.removed >= 3);
+    }
+
+    #[test]
+    fn respects_validity_closure() {
+        // 0 ⇒ 1 ⇒ 2; bug needs 0, so 1 and 2 must stay.
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        cnf.add_clause(Clause::edge(v(1), v(2)));
+        let instance = Instance::over_all_vars(cnf);
+        let order = VarOrder::natural(4);
+        let solution = VarSet::full(4);
+        let mut bug = |s: &VarSet| s.contains(v(0));
+        let (min, _) = minimize_solution(&instance, &order, &mut bug, &solution);
+        assert_eq!(min.len(), 3);
+        assert!(min.contains(v(0)) && min.contains(v(1)) && min.contains(v(2)));
+        assert!(!min.contains(v(3)));
+    }
+
+    #[test]
+    fn fixes_suboptimal_gbr_result() {
+        // The Section 4.4 suboptimality example: GBR with order (c, b, a)
+        // returns {b, c}; minimization recovers {b}.
+        let (c, b, a) = (v(0), v(1), v(2));
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([a, b], [c]));
+        cnf.add_clause(Clause::edge(c, b));
+        let instance = Instance::over_all_vars(cnf);
+        let order = VarOrder::from_permutation(vec![c, b, a]);
+        let mut suboptimal = VarSet::empty(3);
+        suboptimal.insert(b);
+        suboptimal.insert(c);
+        let mut bug = |s: &VarSet| s.contains(b);
+        let (min, _) = minimize_solution(&instance, &order, &mut bug, &suboptimal);
+        assert_eq!(min.iter().collect::<Vec<_>>(), vec![b]);
+    }
+
+    #[test]
+    fn already_minimal_is_untouched() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        let instance = Instance::over_all_vars(cnf);
+        let order = VarOrder::natural(2);
+        let mut solution = VarSet::empty(2);
+        solution.insert(v(0));
+        solution.insert(v(1));
+        let mut bug = |s: &VarSet| s.contains(v(0));
+        let (min, stats) = minimize_solution(&instance, &order, &mut bug, &solution);
+        assert_eq!(min, solution);
+        assert_eq!(stats.removed, 0);
+    }
+
+    #[test]
+    fn result_is_locally_minimal() {
+        let mut cnf = Cnf::new(6);
+        cnf.add_clause(Clause::implication([v(0), v(1)], [v(2)]));
+        cnf.add_clause(Clause::edge(v(3), v(4)));
+        let instance = Instance::over_all_vars(cnf.clone());
+        let order = VarOrder::natural(6);
+        let mut bug = |s: &VarSet| s.contains(v(0)) && s.contains(v(4));
+        let solution = VarSet::full(6);
+        let (min, _) = minimize_solution(&instance, &order, &mut bug, &solution);
+        let bug2 = |s: &VarSet| s.contains(v(0)) && s.contains(v(4));
+        assert!(bug2(&min) && cnf.eval(&min));
+        for x in min.clone().iter() {
+            let mut smaller = min.clone();
+            smaller.remove(x);
+            assert!(
+                !cnf.eval(&smaller) || !bug2(&smaller),
+                "removing {x} keeps a valid failing input"
+            );
+        }
+    }
+}

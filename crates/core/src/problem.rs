@@ -1,0 +1,190 @@
+//! The Input Reduction Problem and black-box predicates.
+//!
+//! Definition 4.1 of the paper: an instance is `(I, P, R_I)` where `I` is a
+//! set of variables, `P` a black-box predicate on subsets of `I` (true iff
+//! the sub-input still induces the bug), and `R_I` a CNF whose models are
+//! the valid sub-inputs. `P` must be monotone on valid sub-inputs.
+
+use crate::trace::ReductionTrace;
+use lbr_logic::{Cnf, VarSet};
+use std::time::Instant;
+
+/// A black-box predicate on sub-inputs.
+///
+/// The *black-box* discipline of the paper means algorithms may only invoke
+/// [`Predicate::test`]; they learn nothing else about the buggy tool. The
+/// sub-input is given as the set of kept variables.
+///
+/// Implemented for closures, so simple predicates can be written inline:
+///
+/// ```
+/// use lbr_core::Predicate;
+/// use lbr_logic::{Var, VarSet};
+/// let mut p = |s: &VarSet| s.contains(Var::new(2));
+/// let mut input = VarSet::empty(3);
+/// assert!(!Predicate::test(&mut p, &input));
+/// input.insert(Var::new(2));
+/// assert!(Predicate::test(&mut p, &input));
+/// ```
+pub trait Predicate {
+    /// Runs the buggy tool on the sub-input; `true` iff the failure is
+    /// still induced.
+    fn test(&mut self, input: &VarSet) -> bool;
+}
+
+impl<F: FnMut(&VarSet) -> bool> Predicate for F {
+    fn test(&mut self, input: &VarSet) -> bool {
+        self(input)
+    }
+}
+
+/// An instance `(I, P, R_I)` of the Input Reduction Problem.
+///
+/// The predicate is kept outside this struct (algorithms take it as a
+/// separate argument) so that instances can be shared while predicates are
+/// stateful.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The variable universe `I` — the removable items of the input.
+    pub vars: VarSet,
+    /// The validity model `R_I` in CNF.
+    pub cnf: Cnf,
+}
+
+impl Instance {
+    /// Creates an instance over all of `cnf`'s variables.
+    pub fn over_all_vars(cnf: Cnf) -> Self {
+        let vars = VarSet::full(cnf.num_vars());
+        Instance { vars, cnf }
+    }
+
+    /// Creates an instance over an explicit variable set.
+    pub fn new(vars: VarSet, cnf: Cnf) -> Self {
+        Instance { vars, cnf }
+    }
+
+    /// Whether `sub` is a valid sub-input (a model of `R_I`).
+    pub fn is_valid(&self, sub: &VarSet) -> bool {
+        self.cnf.eval(sub)
+    }
+}
+
+/// A custom size metric for trace points.
+type SizeMetric<'p> = Box<dyn Fn(&VarSet) -> u64 + 'p>;
+
+/// Wraps a predicate with call counting, tracing and an optional synthetic
+/// per-invocation cost model.
+///
+/// The paper's evaluation plots reduction quality against *time*, where
+/// time is dominated by tool invocations (≈33 s per decompile+compile). An
+/// [`Oracle`] records, per call: the call index, wall-clock time so far,
+/// the modeled time so far (`calls × cost`), the input size, the outcome,
+/// and the best (smallest) failing size seen — everything Figure 8 needs.
+pub struct Oracle<'p> {
+    inner: &'p mut dyn Predicate,
+    calls: u64,
+    start: Instant,
+    cost_per_call_secs: f64,
+    trace: ReductionTrace,
+    size_of: Option<SizeMetric<'p>>,
+}
+
+impl<'p> Oracle<'p> {
+    /// Wraps `inner` with tracing. `cost_per_call_secs` is the synthetic
+    /// cost of one tool invocation (use `0.0` to disable the cost model).
+    pub fn new(inner: &'p mut dyn Predicate, cost_per_call_secs: f64) -> Self {
+        Oracle {
+            inner,
+            calls: 0,
+            start: Instant::now(),
+            cost_per_call_secs,
+            trace: ReductionTrace::new(),
+            size_of: None,
+        }
+    }
+
+    /// Uses `f` to measure input sizes in the trace (e.g. serialized bytes)
+    /// instead of the default variable count.
+    pub fn with_size_metric(mut self, f: impl Fn(&VarSet) -> u64 + 'p) -> Self {
+        self.size_of = Some(Box::new(f));
+        self
+    }
+
+    /// Number of predicate invocations so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &ReductionTrace {
+        &self.trace
+    }
+
+    /// Consumes the oracle, returning its trace.
+    pub fn into_trace(self) -> ReductionTrace {
+        self.trace
+    }
+}
+
+impl Predicate for Oracle<'_> {
+    fn test(&mut self, input: &VarSet) -> bool {
+        let outcome = self.inner.test(input);
+        self.calls += 1;
+        let size = match &self.size_of {
+            Some(f) => f(input),
+            None => input.len() as u64,
+        };
+        let wall = self.start.elapsed().as_secs_f64();
+        let modeled = self.calls as f64 * self.cost_per_call_secs;
+        self.trace.record(self.calls, wall, modeled, size, outcome);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_logic::{Clause, Var};
+
+    #[test]
+    fn instance_validity() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::edge(Var::new(0), Var::new(1)));
+        let inst = Instance::over_all_vars(cnf);
+        assert_eq!(inst.vars.len(), 2);
+        let mut s = VarSet::empty(2);
+        assert!(inst.is_valid(&s));
+        s.insert(Var::new(0));
+        assert!(!inst.is_valid(&s));
+    }
+
+    #[test]
+    fn oracle_counts_and_traces() {
+        let mut p = |s: &VarSet| s.len() >= 2;
+        let mut oracle = Oracle::new(&mut p, 33.0);
+        let mut s = VarSet::empty(3);
+        assert!(!oracle.test(&s));
+        s.insert(Var::new(0));
+        s.insert(Var::new(1));
+        assert!(oracle.test(&s));
+        assert_eq!(oracle.calls(), 2);
+        let trace = oracle.into_trace();
+        assert_eq!(trace.len(), 2);
+        let last = trace.points().last().expect("two points");
+        assert_eq!(last.call, 2);
+        assert!(last.success);
+        assert_eq!(last.size, 2);
+        assert!((last.modeled_secs - 66.0).abs() < 1e-9);
+        assert_eq!(trace.best_failing_size(), Some(2));
+    }
+
+    #[test]
+    fn oracle_custom_size_metric() {
+        let mut p = |_: &VarSet| true;
+        let mut oracle = Oracle::new(&mut p, 0.0).with_size_metric(|s| 100 * s.len() as u64);
+        let mut s = VarSet::empty(2);
+        s.insert(Var::new(1));
+        oracle.test(&s);
+        assert_eq!(oracle.trace().points()[0].size, 100);
+    }
+}

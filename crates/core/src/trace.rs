@@ -1,0 +1,156 @@
+//! Reduction-over-time traces (the data behind Figure 8b).
+
+/// One predicate invocation, as recorded by
+/// [`Oracle`](crate::Oracle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// 1-based invocation index.
+    pub call: u64,
+    /// Wall-clock seconds since the oracle was created.
+    pub wall_secs: f64,
+    /// Modeled seconds (`call × cost_per_call`).
+    pub modeled_secs: f64,
+    /// Size of the tested sub-input (variable count, or a custom metric).
+    pub size: u64,
+    /// Whether the failure was still induced.
+    pub success: bool,
+}
+
+/// The full history of a reduction run.
+///
+/// The paper's Figure 8b observes that a reduction can be *stopped at any
+/// point* and the smallest failure-inducing input seen so far used; the
+/// trace supports that query via [`ReductionTrace::best_at_modeled_time`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReductionTrace {
+    points: Vec<TracePoint>,
+}
+
+impl ReductionTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an invocation record.
+    pub fn record(&mut self, call: u64, wall_secs: f64, modeled_secs: f64, size: u64, success: bool) {
+        self.points.push(TracePoint {
+            call,
+            wall_secs,
+            modeled_secs,
+            size,
+            success,
+        });
+    }
+
+    /// All recorded points in invocation order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Number of recorded invocations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The size of the smallest sub-input that still induced the failure.
+    pub fn best_failing_size(&self) -> Option<u64> {
+        self.points.iter().filter(|p| p.success).map(|p| p.size).min()
+    }
+
+    /// The smallest failing size among invocations whose *modeled* time is
+    /// at most `t` seconds. `None` if no failing input was seen by then.
+    pub fn best_at_modeled_time(&self, t: f64) -> Option<u64> {
+        self.points
+            .iter()
+            .filter(|p| p.success && p.modeled_secs <= t)
+            .map(|p| p.size)
+            .min()
+    }
+
+    /// The smallest failing size among the first `calls` invocations.
+    pub fn best_at_call(&self, calls: u64) -> Option<u64> {
+        self.points
+            .iter()
+            .filter(|p| p.success && p.call <= calls)
+            .map(|p| p.size)
+            .min()
+    }
+
+    /// Total modeled seconds consumed (last point), 0 if empty.
+    pub fn total_modeled_secs(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.modeled_secs)
+    }
+
+    /// Total wall seconds consumed (last point), 0 if empty.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.wall_secs)
+    }
+
+    /// Merges another trace after this one, shifting its call indices and
+    /// times so the merged trace reads as one sequential run. Used when a
+    /// benchmark requires several reduction searches (one per distinct
+    /// error), as the paper's long-running cases do.
+    pub fn append_sequential(&mut self, other: &ReductionTrace) {
+        let call0 = self.points.last().map_or(0, |p| p.call);
+        let wall0 = self.total_wall_secs();
+        let modeled0 = self.total_modeled_secs();
+        for p in &other.points {
+            self.points.push(TracePoint {
+                call: call0 + p.call,
+                wall_secs: wall0 + p.wall_secs,
+                modeled_secs: modeled0 + p.modeled_secs,
+                size: p.size,
+                success: p.success,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReductionTrace {
+        let mut t = ReductionTrace::new();
+        t.record(1, 0.1, 33.0, 100, true);
+        t.record(2, 0.2, 66.0, 40, false);
+        t.record(3, 0.3, 99.0, 60, true);
+        t
+    }
+
+    #[test]
+    fn best_queries() {
+        let t = sample();
+        assert_eq!(t.best_failing_size(), Some(60));
+        assert_eq!(t.best_at_modeled_time(33.0), Some(100));
+        assert_eq!(t.best_at_modeled_time(99.0), Some(60));
+        assert_eq!(t.best_at_modeled_time(1.0), None);
+        assert_eq!(t.best_at_call(2), Some(100));
+    }
+
+    #[test]
+    fn totals() {
+        let t = sample();
+        assert!((t.total_modeled_secs() - 99.0).abs() < 1e-9);
+        assert!((t.total_wall_secs() - 0.3).abs() < 1e-9);
+        assert!(ReductionTrace::new().total_modeled_secs() == 0.0);
+    }
+
+    #[test]
+    fn sequential_append_shifts() {
+        let mut a = sample();
+        let b = sample();
+        a.append_sequential(&b);
+        assert_eq!(a.len(), 6);
+        let p = a.points()[3];
+        assert_eq!(p.call, 4);
+        assert!((p.modeled_secs - 132.0).abs() < 1e-9);
+        assert!((p.wall_secs - 0.4).abs() < 1e-9);
+    }
+}

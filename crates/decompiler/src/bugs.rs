@@ -1,0 +1,167 @@
+//! The injected decompiler-bug catalog.
+//!
+//! The paper's benchmarks are programs on which a real decompiler produces
+//! source that does not recompile. Our simulated decompiler reproduces
+//! that failure mode with a catalog of *pattern-triggered* emission bugs:
+//! each bug fires on a specific bytecode pattern and corrupts the emitted
+//! source in a specific way, yielding a deterministic compile error whose
+//! message identifies the instance. Several bugs only surface as compile
+//! errors when *combinations* of items are present (e.g. a dropped method
+//! is only an error while the class still implements the interface that
+//! demands it) — exactly the multi-item dependency structure that defeats
+//! graph-based reduction and motivates the logical model.
+
+use std::fmt;
+
+/// One decompiler bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugKind {
+    /// A `checkcast` to an interface immediately before an invoke is
+    /// emitted as a cast to `Object`, so the following call no longer
+    /// resolves.
+    CastToObject,
+    /// Any method whose body contains `instanceof` is omitted from the
+    /// emitted class. The omission is only a compile error in combination
+    /// with an interface obligation or a surviving call site.
+    EatPatternMatch,
+    /// `invokestatic C.m(...)` is emitted as an instance call on the
+    /// undeclared variable `c_instance`.
+    StaticGhostReceiver,
+    /// Constructor calls with two or more arguments lose their last
+    /// argument.
+    CtorArgDropper,
+    /// Chained field accesses `e.f.g` are emitted with the outer field
+    /// misspelled as `g_`.
+    FieldRenamer,
+    /// `ldc C.class` is emitted as `C_0.class` — an unknown class.
+    ReflectionTypo,
+    /// An integer addition of two literals (a constant-folding path) is
+    /// emitted with `null` in place of the second literal.
+    AddNullifier,
+    /// Interfaces that extend other interfaces lose their `extends`
+    /// clause, so calls to inherited signatures no longer resolve.
+    SuperInterfaceAmnesia,
+}
+
+impl BugKind {
+    /// Every bug kind.
+    pub const ALL: [BugKind; 8] = [
+        BugKind::CastToObject,
+        BugKind::EatPatternMatch,
+        BugKind::StaticGhostReceiver,
+        BugKind::CtorArgDropper,
+        BugKind::FieldRenamer,
+        BugKind::ReflectionTypo,
+        BugKind::AddNullifier,
+        BugKind::SuperInterfaceAmnesia,
+    ];
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The set of bugs a particular (simulated) decompiler suffers from.
+///
+/// The paper evaluates three decompilers; [`BugSet::decompiler_a`],
+/// [`BugSet::decompiler_b`] and [`BugSet::decompiler_c`] are three
+/// overlapping presets playing that role.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BugSet {
+    enabled: Vec<BugKind>,
+}
+
+impl BugSet {
+    /// No bugs — a correct decompiler.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every bug.
+    pub fn all() -> Self {
+        BugSet {
+            enabled: BugKind::ALL.to_vec(),
+        }
+    }
+
+    /// Builds a set from kinds.
+    pub fn of(kinds: &[BugKind]) -> Self {
+        let mut enabled = kinds.to_vec();
+        enabled.sort();
+        enabled.dedup();
+        BugSet { enabled }
+    }
+
+    /// The first simulated decompiler.
+    pub fn decompiler_a() -> Self {
+        Self::of(&[
+            BugKind::CastToObject,
+            BugKind::EatPatternMatch,
+            BugKind::CtorArgDropper,
+            BugKind::SuperInterfaceAmnesia,
+        ])
+    }
+
+    /// The second simulated decompiler.
+    pub fn decompiler_b() -> Self {
+        Self::of(&[
+            BugKind::StaticGhostReceiver,
+            BugKind::FieldRenamer,
+            BugKind::AddNullifier,
+        ])
+    }
+
+    /// The third simulated decompiler.
+    pub fn decompiler_c() -> Self {
+        Self::of(&[
+            BugKind::CastToObject,
+            BugKind::ReflectionTypo,
+            BugKind::EatPatternMatch,
+        ])
+    }
+
+    /// Whether `kind` is enabled.
+    pub fn contains(&self, kind: BugKind) -> bool {
+        self.enabled.contains(&kind)
+    }
+
+    /// The enabled kinds.
+    pub fn kinds(&self) -> &[BugKind] {
+        &self.enabled
+    }
+
+    /// Whether no bugs are enabled.
+    pub fn is_empty(&self) -> bool {
+        self.enabled.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_overlap() {
+        let a = BugSet::decompiler_a();
+        let b = BugSet::decompiler_b();
+        let c = BugSet::decompiler_c();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert!(a.contains(BugKind::CastToObject) && c.contains(BugKind::CastToObject));
+        assert!(!b.contains(BugKind::CastToObject));
+    }
+
+    #[test]
+    fn of_dedups() {
+        let s = BugSet::of(&[BugKind::AddNullifier, BugKind::AddNullifier]);
+        assert_eq!(s.kinds().len(), 1);
+    }
+
+    #[test]
+    fn none_and_all() {
+        assert!(BugSet::none().is_empty());
+        assert_eq!(BugSet::all().kinds().len(), BugKind::ALL.len());
+    }
+}

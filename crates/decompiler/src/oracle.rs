@@ -1,0 +1,148 @@
+//! The black-box oracle: decompile, recompile, compare error messages.
+//!
+//! A benchmark in the paper is an input program on which a decompiler
+//! produces source that fails to recompile; "the goal of the evaluation is
+//! to reduce the input program while preserving the full error message of
+//! the compiler". [`DecompilerOracle`] packages that: it records the
+//! baseline error messages of the original program and accepts a
+//! sub-program iff every baseline message is still produced.
+//!
+//! The predicate is monotone on valid sub-inputs because each injected bug
+//! fires on the *presence* of a bytecode/source pattern: any valid
+//! superset of a failing input retains the patterns and therefore the
+//! messages.
+
+use crate::bugs::BugSet;
+use crate::compile::error_messages;
+use crate::decompile::decompile_program;
+use lbr_classfile::Program;
+use std::collections::BTreeSet;
+
+/// A decompile-and-recompile oracle for one (buggy) decompiler and one
+/// original input program.
+#[derive(Debug, Clone)]
+pub struct DecompilerOracle {
+    bugs: BugSet,
+    baseline: BTreeSet<String>,
+}
+
+impl DecompilerOracle {
+    /// Builds the oracle, running the tool once on the original input to
+    /// record the baseline error messages.
+    pub fn new(original: &Program, bugs: BugSet) -> Self {
+        let baseline = Self::errors_with(original, &bugs);
+        DecompilerOracle { bugs, baseline }
+    }
+
+    fn errors_with(program: &Program, bugs: &BugSet) -> BTreeSet<String> {
+        let source = decompile_program(program, bugs);
+        error_messages(&source)
+    }
+
+    /// The error messages of the original input. Empty means the
+    /// decompiler handles this input correctly (not a benchmark).
+    pub fn baseline(&self) -> &BTreeSet<String> {
+        &self.baseline
+    }
+
+    /// Whether the original input actually triggers the decompiler's bugs.
+    pub fn is_failing(&self) -> bool {
+        !self.baseline.is_empty()
+    }
+
+    /// Number of distinct baseline errors (the paper reports a geometric
+    /// mean of 9.2 per benchmark).
+    pub fn error_count(&self) -> usize {
+        self.baseline.len()
+    }
+
+    /// Runs the tool on a sub-program, returning its error messages.
+    pub fn errors(&self, program: &Program) -> BTreeSet<String> {
+        Self::errors_with(program, &self.bugs)
+    }
+
+    /// The black-box predicate `P`: does the sub-program still produce
+    /// every baseline error message?
+    pub fn preserves_failure(&self, program: &Program) -> bool {
+        let errors = self.errors(program);
+        self.baseline.iter().all(|e| errors.contains(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::BugKind;
+    use lbr_classfile::{
+        ClassFile, Code, Insn, MethodDescriptor, MethodInfo, MethodRef,
+    };
+
+    fn failing_program() -> Program {
+        let mut i = ClassFile::new_interface("I");
+        i.methods
+            .push(MethodInfo::new_abstract("m", MethodDescriptor::void()));
+        let mut a = ClassFile::new_class("A");
+        a.interfaces.push("I".into());
+        a.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        a.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        a.methods.push(MethodInfo::new(
+            "go",
+            MethodDescriptor::void(),
+            Code::new(
+                2,
+                1,
+                vec![
+                    Insn::ALoad(0),
+                    Insn::CheckCast("I".into()),
+                    Insn::InvokeInterface(MethodRef::new("I", "m", MethodDescriptor::void())),
+                    Insn::Return,
+                ],
+            ),
+        ));
+        [i, a].into_iter().collect()
+    }
+
+    #[test]
+    fn oracle_detects_failure_and_subsets() {
+        let p = failing_program();
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        assert!(oracle.is_failing());
+        assert_eq!(oracle.error_count(), 1);
+        assert!(oracle.preserves_failure(&p));
+        // Removing the `go` method removes the failure.
+        let mut smaller = p.clone();
+        smaller.get_mut("A").unwrap().methods.retain(|m| m.name != "go");
+        assert!(!oracle.preserves_failure(&smaller));
+    }
+
+    #[test]
+    fn correct_decompiler_is_not_failing() {
+        let p = failing_program();
+        let oracle = DecompilerOracle::new(&p, BugSet::none());
+        assert!(!oracle.is_failing());
+    }
+
+    #[test]
+    fn monotone_on_member_removal() {
+        // Adding an unrelated class never removes baseline errors.
+        let p = failing_program();
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        let mut bigger = p.clone();
+        let mut extra = ClassFile::new_class("Extra");
+        extra.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        bigger.insert(extra);
+        assert!(oracle.preserves_failure(&bigger));
+    }
+}

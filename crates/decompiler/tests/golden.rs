@@ -1,0 +1,102 @@
+//! Golden rendering: the decompiled source of a fixed program is stable,
+//! and each decompiler bug alters exactly the expected spot.
+
+use lbr_classfile::{
+    ClassFile, Code, FieldRef, Insn, MethodDescriptor, MethodInfo, MethodRef, Program, Type,
+};
+use lbr_decompiler::{decompile_program, error_messages, BugKind, BugSet};
+
+fn fixture() -> Program {
+    let mut i = ClassFile::new_interface("Shape");
+    i.methods
+        .push(MethodInfo::new_abstract("area", MethodDescriptor::new(vec![], Some(Type::Int))));
+    let mut c = ClassFile::new_class("Circle");
+    c.interfaces.push("Shape".into());
+    c.fields.push(lbr_classfile::FieldInfo::new("r", Type::Int));
+    c.methods.push(MethodInfo::new(
+        "<init>",
+        MethodDescriptor::void(),
+        Code::new(1, 1, vec![Insn::Return]),
+    ));
+    c.methods.push(MethodInfo::new(
+        "area",
+        MethodDescriptor::new(vec![], Some(Type::Int)),
+        Code::new(
+            2,
+            1,
+            vec![
+                Insn::ALoad(0),
+                Insn::GetField(FieldRef::new("Circle", "r", Type::Int)),
+                Insn::IReturn,
+            ],
+        ),
+    ));
+    c.methods.push(MethodInfo::new(
+        "callViaInterface",
+        MethodDescriptor::new(vec![], Some(Type::Int)),
+        Code::new(
+            2,
+            1,
+            vec![
+                Insn::New("Circle".into()),
+                Insn::Dup,
+                Insn::InvokeSpecial(MethodRef::new("Circle", "<init>", MethodDescriptor::void())),
+                Insn::CheckCast("Shape".into()),
+                Insn::InvokeInterface(MethodRef::new(
+                    "Shape",
+                    "area",
+                    MethodDescriptor::new(vec![], Some(Type::Int)),
+                )),
+                Insn::IReturn,
+            ],
+        ),
+    ));
+    [i, c].into_iter().collect()
+}
+
+const GOLDEN: &str = "\
+class Circle implements Shape {
+  int r;
+  Circle() {
+    return;
+  }
+  int area() {
+    return this.r;
+  }
+  int callViaInterface() {
+    return ((Shape) new Circle()).area();
+  }
+}
+interface Shape {
+  abstract int area();
+}
+";
+
+#[test]
+fn clean_decompilation_matches_golden() {
+    let source = decompile_program(&fixture(), &BugSet::none());
+    assert_eq!(source.render(), GOLDEN);
+    assert!(error_messages(&source).is_empty());
+}
+
+#[test]
+fn cast_bug_rewrites_exactly_the_cast() {
+    let source = decompile_program(&fixture(), &BugSet::of(&[BugKind::CastToObject]));
+    let text = source.render();
+    assert!(text.contains("((Object) new Circle()).area()"), "{text}");
+    // Everything else is untouched.
+    assert!(text.contains("return this.r;"));
+    let errors = error_messages(&source);
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert!(errors
+        .iter()
+        .next()
+        .unwrap()
+        .contains("cannot find symbol: method area() in Object"));
+}
+
+#[test]
+fn line_count_is_stable() {
+    let source = decompile_program(&fixture(), &BugSet::none());
+    assert_eq!(source.line_count(), GOLDEN.lines().count());
+}

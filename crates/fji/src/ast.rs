@@ -1,0 +1,353 @@
+//! Abstract syntax of Featherweight Java with Interfaces (Figure 4).
+//!
+//! FJI is Featherweight Java (Igarashi, Pierce & Wadler 1999) extended so
+//! that each class implements exactly one interface; an interface is a
+//! collection of method signatures. Three type names are built in and never
+//! reduced: `Object` (the root class), `String` (an opaque class, so method
+//! bodies have something to return), and `EmptyInterface` (the interface a
+//! class is rewired to when its `implements` relation is removed).
+
+use std::fmt;
+
+/// The built-in root class.
+pub const OBJECT: &str = "Object";
+/// The built-in empty interface every program implicitly contains:
+/// `interface EmptyInterface { }`.
+pub const EMPTY_INTERFACE: &str = "EmptyInterface";
+/// The built-in opaque `String` class (kept while reducing, like in the
+/// paper's example).
+pub const STRING: &str = "String";
+
+/// Whether `name` is one of the built-in, never-reduced type names.
+pub fn is_builtin(name: &str) -> bool {
+    name == OBJECT || name == EMPTY_INTERFACE || name == STRING
+}
+
+/// A program `P = (R̄, e)`: type declarations plus a main expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The type declarations `R̄` in source order.
+    pub decls: Vec<TypeDecl>,
+    /// The main expression `e`.
+    pub main: Expr,
+}
+
+/// A type declaration `R ::= L | Q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeDecl {
+    /// A class declaration.
+    Class(ClassDecl),
+    /// An interface declaration.
+    Interface(InterfaceDecl),
+}
+
+impl TypeDecl {
+    /// The declared type's name.
+    pub fn name(&self) -> &str {
+        match self {
+            TypeDecl::Class(c) => &c.name,
+            TypeDecl::Interface(i) => &i.name,
+        }
+    }
+}
+
+/// `class C extends D implements I { T̄ f̄; K M̄ }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// The class name `C`.
+    pub name: String,
+    /// The superclass `D`.
+    pub superclass: String,
+    /// The implemented interface `I` (possibly [`EMPTY_INTERFACE`]).
+    pub interface: String,
+    /// The fields `T̄ f̄`.
+    pub fields: Vec<Field>,
+    /// The constructor `K`.
+    pub ctor: Constructor,
+    /// The methods `M̄`.
+    pub methods: Vec<Method>,
+}
+
+impl ClassDecl {
+    /// Finds a method by name.
+    pub fn method(&self, name: &str) -> Option<&Method> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// `interface I { S̄ }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDecl {
+    /// The interface name `I`.
+    pub name: String,
+    /// The signatures `S̄`.
+    pub sigs: Vec<Signature>,
+}
+
+impl InterfaceDecl {
+    /// Finds a signature by name.
+    pub fn sig(&self, name: &str) -> Option<&Signature> {
+        self.sigs.iter().find(|s| s.name == name)
+    }
+}
+
+/// A typed name, used for fields and parameters (`T f`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// The type name `T`.
+    pub ty: String,
+    /// The field or parameter name.
+    pub name: String,
+}
+
+impl Field {
+    /// Creates a typed name.
+    pub fn new(ty: impl Into<String>, name: impl Into<String>) -> Self {
+        Field {
+            ty: ty.into(),
+            name: name.into(),
+        }
+    }
+}
+
+/// The (canonical) constructor
+/// `C(Ū ḡ, T̄ f̄) { super(ḡ); this.f̄ = f̄; }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constructor {
+    /// All parameters: superclass fields then own fields.
+    pub params: Vec<Field>,
+    /// Arguments forwarded to `super(…)`.
+    pub super_args: Vec<String>,
+    /// Field initializations `this.f = f`, as `(field, parameter)` pairs.
+    pub inits: Vec<(String, String)>,
+}
+
+impl Constructor {
+    /// The canonical constructor for a class whose superclass contributes
+    /// `super_fields` and which declares `own_fields`.
+    pub fn canonical(super_fields: &[Field], own_fields: &[Field]) -> Self {
+        Constructor {
+            params: super_fields.iter().chain(own_fields).cloned().collect(),
+            super_args: super_fields.iter().map(|f| f.name.clone()).collect(),
+            inits: own_fields
+                .iter()
+                .map(|f| (f.name.clone(), f.name.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A method `T m(T̄ x̄) { return e; }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Method {
+    /// Return type `T`.
+    pub ret: String,
+    /// Method name `m`.
+    pub name: String,
+    /// Parameters `T̄ x̄`.
+    pub params: Vec<Field>,
+    /// The body expression `e` (of `return e;`).
+    pub body: Expr,
+}
+
+/// A signature `T m(T̄ x̄);`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Return type `T`.
+    pub ret: String,
+    /// Method name `m`.
+    pub name: String,
+    /// Parameters `T̄ x̄`.
+    pub params: Vec<Field>,
+}
+
+impl Signature {
+    /// The `(parameter types, return type)` pair, for comparison with
+    /// `mtype`.
+    pub fn method_type(&self) -> (Vec<String>, String) {
+        (
+            self.params.iter().map(|p| p.ty.clone()).collect(),
+            self.ret.clone(),
+        )
+    }
+}
+
+/// Expressions `e ::= x | e.f | e.m(ē) | new C(ē) | (T) e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable (including `this`).
+    Var(String),
+    /// Field access `e.f`.
+    Field(Box<Expr>, String),
+    /// Method invocation `e.m(ē)`.
+    Call(Box<Expr>, String, Vec<Expr>),
+    /// Object creation `new C(ē)`.
+    New(String, Vec<Expr>),
+    /// Cast `(T) e`.
+    Cast(String, Box<Expr>),
+}
+
+impl Expr {
+    /// `this`.
+    pub fn this() -> Expr {
+        Expr::Var("this".to_owned())
+    }
+
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// A method call on this expression.
+    pub fn call(self, method: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call(Box::new(self), method.into(), args)
+    }
+
+    /// A field access on this expression.
+    pub fn field(self, field: impl Into<String>) -> Expr {
+        Expr::Field(Box::new(self), field.into())
+    }
+
+    /// Object creation.
+    pub fn new_object(class: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::New(class.into(), args)
+    }
+
+    /// A cast of this expression.
+    pub fn cast(self, ty: impl Into<String>) -> Expr {
+        Expr::Cast(ty.into(), Box::new(self))
+    }
+}
+
+impl Program {
+    /// Looks up a class by name. Built-in `Object` and `String` resolve to
+    /// implicit empty classes.
+    pub fn class(&self, name: &str) -> Option<ClassDecl> {
+        if name == OBJECT || name == STRING {
+            return Some(ClassDecl {
+                name: name.to_owned(),
+                superclass: OBJECT.to_owned(),
+                interface: EMPTY_INTERFACE.to_owned(),
+                fields: Vec::new(),
+                ctor: Constructor::canonical(&[], &[]),
+                methods: Vec::new(),
+            });
+        }
+        self.decls.iter().find_map(|d| match d {
+            TypeDecl::Class(c) if c.name == name => Some(c.clone()),
+            _ => None,
+        })
+    }
+
+    /// Looks up an interface by name. `EmptyInterface` resolves to the
+    /// implicit `interface EmptyInterface { }`.
+    pub fn interface(&self, name: &str) -> Option<InterfaceDecl> {
+        if name == EMPTY_INTERFACE {
+            return Some(InterfaceDecl {
+                name: EMPTY_INTERFACE.to_owned(),
+                sigs: Vec::new(),
+            });
+        }
+        self.decls.iter().find_map(|d| match d {
+            TypeDecl::Interface(i) if i.name == name => Some(i.clone()),
+            _ => None,
+        })
+    }
+
+    /// Whether `name` is a declared (or built-in) class.
+    pub fn is_class(&self, name: &str) -> bool {
+        self.class(name).is_some()
+    }
+
+    /// Whether `name` is a declared (or built-in) interface.
+    pub fn is_interface(&self, name: &str) -> bool {
+        self.interface(name).is_some()
+    }
+
+    /// Whether `name` is any known type.
+    pub fn is_type(&self, name: &str) -> bool {
+        self.is_class(name) || self.is_interface(name)
+    }
+
+    /// Iterates over user-declared classes.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            TypeDecl::Class(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Iterates over user-declared interfaces.
+    pub fn interfaces(&self) -> impl Iterator<Item = &InterfaceDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            TypeDecl::Interface(i) => Some(i),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::pretty(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins() {
+        assert!(is_builtin("Object"));
+        assert!(is_builtin("String"));
+        assert!(is_builtin("EmptyInterface"));
+        assert!(!is_builtin("A"));
+    }
+
+    #[test]
+    fn builtin_lookup() {
+        let p = Program {
+            decls: vec![],
+            main: Expr::this(),
+        };
+        assert!(p.class(OBJECT).is_some());
+        assert!(p.class(STRING).is_some());
+        assert!(p.interface(EMPTY_INTERFACE).is_some());
+        assert!(p.class("A").is_none());
+        assert!(p.is_type(STRING));
+        assert!(!p.is_type("Nope"));
+    }
+
+    #[test]
+    fn canonical_constructor() {
+        let sup = [Field::new("String", "g")];
+        let own = [Field::new("A", "f")];
+        let k = Constructor::canonical(&sup, &own);
+        assert_eq!(k.params.len(), 2);
+        assert_eq!(k.super_args, vec!["g"]);
+        assert_eq!(k.inits, vec![("f".to_owned(), "f".to_owned())]);
+    }
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::new_object("M", vec![]).call("x", vec![Expr::new_object("A", vec![])]);
+        match &e {
+            Expr::Call(recv, m, args) => {
+                assert_eq!(m, "x");
+                assert_eq!(args.len(), 1);
+                assert_eq!(**recv, Expr::New("M".into(), vec![]));
+            }
+            _ => panic!("expected call"),
+        }
+    }
+
+    #[test]
+    fn signature_method_type() {
+        let s = Signature {
+            ret: "String".into(),
+            name: "m".into(),
+            params: vec![Field::new("I", "a")],
+        };
+        assert_eq!(s.method_type(), (vec!["I".to_owned()], "String".to_owned()));
+    }
+}

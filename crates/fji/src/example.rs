@@ -1,0 +1,288 @@
+//! The running example of the paper (Figures 1–3).
+//!
+//! [`figure1_program`] is the input program of Figure 1a, expressed in FJI
+//! exactly as Section 3 prescribes: every class extends `Object`,
+//! constructors are canonical, `M` implicitly implements `EmptyInterface`,
+//! and `String` is a preserved built-in. [`figure2_cnf`] is the constraint
+//! set of Figure 2 transcribed by hand; the crate's tests verify the
+//! type checker generates an equivalent model with exactly 6,766 valid
+//! sub-inputs, of which [`figure1b_solution`] is the minimum.
+
+use crate::ast::Program;
+use crate::parser::parse_program;
+use crate::vars::{Item, ItemRegistry};
+use lbr_logic::{Clause, Cnf, Lit, Var, VarSet};
+
+/// Source text of the Figure 1a input program.
+pub const FIGURE1_SOURCE: &str = "
+class A extends Object implements I {
+  A() { super(); }
+  String m() { return this.m(); }
+  B n() { return new B(); }
+}
+class B extends Object implements I {
+  B() { super(); }
+  String m() { return this.m(); }
+  B n() { return new B(); }
+}
+interface I {
+  String m();
+  B n();
+}
+class M extends Object implements EmptyInterface {
+  M() { super(); }
+  String x(I a) { return a.m(); }
+  String main() { return new M().x(new A()); }
+}
+new M().main();
+";
+
+/// The input program of Figure 1a.
+///
+/// # Panics
+///
+/// Never panics — the embedded source is well-formed (tested).
+pub fn figure1_program() -> Program {
+    parse_program(FIGURE1_SOURCE).expect("the Figure 1a source is well-formed")
+}
+
+/// Looks up the paper's 20 variables in registry order.
+fn item(name: &str) -> Item {
+    match name {
+        "A" | "B" | "M" => Item::Class(name.to_owned()),
+        "I" => Item::Interface("I".to_owned()),
+        "A<I" => Item::Impl("A".into(), "I".into()),
+        "B<I" => Item::Impl("B".into(), "I".into()),
+        _ => {
+            let (owner, rest) = name.split_once('.').expect("owner.member");
+            let (method, bang) = match rest.split_once('!') {
+                Some((m, _)) => (m, true),
+                None => (rest, false),
+            };
+            let method = method.trim_end_matches("()");
+            if bang {
+                Item::MethodCode(owner.to_owned(), method.to_owned())
+            } else if owner == "I" {
+                Item::Signature(owner.to_owned(), method.to_owned())
+            } else {
+                Item::Method(owner.to_owned(), method.to_owned())
+            }
+        }
+    }
+}
+
+/// Resolves a paper-style variable name (e.g. `"A.m()!code"`) against the
+/// registry of [`figure1_program`].
+pub fn figure2_var(reg: &ItemRegistry, name: &str) -> Var {
+    reg.var(&item(name))
+        .unwrap_or_else(|| panic!("unknown figure-2 variable {name}"))
+}
+
+/// The dependency constraints of Figure 2 *without* the final requirement
+/// `[M.main()!code]` — the model whose satisfying assignments are the
+/// 6,766 valid sub-inputs the paper counts with sharpSAT.
+pub fn figure2_dependency_cnf(reg: &ItemRegistry) -> Cnf {
+    let full = figure2_cnf(reg);
+    let mut out = Cnf::new(reg.len());
+    for c in full.clauses() {
+        if c.len() > 1 {
+            out.add_clause(c.clone());
+        }
+    }
+    out
+}
+
+/// The dependency constraints of Figure 2, including the final requirement
+/// `[M.main()!code]`, as a CNF over the registry of [`figure1_program`].
+pub fn figure2_cnf(reg: &ItemRegistry) -> Cnf {
+    let v = |name: &str| figure2_var(reg, name);
+    let edge = |from: &str, to: &str| Clause::edge(v(from), v(to));
+    let mut cnf = Cnf::new(reg.len());
+
+    // Syntactic dependencies.
+    for (from, to) in [
+        ("A.n()!code", "A.n()"),
+        ("A.n()", "A"),
+        ("A.m()!code", "A.m()"),
+        ("A.m()", "A"),
+        ("B.n()!code", "B.n()"),
+        ("B.n()", "B"),
+        ("B.m()!code", "B.m()"),
+        ("B.m()", "B"),
+        ("A<I", "A"),
+        ("B<I", "B"),
+        ("I.m()", "I"),
+        ("I.n()", "I"),
+        ("M.x()!code", "M.x()"),
+        ("M.x()", "M"),
+        ("M.main()!code", "M.main()"),
+        ("M.main()", "M"),
+    ] {
+        cnf.add_clause(edge(from, to));
+    }
+
+    // Referential semantic dependencies.
+    for (from, to) in [
+        ("A<I", "I"),
+        ("B<I", "I"),
+        ("A.n()", "B"),
+        ("B.n()", "B"),
+        ("I.n()", "B"),
+        ("M.x()", "I"),
+        ("M.x()!code", "I.m()"),
+        ("M.x()!code", "I"),
+        ("M.main()!code", "M.x()"),
+        ("M.main()!code", "A"),
+        ("M.main()!code", "M"),
+    ] {
+        cnf.add_clause(edge(from, to));
+    }
+
+    // Non-referential semantic dependencies.
+    for (c_impl, sig, method) in [
+        ("A<I", "I.m()", "A.m()"),
+        ("A<I", "I.n()", "A.n()"),
+        ("B<I", "I.m()", "B.m()"),
+        ("B<I", "I.n()", "B.n()"),
+    ] {
+        cnf.add_clause(Clause::implication([v(c_impl), v(sig)], [v(method)]));
+    }
+    cnf.add_clause(edge("M.main()!code", "A<I"));
+    cnf.add_clause(Clause::unit(Lit::pos(v("M.main()!code"))));
+    cnf
+}
+
+/// The optimal reduction of Figure 1b, as the paper lists it: all of `M`,
+/// class `A` with `m` (and its code) and the implements relation, and
+/// interface `I` with signature `m`.
+pub fn figure1b_solution(reg: &ItemRegistry) -> VarSet {
+    let names = [
+        "A<I",
+        "A.m()",
+        "A.m()!code",
+        "A",
+        "I.m()",
+        "I",
+        "M.x()!code",
+        "M.x()",
+        "M.main()!code",
+        "M.main()",
+        "M",
+    ];
+    let mut s = VarSet::empty(reg.len());
+    for n in names {
+        s.insert(figure2_var(reg, n));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typecheck::typecheck;
+
+    #[test]
+    fn program_parses_and_has_20_variables() {
+        let p = figure1_program();
+        let reg = ItemRegistry::from_program(&p);
+        assert_eq!(reg.len(), 20, "the paper counts 20 separate items");
+    }
+
+    #[test]
+    fn program_type_checks() {
+        let p = figure1_program();
+        let reg = ItemRegistry::from_program(&p);
+        typecheck(&p, &reg).expect("Figure 1a type checks");
+    }
+
+    #[test]
+    fn figure2_has_33_constraints() {
+        // 32 + 1 duplicate; our transcription keeps the duplicate
+        // ([B.n()] ⇒ [B] appears both syntactically and referentially) but
+        // the canonical clause set dedups it, plus the root requirement.
+        let p = figure1_program();
+        let reg = ItemRegistry::from_program(&p);
+        let mut cnf = figure2_cnf(&reg);
+        let removed = cnf.dedup_clauses();
+        assert_eq!(removed, 1, "exactly one duplicated clause (shown gray)");
+        assert_eq!(cnf.len(), 32);
+    }
+
+    #[test]
+    fn fj_needs_only_graphs_fji_needs_logic() {
+        // "While we can model the dependencies of Featherweight Java with
+        // graph constraints, we need the full power of propositional logic
+        // for FJI." — a pure-FJ program (no interfaces) generates a model
+        // that is 100% graph constraints; the FJI example does not.
+        let fj = crate::parser::parse_program(
+            "class P extends Object implements EmptyInterface {
+               P() { super(); }
+               String m() { return this.m(); }
+             }
+             class Q extends P implements EmptyInterface {
+               Q() { super(); }
+               String t() { return new P().m(); }
+             }
+             new Q().t();",
+        )
+        .expect("parses");
+        let reg = ItemRegistry::from_program(&fj);
+        let formula = crate::typecheck::typecheck(&fj, &reg).expect("type checks");
+        let mut cnf = formula.to_cnf();
+        cnf.ensure_vars(reg.len());
+        assert!(
+            (cnf.graph_fraction() - 1.0).abs() < 1e-9,
+            "FJ model must be all graph constraints: {:?}",
+            cnf.shape_histogram()
+        );
+
+        let fji = figure1_program();
+        let fji_reg = ItemRegistry::from_program(&fji);
+        let fji_cnf = crate::typecheck::typecheck_decls(&fji, &fji_reg)
+            .expect("type checks")
+            .to_cnf();
+        assert!(
+            fji_cnf.graph_fraction() < 1.0,
+            "the FJI example needs non-graph clauses"
+        );
+        assert!(fji_cnf.shape_histogram().general >= 4, "the four mAny clauses");
+    }
+
+    #[test]
+    fn model_counts_match_the_paper() {
+        let p = figure1_program();
+        let reg = ItemRegistry::from_program(&p);
+        // "there are 6,766 valid programs left" — the dependency model.
+        let dep = figure2_dependency_cnf(&reg);
+        assert_eq!(lbr_logic::count_models(&dep), 6_766);
+        // Conjoining the tool's requirement narrows the search space.
+        assert_eq!(lbr_logic::count_models(&figure2_cnf(&reg)), 543);
+    }
+
+    #[test]
+    fn generated_constraints_equivalent_to_figure2() {
+        let p = figure1_program();
+        let reg = ItemRegistry::from_program(&p);
+        let formula = crate::typecheck::typecheck_decls(&p, &reg).expect("type checks");
+        let mut generated = formula.to_cnf();
+        generated.ensure_vars(reg.len());
+        let fig2 = figure2_dependency_cnf(&reg);
+        // Semantic equivalence: same model count, and the conjunction has
+        // the same count (so neither side has extra models).
+        let n = lbr_logic::count_models(&generated);
+        assert_eq!(n, 6_766);
+        let mut both = generated.clone();
+        both.and(&fig2);
+        assert_eq!(lbr_logic::count_models(&both), 6_766);
+    }
+
+    #[test]
+    fn solution_satisfies_figure2() {
+        let p = figure1_program();
+        let reg = ItemRegistry::from_program(&p);
+        let cnf = figure2_cnf(&reg);
+        let solution = figure1b_solution(&reg);
+        assert!(cnf.eval(&solution));
+        assert_eq!(solution.len(), 11);
+    }
+}

@@ -1,0 +1,490 @@
+//! A recursive-descent parser for FJI source text.
+//!
+//! The grammar is Figure 4 of the paper, with Java-like concrete syntax;
+//! `//` line comments and `/* */` block comments are allowed. Output of
+//! [`crate::pretty::pretty`] parses back to the same AST.
+
+use crate::ast::*;
+use std::fmt;
+
+/// A parse error with a position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full FJI program: declarations followed by the main expression
+/// terminated with `;`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+///   class A extends Object implements EmptyInterface {
+///     A() { super(); }
+///     String m() { return this.m(); }
+///   }
+///   new A().m();
+/// ";
+/// let program = lbr_fji::parse_program(src)?;
+/// assert_eq!(program.decls.len(), 1);
+/// # Ok::<(), lbr_fji::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut decls = Vec::new();
+    while p.peek_keyword("class") || p.peek_keyword("interface") {
+        if p.peek_keyword("class") {
+            decls.push(TypeDecl::Class(p.class()?));
+        } else {
+            decls.push(TypeDecl::Interface(p.interface()?));
+        }
+    }
+    let main = p.expr()?;
+    p.expect_punct(';')?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error("trailing input after main expression"));
+    }
+    Ok(Program { decls, main })
+}
+
+/// Parses a single expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    offset: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(ParseError {
+                        offset: start,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(src[start..i].to_owned()),
+                offset: start,
+            });
+        } else if "(){};.,=".contains(c) {
+            out.push(Spanned {
+                tok: Tok::Punct(c),
+                offset: i,
+            });
+            i += 1;
+        } else {
+            return Err(ParseError {
+                offset: i,
+                message: format!("unexpected character {c:?}"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.tokens.get(self.pos).map_or(usize::MAX, |t| t.offset),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + ahead).map(|s| &s.tok)
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(0), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn peek_punct(&self, c: char) -> bool {
+        matches!(self.peek(0), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(self.error(format!("expected {kw:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.error(format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+
+    fn class(&mut self) -> Result<ClassDecl, ParseError> {
+        self.expect_keyword("class")?;
+        let name = self.expect_ident()?;
+        self.expect_keyword("extends")?;
+        let superclass = self.expect_ident()?;
+        self.expect_keyword("implements")?;
+        let interface = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut fields = Vec::new();
+        let mut ctor: Option<Constructor> = None;
+        let mut methods = Vec::new();
+        while !self.peek_punct('}') {
+            // Disambiguate: ctor = `C (`, field = `T f ;`, method = `T m (`.
+            let is_ctor = matches!(self.peek(0), Some(Tok::Ident(s)) if *s == name)
+                && matches!(self.peek(1), Some(Tok::Punct('(')));
+            if is_ctor {
+                if ctor.is_some() {
+                    return Err(self.error("duplicate constructor"));
+                }
+                ctor = Some(self.constructor()?);
+            } else {
+                let ty = self.expect_ident()?;
+                let member = self.expect_ident()?;
+                if self.peek_punct(';') {
+                    self.bump();
+                    fields.push(Field::new(ty, member));
+                } else {
+                    methods.push(self.method_tail(ty, member)?);
+                }
+            }
+        }
+        self.expect_punct('}')?;
+        let ctor = ctor.ok_or_else(|| self.error(format!("class {name} lacks a constructor")))?;
+        Ok(ClassDecl {
+            name,
+            superclass,
+            interface,
+            fields,
+            ctor,
+            methods,
+        })
+    }
+
+    fn constructor(&mut self) -> Result<Constructor, ParseError> {
+        let _name = self.expect_ident()?;
+        let params = self.params()?;
+        self.expect_punct('{')?;
+        self.expect_keyword("super")?;
+        self.expect_punct('(')?;
+        let mut super_args = Vec::new();
+        while !self.peek_punct(')') {
+            if !super_args.is_empty() {
+                self.expect_punct(',')?;
+            }
+            super_args.push(self.expect_ident()?);
+        }
+        self.expect_punct(')')?;
+        self.expect_punct(';')?;
+        let mut inits = Vec::new();
+        while self.peek_keyword("this") {
+            self.bump();
+            self.expect_punct('.')?;
+            let field = self.expect_ident()?;
+            self.expect_punct('=')?;
+            let param = self.expect_ident()?;
+            self.expect_punct(';')?;
+            inits.push((field, param));
+        }
+        self.expect_punct('}')?;
+        Ok(Constructor {
+            params,
+            super_args,
+            inits,
+        })
+    }
+
+    fn method_tail(&mut self, ret: String, name: String) -> Result<Method, ParseError> {
+        let params = self.params()?;
+        self.expect_punct('{')?;
+        self.expect_keyword("return")?;
+        let body = self.expr()?;
+        self.expect_punct(';')?;
+        self.expect_punct('}')?;
+        Ok(Method {
+            ret,
+            name,
+            params,
+            body,
+        })
+    }
+
+    fn interface(&mut self) -> Result<InterfaceDecl, ParseError> {
+        self.expect_keyword("interface")?;
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut sigs = Vec::new();
+        while !self.peek_punct('}') {
+            let ret = self.expect_ident()?;
+            let mname = self.expect_ident()?;
+            let params = self.params()?;
+            self.expect_punct(';')?;
+            sigs.push(Signature {
+                ret,
+                name: mname,
+                params,
+            });
+        }
+        self.expect_punct('}')?;
+        Ok(InterfaceDecl { name, sigs })
+    }
+
+    fn params(&mut self) -> Result<Vec<Field>, ParseError> {
+        self.expect_punct('(')?;
+        let mut out = Vec::new();
+        while !self.peek_punct(')') {
+            if !out.is_empty() {
+                self.expect_punct(',')?;
+            }
+            let ty = self.expect_ident()?;
+            let name = self.expect_ident()?;
+            out.push(Field::new(ty, name));
+        }
+        self.expect_punct(')')?;
+        Ok(out)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.peek_punct('.') {
+            self.bump();
+            let member = self.expect_ident()?;
+            if self.peek_punct('(') {
+                let args = self.args()?;
+                e = Expr::Call(Box::new(e), member, args);
+            } else {
+                e = Expr::Field(Box::new(e), member);
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek_keyword("new") {
+            self.bump();
+            let class = self.expect_ident()?;
+            let args = self.args()?;
+            return Ok(Expr::New(class, args));
+        }
+        if self.peek_punct('(') {
+            // Either a cast `(T) e` or a parenthesized expression `(e)`.
+            // `( Ident )` followed by a token that can start an expression
+            // is a cast.
+            let is_cast = matches!(self.peek(1), Some(Tok::Ident(_)))
+                && matches!(self.peek(2), Some(Tok::Punct(')')))
+                && matches!(
+                    self.peek(3),
+                    Some(Tok::Ident(_)) | Some(Tok::Punct('('))
+                );
+            self.bump(); // '('
+            if is_cast {
+                let ty = self.expect_ident()?;
+                self.expect_punct(')')?;
+                let inner = self.primary()?;
+                // Allow postfix on the cast operand? No: `(T) e.f` parses
+                // as `(T)(e.f)` in Java; keep the operand primary-only and
+                // rely on parentheses, which the pretty printer emits.
+                return Ok(Expr::Cast(ty, Box::new(inner)));
+            }
+            let inner = self.expr()?;
+            self.expect_punct(')')?;
+            return Ok(inner);
+        }
+        let ident = self.expect_ident()?;
+        Ok(Expr::Var(ident))
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct('(')?;
+        let mut out = Vec::new();
+        while !self.peek_punct(')') {
+            if !out.is_empty() {
+                self.expect_punct(',')?;
+            }
+            out.push(self.expr()?);
+        }
+        self.expect_punct(')')?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::{pretty, pretty_expr};
+
+    #[test]
+    fn parses_expressions() {
+        assert_eq!(parse_expr("x").unwrap(), Expr::var("x"));
+        assert_eq!(
+            parse_expr("new A()").unwrap(),
+            Expr::new_object("A", vec![])
+        );
+        assert_eq!(
+            parse_expr("this.s").unwrap(),
+            Expr::this().field("s")
+        );
+        assert_eq!(
+            parse_expr("a.m(b, new C())").unwrap(),
+            Expr::var("a").call("m", vec![Expr::var("b"), Expr::new_object("C", vec![])])
+        );
+    }
+
+    #[test]
+    fn parses_casts() {
+        assert_eq!(
+            parse_expr("(I) a").unwrap(),
+            Expr::var("a").cast("I")
+        );
+        assert_eq!(
+            parse_expr("((I) a).m()").unwrap(),
+            Expr::var("a").cast("I").call("m", vec![])
+        );
+        // Parenthesized expression, not a cast.
+        assert_eq!(parse_expr("(a)").unwrap(), Expr::var("a"));
+        assert_eq!(
+            parse_expr("(a.m())").unwrap(),
+            Expr::var("a").call("m", vec![])
+        );
+    }
+
+    #[test]
+    fn parses_class_with_fields_and_ctor() {
+        let src = "
+          class A extends Object implements I {
+            String s;
+            A(String s) { super(); this.s = s; }
+            String m() { return this.s; }
+          }
+          interface I { String m(); }
+          new A(x).m();
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 2);
+        let a = p.class("A").unwrap();
+        assert_eq!(a.fields, vec![Field::new("String", "s")]);
+        assert_eq!(a.ctor.inits, vec![("s".to_owned(), "s".to_owned())]);
+        assert_eq!(a.methods.len(), 1);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// header\nclass A extends Object implements EmptyInterface { /* c1 */ A() { super(); } }\nnew A(); // done";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_program("class {").is_err());
+        assert!(parse_expr("new ()").is_err());
+        assert!(parse_program("class A extends Object implements I { }\nx;").is_err()); // no ctor
+        assert!(parse_expr("x ~").is_err());
+        assert!(parse_program("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_roundtrip() {
+        let src = "
+          class A extends Object implements I {
+            A() { super(); }
+            String m() { return this.m(); }
+            B n() { return new B(); }
+          }
+          class B extends Object implements EmptyInterface {
+            B() { super(); }
+          }
+          interface I { String m(); }
+          new A().m();
+        ";
+        let p1 = parse_program(src).unwrap();
+        let printed = pretty(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2, "pretty output must reparse identically");
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let e = parse_expr("((I) a).m()").unwrap();
+        let printed = pretty_expr(&e);
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+}

@@ -1,0 +1,243 @@
+//! The program reducer `reduce(P, φ)` (Figure 5).
+//!
+//! Given a truth assignment `φ` over `V(P)` — represented as the set of
+//! true variables — the reducer keeps, rewires, or drops each construct:
+//!
+//! * a class with `φ([C]) = 0` is removed entirely,
+//! * `φ([C ◁ I]) = 0` rewires `implements I` to `implements
+//!   EmptyInterface`,
+//! * a method with `φ([C.m()!code]) = 0` but `φ([C.m()]) = 1` keeps its
+//!   header and gets the trivial body `return this.m(x̄);`,
+//! * a signature with `φ([I.m()]) = 0` is removed from its interface.
+//!
+//! Theorem 3.1 guarantees the result type checks whenever `φ` satisfies the
+//! generated constraints.
+
+use crate::ast::*;
+use crate::vars::{Item, ItemRegistry};
+use lbr_logic::VarSet;
+
+/// Applies `reduce(P, φ)` where `φ` assigns true exactly to `keep`.
+///
+/// Items without a registered variable (built-ins) are always kept.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_fji::{figure1_program, reduce, ItemRegistry};
+/// use lbr_logic::VarSet;
+/// let program = figure1_program();
+/// let reg = ItemRegistry::from_program(&program);
+/// // φ = all false: every class and interface is removed.
+/// let reduced = reduce(&program, &reg, &VarSet::empty(reg.len()));
+/// assert!(reduced.decls.is_empty());
+/// ```
+pub fn reduce(program: &Program, reg: &ItemRegistry, keep: &VarSet) -> Program {
+    let kept = |item: &Item| reg.var(item).is_none_or(|v| keep.contains(v));
+    let mut decls = Vec::new();
+    for decl in &program.decls {
+        match decl {
+            TypeDecl::Class(c) => {
+                if !kept(&Item::Class(c.name.clone())) {
+                    continue;
+                }
+                let interface = if c.interface != EMPTY_INTERFACE
+                    && kept(&Item::Impl(c.name.clone(), c.interface.clone()))
+                {
+                    c.interface.clone()
+                } else {
+                    EMPTY_INTERFACE.to_owned()
+                };
+                let mut methods = Vec::new();
+                for m in &c.methods {
+                    if !kept(&Item::Method(c.name.clone(), m.name.clone())) {
+                        continue;
+                    }
+                    if kept(&Item::MethodCode(c.name.clone(), m.name.clone())) {
+                        methods.push(m.clone());
+                    } else {
+                        methods.push(trivial_method(m));
+                    }
+                }
+                decls.push(TypeDecl::Class(ClassDecl {
+                    name: c.name.clone(),
+                    superclass: c.superclass.clone(),
+                    interface,
+                    fields: c.fields.clone(),
+                    ctor: c.ctor.clone(),
+                    methods,
+                }));
+            }
+            TypeDecl::Interface(i) => {
+                if !kept(&Item::Interface(i.name.clone())) {
+                    continue;
+                }
+                let sigs = i
+                    .sigs
+                    .iter()
+                    .filter(|s| kept(&Item::Signature(i.name.clone(), s.name.clone())))
+                    .cloned()
+                    .collect();
+                decls.push(TypeDecl::Interface(InterfaceDecl {
+                    name: i.name.clone(),
+                    sigs,
+                }));
+            }
+        }
+    }
+    Program {
+        decls,
+        main: program.main.clone(),
+    }
+}
+
+/// The trivial body of Figure 5: `T m(T̄ x̄) { return this.m(x̄); }`.
+fn trivial_method(m: &Method) -> Method {
+    Method {
+        ret: m.ret.clone(),
+        name: m.name.clone(),
+        params: m.params.clone(),
+        body: Expr::this().call(
+            m.name.clone(),
+            m.params.iter().map(|p| Expr::var(p.name.clone())).collect(),
+        ),
+    }
+}
+
+/// A crude size metric for FJI programs: the number of AST nodes. Useful
+/// for comparing reductions.
+pub fn program_size(program: &Program) -> usize {
+    let mut size = 1 + expr_size(&program.main);
+    for d in &program.decls {
+        match d {
+            TypeDecl::Class(c) => {
+                size += 2 + c.fields.len() + c.ctor.params.len();
+                for m in &c.methods {
+                    size += 1 + m.params.len() + expr_size(&m.body);
+                }
+            }
+            TypeDecl::Interface(i) => {
+                size += 1;
+                for s in &i.sigs {
+                    size += 1 + s.params.len();
+                }
+            }
+        }
+    }
+    size
+}
+
+fn expr_size(e: &Expr) -> usize {
+    match e {
+        Expr::Var(_) => 1,
+        Expr::Field(r, _) => 1 + expr_size(r),
+        Expr::Call(r, _, args) => 1 + expr_size(r) + args.iter().map(expr_size).sum::<usize>(),
+        Expr::New(_, args) => 1 + args.iter().map(expr_size).sum::<usize>(),
+        Expr::Cast(_, r) => 1 + expr_size(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn program() -> Program {
+        parse_program(
+            "class A extends Object implements I {
+               A() { super(); }
+               String m() { return this.m(); }
+             }
+             interface I { String m(); }
+             new A();",
+        )
+        .expect("parses")
+    }
+
+    fn keep_items(reg: &ItemRegistry, items: &[Item]) -> VarSet {
+        let mut s = VarSet::empty(reg.len());
+        for i in items {
+            s.insert(reg.var(i).expect("registered"));
+        }
+        s
+    }
+
+    #[test]
+    fn drop_implements_rewires_to_empty() {
+        let p = program();
+        let reg = ItemRegistry::from_program(&p);
+        let keep = keep_items(
+            &reg,
+            &[
+                Item::Class("A".into()),
+                Item::Method("A".into(), "m".into()),
+                Item::MethodCode("A".into(), "m".into()),
+                Item::Interface("I".into()),
+                Item::Signature("I".into(), "m".into()),
+            ],
+        );
+        let r = reduce(&p, &reg, &keep);
+        let a = r.class("A").expect("A kept");
+        assert_eq!(a.interface, EMPTY_INTERFACE);
+        assert!(r.interface("I").is_some());
+    }
+
+    #[test]
+    fn drop_code_gives_trivial_body() {
+        let p = parse_program(
+            "class A extends Object implements EmptyInterface {
+               A() { super(); }
+               String m(String s) { return s; }
+             }
+             new A();",
+        )
+        .unwrap();
+        let reg = ItemRegistry::from_program(&p);
+        let keep = keep_items(
+            &reg,
+            &[Item::Class("A".into()), Item::Method("A".into(), "m".into())],
+        );
+        let r = reduce(&p, &reg, &keep);
+        let m = &r.class("A").unwrap().methods[0];
+        assert_eq!(
+            m.body,
+            Expr::this().call("m", vec![Expr::var("s")]),
+            "trivial body is `return this.m(s);`"
+        );
+    }
+
+    #[test]
+    fn drop_method_removes_it() {
+        let p = program();
+        let reg = ItemRegistry::from_program(&p);
+        let keep = keep_items(&reg, &[Item::Class("A".into())]);
+        let r = reduce(&p, &reg, &keep);
+        assert!(r.class("A").unwrap().methods.is_empty());
+    }
+
+    #[test]
+    fn drop_signature_removes_it() {
+        let p = program();
+        let reg = ItemRegistry::from_program(&p);
+        let keep = keep_items(&reg, &[Item::Interface("I".into())]);
+        let r = reduce(&p, &reg, &keep);
+        assert!(r.interface("I").unwrap().sigs.is_empty());
+    }
+
+    #[test]
+    fn keep_everything_is_identity_modulo_nothing() {
+        let p = program();
+        let reg = ItemRegistry::from_program(&p);
+        let all = VarSet::full(reg.len());
+        assert_eq!(reduce(&p, &reg, &all), p);
+    }
+
+    #[test]
+    fn size_metric_monotone() {
+        let p = program();
+        let reg = ItemRegistry::from_program(&p);
+        let all = VarSet::full(reg.len());
+        let none = VarSet::empty(reg.len());
+        assert!(program_size(&reduce(&p, &reg, &all)) > program_size(&reduce(&p, &reg, &none)));
+    }
+}

@@ -1,0 +1,845 @@
+//! The constraint-generating type checker `⊢ P | π` (Figures 6 and 7).
+//!
+//! Type checking *simultaneously* verifies the program and produces a
+//! propositional formula `π` over the variables `V(P)` modeling every
+//! internal dependency: syntactic (children require their parents),
+//! referential (mentioning a construct requires it) and non-referential
+//! (e.g. "if `C` implements `I` and `I` keeps signature `m`, some method
+//! `m` must remain reachable from `C`" — the `mAny` constraints no
+//! dependency graph can express).
+//!
+//! Theorem 3.1: if `⊢ P | π` and `φ ⊨ π`, then `reduce(P, φ)` type checks.
+
+use crate::ast::*;
+use crate::vars::{Item, ItemRegistry};
+use lbr_logic::Formula;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A type error found while checking a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A type name with no declaration.
+    UnknownType(String),
+    /// A name was declared twice.
+    DuplicateDecl(String),
+    /// A member was declared twice within one type.
+    DuplicateMember { /// Enclosing type.
+        owner: String, /// Member name.
+        member: String },
+    /// A class `extends` a non-class or `implements` a non-interface.
+    BadKind { /// The name used.
+        name: String, /// What was expected ("class"/"interface").
+        expected: &'static str },
+    /// The constructor is not the canonical FJ constructor.
+    BadConstructor(String),
+    /// A method overrides a superclass method at a different type.
+    BadOverride { /// Class declaring the override.
+        class: String, /// Method name.
+        method: String },
+    /// An unbound variable in an expression.
+    UnboundVar(String),
+    /// No field `field` on type `ty`.
+    NoSuchField { /// Receiver type.
+        ty: String, /// Field name.
+        field: String },
+    /// No method `method` on type `ty`.
+    NoSuchMethod { /// Receiver type.
+        ty: String, /// Method name.
+        method: String },
+    /// `sub` is not a subtype of `sup`.
+    NotSubtype { /// The smaller type.
+        sub: String, /// The required supertype.
+        sup: String },
+    /// Wrong number of arguments.
+    ArityMismatch { /// What was called.
+        target: String, /// Expected count.
+        expected: usize, /// Found count.
+        found: usize },
+    /// A class does not implement (or inherit) a signature of its
+    /// interface at the right type.
+    SignatureUnimplemented { /// The class.
+        class: String, /// The signature name.
+        method: String },
+    /// Cyclic inheritance.
+    InheritanceCycle(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownType(t) => write!(f, "unknown type {t}"),
+            TypeError::DuplicateDecl(t) => write!(f, "duplicate declaration of {t}"),
+            TypeError::DuplicateMember { owner, member } => {
+                write!(f, "duplicate member {member} in {owner}")
+            }
+            TypeError::BadKind { name, expected } => write!(f, "{name} is not a {expected}"),
+            TypeError::BadConstructor(c) => write!(f, "non-canonical constructor in {c}"),
+            TypeError::BadOverride { class, method } => {
+                write!(f, "invalid override of {method} in {class}")
+            }
+            TypeError::UnboundVar(x) => write!(f, "unbound variable {x}"),
+            TypeError::NoSuchField { ty, field } => write!(f, "no field {field} on {ty}"),
+            TypeError::NoSuchMethod { ty, method } => write!(f, "no method {method} on {ty}"),
+            TypeError::NotSubtype { sub, sup } => write!(f, "{sub} is not a subtype of {sup}"),
+            TypeError::ArityMismatch {
+                target,
+                expected,
+                found,
+            } => write!(f, "{target} expects {expected} arguments, found {found}"),
+            TypeError::SignatureUnimplemented { class, method } => {
+                write!(f, "{class} does not implement signature {method}")
+            }
+            TypeError::InheritanceCycle(c) => write!(f, "inheritance cycle through {c}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Type checks `program` and returns the dependency formula `π`.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found; a reduced program produced by
+/// [`crate::reduce`] from any `φ ⊨ π` never errors (Theorem 3.1, verified
+/// exhaustively in this crate's tests).
+///
+/// # Examples
+///
+/// ```
+/// use lbr_fji::{figure1_program, typecheck, ItemRegistry};
+/// let program = figure1_program();
+/// let reg = ItemRegistry::from_program(&program);
+/// let formula = typecheck(&program, &reg)?;
+/// let cnf = formula.to_cnf();
+/// assert!(cnf.len() > 20);
+/// # Ok::<(), lbr_fji::TypeError>(())
+/// ```
+pub fn typecheck(program: &Program, reg: &ItemRegistry) -> Result<Formula, TypeError> {
+    let checker = Checker { program, reg };
+    checker.program()
+}
+
+/// Type checks without caring about the formula (used on reduced programs).
+pub fn typechecks(program: &Program) -> Result<(), TypeError> {
+    let reg = ItemRegistry::from_program(program);
+    typecheck(program, &reg).map(|_| ())
+}
+
+/// Type checks only the declarations `R̄` of the program, skipping the main
+/// expression.
+///
+/// This is the constraint set Figure 2 prints: the dependencies of the
+/// class table alone. The tool's entry-point requirement (e.g.
+/// `[M.main()!code]`) is conjoined *after* generation, exactly as the
+/// paper describes.
+///
+/// # Errors
+///
+/// As for [`typecheck`].
+pub fn typecheck_decls(program: &Program, reg: &ItemRegistry) -> Result<Formula, TypeError> {
+    let checker = Checker { program, reg };
+    checker.decls_only()
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+    reg: &'p ItemRegistry,
+}
+
+type MethodType = (Vec<String>, String);
+
+impl Checker<'_> {
+    // ------------------------------------------------------------------
+    // Figure 6: helper rules.
+    // ------------------------------------------------------------------
+
+    /// `fields(P, C)`: superclass fields then own fields.
+    fn fields(&self, class: &str) -> Result<Vec<Field>, TypeError> {
+        self.check_acyclic(class)?;
+        if class == OBJECT {
+            return Ok(Vec::new());
+        }
+        let decl = self
+            .program
+            .class(class)
+            .ok_or_else(|| TypeError::UnknownType(class.to_owned()))?;
+        let mut out = self.fields(&decl.superclass)?;
+        out.extend(decl.fields.iter().cloned());
+        Ok(out)
+    }
+
+    /// `mtype(P, m, T)` for classes (walking superclasses) and interfaces.
+    fn mtype(&self, method: &str, ty: &str) -> Result<Option<MethodType>, TypeError> {
+        if ty == OBJECT {
+            return Ok(None);
+        }
+        if let Some(iface) = self.program.interface(ty) {
+            return Ok(iface.sig(method).map(|s| s.method_type()));
+        }
+        let decl = self
+            .program
+            .class(ty)
+            .ok_or_else(|| TypeError::UnknownType(ty.to_owned()))?;
+        if let Some(m) = decl.method(method) {
+            return Ok(Some((
+                m.params.iter().map(|p| p.ty.clone()).collect(),
+                m.ret.clone(),
+            )));
+        }
+        self.mtype(method, &decl.superclass)
+    }
+
+    /// `mAny(P, m, T)`: the disjunction of method variables that can
+    /// provide `m` on `T`. For classes this walks the superclass chain;
+    /// for interfaces it is the signature variable.
+    fn many(&self, method: &str, ty: &str) -> Result<Formula, TypeError> {
+        if ty == OBJECT || ty == STRING {
+            return Ok(Formula::ff());
+        }
+        if self.program.interface(ty).is_some() {
+            let iface = self.program.interface(ty).expect("checked");
+            return Ok(if iface.sig(method).is_some() {
+                self.reg
+                    .formula(&Item::Signature(ty.to_owned(), method.to_owned()))
+            } else {
+                Formula::ff()
+            });
+        }
+        let decl = self
+            .program
+            .class(ty)
+            .ok_or_else(|| TypeError::UnknownType(ty.to_owned()))?;
+        let rest = self.many(method, &decl.superclass)?;
+        Ok(if decl.method(method).is_some() {
+            Formula::or([
+                self.reg
+                    .formula(&Item::Method(ty.to_owned(), method.to_owned())),
+                rest,
+            ])
+        } else {
+            rest
+        })
+    }
+
+    /// Subtyping `P ⊢ T ≤ T' | π`: reflexivity, superclass steps (free),
+    /// and implements steps (cost `[C ◁ I]`). Returns `None` when no
+    /// derivation exists.
+    fn subtype(&self, sub: &str, sup: &str) -> Result<Option<Formula>, TypeError> {
+        if sub == sup {
+            return Ok(Some(Formula::tt()));
+        }
+        if self.program.interface(sub).is_some() {
+            // Interfaces are only subtypes of themselves in FJI.
+            return Ok(None);
+        }
+        if sub == OBJECT {
+            return Ok(None);
+        }
+        let decl = self
+            .program
+            .class(sub)
+            .ok_or_else(|| TypeError::UnknownType(sub.to_owned()))?;
+        // Superclass chain first — that derivation carries no constraint.
+        if let Some(pi) = self.subtype(&decl.superclass, sup)? {
+            return Ok(Some(pi));
+        }
+        // Implements step.
+        if decl.interface == sup {
+            return Ok(Some(self.reg.formula(&Item::Impl(
+                decl.name.clone(),
+                decl.interface.clone(),
+            ))));
+        }
+        Ok(None)
+    }
+
+    /// `override(P, m, D, T̄ → T)`: if the superclass defines `m`, its type
+    /// must be identical.
+    fn check_override(
+        &self,
+        method: &str,
+        superclass: &str,
+        mt: &MethodType,
+        class: &str,
+    ) -> Result<(), TypeError> {
+        match self.mtype(method, superclass)? {
+            Some(existing) if existing != *mt => Err(TypeError::BadOverride {
+                class: class.to_owned(),
+                method: method.to_owned(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    fn check_acyclic(&self, class: &str) -> Result<(), TypeError> {
+        let mut seen = vec![class.to_owned()];
+        let mut cur = class.to_owned();
+        while cur != OBJECT {
+            let decl = self.program.class(&cur).ok_or_else(|| {
+                if self.program.is_interface(&cur) {
+                    TypeError::BadKind {
+                        name: cur.clone(),
+                        expected: "class",
+                    }
+                } else {
+                    TypeError::UnknownType(cur.clone())
+                }
+            })?;
+            cur = decl.superclass.clone();
+            if seen.contains(&cur) {
+                return Err(TypeError::InheritanceCycle(class.to_owned()));
+            }
+            seen.push(cur.clone());
+        }
+        Ok(())
+    }
+
+    /// The `[T]` formula of a type name, erroring on unknown types.
+    fn type_var(&self, name: &str) -> Result<Formula, TypeError> {
+        if !self.program.is_type(name) {
+            return Err(TypeError::UnknownType(name.to_owned()));
+        }
+        Ok(self.reg.type_formula(self.program, name))
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 7: type rules.
+    // ------------------------------------------------------------------
+
+    fn program(&self) -> Result<Formula, TypeError> {
+        let decls = self.decls_only()?;
+        let (_ty, pi) = self.expr(&HashMap::new(), &self.program.main)?;
+        Ok(Formula::and([decls, pi]))
+    }
+
+    fn decls_only(&self) -> Result<Formula, TypeError> {
+        // Reject duplicate type names (including clashes with built-ins).
+        let mut names: Vec<&str> = Vec::new();
+        for d in &self.program.decls {
+            let n = d.name();
+            if names.contains(&n) || is_builtin(n) {
+                return Err(TypeError::DuplicateDecl(n.to_owned()));
+            }
+            names.push(n);
+        }
+        let mut parts = Vec::new();
+        for d in &self.program.decls {
+            parts.push(match d {
+                TypeDecl::Class(c) => self.class_ok(c)?,
+                TypeDecl::Interface(i) => self.interface_ok(i)?,
+            });
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn class_ok(&self, c: &ClassDecl) -> Result<Formula, TypeError> {
+        self.check_acyclic(&c.name)?;
+        // Superclass must be a class, interface an interface.
+        if !self.program.is_class(&c.superclass) {
+            return Err(if self.program.is_type(&c.superclass) {
+                TypeError::BadKind {
+                    name: c.superclass.clone(),
+                    expected: "class",
+                }
+            } else {
+                TypeError::UnknownType(c.superclass.clone())
+            });
+        }
+        let iface = self.program.interface(&c.interface).ok_or_else(|| {
+            if self.program.is_type(&c.interface) {
+                TypeError::BadKind {
+                    name: c.interface.clone(),
+                    expected: "interface",
+                }
+            } else {
+                TypeError::UnknownType(c.interface.clone())
+            }
+        })?;
+        // Duplicate members.
+        let mut seen = Vec::new();
+        for m in &c.methods {
+            if seen.contains(&&m.name) {
+                return Err(TypeError::DuplicateMember {
+                    owner: c.name.clone(),
+                    member: m.name.clone(),
+                });
+            }
+            seen.push(&m.name);
+        }
+        let mut seen_fields = Vec::new();
+        for f in &c.fields {
+            self.type_var(&f.ty)?; // field types must exist
+            if seen_fields.contains(&&f.name) {
+                return Err(TypeError::DuplicateMember {
+                    owner: c.name.clone(),
+                    member: f.name.clone(),
+                });
+            }
+            seen_fields.push(&f.name);
+        }
+        // Constructor must be canonical:
+        // K = C(Ū ḡ, T̄ f̄) { super(ḡ); this.f̄ = f̄; }.
+        let super_fields = self.fields(&c.superclass)?;
+        let expected = Constructor::canonical(&super_fields, &c.fields);
+        if c.ctor != expected {
+            return Err(TypeError::BadConstructor(c.name.clone()));
+        }
+        // Methods.
+        let mut parts = Vec::new();
+        for m in &c.methods {
+            parts.push(self.method_ok(c, m)?);
+        }
+        // Signatures of the interface, relative to this class.
+        for s in &iface.sigs {
+            parts.push(self.signature_ok_for_class(c, &iface.name, s)?);
+        }
+        // ([C] ⇒ [D] ∧ [Ū] ∧ [T̄]) ∧ ([C◁I] ⇒ [C] ∧ [I]).
+        let class_var = self.reg.formula(&Item::Class(c.name.clone()));
+        let mut requires = vec![self.type_var(&c.superclass)?];
+        for f in super_fields.iter().chain(&c.fields) {
+            requires.push(self.type_var(&f.ty)?);
+        }
+        parts.push(class_var.clone().implies(Formula::and(requires)));
+        if c.interface != EMPTY_INTERFACE {
+            let impl_var = self
+                .reg
+                .formula(&Item::Impl(c.name.clone(), c.interface.clone()));
+            parts.push(impl_var.implies(Formula::and([class_var, self.type_var(&c.interface)?])));
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn method_ok(&self, c: &ClassDecl, m: &Method) -> Result<Formula, TypeError> {
+        let mt: MethodType = (
+            m.params.iter().map(|p| p.ty.clone()).collect(),
+            m.ret.clone(),
+        );
+        self.check_override(&m.name, &c.superclass, &mt, &c.name)?;
+        // Parameter names must be distinct.
+        let mut seen = Vec::new();
+        for p in &m.params {
+            if seen.contains(&&p.name) || p.name == "this" {
+                return Err(TypeError::DuplicateMember {
+                    owner: format!("{}.{}", c.name, m.name),
+                    member: p.name.clone(),
+                });
+            }
+            seen.push(&p.name);
+        }
+        let mut env: HashMap<String, String> = m
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.ty.clone()))
+            .collect();
+        env.insert("this".to_owned(), c.name.clone());
+        let (body_ty, pi1) = self.expr(&env, &m.body)?;
+        let pi2 = self
+            .subtype(&body_ty, &m.ret)?
+            .ok_or_else(|| TypeError::NotSubtype {
+                sub: body_ty.clone(),
+                sup: m.ret.clone(),
+            })?;
+        // ([C.m()] ⇒ [C] ∧ [T̄] ∧ [T]) ∧ ([C.m()!code] ⇒ [C.m()] ∧ π₁ ∧ π₂).
+        let method_var = self
+            .reg
+            .formula(&Item::Method(c.name.clone(), m.name.clone()));
+        let code_var = self
+            .reg
+            .formula(&Item::MethodCode(c.name.clone(), m.name.clone()));
+        let mut requires = vec![self.reg.formula(&Item::Class(c.name.clone()))];
+        for p in &m.params {
+            requires.push(self.type_var(&p.ty)?);
+        }
+        requires.push(self.type_var(&m.ret)?);
+        Ok(Formula::and([
+            method_var.clone().implies(Formula::and(requires)),
+            code_var.implies(Formula::and([method_var, pi1, pi2])),
+        ]))
+    }
+
+    fn interface_ok(&self, i: &InterfaceDecl) -> Result<Formula, TypeError> {
+        let mut seen = Vec::new();
+        let mut parts = Vec::new();
+        for s in &i.sigs {
+            if seen.contains(&&s.name) {
+                return Err(TypeError::DuplicateMember {
+                    owner: i.name.clone(),
+                    member: s.name.clone(),
+                });
+            }
+            seen.push(&s.name);
+            // [I.m()] ⇒ [I] ∧ [T̄] ∧ [T].
+            let mut requires = vec![self.reg.formula(&Item::Interface(i.name.clone()))];
+            for p in &s.params {
+                requires.push(self.type_var(&p.ty)?);
+            }
+            requires.push(self.type_var(&s.ret)?);
+            let sig_var = self
+                .reg
+                .formula(&Item::Signature(i.name.clone(), s.name.clone()));
+            parts.push(sig_var.implies(Formula::and(requires)));
+        }
+        Ok(Formula::and(parts))
+    }
+
+    /// "Signature typing relative to a class": `mtype(P, m, C)` must match
+    /// the signature, and `([C◁I] ∧ [I.m()]) ⇒ mAny(P, m, C)`.
+    fn signature_ok_for_class(
+        &self,
+        c: &ClassDecl,
+        iface: &str,
+        s: &Signature,
+    ) -> Result<Formula, TypeError> {
+        match self.mtype(&s.name, &c.name)? {
+            Some(mt) if mt == s.method_type() => {}
+            _ => {
+                return Err(TypeError::SignatureUnimplemented {
+                    class: c.name.clone(),
+                    method: s.name.clone(),
+                })
+            }
+        }
+        let impl_var = self
+            .reg
+            .formula(&Item::Impl(c.name.clone(), iface.to_owned()));
+        let sig_var = self
+            .reg
+            .formula(&Item::Signature(iface.to_owned(), s.name.clone()));
+        let many = self.many(&s.name, &c.name)?;
+        Ok(Formula::and([impl_var, sig_var]).implies(many))
+    }
+
+    /// Expression typing `P, Γ ⊢ e : T | π`.
+    fn expr(
+        &self,
+        env: &HashMap<String, String>,
+        e: &Expr,
+    ) -> Result<(String, Formula), TypeError> {
+        match e {
+            Expr::Var(x) => {
+                let ty = env
+                    .get(x)
+                    .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+                Ok((ty.clone(), Formula::tt()))
+            }
+            Expr::Field(recv, field) => {
+                let (recv_ty, pi) = self.expr(env, recv)?;
+                if self.program.interface(&recv_ty).is_some() {
+                    return Err(TypeError::NoSuchField {
+                        ty: recv_ty,
+                        field: field.clone(),
+                    });
+                }
+                let fields = self.fields(&recv_ty)?;
+                let f = fields
+                    .iter()
+                    .find(|f| f.name == *field)
+                    .ok_or_else(|| TypeError::NoSuchField {
+                        ty: recv_ty.clone(),
+                        field: field.clone(),
+                    })?;
+                Ok((f.ty.clone(), pi))
+            }
+            Expr::Call(recv, method, args) => {
+                let (recv_ty, pi) = self.expr(env, recv)?;
+                let (param_tys, ret) = self
+                    .mtype(method, &recv_ty)?
+                    .ok_or_else(|| TypeError::NoSuchMethod {
+                        ty: recv_ty.clone(),
+                        method: method.clone(),
+                    })?;
+                if args.len() != param_tys.len() {
+                    return Err(TypeError::ArityMismatch {
+                        target: format!("{recv_ty}.{method}()"),
+                        expected: param_tys.len(),
+                        found: args.len(),
+                    });
+                }
+                let mut parts = vec![self.type_var(&recv_ty)?, pi];
+                for (arg, want) in args.iter().zip(&param_tys) {
+                    let (got, pi_arg) = self.expr(env, arg)?;
+                    let pi_sub =
+                        self.subtype(&got, want)?
+                            .ok_or_else(|| TypeError::NotSubtype {
+                                sub: got.clone(),
+                                sup: want.clone(),
+                            })?;
+                    parts.push(pi_arg);
+                    parts.push(pi_sub);
+                }
+                parts.push(self.many(method, &recv_ty)?);
+                Ok((ret, Formula::and(parts)))
+            }
+            Expr::New(class, args) => {
+                let decl = self.program.class(class).ok_or_else(|| {
+                    if self.program.is_type(class) {
+                        TypeError::BadKind {
+                            name: class.clone(),
+                            expected: "class",
+                        }
+                    } else {
+                        TypeError::UnknownType(class.clone())
+                    }
+                })?;
+                let fields = self.fields(&decl.name)?;
+                if args.len() != fields.len() {
+                    return Err(TypeError::ArityMismatch {
+                        target: format!("new {class}()"),
+                        expected: fields.len(),
+                        found: args.len(),
+                    });
+                }
+                let mut parts = vec![self.type_var(class)?];
+                for (arg, want) in args.iter().zip(&fields) {
+                    let (got, pi_arg) = self.expr(env, arg)?;
+                    let pi_sub =
+                        self.subtype(&got, &want.ty)?
+                            .ok_or_else(|| TypeError::NotSubtype {
+                                sub: got.clone(),
+                                sup: want.ty.clone(),
+                            })?;
+                    parts.push(pi_arg);
+                    parts.push(pi_sub);
+                }
+                Ok((class.clone(), Formula::and(parts)))
+            }
+            Expr::Cast(ty, inner) => {
+                let (_inner_ty, pi) = self.expr(env, inner)?;
+                let tv = self.type_var(ty)?;
+                Ok((ty.clone(), Formula::and([tv, pi])))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::vars::ItemRegistry;
+
+    fn check(src: &str) -> Result<Formula, TypeError> {
+        let p = parse_program(src).expect("parses");
+        let reg = ItemRegistry::from_program(&p);
+        typecheck(&p, &reg)
+    }
+
+    #[test]
+    fn minimal_program_checks() {
+        let f = check(
+            "class A extends Object implements EmptyInterface { A() { super(); } }\nnew A();",
+        )
+        .unwrap();
+        // π is just [A] for the main expression.
+        let cnf = f.to_cnf();
+        assert_eq!(cnf.len(), 1);
+    }
+
+    #[test]
+    fn field_access_types() {
+        check(
+            "class A extends Object implements EmptyInterface {
+               String s;
+               A(String s) { super(); this.s = s; }
+               String m() { return this.s; }
+             }
+             new A(x);",
+        )
+        .unwrap_err(); // x unbound in main
+        let ok = check(
+            "class A extends Object implements EmptyInterface {
+               String s;
+               A(String s) { super(); this.s = s; }
+               String m() { return this.s; }
+             }
+             new A(new A(new B().t()).m());
+            ",
+        );
+        // B unknown.
+        assert!(matches!(ok, Err(TypeError::UnknownType(_))));
+    }
+
+    #[test]
+    fn inherited_fields_in_constructor() {
+        check(
+            "class A extends Object implements EmptyInterface {
+               String s;
+               A(String s) { super(); this.s = s; }
+             }
+             class B extends A implements EmptyInterface {
+               String t;
+               B(String s, String t) { super(s); this.t = t; }
+               String both() { return this.s; }
+             }
+             new A(new B(a, b).t);",
+        )
+        .unwrap_err(); // a, b unbound — but class bodies themselves check
+        let err = check(
+            "class A extends Object implements EmptyInterface {
+               String s;
+               A(String s) { super(); this.s = s; }
+             }
+             class B extends A implements EmptyInterface {
+               String t;
+               B(String t) { super(); this.t = t; }
+             }
+             new B(new A(x).s);",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::BadConstructor(_)), "{err:?}");
+    }
+
+    #[test]
+    fn override_must_match() {
+        let err = check(
+            "class A extends Object implements EmptyInterface {
+               A() { super(); }
+               String m() { return this.m(); }
+             }
+             class B extends A implements EmptyInterface {
+               B() { super(); }
+               B m() { return new B(); }
+             }
+             new B();",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::BadOverride { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn signature_must_be_implemented() {
+        let err = check(
+            "class A extends Object implements I {
+               A() { super(); }
+             }
+             interface I { String m(); }
+             new A();",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TypeError::SignatureUnimplemented { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn signature_can_be_inherited() {
+        // B inherits A.m(), satisfying I via inheritance — the paper's
+        // "we can refer to methods that are defined in a superclass".
+        let f = check(
+            "class A extends Object implements EmptyInterface {
+               A() { super(); }
+               String m() { return this.m(); }
+             }
+             class B extends A implements I {
+               B() { super(); }
+             }
+             interface I { String m(); }
+             new B().m();",
+        )
+        .unwrap();
+        // The relative-signature constraint must mention [A.m()] through
+        // mAny(P, m, B) = mAny(P, m, A) = [A.m()].
+        let text = format!("{f:?}");
+        assert!(text.contains('v'), "formula should mention variables: {text}");
+    }
+
+    #[test]
+    fn call_through_interface() {
+        check(
+            "class A extends Object implements I {
+               A() { super(); }
+               String m() { return this.m(); }
+             }
+             interface I { String m(); }
+             class M extends Object implements EmptyInterface {
+               M() { super(); }
+               String x(I a) { return a.m(); }
+             }
+             new M().x(new A());",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn cast_requires_type_exists() {
+        let err = check(
+            "class A extends Object implements EmptyInterface {
+               A() { super(); }
+               Object m() { return (Missing) this; }
+             }
+             new A();",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::UnknownType(_)));
+        // Downcasts are allowed (FJ-style): Object → A.
+        check(
+            "class A extends Object implements EmptyInterface {
+               A() { super(); }
+               A m(Object o) { return (A) o; }
+             }
+             new A();",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn arity_checked() {
+        let err = check(
+            "class A extends Object implements EmptyInterface {
+               A() { super(); }
+               String m(String s) { return s; }
+             }
+             new A().m();",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn inheritance_cycle_detected() {
+        let err = check(
+            "class A extends B implements EmptyInterface { A() { super(); } }
+             class B extends A implements EmptyInterface { B() { super(); } }
+             new A();",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::InheritanceCycle(_)), "{err:?}");
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        let err = check(
+            "class A extends Object implements EmptyInterface { A() { super(); } }
+             class A extends Object implements EmptyInterface { A() { super(); } }
+             new A();",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::DuplicateDecl(_)));
+        let err = check(
+            "class String extends Object implements EmptyInterface { String() { super(); } }
+             new String();",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::DuplicateDecl(_)));
+    }
+
+    #[test]
+    fn class_cannot_extend_interface() {
+        let err = check(
+            "interface I { }
+             class A extends I implements EmptyInterface { A() { super(); } }
+             new A();",
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::BadKind { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn interface_not_instantiable() {
+        let err = check("interface I { }\nnew I();").unwrap_err();
+        assert!(matches!(err, TypeError::BadKind { .. }));
+    }
+}

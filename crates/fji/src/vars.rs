@@ -1,0 +1,245 @@
+//! The Boolean variables `V(P)` of a program (Section 3).
+//!
+//! Six kinds of variables toggle the removable constructs: `[C]` a class,
+//! `[I]` an interface, `[C ◁ I]` an implements relation, `[C.m()]` a
+//! method, `[C.m()!code]` a method body, and `[I.m()]` a signature.
+//! Built-in types (`Object`, `String`, `EmptyInterface`) are never reduced,
+//! so they get no variables — "we replace their variables with true".
+
+use crate::ast::{is_builtin, Program, EMPTY_INTERFACE};
+use lbr_logic::{Formula, Var, VarSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reducible construct of an FJI program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Item {
+    /// `[C]` — the class itself.
+    Class(String),
+    /// `[I]` — the interface itself.
+    Interface(String),
+    /// `[C ◁ I]` — that `C` implements `I` (removal rewires to
+    /// `EmptyInterface`).
+    Impl(String, String),
+    /// `[C.m()]` — the method `m` in class `C`.
+    Method(String, String),
+    /// `[C.m()!code]` — the body of `C.m()` (removal replaces it with a
+    /// trivial body).
+    MethodCode(String, String),
+    /// `[I.m()]` — the signature `m` in interface `I`.
+    Signature(String, String),
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Class(c) => write!(f, "[{c}]"),
+            Item::Interface(i) => write!(f, "[{i}]"),
+            Item::Impl(c, i) => write!(f, "[{c}<{i}]"),
+            Item::Method(c, m) => write!(f, "[{c}.{m}()]"),
+            Item::MethodCode(c, m) => write!(f, "[{c}.{m}()!code]"),
+            Item::Signature(i, m) => write!(f, "[{i}.{m}()]"),
+        }
+    }
+}
+
+/// Maps the items of a program to dense logic variables and back.
+///
+/// Built-in types yield no variable; [`ItemRegistry::formula`] returns the
+/// constant `true` for them, so constraint generation can mention them
+/// uniformly.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_fji::{figure1_program, ItemRegistry, Item};
+/// let program = figure1_program();
+/// let reg = ItemRegistry::from_program(&program);
+/// assert_eq!(reg.len(), 20); // the paper's 20 variables
+/// assert!(reg.var(&Item::Impl("A".into(), "I".into())).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ItemRegistry {
+    items: Vec<Item>,
+    index: HashMap<Item, Var>,
+}
+
+impl ItemRegistry {
+    /// Collects the variables of `program` in declaration order (classes:
+    /// `[C]`, `[C◁I]`, then per method `[C.m()]`, `[C.m()!code]`;
+    /// interfaces: `[I]` then `[I.m()]` per signature).
+    pub fn from_program(program: &Program) -> Self {
+        let mut reg = ItemRegistry::default();
+        for class in program.classes() {
+            reg.add(Item::Class(class.name.clone()));
+            if class.interface != EMPTY_INTERFACE {
+                reg.add(Item::Impl(class.name.clone(), class.interface.clone()));
+            }
+            for m in &class.methods {
+                reg.add(Item::Method(class.name.clone(), m.name.clone()));
+                reg.add(Item::MethodCode(class.name.clone(), m.name.clone()));
+            }
+        }
+        for iface in program.interfaces() {
+            reg.add(Item::Interface(iface.name.clone()));
+            for s in &iface.sigs {
+                reg.add(Item::Signature(iface.name.clone(), s.name.clone()));
+            }
+        }
+        reg
+    }
+
+    fn add(&mut self, item: Item) -> Var {
+        if let Some(&v) = self.index.get(&item) {
+            return v;
+        }
+        let v = Var::new(self.items.len() as u32);
+        self.items.push(item.clone());
+        self.index.insert(item, v);
+        v
+    }
+
+    /// The variable of an item, or `None` for unregistered (built-in or
+    /// foreign) items.
+    pub fn var(&self, item: &Item) -> Option<Var> {
+        self.index.get(item).copied()
+    }
+
+    /// The item of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not from this registry.
+    pub fn item(&self, v: Var) -> &Item {
+        &self.items[v.index()]
+    }
+
+    /// Number of registered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items are registered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// All items in variable order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The formula for an item: its variable, or `true` for built-ins.
+    pub fn formula(&self, item: &Item) -> Formula {
+        match self.var(item) {
+            Some(v) => Formula::var(v),
+            None => Formula::tt(),
+        }
+    }
+
+    /// The formula for a type name used in a constraint position: `true`
+    /// for built-ins, `[C]` or `[I]` otherwise.
+    pub fn type_formula(&self, program: &Program, name: &str) -> Formula {
+        if is_builtin(name) {
+            return Formula::tt();
+        }
+        if program.is_class(name) {
+            self.formula(&Item::Class(name.to_owned()))
+        } else {
+            self.formula(&Item::Interface(name.to_owned()))
+        }
+    }
+
+    /// Renders a solution the way the paper prints them.
+    pub fn render_solution(&self, solution: &VarSet) -> String {
+        let mut parts: Vec<String> = solution
+            .iter()
+            .map(|v| self.item(v).to_string())
+            .collect();
+        parts.sort();
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn tiny_program() -> Program {
+        Program {
+            decls: vec![
+                TypeDecl::Class(ClassDecl {
+                    name: "A".into(),
+                    superclass: OBJECT.into(),
+                    interface: "I".into(),
+                    fields: vec![],
+                    ctor: Constructor::canonical(&[], &[]),
+                    methods: vec![Method {
+                        ret: STRING.into(),
+                        name: "m".into(),
+                        params: vec![],
+                        body: Expr::this().call("m", vec![]),
+                    }],
+                }),
+                TypeDecl::Interface(InterfaceDecl {
+                    name: "I".into(),
+                    sigs: vec![Signature {
+                        ret: STRING.into(),
+                        name: "m".into(),
+                        params: vec![],
+                    }],
+                }),
+            ],
+            main: Expr::this(),
+        }
+    }
+
+    #[test]
+    fn registry_items_in_order() {
+        let p = tiny_program();
+        let reg = ItemRegistry::from_program(&p);
+        let names: Vec<String> = reg.items().iter().map(|i| i.to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["[A]", "[A<I]", "[A.m()]", "[A.m()!code]", "[I]", "[I.m()]"]
+        );
+    }
+
+    #[test]
+    fn builtins_are_true() {
+        let p = tiny_program();
+        let reg = ItemRegistry::from_program(&p);
+        assert_eq!(reg.type_formula(&p, STRING), Formula::tt());
+        assert_eq!(reg.type_formula(&p, OBJECT), Formula::tt());
+        assert!(matches!(reg.type_formula(&p, "A"), Formula::Var(_)));
+        assert!(matches!(reg.type_formula(&p, "I"), Formula::Var(_)));
+    }
+
+    #[test]
+    fn empty_interface_has_no_impl_var() {
+        let mut p = tiny_program();
+        if let TypeDecl::Class(c) = &mut p.decls[0] {
+            c.interface = EMPTY_INTERFACE.into();
+        }
+        let reg = ItemRegistry::from_program(&p);
+        assert!(reg.var(&Item::Impl("A".into(), EMPTY_INTERFACE.into())).is_none());
+        assert_eq!(reg.len(), 5);
+    }
+
+    #[test]
+    fn item_display() {
+        assert_eq!(Item::MethodCode("A".into(), "m".into()).to_string(), "[A.m()!code]");
+        assert_eq!(Item::Impl("A".into(), "I".into()).to_string(), "[A<I]");
+    }
+
+    #[test]
+    fn render_solution_sorted() {
+        let p = tiny_program();
+        let reg = ItemRegistry::from_program(&p);
+        let mut s = VarSet::empty(reg.len());
+        s.insert(reg.var(&Item::Class("A".into())).unwrap());
+        s.insert(reg.var(&Item::Interface("I".into())).unwrap());
+        assert_eq!(reg.render_solution(&s), "[A], [I]");
+    }
+}

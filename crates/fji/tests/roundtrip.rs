@@ -1,0 +1,123 @@
+//! Property test: pretty-printing any FJI AST and re-parsing yields the
+//! same AST.
+
+use lbr_fji::{parse_expr, parse_program, pretty, pretty_expr, Expr, Program};
+use lbr_fji::{ClassDecl, Constructor, Field, InterfaceDecl, Method, Signature, TypeDecl};
+use proptest::prelude::*;
+
+const KEYWORDS: [&str; 8] = [
+    "class", "extends", "implements", "interface", "return", "new", "super", "this",
+];
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,5}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+fn arb_type_name() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,5}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_ident().prop_map(Expr::Var),
+        Just(Expr::this()),
+        arb_type_name().prop_map(|c| Expr::New(c, vec![])),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_ident()).prop_map(|(e, f)| e.field(f)),
+            (inner.clone(), arb_ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(e, m, args)| e.call(m, args)),
+            (arb_type_name(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(c, args)| Expr::New(c, args)),
+            (arb_type_name(), inner).prop_map(|(t, e)| e.cast(t)),
+        ]
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = Vec<Field>> {
+    prop::collection::vec(
+        (arb_type_name(), arb_ident()).prop_map(|(t, n)| Field::new(t, n)),
+        0..3,
+    )
+}
+
+fn arb_class() -> impl Strategy<Value = ClassDecl> {
+    (
+        arb_type_name(),
+        arb_type_name(),
+        arb_type_name(),
+        arb_params(), // fields
+        arb_params(), // ctor params
+        prop::collection::vec(arb_ident(), 0..2),
+        prop::collection::vec(
+            (arb_type_name(), arb_ident(), arb_params(), arb_expr())
+                .prop_map(|(ret, name, params, body)| Method { ret, name, params, body }),
+            0..3,
+        ),
+    )
+        .prop_map(|(name, superclass, interface, fields, cparams, super_args, methods)| {
+            let inits = fields
+                .iter()
+                .map(|f| (f.name.clone(), f.name.clone()))
+                .collect();
+            ClassDecl {
+                name,
+                superclass,
+                interface,
+                fields,
+                ctor: Constructor {
+                    params: cparams,
+                    super_args,
+                    inits,
+                },
+                methods,
+            }
+        })
+}
+
+fn arb_interface() -> impl Strategy<Value = InterfaceDecl> {
+    (
+        arb_type_name(),
+        prop::collection::vec(
+            (arb_type_name(), arb_ident(), arb_params())
+                .prop_map(|(ret, name, params)| Signature { ret, name, params }),
+            0..3,
+        ),
+    )
+        .prop_map(|(name, sigs)| InterfaceDecl { name, sigs })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                arb_class().prop_map(TypeDecl::Class),
+                arb_interface().prop_map(TypeDecl::Interface),
+            ],
+            0..4,
+        ),
+        arb_expr(),
+    )
+        .prop_map(|(decls, main)| Program { decls, main })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_roundtrip(e in arb_expr()) {
+        let printed = pretty_expr(&e);
+        let back = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
+        prop_assert_eq!(back, e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn program_roundtrip(p in arb_program()) {
+        let printed = pretty(&p);
+        let back = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        prop_assert_eq!(back, p, "printed:\n{}", printed);
+    }
+}

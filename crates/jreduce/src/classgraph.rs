@@ -1,0 +1,156 @@
+//! The class-granularity dependency graph — J-Reduce's model.
+//!
+//! J-Reduce (step 1 of its recipe) maps the input to a dependency graph
+//! with one node per class: "if a class A mentions a class B, then we have
+//! a dependency from A to B". Closures of this graph are the only
+//! sub-inputs the baseline can produce, which is why it cannot remove
+//! items *within* classes — the motivation for the paper's finer-grained
+//! model.
+
+use lbr_core::DepGraph;
+use lbr_logic::{Var, VarSet};
+use lbr_classfile::Program;
+use std::collections::HashMap;
+
+/// A class-level dependency graph with its node naming.
+#[derive(Debug, Clone)]
+pub struct ClassGraph {
+    /// The dependency graph (node `i` is `names[i]`).
+    pub graph: DepGraph,
+    /// Class names by node index.
+    pub names: Vec<String>,
+    index: HashMap<String, Var>,
+}
+
+impl ClassGraph {
+    /// Builds the class-mention graph of a program.
+    pub fn new(program: &Program) -> Self {
+        let names: Vec<String> = program.names().map(str::to_owned).collect();
+        let index: HashMap<String, Var> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Var::new(i as u32)))
+            .collect();
+        let mut graph = DepGraph::new(names.len());
+        for class in program.classes() {
+            let from = index[&class.name];
+            let mut mention = |name: &str| {
+                if let Some(&to) = index.get(name) {
+                    graph.add_edge(from, to);
+                }
+            };
+            if let Some(s) = &class.superclass {
+                mention(s);
+            }
+            for i in &class.interfaces {
+                mention(i);
+            }
+            for f in &class.fields {
+                if let Some(c) = f.ty.class_name() {
+                    mention(c);
+                }
+            }
+            for m in &class.methods {
+                for c in m.desc.referenced_classes() {
+                    mention(c);
+                }
+                if let Some(code) = &m.code {
+                    for insn in &code.insns {
+                        for c in insn.referenced_classes() {
+                            mention(c);
+                        }
+                    }
+                }
+            }
+        }
+        ClassGraph {
+            graph,
+            names,
+            index,
+        }
+    }
+
+    /// The node of a class name.
+    pub fn node(&self, name: &str) -> Option<Var> {
+        self.index.get(name).copied()
+    }
+
+    /// Materializes the sub-program keeping exactly the classes in `keep`.
+    pub fn subset_program(&self, program: &Program, keep: &VarSet) -> Program {
+        let mut out = Program::new();
+        for v in keep.iter() {
+            if let Some(class) = program.get(&self.names[v.index()]) {
+                out.insert(class.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_classfile::{ClassFile, Code, FieldInfo, Insn, MethodDescriptor, MethodInfo, Type};
+
+    fn program() -> Program {
+        let mut a = ClassFile::new_class("A");
+        a.fields.push(FieldInfo::new("f", Type::reference("B")));
+        a.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::new(vec![Type::reference("C")], None),
+            Code::new(1, 2, vec![Insn::New("D".into()), Insn::Pop, Insn::Return]),
+        ));
+        let b = ClassFile::new_class("B");
+        let c = ClassFile::new_class("C");
+        let mut d = ClassFile::new_class("D");
+        d.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        [a, b, c, d].into_iter().collect()
+    }
+
+    #[test]
+    fn mentions_create_edges() {
+        let p = program();
+        let cg = ClassGraph::new(&p);
+        let a = cg.node("A").unwrap();
+        let closure = cg.graph.closure_of([a]);
+        // A mentions B (field), C (descriptor), D (new).
+        for n in ["B", "C", "D"] {
+            assert!(closure.contains(cg.node(n).unwrap()), "missing {n}");
+        }
+        assert_eq!(closure.len(), 4);
+    }
+
+    #[test]
+    fn independent_class_not_pulled() {
+        let p = program();
+        let cg = ClassGraph::new(&p);
+        let b = cg.node("B").unwrap();
+        let closure = cg.graph.closure_of([b]);
+        assert_eq!(closure.len(), 1, "B mentions nothing");
+    }
+
+    #[test]
+    fn subset_program_materializes() {
+        let p = program();
+        let cg = ClassGraph::new(&p);
+        let mut keep = VarSet::empty(cg.names.len());
+        keep.insert(cg.node("B").unwrap());
+        keep.insert(cg.node("C").unwrap());
+        let sub = cg.subset_program(&p, &keep);
+        assert_eq!(sub.len(), 2);
+        assert!(sub.get("B").is_some() && sub.get("C").is_some());
+        assert!(sub.get("A").is_none());
+    }
+
+    #[test]
+    fn object_is_not_a_node() {
+        let p = program();
+        let cg = ClassGraph::new(&p);
+        assert!(cg.node("Object").is_none());
+        assert_eq!(cg.names.len(), 4);
+    }
+}

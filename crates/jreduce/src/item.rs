@@ -1,0 +1,338 @@
+//! The reducible items of a bytecode program.
+//!
+//! The paper's implementation has "a total of 11 kinds of items that can
+//! be removed, including constructors, fields, and super-class relations".
+//! These are ours:
+//!
+//! | # | Item | Removal effect |
+//! |---|------|----------------|
+//! | 1 | `Class(C)` | drop the class file |
+//! | 2 | `Interface(I)` | drop the interface file |
+//! | 3 | `SuperClass(C, D)` | rewire `C` to `extends Object` |
+//! | 4 | `Implements(C, I)` | remove `I` from `C`'s interface list |
+//! | 5 | `InterfaceExtends(I, J)` | remove `J` from `I`'s extends list |
+//! | 6 | `Field(C, f)` | drop the field |
+//! | 7 | `Method(C, m, d)` | drop the concrete method |
+//! | 8 | `MethodCode(C, m, d)` | replace the body with `aconst_null; athrow` |
+//! | 9 | `Constructor(C, d)` | drop the constructor |
+//! | 10 | `ConstructorCode(C, d)` | replace the body with the trivial one |
+//! | 11 | `Signature(T, m, d)` | drop the abstract method |
+
+use lbr_classfile::Program;
+use lbr_logic::{Formula, Var, VarSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reducible construct; see the module docs for the catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Item {
+    /// A concrete or abstract class.
+    Class(String),
+    /// An interface.
+    Interface(String),
+    /// The relation `C extends D` (absent when `D` is `Object`).
+    SuperClass(String, String),
+    /// The relation `C implements I`.
+    Implements(String, String),
+    /// The relation `I extends J` between interfaces.
+    InterfaceExtends(String, String),
+    /// A field `C.f`.
+    Field(String, String),
+    /// A concrete method `C.m` with descriptor.
+    Method(String, String, String),
+    /// The body of a concrete method.
+    MethodCode(String, String, String),
+    /// A constructor `C.<init>` with descriptor.
+    Constructor(String, String),
+    /// The body of a constructor.
+    ConstructorCode(String, String),
+    /// An abstract method (interface signature or abstract-class method).
+    Signature(String, String, String),
+}
+
+impl Item {
+    /// The class or interface this item belongs to.
+    pub fn owner(&self) -> &str {
+        match self {
+            Item::Class(c)
+            | Item::Interface(c)
+            | Item::SuperClass(c, _)
+            | Item::Implements(c, _)
+            | Item::InterfaceExtends(c, _)
+            | Item::Field(c, _)
+            | Item::Method(c, _, _)
+            | Item::MethodCode(c, _, _)
+            | Item::Constructor(c, _)
+            | Item::ConstructorCode(c, _)
+            | Item::Signature(c, _, _) => c,
+        }
+    }
+
+    /// A short kind name, for statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Item::Class(_) => "class",
+            Item::Interface(_) => "interface",
+            Item::SuperClass(..) => "superclass",
+            Item::Implements(..) => "implements",
+            Item::InterfaceExtends(..) => "iface-extends",
+            Item::Field(..) => "field",
+            Item::Method(..) => "method",
+            Item::MethodCode(..) => "method-code",
+            Item::Constructor(..) => "constructor",
+            Item::ConstructorCode(..) => "constructor-code",
+            Item::Signature(..) => "signature",
+        }
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Class(c) | Item::Interface(c) => write!(f, "[{c}]"),
+            Item::SuperClass(c, d) => write!(f, "[{c}<:{d}]"),
+            Item::Implements(c, i) => write!(f, "[{c}<{i}]"),
+            Item::InterfaceExtends(i, j) => write!(f, "[{i}<{j}]"),
+            Item::Field(c, n) => write!(f, "[{c}.{n}]"),
+            Item::Method(c, m, d) => write!(f, "[{c}.{m}{d}]"),
+            Item::MethodCode(c, m, d) => write!(f, "[{c}.{m}{d}!code]"),
+            Item::Constructor(c, d) => write!(f, "[{c}.<init>{d}]"),
+            Item::ConstructorCode(c, d) => write!(f, "[{c}.<init>{d}!code]"),
+            Item::Signature(i, m, d) => write!(f, "[{i}.{m}{d}]"),
+        }
+    }
+}
+
+/// Maps the items of a program to dense logic variables.
+///
+/// Built-in or foreign names ([`lbr_classfile::OBJECT`], or a superclass of
+/// `Object`) are not registered; [`ItemRegistry::formula`] returns `true`
+/// for them so constraint generation can treat them uniformly.
+#[derive(Debug, Clone, Default)]
+pub struct ItemRegistry {
+    items: Vec<Item>,
+    index: HashMap<Item, Var>,
+}
+
+impl ItemRegistry {
+    /// Collects the items of a program in deterministic (class-name, then
+    /// declaration) order.
+    pub fn from_program(program: &Program) -> Self {
+        let mut reg = ItemRegistry::default();
+        for class in program.classes() {
+            let name = class.name.clone();
+            if class.is_interface() {
+                reg.add(Item::Interface(name.clone()));
+                for sup in &class.interfaces {
+                    reg.add(Item::InterfaceExtends(name.clone(), sup.clone()));
+                }
+            } else {
+                reg.add(Item::Class(name.clone()));
+                if let Some(sup) = &class.superclass {
+                    if sup != lbr_classfile::OBJECT {
+                        reg.add(Item::SuperClass(name.clone(), sup.clone()));
+                    }
+                }
+                for iface in &class.interfaces {
+                    reg.add(Item::Implements(name.clone(), iface.clone()));
+                }
+            }
+            for field in &class.fields {
+                reg.add(Item::Field(name.clone(), field.name.clone()));
+            }
+            for m in &class.methods {
+                let desc = m.desc.descriptor();
+                if m.is_init() {
+                    reg.add(Item::Constructor(name.clone(), desc.clone()));
+                    reg.add(Item::ConstructorCode(name.clone(), desc));
+                } else if m.code.is_some() {
+                    reg.add(Item::Method(name.clone(), m.name.clone(), desc.clone()));
+                    reg.add(Item::MethodCode(name.clone(), m.name.clone(), desc));
+                } else {
+                    reg.add(Item::Signature(name.clone(), m.name.clone(), desc));
+                }
+            }
+        }
+        reg
+    }
+
+    fn add(&mut self, item: Item) -> Var {
+        if let Some(&v) = self.index.get(&item) {
+            return v;
+        }
+        let v = Var::new(self.items.len() as u32);
+        self.items.push(item.clone());
+        self.index.insert(item, v);
+        v
+    }
+
+    /// The variable of an item, `None` if unregistered.
+    pub fn var(&self, item: &Item) -> Option<Var> {
+        self.index.get(item).copied()
+    }
+
+    /// The item of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not from this registry.
+    pub fn item(&self, v: Var) -> &Item {
+        &self.items[v.index()]
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// All items in variable order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The formula of an item: its variable, or `true` for unregistered
+    /// (built-in) items.
+    pub fn formula(&self, item: &Item) -> Formula {
+        match self.var(item) {
+            Some(v) => Formula::var(v),
+            None => Formula::tt(),
+        }
+    }
+
+    /// The formula of a type name (class or interface item, `true` for
+    /// `Object` and unknown names).
+    pub fn type_formula(&self, name: &str) -> Formula {
+        if let Some(v) = self.var(&Item::Class(name.to_owned())) {
+            return Formula::var(v);
+        }
+        if let Some(v) = self.var(&Item::Interface(name.to_owned())) {
+            return Formula::var(v);
+        }
+        Formula::tt()
+    }
+
+    /// Whether an item is kept by a solution (unregistered items always
+    /// are).
+    pub fn kept(&self, item: &Item, keep: &VarSet) -> bool {
+        self.var(item).is_none_or(|v| keep.contains(v))
+    }
+
+    /// Renders a solution for debugging.
+    pub fn render_solution(&self, keep: &VarSet) -> String {
+        let mut parts: Vec<String> = keep.iter().map(|v| self.item(v).to_string()).collect();
+        parts.sort();
+        parts.join(", ")
+    }
+
+    /// Counts items per kind.
+    pub fn kind_histogram(&self) -> HashMap<&'static str, usize> {
+        let mut h = HashMap::new();
+        for i in &self.items {
+            *h.entry(i.kind()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_classfile::{
+        ClassFile, Code, FieldInfo, Insn, MethodDescriptor, MethodInfo, Type,
+    };
+
+    fn sample_program() -> Program {
+        let mut i = ClassFile::new_interface("I");
+        i.interfaces.push("J".into());
+        i.methods
+            .push(MethodInfo::new_abstract("m", MethodDescriptor::void()));
+        let j = ClassFile::new_interface("J");
+        let mut a = ClassFile::new_class("A");
+        a.interfaces.push("I".into());
+        a.fields.push(FieldInfo::new("f", Type::Int));
+        a.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        a.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        let mut b = ClassFile::new_class("B");
+        b.superclass = Some("A".into());
+        b.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        [i, j, a, b].into_iter().collect()
+    }
+
+    #[test]
+    fn registry_covers_all_kinds() {
+        let p = sample_program();
+        let reg = ItemRegistry::from_program(&p);
+        let h = reg.kind_histogram();
+        assert_eq!(h["class"], 2);
+        assert_eq!(h["interface"], 2);
+        assert_eq!(h["superclass"], 1); // B <: A (A extends Object: none)
+        assert_eq!(h["implements"], 1);
+        assert_eq!(h["iface-extends"], 1);
+        assert_eq!(h["field"], 1);
+        assert_eq!(h["method"], 1);
+        assert_eq!(h["method-code"], 1);
+        assert_eq!(h["constructor"], 2);
+        assert_eq!(h["constructor-code"], 2);
+        assert_eq!(h["signature"], 1);
+        assert_eq!(reg.len(), 15);
+    }
+
+    #[test]
+    fn formula_true_for_builtins() {
+        let p = sample_program();
+        let reg = ItemRegistry::from_program(&p);
+        assert_eq!(reg.type_formula("Object"), Formula::tt());
+        assert!(matches!(reg.type_formula("A"), Formula::Var(_)));
+        assert!(matches!(reg.type_formula("I"), Formula::Var(_)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Item::MethodCode("A".into(), "m".into(), "()V".into()).to_string(),
+            "[A.m()V!code]"
+        );
+        assert_eq!(
+            Item::SuperClass("B".into(), "A".into()).to_string(),
+            "[B<:A]"
+        );
+        assert_eq!(Item::Implements("A".into(), "I".into()).to_string(), "[A<I]");
+    }
+
+    #[test]
+    fn kept_and_render() {
+        let p = sample_program();
+        let reg = ItemRegistry::from_program(&p);
+        let mut keep = VarSet::empty(reg.len());
+        let a = Item::Class("A".into());
+        keep.insert(reg.var(&a).unwrap());
+        assert!(reg.kept(&a, &keep));
+        assert!(!reg.kept(&Item::Class("B".into()), &keep));
+        assert!(reg.kept(&Item::Class("Object".into()), &keep)); // builtin
+        assert_eq!(reg.render_solution(&keep), "[A]");
+    }
+
+    #[test]
+    fn owner_and_kind() {
+        let i = Item::Field("A".into(), "f".into());
+        assert_eq!(i.owner(), "A");
+        assert_eq!(i.kind(), "field");
+    }
+}

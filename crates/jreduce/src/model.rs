@@ -1,0 +1,871 @@
+//! Logical dependency-model generation for bytecode programs.
+//!
+//! This is the bytecode-scale version of the FJI constraint generator
+//! (Section 3 of the paper): every verification fact becomes a formula
+//! over the item variables, so that *every satisfying assignment reduces
+//! to a program that still verifies*.
+//!
+//! Three constraint families:
+//!
+//! * **Syntactic** — members imply their owners, code implies its method,
+//!   relations imply their endpoints, descriptors imply their classes, and
+//!   every kept class keeps at least one constructor.
+//! * **Referential** — replaying the verifier over each body through
+//!   [`VerifyHooks`]: member resolutions pin the declaring item plus the
+//!   hierarchy steps walked; receiver/argument/return subtyping pins its
+//!   derivation path; `new` pins the class; reflection (`ldc C.class`)
+//!   uses the paper's generics approximation and pins *every* supertype
+//!   relation of `C`.
+//! * **Non-referential** — virtual dispatch becomes an `mAny` disjunction
+//!   ("some method of this name must remain reachable"), and interface /
+//!   abstract-method obligations become `(class ∧ path ∧ signature) ⇒
+//!   implAny` constraints, which need full propositional logic.
+
+use crate::item::{Item, ItemRegistry};
+use lbr_classfile::{
+    verify_method_code, ClassFile, FieldRef, InvokeKind, MethodDescriptor, MethodRef, Program,
+    Resolution, Step, VerifyError, VerifyHooks, OBJECT,
+};
+use lbr_logic::{Cnf, Formula};
+use std::collections::HashSet;
+
+/// A generated dependency model.
+#[derive(Debug, Clone)]
+pub struct LogicalModel {
+    /// The item ↔ variable mapping.
+    pub registry: ItemRegistry,
+    /// The dependency constraints in CNF.
+    pub cnf: Cnf,
+}
+
+impl LogicalModel {
+    /// Handy statistics for reports (the paper's "2.9k reducible items,
+    /// 8.7k clauses, 97.5% edges").
+    pub fn stats(&self) -> ModelStats {
+        ModelStats {
+            items: self.registry.len(),
+            clauses: self.cnf.len(),
+            graph_fraction: self.cnf.graph_fraction(),
+        }
+    }
+}
+
+/// Model-size statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelStats {
+    /// Number of reducible items (variables).
+    pub items: usize,
+    /// Number of CNF clauses.
+    pub clauses: usize,
+    /// Fraction of clauses that are graph constraints.
+    pub graph_fraction: f64,
+}
+
+/// An error during model generation: the input program does not verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    /// The verification failure that stopped generation.
+    pub cause: VerifyError,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "input does not verify: {}", self.cause)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Builds the logical dependency model of a (verifying) program.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if a method body fails verification — like the
+/// paper, which dropped the benchmarks that did not type check.
+pub fn build_model(program: &Program) -> Result<LogicalModel, ModelError> {
+    let registry = ItemRegistry::from_program(program);
+    let mut formula_parts: Vec<Formula> = Vec::new();
+    let gen = Generator {
+        program,
+        reg: &registry,
+    };
+
+    for class in program.classes() {
+        gen.syntactic(class, &mut formula_parts);
+        gen.code_constraints(class, &mut formula_parts)?;
+        gen.obligations(class, &mut formula_parts);
+    }
+
+    let mut cnf = Cnf::new(registry.len());
+    for part in formula_parts {
+        part.to_cnf_into(&mut cnf);
+    }
+    cnf.ensure_vars(registry.len());
+    cnf.dedup_clauses();
+    Ok(LogicalModel { registry, cnf })
+}
+
+struct Generator<'p> {
+    program: &'p Program,
+    reg: &'p ItemRegistry,
+}
+
+impl Generator<'_> {
+    fn class_item(&self, class: &ClassFile) -> Item {
+        if class.is_interface() {
+            Item::Interface(class.name.clone())
+        } else {
+            Item::Class(class.name.clone())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Syntactic constraints.
+    // ------------------------------------------------------------------
+    fn syntactic(&self, class: &ClassFile, out: &mut Vec<Formula>) {
+        let reg = self.reg;
+        let name = &class.name;
+        let class_var = reg.formula(&self.class_item(class));
+
+        if !class.is_interface() {
+            if let Some(sup) = &class.superclass {
+                if sup != OBJECT {
+                    let rel = reg.formula(&Item::SuperClass(name.clone(), sup.clone()));
+                    out.push(rel.implies(Formula::and([
+                        class_var.clone(),
+                        reg.type_formula(sup),
+                    ])));
+                }
+            }
+            for iface in &class.interfaces {
+                let rel = reg.formula(&Item::Implements(name.clone(), iface.clone()));
+                out.push(rel.implies(Formula::and([
+                    class_var.clone(),
+                    reg.type_formula(iface),
+                ])));
+            }
+            // A kept class keeps at least one constructor.
+            let ctors: Vec<Formula> = class
+                .constructors()
+                .map(|m| reg.formula(&Item::Constructor(name.clone(), m.desc.descriptor())))
+                .collect();
+            if !ctors.is_empty() {
+                out.push(class_var.clone().implies(Formula::or(ctors)));
+            }
+        } else {
+            for sup in &class.interfaces {
+                let rel = reg.formula(&Item::InterfaceExtends(name.clone(), sup.clone()));
+                out.push(rel.implies(Formula::and([
+                    class_var.clone(),
+                    reg.type_formula(sup),
+                ])));
+            }
+        }
+        for field in &class.fields {
+            let fv = reg.formula(&Item::Field(name.clone(), field.name.clone()));
+            let mut need = vec![class_var.clone()];
+            if let Some(c) = field.ty.class_name() {
+                need.push(reg.type_formula(c));
+            }
+            out.push(fv.implies(Formula::and(need)));
+        }
+        for m in &class.methods {
+            let desc = m.desc.descriptor();
+            let desc_classes: Vec<Formula> = m
+                .desc
+                .referenced_classes()
+                .map(|c| reg.type_formula(c))
+                .collect();
+            if m.is_init() {
+                let ctor = reg.formula(&Item::Constructor(name.clone(), desc.clone()));
+                let code = reg.formula(&Item::ConstructorCode(name.clone(), desc));
+                out.push(ctor.clone().implies(Formula::and(
+                    std::iter::once(class_var.clone()).chain(desc_classes),
+                )));
+                out.push(code.implies(ctor));
+            } else if m.code.is_some() {
+                let mv = reg.formula(&Item::Method(name.clone(), m.name.clone(), desc.clone()));
+                let code = reg.formula(&Item::MethodCode(name.clone(), m.name.clone(), desc));
+                out.push(mv.clone().implies(Formula::and(
+                    std::iter::once(class_var.clone()).chain(desc_classes),
+                )));
+                out.push(code.implies(mv));
+            } else {
+                let sv = reg.formula(&Item::Signature(name.clone(), m.name.clone(), desc));
+                out.push(sv.implies(Formula::and(
+                    std::iter::once(class_var.clone()).chain(desc_classes),
+                )));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Referential constraints (replay the verifier over each body).
+    // ------------------------------------------------------------------
+    fn code_constraints(
+        &self,
+        class: &ClassFile,
+        out: &mut Vec<Formula>,
+    ) -> Result<(), ModelError> {
+        for m in &class.methods {
+            let Some(code) = &m.code else { continue };
+            let mut hooks = Collector {
+                gen: self,
+                parts: Vec::new(),
+            };
+            verify_method_code(self.program, class, m, code, &mut hooks)
+                .map_err(|cause| ModelError { cause })?;
+            let desc = m.desc.descriptor();
+            let code_item = if m.is_init() {
+                Item::ConstructorCode(class.name.clone(), desc)
+            } else {
+                Item::MethodCode(class.name.clone(), m.name.clone(), desc)
+            };
+            let body = Formula::and(hooks.parts);
+            out.push(self.reg.formula(&code_item).implies(body));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Non-referential constraints: interface / abstract obligations.
+    // ------------------------------------------------------------------
+    fn obligations(&self, class: &ClassFile, out: &mut Vec<Formula>) {
+        if !class.is_instantiable() {
+            return;
+        }
+        let class_var = self.reg.formula(&self.class_item(class));
+        // Every supertype that declares abstract methods.
+        let mut sources: Vec<String> = Vec::new();
+        for sup in self.program.superclass_chain(&class.name) {
+            sources.push(sup);
+        }
+        for (iface, _) in self.program.interface_closure(&class.name) {
+            sources.push(iface);
+        }
+        sources.sort();
+        sources.dedup();
+        for source in sources {
+            let Some(decl) = self.program.get(&source) else { continue };
+            let abstracts: Vec<&lbr_classfile::MethodInfo> = decl
+                .methods
+                .iter()
+                .filter(|m| m.flags.is_abstract())
+                .collect();
+            if abstracts.is_empty() {
+                continue;
+            }
+            let paths = supertype_paths(self.program, &class.name, &source, 16);
+            for m in abstracts {
+                let sig = self.reg.formula(&Item::Signature(
+                    source.clone(),
+                    m.name.clone(),
+                    m.desc.descriptor(),
+                ));
+                let impl_any = self.impl_any(&class.name, &m.name, &m.desc);
+                for path in &paths {
+                    let cond = Formula::and([
+                        class_var.clone(),
+                        self.steps_formula(path),
+                        sig.clone(),
+                    ]);
+                    out.push(cond.implies(impl_any.clone()));
+                }
+            }
+        }
+    }
+
+    /// `implAny(C, m, d)`: some *concrete* method `m` remains reachable on
+    /// `C`'s superclass chain.
+    fn impl_any(&self, class: &str, name: &str, desc: &MethodDescriptor) -> Formula {
+        let mut parts = Vec::new();
+        let mut steps: Vec<Step> = Vec::new();
+        let mut cur = class.to_owned();
+        let mut guard = 0;
+        while let Some(decl) = self.program.get(&cur) {
+            if let Some(m) = decl.method(name, desc) {
+                if m.code.is_some() && !m.is_init() {
+                    parts.push(Formula::and([
+                        self.steps_formula(&steps),
+                        self.reg.formula(&Item::Method(
+                            cur.clone(),
+                            name.to_owned(),
+                            desc.descriptor(),
+                        )),
+                    ]));
+                }
+            }
+            match decl.superclass.clone() {
+                Some(sup) => {
+                    steps.push(Step::Extends {
+                        sub: cur.clone(),
+                        sup: sup.clone(),
+                    });
+                    cur = sup;
+                }
+                None => break,
+            }
+            guard += 1;
+            if guard > self.program.len() + 2 {
+                break;
+            }
+        }
+        Formula::or(parts)
+    }
+
+    /// `mAny(T, m, d)`: some method or signature `m` remains *resolvable*
+    /// on `T` (concrete or abstract — resolution only needs existence).
+    fn many(&self, ty: &str, name: &str, desc: &MethodDescriptor) -> Formula {
+        let mut visited = HashSet::new();
+        self.many_rec(ty, name, desc, &mut visited)
+    }
+
+    fn many_rec(
+        &self,
+        ty: &str,
+        name: &str,
+        desc: &MethodDescriptor,
+        visited: &mut HashSet<String>,
+    ) -> Formula {
+        if !visited.insert(ty.to_owned()) {
+            return Formula::ff();
+        }
+        let Some(decl) = self.program.get(ty) else {
+            return Formula::ff();
+        };
+        let mut parts = Vec::new();
+        if let Some(m) = decl.method(name, desc) {
+            let item = if m.is_init() {
+                Item::Constructor(ty.to_owned(), desc.descriptor())
+            } else if m.code.is_some() {
+                Item::Method(ty.to_owned(), name.to_owned(), desc.descriptor())
+            } else {
+                Item::Signature(ty.to_owned(), name.to_owned(), desc.descriptor())
+            };
+            parts.push(self.reg.formula(&item));
+        }
+        if decl.is_interface() {
+            for sup in &decl.interfaces {
+                let rel = self
+                    .reg
+                    .formula(&Item::InterfaceExtends(ty.to_owned(), sup.clone()));
+                parts.push(Formula::and([rel, self.many_rec(sup, name, desc, visited)]));
+            }
+        } else {
+            if let Some(sup) = &decl.superclass {
+                let rel = if sup == OBJECT {
+                    Formula::tt()
+                } else {
+                    self.reg
+                        .formula(&Item::SuperClass(ty.to_owned(), sup.clone()))
+                };
+                parts.push(Formula::and([rel, self.many_rec(sup, name, desc, visited)]));
+            }
+            for iface in &decl.interfaces {
+                let rel = self
+                    .reg
+                    .formula(&Item::Implements(ty.to_owned(), iface.clone()));
+                parts.push(Formula::and([
+                    rel,
+                    self.many_rec(iface, name, desc, visited),
+                ]));
+            }
+        }
+        Formula::or(parts)
+    }
+
+    /// The conjunction of relation items along a derivation path.
+    fn steps_formula(&self, steps: &[Step]) -> Formula {
+        Formula::and(steps.iter().map(|s| self.step_formula(s)))
+    }
+
+    fn step_formula(&self, step: &Step) -> Formula {
+        match step {
+            Step::Extends { sub, sup } => {
+                if sup == OBJECT {
+                    Formula::tt()
+                } else {
+                    self.reg
+                        .formula(&Item::SuperClass(sub.clone(), sup.clone()))
+                }
+            }
+            Step::Implements { class, iface } => self
+                .reg
+                .formula(&Item::Implements(class.clone(), iface.clone())),
+            Step::IfaceExtends { sub, sup } => self
+                .reg
+                .formula(&Item::InterfaceExtends(sub.clone(), sup.clone())),
+        }
+    }
+
+    /// The paper's generics/reflection approximation: a body reflecting on
+    /// `C` depends on every supertype relation of `C`.
+    fn reflection_formula(&self, class: &str) -> Formula {
+        let mut parts = vec![self.reg.type_formula(class)];
+        let mut queue = vec![class.to_owned()];
+        let mut seen: HashSet<String> = queue.iter().cloned().collect();
+        while let Some(cur) = queue.pop() {
+            let Some(decl) = self.program.get(&cur) else { continue };
+            if !decl.is_interface() {
+                if let Some(sup) = &decl.superclass {
+                    if sup != OBJECT {
+                        parts.push(
+                            self.reg
+                                .formula(&Item::SuperClass(cur.clone(), sup.clone())),
+                        );
+                    }
+                    if seen.insert(sup.clone()) {
+                        queue.push(sup.clone());
+                    }
+                }
+            }
+            for iface in &decl.interfaces {
+                let item = if decl.is_interface() {
+                    Item::InterfaceExtends(cur.clone(), iface.clone())
+                } else {
+                    Item::Implements(cur.clone(), iface.clone())
+                };
+                parts.push(self.reg.formula(&item));
+                if seen.insert(iface.clone()) {
+                    queue.push(iface.clone());
+                }
+            }
+        }
+        Formula::and(parts)
+    }
+}
+
+/// Enumerates all simple supertype derivation paths from `from` to `to`,
+/// up to `cap` paths.
+pub fn supertype_paths(program: &Program, from: &str, to: &str, cap: usize) -> Vec<Vec<Step>> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    let mut on_path = HashSet::new();
+    dfs_paths(program, from, to, &mut path, &mut on_path, &mut out, cap);
+    out
+}
+
+fn dfs_paths(
+    program: &Program,
+    cur: &str,
+    to: &str,
+    path: &mut Vec<Step>,
+    on_path: &mut HashSet<String>,
+    out: &mut Vec<Vec<Step>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if cur == to {
+        out.push(path.clone());
+        return;
+    }
+    if !on_path.insert(cur.to_owned()) {
+        return;
+    }
+    if let Some(decl) = program.get(cur) {
+        if !decl.is_interface() {
+            if let Some(sup) = decl.superclass.clone() {
+                path.push(Step::Extends {
+                    sub: cur.to_owned(),
+                    sup: sup.clone(),
+                });
+                dfs_paths(program, &sup, to, path, on_path, out, cap);
+                path.pop();
+            }
+        }
+        for iface in decl.interfaces.clone() {
+            let step = if decl.is_interface() {
+                Step::IfaceExtends {
+                    sub: cur.to_owned(),
+                    sup: iface.clone(),
+                }
+            } else {
+                Step::Implements {
+                    class: cur.to_owned(),
+                    iface: iface.clone(),
+                }
+            };
+            path.push(step);
+            dfs_paths(program, &iface, to, path, on_path, out, cap);
+            path.pop();
+        }
+    }
+    on_path.remove(cur);
+}
+
+/// The hook collector: accumulates the formula parts of one method body.
+struct Collector<'g, 'p> {
+    gen: &'g Generator<'p>,
+    parts: Vec<Formula>,
+}
+
+impl VerifyHooks for Collector<'_, '_> {
+    fn on_subtype(&mut self, _sub: &str, _sup: &str, steps: &[Step]) {
+        self.parts.push(self.gen.steps_formula(steps));
+    }
+
+    fn on_field(&mut self, named: &FieldRef, resolution: &Resolution) {
+        self.parts.push(Formula::and([
+            self.gen.steps_formula(&resolution.steps),
+            self.gen.reg.formula(&Item::Field(
+                resolution.declaring.clone(),
+                named.name.clone(),
+            )),
+        ]));
+        if let Some(c) = named.ty.class_name() {
+            self.parts.push(self.gen.reg.type_formula(c));
+        }
+    }
+
+    fn on_method(&mut self, named: &MethodRef, resolution: &Resolution, kind: InvokeKind) {
+        let reg = self.gen.reg;
+        self.parts.push(reg.type_formula(&named.class));
+        match kind {
+            InvokeKind::Virtual | InvokeKind::Interface => {
+                // Dispatch needs *some* resolvable method: the mAny
+                // disjunction, the constraint a dependency graph cannot
+                // express.
+                self.parts
+                    .push(self.gen.many(&named.class, &named.name, &named.desc));
+            }
+            InvokeKind::Special if named.is_init() => {
+                self.parts.push(reg.formula(&Item::Constructor(
+                    named.class.clone(),
+                    named.desc.descriptor(),
+                )));
+            }
+            InvokeKind::Special | InvokeKind::Static => {
+                // Exact resolution: pin the declaring item and the steps.
+                let target = self
+                    .gen
+                    .program
+                    .get(&resolution.declaring)
+                    .and_then(|c| c.method(&named.name, &named.desc));
+                let item = match target {
+                    Some(m) if m.code.is_some() => Item::Method(
+                        resolution.declaring.clone(),
+                        named.name.clone(),
+                        named.desc.descriptor(),
+                    ),
+                    _ => Item::Signature(
+                        resolution.declaring.clone(),
+                        named.name.clone(),
+                        named.desc.descriptor(),
+                    ),
+                };
+                self.parts.push(Formula::and([
+                    self.gen.steps_formula(&resolution.steps),
+                    reg.formula(&item),
+                ]));
+            }
+        }
+    }
+
+    fn on_new(&mut self, class: &str) {
+        self.parts.push(self.gen.reg.type_formula(class));
+    }
+
+    fn on_reflection(&mut self, class: &str) {
+        self.parts.push(self.gen.reflection_formula(class));
+    }
+
+    fn on_type_use(&mut self, class: &str) {
+        self.parts.push(self.gen.reg.type_formula(class));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reducer::reduce_program;
+    use lbr_classfile::{
+        Code, Insn, MethodInfo, Type,
+    };
+    use lbr_logic::{dpll, Lit, VarOrder, VarSet};
+
+    fn ctor() -> MethodInfo {
+        MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        )
+    }
+
+    /// interface I { m() }  class A implements I { m() }  class B extends A
+    /// class M { x(I): calls m; main: new A, checkcast I }
+    fn paperish_program() -> Program {
+        let mut i = ClassFile::new_interface("I");
+        i.methods
+            .push(MethodInfo::new_abstract("m", MethodDescriptor::void()));
+        let mut a = ClassFile::new_class("A");
+        a.interfaces.push("I".into());
+        a.methods.push(ctor());
+        a.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        let mut b = ClassFile::new_class("B");
+        b.superclass = Some("A".into());
+        b.methods.push(ctor());
+        let mut m = ClassFile::new_class("M");
+        m.methods.push(ctor());
+        m.methods.push(MethodInfo::new(
+            "x",
+            MethodDescriptor::new(vec![Type::reference("I")], None),
+            Code::new(
+                1,
+                2,
+                vec![
+                    Insn::ALoad(1),
+                    Insn::InvokeInterface(MethodRef::new("I", "m", MethodDescriptor::void())),
+                    Insn::Return,
+                ],
+            ),
+        ));
+        m.methods.push(MethodInfo::new(
+            "main",
+            MethodDescriptor::void(),
+            Code::new(
+                3,
+                1,
+                vec![
+                    Insn::ALoad(0),
+                    Insn::New("A".into()),
+                    Insn::Dup,
+                    Insn::InvokeSpecial(MethodRef::new("A", "<init>", MethodDescriptor::void())),
+                    Insn::CheckCast("I".into()),
+                    Insn::InvokeVirtual(MethodRef::new(
+                        "M",
+                        "x",
+                        MethodDescriptor::new(vec![Type::reference("I")], None),
+                    )),
+                    Insn::Return,
+                ],
+            ),
+        ));
+        [i, a, b, m].into_iter().collect()
+    }
+
+    #[test]
+    fn model_builds_on_valid_program() {
+        let p = paperish_program();
+        assert!(lbr_classfile::verify_program(&p).is_empty());
+        let model = build_model(&p).expect("model builds");
+        let stats = model.stats();
+        assert!(stats.items > 10);
+        assert!(stats.clauses > stats.items / 2);
+        assert!(stats.graph_fraction > 0.5 && stats.graph_fraction <= 1.0);
+    }
+
+    #[test]
+    fn full_keep_satisfies_model() {
+        let p = paperish_program();
+        let model = build_model(&p).expect("model builds");
+        let all = VarSet::full(model.registry.len());
+        assert!(
+            model.cnf.eval(&all),
+            "the whole input must be a model (R_I(I) holds)"
+        );
+    }
+
+    #[test]
+    fn models_reduce_to_verifying_programs() {
+        // The bytecode Theorem 3.1: every satisfying assignment reduces to
+        // a verifying program. Check a spread of models found by DPLL with
+        // different orders and assumptions.
+        let p = paperish_program();
+        let model = build_model(&p).expect("model builds");
+        let n = model.registry.len();
+        let mut checked = 0;
+        for flip in 0..n {
+            let order = VarOrder::from_permutation(
+                (0..n as u32)
+                    .map(|i| lbr_logic::Var::new((i + flip as u32) % n as u32))
+                    .collect(),
+            );
+            let assumption = Lit::pos(lbr_logic::Var::new(flip as u32));
+            if let Some((solution, _)) =
+                dpll::solve_with_assumptions(&model.cnf, &order, &[assumption])
+            {
+                let reduced = reduce_program(&p, &model.registry, &solution);
+                let errors = lbr_classfile::verify_program(&reduced);
+                assert!(
+                    errors.is_empty(),
+                    "model {} reduced to invalid program: {errors:?}",
+                    model.registry.render_solution(&solution)
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "expected several satisfiable probes");
+    }
+
+    #[test]
+    fn obligation_requires_implementation() {
+        // Keeping A, A<I and I.m must force keeping A.m.
+        let p = paperish_program();
+        let model = build_model(&p).expect("model builds");
+        let reg = &model.registry;
+        let v = |item: &Item| reg.var(item).expect("registered");
+        let assumptions = [
+            Lit::pos(v(&Item::Class("A".into()))),
+            Lit::pos(v(&Item::Implements("A".into(), "I".into()))),
+            Lit::pos(v(&Item::Signature("I".into(), "m".into(), "()V".into()))),
+            Lit::neg(v(&Item::Method("A".into(), "m".into(), "()V".into()))),
+        ];
+        let order = VarOrder::natural(reg.len());
+        assert!(
+            dpll::solve_with_assumptions(&model.cnf, &order, &assumptions).is_none(),
+            "dropping A.m while keeping A<I and I.m must be unsatisfiable"
+        );
+    }
+
+    #[test]
+    fn cast_requires_relation() {
+        // M.main!code casts A to I: keeping it must force A<I.
+        let p = paperish_program();
+        let model = build_model(&p).expect("model builds");
+        let reg = &model.registry;
+        let v = |item: &Item| reg.var(item).expect("registered");
+        let assumptions = [
+            Lit::pos(v(&Item::MethodCode("M".into(), "main".into(), "()V".into()))),
+            Lit::neg(v(&Item::Implements("A".into(), "I".into()))),
+        ];
+        let order = VarOrder::natural(reg.len());
+        assert!(
+            dpll::solve_with_assumptions(&model.cnf, &order, &assumptions).is_none(),
+            "the cast dependency [M.main!code] ⇒ [A<I] must hold"
+        );
+    }
+
+    #[test]
+    fn class_requires_a_constructor() {
+        let p = paperish_program();
+        let model = build_model(&p).expect("model builds");
+        let reg = &model.registry;
+        let v = |item: &Item| reg.var(item).expect("registered");
+        let assumptions = [
+            Lit::pos(v(&Item::Class("A".into()))),
+            Lit::neg(v(&Item::Constructor("A".into(), "()V".into()))),
+        ];
+        let order = VarOrder::natural(reg.len());
+        assert!(
+            dpll::solve_with_assumptions(&model.cnf, &order, &assumptions).is_none(),
+            "a kept class must keep a constructor"
+        );
+    }
+
+    #[test]
+    fn diamond_obligations_constrain_every_path() {
+        // J declares p; I1 and I2 both extend J; C implements I1 and I2.
+        // Dropping either implements-edge alone must still obligate C.p
+        // through the surviving path.
+        let mut j = ClassFile::new_interface("J");
+        j.methods
+            .push(MethodInfo::new_abstract("p", MethodDescriptor::void()));
+        let mut i1 = ClassFile::new_interface("I1");
+        i1.interfaces.push("J".into());
+        let mut i2 = ClassFile::new_interface("I2");
+        i2.interfaces.push("J".into());
+        let mut c = ClassFile::new_class("C");
+        c.interfaces.push("I1".into());
+        c.interfaces.push("I2".into());
+        c.methods.push(ctor());
+        c.methods.push(MethodInfo::new(
+            "p",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        let p: Program = [j, i1, i2, c].into_iter().collect();
+        assert!(lbr_classfile::verify_program(&p).is_empty());
+        assert_eq!(supertype_paths(&p, "C", "J", 16).len(), 2);
+        let model = build_model(&p).expect("model builds");
+        let reg = &model.registry;
+        let v = |item: &Item| reg.var(item).expect("registered");
+        let order = VarOrder::natural(reg.len());
+        // Drop the I1 path entirely, keep the I2 path and the signature —
+        // C.p must still be forced.
+        let assumptions = [
+            Lit::pos(v(&Item::Class("C".into()))),
+            Lit::neg(v(&Item::Implements("C".into(), "I1".into()))),
+            Lit::pos(v(&Item::Implements("C".into(), "I2".into()))),
+            Lit::pos(v(&Item::InterfaceExtends("I2".into(), "J".into()))),
+            Lit::pos(v(&Item::Signature("J".into(), "p".into(), "()V".into()))),
+            Lit::neg(v(&Item::Method("C".into(), "p".into(), "()V".into()))),
+        ];
+        assert!(
+            dpll::solve_with_assumptions(&model.cnf, &order, &assumptions).is_none(),
+            "the I2 path must keep the obligation alive"
+        );
+        // With both implements-edges dropped, C.p becomes removable.
+        let relaxed = [
+            Lit::pos(v(&Item::Class("C".into()))),
+            Lit::neg(v(&Item::Implements("C".into(), "I1".into()))),
+            Lit::neg(v(&Item::Implements("C".into(), "I2".into()))),
+            Lit::pos(v(&Item::Signature("J".into(), "p".into(), "()V".into()))),
+            Lit::neg(v(&Item::Method("C".into(), "p".into(), "()V".into()))),
+        ];
+        assert!(
+            dpll::solve_with_assumptions(&model.cnf, &order, &relaxed).is_some(),
+            "with no path, no obligation"
+        );
+    }
+
+    #[test]
+    fn superclass_paths_enumerated() {
+        let p = paperish_program();
+        let paths = supertype_paths(&p, "B", "I", 16);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 2); // B extends A, A implements I
+        let self_paths = supertype_paths(&p, "A", "A", 16);
+        assert_eq!(self_paths, vec![Vec::new()]);
+        assert!(supertype_paths(&p, "I", "B", 16).is_empty());
+    }
+
+    #[test]
+    fn reflection_pins_supertypes() {
+        let mut p = paperish_program();
+        let mut r = ClassFile::new_class("R");
+        r.methods.push(ctor());
+        r.methods.push(MethodInfo::new(
+            "reflect",
+            MethodDescriptor::void(),
+            Code::new(
+                1,
+                1,
+                vec![Insn::LdcClass("B".into()), Insn::Pop, Insn::Return],
+            ),
+        ));
+        p.insert(r);
+        let model = build_model(&p).expect("model builds");
+        let reg = &model.registry;
+        let v = |item: &Item| reg.var(item).expect("registered");
+        let order = VarOrder::natural(reg.len());
+        // Keeping the reflective body must force B's whole supertype web.
+        let assumptions = [
+            Lit::pos(v(&Item::MethodCode("R".into(), "reflect".into(), "()V".into()))),
+            Lit::neg(v(&Item::Implements("A".into(), "I".into()))),
+        ];
+        assert!(
+            dpll::solve_with_assumptions(&model.cnf, &order, &assumptions).is_none(),
+            "reflection approximation must pin A<I"
+        );
+    }
+
+    #[test]
+    fn invalid_program_is_rejected() {
+        let mut p = Program::new();
+        let mut a = ClassFile::new_class("A");
+        a.methods.push(ctor());
+        a.methods.push(MethodInfo::new(
+            "bad",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Pop, Insn::Return]),
+        ));
+        p.insert(a);
+        assert!(build_model(&p).is_err());
+    }
+}

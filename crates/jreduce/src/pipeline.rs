@@ -1,0 +1,614 @@
+//! End-to-end reduction drivers: one entry point per evaluated strategy.
+//!
+//! The paper evaluates four reduction strategies; [`Strategy`] mirrors
+//! them:
+//!
+//! * [`Strategy::Logical`] — the paper's tool: the full logical model plus
+//!   Generalized Binary Reduction,
+//! * [`Strategy::JReduce`] — the baseline: the class-mention graph plus
+//!   Binary Reduction over closures,
+//! * [`Strategy::Lossy`] — the logical model lossily encoded into graph
+//!   constraints (two variants), reduced with Binary Reduction,
+//! * [`Strategy::DdminItems`] — ddmin at item granularity with a validity
+//!   filter (the ablation showing why plain ddmin disappoints).
+
+use crate::classgraph::ClassGraph;
+use crate::model::{build_model, LogicalModel, ModelError, ModelStats};
+use crate::reducer::reduce_program;
+use lbr_classfile::{program_byte_size, Program};
+use lbr_core::{
+    binary_reduction, closure_size_order, ddmin, generalized_binary_reduction,
+    lossy_graph, BinaryReductionError, DepGraph, GbrConfig, GbrError, Instance, LossyPick, Oracle,
+    ReductionTrace, TestOutcome,
+};
+use lbr_decompiler::DecompilerOracle;
+use lbr_logic::{MsaStrategy, VarSet};
+use std::time::Instant;
+
+/// A reduction strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's reducer: logical model + GBR with the given MSA
+    /// strategy and the closure-size variable order.
+    Logical(MsaStrategy),
+    /// The order ablation: GBR with the *natural* (declaration) variable
+    /// order instead of the closure-size heuristic Theorem 4.5 wants.
+    LogicalNaturalOrder,
+    /// GBR followed by the local-minimization postpass
+    /// ([`lbr_core::minimize_solution`]): extra tool runs for a possibly
+    /// smaller output.
+    LogicalMinimized,
+    /// The J-Reduce baseline: class graph + Binary Reduction.
+    JReduce,
+    /// A lossy encoding of the logical model + Binary Reduction.
+    Lossy(LossyPick),
+    /// ddmin over items with a validity filter.
+    DdminItems,
+}
+
+impl Strategy {
+    /// A stable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::Logical(m) => format!("logical/{}", m.name()),
+            Strategy::LogicalNaturalOrder => "logical/natural-order".to_owned(),
+            Strategy::LogicalMinimized => "logical/minimized".to_owned(),
+            Strategy::JReduce => "jreduce".to_owned(),
+            Strategy::Lossy(p) => p.name().to_owned(),
+            Strategy::DdminItems => "ddmin-items".to_owned(),
+        }
+    }
+}
+
+/// Size metrics of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeMetrics {
+    /// Number of classes (including interfaces).
+    pub classes: usize,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+}
+
+impl SizeMetrics {
+    /// Measures a program.
+    pub fn of(program: &Program) -> Self {
+        SizeMetrics {
+            classes: program.len(),
+            bytes: program_byte_size(program),
+        }
+    }
+}
+
+/// The outcome of one reduction run.
+#[derive(Debug, Clone)]
+pub struct ReductionReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Input sizes.
+    pub initial: SizeMetrics,
+    /// Output sizes.
+    pub final_metrics: SizeMetrics,
+    /// Number of black-box predicate invocations.
+    pub predicate_calls: u64,
+    /// Wall-clock seconds of the whole run.
+    pub wall_secs: f64,
+    /// Modeled tool time (`calls × cost_per_call`).
+    pub modeled_secs: f64,
+    /// The reduction-over-time trace (sizes in bytes).
+    pub trace: ReductionTrace,
+    /// Model statistics, when a logical model was built.
+    pub model_stats: Option<ModelStats>,
+    /// The reduced program.
+    pub reduced: Program,
+    /// Whether the reduced program still produces the full error message.
+    pub errors_preserved: bool,
+    /// Whether the reduced program still verifies.
+    pub still_valid: bool,
+}
+
+impl ReductionReport {
+    /// Final size relative to the input, in bytes (the paper's headline
+    /// 4.6% vs 24.3%).
+    pub fn relative_bytes(&self) -> f64 {
+        self.final_metrics.bytes as f64 / self.initial.bytes.max(1) as f64
+    }
+
+    /// Final size relative to the input, in classes.
+    pub fn relative_classes(&self) -> f64 {
+        self.final_metrics.classes as f64 / self.initial.classes.max(1) as f64
+    }
+}
+
+/// Why a pipeline run failed.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The input does not trigger the decompiler's bugs.
+    NotFailing,
+    /// The input does not verify, so no model can be built.
+    Model(ModelError),
+    /// GBR failed (see [`GbrError`]).
+    Gbr(GbrError),
+    /// Binary Reduction failed.
+    Binary(BinaryReductionError),
+    /// The lossy encoding was contradictory (forbidden required items).
+    LossyContradiction,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::NotFailing => write!(f, "input does not trigger the tool's bugs"),
+            PipelineError::Model(e) => write!(f, "{e}"),
+            PipelineError::Gbr(e) => write!(f, "gbr: {e}"),
+            PipelineError::Binary(e) => write!(f, "binary reduction: {e}"),
+            PipelineError::LossyContradiction => write!(f, "lossy encoding is contradictory"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ModelError> for PipelineError {
+    fn from(e: ModelError) -> Self {
+        PipelineError::Model(e)
+    }
+}
+
+impl From<GbrError> for PipelineError {
+    fn from(e: GbrError) -> Self {
+        PipelineError::Gbr(e)
+    }
+}
+
+impl From<BinaryReductionError> for PipelineError {
+    fn from(e: BinaryReductionError) -> Self {
+        PipelineError::Binary(e)
+    }
+}
+
+/// Runs one strategy on one benchmark.
+///
+/// `cost_per_call_secs` models the cost of one decompile+compile tool
+/// invocation (the paper measured ≈33 s); it drives the modeled-time axis
+/// of the Figure 8 reproductions.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn run_reduction(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    strategy: Strategy,
+    cost_per_call_secs: f64,
+) -> Result<ReductionReport, PipelineError> {
+    if !oracle.is_failing() {
+        return Err(PipelineError::NotFailing);
+    }
+    let start = Instant::now();
+    let initial = SizeMetrics::of(program);
+    let (reduced, calls, trace, model_stats) = match strategy {
+        Strategy::Logical(msa) => {
+            run_logical(program, oracle, msa, OrderKind::ClosureSize, cost_per_call_secs)?
+        }
+        Strategy::LogicalNaturalOrder => run_logical(
+            program,
+            oracle,
+            MsaStrategy::GreedyClosure,
+            OrderKind::Natural,
+            cost_per_call_secs,
+        )?,
+        Strategy::LogicalMinimized => {
+            run_logical_minimized(program, oracle, cost_per_call_secs)?
+        }
+        Strategy::JReduce => run_jreduce(program, oracle, cost_per_call_secs)?,
+        Strategy::Lossy(pick) => run_lossy(program, oracle, pick, cost_per_call_secs)?,
+        Strategy::DdminItems => run_ddmin(program, oracle, cost_per_call_secs)?,
+    };
+    let errors_preserved = oracle.preserves_failure(&reduced);
+    let still_valid = lbr_classfile::verify_program(&reduced).is_empty();
+    Ok(ReductionReport {
+        strategy: strategy.name(),
+        initial,
+        final_metrics: SizeMetrics::of(&reduced),
+        predicate_calls: calls,
+        wall_secs: start.elapsed().as_secs_f64(),
+        modeled_secs: calls as f64 * cost_per_call_secs,
+        trace,
+        model_stats,
+        reduced,
+        errors_preserved,
+        still_valid,
+    })
+}
+
+type RunParts = (Program, u64, ReductionTrace, Option<ModelStats>);
+
+/// Which variable order GBR uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OrderKind {
+    ClosureSize,
+    Natural,
+}
+
+fn run_logical(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    msa: MsaStrategy,
+    order_kind: OrderKind,
+    cost: f64,
+) -> Result<RunParts, PipelineError> {
+    let model: LogicalModel = build_model(program)?;
+    let stats = model.stats();
+    let order = match order_kind {
+        OrderKind::ClosureSize => closure_size_order(&model.cnf),
+        OrderKind::Natural => lbr_core::natural_order(&model.cnf),
+    };
+    let instance = Instance::over_all_vars(model.cnf.clone());
+    let registry = &model.registry;
+    let mut predicate = |keep: &VarSet| {
+        let candidate = reduce_program(program, registry, keep);
+        oracle.preserves_failure(&candidate)
+    };
+    let mut wrapped = Oracle::new(&mut predicate, cost).with_size_metric(|keep| {
+        program_byte_size(&reduce_program(program, registry, keep)) as u64
+    });
+    let config = GbrConfig {
+        msa_strategy: msa,
+        ..GbrConfig::default()
+    };
+    let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;
+    let calls = wrapped.calls();
+    let trace = wrapped.into_trace();
+    let reduced = reduce_program(program, registry, &outcome.solution);
+    Ok((reduced, calls, trace, Some(stats)))
+}
+
+fn run_logical_minimized(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    cost: f64,
+) -> Result<RunParts, PipelineError> {
+    let model: LogicalModel = build_model(program)?;
+    let stats = model.stats();
+    let order = closure_size_order(&model.cnf);
+    let instance = Instance::over_all_vars(model.cnf.clone());
+    let registry = &model.registry;
+    let mut predicate = |keep: &VarSet| {
+        let candidate = reduce_program(program, registry, keep);
+        oracle.preserves_failure(&candidate)
+    };
+    let mut wrapped = Oracle::new(&mut predicate, cost).with_size_metric(|keep| {
+        program_byte_size(&reduce_program(program, registry, keep)) as u64
+    });
+    let outcome = generalized_binary_reduction(
+        &instance,
+        &order,
+        &mut wrapped,
+        &GbrConfig::default(),
+    )?;
+    let (minimized, _stats) =
+        lbr_core::minimize_solution(&instance, &order, &mut wrapped, &outcome.solution);
+    let calls = wrapped.calls();
+    let trace = wrapped.into_trace();
+    let reduced = reduce_program(program, registry, &minimized);
+    Ok((reduced, calls, trace, Some(stats)))
+}
+
+fn run_jreduce(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    cost: f64,
+) -> Result<RunParts, PipelineError> {
+    let cg = ClassGraph::new(program);
+    let mut predicate = |keep: &VarSet| {
+        let candidate = cg.subset_program(program, keep);
+        oracle.preserves_failure(&candidate)
+    };
+    let mut wrapped = Oracle::new(&mut predicate, cost).with_size_metric(|keep| {
+        program_byte_size(&cg.subset_program(program, keep)) as u64
+    });
+    let outcome = binary_reduction(&cg.graph, &mut wrapped)?;
+    let calls = wrapped.calls();
+    let trace = wrapped.into_trace();
+    let reduced = cg.subset_program(program, &outcome.solution);
+    Ok((reduced, calls, trace, None))
+}
+
+fn run_lossy(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    pick: LossyPick,
+    cost: f64,
+) -> Result<RunParts, PipelineError> {
+    let model = build_model(program)?;
+    let stats = model.stats();
+    let order = closure_size_order(&model.cnf);
+    let lg = lossy_graph(&model.cnf, &order, pick).ok_or(PipelineError::LossyContradiction)?;
+    if !lg.forbidden.is_empty() {
+        // Our models generate no purely negative clauses, so a non-empty
+        // forbidden set indicates a contradictory encoding.
+        return Err(PipelineError::LossyContradiction);
+    }
+    let graph: DepGraph = lg.graph;
+    let registry = &model.registry;
+    let mut predicate = |keep: &VarSet| {
+        let candidate = reduce_program(program, registry, keep);
+        oracle.preserves_failure(&candidate)
+    };
+    let mut wrapped = Oracle::new(&mut predicate, cost).with_size_metric(|keep| {
+        program_byte_size(&reduce_program(program, registry, keep)) as u64
+    });
+    let outcome = binary_reduction(&graph, &mut wrapped)?;
+    let calls = wrapped.calls();
+    let trace = wrapped.into_trace();
+    let reduced = reduce_program(program, registry, &outcome.solution);
+    Ok((reduced, calls, trace, Some(stats)))
+}
+
+fn run_ddmin(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    cost: f64,
+) -> Result<RunParts, PipelineError> {
+    let model = build_model(program)?;
+    let stats = model.stats();
+    let registry = &model.registry;
+    let n = registry.len();
+    let atoms: Vec<VarSet> = (0..n as u32)
+        .map(|i| VarSet::from_iter_with_universe(n, [lbr_logic::Var::new(i)]))
+        .collect();
+    let cnf = &model.cnf;
+    let mut trace = ReductionTrace::new();
+    let mut calls = 0u64;
+    let start = Instant::now();
+    let (solution, _stats) = ddmin(&atoms, n, |keep| {
+        if !cnf.eval(keep) {
+            return TestOutcome::Unresolved; // invalid — "don't know"
+        }
+        calls += 1;
+        let candidate = reduce_program(program, registry, keep);
+        let ok = oracle.preserves_failure(&candidate);
+        trace.record(
+            calls,
+            start.elapsed().as_secs_f64(),
+            calls as f64 * cost,
+            program_byte_size(&candidate) as u64,
+            ok,
+        );
+        if ok {
+            TestOutcome::Fail
+        } else {
+            TestOutcome::Pass
+        }
+    });
+    let reduced = reduce_program(program, registry, &solution);
+    Ok((reduced, calls, trace, Some(stats)))
+}
+
+/// The result of a per-error reduction sweep.
+#[derive(Debug, Clone)]
+pub struct PerErrorReport {
+    /// One `(error message, reduced size)` row per distinct baseline
+    /// error, in message order.
+    pub errors: Vec<(String, SizeMetrics)>,
+    /// The traces of all searches, concatenated sequentially (the way the
+    /// paper's long-running cases accumulate "951 decompilations …").
+    pub combined_trace: ReductionTrace,
+    /// Total predicate invocations across all searches.
+    pub total_calls: u64,
+}
+
+/// Reduces once *per distinct baseline error* — the paper's observation
+/// that "some cases have many distinct bugs; each bug requires GBR to do
+/// an individual search". Each search preserves exactly one error message
+/// and produces its own (usually much smaller) witness.
+///
+/// # Errors
+///
+/// See [`PipelineError`]; an individual search that fails is skipped.
+pub fn run_per_error(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    cost_per_call_secs: f64,
+) -> Result<PerErrorReport, PipelineError> {
+    if !oracle.is_failing() {
+        return Err(PipelineError::NotFailing);
+    }
+    let model = build_model(program)?;
+    let order = closure_size_order(&model.cnf);
+    let instance = Instance::over_all_vars(model.cnf.clone());
+    let registry = &model.registry;
+    let mut rows = Vec::new();
+    let mut combined_trace = ReductionTrace::new();
+    let mut total_calls = 0u64;
+    for error in oracle.baseline().clone() {
+        let mut predicate = |keep: &VarSet| {
+            let candidate = reduce_program(program, registry, keep);
+            oracle.errors(&candidate).contains(&error)
+        };
+        let mut wrapped = Oracle::new(&mut predicate, cost_per_call_secs).with_size_metric(
+            |keep| program_byte_size(&reduce_program(program, registry, keep)) as u64,
+        );
+        let outcome =
+            generalized_binary_reduction(&instance, &order, &mut wrapped, &GbrConfig::default())?;
+        total_calls += wrapped.calls();
+        combined_trace.append_sequential(wrapped.trace());
+        let reduced = reduce_program(program, registry, &outcome.solution);
+        drop(wrapped);
+        rows.push((error.clone(), SizeMetrics::of(&reduced)));
+    }
+    Ok(PerErrorReport {
+        errors: rows,
+        combined_trace,
+        total_calls,
+    })
+}
+
+/// Convenience: run a strategy and panic-free assert the three soundness
+/// bits every run must satisfy (used by tests and the harness).
+pub fn check_report(report: &ReductionReport) -> Result<(), String> {
+    if !report.errors_preserved {
+        return Err(format!(
+            "{}: reduced program lost the error message",
+            report.strategy
+        ));
+    }
+    if !report.still_valid {
+        return Err(format!(
+            "{}: reduced program does not verify",
+            report.strategy
+        ));
+    }
+    if report.final_metrics.bytes > report.initial.bytes {
+        return Err(format!("{}: reduction grew the input", report.strategy));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_classfile::{
+        ClassFile, Code, Insn, MethodDescriptor, MethodInfo, MethodRef, Type,
+    };
+    use lbr_decompiler::{BugKind, BugSet};
+
+    fn ctor() -> MethodInfo {
+        MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        )
+    }
+
+    /// A benchmark with one cast-to-interface bug plus unrelated classes
+    /// that a good reducer should drop.
+    fn benchmark() -> Program {
+        let mut i = ClassFile::new_interface("I");
+        i.methods
+            .push(MethodInfo::new_abstract("m", MethodDescriptor::void()));
+        let mut a = ClassFile::new_class("A");
+        a.interfaces.push("I".into());
+        a.methods.push(ctor());
+        // A realistic body: stubbing it out should save real bytes.
+        let mut chunky = vec![];
+        for k in 0..20 {
+            chunky.push(Insn::IConst(k));
+            chunky.push(Insn::Pop);
+        }
+        chunky.push(Insn::Return);
+        a.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::void(),
+            Code::new(1, 1, chunky),
+        ));
+        a.methods.push(MethodInfo::new(
+            "trigger",
+            MethodDescriptor::void(),
+            Code::new(
+                2,
+                1,
+                vec![
+                    Insn::ALoad(0),
+                    Insn::CheckCast("I".into()),
+                    Insn::InvokeInterface(MethodRef::new("I", "m", MethodDescriptor::void())),
+                    Insn::Return,
+                ],
+            ),
+        ));
+        // Unrelated ballast classes.
+        let mut ballast = Vec::new();
+        for k in 0..6 {
+            let mut c = ClassFile::new_class(format!("Ballast{k}"));
+            c.methods.push(ctor());
+            c.methods.push(MethodInfo::new(
+                "use",
+                MethodDescriptor::new(vec![Type::reference("A")], None),
+                Code::new(1, 2, vec![Insn::Return]),
+            ));
+            ballast.push(c);
+        }
+        let mut p: Program = [i, a].into_iter().collect();
+        for b in ballast {
+            p.insert(b);
+        }
+        p
+    }
+
+    #[test]
+    fn logical_beats_jreduce_on_the_benchmark() {
+        let p = benchmark();
+        assert!(lbr_classfile::verify_program(&p).is_empty());
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        assert!(oracle.is_failing());
+        let logical = run_reduction(
+            &p,
+            &oracle,
+            Strategy::Logical(MsaStrategy::GreedyClosure),
+            0.0,
+        )
+        .expect("logical runs");
+        check_report(&logical).expect("logical sound");
+        let jreduce =
+            run_reduction(&p, &oracle, Strategy::JReduce, 0.0).expect("jreduce runs");
+        check_report(&jreduce).expect("jreduce sound");
+        assert!(
+            logical.final_metrics.bytes <= jreduce.final_metrics.bytes,
+            "logical ({}) must be at least as small as jreduce ({})",
+            logical.final_metrics.bytes,
+            jreduce.final_metrics.bytes
+        );
+        // The ballast must be gone in both.
+        assert!(logical.reduced.get("Ballast0").is_none());
+        assert!(jreduce.reduced.get("Ballast0").is_none());
+        // Logical keeps A but can strip its unused parts.
+        assert!(logical.reduced.get("A").is_some());
+    }
+
+    #[test]
+    fn lossy_variants_run_and_are_sound() {
+        let p = benchmark();
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        for pick in [LossyPick::FirstFirst, LossyPick::LastLast] {
+            let report =
+                run_reduction(&p, &oracle, Strategy::Lossy(pick), 0.0).expect("lossy runs");
+            check_report(&report).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn ddmin_runs_and_is_sound() {
+        let p = benchmark();
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        let report =
+            run_reduction(&p, &oracle, Strategy::DdminItems, 0.0).expect("ddmin runs");
+        check_report(&report).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn not_failing_is_an_error() {
+        let p = benchmark();
+        let oracle = DecompilerOracle::new(&p, BugSet::none());
+        let err = run_reduction(&p, &oracle, Strategy::JReduce, 0.0).unwrap_err();
+        assert!(matches!(err, PipelineError::NotFailing));
+    }
+
+    #[test]
+    fn modeled_time_tracks_calls() {
+        let p = benchmark();
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        let report = run_reduction(
+            &p,
+            &oracle,
+            Strategy::Logical(MsaStrategy::GreedyClosure),
+            33.0,
+        )
+        .expect("runs");
+        assert!(report.predicate_calls > 0);
+        assert!(
+            (report.modeled_secs - report.predicate_calls as f64 * 33.0).abs() < 1e-9
+        );
+        assert!(report.relative_bytes() <= 1.0);
+        assert!(report.relative_classes() <= 1.0);
+    }
+}

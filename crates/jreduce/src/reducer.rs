@@ -1,0 +1,235 @@
+//! The item-level program reducer (the bytecode analog of Figure 5).
+
+use crate::item::{Item, ItemRegistry};
+use lbr_classfile::{ClassFile, Code, Program, OBJECT};
+use lbr_logic::VarSet;
+
+/// Applies a solution: keeps exactly the items in `keep` (plus built-ins),
+/// rewiring removed relations and stubbing removed bodies.
+///
+/// If `keep` satisfies the dependency model of
+/// [`LogicalModel`](crate::LogicalModel), the result verifies — the
+/// bytecode analog of Theorem 3.1, property-tested in this crate.
+pub fn reduce_program(program: &Program, reg: &ItemRegistry, keep: &VarSet) -> Program {
+    let mut out = Program::new();
+    for class in program.classes() {
+        let class_item = if class.is_interface() {
+            Item::Interface(class.name.clone())
+        } else {
+            Item::Class(class.name.clone())
+        };
+        if !reg.kept(&class_item, keep) {
+            continue;
+        }
+        out.insert(reduce_class(class, reg, keep));
+    }
+    out
+}
+
+fn reduce_class(class: &ClassFile, reg: &ItemRegistry, keep: &VarSet) -> ClassFile {
+    let name = &class.name;
+    let mut reduced = class.clone();
+
+    // Superclass relation.
+    if !class.is_interface() {
+        if let Some(sup) = &class.superclass {
+            if sup != OBJECT
+                && !reg.kept(&Item::SuperClass(name.clone(), sup.clone()), keep)
+            {
+                reduced.superclass = Some(OBJECT.to_owned());
+            }
+        }
+    }
+    // Interface relations.
+    reduced.interfaces.retain(|iface| {
+        let item = if class.is_interface() {
+            Item::InterfaceExtends(name.clone(), iface.clone())
+        } else {
+            Item::Implements(name.clone(), iface.clone())
+        };
+        reg.kept(&item, keep)
+    });
+    // Fields.
+    reduced
+        .fields
+        .retain(|f| reg.kept(&Item::Field(name.clone(), f.name.clone()), keep));
+    // Methods.
+    let mut methods = Vec::new();
+    for m in &class.methods {
+        let desc = m.desc.descriptor();
+        if m.is_init() {
+            if !reg.kept(&Item::Constructor(name.clone(), desc.clone()), keep) {
+                continue;
+            }
+            let mut kept_method = m.clone();
+            if !reg.kept(&Item::ConstructorCode(name.clone(), desc), keep) {
+                kept_method.code = Some(Code::trivial(locals_for(m)));
+            }
+            methods.push(kept_method);
+        } else if m.code.is_some() {
+            if !reg.kept(&Item::Method(name.clone(), m.name.clone(), desc.clone()), keep) {
+                continue;
+            }
+            let mut kept_method = m.clone();
+            if !reg.kept(&Item::MethodCode(name.clone(), m.name.clone(), desc), keep) {
+                kept_method.code = Some(Code::trivial(locals_for(m)));
+            }
+            methods.push(kept_method);
+        } else {
+            if !reg.kept(&Item::Signature(name.clone(), m.name.clone(), desc), keep) {
+                continue;
+            }
+            methods.push(m.clone());
+        }
+    }
+    reduced.methods = methods;
+    reduced
+}
+
+fn locals_for(m: &lbr_classfile::MethodInfo) -> u16 {
+    let this = u16::from(!m.flags.is_static());
+    this + m.desc.params.len() as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_classfile::{FieldInfo, Insn, MethodDescriptor, MethodInfo, Type};
+
+    fn sample() -> (Program, ItemRegistry) {
+        let mut i = ClassFile::new_interface("I");
+        i.methods
+            .push(MethodInfo::new_abstract("m", MethodDescriptor::void()));
+        let mut a = ClassFile::new_class("A");
+        a.interfaces.push("I".into());
+        a.fields.push(FieldInfo::new("f", Type::Int));
+        a.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        a.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        let mut b = ClassFile::new_class("B");
+        b.superclass = Some("A".into());
+        b.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        let p: Program = [i, a, b].into_iter().collect();
+        let reg = ItemRegistry::from_program(&p);
+        (p, reg)
+    }
+
+    fn keep_all_except(reg: &ItemRegistry, drop: &[Item]) -> VarSet {
+        let mut s = VarSet::full(reg.len());
+        for d in drop {
+            s.remove(reg.var(d).expect("registered item"));
+        }
+        s
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let (p, reg) = sample();
+        let r = reduce_program(&p, &reg, &VarSet::full(reg.len()));
+        assert_eq!(r, p);
+    }
+
+    #[test]
+    fn drop_class_removes_it() {
+        let (p, reg) = sample();
+        let keep = keep_all_except(
+            &reg,
+            &[
+                Item::Class("B".into()),
+                Item::SuperClass("B".into(), "A".into()),
+                Item::Constructor("B".into(), "()V".into()),
+                Item::ConstructorCode("B".into(), "()V".into()),
+            ],
+        );
+        let r = reduce_program(&p, &reg, &keep);
+        assert!(r.get("B").is_none());
+        assert!(r.get("A").is_some());
+    }
+
+    #[test]
+    fn drop_superclass_rewires_to_object() {
+        let (p, reg) = sample();
+        let keep = keep_all_except(&reg, &[Item::SuperClass("B".into(), "A".into())]);
+        let r = reduce_program(&p, &reg, &keep);
+        assert_eq!(r.get("B").unwrap().superclass.as_deref(), Some(OBJECT));
+    }
+
+    #[test]
+    fn drop_implements_removes_relation() {
+        let (p, reg) = sample();
+        let keep = keep_all_except(&reg, &[Item::Implements("A".into(), "I".into())]);
+        let r = reduce_program(&p, &reg, &keep);
+        assert!(r.get("A").unwrap().interfaces.is_empty());
+        assert!(r.get("I").is_some());
+    }
+
+    #[test]
+    fn drop_method_code_stubs_body() {
+        let (p, reg) = sample();
+        let keep = keep_all_except(
+            &reg,
+            &[Item::MethodCode("A".into(), "m".into(), "()V".into())],
+        );
+        let r = reduce_program(&p, &reg, &keep);
+        let m = r.get("A").unwrap().method("m", &MethodDescriptor::void()).unwrap();
+        assert_eq!(m.code.as_ref().unwrap().insns, vec![Insn::AConstNull, Insn::AThrow]);
+    }
+
+    #[test]
+    fn drop_method_removes_it() {
+        let (p, reg) = sample();
+        let keep = keep_all_except(
+            &reg,
+            &[
+                Item::Method("A".into(), "m".into(), "()V".into()),
+                Item::MethodCode("A".into(), "m".into(), "()V".into()),
+                Item::Implements("A".into(), "I".into()), // keep valid
+            ],
+        );
+        let r = reduce_program(&p, &reg, &keep);
+        assert!(r.get("A").unwrap().method("m", &MethodDescriptor::void()).is_none());
+    }
+
+    #[test]
+    fn drop_field_and_signature() {
+        let (p, reg) = sample();
+        let keep = keep_all_except(
+            &reg,
+            &[
+                Item::Field("A".into(), "f".into()),
+                Item::Signature("I".into(), "m".into(), "()V".into()),
+            ],
+        );
+        let r = reduce_program(&p, &reg, &keep);
+        assert!(r.get("A").unwrap().fields.is_empty());
+        assert!(r.get("I").unwrap().methods.is_empty());
+    }
+
+    #[test]
+    fn ctor_code_stub_preserves_arity() {
+        let mut a = ClassFile::new_class("A");
+        a.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::new(vec![Type::Int, Type::Int], None),
+            Code::new(1, 3, vec![Insn::Return]),
+        ));
+        let p: Program = [a].into_iter().collect();
+        let reg = ItemRegistry::from_program(&p);
+        let keep = keep_all_except(&reg, &[Item::ConstructorCode("A".into(), "(II)V".into())]);
+        let r = reduce_program(&p, &reg, &keep);
+        let ctor = &r.get("A").unwrap().methods[0];
+        assert_eq!(ctor.desc.params.len(), 2);
+        assert_eq!(ctor.code.as_ref().unwrap().max_locals, 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! A small complete DPLL SAT solver.
+//!
+//! Used as (a) the fallback inside [`msa`](crate::msa) when the greedy
+//! closure hits a dead end, and (b) the reference oracle in tests. Branching
+//! follows the variable order with default polarity *false*, which biases
+//! models toward few true variables — the polarity a minimal satisfying
+//! assignment wants.
+
+use crate::{Cnf, Lit, PartialAssignment, Propagation, VarOrder, VarSet};
+
+/// Statistics from a [`solve`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpllStats {
+    /// Number of branching decisions made.
+    pub decisions: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+}
+
+/// Decides satisfiability of `cnf`, returning a model as its set of true
+/// variables, branching in `order` with default polarity false.
+///
+/// Returns `None` if the formula is unsatisfiable.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_logic::{dpll, Clause, Cnf, Var, VarOrder};
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_clause(Clause::implication([], [Var::new(0), Var::new(1)]));
+/// let model = dpll::solve(&cnf, &VarOrder::natural(2)).expect("satisfiable");
+/// assert!(cnf.eval(&model));
+/// ```
+pub fn solve(cnf: &Cnf, order: &VarOrder) -> Option<VarSet> {
+    solve_with_assumptions(cnf, order, &[]).map(|(m, _)| m)
+}
+
+/// Like [`solve`], with assumption literals fixed up front; also returns
+/// search statistics.
+pub fn solve_with_assumptions(
+    cnf: &Cnf,
+    order: &VarOrder,
+    assumptions: &[Lit],
+) -> Option<(VarSet, DpllStats)> {
+    debug_assert!(order.len() >= cnf.num_vars(), "order too small for cnf");
+    let mut assignment = PartialAssignment::new(order.len().max(cnf.num_vars()));
+    for &l in assumptions {
+        if !assignment.assign(l) {
+            return None;
+        }
+    }
+    let mut stats = DpllStats::default();
+    if search(cnf, order, &mut assignment, &mut stats) {
+        Some((assignment.true_set(), stats))
+    } else {
+        None
+    }
+}
+
+fn search(
+    cnf: &Cnf,
+    order: &VarOrder,
+    assignment: &mut PartialAssignment,
+    stats: &mut DpllStats,
+) -> bool {
+    let snapshot = assignment.clone();
+    match crate::propagate(cnf, assignment) {
+        Propagation::Conflict => {
+            *assignment = snapshot;
+            stats.conflicts += 1;
+            return false;
+        }
+        Propagation::Implied(_) => {}
+    }
+    let branch_var = order
+        .iter()
+        .find(|&v| v.index() < cnf.num_vars() && assignment.value(v).is_none());
+    let Some(v) = branch_var else {
+        return true; // all constrained variables assigned, no conflict
+    };
+    stats.decisions += 1;
+    for polarity in [false, true] {
+        let undo = assignment.clone();
+        assignment.assign(Lit::with_polarity(v, polarity));
+        if search(cnf, order, assignment, stats) {
+            return true;
+        }
+        *assignment = undo;
+    }
+    *assignment = snapshot;
+    false
+}
+
+/// Decides whether `cnf` is satisfiable.
+pub fn is_satisfiable(cnf: &Cnf) -> bool {
+    solve(cnf, &VarOrder::natural(cnf.num_vars())).is_some()
+}
+
+/// Enumerates every model of `cnf` over all `cnf.num_vars()` variables, up
+/// to `limit` models.
+///
+/// The search is exhaustive — use only when the model count is known to be
+/// small (e.g. verifying Theorem 3.1 on the paper's 20-variable example,
+/// which has 6,766 models).
+pub fn all_models(cnf: &Cnf, limit: usize) -> Vec<VarSet> {
+    let n = cnf.num_vars();
+    let mut out = Vec::new();
+    let mut assignment = PartialAssignment::new(n);
+    enumerate(cnf, 0, &mut assignment, &mut out, limit);
+    out
+}
+
+fn enumerate(
+    cnf: &Cnf,
+    next_var: usize,
+    assignment: &mut PartialAssignment,
+    out: &mut Vec<VarSet>,
+    limit: usize,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    // Quick conflict check: any clause fully falsified?
+    let mut satisfiable_here = true;
+    for c in cnf.clauses() {
+        let mut open = false;
+        let mut sat = false;
+        for &l in c.lits() {
+            match assignment.eval_lit(l) {
+                Some(true) => {
+                    sat = true;
+                    break;
+                }
+                Some(false) => {}
+                None => open = true,
+            }
+        }
+        if !sat && !open {
+            satisfiable_here = false;
+            break;
+        }
+    }
+    if !satisfiable_here {
+        return;
+    }
+    if next_var == cnf.num_vars() {
+        out.push(assignment.true_set());
+        return;
+    }
+    let v = crate::Var::new(next_var as u32);
+    for polarity in [false, true] {
+        assignment.assign(Lit::with_polarity(v, polarity));
+        enumerate(cnf, next_var + 1, assignment, out, limit);
+        assignment.unassign(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clause, Var};
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn sat_prefers_false() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([], [v(0), v(1), v(2)]));
+        let m = solve(&cnf, &VarOrder::natural(3)).expect("sat");
+        assert!(cnf.eval(&m));
+        // Default-false branching sets v0=false, v1=false, then v2 is forced.
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![v(2)]);
+    }
+
+    #[test]
+    fn unsat_detected() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::unit(Lit::pos(v(0))));
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        cnf.add_clause(Clause::new(vec![Lit::neg(v(1))]));
+        assert!(solve(&cnf, &VarOrder::natural(2)).is_none());
+        assert!(!is_satisfiable(&cnf));
+    }
+
+    #[test]
+    fn assumptions_respected() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        let (m, _) =
+            solve_with_assumptions(&cnf, &VarOrder::natural(2), &[Lit::pos(v(0))]).expect("sat");
+        assert!(m.contains(v(0)) && m.contains(v(1)));
+        // Contradictory assumptions are unsat.
+        assert!(solve_with_assumptions(
+            &cnf,
+            &VarOrder::natural(2),
+            &[Lit::pos(v(0)), Lit::neg(v(0))]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn order_changes_model() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(Clause::implication([], [v(0), v(1)]));
+        let m = solve(&cnf, &VarOrder::from_permutation(vec![v(1), v(0)])).expect("sat");
+        // Branch on v1 first (false), forcing v0.
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![v(0)]);
+    }
+
+    #[test]
+    fn empty_cnf_sat_with_empty_model() {
+        let cnf = Cnf::new(4);
+        let m = solve(&cnf, &VarOrder::natural(4)).expect("sat");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn all_models_enumerates() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([], [v(0), v(1)]));
+        let models = all_models(&cnf, 100);
+        assert_eq!(models.len() as u128, crate::count_models(&cnf));
+        for m in &models {
+            assert!(cnf.eval(m));
+        }
+        // Limit respected.
+        assert_eq!(all_models(&cnf, 2).len(), 2);
+    }
+
+    #[test]
+    fn hard_instance_pigeonhole_3_2() {
+        // 3 pigeons, 2 holes: unsatisfiable. Var p*2+h = pigeon p in hole h.
+        let mut cnf = Cnf::new(6);
+        for p in 0..3u32 {
+            cnf.add_clause(Clause::implication([], [v(p * 2), v(p * 2 + 1)]));
+        }
+        for h in 0..2u32 {
+            for p1 in 0..3u32 {
+                for p2 in (p1 + 1)..3 {
+                    cnf.add_clause(Clause::new(vec![
+                        Lit::neg(v(p1 * 2 + h)),
+                        Lit::neg(v(p2 * 2 + h)),
+                    ]));
+                }
+            }
+        }
+        assert!(!is_satisfiable(&cnf));
+    }
+}

@@ -1,0 +1,371 @@
+//! Propositional formulas and their conversion to CNF.
+//!
+//! The constraint-generating type checker of Section 3 produces formulas of
+//! the shape `(a₁ ∧ … ∧ aₙ) ⇒ ψ` where `ψ` is built from conjunction and
+//! disjunction of variables (e.g. the `mAny` disjunctions). [`Formula`]
+//! represents those and converts them to [`Cnf`] by negation normal form and
+//! distribution, which is linear for the shapes the type rules generate.
+
+use crate::{Clause, Cnf, Lit, Var, VarSet};
+use std::fmt;
+
+/// A propositional formula.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_logic::{Formula, Var, VarSet};
+/// let a = Var::new(0);
+/// let b = Var::new(1);
+/// // a ⇒ b
+/// let f = Formula::var(a).implies(Formula::var(b));
+/// let cnf = f.to_cnf();
+/// assert_eq!(cnf.len(), 1);
+/// let mut s = VarSet::empty(2);
+/// s.insert(a);
+/// assert!(!f.eval(&s));
+/// s.insert(b);
+/// assert!(f.eval(&s));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// A constant truth value.
+    Const(bool),
+    /// A variable.
+    Var(Var),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction of zero or more formulas (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction of zero or more formulas (empty = false).
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// The constant `true`.
+    pub fn tt() -> Self {
+        Formula::Const(true)
+    }
+
+    /// The constant `false`.
+    pub fn ff() -> Self {
+        Formula::Const(false)
+    }
+
+    /// A variable formula.
+    pub fn var(v: Var) -> Self {
+        Formula::Var(v)
+    }
+
+    /// Negation with constant folding. (An associated constructor like
+    /// [`Formula::and`], deliberately named after the connective.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Self {
+        match f {
+            Formula::Const(b) => Formula::Const(!b),
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// N-ary conjunction with flattening and constant folding.
+    pub fn and<I: IntoIterator<Item = Formula>>(fs: I) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::Const(true) => {}
+                Formula::Const(false) => return Formula::ff(),
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::tt(),
+            1 => out.pop().expect("length checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// N-ary disjunction with flattening and constant folding.
+    pub fn or<I: IntoIterator<Item = Formula>>(fs: I) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::Const(false) => {}
+                Formula::Const(true) => return Formula::tt(),
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::ff(),
+            1 => out.pop().expect("length checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// The implication `self ⇒ rhs`.
+    pub fn implies(self, rhs: Formula) -> Self {
+        Formula::or([Formula::not(self), rhs])
+    }
+
+    /// Conjunction of two formulas.
+    pub fn and2(self, rhs: Formula) -> Self {
+        Formula::and([self, rhs])
+    }
+
+    /// Disjunction of two formulas.
+    pub fn or2(self, rhs: Formula) -> Self {
+        Formula::or([self, rhs])
+    }
+
+    /// Evaluates under the complete assignment "true iff member of
+    /// `true_set`".
+    pub fn eval(&self, true_set: &VarSet) -> bool {
+        match self {
+            Formula::Const(b) => *b,
+            Formula::Var(v) => true_set.contains(*v),
+            Formula::Not(f) => !f.eval(true_set),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(true_set)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(true_set)),
+        }
+    }
+
+    /// Collects the variables occurring in the formula.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Formula::Const(_) => {}
+            Formula::Var(v) => out.push(*v),
+            Formula::Not(f) => f.collect_vars(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Converts to CNF via negation normal form and distribution of `∨` over
+    /// `∧`.
+    ///
+    /// This is exact (no auxiliary variables). The dependency formulas of the
+    /// type rules are conjunctions of implications whose right-hand sides are
+    /// small, so the distribution does not blow up; pathological inputs cost
+    /// time exponential in the nesting of `∨` over `∧`.
+    pub fn to_cnf(&self) -> Cnf {
+        let mut cnf = Cnf::new(0);
+        self.to_cnf_into(&mut cnf);
+        cnf
+    }
+
+    /// Appends this formula's clauses to an existing CNF (conjunction).
+    pub fn to_cnf_into(&self, cnf: &mut Cnf) {
+        let nnf = self.to_nnf(false);
+        nnf.distribute(cnf);
+    }
+
+    /// Negation normal form: push negations to literals.
+    fn to_nnf(&self, negate: bool) -> Nnf {
+        match (self, negate) {
+            (Formula::Const(b), n) => Nnf::Const(*b != n),
+            (Formula::Var(v), n) => Nnf::Lit(Lit::with_polarity(*v, !n)),
+            (Formula::Not(f), n) => f.to_nnf(!n),
+            (Formula::And(fs), false) | (Formula::Or(fs), true) => {
+                Nnf::And(fs.iter().map(|f| f.to_nnf(negate)).collect())
+            }
+            (Formula::Or(fs), false) | (Formula::And(fs), true) => {
+                Nnf::Or(fs.iter().map(|f| f.to_nnf(negate)).collect())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Const(b) => write!(f, "{b}"),
+            Formula::Var(v) => write!(f, "{v}"),
+            Formula::Not(inner) => write!(f, "!{inner:?}"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g:?}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g:?}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Negation normal form used internally by CNF conversion.
+enum Nnf {
+    Const(bool),
+    Lit(Lit),
+    And(Vec<Nnf>),
+    Or(Vec<Nnf>),
+}
+
+impl Nnf {
+    /// Distributes into clauses appended to `cnf`.
+    fn distribute(&self, cnf: &mut Cnf) {
+        match self {
+            Nnf::Const(true) => {}
+            Nnf::Const(false) => {
+                cnf.add_clause(Clause::empty());
+            }
+            Nnf::Lit(l) => {
+                cnf.add_clause(Clause::unit(*l));
+            }
+            Nnf::And(fs) => {
+                for f in fs {
+                    f.distribute(cnf);
+                }
+            }
+            Nnf::Or(fs) => {
+                // Each disjunct yields a set of clauses; the disjunction is
+                // the cross product.
+                let mut acc: Vec<Vec<Lit>> = vec![Vec::new()];
+                for f in fs {
+                    let mut sub = Cnf::new(0);
+                    f.distribute(&mut sub);
+                    if sub.is_empty() {
+                        // Disjunct is true: whole disjunction is true.
+                        return;
+                    }
+                    let mut next = Vec::with_capacity(acc.len() * sub.len());
+                    for base in &acc {
+                        for c in sub.clauses() {
+                            let mut lits = base.clone();
+                            lits.extend_from_slice(c.lits());
+                            next.push(lits);
+                        }
+                    }
+                    acc = next;
+                }
+                for lits in acc {
+                    cnf.add_clause(Clause::new(lits));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    fn fv(i: u32) -> Formula {
+        Formula::var(v(i))
+    }
+
+    /// Exhaustively checks that `f` and its CNF agree on all assignments
+    /// over `n` variables.
+    fn assert_equisat(f: &Formula, n: usize) {
+        let cnf = f.to_cnf();
+        for bits in 0..(1u64 << n) {
+            let mut s = VarSet::empty(n);
+            for i in 0..n {
+                if bits >> i & 1 == 1 {
+                    s.insert(v(i as u32));
+                }
+            }
+            assert_eq!(f.eval(&s), cnf.eval(&s), "mismatch at {s:?} for {f:?}");
+        }
+    }
+
+    #[test]
+    fn constants_fold() {
+        assert_eq!(Formula::and([Formula::tt(), Formula::tt()]), Formula::tt());
+        assert_eq!(Formula::and([fv(0), Formula::ff()]), Formula::ff());
+        assert_eq!(Formula::or([Formula::ff(), Formula::ff()]), Formula::ff());
+        assert_eq!(Formula::or([fv(0), Formula::tt()]), Formula::tt());
+        assert_eq!(Formula::not(Formula::not(fv(0))), fv(0));
+    }
+
+    #[test]
+    fn implication_cnf() {
+        // (a & b) => (c | d) is one clause.
+        let f = Formula::and([fv(0), fv(1)]).implies(Formula::or([fv(2), fv(3)]));
+        let cnf = f.to_cnf();
+        assert_eq!(cnf.len(), 1);
+        assert_eq!(
+            cnf.clauses()[0],
+            Clause::implication([v(0), v(1)], [v(2), v(3)])
+        );
+        assert_equisat(&f, 4);
+    }
+
+    #[test]
+    fn implication_with_conjunction_rhs() {
+        // a => (b & c) is two clauses.
+        let f = fv(0).implies(Formula::and([fv(1), fv(2)]));
+        let cnf = f.to_cnf();
+        assert_eq!(cnf.len(), 2);
+        assert_equisat(&f, 3);
+    }
+
+    #[test]
+    fn nested_distribution() {
+        let f = Formula::or([
+            Formula::and([fv(0), fv(1)]),
+            Formula::and([fv(2), fv(3)]),
+        ]);
+        let cnf = f.to_cnf();
+        assert_eq!(cnf.len(), 4);
+        assert_equisat(&f, 4);
+    }
+
+    #[test]
+    fn false_becomes_empty_clause() {
+        let f = fv(0).implies(Formula::ff());
+        let cnf = f.to_cnf();
+        assert_eq!(cnf.len(), 1);
+        assert_eq!(cnf.clauses()[0], Clause::unit(Lit::neg(v(0))));
+        let g = Formula::ff();
+        assert!(g.to_cnf().has_empty_clause());
+    }
+
+    #[test]
+    fn vars_collected() {
+        let f = Formula::and([fv(3), Formula::not(fv(1)), fv(3)]);
+        assert_eq!(f.vars(), vec![v(1), v(3)]);
+    }
+
+    #[test]
+    fn demorgan_equisat() {
+        let f = Formula::not(Formula::and([fv(0), Formula::or([fv(1), Formula::not(fv(2))])]));
+        assert_equisat(&f, 3);
+    }
+
+    #[test]
+    fn tautological_or_is_dropped() {
+        let f = Formula::or([fv(0), Formula::not(fv(0))]);
+        let cnf = f.to_cnf();
+        assert!(cnf.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Literals: a variable or its negation.
+
+use crate::Var;
+use std::fmt;
+
+/// A literal — a [`Var`] with a polarity.
+///
+/// Encoded as `var << 1 | negated` so literals sort first by variable and
+/// then positive-before-negative, which keeps clause canonicalization cheap.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_logic::{Lit, Var};
+/// let x = Var::new(0);
+/// assert!(Lit::pos(x).is_positive());
+/// assert!(!Lit::neg(x).is_positive());
+/// assert_eq!(Lit::pos(x).negated(), Lit::neg(x));
+/// assert_eq!(Lit::neg(x).var(), x);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub const fn pos(v: Var) -> Self {
+        Lit(v.raw() << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub const fn neg(v: Var) -> Self {
+        Lit(v.raw() << 1 | 1)
+    }
+
+    /// Builds a literal with an explicit polarity (`true` = positive).
+    #[inline]
+    pub const fn with_polarity(v: Var, positive: bool) -> Self {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub const fn var(self) -> Var {
+        Var::new(self.0 >> 1)
+    }
+
+    /// Whether the literal is the positive occurrence of its variable.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The opposite-polarity literal of the same variable.
+    #[inline]
+    pub const fn negated(self) -> Self {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Evaluates the literal under a truth value for its variable.
+    #[inline]
+    pub const fn eval(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+
+    /// Dense code usable as an array index (`2 * var + neg`).
+    #[inline]
+    pub const fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Var> for Lit {
+    fn from(v: Var) -> Self {
+        Lit::pos(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_and_var() {
+        let v = Var::new(5);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert_eq!(p.negated(), n);
+        assert_eq!(n.negated(), p);
+        assert_eq!(Lit::with_polarity(v, true), p);
+        assert_eq!(Lit::with_polarity(v, false), n);
+    }
+
+    #[test]
+    fn eval_matches_polarity() {
+        let v = Var::new(0);
+        assert!(Lit::pos(v).eval(true));
+        assert!(!Lit::pos(v).eval(false));
+        assert!(Lit::neg(v).eval(false));
+        assert!(!Lit::neg(v).eval(true));
+    }
+
+    #[test]
+    fn ordering_groups_by_variable() {
+        let a = Var::new(1);
+        let b = Var::new(2);
+        let mut lits = vec![Lit::neg(b), Lit::pos(a), Lit::neg(a), Lit::pos(b)];
+        lits.sort();
+        assert_eq!(lits, vec![Lit::pos(a), Lit::neg(a), Lit::pos(b), Lit::neg(b)]);
+    }
+
+    #[test]
+    fn codes_are_dense() {
+        assert_eq!(Lit::pos(Var::new(0)).code(), 0);
+        assert_eq!(Lit::neg(Var::new(0)).code(), 1);
+        assert_eq!(Lit::pos(Var::new(1)).code(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let v = Var::new(3);
+        assert_eq!(Lit::pos(v).to_string(), "v3");
+        assert_eq!(Lit::neg(v).to_string(), "!v3");
+    }
+}

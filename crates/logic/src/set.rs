@@ -1,0 +1,310 @@
+//! Dense bit-sets of variables.
+//!
+//! Solutions in the paper are written as "the set of true variables"; every
+//! variable outside the set is false. [`VarSet`] is that representation: a
+//! fixed-universe bitset with the set operations the reduction algorithms
+//! need (union, difference, subset tests, ordered iteration).
+
+use crate::Var;
+use std::fmt;
+
+/// A set of [`Var`]s over a fixed universe `0..universe`.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_logic::{Var, VarSet};
+/// let mut s = VarSet::empty(10);
+/// s.insert(Var::new(3));
+/// s.insert(Var::new(7));
+/// assert!(s.contains(Var::new(3)));
+/// assert!(!s.contains(Var::new(4)));
+/// assert_eq!(s.len(), 2);
+/// let vars: Vec<usize> = s.iter().map(|v| v.index()).collect();
+/// assert_eq!(vars, vec![3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VarSet {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl VarSet {
+    /// Creates an empty set over `0..universe`.
+    pub fn empty(universe: usize) -> Self {
+        VarSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+            len: 0,
+        }
+    }
+
+    /// Creates the full set `{0, .., universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for i in 0..universe {
+            s.insert(Var::new(i as u32));
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of variables.
+    pub fn from_iter_with_universe<I: IntoIterator<Item = Var>>(universe: usize, it: I) -> Self {
+        let mut s = Self::empty(universe);
+        for v in it {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// The size of the universe this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests membership. Variables outside the universe are never members.
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        let i = v.index();
+        i < self.universe && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Inserts `v`, returning `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, v: Var) -> bool {
+        let i = v.index();
+        assert!(i < self.universe, "variable {v} outside universe {}", self.universe);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`, returning `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: Var) -> bool {
+        let i = v.index();
+        if i >= self.universe {
+            return false;
+        }
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &VarSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        self.recount();
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &VarSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        self.recount();
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &VarSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+        self.recount();
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns `self \ other` as a new set.
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// Whether the two sets share no members.
+    pub fn is_disjoint(&self, other: &VarSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates members in increasing variable-index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    /// Collects variables into a set whose universe is one past the largest
+    /// index seen.
+    fn from_iter<T: IntoIterator<Item = Var>>(iter: T) -> Self {
+        let vars: Vec<Var> = iter.into_iter().collect();
+        let universe = vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        Self::from_iter_with_universe(universe, vars)
+    }
+}
+
+impl Extend<Var> for VarSet {
+    fn extend<T: IntoIterator<Item = Var>>(&mut self, iter: T) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+/// Iterator over the members of a [`VarSet`], produced by [`VarSet::iter`].
+pub struct Iter<'a> {
+    set: &'a VarSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Var;
+
+    fn next(&mut self) -> Option<Var> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(Var::new((self.word_idx * 64 + bit) as u32));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(universe: usize, vars: &[u32]) -> VarSet {
+        VarSet::from_iter_with_universe(universe, vars.iter().map(|&v| Var::new(v)))
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VarSet::empty(100);
+        assert!(s.insert(Var::new(70)));
+        assert!(!s.insert(Var::new(70)));
+        assert!(s.contains(Var::new(70)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Var::new(70)));
+        assert!(!s.remove(Var::new(70)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(10, &[1, 2, 3]);
+        let b = set(10, &[3, 4]);
+        assert_eq!(a.union(&b), set(10, &[1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), set(10, &[3]));
+        assert_eq!(a.difference(&b), set(10, &[1, 2]));
+        assert!(!a.is_disjoint(&b));
+        assert!(set(10, &[1]).is_disjoint(&set(10, &[2])));
+        assert!(set(10, &[1, 2]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let s = set(200, &[199, 0, 64, 65, 128]);
+        let got: Vec<u32> = s.iter().map(|v| v.raw()).collect();
+        assert_eq!(got, vec![0, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn full_and_from_iter() {
+        let f = VarSet::full(5);
+        assert_eq!(f.len(), 5);
+        let c: VarSet = [Var::new(2), Var::new(9)].into_iter().collect();
+        assert_eq!(c.universe(), 10);
+        assert!(c.contains(Var::new(9)));
+    }
+
+    #[test]
+    fn outside_universe_contains_is_false() {
+        let s = set(4, &[0]);
+        assert!(!s.contains(Var::new(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_outside_universe_panics() {
+        let mut s = VarSet::empty(4);
+        s.insert(Var::new(4));
+    }
+}

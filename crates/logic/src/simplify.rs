@@ -1,0 +1,181 @@
+//! CNF simplification: unit-propagation rewriting, subsumption removal,
+//! and backbone extraction.
+//!
+//! Dependency models generated from programs carry redundancy (duplicate
+//! and subsumed clauses, forced literals). Simplifying before reduction
+//! shrinks the progression machinery's working set and exposes the
+//! *backbone* — items that every valid sub-input must keep (or drop),
+//! which is useful diagnostic output for bug reports.
+
+use crate::{dpll, Clause, Cnf, Lit, PartialAssignment, Propagation, Var, VarOrder, VarSet};
+
+/// The result of [`bcp_simplify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BcpSimplified {
+    /// The rewritten CNF (forced literals removed from all clauses).
+    pub cnf: Cnf,
+    /// The literals forced by unit propagation, in derivation order.
+    pub forced: Vec<Lit>,
+}
+
+/// Rewrites `cnf` under its own unit propagation: forced literals become
+/// facts (returned separately) and disappear from the remaining clauses.
+/// Returns `None` if propagation derives a contradiction (the CNF is
+/// unsatisfiable).
+pub fn bcp_simplify(cnf: &Cnf) -> Option<BcpSimplified> {
+    let mut pa = PartialAssignment::new(cnf.num_vars());
+    let forced = match crate::propagate(cnf, &mut pa) {
+        Propagation::Conflict => return None,
+        Propagation::Implied(lits) => lits,
+    };
+    let simplified = cnf.condition_by(|v| pa.value(v));
+    Some(BcpSimplified {
+        cnf: simplified,
+        forced,
+    })
+}
+
+/// Removes subsumed clauses: whenever `c ⊆ d` (as literal sets), `d` is
+/// implied by `c` and can be dropped. Also deduplicates. Returns the
+/// number of clauses removed.
+pub fn remove_subsumed(cnf: &mut Cnf) -> usize {
+    let mut clauses: Vec<Clause> = cnf.clauses().to_vec();
+    let before = clauses.len();
+    // Sort by length so potential subsumers come first.
+    clauses.sort_by_key(Clause::len);
+    let mut kept: Vec<Clause> = Vec::with_capacity(clauses.len());
+    'outer: for c in clauses {
+        for k in &kept {
+            if subsumes(k, &c) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    let mut out = Cnf::new(cnf.num_vars());
+    for c in kept {
+        out.add_clause(c);
+    }
+    *cnf = out;
+    before - cnf.len()
+}
+
+/// Whether every literal of `small` occurs in `big`.
+fn subsumes(small: &Clause, big: &Clause) -> bool {
+    small.len() <= big.len() && small.lits().iter().all(|l| big.lits().contains(l))
+}
+
+/// The backbone of a satisfiable CNF: the variables forced true and
+/// forced false in *every* model. Returns `None` if the CNF is
+/// unsatisfiable.
+///
+/// Computed with one SAT probe per undecided variable, so this is a
+/// diagnostic tool for moderate instances, not an inner-loop primitive.
+pub fn backbone(cnf: &Cnf) -> Option<(VarSet, VarSet)> {
+    let n = cnf.num_vars();
+    let order = VarOrder::natural(n);
+    let witness = dpll::solve(cnf, &order)?;
+    let mut forced_true = VarSet::empty(n);
+    let mut forced_false = VarSet::empty(n);
+    let occurring = cnf.occurring_vars();
+    for i in 0..n {
+        let v = Var::new(i as u32);
+        if !occurring.contains(v) {
+            continue; // free variables are never backbone
+        }
+        let flipped = Lit::with_polarity(v, !witness.contains(v));
+        if dpll::solve_with_assumptions(cnf, &order, &[flipped]).is_none() {
+            if witness.contains(v) {
+                forced_true.insert(v);
+            } else {
+                forced_false.insert(v);
+            }
+        }
+    }
+    Some((forced_true, forced_false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn bcp_rewrites_units() {
+        // 0, 0⇒1, (1 ∨ 2): forces 0 and 1; the disjunction dissolves.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::unit(Lit::pos(v(0))));
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        cnf.add_clause(Clause::implication([], [v(1), v(2)]));
+        let s = bcp_simplify(&cnf).expect("satisfiable");
+        assert_eq!(s.forced.len(), 2);
+        assert!(s.cnf.is_empty(), "{:?}", s.cnf);
+    }
+
+    #[test]
+    fn bcp_detects_contradiction() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(Clause::unit(Lit::pos(v(0))));
+        cnf.add_clause(Clause::unit(Lit::neg(v(0))));
+        assert!(bcp_simplify(&cnf).is_none());
+    }
+
+    #[test]
+    fn subsumption_drops_weaker_clauses() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([], [v(0), v(1), v(2)]));
+        cnf.add_clause(Clause::implication([], [v(0), v(1)]));
+        cnf.add_clause(Clause::implication([], [v(0), v(1)])); // duplicate
+        let removed = remove_subsumed(&mut cnf);
+        assert_eq!(removed, 2);
+        assert_eq!(cnf.len(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn subsumption_preserves_models() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        cnf.add_clause(Clause::implication([v(0), v(2)], [v(1), v(3)])); // subsumed
+        cnf.add_clause(Clause::implication([], [v(2), v(3)]));
+        let before = crate::count_models(&cnf);
+        remove_subsumed(&mut cnf);
+        assert_eq!(crate::count_models(&cnf), before);
+    }
+
+    #[test]
+    fn backbone_finds_forced_literals() {
+        // 0; 0⇒1; (¬2 ∨ ¬1) forces 2 false; 3 is free.
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(Clause::unit(Lit::pos(v(0))));
+        cnf.add_clause(Clause::edge(v(0), v(1)));
+        cnf.add_clause(Clause::new(vec![Lit::neg(v(2)), Lit::neg(v(1))]));
+        let (t, f) = backbone(&cnf).expect("satisfiable");
+        assert!(t.contains(v(0)) && t.contains(v(1)));
+        assert!(f.contains(v(2)));
+        assert!(!t.contains(v(3)) && !f.contains(v(3)));
+    }
+
+    #[test]
+    fn backbone_of_unsat_is_none() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(Clause::unit(Lit::pos(v(0))));
+        cnf.add_clause(Clause::unit(Lit::neg(v(0))));
+        assert!(backbone(&cnf).is_none());
+    }
+
+    #[test]
+    fn backbone_deep_implications() {
+        // (0 ∨ 1) ∧ (0 ⇒ 2) ∧ (1 ⇒ 2): 2 is backbone though never a unit.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::implication([], [v(0), v(1)]));
+        cnf.add_clause(Clause::edge(v(0), v(2)));
+        cnf.add_clause(Clause::edge(v(1), v(2)));
+        let (t, _) = backbone(&cnf).expect("satisfiable");
+        assert!(t.contains(v(2)));
+        assert!(!t.contains(v(0)) && !t.contains(v(1)));
+    }
+}

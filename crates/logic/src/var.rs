@@ -1,0 +1,173 @@
+//! Propositional variables and the interning pool that names them.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A propositional variable, identified by a dense index.
+///
+/// Variables are cheap copyable handles. Their human-readable names (such as
+/// `[A.m()!code]` in the paper) live in a [`VarPool`].
+///
+/// # Examples
+///
+/// ```
+/// use lbr_logic::Var;
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the dense index of this variable.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` representation.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for Var {
+    fn from(index: u32) -> Self {
+        Var(index)
+    }
+}
+
+/// An interning pool assigning dense [`Var`] indices to string names.
+///
+/// The reduction front ends (FJI, bytecode items) describe the removable
+/// pieces of an input by name; the pool maps those names to variables used in
+/// the CNF dependency model and back, so that solutions and progressions can
+/// be printed the way the paper prints them.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_logic::VarPool;
+/// let mut pool = VarPool::new();
+/// let a = pool.var("[A]");
+/// let b = pool.var("[B]");
+/// assert_ne!(a, b);
+/// assert_eq!(pool.var("[A]"), a); // interned
+/// assert_eq!(pool.name(a), "[A]");
+/// assert_eq!(pool.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VarPool {
+    names: Vec<String>,
+    index: HashMap<String, Var>,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its variable. Repeated calls with the same
+    /// name return the same variable.
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.index.get(name) {
+            return v;
+        }
+        let v = Var::new(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Looks up a previously interned name.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this pool.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no variable has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all variables in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.names.len() as u32).map(Var::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        let v = Var::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(Var::from(42u32), v);
+    }
+
+    #[test]
+    fn pool_interns() {
+        let mut p = VarPool::new();
+        let a = p.var("x");
+        let b = p.var("y");
+        let a2 = p.var("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(p.name(b), "y");
+        assert_eq!(p.lookup("y"), Some(b));
+        assert_eq!(p.lookup("z"), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        let all: Vec<Var> = p.iter().collect();
+        assert_eq!(all, vec![a, b]);
+    }
+
+    #[test]
+    fn empty_pool() {
+        let p = VarPool::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn var_display() {
+        assert_eq!(Var::new(7).to_string(), "v7");
+        assert_eq!(format!("{:?}", Var::new(7)), "v7");
+    }
+}

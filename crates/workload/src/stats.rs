@@ -1,0 +1,83 @@
+//! Suite statistics — the numbers behind the paper's "Statistics"
+//! paragraph (geometric means over benchmarks).
+
+use crate::suite::Benchmark;
+use lbr_classfile::program_byte_size;
+
+/// Geometric-mean statistics of a benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteStats {
+    /// Number of benchmark instances.
+    pub benchmarks: usize,
+    /// Geometric mean of class counts (paper: 184).
+    pub classes: f64,
+    /// Geometric mean of byte sizes (paper: 285 KB).
+    pub bytes: f64,
+    /// Geometric mean of distinct compiler errors (paper: 9.2).
+    pub errors: f64,
+}
+
+/// The geometric mean of non-negative samples (0 for empty input;
+/// non-positive samples are clamped to a tiny epsilon to keep the mean
+/// defined).
+pub fn geometric_mean<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        log_sum += x.max(1e-9).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Computes suite statistics (runs each benchmark's oracle once).
+pub fn suite_stats(benchmarks: &[Benchmark]) -> SuiteStats {
+    SuiteStats {
+        benchmarks: benchmarks.len(),
+        classes: geometric_mean(benchmarks.iter().map(|b| b.program.len() as f64)),
+        bytes: geometric_mean(
+            benchmarks
+                .iter()
+                .map(|b| program_byte_size(&b.program) as f64),
+        ),
+        errors: geometric_mean(
+            benchmarks
+                .iter()
+                .map(|b| b.oracle().error_count() as f64),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{suite, SuiteConfig};
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean([]), 0.0);
+        assert!((geometric_mean([4.0, 9.0]) - 6.0).abs() < 1e-9);
+        assert!((geometric_mean([5.0]) - 5.0).abs() < 1e-9);
+        // Fractions are not clamped (relative sizes are < 1).
+        assert!((geometric_mean([0.25, 0.25]) - 0.25).abs() < 1e-9);
+        // Zeros are clamped to a tiny epsilon, not to 1.
+        assert!(geometric_mean([0.0, 100.0]) < 1.0);
+    }
+
+    #[test]
+    fn stats_are_positive() {
+        let benchmarks = suite(&SuiteConfig {
+            programs: 2,
+            ..SuiteConfig::default()
+        });
+        let stats = suite_stats(&benchmarks);
+        assert_eq!(stats.benchmarks, benchmarks.len());
+        assert!(stats.classes > 1.0);
+        assert!(stats.bytes > 100.0);
+        assert!(stats.errors >= 1.0);
+    }
+}

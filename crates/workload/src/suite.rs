@@ -1,0 +1,121 @@
+//! NJR-like benchmark suites.
+//!
+//! The paper's benchmarks are 96 NJR programs × 3 decompilers = 227
+//! failing instances. A [`suite`] mirrors that shape: it generates `n`
+//! programs (with all bug-trigger patterns planted), pairs each with the
+//! three simulated decompilers, and keeps the pairs that actually fail.
+
+use crate::gen::{generate, WorkloadConfig};
+use lbr_classfile::Program;
+use lbr_decompiler::{BugKind, BugSet, DecompilerOracle};
+
+/// One failing (program, decompiler) instance.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// A stable name, e.g. `njr7-a`.
+    pub name: String,
+    /// The input program.
+    pub program: Program,
+    /// The decompiler's bugs.
+    pub bugs: BugSet,
+}
+
+impl Benchmark {
+    /// Builds the oracle for this benchmark.
+    pub fn oracle(&self) -> DecompilerOracle {
+        DecompilerOracle::new(&self.program, self.bugs.clone())
+    }
+}
+
+/// Configuration for [`suite`].
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Number of generated programs (each yields up to 3 instances).
+    pub programs: usize,
+    /// Size scale factor (1.0 ≈ the default [`WorkloadConfig`]).
+    pub scale: f64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            seed: 42,
+            programs: 8,
+            scale: 1.0,
+        }
+    }
+}
+
+/// Generates the benchmark suite: only failing (program, decompiler)
+/// instances are returned, like the paper's 227.
+pub fn suite(config: &SuiteConfig) -> Vec<Benchmark> {
+    let decompilers = [
+        ("a", BugSet::decompiler_a()),
+        ("b", BugSet::decompiler_b()),
+        ("c", BugSet::decompiler_c()),
+    ];
+    let mut out = Vec::new();
+    for k in 0..config.programs {
+        let workload = WorkloadConfig {
+            seed: config.seed.wrapping_add(k as u64),
+            plant: BugKind::ALL.to_vec(),
+            ..WorkloadConfig::default()
+        }
+        .scaled(config.scale);
+        let program = generate(&workload);
+        for (suffix, bugs) in &decompilers {
+            let oracle = DecompilerOracle::new(&program, bugs.clone());
+            if oracle.is_failing() {
+                out.push(Benchmark {
+                    name: format!("njr{k}-{suffix}"),
+                    program: program.clone(),
+                    bugs: bugs.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_yields_failing_instances() {
+        let benchmarks = suite(&SuiteConfig {
+            programs: 3,
+            ..SuiteConfig::default()
+        });
+        assert!(
+            benchmarks.len() >= 3,
+            "expected several failing instances, got {}",
+            benchmarks.len()
+        );
+        for b in &benchmarks {
+            assert!(b.oracle().is_failing(), "{} must fail", b.name);
+            assert!(
+                lbr_classfile::verify_program(&b.program).is_empty(),
+                "{} must verify",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let config = SuiteConfig {
+            programs: 2,
+            ..SuiteConfig::default()
+        };
+        let a = suite(&config);
+        let b = suite(&config);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.program, y.program);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The FJI front end: parse a program, type check it, and show the
+//! dependency constraints the type rules generate (Section 3).
+//!
+//! ```sh
+//! cargo run --example fji_typecheck            # built-in demo program
+//! cargo run --example fji_typecheck -- file.fji
+//! ```
+
+use lbr::fji::{parse_program, typecheck, ItemRegistry};
+use lbr::logic::count_models;
+
+const DEMO: &str = "
+// A tiny service: Handler implements Service via an adapter chain.
+class Handler extends Object implements Service {
+  Handler() { super(); }
+  String handle() { return this.handle(); }
+}
+class Adapter extends Handler implements EmptyInterface {
+  Adapter() { super(); }
+}
+interface Service {
+  String handle();
+}
+class App extends Object implements EmptyInterface {
+  App() { super(); }
+  String run(Service s) { return s.handle(); }
+  String main() { return new App().run(new Adapter()); }
+}
+new App().main();
+";
+
+fn main() {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => DEMO.to_owned(),
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let registry = ItemRegistry::from_program(&program);
+    println!("{} reducible items:", registry.len());
+    for item in registry.items() {
+        println!("  {item}");
+    }
+    match typecheck(&program, &registry) {
+        Ok(formula) => {
+            let mut cnf = formula.to_cnf();
+            cnf.ensure_vars(registry.len());
+            cnf.dedup_clauses();
+            println!("\ntype checks ✓ — {} dependency constraints:", cnf.len());
+            for clause in cnf.clauses() {
+                let text: Vec<String> = clause
+                    .lits()
+                    .iter()
+                    .map(|l| {
+                        let name = registry.item(l.var()).to_string();
+                        if l.is_positive() {
+                            name
+                        } else {
+                            format!("¬{name}")
+                        }
+                    })
+                    .collect();
+                println!("  {}", text.join(" ∨ "));
+            }
+            println!("\nvalid sub-inputs: {}", count_models(&cnf));
+        }
+        Err(e) => {
+            eprintln!("type error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

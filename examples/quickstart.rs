@@ -1,0 +1,54 @@
+//! Quickstart: model an input's dependencies in propositional logic and
+//! reduce it with Generalized Binary Reduction.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The scenario: an input with six removable pieces. Keeping the parser
+//! requires the lexer; keeping either backend requires the IR; and at
+//! least one backend must remain whenever the driver is kept — a
+//! constraint no dependency *graph* can express, but one clause of
+//! propositional logic can.
+
+use lbr::core::{closure_size_order, generalized_binary_reduction, GbrConfig, Instance, Oracle};
+use lbr::logic::{Clause, Cnf, VarPool, VarSet};
+
+fn main() {
+    let mut pool = VarPool::new();
+    let lexer = pool.var("lexer");
+    let parser = pool.var("parser");
+    let ir = pool.var("ir");
+    let backend_x86 = pool.var("backend-x86");
+    let backend_arm = pool.var("backend-arm");
+    let driver = pool.var("driver");
+
+    // The dependency model R_I.
+    let mut cnf = Cnf::new(pool.len());
+    cnf.add_clause(Clause::edge(parser, lexer)); //        parser ⇒ lexer
+    cnf.add_clause(Clause::edge(backend_x86, ir)); //      x86 ⇒ ir
+    cnf.add_clause(Clause::edge(backend_arm, ir)); //      arm ⇒ ir
+    cnf.add_clause(Clause::edge(driver, parser)); //       driver ⇒ parser
+    // driver ⇒ (x86 ∨ arm): the non-graph constraint.
+    cnf.add_clause(Clause::implication([driver], [backend_x86, backend_arm]));
+
+    // The black-box predicate: the bug reproduces whenever the driver and
+    // the ARM backend are both present.
+    let mut bug = |input: &VarSet| input.contains(driver) && input.contains(backend_arm);
+    let mut oracle = Oracle::new(&mut bug, 0.0);
+
+    let order = closure_size_order(&cnf);
+    let instance = Instance::over_all_vars(cnf);
+    let outcome =
+        generalized_binary_reduction(&instance, &order, &mut oracle, &GbrConfig::default())
+            .expect("the input reduces");
+
+    println!("reduced {} pieces to {}:", pool.len(), outcome.solution.len());
+    for v in outcome.solution.iter() {
+        println!("  - {}", pool.name(v));
+    }
+    println!("predicate invocations: {}", oracle.calls());
+    assert!(outcome.solution.contains(driver));
+    assert!(outcome.solution.contains(backend_arm));
+    assert!(!outcome.solution.contains(backend_x86), "x86 backend removed");
+}

@@ -1,0 +1,122 @@
+//! Integration tests for the extension features: per-error reduction, the
+//! local-minimization postpass, and backbone diagnostics on real models.
+
+use lbr::jreduce::{build_model, check_report, run_per_error, run_reduction, Strategy};
+use lbr::logic::{backbone, bcp_simplify, remove_subsumed, MsaStrategy};
+use lbr::workload::{suite, SuiteConfig};
+
+fn one_benchmark() -> lbr::workload::Benchmark {
+    suite(&SuiteConfig {
+        seed: 21,
+        programs: 1,
+        scale: 0.8,
+    })
+    .into_iter()
+    .next()
+    .expect("a failing instance")
+}
+
+#[test]
+fn per_error_reduction_produces_one_witness_per_error() {
+    let b = one_benchmark();
+    let oracle = b.oracle();
+    let report = run_per_error(&b.program, &oracle, 33.0).expect("per-error runs");
+    assert_eq!(
+        report.errors.len(),
+        oracle.error_count(),
+        "one reduction per distinct baseline error"
+    );
+    let full = run_reduction(
+        &b.program,
+        &oracle,
+        Strategy::Logical(MsaStrategy::GreedyClosure),
+        33.0,
+    )
+    .expect("full run");
+    // Each single-error witness is at most as large as the all-errors one.
+    for (error, size) in &report.errors {
+        assert!(
+            size.bytes <= full.final_metrics.bytes,
+            "witness for {error:?} ({}) larger than the all-errors result ({})",
+            size.bytes,
+            full.final_metrics.bytes
+        );
+    }
+    // The combined trace reads as one sequential run.
+    let points = report.combined_trace.points();
+    assert_eq!(points.last().expect("nonempty").call, report.total_calls);
+    assert!(points.windows(2).all(|w| w[0].call < w[1].call));
+}
+
+#[test]
+fn minimized_strategy_is_sound_and_not_larger() {
+    let b = one_benchmark();
+    let oracle = b.oracle();
+    let plain = run_reduction(
+        &b.program,
+        &oracle,
+        Strategy::Logical(MsaStrategy::GreedyClosure),
+        0.0,
+    )
+    .expect("plain runs");
+    let minimized = run_reduction(&b.program, &oracle, Strategy::LogicalMinimized, 0.0)
+        .expect("minimized runs");
+    check_report(&plain).expect("plain sound");
+    check_report(&minimized).expect("minimized sound");
+    assert!(
+        minimized.final_metrics.bytes <= plain.final_metrics.bytes,
+        "postpass must never grow the result ({} vs {})",
+        minimized.final_metrics.bytes,
+        plain.final_metrics.bytes
+    );
+    assert!(
+        minimized.predicate_calls >= plain.predicate_calls,
+        "the postpass spends extra predicate calls"
+    );
+}
+
+#[test]
+fn model_simplification_preserves_satisfiability_structure() {
+    let b = one_benchmark();
+    let model = build_model(&b.program).expect("valid input");
+    let mut cnf = model.cnf.clone();
+    let before = cnf.len();
+    let removed = remove_subsumed(&mut cnf);
+    assert!(cnf.len() + removed == before);
+    // BCP on a freshly generated model: no forced literals (nothing is a
+    // unit until a root requirement is added), hence no conflict.
+    let simplified = bcp_simplify(&cnf).expect("satisfiable");
+    assert!(simplified.forced.is_empty(), "{:?}", simplified.forced);
+}
+
+#[test]
+fn backbone_of_model_with_requirement() {
+    // Forcing a method body into the model makes its syntactic ancestry
+    // backbone-true.
+    use lbr::jreduce::Item;
+    use lbr::logic::{Clause, Lit};
+    let b = one_benchmark();
+    let model = build_model(&b.program).expect("valid input");
+    // Pick any method-code item and require it.
+    let (code_var, owner) = model
+        .registry
+        .items()
+        .iter()
+        .enumerate()
+        .find_map(|(i, item)| match item {
+            Item::MethodCode(c, _, _) => {
+                Some((lbr::logic::Var::new(i as u32), c.clone()))
+            }
+            _ => None,
+        })
+        .expect("some method code exists");
+    let mut cnf = model.cnf.clone();
+    cnf.add_clause(Clause::unit(Lit::pos(code_var)));
+    let (forced_true, _) = backbone(&cnf).expect("satisfiable");
+    assert!(forced_true.contains(code_var));
+    let class_var = model.registry.var(&Item::Class(owner)).expect("class item");
+    assert!(
+        forced_true.contains(class_var),
+        "the enclosing class must be backbone"
+    );
+}

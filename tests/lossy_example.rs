@@ -1,0 +1,108 @@
+//! Section 4.3 on the paper's own example: the lossy graph encoding is
+//! sound but non-optimal.
+//!
+//! Replacing `([A◁I] ∧ [I.m()]) ⇒ [A.m()]` with the edge `[A◁I] ⇒ [A.m()]`
+//! (and likewise for the other three non-graph clauses) lets Binary
+//! Reduction run on a pure graph — but the paper notes the result "will
+//! preserve both [B] and [A.m()], which is nonoptimal". We check exactly
+//! that: the lossy solutions are valid and failure-inducing but keep `[B]`,
+//! while GBR's 11-item optimum does not.
+
+use lbr::core::{
+    binary_reduction, closure_size_order, generalized_binary_reduction, lossy_encode,
+    lossy_graph, lossy_is_sound, GbrConfig, Instance, LossyPick,
+};
+use lbr::fji::{figure1_program, figure1b_solution, figure2_cnf, figure2_var, ItemRegistry};
+use lbr::logic::{dpll, VarSet};
+
+fn bug_vars(reg: &ItemRegistry) -> [lbr::logic::Var; 3] {
+    [
+        figure2_var(reg, "A.m()!code"),
+        figure2_var(reg, "M.x()!code"),
+        figure2_var(reg, "M.main()!code"),
+    ]
+}
+
+#[test]
+fn lossy_encodings_are_sound_on_figure2() {
+    let program = figure1_program();
+    let reg = ItemRegistry::from_program(&program);
+    let cnf = figure2_cnf(&reg);
+    let order = closure_size_order(&cnf);
+    for pick in [LossyPick::FirstFirst, LossyPick::LastLast] {
+        let encoded = lossy_encode(&cnf, &order, pick);
+        assert!(
+            encoded.clauses().iter().all(|c| c.is_graph_constraint()),
+            "{pick:?} must produce only graph constraints"
+        );
+        // Every model of the encoding satisfies the original (checked on a
+        // spread of DPLL models with different orders).
+        let n = reg.len();
+        for rot in 0..n {
+            let order = lbr::logic::VarOrder::from_permutation(
+                (0..n as u32)
+                    .map(|i| lbr::logic::Var::new((i + rot as u32) % n as u32))
+                    .collect(),
+            );
+            if let Some(model) = dpll::solve(&encoded, &order) {
+                assert!(lossy_is_sound(&cnf, &encoded, &widen(model, n)));
+            }
+        }
+    }
+}
+
+fn widen(s: VarSet, n: usize) -> VarSet {
+    VarSet::from_iter_with_universe(n, s.iter())
+}
+
+#[test]
+fn lossy_binary_reduction_is_nonoptimal_gbr_is_optimal() {
+    let program = figure1_program();
+    let reg = ItemRegistry::from_program(&program);
+    let cnf = figure2_cnf(&reg);
+    let order = closure_size_order(&cnf);
+    let needed = bug_vars(&reg);
+
+    // GBR on the full logical model: the 11-item optimum.
+    let instance = Instance::over_all_vars(cnf.clone());
+    let mut bug = |s: &VarSet| needed.iter().all(|v| s.contains(*v));
+    let gbr = generalized_binary_reduction(&instance, &order, &mut bug, &GbrConfig::default())
+        .expect("gbr reduces");
+    assert_eq!(gbr.solution, figure1b_solution(&reg));
+    let b_class = figure2_var(&reg, "B");
+    assert!(!gbr.solution.contains(b_class), "the optimum drops class B");
+
+    // Binary Reduction on the lossy graphs: sound but keeps B.
+    for pick in [LossyPick::FirstFirst, LossyPick::LastLast] {
+        let lg = lossy_graph(&cnf, &order, pick).expect("consistent encoding");
+        assert!(lg.forbidden.is_empty());
+        let mut bug = |s: &VarSet| needed.iter().all(|v| s.contains(*v));
+        let out = binary_reduction(&lg.graph, &mut bug).expect("reduces");
+        // Sound: the result is a valid failing sub-input of the original.
+        assert!(cnf.eval(&out.solution), "{pick:?} result must satisfy R");
+        assert!(needed.iter().all(|v| out.solution.contains(*v)));
+        // Never better than the optimum.
+        assert!(
+            out.solution.len() >= gbr.solution.len(),
+            "{pick:?} found {} items, optimum is {}",
+            out.solution.len(),
+            gbr.solution.len()
+        );
+        if pick == LossyPick::FirstFirst {
+            // The paper's specific observation for (i' = 1, j' = 1): the
+            // added edges preserve both [B] and [A.m()], which is
+            // non-optimal. (The last-last pick happens to be optimal on
+            // this particular example.)
+            assert!(
+                out.solution.len() > gbr.solution.len(),
+                "lossy-1 must be strictly non-optimal here"
+            );
+            assert!(
+                out.solution.contains(b_class),
+                "lossy-1 keeps class B: {}",
+                reg.render_solution(&out.solution)
+            );
+            assert!(out.solution.contains(figure2_var(&reg, "A.m()")));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) over the full stack.
+//!
+//! * binary round-trip: any generated program survives
+//!   `write_program`/`read_program` unchanged;
+//! * the bytecode Theorem 3.1: any model of the generated dependency
+//!   constraints reduces to a program that still verifies;
+//! * logical substrate: formula ↔ CNF equisatisfiability and model
+//!   counting vs brute force on arbitrary formulas.
+
+use lbr::classfile::{read_program, write_program};
+use lbr::jreduce::{build_model, reduce_program};
+use lbr::logic::{count_models, dpll, Formula, Lit, Var, VarOrder, VarSet};
+use lbr::workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Random formulas for the logic substrate.
+// ----------------------------------------------------------------------
+
+fn arb_formula(nvars: u32) -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(|i| Formula::var(Var::new(i))),
+        Just(Formula::tt()),
+        Just(Formula::ff()),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Formula::or),
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+fn assignments(n: u32) -> impl Iterator<Item = VarSet> {
+    (0..(1u64 << n)).map(move |bits| {
+        let mut s = VarSet::empty(n as usize);
+        for i in 0..n {
+            if bits >> i & 1 == 1 {
+                s.insert(Var::new(i));
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn formula_and_cnf_agree(f in arb_formula(6)) {
+        let mut cnf = f.to_cnf();
+        cnf.ensure_vars(6);
+        for s in assignments(6) {
+            prop_assert_eq!(f.eval(&s), cnf.eval(&s), "at {:?}", s);
+        }
+    }
+
+    #[test]
+    fn model_count_matches_brute_force(f in arb_formula(5)) {
+        let mut cnf = f.to_cnf();
+        cnf.ensure_vars(5);
+        let brute = assignments(5).filter(|s| cnf.eval(s)).count() as u128;
+        prop_assert_eq!(count_models(&cnf), brute);
+    }
+
+    #[test]
+    fn msa_returns_models_iff_satisfiable(f in arb_formula(6)) {
+        let mut cnf = f.to_cnf();
+        cnf.ensure_vars(6);
+        let order = VarOrder::natural(6);
+        let sat = assignments(6).any(|s| cnf.eval(&s));
+        for strategy in lbr::logic::MsaStrategy::ALL {
+            match lbr::logic::msa(&cnf, &order, strategy) {
+                Some(model) => {
+                    prop_assert!(sat, "{strategy:?} found a model of an unsat formula");
+                    prop_assert!(cnf.eval(&model), "{strategy:?} returned a non-model");
+                }
+                None => prop_assert!(!sat, "{strategy:?} missed a model"),
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// VarSet algebra laws.
+// ----------------------------------------------------------------------
+
+fn arb_varset(universe: usize) -> impl Strategy<Value = VarSet> {
+    prop::collection::vec(0..universe as u32, 0..universe).prop_map(move |vars| {
+        VarSet::from_iter_with_universe(universe, vars.into_iter().map(Var::new))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn varset_algebra_laws(a in arb_varset(96), b in arb_varset(96), c in arb_varset(96)) {
+        // Commutativity and associativity of union/intersection.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        // Absorption and De Morgan-ish difference laws.
+        prop_assert_eq!(a.union(&a.intersection(&b)), a.clone());
+        prop_assert_eq!(a.difference(&b).intersection(&b), VarSet::empty(96));
+        prop_assert_eq!(
+            a.difference(&b).union(&a.intersection(&b)),
+            a.clone()
+        );
+        // Cardinality bookkeeping.
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
+        // Subset/disjoint coherence.
+        prop_assert!(a.intersection(&b).is_subset(&a));
+        prop_assert!(a.difference(&b).is_disjoint(&b));
+        // Ordered iteration round-trips.
+        let back = VarSet::from_iter_with_universe(96, a.iter());
+        prop_assert_eq!(back, a);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Full-stack properties over generated programs.
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn programs_roundtrip_through_the_binary_format(seed in 0u64..1000) {
+        let program = generate(&WorkloadConfig {
+            seed,
+            plant: lbr::decompiler::BugKind::ALL.to_vec(),
+            ..WorkloadConfig::default()
+        });
+        let bytes = write_program(&program);
+        let back = read_program(&bytes).expect("container decodes");
+        prop_assert_eq!(back, program);
+    }
+
+    #[test]
+    fn bytecode_theorem_models_reduce_to_verifying_programs(seed in 0u64..1000) {
+        let program = generate(&WorkloadConfig {
+            seed,
+            classes: 10,
+            interfaces: 4,
+            plant: vec![lbr::decompiler::BugKind::CastToObject],
+            ..WorkloadConfig::default()
+        });
+        let model = build_model(&program).expect("valid input");
+        let n = model.registry.len();
+        // Probe several models: different rotations and one forced item.
+        for probe in 0..6u32 {
+            let rotation = (probe as usize * 7) % n;
+            let order = VarOrder::from_permutation(
+                (0..n as u32)
+                    .map(|i| Var::new((i + rotation as u32) % n as u32))
+                    .collect(),
+            );
+            let forced = Lit::pos(Var::new((probe as usize * 13 % n) as u32));
+            if let Some((solution, _)) =
+                dpll::solve_with_assumptions(&model.cnf, &order, &[forced])
+            {
+                let reduced = reduce_program(&program, &model.registry, &solution);
+                let errors = lbr::classfile::verify_program(&reduced);
+                prop_assert!(
+                    errors.is_empty(),
+                    "seed {seed} probe {probe}: invalid reduction: {errors:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Theorem 3.1, verified exhaustively: every satisfying assignment of the
+//! generated constraints reduces to a program that type checks.
+//!
+//! Two granularities, matching the two constraint sets:
+//!
+//! * the *declaration* constraints (Figure 2 without the root requirement)
+//!   have exactly 6,766 models — the number the paper counts with
+//!   sharpSAT — and each reduces to a well-typed class table;
+//! * the *full program* constraints (declarations plus the main
+//!   expression) guarantee the whole program, main expression included,
+//!   type checks after reduction.
+
+use lbr::fji::{
+    figure1_program, figure2_dependency_cnf, reduce, typecheck, typecheck_decls, typechecks,
+    ItemRegistry,
+};
+use lbr::logic::dpll::all_models;
+
+#[test]
+fn every_decl_model_reduces_to_typechecking_declarations() {
+    let program = figure1_program();
+    let reg = ItemRegistry::from_program(&program);
+    let cnf = figure2_dependency_cnf(&reg);
+    let models = all_models(&cnf, 7_000);
+    assert_eq!(models.len(), 6_766, "all valid sub-inputs enumerated");
+    for (i, model) in models.iter().enumerate() {
+        let reduced = reduce(&program, &reg, model);
+        let reduced_reg = ItemRegistry::from_program(&reduced);
+        if let Err(e) = typecheck_decls(&reduced, &reduced_reg) {
+            panic!(
+                "model #{i} ({}) reduced to ill-typed declarations: {e}",
+                reg.render_solution(model)
+            );
+        }
+    }
+}
+
+#[test]
+fn every_full_model_reduces_to_a_typechecking_program() {
+    let program = figure1_program();
+    let reg = ItemRegistry::from_program(&program);
+    let formula = typecheck(&program, &reg).expect("Figure 1a type checks");
+    let mut cnf = formula.to_cnf();
+    cnf.ensure_vars(reg.len());
+    let models = all_models(&cnf, 7_000);
+    // The main expression `new M().main()` pins [M] and [M.main()],
+    // shrinking the space below the 6,766 declaration-only models.
+    assert!(!models.is_empty() && models.len() < 6_766, "{}", models.len());
+    for (i, model) in models.iter().enumerate() {
+        let reduced = reduce(&program, &reg, model);
+        if let Err(e) = typechecks(&reduced) {
+            panic!(
+                "model #{i} ({}) reduced to an ill-typed program: {e}",
+                reg.render_solution(model)
+            );
+        }
+    }
+}
+
+#[test]
+fn converse_of_theorem_31_does_not_hold() {
+    // The paper leaves open "whether the converse of Theorem 3.1 holds":
+    // if reduce(P, φ) type checks, is φ a model? For this reducer the
+    // answer is *no*: keep [A.m()!code] while dropping [A.m()] — the
+    // syntactic constraint [A.m()!code] ⇒ [A.m()] is violated, but the
+    // reducer drops the whole method (the code toggle becomes moot) and
+    // the result still type checks.
+    use lbr::fji::figure2_var;
+    use lbr::logic::VarSet;
+    let program = figure1_program();
+    let reg = ItemRegistry::from_program(&program);
+    let mut phi = VarSet::empty(reg.len());
+    for name in [
+        "A", "A<I", "A.m()!code", // code kept, method dropped: violates φ ⊨ π
+        "I", // kept with no signatures, so no obligations fire
+        "M", "M.x()", "M.main()", "M.main()!code", // M.x's body is stubbed
+    ] {
+        phi.insert(figure2_var(&reg, name));
+    }
+    let cnf = figure2_dependency_cnf(&reg);
+    assert!(!cnf.eval(&phi), "φ must violate the constraints");
+    let reduced = reduce(&program, &reg, &phi);
+    typechecks(&reduced).expect("the reduction nevertheless type checks");
+}
+
+#[test]
+fn non_models_can_produce_ill_typed_programs() {
+    // Sanity check that the theorem is not vacuous: there are assignments
+    // violating the constraints whose reduction does NOT type check.
+    use lbr::fji::figure2_var;
+    use lbr::logic::VarSet;
+    let program = figure1_program();
+    let reg = ItemRegistry::from_program(&program);
+    // Keep M.main's body but drop M.x entirely: the call in main dangles.
+    let mut bad = VarSet::empty(reg.len());
+    for name in ["M", "M.main()", "M.main()!code", "A", "A<I", "I"] {
+        bad.insert(figure2_var(&reg, name));
+    }
+    let cnf = figure2_dependency_cnf(&reg);
+    assert!(!cnf.eval(&bad), "the assignment must violate the model");
+    let reduced = reduce(&program, &reg, &bad);
+    assert!(typechecks(&reduced).is_err(), "the reduction must not type check");
+}
