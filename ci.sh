@@ -1,0 +1,20 @@
+#!/bin/sh
+# Offline CI: build, test, lint. No network access is required or used.
+#
+#   ./ci.sh          # the full tier-1 gate
+#
+# Mirrors what reviewers run locally; keep it fast and deterministic.
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== test (workspace) =="
+cargo test --workspace -q --offline
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"

@@ -1,7 +1,7 @@
 //! Core-algorithm microbenchmarks: GBR vs Binary Reduction vs ddmin on
 //! synthetic dependency forests (no bytecode involved).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbr_bench::microbench::bench;
 use lbr_core::{
     binary_reduction, closure_size_order, ddmin, generalized_binary_reduction, DepGraph,
     GbrConfig, Instance, TestOutcome,
@@ -27,70 +27,61 @@ fn needed(n: usize) -> [Var; 2] {
     [Var::new((n / 2 + 3) as u32), Var::new(3)]
 }
 
-fn bench_gbr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gbr-forest");
+fn bench_gbr() {
     for n in [64usize, 256, 1024] {
         let cnf = forest_cnf(n);
         let order = closure_size_order(&cnf);
         let instance = Instance::over_all_vars(cnf);
         let [a, b] = needed(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
-            bencher.iter(|| {
-                let mut bug = |s: &VarSet| s.contains(a) && s.contains(b);
-                generalized_binary_reduction(&instance, &order, &mut bug, &GbrConfig::default())
-                    .expect("reduces")
-                    .solution
-                    .len()
-            })
+        bench(&format!("gbr-forest/{n}"), || {
+            let mut bug = |s: &VarSet| s.contains(a) && s.contains(b);
+            generalized_binary_reduction(&instance, &order, &mut bug, &GbrConfig::default())
+                .expect("reduces")
+                .solution
+                .len()
         });
     }
-    group.finish();
 }
 
-fn bench_binary_reduction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("binary-reduction-forest");
+fn bench_binary_reduction() {
     for n in [64usize, 256, 1024] {
         let cnf = forest_cnf(n);
         let graph = DepGraph::from_graph_cnf(&cnf).expect("graph constraints");
         let [a, b] = needed(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
-            bencher.iter(|| {
-                let mut bug = |s: &VarSet| s.contains(a) && s.contains(b);
-                binary_reduction(&graph, &mut bug)
-                    .expect("reduces")
-                    .solution
-                    .len()
-            })
+        bench(&format!("binary-reduction-forest/{n}"), || {
+            let mut bug = |s: &VarSet| s.contains(a) && s.contains(b);
+            binary_reduction(&graph, &mut bug)
+                .expect("reduces")
+                .solution
+                .len()
         });
     }
-    group.finish();
 }
 
-fn bench_ddmin(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ddmin-forest");
+fn bench_ddmin() {
     for n in [64usize, 256] {
         let cnf = forest_cnf(n);
         let atoms: Vec<VarSet> = (0..n as u32)
             .map(|i| VarSet::from_iter_with_universe(n, [Var::new(i)]))
             .collect();
         let [a, b] = needed(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
-            bencher.iter(|| {
-                let (result, _) = ddmin(&atoms, n, |s| {
-                    if !cnf.eval(s) {
-                        TestOutcome::Unresolved
-                    } else if s.contains(a) && s.contains(b) {
-                        TestOutcome::Fail
-                    } else {
-                        TestOutcome::Pass
-                    }
-                });
-                result.len()
-            })
+        bench(&format!("ddmin-forest/{n}"), || {
+            let (result, _) = ddmin(&atoms, n, |s| {
+                if !cnf.eval(s) {
+                    TestOutcome::Unresolved
+                } else if s.contains(a) && s.contains(b) {
+                    TestOutcome::Fail
+                } else {
+                    TestOutcome::Pass
+                }
+            });
+            result.len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_gbr, bench_binary_reduction, bench_ddmin);
-criterion_main!(benches);
+fn main() {
+    bench_gbr();
+    bench_binary_reduction();
+    bench_ddmin();
+}

@@ -1,7 +1,7 @@
 //! Class-file substrate benchmarks: binary writer/reader throughput and
 //! whole-program verification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lbr_bench::microbench::bench;
 use lbr_classfile::{read_program, verify_program, write_program};
 use lbr_workload::{generate, WorkloadConfig};
 
@@ -21,39 +21,18 @@ fn programs() -> Vec<(usize, lbr_classfile::Program)> {
         .collect()
 }
 
-fn bench_write(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classfile-write");
-    for (classes, program) in programs() {
-        let bytes = write_program(&program).len() as u64;
-        group.throughput(Throughput::Bytes(bytes));
-        group.bench_with_input(BenchmarkId::from_parameter(classes), &program, |b, p| {
-            b.iter(|| write_program(p).len())
-        });
-    }
-    group.finish();
-}
-
-fn bench_read(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classfile-read");
+fn main() {
     for (classes, program) in programs() {
         let bytes = write_program(&program);
-        group.throughput(Throughput::Bytes(bytes.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(classes), &bytes, |b, data| {
-            b.iter(|| read_program(data).expect("decodes").len())
+        println!("# {classes} classes = {} bytes", bytes.len());
+        bench(&format!("classfile-write/{classes}"), || {
+            write_program(&program).len()
+        });
+        bench(&format!("classfile-read/{classes}"), || {
+            read_program(&bytes).expect("decodes").len()
+        });
+        bench(&format!("classfile-verify/{classes}"), || {
+            verify_program(&program).len()
         });
     }
-    group.finish();
 }
-
-fn bench_verify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classfile-verify");
-    for (classes, program) in programs() {
-        group.bench_with_input(BenchmarkId::from_parameter(classes), &program, |b, p| {
-            b.iter(|| verify_program(p).len())
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_write, bench_read, bench_verify);
-criterion_main!(benches);

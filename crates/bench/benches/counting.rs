@@ -1,25 +1,22 @@
 //! Model-counting benchmarks: the Section 2 example (6,766 models) and
 //! larger structured instances (component decomposition at work).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbr_bench::microbench::bench;
 use lbr_fji::{figure1_program, figure2_dependency_cnf, ItemRegistry};
 use lbr_logic::{count_models, Clause, Cnf, Var};
 
-fn bench_figure2(c: &mut Criterion) {
+fn bench_figure2() {
     let program = figure1_program();
     let reg = ItemRegistry::from_program(&program);
     let cnf = figure2_dependency_cnf(&reg);
-    c.bench_function("count-figure2", |b| {
-        b.iter(|| {
-            let n = count_models(&cnf);
-            assert_eq!(n, 6_766);
-            n
-        })
+    bench("count-figure2", || {
+        let n = count_models(&cnf);
+        assert_eq!(n, 6_766);
+        n
     });
 }
 
-fn bench_forests(c: &mut Criterion) {
-    let mut group = c.benchmark_group("count-forest");
+fn bench_forests() {
     for n in [40usize, 80, 160] {
         // Chains of 4 plus one mAny-style clause per chain.
         let mut cnf = Cnf::new(n);
@@ -35,12 +32,11 @@ fn bench_forests(c: &mut Criterion) {
                 [Var::new((4 * k + 1) as u32), Var::new((4 * k + 2) as u32)],
             ));
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| count_models(&cnf))
-        });
+        bench(&format!("count-forest/{n}"), || count_models(&cnf));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_figure2, bench_forests);
-criterion_main!(benches);
+fn main() {
+    bench_figure2();
+    bench_forests();
+}

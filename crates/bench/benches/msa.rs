@@ -1,12 +1,12 @@
 //! A1 — MSA strategy ablation: cost of the three approximate
 //! minimal-satisfying-assignment procedures on a real dependency model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbr_bench::microbench::bench;
 use lbr_jreduce::build_model;
 use lbr_logic::{msa, MsaStrategy, VarOrder};
 use lbr_workload::{generate, WorkloadConfig};
 
-fn bench_msa(c: &mut Criterion) {
+fn main() {
     let program = generate(&WorkloadConfig {
         seed: 5,
         classes: 36,
@@ -18,21 +18,12 @@ fn bench_msa(c: &mut Criterion) {
     let order = lbr_core::closure_size_order(&model.cnf);
     let natural = VarOrder::natural(model.cnf.num_vars());
 
-    let mut group = c.benchmark_group("msa");
     for strategy in MsaStrategy::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("closure-order", strategy.name()),
-            &strategy,
-            |b, &s| b.iter(|| msa(&model.cnf, &order, s).expect("satisfiable").len()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("natural-order", strategy.name()),
-            &strategy,
-            |b, &s| b.iter(|| msa(&model.cnf, &natural, s).expect("satisfiable").len()),
-        );
+        bench(&format!("msa/closure-order/{}", strategy.name()), || {
+            msa(&model.cnf, &order, strategy).expect("satisfiable").len()
+        });
+        bench(&format!("msa/natural-order/{}", strategy.name()), || {
+            msa(&model.cnf, &natural, strategy).expect("satisfiable").len()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_msa);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
 //! End-to-end pipeline benchmarks: one full reduction per strategy on a
-//! small NJR-like benchmark (this is the expensive, headline comparison —
-//! Criterion sample counts are reduced accordingly).
+//! small NJR-like benchmark (this is the expensive, headline comparison).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lbr_bench::microbench::bench;
 use lbr_core::LossyPick;
 use lbr_decompiler::{BugSet, DecompilerOracle};
 use lbr_jreduce::{build_model, run_reduction, Strategy};
 use lbr_logic::MsaStrategy;
 use lbr_workload::{generate, WorkloadConfig};
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let program = generate(&WorkloadConfig {
         seed: 13,
         classes: 24,
@@ -20,27 +19,22 @@ fn bench_pipeline(c: &mut Criterion) {
     let oracle = DecompilerOracle::new(&program, BugSet::decompiler_a());
     assert!(oracle.is_failing());
 
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
     for strategy in [
         Strategy::JReduce,
         Strategy::Logical(MsaStrategy::GreedyClosure),
         Strategy::Lossy(LossyPick::FirstFirst),
         Strategy::Lossy(LossyPick::LastLast),
     ] {
-        group.bench_function(strategy.name(), |b| {
-            b.iter(|| {
-                run_reduction(&program, &oracle, strategy, 0.0)
-                    .expect("reduces")
-                    .final_metrics
-                    .bytes
-            })
+        bench(&format!("pipeline/{}", strategy.name()), || {
+            run_reduction(&program, &oracle, strategy, 0.0)
+                .expect("reduces")
+                .final_metrics
+                .bytes
         });
     }
-    group.finish();
 }
 
-fn bench_model_generation(c: &mut Criterion) {
+fn bench_model_generation() {
     let program = generate(&WorkloadConfig {
         seed: 13,
         classes: 48,
@@ -48,10 +42,12 @@ fn bench_model_generation(c: &mut Criterion) {
         plant: vec![],
         ..WorkloadConfig::default()
     });
-    c.bench_function("build-model-48-classes", |b| {
-        b.iter(|| build_model(&program).expect("valid").cnf.len())
+    bench("build-model-48-classes", || {
+        build_model(&program).expect("valid").cnf.len()
     });
 }
 
-criterion_group!(benches, bench_pipeline, bench_model_generation);
-criterion_main!(benches);
+fn main() {
+    bench_pipeline();
+    bench_model_generation();
+}

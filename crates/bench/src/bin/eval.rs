@@ -4,20 +4,27 @@
 //! ```text
 //! eval [--experiment all|stats|fig8a|fig8b|lossy|ablate-msa|ablate-order|ddmin|csv]
 //!      [--programs N] [--scale F] [--seed N] [--cost SECS]
+//!      [--threads N] [--legacy] [--json [PATH]]
 //! ```
+//!
+//! `--legacy` disables the incremental propagation engine and oracle
+//! memoization (the scan-BCP baseline); `--json` writes machine-readable
+//! results (default path `BENCH_results.json`).
 
 use lbr_bench::{
     compute_stats, headline_strategies, lossy_strategies, render_ablation, render_csv,
-    render_fig8a, render_fig8b, render_lossy, render_stats, run_grid, EvalConfig,
+    render_fig8a, render_fig8b, render_json, render_lossy, render_stats, run_grid, EvalConfig,
+    RunRecord,
 };
 use lbr_core::LossyPick;
-use lbr_jreduce::Strategy;
+use lbr_jreduce::{RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_owned();
     let mut config = EvalConfig::default();
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -50,11 +57,37 @@ fn main() {
                 config.cost_per_call_secs = value(i).parse().expect("--cost takes seconds");
                 i += 2;
             }
+            "--threads" | "-j" => {
+                config.threads = value(i).parse().expect("--threads takes a number");
+                i += 2;
+            }
+            "--legacy" => {
+                config.options = RunOptions::legacy();
+                i += 1;
+            }
+            "--json" => {
+                // Optional value: `--json out.json` or bare `--json`.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with('-') => {
+                        json_path = Some(v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        json_path = Some("BENCH_results.json".to_owned());
+                        i += 1;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: eval [--experiment all|stats|fig8a|fig8b|lossy|per-error|ablate-msa|ablate-order|ddmin|csv]"
                 );
                 println!("            [--programs N] [--scale F] [--seed N] [--cost SECS]");
+                println!("            [--threads N] [--legacy] [--json [PATH]]");
+                println!();
+                println!("  --threads N   worker threads for the run grid (0 = all cores)");
+                println!("  --legacy      scan-BCP baseline: no incremental engine, no memo");
+                println!("  --json [PATH] write machine-readable results (default BENCH_results.json)");
                 return;
             }
             other => {
@@ -73,23 +106,28 @@ fn main() {
     let stats = compute_stats(&benchmarks);
 
     let run = |strategies: &[Strategy]| run_grid(&config, &benchmarks, strategies);
+    let mut json_records: Vec<RunRecord> = Vec::new();
 
     match experiment.as_str() {
         "stats" => {
             let records = run(&headline_strategies());
             print!("{}", render_stats(&stats, &records));
+            json_records = records;
         }
         "fig8a" => {
             let records = run(&headline_strategies());
             print!("{}", render_fig8a(&records));
+            json_records = records;
         }
         "fig8b" => {
             let records = run(&headline_strategies());
             print!("{}", render_fig8b(&records));
+            json_records = records;
         }
         "lossy" => {
             let records = run(&lossy_strategies());
             print!("{}", render_lossy(&records));
+            json_records = records;
         }
         "ablate-msa" => {
             let strategies: Vec<Strategy> = MsaStrategy::ALL
@@ -101,6 +139,7 @@ fn main() {
                 "{}",
                 render_ablation(&records, "A1: MSA strategy ablation")
             );
+            json_records = records;
         }
         "ablate-order" => {
             let records = run(&[
@@ -111,6 +150,7 @@ fn main() {
                 "{}",
                 render_ablation(&records, "A2: variable-order ablation (Theorem 4.5)")
             );
+            json_records = records;
         }
         "ddmin" => {
             let records = run(&[
@@ -118,6 +158,7 @@ fn main() {
                 Strategy::DdminItems,
             ]);
             print!("{}", render_ablation(&records, "A3: ddmin baseline"));
+            json_records = records;
         }
         "per-error" => {
             print!("{}", lbr_bench::render_per_error(&config, &benchmarks));
@@ -130,6 +171,7 @@ fn main() {
                 Strategy::Lossy(LossyPick::LastLast),
             ]);
             print!("{}", render_csv(&records));
+            json_records = records;
         }
         "all" => {
             let records = run(&[
@@ -150,10 +192,17 @@ fn main() {
                 "{}",
                 render_ablation(&records, "Summary: all strategies")
             );
+            json_records = records;
         }
         other => {
             eprintln!("unknown experiment {other} (try --help)");
             std::process::exit(2);
         }
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, render_json(&json_records))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
     }
 }

@@ -13,11 +13,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod microbench;
+
 use lbr_core::{LossyPick, ReductionTrace};
-use lbr_jreduce::{run_reduction, Strategy};
+use lbr_jreduce::{run_reduction_with, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 use lbr_workload::{geometric_mean, suite, suite_stats, Benchmark, SuiteConfig, SuiteStats};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Configuration of an evaluation run.
 #[derive(Debug, Clone)]
@@ -30,6 +34,12 @@ pub struct EvalConfig {
     pub scale: f64,
     /// Modeled seconds per tool invocation (the paper measured ≈33 s).
     pub cost_per_call_secs: f64,
+    /// Worker threads for [`run_grid`] (`0` = one per available core).
+    /// Results are deterministic and identically ordered at any setting.
+    pub threads: usize,
+    /// Performance options forwarded to every reduction run (propagation
+    /// mode, oracle memoization).
+    pub options: RunOptions,
 }
 
 impl Default for EvalConfig {
@@ -39,6 +49,8 @@ impl Default for EvalConfig {
             programs: 8,
             scale: 1.0,
             cost_per_call_secs: 33.0,
+            threads: 0,
+            options: RunOptions::default(),
         }
     }
 }
@@ -85,6 +97,10 @@ pub struct RunRecord {
     pub graph_fraction: f64,
     /// Soundness: errors preserved and result verifies.
     pub sound: bool,
+    /// Oracle probes answered from the memo (0 with memoization off).
+    pub cache_hits: u64,
+    /// Oracle probes that ran the tool under memoization.
+    pub cache_misses: u64,
 }
 
 impl RunRecord {
@@ -99,36 +115,91 @@ impl RunRecord {
     }
 }
 
+fn record_of(benchmark: &Benchmark, report: lbr_jreduce::ReductionReport) -> RunRecord {
+    RunRecord {
+        benchmark: benchmark.name.clone(),
+        strategy: report.strategy.clone(),
+        initial_classes: report.initial.classes,
+        initial_bytes: report.initial.bytes,
+        final_classes: report.final_metrics.classes,
+        final_bytes: report.final_metrics.bytes,
+        calls: report.predicate_calls,
+        wall_secs: report.wall_secs,
+        modeled_secs: report.modeled_secs,
+        trace: report.trace.clone(),
+        items: report.model_stats.map_or(0, |s| s.items),
+        clauses: report.model_stats.map_or(0, |s| s.clauses),
+        graph_fraction: report.model_stats.map_or(0.0, |s| s.graph_fraction),
+        sound: report.errors_preserved && report.still_valid,
+        cache_hits: report.cache_hits,
+        cache_misses: report.cache_misses,
+    }
+}
+
+fn run_one(config: &EvalConfig, b: &Benchmark, strategy: Strategy) -> Result<RunRecord, String> {
+    let oracle = b.oracle();
+    run_reduction_with(
+        &b.program,
+        &oracle,
+        strategy,
+        config.cost_per_call_secs,
+        &config.options,
+    )
+    .map(|report| record_of(b, report))
+    .map_err(|e| format!("{} / {}: {e}", b.name, strategy.name()))
+}
+
 /// Runs `strategies` over the whole suite, skipping (and reporting) failed
 /// runs.
+///
+/// With `config.threads != 1` the (benchmark, strategy) jobs are evaluated
+/// by a scoped-thread work pool: workers claim job indices from an atomic
+/// counter and write results into per-job slots, so the returned records
+/// are in exactly the same order — and bit-identical — to a sequential
+/// run. Each job builds its own oracle; nothing is shared across jobs.
 pub fn run_grid(
     config: &EvalConfig,
     benchmarks: &[Benchmark],
     strategies: &[Strategy],
 ) -> Vec<RunRecord> {
-    let mut out = Vec::new();
-    for b in benchmarks {
-        let oracle = b.oracle();
-        for &strategy in strategies {
-            match run_reduction(&b.program, &oracle, strategy, config.cost_per_call_secs) {
-                Ok(report) => out.push(RunRecord {
-                    benchmark: b.name.clone(),
-                    strategy: report.strategy.clone(),
-                    initial_classes: report.initial.classes,
-                    initial_bytes: report.initial.bytes,
-                    final_classes: report.final_metrics.classes,
-                    final_bytes: report.final_metrics.bytes,
-                    calls: report.predicate_calls,
-                    wall_secs: report.wall_secs,
-                    modeled_secs: report.modeled_secs,
-                    trace: report.trace.clone(),
-                    items: report.model_stats.map_or(0, |s| s.items),
-                    clauses: report.model_stats.map_or(0, |s| s.clauses),
-                    graph_fraction: report.model_stats.map_or(0.0, |s| s.graph_fraction),
-                    sound: report.errors_preserved && report.still_valid,
-                }),
-                Err(e) => eprintln!("warning: {} / {}: {e}", b.name, strategy.name()),
+    let jobs: Vec<(&Benchmark, Strategy)> = benchmarks
+        .iter()
+        .flat_map(|b| strategies.iter().map(move |&s| (b, s)))
+        .collect();
+    let workers = match config.threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(jobs.len().max(1));
+
+    let slots: Vec<Option<Result<RunRecord, String>>> = if workers <= 1 {
+        jobs.iter()
+            .map(|&(b, strategy)| Some(run_one(config, b, strategy)))
+            .collect()
+    } else {
+        let slots: Mutex<Vec<Option<Result<RunRecord, String>>>> =
+            Mutex::new(vec![None; jobs.len()]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(b, strategy)) = jobs.get(i) else {
+                        break;
+                    };
+                    let result = run_one(config, b, strategy);
+                    slots.lock().expect("result slots")[i] = Some(result);
+                });
             }
+        });
+        slots.into_inner().expect("result slots")
+    };
+
+    let mut out = Vec::new();
+    for slot in slots {
+        match slot.expect("every job was claimed") {
+            Ok(record) => out.push(record),
+            Err(warning) => eprintln!("warning: {warning}"),
         }
     }
     out
@@ -390,24 +461,30 @@ pub fn render_per_error(config: &EvalConfig, benchmarks: &[Benchmark]) -> String
     let _ = writeln!(out, "# E6: per-error reduction (one search per distinct error)");
     let _ = writeln!(
         out,
-        "{:<12} {:>7} {:>9} {:>14} {:>16}",
-        "benchmark", "errors", "searches", "tool runs", "witness bytes"
+        "{:<12} {:>7} {:>9} {:>14} {:>16} {:>10}",
+        "benchmark", "errors", "searches", "tool runs", "witness bytes", "hit rate"
     );
     let mut witness_sizes: Vec<f64> = Vec::new();
     for b in benchmarks {
         let oracle = b.oracle();
-        match lbr_jreduce::run_per_error(&b.program, &oracle, config.cost_per_call_secs) {
+        match lbr_jreduce::run_per_error_with(
+            &b.program,
+            &oracle,
+            config.cost_per_call_secs,
+            &config.options,
+        ) {
             Ok(report) => {
                 let gm = geometric_mean(report.errors.iter().map(|(_, s)| s.bytes as f64));
                 witness_sizes.extend(report.errors.iter().map(|(_, s)| s.bytes as f64));
                 let _ = writeln!(
                     out,
-                    "{:<12} {:>7} {:>9} {:>14} {:>15.0}g",
+                    "{:<12} {:>7} {:>9} {:>14} {:>15.0}g {:>9.0}%",
                     b.name,
                     oracle.error_count(),
                     report.errors.len(),
                     report.total_calls,
-                    gm
+                    gm,
+                    100.0 * report.cache_hit_rate()
                 );
             }
             Err(e) => {
@@ -429,12 +506,12 @@ pub fn render_csv(records: &[RunRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "benchmark,strategy,initial_classes,initial_bytes,final_classes,final_bytes,calls,wall_secs,modeled_secs,items,clauses,graph_fraction,sound"
+        "benchmark,strategy,initial_classes,initial_bytes,final_classes,final_bytes,calls,wall_secs,modeled_secs,items,clauses,graph_fraction,sound,cache_hits,cache_misses"
     );
     for r in records {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{:.3},{:.1},{},{},{:.4},{}",
+            "{},{},{},{},{},{},{},{:.3},{:.1},{},{},{:.4},{},{},{}",
             r.benchmark,
             r.strategy,
             r.initial_classes,
@@ -447,9 +524,77 @@ pub fn render_csv(records: &[RunRecord]) -> String {
             r.items,
             r.clauses,
             r.graph_fraction,
-            r.sound
+            r.sound,
+            r.cache_hits,
+            r.cache_misses
         );
     }
+    out
+}
+
+/// Renders machine-readable results (the `BENCH_results.json` payload):
+/// one object per run plus per-strategy aggregates with total wall time,
+/// predicate calls, and cache hit rates. Hand-rolled JSON — the harness
+/// stays dependency-free.
+pub fn render_json(records: &[RunRecord]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"runs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"benchmark\": \"{}\", \"strategy\": \"{}\", \"initial_bytes\": {}, \"final_bytes\": {}, \"initial_classes\": {}, \"final_classes\": {}, \"predicate_calls\": {}, \"wall_secs\": {:.6}, \"modeled_secs\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \"sound\": {}}}",
+            esc(&r.benchmark),
+            esc(&r.strategy),
+            r.initial_bytes,
+            r.final_bytes,
+            r.initial_classes,
+            r.final_classes,
+            r.calls,
+            r.wall_secs,
+            r.modeled_secs,
+            r.cache_hits,
+            r.cache_misses,
+            r.sound
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"strategies\": [\n");
+    let strategies: Vec<String> = {
+        let mut s: Vec<String> = records.iter().map(|r| r.strategy.clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    };
+    for (i, s) in strategies.iter().enumerate() {
+        let rs = records_of(records, s);
+        let wall: f64 = rs.iter().map(|r| r.wall_secs).sum();
+        let calls: u64 = rs.iter().map(|r| r.calls).sum();
+        let hits: u64 = rs.iter().map(|r| r.cache_hits).sum();
+        let misses: u64 = rs.iter().map(|r| r.cache_misses).sum();
+        let hit_rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        let bytes_pct = geometric_mean(rs.iter().map(|r| 100.0 * r.relative_bytes()));
+        let _ = write!(
+            out,
+            "    {{\"strategy\": \"{}\", \"runs\": {}, \"wall_secs\": {:.6}, \"predicate_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"geo_mean_bytes_pct\": {:.2}}}",
+            esc(s),
+            rs.len(),
+            wall,
+            calls,
+            hits,
+            misses,
+            hit_rate,
+            bytes_pct
+        );
+        out.push_str(if i + 1 < strategies.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -494,9 +639,64 @@ mod tests {
             render_fig8b(&records),
             render_ablation(&records, "test"),
             render_csv(&records),
+            render_json(&records),
         ] {
             assert!(!text.is_empty());
         }
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential_and_legacy_options() {
+        let base = EvalConfig {
+            programs: 1,
+            scale: 0.4,
+            ..EvalConfig::default()
+        };
+        let benchmarks = base.suite();
+        let strategies = headline_strategies();
+        let sequential = run_grid(
+            &EvalConfig {
+                threads: 1,
+                ..base.clone()
+            },
+            &benchmarks,
+            &strategies,
+        );
+        let parallel = run_grid(
+            &EvalConfig {
+                threads: 4,
+                ..base.clone()
+            },
+            &benchmarks,
+            &strategies,
+        );
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.benchmark, p.benchmark);
+            assert_eq!(s.strategy, p.strategy);
+            assert_eq!(s.final_bytes, p.final_bytes);
+            assert_eq!(s.final_classes, p.final_classes);
+            assert_eq!(s.calls, p.calls);
+        }
+        // The legacy (scan + no memo) options must give the same results.
+        let legacy = run_grid(
+            &EvalConfig {
+                threads: 1,
+                options: RunOptions::legacy(),
+                ..base
+            },
+            &benchmarks,
+            &strategies,
+        );
+        assert_eq!(sequential.len(), legacy.len());
+        for (s, l) in sequential.iter().zip(&legacy) {
+            assert_eq!(s.final_bytes, l.final_bytes);
+            assert_eq!(s.calls, l.calls);
+            assert_eq!(l.cache_hits + l.cache_misses, 0, "legacy runs no cache");
+        }
+        let json = render_json(&sequential);
+        assert!(json.contains("\"strategies\""));
+        assert!(json.contains("cache_hit_rate"));
     }
 
     #[test]

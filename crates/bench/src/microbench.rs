@@ -1,0 +1,53 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds offline, so the bench targets (declared with
+//! `harness = false`) cannot use Criterion. This module provides the small
+//! part we need: warm-up, automatic iteration-count calibration to a target
+//! measurement time, and a median-of-samples report printed one line per
+//! benchmark.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How long each calibrated measurement aims to run.
+const TARGET: Duration = Duration::from_millis(200);
+/// Samples taken per benchmark; the median is reported.
+const SAMPLES: usize = 5;
+
+/// Times `f`, printing `name: <median per-iteration time>`; returns the
+/// median per-iteration duration so callers can assert on regressions.
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> Duration {
+    // Warm-up and calibration: how many iterations fill TARGET?
+    let start = Instant::now();
+    black_box(f());
+    let once = start.elapsed().max(Duration::from_nanos(1));
+    let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed() / iters
+        })
+        .collect();
+    samples.sort();
+    let median = samples[SAMPLES / 2];
+    println!("{name:<44} {:>12} /iter  ({iters} iters/sample)", fmt_duration(median));
+    median
+}
+
+/// Formats a duration with a unit that keeps 3-4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}

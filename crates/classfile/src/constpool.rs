@@ -56,6 +56,10 @@ impl Constant {
 pub struct ConstantPool {
     entries: Vec<Constant>,
     index: HashMap<Constant, u16>,
+    // UTF-8 entries get their own index so lookups can borrow a &str
+    // instead of allocating a Constant key — interning is on the hot path
+    // of the per-probe size metric.
+    utf8_index: HashMap<String, u16>,
 }
 
 impl ConstantPool {
@@ -66,16 +70,36 @@ impl ConstantPool {
 
     /// Builds a pool from raw entries (used by the reader).
     pub fn from_entries(entries: Vec<Constant>) -> Self {
-        let index = entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.clone(), (i + 1) as u16))
-            .collect();
-        ConstantPool { entries, index }
+        let mut index = HashMap::new();
+        let mut utf8_index = HashMap::new();
+        for (i, e) in entries.iter().enumerate() {
+            match e {
+                Constant::Utf8(s) => {
+                    utf8_index.insert(s.clone(), (i + 1) as u16);
+                }
+                _ => {
+                    index.insert(e.clone(), (i + 1) as u16);
+                }
+            }
+        }
+        ConstantPool {
+            entries,
+            index,
+            utf8_index,
+        }
     }
 
     /// Interns an entry, returning its 1-based index.
     pub fn intern(&mut self, c: Constant) -> u16 {
+        if let Constant::Utf8(s) = &c {
+            if let Some(&i) = self.utf8_index.get(s.as_str()) {
+                return i;
+            }
+            let i = (self.entries.len() + 1) as u16;
+            self.utf8_index.insert(s.clone(), i);
+            self.entries.push(c);
+            return i;
+        }
         if let Some(&i) = self.index.get(&c) {
             return i;
         }
@@ -87,7 +111,13 @@ impl ConstantPool {
 
     /// Interns a UTF-8 entry.
     pub fn utf8(&mut self, s: &str) -> u16 {
-        self.intern(Constant::Utf8(s.to_owned()))
+        if let Some(&i) = self.utf8_index.get(s) {
+            return i;
+        }
+        let i = (self.entries.len() + 1) as u16;
+        self.utf8_index.insert(s.to_owned(), i);
+        self.entries.push(Constant::Utf8(s.to_owned()));
+        i
     }
 
     /// Interns a class entry (and its name).

@@ -60,4 +60,4 @@ pub use verify::{
     is_valid, verify_class, verify_class_structure, verify_method_code, verify_program,
     InvokeKind, NoHooks, VerifyError, VerifyHooks,
 };
-pub use write::{program_byte_size, write_class, write_program};
+pub use write::{class_byte_size, program_byte_size, write_class, write_program};

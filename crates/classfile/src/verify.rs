@@ -834,7 +834,8 @@ mod tests {
     fn structural_rules_rejected() {
         // Each sub-case mutates the valid program in one way and expects a
         // specific complaint.
-        let cases: Vec<(&str, Box<dyn Fn(&mut Program)>)> = vec![
+        type Mutation = Box<dyn Fn(&mut Program)>;
+        let cases: Vec<(&str, Mutation)> = vec![
             (
                 "is final",
                 Box::new(|p: &mut Program| {

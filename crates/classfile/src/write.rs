@@ -191,8 +191,86 @@ pub fn write_program(program: &Program) -> Vec<u8> {
 
 /// The serialized size of a program in bytes — the paper's primary size
 /// metric ("Final Relative Size (Bytes)").
+///
+/// Computed without materializing the bytes ([`class_byte_size`]): the
+/// reduction pipeline measures every oracle probe, so this is hot.
 pub fn program_byte_size(program: &Program) -> usize {
-    program.classes().map(|c| write_class(c).len()).sum()
+    program.classes().map(class_byte_size).sum()
+}
+
+/// Computes `write_class(class).len()` without producing the bytes.
+///
+/// Replicates the writer's constant-pool interning (the pool's *contents*
+/// determine its size; entry order does not) and sums fixed field widths
+/// plus [`Insn::encoded_len`] for code, skipping all byte emission.
+pub fn class_byte_size(class: &ClassFile) -> usize {
+    let mut pool = ConstantPool::new();
+    pool.class(&class.name);
+    if let Some(s) = &class.superclass {
+        pool.class(s);
+    }
+    for i in &class.interfaces {
+        pool.class(i);
+    }
+    pool.utf8("Code");
+
+    let mut body = 2 + 2 * class.interfaces.len(); // interface table
+    body += 2 + 8 * class.fields.len(); // field table: flags/name/desc/attrs
+    for f in &class.fields {
+        pool.utf8(&f.name);
+        pool.utf8(&f.ty.descriptor());
+    }
+    body += 2; // method count
+    for m in &class.methods {
+        pool.utf8(&m.name);
+        pool.utf8(&m.desc.descriptor());
+        body += 8; // flags/name/desc/attribute count
+        if let Some(code) = &m.code {
+            intern_code_refs(code, &mut pool);
+            let code_len: usize = code.insns.iter().map(Insn::encoded_len).sum();
+            // attribute name + length + (stack/locals/len + code + exc + attrs)
+            body += 2 + 4 + (2 + 2 + 4 + code_len + 2 + 2);
+        }
+    }
+    body += 2; // class attributes
+
+    let pool_bytes: usize = pool.entries().iter().map(constant_size).sum();
+    // magic + version + pool count + pool + flags + this + super.
+    4 + 4 + 2 + pool_bytes + 2 + 2 + 2 + body
+}
+
+/// Interns exactly the pool entries [`encode_code`] would.
+fn intern_code_refs(code: &Code, pool: &mut ConstantPool) {
+    for insn in &code.insns {
+        match insn {
+            Insn::LdcClass(c) | Insn::New(c) | Insn::CheckCast(c) | Insn::InstanceOf(c) => {
+                pool.class(c);
+            }
+            Insn::GetField(f) | Insn::PutField(f) => {
+                pool.fieldref(&f.class, &f.name, &f.ty.descriptor());
+            }
+            Insn::InvokeVirtual(m) | Insn::InvokeSpecial(m) | Insn::InvokeStatic(m) => {
+                pool.methodref(&m.class, &m.name, &m.desc.descriptor());
+            }
+            Insn::InvokeInterface(m) => {
+                pool.interface_methodref(&m.class, &m.name, &m.desc.descriptor());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Serialized size of one constant-pool entry (tag byte included).
+fn constant_size(c: &Constant) -> usize {
+    1 + match c {
+        Constant::Utf8(s) => 2 + s.len(),
+        Constant::Integer(_) => 4,
+        Constant::Class(_) => 2,
+        Constant::Fieldref(..)
+        | Constant::Methodref(..)
+        | Constant::InterfaceMethodref(..)
+        | Constant::NameAndType(..) => 4,
+    }
 }
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -253,6 +331,52 @@ mod tests {
         assert_eq!(bytes[0], 0xa7);
         let delta = i16::from_be_bytes([bytes[1], bytes[2]]);
         assert_eq!(delta, 4); // goto is 3 bytes + 1 nop byte
+    }
+
+    #[test]
+    fn class_byte_size_is_exact() {
+        use crate::FieldRef;
+        // A class exercising every pool-touching instruction plus repeated
+        // references (so interning dedup matters).
+        let mut c = ClassFile::new_class("A");
+        c.superclass = Some("Base".into());
+        c.interfaces.push("I".into());
+        c.interfaces.push("J".into());
+        c.fields.push(FieldInfo::new("f", Type::Int));
+        c.fields.push(FieldInfo::new("g", Type::reference("B")));
+        c.methods
+            .push(MethodInfo::new_abstract("abs", MethodDescriptor::void()));
+        c.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::new(vec![Type::Int], Some(Type::Int)),
+            Code::new(
+                3,
+                2,
+                vec![
+                    Insn::ALoad(0),
+                    Insn::IConst(7),
+                    Insn::GetField(FieldRef::new("A", "f", Type::Int)),
+                    Insn::PutField(FieldRef::new("A", "f", Type::Int)),
+                    Insn::New("B".into()),
+                    Insn::CheckCast("B".into()),
+                    Insn::InstanceOf("I".into()),
+                    Insn::LdcClass("J".into()),
+                    Insn::InvokeVirtual(MethodRef::new("A", "m", MethodDescriptor::void())),
+                    Insn::InvokeSpecial(MethodRef::new("Base", "<init>", MethodDescriptor::void())),
+                    Insn::InvokeStatic(MethodRef::new("B", "s", MethodDescriptor::void())),
+                    Insn::InvokeInterface(MethodRef::new("I", "m", MethodDescriptor::void())),
+                    Insn::Goto(14),
+                    Insn::Nop,
+                    Insn::IReturn,
+                ],
+            ),
+        ));
+        assert_eq!(class_byte_size(&c), write_class(&c).len());
+        // And on the trivial shapes.
+        let plain = ClassFile::new_class("P");
+        assert_eq!(class_byte_size(&plain), write_class(&plain).len());
+        let iface = ClassFile::new_interface("Q");
+        assert_eq!(class_byte_size(&iface), write_class(&iface).len());
     }
 
     #[test]

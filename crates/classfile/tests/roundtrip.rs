@@ -1,140 +1,162 @@
-//! Property test: any well-formed in-memory class survives the binary
-//! writer/reader round trip — including branchy code, odd flags, and
+//! Randomized property test: any well-formed in-memory class survives the
+//! binary writer/reader round trip — including branchy code, odd flags, and
 //! adversarial names the workload generator would never produce.
+//!
+//! Generation is driven by the workspace's internal seeded PRNG so the test
+//! runs offline; each case is reproducible from its printed seed.
 
 use lbr_classfile::{
-    read_class, write_class, ClassFile, Code, FieldInfo, FieldRef, Flags, Insn,
-    MethodDescriptor, MethodInfo, MethodRef, Type,
+    read_class, write_class, ClassFile, Code, FieldInfo, FieldRef, Flags, Insn, MethodDescriptor,
+    MethodInfo, MethodRef, Type,
 };
-use proptest::prelude::*;
+use lbr_prng::{SliceChoose, SplitMix64};
 
-fn arb_name() -> impl Strategy<Value = String> {
-    "[A-Za-z_$][A-Za-z0-9_$]{0,11}"
+const NAME_FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_$";
+const NAME_REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_$";
+
+fn rand_name(rng: &mut SplitMix64) -> String {
+    let len = rng.gen_range(0..=11usize);
+    let mut s = String::new();
+    s.push(*NAME_FIRST.choose(rng).unwrap() as char);
+    for _ in 0..len {
+        s.push(*NAME_REST.choose(rng).unwrap() as char);
+    }
+    s
 }
 
-fn arb_type() -> impl Strategy<Value = Type> {
-    prop_oneof![Just(Type::Int), arb_name().prop_map(Type::reference)]
+fn rand_type(rng: &mut SplitMix64) -> Type {
+    if rng.gen_bool(0.5) {
+        Type::Int
+    } else {
+        Type::reference(rand_name(rng))
+    }
 }
 
-fn arb_desc() -> impl Strategy<Value = MethodDescriptor> {
-    (
-        prop::collection::vec(arb_type(), 0..4),
-        prop::option::of(arb_type()),
-    )
-        .prop_map(|(params, ret)| MethodDescriptor::new(params, ret))
+fn rand_desc(rng: &mut SplitMix64) -> MethodDescriptor {
+    let params = (0..rng.gen_range(0..4usize)).map(|_| rand_type(rng)).collect();
+    let ret = if rng.gen_bool(0.5) {
+        Some(rand_type(rng))
+    } else {
+        None
+    };
+    MethodDescriptor::new(params, ret)
 }
 
-fn arb_field_ref() -> impl Strategy<Value = FieldRef> {
-    (arb_name(), arb_name(), arb_type()).prop_map(|(c, n, t)| FieldRef::new(c, n, t))
+fn rand_field_ref(rng: &mut SplitMix64) -> FieldRef {
+    FieldRef::new(rand_name(rng), rand_name(rng), rand_type(rng))
 }
 
-fn arb_method_ref() -> impl Strategy<Value = MethodRef> {
-    (arb_name(), arb_name(), arb_desc()).prop_map(|(c, n, d)| MethodRef::new(c, n, d))
+fn rand_method_ref(rng: &mut SplitMix64) -> MethodRef {
+    MethodRef::new(rand_name(rng), rand_name(rng), rand_desc(rng))
 }
 
-/// Instructions with branch targets bounded by `len` so the encoded
+/// An instruction with branch targets bounded by `len` so the encoded
 /// offsets always land on real instructions.
-fn arb_insn(len: u16) -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        Just(Insn::Nop),
-        any::<i32>().prop_map(Insn::IConst),
-        Just(Insn::AConstNull),
-        (0u16..8).prop_map(Insn::ILoad),
-        (0u16..8).prop_map(Insn::IStore),
-        (0u16..8).prop_map(Insn::ALoad),
-        (0u16..8).prop_map(Insn::AStore),
-        Just(Insn::Pop),
-        Just(Insn::Dup),
-        Just(Insn::IAdd),
-        arb_name().prop_map(Insn::LdcClass),
-        arb_name().prop_map(Insn::New),
-        arb_field_ref().prop_map(Insn::GetField),
-        arb_field_ref().prop_map(Insn::PutField),
-        arb_method_ref().prop_map(Insn::InvokeVirtual),
-        arb_method_ref().prop_map(Insn::InvokeInterface),
-        arb_method_ref().prop_map(Insn::InvokeSpecial),
-        arb_method_ref().prop_map(Insn::InvokeStatic),
-        arb_name().prop_map(Insn::CheckCast),
-        arb_name().prop_map(Insn::InstanceOf),
-        (0..len).prop_map(Insn::Goto),
-        (0..len).prop_map(Insn::IfEq),
-        Just(Insn::Return),
-        Just(Insn::AReturn),
-        Just(Insn::IReturn),
-        Just(Insn::AThrow),
-    ]
+fn rand_insn(rng: &mut SplitMix64, len: u16) -> Insn {
+    match rng.gen_range(0..26u32) {
+        0 => Insn::Nop,
+        1 => Insn::IConst(rng.next_u32() as i32),
+        2 => Insn::AConstNull,
+        3 => Insn::ILoad(rng.gen_range(0..8u16)),
+        4 => Insn::IStore(rng.gen_range(0..8u16)),
+        5 => Insn::ALoad(rng.gen_range(0..8u16)),
+        6 => Insn::AStore(rng.gen_range(0..8u16)),
+        7 => Insn::Pop,
+        8 => Insn::Dup,
+        9 => Insn::IAdd,
+        10 => Insn::LdcClass(rand_name(rng)),
+        11 => Insn::New(rand_name(rng)),
+        12 => Insn::GetField(rand_field_ref(rng)),
+        13 => Insn::PutField(rand_field_ref(rng)),
+        14 => Insn::InvokeVirtual(rand_method_ref(rng)),
+        15 => Insn::InvokeInterface(rand_method_ref(rng)),
+        16 => Insn::InvokeSpecial(rand_method_ref(rng)),
+        17 => Insn::InvokeStatic(rand_method_ref(rng)),
+        18 => Insn::CheckCast(rand_name(rng)),
+        19 => Insn::InstanceOf(rand_name(rng)),
+        20 => Insn::Goto(rng.gen_range(0..len)),
+        21 => Insn::IfEq(rng.gen_range(0..len)),
+        22 => Insn::Return,
+        23 => Insn::AReturn,
+        24 => Insn::IReturn,
+        _ => Insn::AThrow,
+    }
 }
 
-fn arb_code() -> impl Strategy<Value = Code> {
-    (1u16..24).prop_flat_map(|len| {
-        (
-            prop::collection::vec(arb_insn(len), len as usize..=len as usize),
-            0u16..16,
-            0u16..16,
-        )
-            .prop_map(|(insns, max_stack, max_locals)| Code::new(max_stack, max_locals, insns))
-    })
+fn rand_code(rng: &mut SplitMix64) -> Code {
+    let len = rng.gen_range(1..24u16);
+    let insns = (0..len).map(|_| rand_insn(rng, len)).collect();
+    Code::new(rng.gen_range(0..16u16), rng.gen_range(0..16u16), insns)
 }
 
-fn arb_flags() -> impl Strategy<Value = Flags> {
-    // Any u16 round-trips; use realistic-ish combinations.
-    prop_oneof![
-        Just(Flags::PUBLIC),
-        Just(Flags::PUBLIC | Flags::FINAL),
-        Just(Flags::PUBLIC | Flags::STATIC),
-        Just(Flags::PUBLIC | Flags::ABSTRACT),
-        any::<u16>().prop_map(Flags::from_bits),
-    ]
+fn rand_flags(rng: &mut SplitMix64) -> Flags {
+    match rng.gen_range(0..5u32) {
+        0 => Flags::PUBLIC,
+        1 => Flags::PUBLIC | Flags::FINAL,
+        2 => Flags::PUBLIC | Flags::STATIC,
+        3 => Flags::PUBLIC | Flags::ABSTRACT,
+        // Any u16 must round-trip.
+        _ => Flags::from_bits(rng.next_u32() as u16),
+    }
 }
 
-fn arb_class() -> impl Strategy<Value = ClassFile> {
-    (
-        arb_name(),
-        arb_flags(),
-        prop::option::of(arb_name()),
-        prop::collection::vec(arb_name(), 0..3),
-        prop::collection::vec(
-            (arb_flags(), arb_name(), arb_type())
-                .prop_map(|(flags, name, ty)| FieldInfo { flags, name, ty }),
-            0..4,
-        ),
-        prop::collection::vec(
-            (arb_flags(), arb_name(), arb_desc(), prop::option::of(arb_code())).prop_map(
-                |(flags, name, desc, code)| MethodInfo {
-                    flags,
-                    name,
-                    desc,
-                    code,
-                },
-            ),
-            0..4,
-        ),
-    )
-        .prop_map(|(name, flags, superclass, interfaces, fields, methods)| ClassFile {
-            name,
-            flags,
-            superclass,
-            interfaces,
-            fields,
-            methods,
+fn rand_class(rng: &mut SplitMix64) -> ClassFile {
+    let name = rand_name(rng);
+    let flags = rand_flags(rng);
+    let superclass = if rng.gen_bool(0.5) {
+        Some(rand_name(rng))
+    } else {
+        None
+    };
+    let interfaces = (0..rng.gen_range(0..3usize)).map(|_| rand_name(rng)).collect();
+    let fields = (0..rng.gen_range(0..4usize))
+        .map(|_| FieldInfo {
+            flags: rand_flags(rng),
+            name: rand_name(rng),
+            ty: rand_type(rng),
         })
+        .collect();
+    let methods = (0..rng.gen_range(0..4usize))
+        .map(|_| MethodInfo {
+            flags: rand_flags(rng),
+            name: rand_name(rng),
+            desc: rand_desc(rng),
+            code: if rng.gen_bool(0.5) {
+                Some(rand_code(rng))
+            } else {
+                None
+            },
+        })
+        .collect();
+    ClassFile {
+        name,
+        flags,
+        superclass,
+        interfaces,
+        fields,
+        methods,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn class_roundtrip(class in arb_class()) {
+#[test]
+fn class_roundtrip() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let class = rand_class(&mut rng);
         let bytes = write_class(&class);
         let back = read_class(&bytes)
-            .unwrap_or_else(|e| panic!("decode failed: {e} for {class:?}"));
-        prop_assert_eq!(back, class);
+            .unwrap_or_else(|e| panic!("seed {seed}: decode failed: {e} for {class:?}"));
+        assert_eq!(back, class, "seed {seed}");
     }
+}
 
-    #[test]
-    fn truncation_never_panics(class in arb_class(), cut in 0usize..64) {
+#[test]
+fn truncation_never_panics() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let class = rand_class(&mut rng);
         let bytes = write_class(&class);
-        let cut = cut.min(bytes.len());
+        let cut = rng.gen_range(0..64usize).min(bytes.len());
         // Decoding a truncated prefix must error, never panic.
         let _ = read_class(&bytes[..bytes.len() - cut]);
     }

@@ -14,7 +14,25 @@
 //! search space `D^∪_r` with the learned clause conjoined.
 
 use crate::{Instance, Predicate};
-use lbr_logic::{msa, Clause, Cnf, MsaStrategy, VarOrder, VarSet};
+use lbr_logic::{engine, msa_scan, Clause, Cnf, Engine, Lit, MsaStrategy, Var, VarOrder, VarSet};
+
+/// How GBR evaluates the dependency model while building progressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PropagationMode {
+    /// One persistent watched-literal [`Engine`] per reduction run: learned
+    /// sets become permanent level-0 clauses, the search-space restriction
+    /// and each progression prefix are pushed as assumption levels, and
+    /// every MSA runs from the engine's current state. No formula is ever
+    /// cloned. This is the default and produces bit-identical progressions
+    /// to [`LegacyScan`](PropagationMode::LegacyScan).
+    #[default]
+    Incremental,
+    /// The original implementation: every progression step clones a
+    /// restricted CNF and re-propagates it from scratch with the scanning
+    /// [`msa_scan`]. Kept as the measurable baseline and the reference the
+    /// incremental mode is differentially tested against.
+    LegacyScan,
+}
 
 /// Configuration for [`generalized_binary_reduction`].
 #[derive(Debug, Clone)]
@@ -31,6 +49,9 @@ pub struct GbrConfig {
     /// at any point in the execution and use the smallest input until that
     /// point that preserves the error message."
     pub max_predicate_calls: Option<u64>,
+    /// How the dependency model is propagated (incremental engine vs the
+    /// scan-based baseline). Does not affect results, only speed.
+    pub propagation: PropagationMode,
 }
 
 impl Default for GbrConfig {
@@ -39,6 +60,7 @@ impl Default for GbrConfig {
             msa_strategy: MsaStrategy::GreedyClosure,
             max_iterations: None,
             max_predicate_calls: None,
+            propagation: PropagationMode::default(),
         }
     }
 }
@@ -122,10 +144,11 @@ pub fn generalized_binary_reduction(
     config: &GbrConfig,
 ) -> Result<GbrOutcome, GbrError> {
     let universe = instance.vars.universe();
+    let mut propagator = Propagator::new(config.propagation, instance, universe)?;
     let mut learned: Vec<VarSet> = Vec::new();
     let mut search_space = instance.vars.clone();
-    let mut progression = build_progression(
-        &instance.cnf,
+    let mut progression = propagator.progression(
+        instance,
         order,
         config.msa_strategy,
         &learned,
@@ -201,8 +224,8 @@ pub fn generalized_binary_reduction(
         let r = hi;
         learned.push(progression[r].clone());
         search_space = prefix_unions[r].clone();
-        progression = build_progression(
-            &instance.cnf,
+        progression = propagator.progression(
+            instance,
             order,
             config.msa_strategy,
             &learned,
@@ -253,6 +276,159 @@ fn anytime_outcome(
     }
 }
 
+/// The progression-building state for one reduction run: either a
+/// persistent incremental engine, or the stateless legacy rebuild.
+enum Propagator {
+    Incremental {
+        engine: Engine,
+        /// How many learned sets have already been installed as permanent
+        /// level-0 clauses (learned sets only ever grow, in order).
+        learned_added: usize,
+    },
+    Legacy,
+}
+
+impl Propagator {
+    fn new(mode: PropagationMode, instance: &Instance, universe: usize) -> Result<Self, GbrError> {
+        match mode {
+            PropagationMode::Incremental => {
+                let engine = Engine::new(&instance.cnf, universe);
+                if !engine.is_ok() {
+                    // Refuted by unit propagation alone; the legacy path
+                    // reports the same through its first failed MSA.
+                    return Err(GbrError::ModelUnsatisfiable);
+                }
+                Ok(Propagator::Incremental {
+                    engine,
+                    learned_added: 0,
+                })
+            }
+            PropagationMode::LegacyScan => Ok(Propagator::Legacy),
+        }
+    }
+
+    fn progression(
+        &mut self,
+        instance: &Instance,
+        order: &VarOrder,
+        strategy: MsaStrategy,
+        learned: &[VarSet],
+        search_space: &VarSet,
+    ) -> Result<Vec<VarSet>, GbrError> {
+        match self {
+            Propagator::Incremental {
+                engine,
+                learned_added,
+            } => build_progression_incremental(
+                engine,
+                learned_added,
+                &instance.cnf,
+                order,
+                strategy,
+                learned,
+                search_space,
+            ),
+            Propagator::Legacy => {
+                build_progression(&instance.cnf, order, strategy, learned, search_space)
+            }
+        }
+    }
+}
+
+/// The incremental `PROGRESSION_{R_I,<}(L, J)`: same contract as
+/// [`build_progression`], but no formula is ever cloned. Newly learned sets
+/// become permanent level-0 clauses; the restriction to `J` is one
+/// assumption level of negated out-of-`J` literals; each progression prefix
+/// is asserted as a further assumption level (by the progression invariant
+/// a prefix union is a model of the restricted formula, so asserting it
+/// never conflicts and never implies new true variables); and each entry is
+/// `MSA` run from the engine's current state.
+///
+/// Unit propagation is confluent, so every step sees exactly the state the
+/// legacy rebuild would recompute, and the produced progressions are
+/// identical — differentially tested in `tests/gbr_differential.rs`.
+#[allow(clippy::too_many_arguments)]
+fn build_progression_incremental(
+    engine: &mut Engine,
+    learned_added: &mut usize,
+    cnf: &Cnf,
+    order: &VarOrder,
+    strategy: MsaStrategy,
+    learned: &[VarSet],
+    search_space: &VarSet,
+) -> Result<Vec<VarSet>, GbrError> {
+    let _ = cnf; // only consumed by the debug-mode invariant check below
+    engine.backtrack(0);
+    // Learned sets are positive clauses over their full member list; under
+    // the restriction level below, members outside `J` are false, so the
+    // engine clause behaves exactly like the legacy `l ∩ J` clause (and a
+    // learned set disjoint from `J` surfaces as a restriction conflict, the
+    // same `ModelUnsatisfiable` the legacy path reports).
+    while *learned_added < learned.len() {
+        let lits: Vec<Lit> = learned[*learned_added].iter().map(Lit::pos).collect();
+        engine.add_clause(&lits);
+        *learned_added += 1;
+        if !engine.is_ok() {
+            return Err(GbrError::ModelUnsatisfiable);
+        }
+    }
+    // Restriction level: every variable outside `J` is false. Variables
+    // beyond `num_vars` occur in no clause and are never picked true by
+    // MSA, so they need no explicit assumption.
+    let restriction: Vec<Lit> = (0..engine.num_vars() as u32)
+        .map(Var::new)
+        .filter(|v| !search_space.contains(*v))
+        .map(Lit::neg)
+        .collect();
+    if !engine.assume_all(&restriction) {
+        return Err(GbrError::ModelUnsatisfiable);
+    }
+    let d0 = engine::msa_from_state(engine, order, strategy)
+        .ok_or(GbrError::ModelUnsatisfiable)?;
+    let mut covered = d0.clone();
+    let asserted: Vec<Lit> = covered.iter().map(Lit::pos).collect();
+    let ok = engine.assume_all(&asserted);
+    debug_assert!(ok, "asserting the MSA model must not conflict");
+    let mut progression = vec![d0];
+
+    while let Some(x) = order.min_in_difference(search_space, &covered) {
+        let before = engine.decision_level();
+        let entry = if engine.assume(Lit::pos(x)) {
+            engine::msa_from_state(engine, order, strategy).map(|s_abs| {
+                // `s_abs` is the absolute true-set; strip the prefix that is
+                // already covered to get this progression entry (⊇ {x}).
+                s_abs.difference(&covered)
+            })
+        } else {
+            None
+        };
+        engine.backtrack(before);
+        match entry {
+            Some(entry) => {
+                let lits: Vec<Lit> = entry.iter().map(Lit::pos).collect();
+                let ok = engine.assume_all(&lits);
+                debug_assert!(ok, "asserting a progression prefix must not conflict");
+                covered.union_with(&entry);
+                progression.push(entry);
+            }
+            None => {
+                // `x` cannot be made true inside this search space. Close
+                // the progression with the whole remainder: its prefix is
+                // the full search space, which is valid by assumption.
+                let rest = search_space.difference(&covered);
+                covered.union_with(&rest);
+                progression.push(rest);
+                break;
+            }
+        }
+    }
+    engine.backtrack(0);
+    debug_assert_eq!(covered, *search_space, "progression must cover J");
+    #[cfg(debug_assertions)]
+    check_progression_invariants(cnf, learned, search_space, &progression);
+    Ok(progression)
+}
+
 /// The `PROGRESSION_{R_I,<}(L, J)` subroutine.
 ///
 /// Produces a non-empty list of disjoint subsets of `J` whose union is `J`,
@@ -261,6 +437,10 @@ fn anytime_outcome(
 ///
 /// Entry 0 is `MSA_<(R⁺)`; entry `k+1` is built by picking the `<`-least
 /// uncovered variable `x` and computing `MSA_<(R⁺ ∧ x | D^∪_k = 1)`.
+/// Rebuilds restricted formulas at every step with the scan-based
+/// [`msa_scan`]; [`PropagationMode::Incremental`] (the default inside
+/// [`generalized_binary_reduction`]) produces identical progressions
+/// without the clones.
 pub fn build_progression(
     cnf: &Cnf,
     order: &VarOrder,
@@ -281,7 +461,7 @@ pub fn build_progression(
         rplus.add_clause(Clause::implication([], members));
     }
 
-    let d0 = msa(&rplus, order, strategy).ok_or(GbrError::ModelUnsatisfiable)?;
+    let d0 = msa_scan(&rplus, order, strategy).ok_or(GbrError::ModelUnsatisfiable)?;
     let mut covered = d0.clone();
     // Condition away what is already decided true; remaining clauses range
     // over J \ covered.
@@ -292,7 +472,7 @@ pub fn build_progression(
         let mut seed = VarSet::empty(universe);
         seed.insert(x);
         let conditioned = current.restrict(search_space, &seed);
-        match msa(&conditioned, order, strategy) {
+        match msa_scan(&conditioned, order, strategy) {
             Some(extra) => {
                 let mut entry = extra;
                 entry.insert(x);

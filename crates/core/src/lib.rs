@@ -55,7 +55,10 @@ mod trace;
 
 pub use binary::{binary_reduction, BinaryReductionError, BinaryReductionOutcome};
 pub use ddmin::{ddmin, DdminStats, TestOutcome};
-pub use gbr::{build_progression, generalized_binary_reduction, GbrConfig, GbrError, GbrOutcome};
+pub use gbr::{
+    build_progression, generalized_binary_reduction, GbrConfig, GbrError, GbrOutcome,
+    PropagationMode,
+};
 pub use graph::{Closure, DepGraph};
 pub use hitting::{reduction_is_faithful, HittingSet};
 pub use lossy::{lossy_encode, lossy_graph, lossy_is_sound, LossyGraph, LossyPick};

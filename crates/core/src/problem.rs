@@ -7,6 +7,7 @@
 
 use crate::trace::ReductionTrace;
 use lbr_logic::{Cnf, VarSet};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// A black-box predicate on sub-inputs.
@@ -80,6 +81,15 @@ type SizeMetric<'p> = Box<dyn Fn(&VarSet) -> u64 + 'p>;
 /// [`Oracle`] records, per call: the call index, wall-clock time so far,
 /// the modeled time so far (`calls × cost`), the input size, the outcome,
 /// and the best (smallest) failing size seen — everything Figure 8 needs.
+///
+/// With [`with_memo`](Oracle::with_memo), outcomes (and measured sizes) are
+/// cached by candidate subset: repeated probes of the same keep-set — which
+/// reduction strategies issue routinely, and the per-error mode issues by
+/// construction — skip the wrapped tool entirely. Memoization is invisible
+/// to the algorithms: [`calls`](Oracle::calls) still counts every logical
+/// probe and the trace records every probe, so call counts, traces, and
+/// results are identical with the cache on or off; only the wall-clock
+/// cost of re-running the tool disappears.
 pub struct Oracle<'p> {
     inner: &'p mut dyn Predicate,
     calls: u64,
@@ -87,6 +97,9 @@ pub struct Oracle<'p> {
     cost_per_call_secs: f64,
     trace: ReductionTrace,
     size_of: Option<SizeMetric<'p>>,
+    memo: Option<HashMap<VarSet, (bool, u64)>>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl<'p> Oracle<'p> {
@@ -100,6 +113,9 @@ impl<'p> Oracle<'p> {
             cost_per_call_secs,
             trace: ReductionTrace::new(),
             size_of: None,
+            memo: None,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -110,9 +126,28 @@ impl<'p> Oracle<'p> {
         self
     }
 
-    /// Number of predicate invocations so far.
+    /// Enables memoization: each distinct candidate subset runs the wrapped
+    /// predicate (and the size metric) at most once.
+    pub fn with_memo(mut self) -> Self {
+        self.memo = Some(HashMap::new());
+        self
+    }
+
+    /// Number of predicate invocations so far (including memoized hits).
     pub fn calls(&self) -> u64 {
         self.calls
+    }
+
+    /// Probes answered from the memo without running the tool (0 when
+    /// memoization is disabled).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Probes that actually ran the tool while memoization was enabled
+    /// (0 when it is disabled).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
     }
 
     /// The recorded trace.
@@ -124,16 +159,37 @@ impl<'p> Oracle<'p> {
     pub fn into_trace(self) -> ReductionTrace {
         self.trace
     }
+
+    fn measure(size_of: &Option<SizeMetric<'p>>, input: &VarSet) -> u64 {
+        match size_of {
+            Some(f) => f(input),
+            None => input.len() as u64,
+        }
+    }
 }
 
 impl Predicate for Oracle<'_> {
     fn test(&mut self, input: &VarSet) -> bool {
-        let outcome = self.inner.test(input);
-        self.calls += 1;
-        let size = match &self.size_of {
-            Some(f) => f(input),
-            None => input.len() as u64,
+        let (outcome, size) = match &mut self.memo {
+            Some(memo) => match memo.get(input) {
+                Some(&cached) => {
+                    self.cache_hits += 1;
+                    cached
+                }
+                None => {
+                    self.cache_misses += 1;
+                    let outcome = self.inner.test(input);
+                    let size = Self::measure(&self.size_of, input);
+                    memo.insert(input.clone(), (outcome, size));
+                    (outcome, size)
+                }
+            },
+            None => {
+                let outcome = self.inner.test(input);
+                (outcome, Self::measure(&self.size_of, input))
+            }
         };
+        self.calls += 1;
         let wall = self.start.elapsed().as_secs_f64();
         let modeled = self.calls as f64 * self.cost_per_call_secs;
         self.trace.record(self.calls, wall, modeled, size, outcome);
@@ -176,6 +232,40 @@ mod tests {
         assert_eq!(last.size, 2);
         assert!((last.modeled_secs - 66.0).abs() < 1e-9);
         assert_eq!(trace.best_failing_size(), Some(2));
+    }
+
+    #[test]
+    fn oracle_memo_skips_repeat_probes_but_keeps_counts() {
+        let mut tool_runs = 0u32;
+        let mut p = |s: &VarSet| {
+            tool_runs += 1;
+            s.contains(Var::new(0))
+        };
+        let mut oracle = Oracle::new(&mut p, 33.0).with_memo();
+        let a = VarSet::from_iter_with_universe(2, [Var::new(0)]);
+        let b = VarSet::empty(2);
+        assert!(oracle.test(&a));
+        assert!(!oracle.test(&b));
+        assert!(oracle.test(&a)); // cached, but still a logical probe
+        assert!(oracle.test(&a));
+        assert_eq!(oracle.calls(), 4, "calls count every probe");
+        assert_eq!(oracle.cache_hits(), 2);
+        assert_eq!(oracle.cache_misses(), 2);
+        assert_eq!(oracle.trace().len(), 4, "trace records every probe");
+        drop(oracle);
+        assert_eq!(tool_runs, 2, "the tool ran once per distinct subset");
+    }
+
+    #[test]
+    fn oracle_without_memo_reports_zero_cache_stats() {
+        let mut p = |_: &VarSet| true;
+        let mut oracle = Oracle::new(&mut p, 0.0);
+        let s = VarSet::empty(1);
+        oracle.test(&s);
+        oracle.test(&s);
+        assert_eq!(oracle.calls(), 2);
+        assert_eq!(oracle.cache_hits(), 0);
+        assert_eq!(oracle.cache_misses(), 0);
     }
 
     #[test]

@@ -6,13 +6,12 @@ use lbr_core::{
     closure_size_order, generalized_binary_reduction, minimize_solution, GbrConfig, Instance,
 };
 use lbr_logic::{Clause, Cnf, MsaStrategy, Var, VarSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lbr_prng::SplitMix64;
 
 /// A random mixed model: mostly edges, some mAny-style general clauses,
 /// a few positive disjunctions. Never any purely negative clause (like
 /// the bytecode models).
-fn random_model(rng: &mut StdRng, n: usize) -> Cnf {
+fn random_model(rng: &mut SplitMix64, n: usize) -> Cnf {
     let mut cnf = Cnf::new(n);
     let v = |i: usize| Var::new(i as u32);
     for _ in 0..2 * n {
@@ -41,8 +40,8 @@ fn random_model(rng: &mut StdRng, n: usize) -> Cnf {
 #[test]
 fn gbr_is_sound_on_random_models() {
     for seed in 0..30u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let n = rng.gen_range(8..48);
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n = rng.gen_range(8..48usize);
         let cnf = random_model(&mut rng, n);
         let full = VarSet::full(n);
         if !cnf.eval(&full) {
@@ -82,7 +81,7 @@ fn gbr_is_sound_on_random_models() {
 #[test]
 fn gbr_all_msa_strategies_agree_on_random_models() {
     for seed in 100..110u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let n = 24;
         let cnf = random_model(&mut rng, n);
         let full = VarSet::full(n);

@@ -1,123 +1,161 @@
-//! Property test: pretty-printing any FJI AST and re-parsing yields the
-//! same AST.
+//! Randomized property test: pretty-printing any FJI AST and re-parsing
+//! yields the same AST. Driven by the workspace's internal seeded PRNG so
+//! the test runs offline; each case is reproducible from its printed seed.
 
 use lbr_fji::{parse_expr, parse_program, pretty, pretty_expr, Expr, Program};
 use lbr_fji::{ClassDecl, Constructor, Field, InterfaceDecl, Method, Signature, TypeDecl};
-use proptest::prelude::*;
+use lbr_prng::{SliceChoose, SplitMix64};
 
 const KEYWORDS: [&str; 8] = [
     "class", "extends", "implements", "interface", "return", "new", "super", "this",
 ];
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,5}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const LOWER_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+const UPPER: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+fn rand_word(rng: &mut SplitMix64, first: &[u8], rest: &[u8]) -> String {
+    loop {
+        let len = rng.gen_range(0..=5usize);
+        let mut s = String::new();
+        s.push(*first.choose(rng).unwrap() as char);
+        for _ in 0..len {
+            s.push(*rest.choose(rng).unwrap() as char);
+        }
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
+    }
 }
 
-fn arb_type_name() -> impl Strategy<Value = String> {
-    "[A-Z][a-zA-Z0-9]{0,5}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+fn rand_ident(rng: &mut SplitMix64) -> String {
+    rand_word(rng, LOWER, LOWER_REST)
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_ident().prop_map(Expr::Var),
-        Just(Expr::this()),
-        arb_type_name().prop_map(|c| Expr::New(c, vec![])),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), arb_ident()).prop_map(|(e, f)| e.field(f)),
-            (inner.clone(), arb_ident(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(e, m, args)| e.call(m, args)),
-            (arb_type_name(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(c, args)| Expr::New(c, args)),
-            (arb_type_name(), inner).prop_map(|(t, e)| e.cast(t)),
-        ]
-    })
+fn rand_type_name(rng: &mut SplitMix64) -> String {
+    rand_word(rng, UPPER, ALNUM)
 }
 
-fn arb_params() -> impl Strategy<Value = Vec<Field>> {
-    prop::collection::vec(
-        (arb_type_name(), arb_ident()).prop_map(|(t, n)| Field::new(t, n)),
-        0..3,
-    )
+/// A random expression with at most `depth` levels of nesting.
+fn rand_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..3u32) {
+            0 => Expr::Var(rand_ident(rng)),
+            1 => Expr::this(),
+            _ => Expr::New(rand_type_name(rng), vec![]),
+        };
+    }
+    let args = |rng: &mut SplitMix64, depth| -> Vec<Expr> {
+        (0..rng.gen_range(0..3usize))
+            .map(|_| rand_expr(rng, depth))
+            .collect()
+    };
+    match rng.gen_range(0..4u32) {
+        0 => rand_expr(rng, depth - 1).field(rand_ident(rng)),
+        1 => {
+            let recv = rand_expr(rng, depth - 1);
+            let m = rand_ident(rng);
+            let a = args(rng, depth - 1);
+            recv.call(m, a)
+        }
+        2 => {
+            let c = rand_type_name(rng);
+            let a = args(rng, depth - 1);
+            Expr::New(c, a)
+        }
+        _ => rand_expr(rng, depth - 1).cast(rand_type_name(rng)),
+    }
 }
 
-fn arb_class() -> impl Strategy<Value = ClassDecl> {
-    (
-        arb_type_name(),
-        arb_type_name(),
-        arb_type_name(),
-        arb_params(), // fields
-        arb_params(), // ctor params
-        prop::collection::vec(arb_ident(), 0..2),
-        prop::collection::vec(
-            (arb_type_name(), arb_ident(), arb_params(), arb_expr())
-                .prop_map(|(ret, name, params, body)| Method { ret, name, params, body }),
-            0..3,
-        ),
-    )
-        .prop_map(|(name, superclass, interface, fields, cparams, super_args, methods)| {
-            let inits = fields
-                .iter()
-                .map(|f| (f.name.clone(), f.name.clone()))
-                .collect();
-            ClassDecl {
-                name,
-                superclass,
-                interface,
-                fields,
-                ctor: Constructor {
-                    params: cparams,
-                    super_args,
-                    inits,
-                },
-                methods,
+fn rand_params(rng: &mut SplitMix64) -> Vec<Field> {
+    (0..rng.gen_range(0..3usize))
+        .map(|_| Field::new(rand_type_name(rng), rand_ident(rng)))
+        .collect()
+}
+
+fn rand_class(rng: &mut SplitMix64) -> ClassDecl {
+    let name = rand_type_name(rng);
+    let superclass = rand_type_name(rng);
+    let interface = rand_type_name(rng);
+    let fields = rand_params(rng);
+    let cparams = rand_params(rng);
+    let super_args = (0..rng.gen_range(0..2usize)).map(|_| rand_ident(rng)).collect();
+    let methods = (0..rng.gen_range(0..3usize))
+        .map(|_| Method {
+            ret: rand_type_name(rng),
+            name: rand_ident(rng),
+            params: rand_params(rng),
+            body: rand_expr(rng, 3),
+        })
+        .collect();
+    let inits = fields
+        .iter()
+        .map(|f| (f.name.clone(), f.name.clone()))
+        .collect();
+    ClassDecl {
+        name,
+        superclass,
+        interface,
+        fields,
+        ctor: Constructor {
+            params: cparams,
+            super_args,
+            inits,
+        },
+        methods,
+    }
+}
+
+fn rand_interface(rng: &mut SplitMix64) -> InterfaceDecl {
+    InterfaceDecl {
+        name: rand_type_name(rng),
+        sigs: (0..rng.gen_range(0..3usize))
+            .map(|_| Signature {
+                ret: rand_type_name(rng),
+                name: rand_ident(rng),
+                params: rand_params(rng),
+            })
+            .collect(),
+    }
+}
+
+fn rand_program(rng: &mut SplitMix64) -> Program {
+    let decls = (0..rng.gen_range(0..4usize))
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                TypeDecl::Class(rand_class(rng))
+            } else {
+                TypeDecl::Interface(rand_interface(rng))
             }
         })
+        .collect();
+    Program {
+        decls,
+        main: rand_expr(rng, 3),
+    }
 }
 
-fn arb_interface() -> impl Strategy<Value = InterfaceDecl> {
-    (
-        arb_type_name(),
-        prop::collection::vec(
-            (arb_type_name(), arb_ident(), arb_params())
-                .prop_map(|(ret, name, params)| Signature { ret, name, params }),
-            0..3,
-        ),
-    )
-        .prop_map(|(name, sigs)| InterfaceDecl { name, sigs })
-}
-
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec(
-            prop_oneof![
-                arb_class().prop_map(TypeDecl::Class),
-                arb_interface().prop_map(TypeDecl::Interface),
-            ],
-            0..4,
-        ),
-        arb_expr(),
-    )
-        .prop_map(|(decls, main)| Program { decls, main })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn expr_roundtrip(e in arb_expr()) {
+#[test]
+fn expr_roundtrip() {
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let e = rand_expr(&mut rng, 3);
         let printed = pretty_expr(&e);
         let back = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
-        prop_assert_eq!(back, e, "printed: {}", printed);
+            .unwrap_or_else(|err| panic!("seed {seed}: reparse of {printed:?} failed: {err}"));
+        assert_eq!(back, e, "seed {seed}: printed: {printed}");
     }
+}
 
-    #[test]
-    fn program_roundtrip(p in arb_program()) {
+#[test]
+fn program_roundtrip() {
+    for seed in 1000..1256u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let p = rand_program(&mut rng);
         let printed = pretty(&p);
         let back = parse_program(&printed)
-            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
-        prop_assert_eq!(back, p, "printed:\n{}", printed);
+            .unwrap_or_else(|err| panic!("seed {seed}: reparse failed: {err}\n{printed}"));
+        assert_eq!(back, p, "seed {seed}: printed:\n{printed}");
     }
 }

@@ -19,10 +19,12 @@ use lbr_classfile::{program_byte_size, Program};
 use lbr_core::{
     binary_reduction, closure_size_order, ddmin, generalized_binary_reduction,
     lossy_graph, BinaryReductionError, DepGraph, GbrConfig, GbrError, Instance, LossyPick, Oracle,
-    ReductionTrace, TestOutcome,
+    PropagationMode, ReductionTrace, TestOutcome,
 };
 use lbr_decompiler::DecompilerOracle;
 use lbr_logic::{MsaStrategy, VarSet};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// A reduction strategy.
@@ -60,6 +62,39 @@ impl Strategy {
     }
 }
 
+/// Performance knobs for a reduction run. They change how fast a run is,
+/// never what it computes: results, predicate-call counts, and traces are
+/// identical across all settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// How GBR propagates the dependency model (incremental watched-literal
+    /// engine vs the scan-based baseline).
+    pub propagation: PropagationMode,
+    /// Whether the oracle memoizes probe outcomes by candidate subset, so
+    /// repeated probes never re-run the tool.
+    pub memoize: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            propagation: PropagationMode::default(),
+            memoize: true,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The pre-engine configuration: scan-based propagation, no memo. Used
+    /// as the measurable baseline for the performance comparison.
+    pub fn legacy() -> Self {
+        RunOptions {
+            propagation: PropagationMode::LegacyScan,
+            memoize: false,
+        }
+    }
+}
+
 /// Size metrics of a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeMetrics {
@@ -90,6 +125,11 @@ pub struct ReductionReport {
     pub final_metrics: SizeMetrics,
     /// Number of black-box predicate invocations.
     pub predicate_calls: u64,
+    /// Probes answered from the oracle's memo without re-running the tool
+    /// (0 when memoization is off or the strategy bypasses the oracle).
+    pub cache_hits: u64,
+    /// Probes that actually ran the tool while memoization was on.
+    pub cache_misses: u64,
     /// Wall-clock seconds of the whole run.
     pub wall_secs: f64,
     /// Modeled tool time (`calls × cost_per_call`).
@@ -181,29 +221,66 @@ pub fn run_reduction(
     strategy: Strategy,
     cost_per_call_secs: f64,
 ) -> Result<ReductionReport, PipelineError> {
+    run_reduction_with(
+        program,
+        oracle,
+        strategy,
+        cost_per_call_secs,
+        &RunOptions::default(),
+    )
+}
+
+/// Like [`run_reduction`], with explicit performance [`RunOptions`]
+/// (propagation mode and oracle memoization). Results are identical across
+/// all option settings; only the wall-clock time differs.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn run_reduction_with(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    strategy: Strategy,
+    cost_per_call_secs: f64,
+    options: &RunOptions,
+) -> Result<ReductionReport, PipelineError> {
     if !oracle.is_failing() {
         return Err(PipelineError::NotFailing);
     }
     let start = Instant::now();
     let initial = SizeMetrics::of(program);
-    let (reduced, calls, trace, model_stats) = match strategy {
-        Strategy::Logical(msa) => {
-            run_logical(program, oracle, msa, OrderKind::ClosureSize, cost_per_call_secs)?
-        }
+    let parts = match strategy {
+        Strategy::Logical(msa) => run_logical(
+            program,
+            oracle,
+            msa,
+            OrderKind::ClosureSize,
+            cost_per_call_secs,
+            options,
+        )?,
         Strategy::LogicalNaturalOrder => run_logical(
             program,
             oracle,
             MsaStrategy::GreedyClosure,
             OrderKind::Natural,
             cost_per_call_secs,
+            options,
         )?,
         Strategy::LogicalMinimized => {
-            run_logical_minimized(program, oracle, cost_per_call_secs)?
+            run_logical_minimized(program, oracle, cost_per_call_secs, options)?
         }
-        Strategy::JReduce => run_jreduce(program, oracle, cost_per_call_secs)?,
-        Strategy::Lossy(pick) => run_lossy(program, oracle, pick, cost_per_call_secs)?,
+        Strategy::JReduce => run_jreduce(program, oracle, cost_per_call_secs, options)?,
+        Strategy::Lossy(pick) => run_lossy(program, oracle, pick, cost_per_call_secs, options)?,
         Strategy::DdminItems => run_ddmin(program, oracle, cost_per_call_secs)?,
     };
+    let RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats,
+        cache_hits,
+        cache_misses,
+    } = parts;
     let errors_preserved = oracle.preserves_failure(&reduced);
     let still_valid = lbr_classfile::verify_program(&reduced).is_empty();
     Ok(ReductionReport {
@@ -211,6 +288,8 @@ pub fn run_reduction(
         initial,
         final_metrics: SizeMetrics::of(&reduced),
         predicate_calls: calls,
+        cache_hits,
+        cache_misses,
         wall_secs: start.elapsed().as_secs_f64(),
         modeled_secs: calls as f64 * cost_per_call_secs,
         trace,
@@ -221,7 +300,14 @@ pub fn run_reduction(
     })
 }
 
-type RunParts = (Program, u64, ReductionTrace, Option<ModelStats>);
+struct RunParts {
+    reduced: Program,
+    calls: u64,
+    trace: ReductionTrace,
+    model_stats: Option<ModelStats>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
 
 /// Which variable order GBR uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,12 +316,29 @@ enum OrderKind {
     Natural,
 }
 
+/// Builds the standard oracle wrapper (size metric + optional memo) around
+/// a keep-set predicate.
+fn wrap_oracle<'p>(
+    predicate: &'p mut dyn lbr_core::Predicate,
+    cost: f64,
+    size_of: impl Fn(&VarSet) -> u64 + 'p,
+    options: &RunOptions,
+) -> Oracle<'p> {
+    let wrapped = Oracle::new(predicate, cost).with_size_metric(size_of);
+    if options.memoize {
+        wrapped.with_memo()
+    } else {
+        wrapped
+    }
+}
+
 fn run_logical(
     program: &Program,
     oracle: &DecompilerOracle,
     msa: MsaStrategy,
     order_kind: OrderKind,
     cost: f64,
+    options: &RunOptions,
 ) -> Result<RunParts, PipelineError> {
     let model: LogicalModel = build_model(program)?;
     let stats = model.stats();
@@ -245,73 +348,99 @@ fn run_logical(
     };
     let instance = Instance::over_all_vars(model.cnf.clone());
     let registry = &model.registry;
+    let last_bytes = Cell::new(0u64);
     let mut predicate = |keep: &VarSet| {
         let candidate = reduce_program(program, registry, keep);
+        last_bytes.set(program_byte_size(&candidate) as u64);
         oracle.preserves_failure(&candidate)
     };
-    let mut wrapped = Oracle::new(&mut predicate, cost).with_size_metric(|keep| {
-        program_byte_size(&reduce_program(program, registry, keep)) as u64
-    });
+    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
     let config = GbrConfig {
         msa_strategy: msa,
+        propagation: options.propagation,
         ..GbrConfig::default()
     };
     let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;
     let calls = wrapped.calls();
+    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
     let reduced = reduce_program(program, registry, &outcome.solution);
-    Ok((reduced, calls, trace, Some(stats)))
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: Some(stats),
+        cache_hits,
+        cache_misses,
+    })
 }
 
 fn run_logical_minimized(
     program: &Program,
     oracle: &DecompilerOracle,
     cost: f64,
+    options: &RunOptions,
 ) -> Result<RunParts, PipelineError> {
     let model: LogicalModel = build_model(program)?;
     let stats = model.stats();
     let order = closure_size_order(&model.cnf);
     let instance = Instance::over_all_vars(model.cnf.clone());
     let registry = &model.registry;
+    let last_bytes = Cell::new(0u64);
     let mut predicate = |keep: &VarSet| {
         let candidate = reduce_program(program, registry, keep);
+        last_bytes.set(program_byte_size(&candidate) as u64);
         oracle.preserves_failure(&candidate)
     };
-    let mut wrapped = Oracle::new(&mut predicate, cost).with_size_metric(|keep| {
-        program_byte_size(&reduce_program(program, registry, keep)) as u64
-    });
-    let outcome = generalized_binary_reduction(
-        &instance,
-        &order,
-        &mut wrapped,
-        &GbrConfig::default(),
-    )?;
+    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
+    let config = GbrConfig {
+        propagation: options.propagation,
+        ..GbrConfig::default()
+    };
+    let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;
     let (minimized, _stats) =
         lbr_core::minimize_solution(&instance, &order, &mut wrapped, &outcome.solution);
     let calls = wrapped.calls();
+    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
     let reduced = reduce_program(program, registry, &minimized);
-    Ok((reduced, calls, trace, Some(stats)))
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: Some(stats),
+        cache_hits,
+        cache_misses,
+    })
 }
 
 fn run_jreduce(
     program: &Program,
     oracle: &DecompilerOracle,
     cost: f64,
+    options: &RunOptions,
 ) -> Result<RunParts, PipelineError> {
     let cg = ClassGraph::new(program);
+    let last_bytes = Cell::new(0u64);
     let mut predicate = |keep: &VarSet| {
         let candidate = cg.subset_program(program, keep);
+        last_bytes.set(program_byte_size(&candidate) as u64);
         oracle.preserves_failure(&candidate)
     };
-    let mut wrapped = Oracle::new(&mut predicate, cost).with_size_metric(|keep| {
-        program_byte_size(&cg.subset_program(program, keep)) as u64
-    });
+    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
     let outcome = binary_reduction(&cg.graph, &mut wrapped)?;
     let calls = wrapped.calls();
+    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
     let reduced = cg.subset_program(program, &outcome.solution);
-    Ok((reduced, calls, trace, None))
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: None,
+        cache_hits,
+        cache_misses,
+    })
 }
 
 fn run_lossy(
@@ -319,6 +448,7 @@ fn run_lossy(
     oracle: &DecompilerOracle,
     pick: LossyPick,
     cost: f64,
+    options: &RunOptions,
 ) -> Result<RunParts, PipelineError> {
     let model = build_model(program)?;
     let stats = model.stats();
@@ -331,18 +461,26 @@ fn run_lossy(
     }
     let graph: DepGraph = lg.graph;
     let registry = &model.registry;
+    let last_bytes = Cell::new(0u64);
     let mut predicate = |keep: &VarSet| {
         let candidate = reduce_program(program, registry, keep);
+        last_bytes.set(program_byte_size(&candidate) as u64);
         oracle.preserves_failure(&candidate)
     };
-    let mut wrapped = Oracle::new(&mut predicate, cost).with_size_metric(|keep| {
-        program_byte_size(&reduce_program(program, registry, keep)) as u64
-    });
+    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
     let outcome = binary_reduction(&graph, &mut wrapped)?;
     let calls = wrapped.calls();
+    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
     let reduced = reduce_program(program, registry, &outcome.solution);
-    Ok((reduced, calls, trace, Some(stats)))
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: Some(stats),
+        cache_hits,
+        cache_misses,
+    })
 }
 
 fn run_ddmin(
@@ -382,7 +520,14 @@ fn run_ddmin(
         }
     });
     let reduced = reduce_program(program, registry, &solution);
-    Ok((reduced, calls, trace, Some(stats)))
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: Some(stats),
+        cache_hits: 0,
+        cache_misses: 0,
+    })
 }
 
 /// The result of a per-error reduction sweep.
@@ -396,12 +541,37 @@ pub struct PerErrorReport {
     pub combined_trace: ReductionTrace,
     /// Total predicate invocations across all searches.
     pub total_calls: u64,
+    /// Probes answered by the shared error cache without re-running the
+    /// tool. The searches all start from the same instance, so every
+    /// search after the first begins with guaranteed hits.
+    pub cache_hits: u64,
+    /// Probes that actually decompiled a candidate.
+    pub cache_misses: u64,
+}
+
+impl PerErrorReport {
+    /// Fraction of probes served from the cache (`0.0` when disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Reduces once *per distinct baseline error* — the paper's observation
 /// that "some cases have many distinct bugs; each bug requires GBR to do
 /// an individual search". Each search preserves exactly one error message
 /// and produces its own (usually much smaller) witness.
+///
+/// All searches run against the same instance and differ only in which
+/// error they look for, so the expensive part of every probe — building
+/// the candidate program and collecting its error set — is shared through
+/// one cache keyed by keep-set. The first search pays for its probes; the
+/// later searches re-probe many of the same subsets (every search starts
+/// from the same `D₀`) and get them for free.
 ///
 /// # Errors
 ///
@@ -411,6 +581,20 @@ pub fn run_per_error(
     oracle: &DecompilerOracle,
     cost_per_call_secs: f64,
 ) -> Result<PerErrorReport, PipelineError> {
+    run_per_error_with(program, oracle, cost_per_call_secs, &RunOptions::default())
+}
+
+/// Like [`run_per_error`], with explicit performance [`RunOptions`].
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn run_per_error_with(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    cost_per_call_secs: f64,
+    options: &RunOptions,
+) -> Result<PerErrorReport, PipelineError> {
     if !oracle.is_failing() {
         return Err(PipelineError::NotFailing);
     }
@@ -418,19 +602,49 @@ pub fn run_per_error(
     let order = closure_size_order(&model.cnf);
     let instance = Instance::over_all_vars(model.cnf.clone());
     let registry = &model.registry;
+    // Shared across searches: keep-set → (error messages, candidate bytes).
+    type ErrorCache = HashMap<VarSet, (std::collections::BTreeSet<String>, u64)>;
+    let cache: RefCell<ErrorCache> = RefCell::new(HashMap::new());
+    let hits = Cell::new(0u64);
+    let misses = Cell::new(0u64);
+    let probe = |keep: &VarSet| -> (u64, std::collections::BTreeSet<String>) {
+        if options.memoize {
+            if let Some((errors, bytes)) = cache.borrow().get(keep) {
+                hits.set(hits.get() + 1);
+                return (*bytes, errors.clone());
+            }
+        }
+        let candidate = reduce_program(program, registry, keep);
+        let errors = oracle.errors(&candidate);
+        let bytes = program_byte_size(&candidate) as u64;
+        if options.memoize {
+            misses.set(misses.get() + 1);
+            cache
+                .borrow_mut()
+                .insert(keep.clone(), (errors.clone(), bytes));
+        }
+        (bytes, errors)
+    };
     let mut rows = Vec::new();
     let mut combined_trace = ReductionTrace::new();
     let mut total_calls = 0u64;
     for error in oracle.baseline().clone() {
+        // The probe computes outcome and size together; the size metric
+        // reads the bytes of the probe that just ran instead of probing
+        // again (the oracle measures right after testing).
+        let last_bytes = Cell::new(0u64);
         let mut predicate = |keep: &VarSet| {
-            let candidate = reduce_program(program, registry, keep);
-            oracle.errors(&candidate).contains(&error)
+            let (bytes, errors) = probe(keep);
+            last_bytes.set(bytes);
+            errors.contains(&error)
         };
-        let mut wrapped = Oracle::new(&mut predicate, cost_per_call_secs).with_size_metric(
-            |keep| program_byte_size(&reduce_program(program, registry, keep)) as u64,
-        );
-        let outcome =
-            generalized_binary_reduction(&instance, &order, &mut wrapped, &GbrConfig::default())?;
+        let mut wrapped = Oracle::new(&mut predicate, cost_per_call_secs)
+            .with_size_metric(|_| last_bytes.get());
+        let config = GbrConfig {
+            propagation: options.propagation,
+            ..GbrConfig::default()
+        };
+        let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;
         total_calls += wrapped.calls();
         combined_trace.append_sequential(wrapped.trace());
         let reduced = reduce_program(program, registry, &outcome.solution);
@@ -441,6 +655,8 @@ pub fn run_per_error(
         errors: rows,
         combined_trace,
         total_calls,
+        cache_hits: hits.get(),
+        cache_misses: misses.get(),
     })
 }
 
@@ -591,6 +807,98 @@ mod tests {
         let oracle = DecompilerOracle::new(&p, BugSet::none());
         let err = run_reduction(&p, &oracle, Strategy::JReduce, 0.0).unwrap_err();
         assert!(matches!(err, PipelineError::NotFailing));
+    }
+
+    #[test]
+    fn performance_options_do_not_change_results() {
+        let p = benchmark();
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        for strategy in [
+            Strategy::Logical(MsaStrategy::GreedyClosure),
+            Strategy::LogicalMinimized,
+            Strategy::JReduce,
+            Strategy::Lossy(LossyPick::FirstFirst),
+        ] {
+            let fast = run_reduction_with(&p, &oracle, strategy, 33.0, &RunOptions::default())
+                .expect("default options");
+            let slow = run_reduction_with(&p, &oracle, strategy, 33.0, &RunOptions::legacy())
+                .expect("legacy options");
+            assert_eq!(fast.final_metrics, slow.final_metrics, "{strategy:?}");
+            assert_eq!(fast.predicate_calls, slow.predicate_calls, "{strategy:?}");
+            assert_eq!(
+                fast.cache_hits + fast.cache_misses,
+                fast.predicate_calls,
+                "{strategy:?}: every probe is a hit or a miss"
+            );
+            assert_eq!(slow.cache_hits, 0, "{strategy:?}");
+            assert_eq!(slow.cache_misses, 0, "{strategy:?}");
+        }
+    }
+
+    /// The benchmark extended with an unrelated second bug (a static call
+    /// that decompiles to a ghost receiver) so the baseline has two
+    /// distinct error messages.
+    fn two_bug_benchmark() -> Program {
+        let mut p = benchmark();
+        let mut util = ClassFile::new_class("Util");
+        util.methods.push(ctor());
+        let mut helper = MethodInfo::new(
+            "helper",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        );
+        helper.flags |= lbr_classfile::Flags::STATIC;
+        util.methods.push(helper);
+        util.methods.push(MethodInfo::new(
+            "go",
+            MethodDescriptor::void(),
+            Code::new(
+                1,
+                1,
+                vec![
+                    Insn::InvokeStatic(MethodRef::new("Util", "helper", MethodDescriptor::void())),
+                    Insn::Return,
+                ],
+            ),
+        ));
+        p.insert(util);
+        p
+    }
+
+    #[test]
+    fn per_error_cache_is_shared_across_searches() {
+        let p = two_bug_benchmark();
+        let oracle = DecompilerOracle::new(
+            &p,
+            BugSet::of(&[BugKind::CastToObject, BugKind::StaticGhostReceiver]),
+        );
+        assert!(
+            oracle.baseline().len() >= 2,
+            "need at least two distinct errors, got {:?}",
+            oracle.baseline()
+        );
+        let cached = run_per_error(&p, &oracle, 0.0).expect("per-error runs");
+        assert_eq!(cached.errors.len(), oracle.baseline().len());
+        assert!(
+            cached.cache_hits > 0,
+            "searches share probes (every search starts from the same D0)"
+        );
+        assert!(cached.cache_hit_rate() > 0.0);
+        // The cache is a pure optimization: identical rows and call counts.
+        let uncached = run_per_error_with(
+            &p,
+            &oracle,
+            0.0,
+            &RunOptions {
+                memoize: false,
+                ..RunOptions::default()
+            },
+        )
+        .expect("per-error runs uncached");
+        assert_eq!(cached.errors, uncached.errors);
+        assert_eq!(cached.total_calls, uncached.total_calls);
+        assert_eq!(uncached.cache_hits, 0);
+        assert_eq!(uncached.cache_misses, 0);
     }
 
     #[test]

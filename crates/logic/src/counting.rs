@@ -177,16 +177,59 @@ impl Counter {
 
 /// Repeated unit propagation on a clause list. Returns the conditioned
 /// clauses and the forced literals, or `None` on conflict.
+///
+/// All units of a pass are collected and conditioned on together, so the
+/// clause list is rewritten once per propagation *round* rather than once
+/// per unit (the old behavior was `O(units · clauses)` per call, a real
+/// cost under the counter's exponential branching). Unit propagation is
+/// confluent, so the batched fixpoint is identical.
 fn bcp(mut clauses: Vec<Clause>) -> Option<(Vec<Clause>, Vec<Lit>)> {
-    let mut forced = Vec::new();
+    let mut forced: Vec<Lit> = Vec::new();
     loop {
-        let Some(unit) = clauses.iter().find(|c| c.len() == 1) else {
+        let mut units: Vec<Lit> = Vec::new();
+        for c in &clauses {
+            if c.len() == 1 {
+                let lit = c.lits()[0];
+                if units.contains(&lit.negated()) {
+                    return None; // contradictory units in one round
+                }
+                if !units.contains(&lit) {
+                    units.push(lit);
+                }
+            }
+        }
+        if units.is_empty() {
             return Some((clauses, forced));
-        };
-        let lit = unit.lits()[0];
-        clauses = condition_clauses(&clauses, lit)?;
-        forced.push(lit);
+        }
+        clauses = condition_on_all(&clauses, &units)?;
+        forced.extend(units);
     }
+}
+
+/// Conditions a clause list on all of `lits` being true in one pass.
+/// `None` on conflict (empty clause produced).
+fn condition_on_all(clauses: &[Clause], lits: &[Lit]) -> Option<Vec<Clause>> {
+    let mut out = Vec::with_capacity(clauses.len());
+    'clauses: for c in clauses {
+        let mut kept: Vec<Lit> = Vec::with_capacity(c.len());
+        for &l in c.lits() {
+            if lits.contains(&l) {
+                continue 'clauses; // satisfied
+            }
+            if !lits.contains(&l.negated()) {
+                kept.push(l);
+            }
+        }
+        if kept.is_empty() {
+            return None;
+        }
+        out.push(if kept.len() == c.len() {
+            c.clone()
+        } else {
+            Clause::new(kept)
+        });
+    }
+    Some(out)
 }
 
 /// Conditions a clause list on `lit` being true. `None` on conflict (empty

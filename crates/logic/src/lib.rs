@@ -11,6 +11,9 @@
 //! * [`Formula`] for the constraint-generating type checker, lowered to CNF,
 //! * [`msa`] — the order-driven approximate **minimal satisfying
 //!   assignment** at the heart of the `PROGRESSION` subroutine,
+//! * [`Engine`] — an incremental two-watched-literal propagation engine
+//!   with an assignment trail and decision levels; GBR conditions one
+//!   shared engine by assumption instead of cloning restricted CNFs,
 //! * [`dpll`] — a complete solver used as fallback and test oracle,
 //! * [`count_models`] — sharpSAT-style model counting (component
 //!   decomposition + caching + implicit BCP) to count valid sub-inputs,
@@ -48,6 +51,7 @@ mod cnf;
 pub mod counting;
 pub mod dimacs;
 pub mod dpll;
+pub mod engine;
 mod formula;
 mod lit;
 mod msa;
@@ -60,9 +64,10 @@ mod var;
 pub use clause::{Clause, ClauseShape};
 pub use cnf::{Cnf, ShapeHistogram};
 pub use counting::{count_models, count_models_restricted, count_models_with_stats, CountingStats};
+pub use engine::{msa_from_state, solve_from_state, Engine};
 pub use formula::Formula;
 pub use lit::Lit;
-pub use msa::{msa, MsaStrategy};
+pub use msa::{msa, msa_scan, MsaStrategy};
 pub use order::VarOrder;
 pub use propagate::{propagate, PartialAssignment, Propagation};
 pub use set::VarSet;

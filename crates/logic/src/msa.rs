@@ -53,6 +53,11 @@ impl MsaStrategy {
 /// Computes an approximate minimal satisfying assignment of `cnf`, returned
 /// as its set of true variables, or `None` if `cnf` is unsatisfiable.
 ///
+/// Backed by the incremental watched-literal [`Engine`](crate::Engine);
+/// [`msa_scan`] is the original rescan-based implementation, kept as the
+/// differential-testing reference and the measurable baseline. Both return
+/// identical sets.
+///
 /// # Examples
 ///
 /// ```
@@ -66,6 +71,27 @@ impl MsaStrategy {
 /// assert_eq!(m.len(), 2); // both a and b must be true
 /// ```
 pub fn msa(cnf: &Cnf, order: &VarOrder, strategy: MsaStrategy) -> Option<VarSet> {
+    let universe = order.len().max(cnf.num_vars());
+    let mut engine = crate::Engine::new(cnf, universe);
+    let result = if engine.is_ok() {
+        crate::engine::msa_from_state(&mut engine, order, strategy)
+    } else {
+        None // refuted by unit propagation alone
+    };
+    debug_assert!(
+        result.as_ref().is_none_or(|s| cnf.eval(s)),
+        "msa returned a non-model"
+    );
+    result
+}
+
+/// The original scan-based MSA: rescans the whole clause list to a
+/// propagation fixpoint at every step.
+///
+/// Kept as the reference implementation [`msa`] is differentially tested
+/// against, and as the measurable scan-BCP baseline (GBR's
+/// `PropagationMode::LegacyScan` routes here).
+pub fn msa_scan(cnf: &Cnf, order: &VarOrder, strategy: MsaStrategy) -> Option<VarSet> {
     let universe = order.len().max(cnf.num_vars());
     let result = match strategy {
         MsaStrategy::GreedyClosure => greedy_closure(cnf, order, universe),

@@ -110,10 +110,17 @@ impl Propagation {
 /// Runs unit propagation of `cnf` under `assignment`, extending the
 /// assignment in place with every implied literal.
 ///
-/// This is the `BCP` building block of both the DPLL solver and the MSA
-/// procedure. The implementation rescans clauses to a fixpoint, which is
-/// `O(clauses · implied)`; model sizes in this crate (thousands of clauses)
-/// make this comfortably fast without watched-literal machinery.
+/// This is the `BCP` building block of the *reference* implementations:
+/// the scan-based [`dpll`](crate::dpll) solver and
+/// [`msa_scan`](crate::msa_scan). It rescans the whole clause list to a
+/// fixpoint, which is `O(clauses · implied)` per call — fine for one-shot
+/// queries, but quadratic when an algorithm re-propagates after every
+/// conditioning step. The production path ([`msa`](crate::msa) and GBR's
+/// progression construction) therefore uses the incremental
+/// [`Engine`](crate::Engine), which watches two literals per clause and
+/// only visits clauses whose watched literal just became false. Unit
+/// propagation is confluent, so both implementations derive the same
+/// fixpoint (or both report a conflict) from the same assignment.
 pub fn propagate(cnf: &Cnf, assignment: &mut PartialAssignment) -> Propagation {
     let mut implied = Vec::new();
     loop {

@@ -19,9 +19,7 @@ use lbr_classfile::{
     Program, Type,
 };
 use lbr_decompiler::BugKind;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use lbr_prng::{SliceChoose, SplitMix64};
 
 /// Configuration for [`generate`].
 #[derive(Debug, Clone)]
@@ -141,7 +139,7 @@ struct Plan {
 
 /// Generates a verifying program.
 pub fn generate(config: &WorkloadConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let plan = make_plan(config, &mut rng);
     let mut program = emit(config, &plan, &mut rng);
     plant_bugs(config, &plan, &mut program, &mut rng);
@@ -157,7 +155,7 @@ pub fn generate(config: &WorkloadConfig) -> Program {
 // Planning.
 // ----------------------------------------------------------------------
 
-fn make_plan(config: &WorkloadConfig, rng: &mut StdRng) -> Plan {
+fn make_plan(config: &WorkloadConfig, rng: &mut SplitMix64) -> Plan {
     let nclusters = config.clusters();
     // Interfaces, distributed round-robin over clusters; an interface may
     // extend an earlier interface of the *same* cluster.
@@ -290,7 +288,7 @@ fn make_plan(config: &WorkloadConfig, rng: &mut StdRng) -> Plan {
 }
 
 /// A random class name from `cluster`.
-fn cluster_class(config: &WorkloadConfig, cluster: usize, rng: &mut StdRng) -> String {
+fn cluster_class(config: &WorkloadConfig, cluster: usize, rng: &mut SplitMix64) -> String {
     let lo = cluster * config.cluster_size;
     let hi = ((cluster + 1) * config.cluster_size).min(config.classes);
     format!("Cls{}", rng.gen_range(lo..hi))
@@ -299,7 +297,7 @@ fn cluster_class(config: &WorkloadConfig, cluster: usize, rng: &mut StdRng) -> S
 fn random_descriptor(
     config: &WorkloadConfig,
     cluster: usize,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> MethodDescriptor {
     let nparams = rng.gen_range(0..=2);
     let params = (0..nparams)
@@ -416,7 +414,7 @@ impl Plan {
 // Emission.
 // ----------------------------------------------------------------------
 
-fn emit(config: &WorkloadConfig, plan: &Plan, rng: &mut StdRng) -> Program {
+fn emit(config: &WorkloadConfig, plan: &Plan, rng: &mut SplitMix64) -> Program {
     let mut program = Program::new();
     for ip in &plan.interfaces {
         let mut iface = ClassFile::new_interface(&ip.name);
@@ -514,7 +512,7 @@ fn make_body(
     plan: &Plan,
     cp: &ClassPlan,
     desc: &MethodDescriptor,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Code {
     let mut insns: Vec<Insn> = Vec::new();
     let nstmts = rng.gen_range(config.stmts_per_method.0..=config.stmts_per_method.1);
@@ -542,7 +540,7 @@ fn emit_return(insns: &mut Vec<Insn>, desc: &MethodDescriptor) {
 
 /// Pushes a value of `ty` onto the stack (null for references, or a fresh
 /// instance half the time).
-fn push_value(plan: &Plan, ty: &Type, rng: &mut StdRng, out: &mut Vec<Insn>) {
+fn push_value(plan: &Plan, ty: &Type, rng: &mut SplitMix64, out: &mut Vec<Insn>) {
     match ty {
         Type::Int => out.push(Insn::IConst(rng.gen_range(0..100))),
         Type::Reference(c) => {
@@ -577,7 +575,7 @@ fn random_statement(
     plan: &Plan,
     cp: &ClassPlan,
     scratch_slot: u16,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Vec<Insn> {
     let mut out = Vec::new();
     // Call targets: usually the own cluster, occasionally anywhere.
@@ -655,7 +653,7 @@ fn random_statement(
 // Bug-pattern planting.
 // ----------------------------------------------------------------------
 
-fn plant_bugs(config: &WorkloadConfig, plan: &Plan, program: &mut Program, rng: &mut StdRng) {
+fn plant_bugs(config: &WorkloadConfig, plan: &Plan, program: &mut Program, rng: &mut SplitMix64) {
     let bug_clusters: Vec<usize> = (0..config.bug_clusters()).collect();
     for &bug in &config.plant {
         for _ in 0..config.plants_per_bug {
@@ -672,7 +670,7 @@ fn bug_pattern(
     plan: &Plan,
     bug: BugKind,
     clusters: &[usize],
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Option<Vec<Insn>> {
     let scoped = Some(clusters);
     let mut out = Vec::new();
@@ -818,7 +816,7 @@ fn inject(
     program: &mut Program,
     clusters: &[usize],
     pattern: Vec<Insn>,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) {
     let class_names: Vec<String> = plan
         .classes

@@ -154,6 +154,49 @@ fn progression_walkthrough_matches_section_4_5_shape() {
 }
 
 #[test]
+fn figure1a_engine_and_scan_propagation_are_identical() {
+    // The incremental watched-literal engine is a pure performance change:
+    // on the paper's running example it must find the same MSAs as the
+    // scan-based reference and drive GBR to the same Figure 1b optimum
+    // with exactly the same predicate-call count.
+    use lbr::core::PropagationMode;
+    use lbr::logic::{msa, msa_scan, MsaStrategy};
+
+    let program = figure1_program();
+    let reg = ItemRegistry::from_program(&program);
+    let cnf = figure2_cnf(&reg);
+    let order = closure_size_order(&cnf);
+    for strategy in MsaStrategy::ALL {
+        assert_eq!(
+            msa(&cnf, &order, strategy),
+            msa_scan(&cnf, &order, strategy),
+            "{strategy:?}"
+        );
+    }
+
+    let instance = Instance::over_all_vars(cnf);
+    let needed = [
+        figure2_var(&reg, "A.m()!code"),
+        figure2_var(&reg, "M.x()!code"),
+        figure2_var(&reg, "M.main()!code"),
+    ];
+    let mut outcomes = Vec::new();
+    for propagation in [PropagationMode::Incremental, PropagationMode::LegacyScan] {
+        let mut bug = |s: &VarSet| needed.iter().all(|v| s.contains(*v));
+        let mut oracle = Oracle::new(&mut bug, 0.0);
+        let config = GbrConfig {
+            propagation,
+            ..GbrConfig::default()
+        };
+        let out = generalized_binary_reduction(&instance, &order, &mut oracle, &config)
+            .expect("the example reduces");
+        outcomes.push((out.solution, out.learned, oracle.calls()));
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+    assert_eq!(outcomes[0].0, figure1b_solution(&reg));
+}
+
+#[test]
 fn suboptimality_example_of_section_4_4() {
     // (a ∧ b ⇒ c) ∧ (c ⇒ b), P true iff b, order (c, b, a): GBR returns
     // {b, c} although {b} is smaller.

@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) over the full stack.
+//! Randomized property tests over the full stack, driven by the
+//! workspace's internal seeded PRNG (offline, reproducible per seed).
 //!
 //! * binary round-trip: any generated program survives
 //!   `write_program`/`read_program` unchanged;
@@ -11,26 +12,35 @@ use lbr::classfile::{read_program, write_program};
 use lbr::jreduce::{build_model, reduce_program};
 use lbr::logic::{count_models, dpll, Formula, Lit, Var, VarOrder, VarSet};
 use lbr::workload::{generate, WorkloadConfig};
-use proptest::prelude::*;
+use lbr_prng::SplitMix64;
 
 // ----------------------------------------------------------------------
 // Random formulas for the logic substrate.
 // ----------------------------------------------------------------------
 
-fn arb_formula(nvars: u32) -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0..nvars).prop_map(|i| Formula::var(Var::new(i))),
-        Just(Formula::tt()),
-        Just(Formula::ff()),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Formula::and),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Formula::or),
-            inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
-        ]
-    })
+fn rand_formula(rng: &mut SplitMix64, nvars: u32, depth: u32) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..4u32) {
+            0 | 1 => Formula::var(Var::new(rng.gen_range(0..nvars))),
+            2 => Formula::tt(),
+            _ => Formula::ff(),
+        };
+    }
+    let children = |rng: &mut SplitMix64| -> Vec<Formula> {
+        (0..rng.gen_range(0..3usize))
+            .map(|_| rand_formula(rng, nvars, depth - 1))
+            .collect()
+    };
+    match rng.gen_range(0..4u32) {
+        0 => Formula::and(children(rng)),
+        1 => Formula::or(children(rng)),
+        2 => Formula::not(rand_formula(rng, nvars, depth - 1)),
+        _ => {
+            let a = rand_formula(rng, nvars, depth - 1);
+            let b = rand_formula(rng, nvars, depth - 1);
+            a.implies(b)
+        }
+    }
 }
 
 fn assignments(n: u32) -> impl Iterator<Item = VarSet> {
@@ -45,28 +55,36 @@ fn assignments(n: u32) -> impl Iterator<Item = VarSet> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn formula_and_cnf_agree(f in arb_formula(6)) {
+#[test]
+fn formula_and_cnf_agree() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let f = rand_formula(&mut rng, 6, 4);
         let mut cnf = f.to_cnf();
         cnf.ensure_vars(6);
         for s in assignments(6) {
-            prop_assert_eq!(f.eval(&s), cnf.eval(&s), "at {:?}", s);
+            assert_eq!(f.eval(&s), cnf.eval(&s), "seed {seed} at {s:?}");
         }
     }
+}
 
-    #[test]
-    fn model_count_matches_brute_force(f in arb_formula(5)) {
+#[test]
+fn model_count_matches_brute_force() {
+    for seed in 100..164u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let f = rand_formula(&mut rng, 5, 4);
         let mut cnf = f.to_cnf();
         cnf.ensure_vars(5);
         let brute = assignments(5).filter(|s| cnf.eval(s)).count() as u128;
-        prop_assert_eq!(count_models(&cnf), brute);
+        assert_eq!(count_models(&cnf), brute, "seed {seed}");
     }
+}
 
-    #[test]
-    fn msa_returns_models_iff_satisfiable(f in arb_formula(6)) {
+#[test]
+fn msa_returns_models_iff_satisfiable() {
+    for seed in 200..264u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let f = rand_formula(&mut rng, 6, 4);
         let mut cnf = f.to_cnf();
         cnf.ensure_vars(6);
         let order = VarOrder::natural(6);
@@ -74,10 +92,10 @@ proptest! {
         for strategy in lbr::logic::MsaStrategy::ALL {
             match lbr::logic::msa(&cnf, &order, strategy) {
                 Some(model) => {
-                    prop_assert!(sat, "{strategy:?} found a model of an unsat formula");
-                    prop_assert!(cnf.eval(&model), "{strategy:?} returned a non-model");
+                    assert!(sat, "seed {seed}: {strategy:?} found a model of an unsat formula");
+                    assert!(cnf.eval(&model), "seed {seed}: {strategy:?} returned a non-model");
                 }
-                None => prop_assert!(!sat, "{strategy:?} missed a model"),
+                None => assert!(!sat, "seed {seed}: {strategy:?} missed a model"),
             }
         }
     }
@@ -87,39 +105,40 @@ proptest! {
 // VarSet algebra laws.
 // ----------------------------------------------------------------------
 
-fn arb_varset(universe: usize) -> impl Strategy<Value = VarSet> {
-    prop::collection::vec(0..universe as u32, 0..universe).prop_map(move |vars| {
-        VarSet::from_iter_with_universe(universe, vars.into_iter().map(Var::new))
-    })
+fn rand_varset(rng: &mut SplitMix64, universe: usize) -> VarSet {
+    let n = rng.gen_range(0..universe);
+    VarSet::from_iter_with_universe(
+        universe,
+        (0..n).map(|_| Var::new(rng.gen_range(0..universe as u32))),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn varset_algebra_laws(a in arb_varset(96), b in arb_varset(96), c in arb_varset(96)) {
+#[test]
+fn varset_algebra_laws() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let a = rand_varset(&mut rng, 96);
+        let b = rand_varset(&mut rng, 96);
+        let c = rand_varset(&mut rng, 96);
         // Commutativity and associativity of union/intersection.
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
         // Absorption and De Morgan-ish difference laws.
-        prop_assert_eq!(a.union(&a.intersection(&b)), a.clone());
-        prop_assert_eq!(a.difference(&b).intersection(&b), VarSet::empty(96));
-        prop_assert_eq!(
-            a.difference(&b).union(&a.intersection(&b)),
-            a.clone()
-        );
+        assert_eq!(a.union(&a.intersection(&b)), a.clone());
+        assert_eq!(a.difference(&b).intersection(&b), VarSet::empty(96));
+        assert_eq!(a.difference(&b).union(&a.intersection(&b)), a.clone());
         // Cardinality bookkeeping.
-        prop_assert_eq!(
+        assert_eq!(
             a.union(&b).len() + a.intersection(&b).len(),
             a.len() + b.len()
         );
         // Subset/disjoint coherence.
-        prop_assert!(a.intersection(&b).is_subset(&a));
-        prop_assert!(a.difference(&b).is_disjoint(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.difference(&b).is_disjoint(&b));
         // Ordered iteration round-trips.
         let back = VarSet::from_iter_with_universe(96, a.iter());
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a);
     }
 }
 
@@ -127,11 +146,11 @@ proptest! {
 // Full-stack properties over generated programs.
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn programs_roundtrip_through_the_binary_format(seed in 0u64..1000) {
+#[test]
+fn programs_roundtrip_through_the_binary_format() {
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::seed_from_u64(case);
+        let seed = rng.gen_range(0..1000u64);
         let program = generate(&WorkloadConfig {
             seed,
             plant: lbr::decompiler::BugKind::ALL.to_vec(),
@@ -139,11 +158,15 @@ proptest! {
         });
         let bytes = write_program(&program);
         let back = read_program(&bytes).expect("container decodes");
-        prop_assert_eq!(back, program);
+        assert_eq!(back, program, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bytecode_theorem_models_reduce_to_verifying_programs(seed in 0u64..1000) {
+#[test]
+fn bytecode_theorem_models_reduce_to_verifying_programs() {
+    for case in 100..112u64 {
+        let mut rng = SplitMix64::seed_from_u64(case);
+        let seed = rng.gen_range(0..1000u64);
         let program = generate(&WorkloadConfig {
             seed,
             classes: 10,
@@ -167,7 +190,7 @@ proptest! {
             {
                 let reduced = reduce_program(&program, &model.registry, &solution);
                 let errors = lbr::classfile::verify_program(&reduced);
-                prop_assert!(
+                assert!(
                     errors.is_empty(),
                     "seed {seed} probe {probe}: invalid reduction: {errors:?}"
                 );
