@@ -17,4 +17,24 @@ cargo test --workspace -q --offline
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== speculative probing determinism smoke =="
+# --probe-threads must be a pure wall-clock optimisation: a 2-thread run of
+# the small suite has to be bit-identical (calls, sizes, cache totals) to
+# the sequential one.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/eval --experiment fig8a --programs 1 --scale 0.5 \
+    --probe-threads 1 --json "$smoke_dir/seq.json" >/dev/null
+./target/release/eval --experiment fig8a --programs 1 --scale 0.5 \
+    --probe-threads 2 --json "$smoke_dir/par.json" >/dev/null
+./target/release/bench_compare --identical "$smoke_dir/seq.json" "$smoke_dir/par.json"
+
+# Optional wall-time gate against the committed baseline: BENCH_GATE=1 ./ci.sh
+if [ "${BENCH_GATE:-0}" = "1" ]; then
+    echo "== bench gate (<=10% wall regression vs BENCH_baseline.json) =="
+    ./target/release/eval --experiment fig8a --programs 2 --scale 0.6 \
+        --json "$smoke_dir/current.json" >/dev/null
+    ./target/release/bench_compare BENCH_baseline.json "$smoke_dir/current.json"
+fi
+
 echo "CI OK"

@@ -1,0 +1,392 @@
+//! Compares two `BENCH_results.json` files (as written by `eval --json`).
+//!
+//! ```text
+//! bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical]
+//! ```
+//!
+//! Default mode: per-strategy wall-time gate. For every strategy present
+//! in both files the current total `wall_secs` may exceed the baseline by
+//! at most `--threshold` percent (default 10); any worse regression makes
+//! the process exit non-zero, so the comparison can gate CI.
+//!
+//! `--identical` mode: ignores wall times entirely and instead asserts
+//! that the two files describe *the same computation* — identical
+//! per-run `predicate_calls`, `final_bytes`, `cache_hits` and
+//! `cache_misses` for every (benchmark, strategy) pair. This is the
+//! determinism smoke used by `ci.sh` to pin `--probe-threads N` runs to
+//! the sequential results.
+//!
+//! The parser below is a minimal recursive-descent JSON reader for the
+//! subset our own renderer emits (objects, arrays, strings, numbers,
+//! booleans); the harness stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+// ----------------------------------------------------------------------
+// Minimal JSON value + parser.
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            _ => &[],
+        }
+    }
+
+    fn str_field(&self, key: &str) -> String {
+        match self.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        }
+    }
+
+    fn num_field(&self, key: &str) -> f64 {
+        match self.get(key) {
+            Some(Json::Num(n)) => *n,
+            _ => f64::NAN,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        eprintln!("bench_compare: JSON parse error at byte {}: {what}", self.pos);
+        std::process::exit(2);
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self
+            .bytes
+            .get(self.pos)
+            .unwrap_or_else(|| self.fail("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) {
+        if self.peek() != b {
+            self.fail(&format!("expected '{}'", b as char));
+        }
+        self.pos += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Json {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            value
+        } else {
+            self.fail(&format!("expected '{text}'"))
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut map = BTreeMap::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(map);
+        }
+        loop {
+            let key = self.string();
+            self.expect(b':');
+            map.insert(key, self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(map);
+                }
+                _ => self.fail("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut out = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(out);
+        }
+        loop {
+            out.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(out);
+                }
+                _ => self.fail("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => self.fail("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return out;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => self.fail("unsupported escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Our renderer only escapes quotes and backslashes, so
+                    // any other byte is literal UTF-8 content.
+                    let start = self.pos;
+                    let len = utf8_len(b);
+                    self.pos += len;
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => self.fail("invalid UTF-8 in string"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(n) => Json::Num(n),
+            Err(_) => self.fail("expected a number"),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+fn parse_file(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut p = Parser::new(&text);
+    let v = p.value();
+    p.skip_ws();
+    v
+}
+
+// ----------------------------------------------------------------------
+// Comparison modes.
+// ----------------------------------------------------------------------
+
+/// Per-strategy wall-time gate: fail on > `threshold_pct` regressions.
+fn compare_wall(baseline: &Json, current: &Json, threshold_pct: f64) -> ExitCode {
+    let base: BTreeMap<String, f64> = baseline
+        .get("strategies")
+        .map(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|s| (s.str_field("strategy"), s.num_field("wall_secs")))
+        .collect();
+    let mut compared = 0usize;
+    let mut failed = false;
+    for s in current.get("strategies").map(Json::as_arr).unwrap_or(&[]) {
+        let name = s.str_field("strategy");
+        let Some(&base_wall) = base.get(&name) else {
+            println!("{name:<24} (not in baseline, skipped)");
+            continue;
+        };
+        compared += 1;
+        let cur_wall = s.num_field("wall_secs");
+        let delta_pct = if base_wall > 0.0 {
+            100.0 * (cur_wall - base_wall) / base_wall
+        } else {
+            0.0
+        };
+        let regressed = delta_pct > threshold_pct;
+        failed |= regressed;
+        println!(
+            "{name:<24} baseline {base_wall:>9.3}s  current {cur_wall:>9.3}s  {delta_pct:>+7.1}%  {}",
+            if regressed { "REGRESSION" } else { "ok" }
+        );
+    }
+    if compared == 0 {
+        eprintln!("bench_compare: no common strategies to compare");
+        return ExitCode::from(2);
+    }
+    if failed {
+        eprintln!("bench_compare: wall-time regression beyond {threshold_pct:.0}% threshold");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: within {threshold_pct:.0}% threshold");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Determinism smoke: the two files must describe the same computation
+/// (per-run calls, sizes and cache totals), wall times excepted.
+fn compare_identical(baseline: &Json, current: &Json) -> ExitCode {
+    const FIELDS: [&str; 4] = ["predicate_calls", "final_bytes", "cache_hits", "cache_misses"];
+    let key = |r: &Json| (r.str_field("benchmark"), r.str_field("strategy"));
+    let base: BTreeMap<_, Json> = baseline
+        .get("runs")
+        .map(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|r| (key(r), r.clone()))
+        .collect();
+    let runs = current.get("runs").map(Json::as_arr).unwrap_or(&[]);
+    let mut mismatches = 0usize;
+    let mut compared = 0usize;
+    for r in runs {
+        let k = key(r);
+        let Some(b) = base.get(&k) else {
+            eprintln!("{}/{}: missing from baseline", k.0, k.1);
+            mismatches += 1;
+            continue;
+        };
+        compared += 1;
+        for field in FIELDS {
+            let (bv, cv) = (b.num_field(field), r.num_field(field));
+            if bv != cv {
+                eprintln!("{}/{}: {field} differs: {bv} vs {cv}", k.0, k.1);
+                mismatches += 1;
+            }
+        }
+    }
+    if base.len() != runs.len() {
+        eprintln!(
+            "run counts differ: {} baseline vs {} current",
+            base.len(),
+            runs.len()
+        );
+        mismatches += 1;
+    }
+    if mismatches > 0 {
+        eprintln!("bench_compare: {mismatches} mismatches — runs are NOT identical");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: {compared} runs identical (calls, sizes, cache totals)");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut threshold_pct = 10.0f64;
+    let mut identical = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                threshold_pct = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--threshold takes a percentage");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--identical" => {
+                identical = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical]");
+                println!();
+                println!("  default      fail on per-strategy wall-time regression > PCT% (default 10)");
+                println!("  --identical  fail unless per-run calls, sizes and cache totals match");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                files.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let [baseline, current] = files.as_slice() else {
+        eprintln!("usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical]");
+        return ExitCode::from(2);
+    };
+    let baseline = parse_file(baseline);
+    let current = parse_file(current);
+    if identical {
+        compare_identical(&baseline, &current)
+    } else {
+        compare_wall(&baseline, &current, threshold_pct)
+    }
+}

@@ -4,12 +4,14 @@
 //! ```text
 //! eval [--experiment all|stats|fig8a|fig8b|lossy|ablate-msa|ablate-order|ddmin|csv]
 //!      [--programs N] [--scale F] [--seed N] [--cost SECS]
-//!      [--threads N] [--legacy] [--json [PATH]]
+//!      [--threads N] [--probe-threads N] [--legacy] [--json [PATH]]
 //! ```
 //!
 //! `--legacy` disables the incremental propagation engine and oracle
-//! memoization (the scan-BCP baseline); `--json` writes machine-readable
-//! results (default path `BENCH_results.json`).
+//! memoization (the scan-BCP baseline); `--probe-threads` enables
+//! speculative parallel probing inside each GBR search (bit-identical
+//! results at any setting); `--json` writes machine-readable results
+//! (default path `BENCH_results.json`).
 
 use lbr_bench::{
     compute_stats, headline_strategies, lossy_strategies, render_ablation, render_csv,
@@ -61,6 +63,16 @@ fn main() {
                 config.threads = value(i).parse().expect("--threads takes a number");
                 i += 2;
             }
+            "--probe-threads" => {
+                config.options.probe_threads =
+                    value(i).parse().expect("--probe-threads takes a number");
+                i += 2;
+            }
+            "--probe-latency" => {
+                let secs: f64 = value(i).parse().expect("--probe-latency takes seconds");
+                config.options.probe_latency_micros = (secs * 1e6) as u64;
+                i += 2;
+            }
             "--legacy" => {
                 config.options = RunOptions::legacy();
                 i += 1;
@@ -83,9 +95,15 @@ fn main() {
                     "usage: eval [--experiment all|stats|fig8a|fig8b|lossy|per-error|ablate-msa|ablate-order|ddmin|csv]"
                 );
                 println!("            [--programs N] [--scale F] [--seed N] [--cost SECS]");
-                println!("            [--threads N] [--legacy] [--json [PATH]]");
+                println!("            [--threads N] [--probe-threads N] [--legacy] [--json [PATH]]");
                 println!();
                 println!("  --threads N   worker threads for the run grid (0 = all cores)");
+                println!("  --probe-threads N  speculative probe threads inside each GBR search");
+                println!("                (and parallel per-error searches); results are");
+                println!("                bit-identical at every setting (default 1)");
+                println!("  --probe-latency SECS  emulate the tool-invocation latency of the");
+                println!("                paper's real probes by sleeping inside each tool run");
+                println!("                (for wall-clock speedup measurements; default 0)");
                 println!("  --legacy      scan-BCP baseline: no incremental engine, no memo");
                 println!("  --json [PATH] write machine-readable results (default BENCH_results.json)");
                 return;

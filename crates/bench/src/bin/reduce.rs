@@ -5,12 +5,17 @@
 //! reduce --input bench.lbrc --decompiler a|b|c|all
 //!        [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]
 //!        [--out reduced.lbrc] [--disasm] [--per-error] [--cost SECS]
+//!        [--probe-threads N]
 //! ```
+//!
+//! `--probe-threads N` runs N speculative probe threads inside the GBR
+//! search (and N concurrent searches in `--per-error` mode); the reduced
+//! output is bit-identical at every setting.
 
 use lbr_classfile::{disassemble_program, read_program, write_class_directory, write_program};
 use lbr_core::LossyPick;
 use lbr_decompiler::{BugSet, DecompilerOracle};
-use lbr_jreduce::{run_per_error, run_reduction, Strategy};
+use lbr_jreduce::{run_per_error_with, run_reduction_with, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 
 fn main() {
@@ -23,6 +28,7 @@ fn main() {
     let mut disasm = false;
     let mut per_error = false;
     let mut cost = 33.0f64;
+    let mut options = RunOptions::default();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -41,12 +47,16 @@ fn main() {
             "--decompiler" | "-d" => decompiler = value(),
             "--strategy" | "-s" => strategy = value(),
             "--cost" => cost = value().parse().expect("--cost takes seconds"),
+            "--probe-threads" => {
+                options.probe_threads = value().parse().expect("--probe-threads takes a number")
+            }
             "--disasm" => disasm = true,
             "--per-error" => per_error = true,
             "--help" | "-h" => {
                 println!("usage: reduce --input bench.lbrc [--decompiler a|b|c|all]");
                 println!("              [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]");
                 println!("              [--out reduced.lbrc] [--out-dir dir/] [--disasm] [--per-error] [--cost SECS]");
+                println!("              [--probe-threads N]");
                 return;
             }
             other => {
@@ -84,7 +94,7 @@ fn main() {
     );
 
     if per_error {
-        let report = run_per_error(&program, &oracle, cost)
+        let report = run_per_error_with(&program, &oracle, cost, &options)
             .unwrap_or_else(|e| panic!("per-error reduction failed: {e}"));
         println!("per-error witnesses ({} searches, {} tool runs):", report.errors.len(), report.total_calls);
         for (error, size) in &report.errors {
@@ -105,7 +115,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let report = run_reduction(&program, &oracle, strategy, cost)
+    let report = run_reduction_with(&program, &oracle, strategy, cost, &options)
         .unwrap_or_else(|e| panic!("reduction failed: {e}"));
     println!(
         "{}: {} → {} classes, {} → {} bytes ({:.1}%), {} tool runs, errors preserved: {}",

@@ -101,6 +101,14 @@ pub struct RunRecord {
     pub cache_hits: u64,
     /// Oracle probes that ran the tool under memoization.
     pub cache_misses: u64,
+    /// Logical probes consumed by the algorithm (equals `calls`; identical
+    /// at every `probe_threads` setting).
+    pub useful_calls: u64,
+    /// Speculative probes executed but never demanded (0 sequentially).
+    pub speculative_calls: u64,
+    /// Demanded probes that were not already finished when demanded — the
+    /// probes on the run's critical path.
+    pub critical_path_calls: u64,
 }
 
 impl RunRecord {
@@ -133,6 +141,9 @@ fn record_of(benchmark: &Benchmark, report: lbr_jreduce::ReductionReport) -> Run
         sound: report.errors_preserved && report.still_valid,
         cache_hits: report.cache_hits,
         cache_misses: report.cache_misses,
+        useful_calls: report.probe_stats.useful_calls,
+        speculative_calls: report.probe_stats.speculative_calls,
+        critical_path_calls: report.probe_stats.critical_path_calls,
     }
 }
 
@@ -177,8 +188,11 @@ pub fn run_grid(
             .map(|&(b, strategy)| Some(run_one(config, b, strategy)))
             .collect()
     } else {
-        let slots: Mutex<Vec<Option<Result<RunRecord, String>>>> =
-            Mutex::new(vec![None; jobs.len()]);
+        // One lock per job slot: a worker finishing a long run never
+        // contends with workers storing unrelated results, unlike a single
+        // mutex over the whole result vector.
+        let slots: Vec<Mutex<Option<Result<RunRecord, String>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -188,11 +202,14 @@ pub fn run_grid(
                         break;
                     };
                     let result = run_one(config, b, strategy);
-                    slots.lock().expect("result slots")[i] = Some(result);
+                    *slots[i].lock().expect("result slot") = Some(result);
                 });
             }
         });
-        slots.into_inner().expect("result slots")
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("result slot"))
+            .collect()
     };
 
     let mut out = Vec::new();
@@ -506,12 +523,12 @@ pub fn render_csv(records: &[RunRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "benchmark,strategy,initial_classes,initial_bytes,final_classes,final_bytes,calls,wall_secs,modeled_secs,items,clauses,graph_fraction,sound,cache_hits,cache_misses"
+        "benchmark,strategy,initial_classes,initial_bytes,final_classes,final_bytes,calls,wall_secs,modeled_secs,items,clauses,graph_fraction,sound,cache_hits,cache_misses,useful_calls,speculative_calls,critical_path_calls"
     );
     for r in records {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{:.3},{:.1},{},{},{:.4},{},{},{}",
+            "{},{},{},{},{},{},{},{:.3},{:.1},{},{},{:.4},{},{},{},{},{},{}",
             r.benchmark,
             r.strategy,
             r.initial_classes,
@@ -526,7 +543,10 @@ pub fn render_csv(records: &[RunRecord]) -> String {
             r.graph_fraction,
             r.sound,
             r.cache_hits,
-            r.cache_misses
+            r.cache_misses,
+            r.useful_calls,
+            r.speculative_calls,
+            r.critical_path_calls
         );
     }
     out
@@ -545,7 +565,7 @@ pub fn render_json(records: &[RunRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"benchmark\": \"{}\", \"strategy\": \"{}\", \"initial_bytes\": {}, \"final_bytes\": {}, \"initial_classes\": {}, \"final_classes\": {}, \"predicate_calls\": {}, \"wall_secs\": {:.6}, \"modeled_secs\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \"sound\": {}}}",
+            "    {{\"benchmark\": \"{}\", \"strategy\": \"{}\", \"initial_bytes\": {}, \"final_bytes\": {}, \"initial_classes\": {}, \"final_classes\": {}, \"predicate_calls\": {}, \"wall_secs\": {:.6}, \"modeled_secs\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \"useful_calls\": {}, \"speculative_calls\": {}, \"critical_path_calls\": {}, \"sound\": {}}}",
             esc(&r.benchmark),
             esc(&r.strategy),
             r.initial_bytes,
@@ -557,6 +577,9 @@ pub fn render_json(records: &[RunRecord]) -> String {
             r.modeled_secs,
             r.cache_hits,
             r.cache_misses,
+            r.useful_calls,
+            r.speculative_calls,
+            r.critical_path_calls,
             r.sound
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
@@ -574,6 +597,9 @@ pub fn render_json(records: &[RunRecord]) -> String {
         let calls: u64 = rs.iter().map(|r| r.calls).sum();
         let hits: u64 = rs.iter().map(|r| r.cache_hits).sum();
         let misses: u64 = rs.iter().map(|r| r.cache_misses).sum();
+        let useful: u64 = rs.iter().map(|r| r.useful_calls).sum();
+        let speculative: u64 = rs.iter().map(|r| r.speculative_calls).sum();
+        let critical: u64 = rs.iter().map(|r| r.critical_path_calls).sum();
         let hit_rate = if hits + misses > 0 {
             hits as f64 / (hits + misses) as f64
         } else {
@@ -582,7 +608,7 @@ pub fn render_json(records: &[RunRecord]) -> String {
         let bytes_pct = geometric_mean(rs.iter().map(|r| 100.0 * r.relative_bytes()));
         let _ = write!(
             out,
-            "    {{\"strategy\": \"{}\", \"runs\": {}, \"wall_secs\": {:.6}, \"predicate_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"geo_mean_bytes_pct\": {:.2}}}",
+            "    {{\"strategy\": \"{}\", \"runs\": {}, \"wall_secs\": {:.6}, \"predicate_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"useful_calls\": {}, \"speculative_calls\": {}, \"critical_path_calls\": {}, \"geo_mean_bytes_pct\": {:.2}}}",
             esc(s),
             rs.len(),
             wall,
@@ -590,6 +616,9 @@ pub fn render_json(records: &[RunRecord]) -> String {
             hits,
             misses,
             hit_rate,
+            useful,
+            speculative,
+            critical,
             bytes_pct
         );
         out.push_str(if i + 1 < strategies.len() { ",\n" } else { "\n" });
@@ -632,6 +661,15 @@ mod tests {
         let records = run_grid(&config, &benchmarks, &headline_strategies());
         assert!(!records.is_empty());
         assert!(records.iter().all(|r| r.sound), "all runs must be sound");
+        assert!(
+            records
+                .iter()
+                .all(|r| r.useful_calls == r.calls && r.speculative_calls == 0),
+            "sequential runs: useful == calls, no speculation"
+        );
+        let json = render_json(&records);
+        assert!(json.contains("\"speculative_calls\""));
+        assert!(render_csv(&records).contains("critical_path_calls"));
         let stats = compute_stats(&benchmarks);
         for text in [
             render_stats(&stats, &records),

@@ -13,8 +13,11 @@
 //! the current search space), and rebuild the progression over the smaller
 //! search space `D^∪_r` with the learned clause conjoined.
 
+use crate::concurrent::{ConcurrentPredicate, DemandKind, ProbeScheduler};
+use crate::trace::ReductionTrace;
 use crate::{Instance, Predicate};
 use lbr_logic::{engine, msa_scan, Clause, Cnf, Engine, Lit, MsaStrategy, Var, VarOrder, VarSet};
+use std::time::Instant;
 
 /// How GBR evaluates the dependency model while building progressions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -143,6 +146,45 @@ pub fn generalized_binary_reduction(
     predicate: &mut dyn Predicate,
     config: &GbrConfig,
 ) -> Result<GbrOutcome, GbrError> {
+    let mut driver = Budgeted {
+        inner: predicate,
+        calls: 0,
+        limit: config.max_predicate_calls,
+        best: None,
+    };
+    gbr_loop(instance, order, config, &mut driver)
+}
+
+/// How the GBR main loop obtains predicate verdicts.
+///
+/// The sequential [`Budgeted`] driver runs the predicate inline; the
+/// speculative driver demands results from a [`ProbeScheduler`] and uses
+/// the narrowing hooks to (re)target speculation. The *logical* probe
+/// sequence — which subsets are tested, in which order — is decided by
+/// [`gbr_loop`] alone and is identical for every driver; that is what
+/// makes the parallel mode bit-identical to the sequential one.
+trait ProbeDriver {
+    /// Runs one demanded probe; `None` once the anytime budget is spent.
+    fn test(&mut self, input: &VarSet) -> Option<bool>;
+    /// Takes the smallest failing input seen so far (the anytime answer).
+    fn take_best(&mut self) -> Option<VarSet>;
+    /// The binary search now targets `prefix_unions[lo..=hi]`, and the
+    /// loop's next [`test`](ProbeDriver::test) will demand index `next`.
+    /// A speculative driver leaves `next` to the demanding thread itself
+    /// (it pays the probe's latency either way) and spends every worker
+    /// on the probes *after* it.
+    fn retarget(&mut self, _prefix_unions: &[VarSet], _lo: usize, _hi: usize, _next: usize) {}
+    /// This iteration's search is over (learning and rebuilding follow).
+    fn search_done(&mut self) {}
+}
+
+/// The GBR main loop, generic over how probes are executed.
+fn gbr_loop<D: ProbeDriver>(
+    instance: &Instance,
+    order: &VarOrder,
+    config: &GbrConfig,
+    driver: &mut D,
+) -> Result<GbrOutcome, GbrError> {
     let universe = instance.vars.universe();
     let mut propagator = Propagator::new(config.propagation, instance, universe)?;
     let mut learned: Vec<VarSet> = Vec::new();
@@ -158,25 +200,30 @@ pub fn generalized_binary_reduction(
     let max_iterations = config
         .max_iterations
         .unwrap_or_else(|| 4 * instance.vars.len() + 16);
-    let mut budget = Budgeted {
-        inner: predicate,
-        calls: 0,
-        limit: config.max_predicate_calls,
-        best: None,
-    };
 
     for iteration in 0..=max_iterations {
         if iteration == max_iterations {
             return Err(GbrError::IterationLimit);
         }
+        // Prefix unions D^∪_r for r in 0..len, computed *before* the D₀
+        // probe so a speculative driver can dispatch binary-search probes
+        // while D₀ itself is still running (`prefix_unions[0]` == `D₀`).
+        let mut prefix_unions: Vec<VarSet> = Vec::with_capacity(progression.len());
+        let mut acc = VarSet::empty(universe);
+        for d in &progression {
+            acc.union_with(d);
+            prefix_unions.push(acc.clone());
+        }
+        driver.retarget(&prefix_unions, 0, progression.len() - 1, 0);
         // Anytime stop: the current search space is itself a valid failing
         // input (invariant), so a best-so-far answer always exists.
-        let Some(d0_fails) = budget.test(&progression[0]) else {
-            return Ok(anytime_outcome(budget, search_space, iteration, learned, progression_lengths));
+        let Some(d0_fails) = driver.test(&prefix_unions[0]) else {
+            return Ok(anytime_outcome(driver, search_space, iteration, learned, progression_lengths));
         };
         if d0_fails {
+            driver.search_done();
             return Ok(GbrOutcome {
-                solution: progression[0].clone(),
+                solution: prefix_unions[0].clone(),
                 iterations: iteration,
                 learned,
                 progression_lengths,
@@ -185,14 +232,8 @@ pub fn generalized_binary_reduction(
         }
         if progression.len() == 1 {
             // D^∪ = D₀ and P(D₀) failed: the invariant P(D^∪) is broken.
+            driver.search_done();
             return Err(GbrError::PredicateNotMonotone);
-        }
-        // Prefix unions D^∪_r for r in 0..len.
-        let mut prefix_unions: Vec<VarSet> = Vec::with_capacity(progression.len());
-        let mut acc = VarSet::empty(universe);
-        for d in &progression {
-            acc.union_with(d);
-            prefix_unions.push(acc.clone());
         }
         // Binary search for the minimal r with P(D^∪_r). Invariant
         // (INV-PRO) guarantees P holds at the full progression; lo is
@@ -202,8 +243,8 @@ pub fn generalized_binary_reduction(
         let mut hi_verified = false;
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
-            let Some(mid_fails) = budget.test(&prefix_unions[mid]) else {
-                return Ok(anytime_outcome(budget, search_space, iteration, learned, progression_lengths));
+            let Some(mid_fails) = driver.test(&prefix_unions[mid]) else {
+                return Ok(anytime_outcome(driver, search_space, iteration, learned, progression_lengths));
             };
             if mid_fails {
                 hi = mid;
@@ -211,16 +252,22 @@ pub fn generalized_binary_reduction(
             } else {
                 lo = mid;
             }
+            let next = if hi - lo > 1 { lo + (hi - lo) / 2 } else { hi };
+            driver.retarget(&prefix_unions, lo, hi, next);
         }
         if !hi_verified {
-            match budget.test(&prefix_unions[hi]) {
+            match driver.test(&prefix_unions[hi]) {
                 None => {
-                    return Ok(anytime_outcome(budget, search_space, iteration, learned, progression_lengths))
+                    return Ok(anytime_outcome(driver, search_space, iteration, learned, progression_lengths))
                 }
-                Some(false) => return Err(GbrError::PredicateNotMonotone),
+                Some(false) => {
+                    driver.search_done();
+                    return Err(GbrError::PredicateNotMonotone);
+                }
                 Some(true) => {}
             }
         }
+        driver.search_done();
         let r = hi;
         learned.push(progression[r].clone());
         search_space = prefix_unions[r].clone();
@@ -245,7 +292,7 @@ struct Budgeted<'p> {
     best: Option<VarSet>,
 }
 
-impl Budgeted<'_> {
+impl ProbeDriver for Budgeted<'_> {
     /// Runs the predicate; `None` once the budget is exhausted.
     fn test(&mut self, input: &VarSet) -> Option<bool> {
         if self.limit.is_some_and(|l| self.calls >= l) {
@@ -258,22 +305,283 @@ impl Budgeted<'_> {
         }
         Some(outcome)
     }
+
+    fn take_best(&mut self) -> Option<VarSet> {
+        self.best.take()
+    }
 }
 
-fn anytime_outcome(
-    budget: Budgeted<'_>,
+fn anytime_outcome<D: ProbeDriver>(
+    driver: &mut D,
     search_space: VarSet,
     iterations: usize,
     learned: Vec<VarSet>,
     progression_lengths: Vec<usize>,
 ) -> GbrOutcome {
     GbrOutcome {
-        solution: budget.best.unwrap_or(search_space),
+        solution: driver.take_best().unwrap_or(search_space),
         iterations,
         learned,
         progression_lengths,
         budget_exhausted: true,
     }
+}
+
+/// Tuning knobs for [`generalized_binary_reduction_speculative`].
+#[derive(Debug, Clone)]
+pub struct SpeculationConfig {
+    /// Total probe parallelism: the main (search) thread plus
+    /// `threads - 1` speculation workers. With `threads <= 1` the run
+    /// degenerates to sequential probing plus scheduler overhead — use
+    /// [`generalized_binary_reduction`] instead in that case.
+    pub threads: usize,
+    /// Maximum number of candidates enqueued per retarget of the
+    /// speculation frontier. `0` picks `threads`: one candidate per
+    /// worker. Deeper queues do not help — an entry beyond the worker
+    /// count is only claimed once a worker frees up, which is exactly
+    /// when the frontier is about to be retargeted past it, so it tends
+    /// to burn CPU on stale speculation instead.
+    pub width: usize,
+    /// Synthetic cost of one tool invocation for the modeled-time column
+    /// of the trace. Modeled time follows the paper's *sequential* cost
+    /// model — `useful_calls × cost` — so wasted speculative probes are
+    /// never charged and Figure 8 stays comparable across thread counts.
+    pub cost_per_call_secs: f64,
+}
+
+impl SpeculationConfig {
+    /// A default configuration probing with `threads`-way parallelism.
+    pub fn new(threads: usize) -> Self {
+        SpeculationConfig {
+            threads,
+            width: 0,
+            cost_per_call_secs: 0.0,
+        }
+    }
+
+    fn effective_width(&self) -> usize {
+        if self.width == 0 {
+            self.threads.max(1)
+        } else {
+            self.width
+        }
+    }
+}
+
+/// Probe accounting for a speculative run.
+///
+/// `useful_calls` is the *logical* probe count — deterministic and equal
+/// to the sequential [`generalized_binary_reduction`] call count, because
+/// the speculative driver demands exactly the sequential probe sequence.
+/// `speculative_calls` is wasted work (executed but never demanded) and
+/// `critical_path_calls` measures how often the search actually had to
+/// wait for a tool run; both depend on timing and thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Logical probes demanded by the search (equals sequential calls).
+    pub useful_calls: u64,
+    /// Probes executed speculatively whose result was never demanded.
+    pub speculative_calls: u64,
+    /// Demanded probes that were not already finished when demanded (the
+    /// search blocked on them: waited for a worker or ran the tool
+    /// itself). Ranges from `useful_calls` (no useful speculation) down
+    /// towards the number of main-loop iterations (perfect speculation).
+    pub critical_path_calls: u64,
+    /// Demanded probes answered from the concurrent memo without a fresh
+    /// tool run (repeat demands of a subset; deterministic).
+    pub memo_hits: u64,
+    /// Distinct subsets demanded (each ran the tool once; deterministic).
+    pub memo_misses: u64,
+}
+
+/// The result of a speculative GBR run: the (bit-identical) outcome plus
+/// parallel-probe accounting and the logical-order trace.
+#[derive(Debug, Clone)]
+pub struct SpeculativeRun {
+    /// The reduction outcome — identical to the sequential run's.
+    pub outcome: GbrOutcome,
+    /// Useful/speculative/critical-path probe accounting.
+    pub stats: ProbeStats,
+    /// The trace of *demanded* probes, recorded in logical (sequential)
+    /// order with modeled time `call × cost_per_call_secs`.
+    pub trace: ReductionTrace,
+}
+
+/// Runs GBR with speculative parallel probing.
+///
+/// During the binary search over progression prefixes the pending probe's
+/// successors — for *both* of its possible outcomes — are dispatched to a
+/// worker pool, so when the pending result lands the next one is usually
+/// already running (or done). Narrowing the search retargets the
+/// speculation frontier and cancels work that became irrelevant.
+///
+/// The final result is **bit-identical** to
+/// [`generalized_binary_reduction`] with the same (deterministic,
+/// memo-free) predicate: the driver demands exactly the sequential probe
+/// sequence, each answer comes from the same pure predicate, and the
+/// anytime `best` tracking only ever sees demanded probes. Only wall
+/// time, [`ProbeStats::speculative_calls`] and
+/// [`ProbeStats::critical_path_calls`] vary with the thread count.
+///
+/// # Errors
+///
+/// Exactly the cases of [`generalized_binary_reduction`]; see
+/// [`GbrError`].
+pub fn generalized_binary_reduction_speculative(
+    instance: &Instance,
+    order: &VarOrder,
+    predicate: &dyn ConcurrentPredicate,
+    config: &GbrConfig,
+    spec: &SpeculationConfig,
+) -> Result<SpeculativeRun, GbrError> {
+    // One worker per configured thread: the driving thread spends the
+    // latency-bound regime blocked in `demand`, so it does not count
+    // against the probe-parallelism budget (it only computes a probe
+    // itself when nobody has claimed it yet).
+    let workers = spec.threads.max(1);
+    let scheduler = ProbeScheduler::new(predicate, 4 * workers);
+    let loop_result = std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| scheduler.worker());
+        }
+        let mut driver = SpeculativeDriver {
+            scheduler: &scheduler,
+            calls: 0,
+            limit: config.max_predicate_calls,
+            best: None,
+            width: spec.effective_width(),
+            cost_per_call_secs: spec.cost_per_call_secs,
+            start: Instant::now(),
+            trace: ReductionTrace::new(),
+            distinct: 0,
+            critical: 0,
+        };
+        let outcome = gbr_loop(instance, order, config, &mut driver);
+        // Always shut down before the scope joins, also on error paths —
+        // otherwise the workers wait on the queue condvar forever.
+        scheduler.shutdown();
+        outcome.map(|o| (o, driver))
+    });
+    let (outcome, driver) = loop_result?;
+    // All workers have joined: the memo is quiescent and every claimed
+    // entry was executed exactly once, so entries − demanded is precisely
+    // the wasted speculation.
+    let scan = scheduler.scan();
+    let stats = ProbeStats {
+        useful_calls: driver.calls,
+        speculative_calls: scan.entries - scan.demanded,
+        critical_path_calls: driver.critical,
+        memo_hits: driver.calls - driver.distinct,
+        memo_misses: driver.distinct,
+    };
+    Ok(SpeculativeRun {
+        outcome,
+        stats,
+        trace: driver.trace,
+    })
+}
+
+/// The driver behind [`generalized_binary_reduction_speculative`]: same
+/// budget/best bookkeeping as [`Budgeted`], but probes are demanded from a
+/// shared [`ProbeScheduler`] and the narrowing hooks retarget speculation.
+struct SpeculativeDriver<'s, 'p> {
+    scheduler: &'s ProbeScheduler<'p>,
+    calls: u64,
+    limit: Option<u64>,
+    best: Option<VarSet>,
+    width: usize,
+    cost_per_call_secs: f64,
+    start: Instant,
+    trace: ReductionTrace,
+    /// Distinct subsets demanded (first demands).
+    distinct: u64,
+    /// Demands that blocked (waited for a worker or computed inline).
+    critical: u64,
+}
+
+impl ProbeDriver for SpeculativeDriver<'_, '_> {
+    fn test(&mut self, input: &VarSet) -> Option<bool> {
+        if self.limit.is_some_and(|l| self.calls >= l) {
+            return None;
+        }
+        self.calls += 1;
+        let demanded = self.scheduler.demand(input);
+        if demanded.first_demand {
+            self.distinct += 1;
+        }
+        if demanded.kind != DemandKind::Ready {
+            self.critical += 1;
+        }
+        let outcome = demanded.probe.outcome;
+        // `best` only ever sees demanded probes: speculative results must
+        // not influence the anytime answer, or it would depend on timing.
+        if outcome && self.best.as_ref().is_none_or(|b| input.len() < b.len()) {
+            self.best = Some(input.clone());
+        }
+        let wall = self.start.elapsed().as_secs_f64();
+        let modeled = self.calls as f64 * self.cost_per_call_secs;
+        self.trace
+            .record(self.calls, wall, modeled, demanded.probe.size, outcome);
+        Some(outcome)
+    }
+
+    fn take_best(&mut self) -> Option<VarSet> {
+        self.best.take()
+    }
+
+    fn retarget(&mut self, prefix_unions: &[VarSet], lo: usize, hi: usize, next: usize) {
+        // Skip `next`: this thread demands it immediately and computes it
+        // inline if nobody beat it to it, so a worker claiming it would
+        // only duplicate the wait — every worker goes one level deeper
+        // instead. (Before the `D₀` probe `next` is 0, which the frontier
+        // never contains, so the full frontier — including the first
+        // `mid` — is speculated during `D₀`.)
+        let frontier = speculation_frontier(lo, hi, self.width);
+        self.scheduler.speculate(
+            frontier
+                .into_iter()
+                .filter(|&i| i != next)
+                .map(|i| prefix_unions[i].clone())
+                .collect(),
+        );
+    }
+
+    fn search_done(&mut self) {
+        self.scheduler.speculate(Vec::new());
+    }
+}
+
+/// The BFS speculation frontier for the binary-search interval
+/// `(lo, hi)`: the probes the search may demand next, covering *both*
+/// outcomes of each pending probe, nearest-first. An interval wider than
+/// one probes `mid` next and splits into `(lo, mid)` / `(mid, hi)` for
+/// its two outcomes; an interval of width one has a single possible
+/// remaining probe, the `hi` verification. Index 0 (the `D₀` probe) is
+/// demanded directly by the main loop and never appears.
+fn speculation_frontier(lo: usize, hi: usize, width: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    let mut intervals = std::collections::VecDeque::from([(lo, hi)]);
+    while out.len() < width {
+        let Some((l, h)) = intervals.pop_front() else {
+            break;
+        };
+        if h <= l {
+            continue;
+        }
+        if h - l == 1 {
+            if !out.contains(&h) {
+                out.push(h);
+            }
+            continue;
+        }
+        let mid = l + (h - l) / 2;
+        if !out.contains(&mid) {
+            out.push(mid);
+        }
+        intervals.push_back((l, mid));
+        intervals.push_back((mid, h));
+    }
+    out
 }
 
 /// The progression-building state for one reduction run: either a
@@ -777,6 +1085,124 @@ mod tests {
             "too many predicate calls: {}",
             oracle.calls()
         );
+    }
+
+    #[test]
+    fn speculation_frontier_covers_probe_tree() {
+        // Interval (0, 8): next probe is 4; its children are 2 and 6, then
+        // 1, 3, 5, 7, then the width-1 verification probes.
+        assert_eq!(speculation_frontier(0, 8, 16), vec![4, 2, 6, 1, 3, 5, 7, 8]);
+        assert_eq!(speculation_frontier(0, 8, 3), vec![4, 2, 6]);
+        // Width-1 interval: only the hi-verification probe remains.
+        assert_eq!(speculation_frontier(3, 4, 8), vec![4]);
+        // Degenerate interval: nothing to probe.
+        assert!(speculation_frontier(2, 2, 8).is_empty());
+        // Index 0 never appears (the main loop demands D₀ itself).
+        for hi in 1..40 {
+            assert!(!speculation_frontier(0, hi, 64).contains(&0), "hi={hi}");
+        }
+    }
+
+    #[test]
+    fn speculative_matches_sequential_bit_for_bit() {
+        let inst = chain_instance(24);
+        let order = crate::closure_size_order(&inst.cnf);
+        let predicate = |s: &VarSet| s.contains(v(13)) && s.contains(v(4));
+        let mut seq_pred = predicate;
+        let seq = generalized_binary_reduction(
+            &inst,
+            &order,
+            &mut seq_pred,
+            &GbrConfig::default(),
+        )
+        .expect("sequential");
+        for threads in [2usize, 4, 8] {
+            let run = generalized_binary_reduction_speculative(
+                &inst,
+                &order,
+                &predicate,
+                &GbrConfig::default(),
+                &SpeculationConfig::new(threads),
+            )
+            .expect("speculative");
+            assert_eq!(run.outcome.solution, seq.solution, "threads={threads}");
+            assert_eq!(run.outcome.learned, seq.learned, "threads={threads}");
+            assert_eq!(run.outcome.iterations, seq.iterations, "threads={threads}");
+            assert_eq!(
+                run.outcome.progression_lengths, seq.progression_lengths,
+                "threads={threads}"
+            );
+            assert!(run.stats.critical_path_calls <= run.stats.useful_calls);
+            assert_eq!(
+                run.stats.memo_hits + run.stats.memo_misses,
+                run.stats.useful_calls
+            );
+            assert_eq!(run.trace.len() as u64, run.stats.useful_calls);
+        }
+    }
+
+    #[test]
+    fn speculative_useful_calls_match_oracle_calls() {
+        let inst = chain_instance(40);
+        let order = crate::closure_size_order(&inst.cnf);
+        let mut bug = |s: &VarSet| s.contains(v(25));
+        let mut oracle = Oracle::new(&mut bug, 0.0);
+        let seq =
+            generalized_binary_reduction(&inst, &order, &mut oracle, &GbrConfig::default())
+                .expect("sequential");
+        let run = generalized_binary_reduction_speculative(
+            &inst,
+            &order,
+            &|s: &VarSet| s.contains(v(25)),
+            &GbrConfig::default(),
+            &SpeculationConfig::new(4),
+        )
+        .expect("speculative");
+        assert_eq!(run.outcome.solution, seq.solution);
+        assert_eq!(run.stats.useful_calls, oracle.calls());
+    }
+
+    #[test]
+    fn speculative_anytime_budget_matches_sequential() {
+        let inst = chain_instance(32);
+        let order = crate::closure_size_order(&inst.cnf);
+        for limit in [1u64, 2, 3, 5, 10_000] {
+            let config = GbrConfig {
+                max_predicate_calls: Some(limit),
+                ..GbrConfig::default()
+            };
+            let mut bug = |s: &VarSet| s.contains(v(20));
+            let seq = generalized_binary_reduction(&inst, &order, &mut bug, &config)
+                .expect("sequential anytime");
+            let run = generalized_binary_reduction_speculative(
+                &inst,
+                &order,
+                &|s: &VarSet| s.contains(v(20)),
+                &config,
+                &SpeculationConfig::new(4),
+            )
+            .expect("speculative anytime");
+            assert_eq!(run.outcome.solution, seq.solution, "limit={limit}");
+            assert_eq!(
+                run.outcome.budget_exhausted, seq.budget_exhausted,
+                "limit={limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn speculative_propagates_errors() {
+        let inst = Instance::over_all_vars(Cnf::new(4));
+        let order = VarOrder::natural(4);
+        let err = generalized_binary_reduction_speculative(
+            &inst,
+            &order,
+            &|_: &VarSet| false,
+            &GbrConfig::default(),
+            &SpeculationConfig::new(4),
+        )
+        .unwrap_err();
+        assert_eq!(err, GbrError::PredicateNotMonotone);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! * [`generalized_binary_reduction`] — **GBR** (Algorithm 1), which
 //!   interleaves black-box predicate runs with approximate minimal
 //!   satisfying assignments and only ever tests *valid* sub-inputs,
+//! * [`generalized_binary_reduction_speculative`] — the same search with
+//!   a speculative parallel probe pool ([`ProbeScheduler`] over a
+//!   [`ConcurrentPredicate`]): bit-identical results, shorter wall time,
+//!   and separate useful/speculative/critical-path accounting
+//!   ([`ProbeStats`]),
 //! * [`binary_reduction`] — the graph-closure Binary Reduction of J-Reduce
 //!   (ESEC/FSE 2019), the paper's main baseline,
 //! * [`ddmin`] — Zeller & Hildebrandt's algorithm with validity-aware
@@ -43,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 mod binary;
+mod concurrent;
 mod ddmin;
 mod gbr;
 mod graph;
@@ -54,10 +60,15 @@ mod problem;
 mod trace;
 
 pub use binary::{binary_reduction, BinaryReductionError, BinaryReductionOutcome};
+pub use concurrent::{
+    ClaimResult, ConcurrentPredicate, DemandKind, Demanded, MemoScan, Probe, ProbeScheduler,
+    ShardedMemo,
+};
 pub use ddmin::{ddmin, DdminStats, TestOutcome};
 pub use gbr::{
-    build_progression, generalized_binary_reduction, GbrConfig, GbrError, GbrOutcome,
-    PropagationMode,
+    build_progression, generalized_binary_reduction, generalized_binary_reduction_speculative,
+    GbrConfig, GbrError, GbrOutcome, ProbeStats, PropagationMode, SpeculationConfig,
+    SpeculativeRun,
 };
 pub use graph::{Closure, DepGraph};
 pub use hitting::{reduction_is_faithful, HittingSet};

@@ -97,9 +97,23 @@ pub struct Oracle<'p> {
     cost_per_call_secs: f64,
     trace: ReductionTrace,
     size_of: Option<SizeMetric<'p>>,
-    memo: Option<HashMap<VarSet, (bool, u64)>>,
+    /// Memoized probes, bucketed by [`VarSet::fingerprint`]. Keying the
+    /// map by the 64-bit fingerprint instead of the `VarSet` itself keeps
+    /// the hot hit path to one multiply-xor pass over the words (vs
+    /// `SipHash` over the full word vector) and zero clones; the rare
+    /// fingerprint collisions are resolved by full equality inside the
+    /// bucket, so behavior is identical to a `HashMap<VarSet, _>`.
+    memo: Option<HashMap<u64, Vec<MemoEntry>>>,
     cache_hits: u64,
     cache_misses: u64,
+}
+
+/// One memoized probe: the exact key (for collision resolution), its
+/// outcome and its measured size.
+struct MemoEntry {
+    key: VarSet,
+    outcome: bool,
+    size: u64,
 }
 
 impl<'p> Oracle<'p> {
@@ -171,19 +185,26 @@ impl<'p> Oracle<'p> {
 impl Predicate for Oracle<'_> {
     fn test(&mut self, input: &VarSet) -> bool {
         let (outcome, size) = match &mut self.memo {
-            Some(memo) => match memo.get(input) {
-                Some(&cached) => {
-                    self.cache_hits += 1;
-                    cached
+            Some(memo) => {
+                let bucket = memo.entry(input.fingerprint()).or_default();
+                match bucket.iter().find(|e| e.key == *input) {
+                    Some(e) => {
+                        self.cache_hits += 1;
+                        (e.outcome, e.size)
+                    }
+                    None => {
+                        self.cache_misses += 1;
+                        let outcome = self.inner.test(input);
+                        let size = Self::measure(&self.size_of, input);
+                        bucket.push(MemoEntry {
+                            key: input.clone(),
+                            outcome,
+                            size,
+                        });
+                        (outcome, size)
+                    }
                 }
-                None => {
-                    self.cache_misses += 1;
-                    let outcome = self.inner.test(input);
-                    let size = Self::measure(&self.size_of, input);
-                    memo.insert(input.clone(), (outcome, size));
-                    (outcome, size)
-                }
-            },
+            }
             None => {
                 let outcome = self.inner.test(input);
                 (outcome, Self::measure(&self.size_of, input))

@@ -1,0 +1,169 @@
+//! Differential tests for speculative parallel probing: GBR with a
+//! [`ProbeScheduler`] worker pool (`generalized_binary_reduction_speculative`)
+//! must be **bit-identical** to the sequential run at every thread count —
+//! same solution, same iteration count, same learned sets, same progression
+//! lengths, same number of *useful* predicate calls. Only wall time and the
+//! speculation accounting may vary.
+
+use lbr_core::{
+    closure_size_order, generalized_binary_reduction,
+    generalized_binary_reduction_speculative, GbrConfig, GbrError, Instance, Oracle,
+    SpeculationConfig,
+};
+use lbr_logic::{Clause, Cnf, Var, VarSet};
+use lbr_prng::SplitMix64;
+
+/// A random mixed model (same clause mix as the propagation differential
+/// suite): mostly edges, some implications, a few positive disjunctions.
+fn random_model(rng: &mut SplitMix64, n: usize) -> Cnf {
+    let mut cnf = Cnf::new(n);
+    let v = |i: usize| Var::new(i as u32);
+    for _ in 0..2 * n {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            cnf.add_clause(Clause::edge(v(a.max(b)), v(a.min(b))));
+        }
+    }
+    for _ in 0..n / 4 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        cnf.add_clause(Clause::implication([v(a), v(b)], [v(c), v(d)]));
+    }
+    for _ in 0..n / 8 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        cnf.add_clause(Clause::implication([], [v(a), v(b)]));
+    }
+    cnf
+}
+
+#[test]
+fn speculative_gbr_is_bit_identical_on_random_models() {
+    let mut checked = 0;
+    for seed in 0..25u64 {
+        let mut rng = SplitMix64::seed_from_u64(9100 + seed);
+        let n = rng.gen_range(8..40usize);
+        let cnf = random_model(&mut rng, n);
+        if !cnf.eval(&VarSet::full(n)) {
+            continue;
+        }
+        let needed: Vec<Var> = (0..rng.gen_range(1..=3))
+            .map(|_| Var::new(rng.gen_range(0..n as u32)))
+            .collect();
+        let order = closure_size_order(&cnf);
+        let instance = Instance::over_all_vars(cnf);
+        let config = GbrConfig::default();
+
+        let mut bug = |s: &VarSet| needed.iter().all(|v| s.contains(*v));
+        let mut oracle = Oracle::new(&mut bug, 0.0);
+        let sequential = generalized_binary_reduction(&instance, &order, &mut oracle, &config)
+            .expect("sequential run succeeds");
+        let sequential_calls = oracle.calls();
+
+        for threads in [2usize, 4, 8] {
+            let probe = |s: &VarSet| needed.iter().all(|v| s.contains(*v));
+            let run = generalized_binary_reduction_speculative(
+                &instance,
+                &order,
+                &probe,
+                &config,
+                &SpeculationConfig::new(threads),
+            )
+            .expect("speculative run succeeds");
+            assert_eq!(
+                run.outcome.solution, sequential.solution,
+                "seed {seed} threads {threads}: solutions diverge"
+            );
+            assert_eq!(run.outcome.iterations, sequential.iterations, "seed {seed}");
+            assert_eq!(run.outcome.learned, sequential.learned, "seed {seed}");
+            assert_eq!(
+                run.outcome.progression_lengths, sequential.progression_lengths,
+                "seed {seed}"
+            );
+            assert_eq!(
+                run.stats.useful_calls, sequential_calls,
+                "seed {seed} threads {threads}: useful calls must match the sequential count"
+            );
+            assert_eq!(
+                run.trace.len() as u64,
+                run.stats.useful_calls,
+                "trace records exactly the demanded probes"
+            );
+            assert!(run.stats.critical_path_calls <= run.stats.useful_calls);
+            assert_eq!(
+                run.stats.memo_hits + run.stats.memo_misses,
+                run.stats.useful_calls
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 30, "too few non-degenerate draws: {checked}");
+}
+
+#[test]
+fn speculative_budget_cutoffs_match_sequential_best() {
+    // The anytime path: at any predicate-call budget the speculative run
+    // must return exactly the sequential best-so-far answer, because
+    // `best` is only ever updated from demanded probes.
+    let n = 30usize;
+    let mut cnf = Cnf::new(n);
+    for i in 0..n - 1 {
+        cnf.add_clause(Clause::edge(Var::new(i as u32), Var::new(i as u32 + 1)));
+    }
+    let order = closure_size_order(&cnf);
+    let instance = Instance::over_all_vars(cnf);
+    let needed = [Var::new(4), Var::new(21)];
+    for limit in [1u64, 2, 3, 5, 8, 1000] {
+        let config = GbrConfig {
+            max_predicate_calls: Some(limit),
+            ..GbrConfig::default()
+        };
+        let mut bug = |s: &VarSet| needed.iter().all(|v| s.contains(*v));
+        let sequential =
+            generalized_binary_reduction(&instance, &order, &mut bug, &config).expect("runs");
+        for threads in [2usize, 4] {
+            let probe = |s: &VarSet| needed.iter().all(|v| s.contains(*v));
+            let run = generalized_binary_reduction_speculative(
+                &instance,
+                &order,
+                &probe,
+                &config,
+                &SpeculationConfig::new(threads),
+            )
+            .expect("runs");
+            assert_eq!(run.outcome.solution, sequential.solution, "limit {limit}");
+            assert_eq!(
+                run.outcome.budget_exhausted, sequential.budget_exhausted,
+                "limit {limit}"
+            );
+        }
+    }
+}
+
+#[test]
+fn speculative_errors_match_sequential() {
+    // A non-monotone predicate must fail identically in both modes.
+    let n = 12usize;
+    let mut cnf = Cnf::new(n);
+    for i in 0..n - 1 {
+        cnf.add_clause(Clause::edge(Var::new(i as u32), Var::new(i as u32 + 1)));
+    }
+    let order = closure_size_order(&cnf);
+    let instance = Instance::over_all_vars(cnf);
+    let mut never = |_: &VarSet| false;
+    let config = GbrConfig::default();
+    let sequential = generalized_binary_reduction(&instance, &order, &mut never, &config);
+    assert_eq!(sequential.unwrap_err(), GbrError::PredicateNotMonotone);
+    let probe = |_: &VarSet| false;
+    let speculative = generalized_binary_reduction_speculative(
+        &instance,
+        &order,
+        &probe,
+        &config,
+        &SpeculationConfig::new(4),
+    );
+    assert_eq!(speculative.unwrap_err(), GbrError::PredicateNotMonotone);
+}

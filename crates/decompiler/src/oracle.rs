@@ -20,11 +20,27 @@ use std::collections::BTreeSet;
 
 /// A decompile-and-recompile oracle for one (buggy) decompiler and one
 /// original input program.
+///
+/// The oracle is *pure per probe*: every method takes `&self`, each probe
+/// decompiles and recompiles its own candidate program, and nothing is
+/// mutated — there is no interior mutability anywhere below
+/// (`decompile_program` and `error_messages` are pure functions of their
+/// inputs). That makes one oracle instance safely shareable across the
+/// speculative probe workers of `lbr-core`'s `ProbeScheduler`, and the
+/// `Clone` impl cheap enough to hand each per-error search its own copy.
+/// The static assertion below pins the `Send + Sync` guarantee at compile
+/// time.
 #[derive(Debug, Clone)]
 pub struct DecompilerOracle {
     bugs: BugSet,
     baseline: BTreeSet<String>,
 }
+
+/// Compile-time proof that the oracle can be shared across probe threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync + Clone>() {}
+    assert_send_sync::<DecompilerOracle>();
+};
 
 impl DecompilerOracle {
     /// Builds the oracle, running the tool once on the original input to

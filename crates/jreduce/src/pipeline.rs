@@ -16,15 +16,17 @@ use crate::classgraph::ClassGraph;
 use crate::model::{build_model, LogicalModel, ModelError, ModelStats};
 use crate::reducer::reduce_program;
 use lbr_classfile::{program_byte_size, Program};
+use crate::item::ItemRegistry;
 use lbr_core::{
     binary_reduction, closure_size_order, ddmin, generalized_binary_reduction,
-    lossy_graph, BinaryReductionError, DepGraph, GbrConfig, GbrError, Instance, LossyPick, Oracle,
-    PropagationMode, ReductionTrace, TestOutcome,
+    generalized_binary_reduction_speculative, lossy_graph, BinaryReductionError,
+    ConcurrentPredicate, DepGraph, GbrConfig, GbrError, Instance, LossyPick, Oracle, Probe,
+    ProbeStats, PropagationMode, ReductionTrace, ShardedMemo, SpeculationConfig, TestOutcome,
 };
 use lbr_decompiler::DecompilerOracle;
 use lbr_logic::{MsaStrategy, VarSet};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
 /// A reduction strategy.
@@ -73,6 +75,28 @@ pub struct RunOptions {
     /// Whether the oracle memoizes probe outcomes by candidate subset, so
     /// repeated probes never re-run the tool.
     pub memoize: bool,
+    /// Intra-run probe parallelism. `1` (the default) probes sequentially.
+    /// With `n > 1`, GBR-based strategies ([`Strategy::Logical`] and
+    /// [`Strategy::LogicalNaturalOrder`]) speculate on the binary search's
+    /// pending probe with `n`-way parallel tool runs, and the per-error
+    /// sweep runs up to `n` error searches concurrently — both with
+    /// bit-identical results and identical logical call counts. The other
+    /// strategies ignore the knob (Binary Reduction's closure sweep and
+    /// ddmin consume each probe result before choosing the next candidate,
+    /// so there is no pending-probe tree to speculate on).
+    pub probe_threads: usize,
+    /// Emulated latency of one tool invocation, in microseconds (default
+    /// `0`: no emulation). The paper's probes are ≈33 s subprocess
+    /// invocations (decompile + recompile) whose cost is dominated by
+    /// process launch and I/O, not CPU — the regime speculative probing
+    /// targets. The in-process model probes of this reproduction finish in
+    /// microseconds of pure CPU instead, so on a single core speculation
+    /// can only add overhead. A nonzero latency sleeps that long inside
+    /// every probe that actually runs the tool (memoized repeats stay
+    /// free), restoring the latency-bound regime for wall-clock
+    /// measurements. Results, call counts, traces and modeled times are
+    /// unaffected.
+    pub probe_latency_micros: u64,
 }
 
 impl Default for RunOptions {
@@ -80,6 +104,8 @@ impl Default for RunOptions {
         RunOptions {
             propagation: PropagationMode::default(),
             memoize: true,
+            probe_threads: 1,
+            probe_latency_micros: 0,
         }
     }
 }
@@ -91,6 +117,8 @@ impl RunOptions {
         RunOptions {
             propagation: PropagationMode::LegacyScan,
             memoize: false,
+            probe_threads: 1,
+            probe_latency_micros: 0,
         }
     }
 }
@@ -130,6 +158,12 @@ pub struct ReductionReport {
     pub cache_hits: u64,
     /// Probes that actually ran the tool while memoization was on.
     pub cache_misses: u64,
+    /// Probe accounting under speculation: `useful_calls` always equals
+    /// [`predicate_calls`](Self::predicate_calls); `speculative_calls` and
+    /// `critical_path_calls` are zero / equal to the fresh-tool-run count
+    /// for sequential runs and reflect wasted vs blocking probes when
+    /// `probe_threads > 1`.
+    pub probe_stats: ProbeStats,
     /// Wall-clock seconds of the whole run.
     pub wall_secs: f64,
     /// Modeled tool time (`calls × cost_per_call`).
@@ -271,7 +305,7 @@ pub fn run_reduction_with(
         }
         Strategy::JReduce => run_jreduce(program, oracle, cost_per_call_secs, options)?,
         Strategy::Lossy(pick) => run_lossy(program, oracle, pick, cost_per_call_secs, options)?,
-        Strategy::DdminItems => run_ddmin(program, oracle, cost_per_call_secs)?,
+        Strategy::DdminItems => run_ddmin(program, oracle, cost_per_call_secs, options)?,
     };
     let RunParts {
         reduced,
@@ -280,6 +314,7 @@ pub fn run_reduction_with(
         model_stats,
         cache_hits,
         cache_misses,
+        probe_stats,
     } = parts;
     let errors_preserved = oracle.preserves_failure(&reduced);
     let still_valid = lbr_classfile::verify_program(&reduced).is_empty();
@@ -290,6 +325,7 @@ pub fn run_reduction_with(
         predicate_calls: calls,
         cache_hits,
         cache_misses,
+        probe_stats,
         wall_secs: start.elapsed().as_secs_f64(),
         modeled_secs: calls as f64 * cost_per_call_secs,
         trace,
@@ -307,6 +343,55 @@ struct RunParts {
     model_stats: Option<ModelStats>,
     cache_hits: u64,
     cache_misses: u64,
+    probe_stats: ProbeStats,
+}
+
+/// Probe accounting for a run without speculation: every probe is useful,
+/// nothing is speculative, and the critical path is every probe that had
+/// to run the tool (all of them without a memo, the misses with one).
+fn sequential_probe_stats(calls: u64, cache_hits: u64, cache_misses: u64) -> ProbeStats {
+    ProbeStats {
+        useful_calls: calls,
+        speculative_calls: 0,
+        critical_path_calls: if cache_hits + cache_misses == calls {
+            cache_misses
+        } else {
+            calls
+        },
+        memo_hits: cache_hits,
+        memo_misses: cache_misses,
+    }
+}
+
+/// Sleeps for the emulated tool-invocation latency (no-op at 0). Called
+/// exactly where the wrapped tool actually runs, so memoized probes are
+/// never charged.
+fn emulate_tool_latency(micros: u64) {
+    if micros > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(micros));
+    }
+}
+
+/// The thread-safe probe path for speculative GBR: builds the candidate
+/// program, tests it against the oracle and measures its bytes, all from
+/// borrowed shared state — pure per probe, so many workers can probe one
+/// instance concurrently.
+struct CandidateProbe<'a> {
+    program: &'a Program,
+    registry: &'a ItemRegistry,
+    oracle: &'a DecompilerOracle,
+    latency_micros: u64,
+}
+
+impl ConcurrentPredicate for CandidateProbe<'_> {
+    fn probe(&self, keep: &VarSet) -> Probe {
+        let candidate = reduce_program(self.program, self.registry, keep);
+        emulate_tool_latency(self.latency_micros);
+        Probe {
+            outcome: self.oracle.preserves_failure(&candidate),
+            size: program_byte_size(&candidate) as u64,
+        }
+    }
 }
 
 /// Which variable order GBR uses.
@@ -348,18 +433,48 @@ fn run_logical(
     };
     let instance = Instance::over_all_vars(model.cnf.clone());
     let registry = &model.registry;
-    let last_bytes = Cell::new(0u64);
-    let mut predicate = |keep: &VarSet| {
-        let candidate = reduce_program(program, registry, keep);
-        last_bytes.set(program_byte_size(&candidate) as u64);
-        oracle.preserves_failure(&candidate)
-    };
-    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
     let config = GbrConfig {
         msa_strategy: msa,
         propagation: options.propagation,
         ..GbrConfig::default()
     };
+    if options.probe_threads > 1 {
+        // Speculative parallel probing: the scheduler's concurrent memo
+        // subsumes the oracle memo (distinct demanded subsets run the tool
+        // once either way), so the same deterministic hit/miss counts come
+        // back in the stats.
+        let probe = CandidateProbe {
+            program,
+            registry,
+            oracle,
+            latency_micros: options.probe_latency_micros,
+        };
+        let spec = SpeculationConfig {
+            threads: options.probe_threads,
+            width: 0,
+            cost_per_call_secs: cost,
+        };
+        let run =
+            generalized_binary_reduction_speculative(&instance, &order, &probe, &config, &spec)?;
+        let reduced = reduce_program(program, registry, &run.outcome.solution);
+        return Ok(RunParts {
+            reduced,
+            calls: run.stats.useful_calls,
+            trace: run.trace,
+            model_stats: Some(stats),
+            cache_hits: run.stats.memo_hits,
+            cache_misses: run.stats.memo_misses,
+            probe_stats: run.stats,
+        });
+    }
+    let last_bytes = Cell::new(0u64);
+    let mut predicate = |keep: &VarSet| {
+        let candidate = reduce_program(program, registry, keep);
+        last_bytes.set(program_byte_size(&candidate) as u64);
+        emulate_tool_latency(options.probe_latency_micros);
+        oracle.preserves_failure(&candidate)
+    };
+    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
     let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;
     let calls = wrapped.calls();
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
@@ -372,6 +487,7 @@ fn run_logical(
         model_stats: Some(stats),
         cache_hits,
         cache_misses,
+        probe_stats: sequential_probe_stats(calls, cache_hits, cache_misses),
     })
 }
 
@@ -390,6 +506,7 @@ fn run_logical_minimized(
     let mut predicate = |keep: &VarSet| {
         let candidate = reduce_program(program, registry, keep);
         last_bytes.set(program_byte_size(&candidate) as u64);
+        emulate_tool_latency(options.probe_latency_micros);
         oracle.preserves_failure(&candidate)
     };
     let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
@@ -411,6 +528,7 @@ fn run_logical_minimized(
         model_stats: Some(stats),
         cache_hits,
         cache_misses,
+        probe_stats: sequential_probe_stats(calls, cache_hits, cache_misses),
     })
 }
 
@@ -425,6 +543,7 @@ fn run_jreduce(
     let mut predicate = |keep: &VarSet| {
         let candidate = cg.subset_program(program, keep);
         last_bytes.set(program_byte_size(&candidate) as u64);
+        emulate_tool_latency(options.probe_latency_micros);
         oracle.preserves_failure(&candidate)
     };
     let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
@@ -440,6 +559,7 @@ fn run_jreduce(
         model_stats: None,
         cache_hits,
         cache_misses,
+        probe_stats: sequential_probe_stats(calls, cache_hits, cache_misses),
     })
 }
 
@@ -465,6 +585,7 @@ fn run_lossy(
     let mut predicate = |keep: &VarSet| {
         let candidate = reduce_program(program, registry, keep);
         last_bytes.set(program_byte_size(&candidate) as u64);
+        emulate_tool_latency(options.probe_latency_micros);
         oracle.preserves_failure(&candidate)
     };
     let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
@@ -480,6 +601,7 @@ fn run_lossy(
         model_stats: Some(stats),
         cache_hits,
         cache_misses,
+        probe_stats: sequential_probe_stats(calls, cache_hits, cache_misses),
     })
 }
 
@@ -487,6 +609,7 @@ fn run_ddmin(
     program: &Program,
     oracle: &DecompilerOracle,
     cost: f64,
+    options: &RunOptions,
 ) -> Result<RunParts, PipelineError> {
     let model = build_model(program)?;
     let stats = model.stats();
@@ -505,6 +628,7 @@ fn run_ddmin(
         }
         calls += 1;
         let candidate = reduce_program(program, registry, keep);
+        emulate_tool_latency(options.probe_latency_micros);
         let ok = oracle.preserves_failure(&candidate);
         trace.record(
             calls,
@@ -527,6 +651,7 @@ fn run_ddmin(
         model_stats: Some(stats),
         cache_hits: 0,
         cache_misses: 0,
+        probe_stats: sequential_probe_stats(calls, 0, 0),
     })
 }
 
@@ -586,6 +711,13 @@ pub fn run_per_error(
 
 /// Like [`run_per_error`], with explicit performance [`RunOptions`].
 ///
+/// With `probe_threads > 1` the individual searches — which are
+/// embarrassingly parallel — run concurrently on scoped worker threads,
+/// sharing one concurrent probe cache. Output is deterministic: rows,
+/// traces, call counts, and cache totals are identical to the sequential
+/// sweep (the cache computes each distinct subset exactly once under any
+/// interleaving), and rows stay in baseline error order.
+///
 /// # Errors
 ///
 /// See [`PipelineError`].
@@ -602,6 +734,17 @@ pub fn run_per_error_with(
     let order = closure_size_order(&model.cnf);
     let instance = Instance::over_all_vars(model.cnf.clone());
     let registry = &model.registry;
+    if options.probe_threads > 1 {
+        return run_per_error_parallel(
+            program,
+            oracle,
+            cost_per_call_secs,
+            options,
+            &order,
+            &instance,
+            registry,
+        );
+    }
     // Shared across searches: keep-set → (error messages, candidate bytes).
     type ErrorCache = HashMap<VarSet, (std::collections::BTreeSet<String>, u64)>;
     let cache: RefCell<ErrorCache> = RefCell::new(HashMap::new());
@@ -615,6 +758,7 @@ pub fn run_per_error_with(
             }
         }
         let candidate = reduce_program(program, registry, keep);
+        emulate_tool_latency(options.probe_latency_micros);
         let errors = oracle.errors(&candidate);
         let bytes = program_byte_size(&candidate) as u64;
         if options.memoize {
@@ -657,6 +801,96 @@ pub fn run_per_error_with(
         total_calls,
         cache_hits: hits.get(),
         cache_misses: misses.get(),
+    })
+}
+
+/// The parallel half of [`run_per_error_with`]: each baseline error's GBR
+/// search is independent, so workers claim error indices atomically and
+/// write results into per-error slots; the report is assembled in baseline
+/// order afterwards, making the output identical to the sequential sweep.
+#[allow(clippy::too_many_arguments)]
+fn run_per_error_parallel(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    cost_per_call_secs: f64,
+    options: &RunOptions,
+    order: &lbr_logic::VarOrder,
+    instance: &Instance,
+    registry: &ItemRegistry,
+) -> Result<PerErrorReport, PipelineError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let errors: Vec<String> = oracle.baseline().iter().cloned().collect();
+    // Shared across all searches: keep-set → (error messages, bytes). The
+    // run-once claim discipline makes the hit/miss totals deterministic
+    // (misses = distinct subsets probed) and equal to the sequential
+    // sweep's, where later searches hit what earlier ones cached.
+    let shared: Option<ShardedMemo<(BTreeSet<String>, u64)>> = options
+        .memoize
+        .then(|| ShardedMemo::new(4 * options.probe_threads));
+    type Slot = Result<((String, SizeMetrics), ReductionTrace, u64), PipelineError>;
+    let slots: Vec<Mutex<Option<Slot>>> = errors.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = options.probe_threads.min(errors.len()).max(1);
+    let config = GbrConfig {
+        propagation: options.propagation,
+        ..GbrConfig::default()
+    };
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(error) = errors.get(i) else {
+                    break;
+                };
+                let run_probe = |keep: &VarSet| {
+                    let candidate = reduce_program(program, registry, keep);
+                    emulate_tool_latency(options.probe_latency_micros);
+                    (oracle.errors(&candidate), program_byte_size(&candidate) as u64)
+                };
+                let last_bytes = Cell::new(0u64);
+                let mut predicate = |keep: &VarSet| {
+                    let (errs, bytes) = match &shared {
+                        Some(memo) => memo.get_or_compute(keep, || run_probe(keep)),
+                        None => run_probe(keep),
+                    };
+                    last_bytes.set(bytes);
+                    errs.contains(error)
+                };
+                let mut wrapped = Oracle::new(&mut predicate, cost_per_call_secs)
+                    .with_size_metric(|_| last_bytes.get());
+                let outcome =
+                    generalized_binary_reduction(instance, order, &mut wrapped, &config);
+                let slot: Slot = outcome.map_err(PipelineError::from).map(|out| {
+                    let reduced = reduce_program(program, registry, &out.solution);
+                    (
+                        (error.clone(), SizeMetrics::of(&reduced)),
+                        wrapped.trace().clone(),
+                        wrapped.calls(),
+                    )
+                });
+                *slots[i].lock().expect("per-error slot") = Some(slot);
+            });
+        }
+    });
+    let mut rows = Vec::new();
+    let mut combined_trace = ReductionTrace::new();
+    let mut total_calls = 0u64;
+    for slot in slots {
+        let (row, trace, calls) = slot
+            .into_inner()
+            .expect("per-error slot")
+            .expect("worker wrote slot")?;
+        rows.push(row);
+        combined_trace.append_sequential(&trace);
+        total_calls += calls;
+    }
+    Ok(PerErrorReport {
+        errors: rows,
+        combined_trace,
+        total_calls,
+        cache_hits: shared.as_ref().map_or(0, |m| m.hits()),
+        cache_misses: shared.as_ref().map_or(0, |m| m.misses()),
     })
 }
 
@@ -899,6 +1133,82 @@ mod tests {
         assert_eq!(cached.total_calls, uncached.total_calls);
         assert_eq!(uncached.cache_hits, 0);
         assert_eq!(uncached.cache_misses, 0);
+    }
+
+    #[test]
+    fn probe_threads_do_not_change_results() {
+        let p = benchmark();
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        let sequential = run_reduction_with(
+            &p,
+            &oracle,
+            Strategy::Logical(MsaStrategy::GreedyClosure),
+            33.0,
+            &RunOptions::default(),
+        )
+        .expect("sequential");
+        for threads in [2usize, 4] {
+            let parallel = run_reduction_with(
+                &p,
+                &oracle,
+                Strategy::Logical(MsaStrategy::GreedyClosure),
+                33.0,
+                &RunOptions {
+                    probe_threads: threads,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("parallel");
+            assert_eq!(parallel.final_metrics, sequential.final_metrics, "threads={threads}");
+            assert_eq!(
+                parallel.predicate_calls, sequential.predicate_calls,
+                "threads={threads}"
+            );
+            assert_eq!(parallel.cache_hits, sequential.cache_hits, "threads={threads}");
+            assert_eq!(parallel.cache_misses, sequential.cache_misses, "threads={threads}");
+            assert_eq!(
+                parallel.probe_stats.useful_calls,
+                sequential.predicate_calls,
+                "threads={threads}"
+            );
+            assert!((parallel.modeled_secs - sequential.modeled_secs).abs() < 1e-9);
+            // The traces agree on everything but wall-clock timing.
+            assert_eq!(parallel.trace.len(), sequential.trace.len());
+            for (a, b) in parallel.trace.points().iter().zip(sequential.trace.points()) {
+                assert_eq!((a.call, a.size, a.success), (b.call, b.size, b.success));
+                assert!((a.modeled_secs - b.modeled_secs).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn per_error_parallel_matches_sequential() {
+        let p = two_bug_benchmark();
+        let oracle = DecompilerOracle::new(
+            &p,
+            BugSet::of(&[BugKind::CastToObject, BugKind::StaticGhostReceiver]),
+        );
+        let sequential =
+            run_per_error_with(&p, &oracle, 33.0, &RunOptions::default()).expect("sequential");
+        for threads in [2usize, 4] {
+            let parallel = run_per_error_with(
+                &p,
+                &oracle,
+                33.0,
+                &RunOptions {
+                    probe_threads: threads,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("parallel");
+            assert_eq!(parallel.errors, sequential.errors, "threads={threads}");
+            assert_eq!(parallel.total_calls, sequential.total_calls, "threads={threads}");
+            assert_eq!(parallel.cache_hits, sequential.cache_hits, "threads={threads}");
+            assert_eq!(
+                parallel.cache_misses, sequential.cache_misses,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

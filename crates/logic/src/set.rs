@@ -182,6 +182,23 @@ impl VarSet {
         self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
     }
 
+    /// A 64-bit fingerprint of the set's contents (and universe).
+    ///
+    /// Memo caches key probe outcomes by candidate subset; hashing the
+    /// full word vector through `SipHash` on every lookup is measurable on
+    /// the hot path. The fingerprint is one multiply-xor pass (FNV-style
+    /// with an avalanche shift) that callers can store alongside the set
+    /// and use as a cheap first-level key, falling back to `==` within a
+    /// bucket — equal sets always have equal fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (self.universe as u64);
+        for &w in &self.words {
+            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+            h ^= h >> 29;
+        }
+        h
+    }
+
     /// Iterates members in increasing variable-index order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -293,6 +310,17 @@ mod tests {
         let c: VarSet = [Var::new(2), Var::new(9)].into_iter().collect();
         assert_eq!(c.universe(), 10);
         assert!(c.contains(Var::new(9)));
+    }
+
+    #[test]
+    fn fingerprint_respects_equality() {
+        let a = set(200, &[1, 64, 199]);
+        let b = set(200, &[1, 64, 199]);
+        let c = set(200, &[1, 64, 198]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "expected distinct fingerprints");
+        // Same members, different universe: different identity.
+        assert_ne!(set(100, &[3]).fingerprint(), set(101, &[3]).fingerprint());
     }
 
     #[test]
