@@ -9,7 +9,7 @@ set -eu
 export CARGO_NET_OFFLINE=true
 
 echo "== build (release) =="
-cargo build --release --offline
+cargo build --release --workspace --offline
 
 echo "== test (workspace) =="
 cargo test --workspace -q --offline
@@ -22,12 +22,79 @@ echo "== speculative probing determinism smoke =="
 # the small suite has to be bit-identical (calls, sizes, cache totals) to
 # the sequential one.
 smoke_dir=$(mktemp -d)
-trap 'rm -rf "$smoke_dir"' EXIT
+svc_pid=""
+trap '[ -n "$svc_pid" ] && kill -9 "$svc_pid" 2>/dev/null; rm -rf "$smoke_dir"' EXIT
 ./target/release/eval --experiment fig8a --programs 1 --scale 0.5 \
     --probe-threads 1 --json "$smoke_dir/seq.json" >/dev/null
 ./target/release/eval --experiment fig8a --programs 1 --scale 0.5 \
     --probe-threads 2 --json "$smoke_dir/par.json" >/dev/null
 ./target/release/bench_compare --identical "$smoke_dir/seq.json" "$smoke_dir/par.json"
+
+echo "== reduction daemon smoke (identical results, kill -9 resume) =="
+# A daemon job must be bit-identical to an in-process `reduce` run, and a
+# daemon killed with SIGKILL mid-job must resume the job from its checkpoint
+# after restart, with the persistent oracle cache serving warm hits.
+svc="$smoke_dir/service"
+wait_daemon() {
+    i=0
+    while ! ./target/release/reduce-client --state-dir "$svc" ping >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || { echo "daemon did not come up" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+./target/release/gen --seed 7 --decompiler a --out "$smoke_dir/daemon.lbrc" 2>/dev/null
+./target/release/reduce --input "$smoke_dir/daemon.lbrc" --decompiler a \
+    --out "$smoke_dir/ref.lbrc" --json "$smoke_dir/ref.json" >/dev/null 2>&1
+
+./target/release/lbr-serviced --state-dir "$svc" --workers 2 >/dev/null &
+svc_pid=$!
+wait_daemon
+./target/release/reduce-client --state-dir "$svc" submit \
+    --input "$smoke_dir/daemon.lbrc" --decompiler a \
+    --out "$smoke_dir/daemon-out.lbrc" --wait >"$smoke_dir/daemon-result.json"
+cmp "$smoke_dir/ref.lbrc" "$smoke_dir/daemon-out.lbrc"
+ref_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/ref.json")
+got_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/daemon-result.json")
+[ -n "$ref_digest" ] && [ "$ref_digest" = "$got_digest" ]
+
+# Kill -9 mid-job: a fresh container (cold cache, so probes really sleep),
+# slowed-down probes, wait for the first checkpoint, then SIGKILL the daemon
+# and restart it over the same state directory.
+./target/release/gen --seed 8 --decompiler a --out "$smoke_dir/slow.lbrc" 2>/dev/null
+./target/release/reduce --input "$smoke_dir/slow.lbrc" --decompiler a \
+    --out "$smoke_dir/ref2.lbrc" >/dev/null 2>&1
+job_id=$(./target/release/reduce-client --state-dir "$svc" submit \
+    --input "$smoke_dir/slow.lbrc" --decompiler a --probe-latency-micros 20000 \
+    --out "$smoke_dir/resumed.lbrc" | grep -o '[0-9]*')
+i=0
+while [ ! -f "$svc/job-$job_id.ckpt" ]; do
+    i=$((i + 1))
+    [ "$i" -lt 300 ] || { echo "job $job_id never checkpointed" >&2; exit 1; }
+    sleep 0.1
+done
+kill -9 "$svc_pid"
+wait "$svc_pid" 2>/dev/null || true
+./target/release/lbr-serviced --state-dir "$svc" --workers 2 >/dev/null &
+svc_pid=$!
+wait_daemon
+./target/release/reduce-client --state-dir "$svc" result --id "$job_id" --wait \
+    >"$smoke_dir/resumed.json"
+grep -q '"resumed":true' "$smoke_dir/resumed.json"
+cmp "$smoke_dir/ref2.lbrc" "$smoke_dir/resumed.lbrc"
+# A fresh identical job after the restart must reproduce the reference digest
+# and be served from the disk-loaded (warm) cache.
+./target/release/reduce-client --state-dir "$svc" submit \
+    --input "$smoke_dir/daemon.lbrc" --decompiler a \
+    --out "$smoke_dir/warm.lbrc" --wait >"$smoke_dir/warm.json"
+warm_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/warm.json")
+[ "$ref_digest" = "$warm_digest" ]
+cmp "$smoke_dir/ref.lbrc" "$smoke_dir/warm.lbrc"
+./target/release/reduce-client --state-dir "$svc" stats >"$smoke_dir/stats.json"
+grep -o '"warm_hits":[0-9]*' "$smoke_dir/stats.json" | grep -qv ':0$'
+./target/release/reduce-client --state-dir "$svc" shutdown >/dev/null
+wait "$svc_pid" 2>/dev/null || true
+svc_pid=""
 
 # Optional wall-time gate against the committed baseline: BENCH_GATE=1 ./ci.sh
 if [ "${BENCH_GATE:-0}" = "1" ]; then

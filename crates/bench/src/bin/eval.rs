@@ -77,6 +77,10 @@ fn main() {
                 config.options = RunOptions::legacy();
                 i += 1;
             }
+            "--slot-dir" => {
+                config.slot_dir = Some(value(i).into());
+                i += 2;
+            }
             "--json" => {
                 // Optional value: `--json out.json` or bare `--json`.
                 match args.get(i + 1) {
@@ -105,6 +109,8 @@ fn main() {
                 println!("                paper's real probes by sleeping inside each tool run");
                 println!("                (for wall-clock speedup measurements; default 0)");
                 println!("  --legacy      scan-BCP baseline: no incremental engine, no memo");
+                println!("  --slot-dir DIR  persist each finished run as DIR/slot-NNNN.json");
+                println!("                the moment it completes (atomic temp+rename writes)");
                 println!("  --json [PATH] write machine-readable results (default BENCH_results.json)");
                 return;
             }
@@ -121,9 +127,19 @@ fn main() {
     );
     let benchmarks = config.suite();
     eprintln!("suite has {} failing instances", benchmarks.len());
+    if benchmarks.is_empty() {
+        eprintln!("error: the suite produced no failing instances — nothing to evaluate");
+        std::process::exit(1);
+    }
     let stats = compute_stats(&benchmarks);
 
-    let run = |strategies: &[Strategy]| run_grid(&config, &benchmarks, strategies);
+    let failed_jobs = std::cell::Cell::new(0usize);
+    let run = |strategies: &[Strategy]| {
+        let records = run_grid(&config, &benchmarks, strategies);
+        let expected = benchmarks.len() * strategies.len();
+        failed_jobs.set(failed_jobs.get() + (expected - records.len()));
+        records
+    };
     let mut json_records: Vec<RunRecord> = Vec::new();
 
     match experiment.as_str() {
@@ -219,8 +235,20 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        std::fs::write(&path, render_json(&json_records))
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        // Atomic replace: a reader (or a crash) never sees a torn file.
+        if let Err(e) =
+            lbr_service::atomic_write_str(std::path::Path::new(&path), &render_json(&json_records))
+        {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
         eprintln!("wrote {path}");
+    }
+    if failed_jobs.get() > 0 {
+        eprintln!(
+            "error: {} of the grid's runs failed (see warnings above)",
+            failed_jobs.get()
+        );
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,240 @@
+//! Load generator for the reduction daemon: measures service throughput,
+//! latency, and cache effectiveness under concurrent jobs.
+//!
+//! ```text
+//! loadgen [--out BENCH_service.json] [--jobs N] [--workers 4,8]
+//!         [--classes N] [--seed N]
+//! ```
+//!
+//! For each worker count, loadgen hosts a fresh daemon over a scratch
+//! state directory, generates `--jobs` distinct failing containers, and
+//! runs two rounds: a **cold** round (empty oracle cache) and a **warm**
+//! round resubmitting the identical job set (every probe answerable from
+//! the cache). All jobs of a round are submitted up front and awaited
+//! concurrently — the daemon must sustain the full set without deadlock.
+//! Reported per round: jobs/sec, p50/p95 submit→result latency, and the
+//! round's cache hit rate. The results land in `--out` (default
+//! `BENCH_service.json`), written atomically.
+
+use lbr_classfile::write_program;
+use lbr_decompiler::BugSet;
+use lbr_service::{atomic_write_str, Client, Daemon, DaemonConfig, Json};
+use lbr_workload::{generate, WorkloadConfig};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn fail(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+struct RoundStats {
+    jobs_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    hit_rate: f64,
+    all_done: bool,
+}
+
+/// Submits every input, waits for all of them concurrently, and measures
+/// the round against the cache counters it moved.
+fn run_round(client: &Client, inputs: &[PathBuf], out_dir: &Path, tag: &str) -> RoundStats {
+    let before = client.stats().unwrap_or_else(|e| fail(format!("stats: {e}")));
+    let cache_before = |k: &str| {
+        before
+            .get("cache")
+            .and_then(|c| c.u64_field(k))
+            .unwrap_or(0)
+    };
+    let (hits0, misses0) = (cache_before("hits"), cache_before("misses"));
+
+    let round_start = Instant::now();
+    let handles: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let client = client.clone();
+            let spec = Json::obj([
+                ("input", Json::str(input.display().to_string())),
+                ("decompiler", Json::str("a")),
+                (
+                    "output",
+                    Json::str(out_dir.join(format!("{tag}-{i}.lbrc")).display().to_string()),
+                ),
+            ]);
+            std::thread::spawn(move || {
+                let submitted = Instant::now();
+                let id = client.submit(&spec)?;
+                let result = client.wait_result(id)?;
+                Ok::<(Duration, bool), std::io::Error>((
+                    submitted.elapsed(),
+                    result.str_field("status") == Some("done"),
+                ))
+            })
+        })
+        .collect();
+    let mut latencies_ms = Vec::with_capacity(handles.len());
+    let mut all_done = true;
+    for handle in handles {
+        match handle.join().expect("round thread") {
+            Ok((latency, done)) => {
+                latencies_ms.push(latency.as_secs_f64() * 1e3);
+                all_done &= done;
+            }
+            Err(e) => fail(format!("round job failed: {e}")),
+        }
+    }
+    let wall = round_start.elapsed().as_secs_f64();
+
+    let after = client.stats().unwrap_or_else(|e| fail(format!("stats: {e}")));
+    let cache_after = |k: &str| after.get("cache").and_then(|c| c.u64_field(k)).unwrap_or(0);
+    let hits = cache_after("hits") - hits0;
+    let lookups = hits + cache_after("misses") - misses0;
+
+    latencies_ms.sort_by(f64::total_cmp);
+    RoundStats {
+        jobs_per_sec: inputs.len() as f64 / wall.max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.5),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        hit_rate: if lookups > 0 { hits as f64 / lookups as f64 } else { 0.0 },
+        all_done,
+    }
+}
+
+fn round_doc(r: &RoundStats) -> Json {
+    Json::obj([
+        ("jobs_per_sec", Json::Num(r.jobs_per_sec)),
+        ("p50_ms", Json::Num(r.p50_ms)),
+        ("p95_ms", Json::Num(r.p95_ms)),
+        ("cache_hit_rate", Json::Num(r.hit_rate)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_service.json".to_owned();
+    let mut jobs = 8usize;
+    let mut worker_counts = vec![4usize, 8];
+    let mut classes = 12usize;
+    let mut seed = 1u64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            });
+            i += 1;
+            v
+        };
+        match flag {
+            "--out" | "-o" => out = value(),
+            "--jobs" => jobs = value().parse().expect("--jobs takes a number"),
+            "--classes" => classes = value().parse().expect("--classes takes a number"),
+            "--seed" => seed = value().parse().expect("--seed takes a number"),
+            "--workers" => {
+                worker_counts = value()
+                    .split(',')
+                    .map(|w| w.trim().parse().expect("--workers takes numbers"))
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!("usage: loadgen [--out BENCH_service.json] [--jobs N] [--workers 4,8]");
+                println!("               [--classes N] [--seed N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scratch = std::env::temp_dir().join(format!("lbr-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap_or_else(|e| fail(format!("scratch dir: {e}")));
+
+    // One failing container per job, distinct seeds.
+    let inputs: Vec<PathBuf> = (0..jobs)
+        .map(|j| {
+            let config = WorkloadConfig {
+                seed: seed + j as u64,
+                classes,
+                interfaces: (classes / 3).max(2),
+                plant: BugSet::decompiler_a().kinds().to_vec(),
+                ..WorkloadConfig::default()
+            };
+            let path = scratch.join(format!("bench-{j}.lbrc"));
+            std::fs::write(&path, write_program(&generate(&config)))
+                .unwrap_or_else(|e| fail(format!("write container: {e}")));
+            path
+        })
+        .collect();
+
+    let mut runs = Vec::new();
+    for &workers in &worker_counts {
+        eprintln!("loadgen: {jobs} jobs on {workers} workers …");
+        let state = scratch.join(format!("state-{workers}"));
+        let daemon = Daemon::start(DaemonConfig::new(&state, workers))
+            .unwrap_or_else(|e| fail(format!("start daemon: {e}")));
+        let client = Client::connect(daemon.local_addr().to_string());
+        let handle = std::thread::spawn(move || daemon.run());
+        if !client.wait_ready(Duration::from_secs(5)) {
+            fail("daemon did not come up".to_owned());
+        }
+
+        let out_dir = scratch.join(format!("out-{workers}"));
+        std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| fail(format!("out dir: {e}")));
+        let cold = run_round(&client, &inputs, &out_dir, "cold");
+        let warm = run_round(&client, &inputs, &out_dir, "warm");
+        if !(cold.all_done && warm.all_done) {
+            fail(format!("{workers}-worker round left jobs unfinished"));
+        }
+        eprintln!(
+            "  cold: {:6.2} jobs/s  p50 {:7.1} ms  p95 {:7.1} ms  hit rate {:4.1}%",
+            cold.jobs_per_sec,
+            cold.p50_ms,
+            cold.p95_ms,
+            100.0 * cold.hit_rate
+        );
+        eprintln!(
+            "  warm: {:6.2} jobs/s  p50 {:7.1} ms  p95 {:7.1} ms  hit rate {:4.1}%",
+            warm.jobs_per_sec,
+            warm.p50_ms,
+            warm.p95_ms,
+            100.0 * warm.hit_rate
+        );
+        runs.push(Json::obj([
+            ("workers", Json::count(workers as u64)),
+            ("jobs", Json::count(jobs as u64)),
+            ("cold", round_doc(&cold)),
+            ("warm", round_doc(&warm)),
+        ]));
+
+        client.shutdown().unwrap_or_else(|e| fail(format!("shutdown: {e}")));
+        handle
+            .join()
+            .expect("daemon thread")
+            .unwrap_or_else(|e| fail(format!("daemon: {e}")));
+    }
+
+    let doc = Json::obj([
+        ("benchmark", Json::str("service-loadgen")),
+        ("job_classes", Json::count(classes as u64)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    atomic_write_str(Path::new(&out), &doc.render())
+        .unwrap_or_else(|e| fail(format!("cannot write {out}: {e}")));
+    eprintln!("wrote {out}");
+    let _ = std::fs::remove_dir_all(&scratch);
+}

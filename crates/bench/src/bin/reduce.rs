@@ -4,25 +4,40 @@
 //! ```text
 //! reduce --input bench.lbrc --decompiler a|b|c|all
 //!        [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]
-//!        [--out reduced.lbrc] [--disasm] [--per-error] [--cost SECS]
-//!        [--probe-threads N]
+//!        [--out reduced.lbrc] [--json report.json] [--disasm]
+//!        [--per-error] [--cost SECS] [--probe-threads N]
 //! ```
 //!
 //! `--probe-threads N` runs N speculative probe threads inside the GBR
 //! search (and N concurrent searches in `--per-error` mode); the reduced
-//! output is bit-identical at every setting.
+//! output is bit-identical at every setting. `--json` writes a small
+//! machine-readable report (sizes, predicate calls, trace digest) for
+//! comparing runs — the CI daemon smoke test diffs it against the
+//! service's result document.
+//!
+//! Exit status: `0` on success, `1` when the input cannot be read, does
+//! not trigger the selected decompiler's bugs, or the reduction itself
+//! fails, `2` on usage errors.
 
 use lbr_classfile::{disassemble_program, read_program, write_class_directory, write_program};
 use lbr_core::LossyPick;
 use lbr_decompiler::{BugSet, DecompilerOracle};
 use lbr_jreduce::{run_per_error_with, run_reduction_with, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
+use lbr_service::{atomic_write, atomic_write_str, Json};
+
+/// Prints a diagnostic and exits with status 1 (runtime failure).
+fn fail(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input: Option<String> = None;
     let mut out: Option<String> = None;
     let mut out_dir: Option<String> = None;
+    let mut json: Option<String> = None;
     let mut decompiler = "a".to_owned();
     let mut strategy = "logical".to_owned();
     let mut disasm = false;
@@ -44,19 +59,26 @@ fn main() {
             "--input" | "-i" => input = Some(value()),
             "--out" | "-o" => out = Some(value()),
             "--out-dir" => out_dir = Some(value()),
+            "--json" => json = Some(value()),
             "--decompiler" | "-d" => decompiler = value(),
             "--strategy" | "-s" => strategy = value(),
             "--cost" => cost = value().parse().expect("--cost takes seconds"),
             "--probe-threads" => {
                 options.probe_threads = value().parse().expect("--probe-threads takes a number")
             }
+            "--probe-latency-micros" => {
+                options.probe_latency_micros = value()
+                    .parse()
+                    .expect("--probe-latency-micros takes a number")
+            }
             "--disasm" => disasm = true,
             "--per-error" => per_error = true,
             "--help" | "-h" => {
                 println!("usage: reduce --input bench.lbrc [--decompiler a|b|c|all]");
                 println!("              [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]");
-                println!("              [--out reduced.lbrc] [--out-dir dir/] [--disasm] [--per-error] [--cost SECS]");
-                println!("              [--probe-threads N]");
+                println!("              [--out reduced.lbrc] [--out-dir dir/] [--json report.json]");
+                println!("              [--disasm] [--per-error] [--cost SECS]");
+                println!("              [--probe-threads N] [--probe-latency-micros N]");
                 return;
             }
             other => {
@@ -70,8 +92,8 @@ fn main() {
         eprintln!("--input is required (try --help)");
         std::process::exit(2);
     });
-    let bytes = std::fs::read(&input).unwrap_or_else(|e| panic!("cannot read {input}: {e}"));
-    let program = read_program(&bytes).unwrap_or_else(|e| panic!("bad container: {e}"));
+    let bytes = std::fs::read(&input).unwrap_or_else(|e| fail(format!("cannot read {input}: {e}")));
+    let program = read_program(&bytes).unwrap_or_else(|e| fail(format!("bad container: {e}")));
     let bugs = match decompiler.as_str() {
         "a" => BugSet::decompiler_a(),
         "b" => BugSet::decompiler_b(),
@@ -84,8 +106,9 @@ fn main() {
     };
     let oracle = DecompilerOracle::new(&program, bugs);
     if !oracle.is_failing() {
-        eprintln!("the input does not trigger decompiler {decompiler}'s bugs — nothing to reduce");
-        std::process::exit(1);
+        fail(format!(
+            "the input does not trigger decompiler {decompiler}'s bugs — nothing to reduce"
+        ));
     }
     eprintln!(
         "input: {} classes; {} compiler errors to preserve",
@@ -95,7 +118,7 @@ fn main() {
 
     if per_error {
         let report = run_per_error_with(&program, &oracle, cost, &options)
-            .unwrap_or_else(|e| panic!("per-error reduction failed: {e}"));
+            .unwrap_or_else(|e| fail(format!("per-error reduction failed: {e}")));
         println!("per-error witnesses ({} searches, {} tool runs):", report.errors.len(), report.total_calls);
         for (error, size) in &report.errors {
             println!("  {:>4} classes {:>8} bytes  {error}", size.classes, size.bytes);
@@ -116,7 +139,7 @@ fn main() {
         }
     };
     let report = run_reduction_with(&program, &oracle, strategy, cost, &options)
-        .unwrap_or_else(|e| panic!("reduction failed: {e}"));
+        .unwrap_or_else(|e| fail(format!("reduction failed: {e}")));
     println!(
         "{}: {} → {} classes, {} → {} bytes ({:.1}%), {} tool runs, errors preserved: {}",
         report.strategy,
@@ -132,13 +155,34 @@ fn main() {
         print!("{}", disassemble_program(&report.reduced));
     }
     if let Some(path) = out {
-        std::fs::write(&path, write_program(&report.reduced))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        atomic_write(std::path::Path::new(&path), &write_program(&report.reduced))
+            .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
     }
     if let Some(dir) = out_dir {
         let n = write_class_directory(&report.reduced, std::path::Path::new(&dir))
-            .unwrap_or_else(|e| panic!("cannot write {dir}: {e}"));
+            .unwrap_or_else(|e| fail(format!("cannot write {dir}: {e}")));
         eprintln!("wrote {n} class files to {dir}");
+    }
+    if let Some(path) = json {
+        // The same identity fields the service's result document carries,
+        // so `diff`ing daemon output against an in-process run is trivial.
+        let doc = Json::obj([
+            ("strategy", Json::str(&report.strategy)),
+            ("initial_classes", Json::count(report.initial.classes as u64)),
+            ("initial_bytes", Json::count(report.initial.bytes as u64)),
+            ("final_classes", Json::count(report.final_metrics.classes as u64)),
+            ("final_bytes", Json::count(report.final_metrics.bytes as u64)),
+            ("predicate_calls", Json::count(report.predicate_calls)),
+            (
+                "trace_digest",
+                Json::str(format!("{:016x}", report.trace.digest())),
+            ),
+            ("errors_preserved", Json::Bool(report.errors_preserved)),
+            ("still_valid", Json::Bool(report.still_valid)),
+        ]);
+        atomic_write_str(std::path::Path::new(&path), &doc.render())
+            .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
     }
 }

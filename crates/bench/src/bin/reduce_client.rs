@@ -1,0 +1,210 @@
+//! Command-line client for the reduction daemon (`lbr-serviced`).
+//!
+//! ```text
+//! reduce-client (--state-dir DIR | --addr HOST:PORT) <op> [args]
+//!
+//! ops:
+//!   submit --input bench.lbrc [--decompiler a|b|c|all] [--strategy S]
+//!          [--out reduced.lbrc] [--priority N] [--cost SECS]
+//!          [--probe-threads N] [--probe-latency-micros N]
+//!          [--deadline-secs F] [--wait]
+//!   status --id N
+//!   result --id N [--wait]
+//!   cancel --id N
+//!   stats
+//!   shutdown
+//!   ping
+//! ```
+//!
+//! Responses are printed to stdout as one JSON document. Exit status:
+//! `0` on success (for `result --wait`, only when the job finished
+//! `done`), `1` on daemon/job errors, `2` on usage errors.
+
+use lbr_service::{Client, Json};
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!("usage: reduce-client (--state-dir DIR | --addr HOST:PORT) <op> [args]");
+    eprintln!("ops: submit status result cancel stats shutdown ping (try --help)");
+    std::process::exit(2);
+}
+
+fn fail(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: reduce-client (--state-dir DIR | --addr HOST:PORT) <op> [args]");
+        println!();
+        println!("ops:");
+        println!("  submit --input bench.lbrc [--decompiler a|b|c|all] [--strategy S]");
+        println!("         [--out reduced.lbrc] [--priority N] [--cost SECS]");
+        println!("         [--probe-threads N] [--probe-latency-micros N]");
+        println!("         [--deadline-secs F] [--wait]");
+        println!("  status --id N          show a job's phase");
+        println!("  result --id N [--wait] fetch (or block for) a job's result");
+        println!("  cancel --id N          cooperatively cancel a job");
+        println!("  stats                  queue depth, cache hit rates, utilization");
+        println!("  shutdown               stop the daemon (running jobs checkpoint)");
+        println!("  ping                   liveness check");
+        return;
+    }
+
+    let mut addr: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut op: Option<String> = None;
+    let mut id: Option<u64> = None;
+    let mut wait = false;
+    // submit fields, passed through as the job spec.
+    let mut spec: Vec<(&'static str, Json)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            });
+            i += 1;
+            v
+        };
+        match flag {
+            "--addr" => addr = Some(value()),
+            "--state-dir" => state_dir = Some(value()),
+            "--id" => {
+                id = Some(value().parse().unwrap_or_else(|_| {
+                    eprintln!("--id takes a number");
+                    std::process::exit(2);
+                }))
+            }
+            "--wait" => wait = true,
+            "--input" => spec.push(("input", Json::str(value()))),
+            "--decompiler" | "-d" => spec.push(("decompiler", Json::str(value()))),
+            "--strategy" | "-s" => spec.push(("strategy", Json::str(value()))),
+            "--out" | "-o" => spec.push(("output", Json::str(value()))),
+            "--priority" => spec.push((
+                "priority",
+                Json::count(value().parse().unwrap_or_else(|_| {
+                    eprintln!("--priority takes a number");
+                    std::process::exit(2);
+                })),
+            )),
+            "--cost" => spec.push((
+                "cost",
+                Json::Num(value().parse().unwrap_or_else(|_| {
+                    eprintln!("--cost takes seconds");
+                    std::process::exit(2);
+                })),
+            )),
+            "--probe-threads" => spec.push((
+                "probe_threads",
+                Json::count(value().parse().unwrap_or_else(|_| {
+                    eprintln!("--probe-threads takes a number");
+                    std::process::exit(2);
+                })),
+            )),
+            "--probe-latency-micros" => spec.push((
+                "probe_latency_micros",
+                Json::count(value().parse().unwrap_or_else(|_| {
+                    eprintln!("--probe-latency-micros takes a number");
+                    std::process::exit(2);
+                })),
+            )),
+            "--deadline-secs" => spec.push((
+                "deadline_secs",
+                Json::Num(value().parse().unwrap_or_else(|_| {
+                    eprintln!("--deadline-secs takes seconds");
+                    std::process::exit(2);
+                })),
+            )),
+            other if !other.starts_with('-') && op.is_none() => op = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let client = match (addr, state_dir) {
+        (Some(addr), _) => Client::connect(addr),
+        (None, Some(dir)) => Client::from_state_dir(Path::new(&dir))
+            .unwrap_or_else(|e| fail(format!("no daemon at {dir}: {e}"))),
+        (None, None) => usage(),
+    };
+    let Some(op) = op else { usage() };
+    let need_id = || id.unwrap_or_else(|| usage());
+
+    match op.as_str() {
+        "ping" => {
+            if client.ping() {
+                println!("{{\"ok\":true}}");
+            } else {
+                fail(format!("no daemon answering at {}", client.addr()));
+            }
+        }
+        "submit" => {
+            let job_id = client
+                .submit(&Json::obj_from(spec))
+                .unwrap_or_else(|e| fail(format!("submit: {e}")));
+            if wait {
+                let result = client
+                    .wait_result(job_id)
+                    .unwrap_or_else(|e| fail(format!("waiting on job {job_id}: {e}")));
+                println!("{}", result.render());
+                if result.str_field("status") != Some("done") {
+                    std::process::exit(1);
+                }
+            } else {
+                println!("{{\"id\":{job_id}}}");
+            }
+        }
+        "status" => {
+            let doc = client
+                .status(need_id())
+                .unwrap_or_else(|e| fail(format!("status: {e}")));
+            println!("{}", doc.render());
+        }
+        "result" => {
+            let job_id = need_id();
+            let result = if wait {
+                client.wait_result(job_id)
+            } else {
+                client
+                    .expect_ok(&Json::obj([
+                        ("op", Json::str("result")),
+                        ("id", Json::count(job_id)),
+                    ]))
+                    .map(|r| r.get("result").cloned().unwrap_or(Json::Null))
+            }
+            .unwrap_or_else(|e| fail(format!("result: {e}")));
+            println!("{}", result.render());
+            if result.str_field("status") != Some("done") {
+                std::process::exit(1);
+            }
+        }
+        "cancel" => {
+            client
+                .cancel(need_id())
+                .unwrap_or_else(|e| fail(format!("cancel: {e}")));
+            println!("{{\"ok\":true}}");
+        }
+        "stats" => {
+            let doc = client.stats().unwrap_or_else(|e| fail(format!("stats: {e}")));
+            println!("{}", doc.render());
+        }
+        "shutdown" => {
+            client
+                .shutdown()
+                .unwrap_or_else(|e| fail(format!("shutdown: {e}")));
+            println!("{{\"ok\":true}}");
+        }
+        other => {
+            eprintln!("unknown op {other} (try --help)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -18,8 +18,10 @@ pub mod microbench;
 use lbr_core::{LossyPick, ReductionTrace};
 use lbr_jreduce::{run_reduction_with, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
+use lbr_service::{atomic_write_str, Json};
 use lbr_workload::{geometric_mean, suite, suite_stats, Benchmark, SuiteConfig, SuiteStats};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -40,6 +42,12 @@ pub struct EvalConfig {
     /// Performance options forwarded to every reduction run (propagation
     /// mode, oracle memoization).
     pub options: RunOptions,
+    /// When set, [`run_grid`] persists every finished (benchmark,
+    /// strategy) job as `slot-<index>.json` in this directory the moment
+    /// it completes — written atomically (temp + `fsync` + rename), so a
+    /// grid run killed at any instant leaves only complete, parseable
+    /// slot files and loses at most the jobs still in flight.
+    pub slot_dir: Option<PathBuf>,
 }
 
 impl Default for EvalConfig {
@@ -51,6 +59,7 @@ impl Default for EvalConfig {
             cost_per_call_secs: 33.0,
             threads: 0,
             options: RunOptions::default(),
+            slot_dir: None,
         }
     }
 }
@@ -147,6 +156,42 @@ fn record_of(benchmark: &Benchmark, report: lbr_jreduce::ReductionReport) -> Run
     }
 }
 
+/// The machine-readable form of one grid slot (see
+/// [`EvalConfig::slot_dir`]): the full [`RunRecord`] minus the trace,
+/// plus the trace's digest so runs can be compared for bit-identity.
+pub fn record_doc(r: &RunRecord) -> Json {
+    Json::obj([
+        ("benchmark", Json::str(&r.benchmark)),
+        ("strategy", Json::str(&r.strategy)),
+        ("initial_classes", Json::count(r.initial_classes as u64)),
+        ("initial_bytes", Json::count(r.initial_bytes as u64)),
+        ("final_classes", Json::count(r.final_classes as u64)),
+        ("final_bytes", Json::count(r.final_bytes as u64)),
+        ("calls", Json::count(r.calls)),
+        ("wall_secs", Json::Num(r.wall_secs)),
+        ("modeled_secs", Json::Num(r.modeled_secs)),
+        ("trace_digest", Json::str(format!("{:016x}", r.trace.digest()))),
+        ("sound", Json::Bool(r.sound)),
+        ("cache_hits", Json::count(r.cache_hits)),
+        ("cache_misses", Json::count(r.cache_misses)),
+        ("useful_calls", Json::count(r.useful_calls)),
+        ("speculative_calls", Json::count(r.speculative_calls)),
+        ("critical_path_calls", Json::count(r.critical_path_calls)),
+    ])
+}
+
+/// Atomically persists one finished grid job into the slot directory.
+fn write_slot(dir: &Path, index: usize, result: &Result<RunRecord, String>) {
+    let doc = match result {
+        Ok(record) => record_doc(record),
+        Err(e) => Json::obj([("error", Json::str(e))]),
+    };
+    let path = dir.join(format!("slot-{index:04}.json"));
+    if let Err(e) = atomic_write_str(&path, &doc.render()) {
+        eprintln!("warning: cannot persist {}: {e}", path.display());
+    }
+}
+
 fn run_one(config: &EvalConfig, b: &Benchmark, strategy: Strategy) -> Result<RunRecord, String> {
     let oracle = b.oracle();
     run_reduction_with(
@@ -183,9 +228,23 @@ pub fn run_grid(
     }
     .min(jobs.len().max(1));
 
+    let slot_dir = config.slot_dir.as_deref();
+    if let Some(dir) = slot_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create slot dir {}: {e}", dir.display());
+        }
+    }
+
     let slots: Vec<Option<Result<RunRecord, String>>> = if workers <= 1 {
         jobs.iter()
-            .map(|&(b, strategy)| Some(run_one(config, b, strategy)))
+            .enumerate()
+            .map(|(i, &(b, strategy))| {
+                let result = run_one(config, b, strategy);
+                if let Some(dir) = slot_dir {
+                    write_slot(dir, i, &result);
+                }
+                Some(result)
+            })
             .collect()
     } else {
         // One lock per job slot: a worker finishing a long run never
@@ -202,6 +261,9 @@ pub fn run_grid(
                         break;
                     };
                     let result = run_one(config, b, strategy);
+                    if let Some(dir) = slot_dir {
+                        write_slot(dir, i, &result);
+                    }
                     *slots[i].lock().expect("result slot") = Some(result);
                 });
             }
@@ -735,6 +797,39 @@ mod tests {
         let json = render_json(&sequential);
         assert!(json.contains("\"strategies\""));
         assert!(json.contains("cache_hit_rate"));
+    }
+
+    #[test]
+    fn grid_persists_slots_atomically() {
+        let dir = std::env::temp_dir().join(format!("lbr-slots-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = EvalConfig {
+            programs: 1,
+            scale: 0.4,
+            threads: 2,
+            slot_dir: Some(dir.clone()),
+            ..EvalConfig::default()
+        };
+        let benchmarks = config.suite();
+        let records = run_grid(&config, &benchmarks, &headline_strategies());
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), records.len(), "one slot file per finished job");
+        for (path, record) in files.iter().zip(&records) {
+            let doc = Json::parse(&std::fs::read_to_string(path).unwrap())
+                .expect("every slot file is complete, parseable JSON");
+            assert_eq!(doc.str_field("benchmark"), Some(record.benchmark.as_str()));
+            assert_eq!(doc.str_field("strategy"), Some(record.strategy.as_str()));
+            assert_eq!(doc.u64_field("final_bytes"), Some(record.final_bytes as u64));
+            assert_eq!(
+                doc.str_field("trace_digest"),
+                Some(format!("{:016x}", record.trace.digest()).as_str())
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -60,6 +60,23 @@ impl<F: Fn(&VarSet) -> bool + Sync> ConcurrentPredicate for F {
     }
 }
 
+/// A probe-outcome cache that outlives a single reduction run — the
+/// interface a persistent (disk-backed, cross-job) oracle cache exposes
+/// to the pipeline.
+///
+/// Implementations sit *beneath* the per-run bookkeeping: a hit replaces
+/// the tool invocation only, so logical predicate-call counts, traces,
+/// and results are bit-identical whether the cache is cold or warm. Keys
+/// are candidate subsets; implementations must only be shared between
+/// runs whose predicate is the same pure function (callers namespace by
+/// input + oracle identity).
+pub trait ProbeCache: Sync {
+    /// Returns the remembered probe for this candidate, if any.
+    fn lookup(&self, key: &VarSet) -> Option<Probe>;
+    /// Remembers a freshly executed probe.
+    fn store(&self, key: &VarSet, probe: Probe);
+}
+
 /// The per-key state inside a memo shard.
 #[derive(Debug)]
 struct Entry<V> {

@@ -79,6 +79,10 @@ pub enum GbrError {
     PredicateNotMonotone,
     /// The iteration safety bound was hit.
     IterationLimit,
+    /// A cooperative cancellation hook fired (see [`GbrControl::cancel`]).
+    /// The run stopped between probes; any checkpoint written through
+    /// [`GbrControl::checkpoint`] remains valid for a later resume.
+    Cancelled,
 }
 
 impl std::fmt::Display for GbrError {
@@ -89,11 +93,66 @@ impl std::fmt::Display for GbrError {
                 write!(f, "predicate rejected the whole search space (not monotone, or P(I) false)")
             }
             GbrError::IterationLimit => write!(f, "iteration safety bound exceeded"),
+            GbrError::Cancelled => write!(f, "reduction cancelled by its control hook"),
         }
     }
 }
 
 impl std::error::Error for GbrError {}
+
+/// A resumable snapshot of the GBR main loop, taken between iterations.
+///
+/// Everything else the loop needs — the progression and its prefix
+/// unions — is a deterministic function of `(learned, search_space)` and
+/// is rebuilt on resume, so a checkpoint is exactly the learned sets, the
+/// current search space, and the anytime best. Probes re-demanded by a
+/// resumed run repeat the tail of the interrupted iteration; a persistent
+/// probe cache (see `ProbeCache` in the concurrent module) makes those
+/// replays free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GbrCheckpoint {
+    /// Completed main-loop iterations (equals `learned.len()`).
+    pub iterations: usize,
+    /// The learned sets `L`, in learning order.
+    pub learned: Vec<VarSet>,
+    /// The current search space `J` (a valid failing input by invariant).
+    pub search_space: VarSet,
+    /// The smallest failing input demanded so far, if any.
+    pub best: Option<VarSet>,
+}
+
+/// Cooperative control hooks for a GBR run: cancellation, checkpointing,
+/// and resumption. The default value is inert — `generalized_binary_
+/// reduction` without hooks behaves exactly as before.
+///
+/// Cancellation is checked between probes (once per main-loop iteration
+/// and once per binary-search step), so a pending tool invocation always
+/// finishes; with the paper's ~33 s probes that bounds the cancellation
+/// latency at roughly one probe.
+#[derive(Default)]
+pub struct GbrControl<'h> {
+    /// Polled between probes; returning `true` aborts the run with
+    /// [`GbrError::Cancelled`]. Deadlines are cancellation hooks that
+    /// compare `Instant::now()` against a budget.
+    pub cancel: Option<&'h (dyn Fn() -> bool + Sync)>,
+    /// Invoked after every completed iteration with a snapshot that a
+    /// later run may pass as [`resume`](GbrControl::resume).
+    pub checkpoint: Option<&'h mut dyn FnMut(&GbrCheckpoint)>,
+    /// Start from this snapshot instead of from scratch. The instance,
+    /// order, and predicate must be the ones the checkpoint was taken
+    /// with; the anytime call budget counts this attempt's probes only.
+    pub resume: Option<GbrCheckpoint>,
+}
+
+impl std::fmt::Debug for GbrControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GbrControl")
+            .field("cancel", &self.cancel.is_some())
+            .field("checkpoint", &self.checkpoint.is_some())
+            .field("resume", &self.resume)
+            .finish()
+    }
+}
 
 /// The result of a successful GBR run.
 #[derive(Debug, Clone)]
@@ -146,13 +205,34 @@ pub fn generalized_binary_reduction(
     predicate: &mut dyn Predicate,
     config: &GbrConfig,
 ) -> Result<GbrOutcome, GbrError> {
+    generalized_binary_reduction_controlled(
+        instance,
+        order,
+        predicate,
+        config,
+        &mut GbrControl::default(),
+    )
+}
+
+/// [`generalized_binary_reduction`] with cooperative [`GbrControl`] hooks
+/// (cancellation, checkpointing, resume). With a default control value the
+/// two are identical; a resumed run converges to the same solution as an
+/// uninterrupted one because the checkpoint captures the loop's entire
+/// state and the probe sequence is a deterministic function of it.
+pub fn generalized_binary_reduction_controlled(
+    instance: &Instance,
+    order: &VarOrder,
+    predicate: &mut dyn Predicate,
+    config: &GbrConfig,
+    control: &mut GbrControl<'_>,
+) -> Result<GbrOutcome, GbrError> {
     let mut driver = Budgeted {
         inner: predicate,
         calls: 0,
         limit: config.max_predicate_calls,
         best: None,
     };
-    gbr_loop(instance, order, config, &mut driver)
+    gbr_loop(instance, order, config, &mut driver, control)
 }
 
 /// How the GBR main loop obtains predicate verdicts.
@@ -168,6 +248,10 @@ trait ProbeDriver {
     fn test(&mut self, input: &VarSet) -> Option<bool>;
     /// Takes the smallest failing input seen so far (the anytime answer).
     fn take_best(&mut self) -> Option<VarSet>;
+    /// Peeks at the smallest failing input seen so far (for checkpoints).
+    fn best_so_far(&self) -> Option<&VarSet>;
+    /// Seeds `best` from a resumed checkpoint before the loop starts.
+    fn seed_best(&mut self, best: VarSet);
     /// The binary search now targets `prefix_unions[lo..=hi]`, and the
     /// loop's next [`test`](ProbeDriver::test) will demand index `next`.
     /// A speculative driver leaves `next` to the demanding thread itself
@@ -184,11 +268,22 @@ fn gbr_loop<D: ProbeDriver>(
     order: &VarOrder,
     config: &GbrConfig,
     driver: &mut D,
+    control: &mut GbrControl<'_>,
 ) -> Result<GbrOutcome, GbrError> {
     let universe = instance.vars.universe();
     let mut propagator = Propagator::new(config.propagation, instance, universe)?;
-    let mut learned: Vec<VarSet> = Vec::new();
-    let mut search_space = instance.vars.clone();
+    // Resuming replays nothing: the progression below is rebuilt from the
+    // checkpoint's (learned, search_space), which determines it uniquely.
+    let (mut learned, mut search_space, start_iteration) = match control.resume.take() {
+        Some(ck) => {
+            debug_assert_eq!(ck.search_space.universe(), universe, "checkpoint universe");
+            if let Some(best) = ck.best {
+                driver.seed_best(best);
+            }
+            (ck.learned, ck.search_space, ck.iterations)
+        }
+        None => (Vec::new(), instance.vars.clone(), 0),
+    };
     let mut progression = propagator.progression(
         instance,
         order,
@@ -200,10 +295,14 @@ fn gbr_loop<D: ProbeDriver>(
     let max_iterations = config
         .max_iterations
         .unwrap_or_else(|| 4 * instance.vars.len() + 16);
+    let cancelled = |control: &GbrControl<'_>| control.cancel.is_some_and(|c| c());
 
-    for iteration in 0..=max_iterations {
+    for iteration in start_iteration..=max_iterations {
         if iteration == max_iterations {
             return Err(GbrError::IterationLimit);
+        }
+        if cancelled(control) {
+            return Err(GbrError::Cancelled);
         }
         // Prefix unions D^∪_r for r in 0..len, computed *before* the D₀
         // probe so a speculative driver can dispatch binary-search probes
@@ -242,6 +341,10 @@ fn gbr_loop<D: ProbeDriver>(
         let mut hi = progression.len() - 1;
         let mut hi_verified = false;
         while hi - lo > 1 {
+            if cancelled(control) {
+                driver.search_done();
+                return Err(GbrError::Cancelled);
+            }
             let mid = lo + (hi - lo) / 2;
             let Some(mid_fails) = driver.test(&prefix_unions[mid]) else {
                 return Ok(anytime_outcome(driver, search_space, iteration, learned, progression_lengths));
@@ -279,6 +382,16 @@ fn gbr_loop<D: ProbeDriver>(
             &search_space,
         )?;
         progression_lengths.push(progression.len());
+        // Checkpoint only after the rebuild succeeds, so every snapshot is
+        // a state a resumed run can actually continue from.
+        if let Some(hook) = control.checkpoint.as_mut() {
+            hook(&GbrCheckpoint {
+                iterations: iteration + 1,
+                learned: learned.clone(),
+                search_space: search_space.clone(),
+                best: driver.best_so_far().cloned(),
+            });
+        }
     }
     unreachable!("loop returns or errors before exhausting the range");
 }
@@ -308,6 +421,14 @@ impl ProbeDriver for Budgeted<'_> {
 
     fn take_best(&mut self) -> Option<VarSet> {
         self.best.take()
+    }
+
+    fn best_so_far(&self) -> Option<&VarSet> {
+        self.best.as_ref()
+    }
+
+    fn seed_best(&mut self, best: VarSet) {
+        self.best = Some(best);
     }
 }
 
@@ -434,6 +555,27 @@ pub fn generalized_binary_reduction_speculative(
     config: &GbrConfig,
     spec: &SpeculationConfig,
 ) -> Result<SpeculativeRun, GbrError> {
+    generalized_binary_reduction_speculative_controlled(
+        instance,
+        order,
+        predicate,
+        config,
+        spec,
+        &mut GbrControl::default(),
+    )
+}
+
+/// [`generalized_binary_reduction_speculative`] with [`GbrControl`] hooks.
+/// Cancellation also stops the speculation workers (the scheduler is shut
+/// down before the scope joins, exactly as on the other error paths).
+pub fn generalized_binary_reduction_speculative_controlled(
+    instance: &Instance,
+    order: &VarOrder,
+    predicate: &dyn ConcurrentPredicate,
+    config: &GbrConfig,
+    spec: &SpeculationConfig,
+    control: &mut GbrControl<'_>,
+) -> Result<SpeculativeRun, GbrError> {
     // One worker per configured thread: the driving thread spends the
     // latency-bound regime blocked in `demand`, so it does not count
     // against the probe-parallelism budget (it only computes a probe
@@ -456,7 +598,7 @@ pub fn generalized_binary_reduction_speculative(
             distinct: 0,
             critical: 0,
         };
-        let outcome = gbr_loop(instance, order, config, &mut driver);
+        let outcome = gbr_loop(instance, order, config, &mut driver, control);
         // Always shut down before the scope joins, also on error paths —
         // otherwise the workers wait on the queue condvar forever.
         scheduler.shutdown();
@@ -527,6 +669,14 @@ impl ProbeDriver for SpeculativeDriver<'_, '_> {
 
     fn take_best(&mut self) -> Option<VarSet> {
         self.best.take()
+    }
+
+    fn best_so_far(&self) -> Option<&VarSet> {
+        self.best.as_ref()
+    }
+
+    fn seed_best(&mut self, best: VarSet) {
+        self.best = Some(best);
     }
 
     fn retarget(&mut self, prefix_unions: &[VarSet], lo: usize, hi: usize, next: usize) {
@@ -1203,6 +1353,123 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, GbrError::PredicateNotMonotone);
+    }
+
+    #[test]
+    fn cancel_hook_stops_the_run() {
+        let inst = chain_instance(16);
+        let order = crate::closure_size_order(&inst.cnf);
+        let mut bug = |s: &VarSet| s.contains(v(9));
+        let cancel = || true;
+        let mut control = GbrControl {
+            cancel: Some(&cancel),
+            ..GbrControl::default()
+        };
+        let err = generalized_binary_reduction_controlled(
+            &inst,
+            &order,
+            &mut bug,
+            &GbrConfig::default(),
+            &mut control,
+        )
+        .unwrap_err();
+        assert_eq!(err, GbrError::Cancelled);
+    }
+
+    #[test]
+    fn checkpoint_resume_reaches_the_same_solution() {
+        // Needs several iterations: bug requires three independent vars.
+        let inst = Instance::over_all_vars(Cnf::new(24));
+        let order = VarOrder::natural(24);
+        let bug = |s: &VarSet| s.contains(v(3)) && s.contains(v(11)) && s.contains(v(19));
+        let mut reference = bug;
+        let full = generalized_binary_reduction(
+            &inst,
+            &order,
+            &mut reference,
+            &GbrConfig::default(),
+        )
+        .expect("uninterrupted run");
+        assert!(full.iterations >= 2, "test needs a multi-iteration run");
+
+        // Interrupt after every possible iteration count and resume.
+        for stop_after in 1..full.iterations {
+            // Cancel as soon as `stop_after` checkpoints have been taken,
+            // keeping the last one.
+            let taken = std::sync::atomic::AtomicUsize::new(0);
+            let mut saved: Option<GbrCheckpoint> = None;
+            let mut hook = |ck: &GbrCheckpoint| {
+                taken.store(ck.iterations, std::sync::atomic::Ordering::Relaxed);
+                saved = Some(ck.clone());
+            };
+            let cancel = || taken.load(std::sync::atomic::Ordering::Relaxed) >= stop_after;
+            let mut control = GbrControl {
+                cancel: Some(&cancel),
+                checkpoint: Some(&mut hook),
+                resume: None,
+            };
+            let mut interrupted = bug;
+            let err = generalized_binary_reduction_controlled(
+                &inst,
+                &order,
+                &mut interrupted,
+                &GbrConfig::default(),
+                &mut control,
+            )
+            .unwrap_err();
+            assert_eq!(err, GbrError::Cancelled, "stop_after={stop_after}");
+            let ck = saved.expect("a checkpoint was taken");
+            assert_eq!(ck.iterations, stop_after);
+            let mut resumed_bug = bug;
+            let mut control = GbrControl {
+                resume: Some(ck),
+                ..GbrControl::default()
+            };
+            let resumed = generalized_binary_reduction_controlled(
+                &inst,
+                &order,
+                &mut resumed_bug,
+                &GbrConfig::default(),
+                &mut control,
+            )
+            .expect("resumed run converges");
+            assert_eq!(resumed.solution, full.solution, "stop_after={stop_after}");
+            assert_eq!(resumed.learned, full.learned, "stop_after={stop_after}");
+            assert_eq!(resumed.iterations, full.iterations, "stop_after={stop_after}");
+        }
+    }
+
+    #[test]
+    fn speculative_controlled_cancels() {
+        let inst = chain_instance(16);
+        let order = crate::closure_size_order(&inst.cnf);
+        let cancel = || true;
+        let mut control = GbrControl {
+            cancel: Some(&cancel),
+            ..GbrControl::default()
+        };
+        let err = generalized_binary_reduction_speculative_controlled(
+            &inst,
+            &order,
+            &|s: &VarSet| s.contains(v(9)),
+            &GbrConfig::default(),
+            &SpeculationConfig::new(4),
+            &mut control,
+        )
+        .unwrap_err();
+        assert_eq!(err, GbrError::Cancelled);
+    }
+
+    #[test]
+    fn trace_digest_ignores_wall_time() {
+        let mut a = ReductionTrace::new();
+        let mut b = ReductionTrace::new();
+        a.record(1, 0.5, 33.0, 100, true);
+        b.record(1, 7.9, 33.0, 100, true);
+        assert_eq!(a.digest(), b.digest());
+        let mut c = ReductionTrace::new();
+        c.record(1, 0.5, 33.0, 101, true);
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]

@@ -61,14 +61,15 @@ mod trace;
 
 pub use binary::{binary_reduction, BinaryReductionError, BinaryReductionOutcome};
 pub use concurrent::{
-    ClaimResult, ConcurrentPredicate, DemandKind, Demanded, MemoScan, Probe, ProbeScheduler,
-    ShardedMemo,
+    ClaimResult, ConcurrentPredicate, DemandKind, Demanded, MemoScan, Probe, ProbeCache,
+    ProbeScheduler, ShardedMemo,
 };
 pub use ddmin::{ddmin, DdminStats, TestOutcome};
 pub use gbr::{
-    build_progression, generalized_binary_reduction, generalized_binary_reduction_speculative,
-    GbrConfig, GbrError, GbrOutcome, ProbeStats, PropagationMode, SpeculationConfig,
-    SpeculativeRun,
+    build_progression, generalized_binary_reduction, generalized_binary_reduction_controlled,
+    generalized_binary_reduction_speculative,
+    generalized_binary_reduction_speculative_controlled, GbrCheckpoint, GbrConfig, GbrControl,
+    GbrError, GbrOutcome, ProbeStats, PropagationMode, SpeculationConfig, SpeculativeRun,
 };
 pub use graph::{Closure, DepGraph};
 pub use hitting::{reduction_is_faithful, HittingSet};

@@ -92,6 +92,29 @@ impl ReductionTrace {
         self.points.last().map_or(0.0, |p| p.wall_secs)
     }
 
+    /// A 64-bit FNV-1a digest of the trace's *deterministic* content:
+    /// call indices, candidate sizes, verdicts, and modeled times. Wall
+    /// times are excluded, so two runs of the same logical probe sequence
+    /// — sequential vs speculative, in-process vs through the service
+    /// daemon — digest identically, which is how CI asserts end-to-end
+    /// determinism without shipping whole traces around.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |w: u64| {
+            for byte in w.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for p in &self.points {
+            mix(p.call);
+            mix(p.size);
+            mix(p.success as u64);
+            mix(p.modeled_secs.to_bits());
+        }
+        h
+    }
+
     /// Merges another trace after this one, shifting its call indices and
     /// times so the merged trace reads as one sequential run. Used when a
     /// benchmark requires several reduction searches (one per distinct

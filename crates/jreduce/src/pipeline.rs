@@ -19,9 +19,11 @@ use lbr_classfile::{program_byte_size, Program};
 use crate::item::ItemRegistry;
 use lbr_core::{
     binary_reduction, closure_size_order, ddmin, generalized_binary_reduction,
-    generalized_binary_reduction_speculative, lossy_graph, BinaryReductionError,
-    ConcurrentPredicate, DepGraph, GbrConfig, GbrError, Instance, LossyPick, Oracle, Probe,
-    ProbeStats, PropagationMode, ReductionTrace, ShardedMemo, SpeculationConfig, TestOutcome,
+    generalized_binary_reduction_controlled,
+    generalized_binary_reduction_speculative_controlled, lossy_graph, BinaryReductionError,
+    ConcurrentPredicate, DepGraph, GbrCheckpoint, GbrConfig, GbrControl, GbrError, Instance,
+    LossyPick, Oracle, Probe, ProbeCache, ProbeStats, PropagationMode, ReductionTrace,
+    ShardedMemo, SpeculationConfig, TestOutcome,
 };
 use lbr_decompiler::DecompilerOracle;
 use lbr_logic::{MsaStrategy, VarSet};
@@ -381,16 +383,30 @@ struct CandidateProbe<'a> {
     registry: &'a ItemRegistry,
     oracle: &'a DecompilerOracle,
     latency_micros: u64,
+    /// An external probe cache (e.g. the service daemon's persistent,
+    /// cross-job one). A hit replaces only the tool invocation, beneath
+    /// every per-run counter, so results and accounting are identical
+    /// whether it is cold, warm, or absent.
+    external_cache: Option<&'a dyn ProbeCache>,
 }
 
 impl ConcurrentPredicate for CandidateProbe<'_> {
     fn probe(&self, keep: &VarSet) -> Probe {
+        if let Some(cache) = self.external_cache {
+            if let Some(probe) = cache.lookup(keep) {
+                return probe;
+            }
+        }
         let candidate = reduce_program(self.program, self.registry, keep);
         emulate_tool_latency(self.latency_micros);
-        Probe {
+        let probe = Probe {
             outcome: self.oracle.preserves_failure(&candidate),
             size: program_byte_size(&candidate) as u64,
+        };
+        if let Some(cache) = self.external_cache {
+            cache.store(keep, probe);
         }
+        probe
     }
 }
 
@@ -425,6 +441,126 @@ fn run_logical(
     cost: f64,
     options: &RunOptions,
 ) -> Result<RunParts, PipelineError> {
+    run_logical_hooked(
+        program,
+        oracle,
+        msa,
+        order_kind,
+        cost,
+        options,
+        ServiceHooks::default(),
+    )
+}
+
+/// Long-running-service hooks for a logical reduction run: an external
+/// probe cache, cooperative cancellation, and checkpoint/resume. The
+/// default value is inert, making [`run_logical_resumable`] equivalent to
+/// [`run_reduction_with`] on [`Strategy::Logical`].
+///
+/// All four hooks preserve the pipeline's determinism contract:
+///
+/// * `cache` sits beneath every per-run counter — a hit replaces only the
+///   tool invocation, so verdicts, sizes, call counts, and traces are
+///   bit-identical whether it is cold, warm, or absent.
+/// * `cancel`/`checkpoint`/`resume` snapshot and restore the GBR loop
+///   between probes; a resumed run converges to the same solution as an
+///   uninterrupted one (its *trace* covers only the probes demanded after
+///   the resume point — replays of the interrupted iteration's tail,
+///   which a warm cache answers without tool runs).
+#[derive(Default)]
+pub struct ServiceHooks<'h> {
+    /// Probe cache shared across runs of the *same* program + oracle
+    /// (callers must namespace keys; the keep-set alone is not unique).
+    pub cache: Option<&'h dyn ProbeCache>,
+    /// Polled between probes; `true` aborts with
+    /// [`PipelineError::Gbr`]([`GbrError::Cancelled`]).
+    pub cancel: Option<&'h (dyn Fn() -> bool + Sync)>,
+    /// Invoked with a resumable snapshot after every GBR iteration.
+    pub checkpoint: Option<&'h mut dyn FnMut(&GbrCheckpoint)>,
+    /// Continue a previous run from its last checkpoint.
+    pub resume: Option<GbrCheckpoint>,
+}
+
+impl std::fmt::Debug for ServiceHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHooks")
+            .field("cache", &self.cache.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("checkpoint", &self.checkpoint.is_some())
+            .field("resume", &self.resume)
+            .finish()
+    }
+}
+
+/// [`Strategy::Logical`] with [`ServiceHooks`]: the entry point the
+/// reduction daemon drives. Equivalent to [`run_reduction_with`] when the
+/// hooks are default; see [`ServiceHooks`] for the exact determinism and
+/// resume semantics.
+///
+/// # Errors
+///
+/// See [`PipelineError`]; a fired cancellation hook surfaces as
+/// [`PipelineError::Gbr`]([`GbrError::Cancelled`]).
+pub fn run_logical_resumable(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    msa: MsaStrategy,
+    cost_per_call_secs: f64,
+    options: &RunOptions,
+    hooks: ServiceHooks<'_>,
+) -> Result<ReductionReport, PipelineError> {
+    if !oracle.is_failing() {
+        return Err(PipelineError::NotFailing);
+    }
+    let start = Instant::now();
+    let initial = SizeMetrics::of(program);
+    let parts = run_logical_hooked(
+        program,
+        oracle,
+        msa,
+        OrderKind::ClosureSize,
+        cost_per_call_secs,
+        options,
+        hooks,
+    )?;
+    let RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats,
+        cache_hits,
+        cache_misses,
+        probe_stats,
+    } = parts;
+    let errors_preserved = oracle.preserves_failure(&reduced);
+    let still_valid = lbr_classfile::verify_program(&reduced).is_empty();
+    Ok(ReductionReport {
+        strategy: Strategy::Logical(msa).name(),
+        initial,
+        final_metrics: SizeMetrics::of(&reduced),
+        predicate_calls: calls,
+        cache_hits,
+        cache_misses,
+        probe_stats,
+        wall_secs: start.elapsed().as_secs_f64(),
+        modeled_secs: calls as f64 * cost_per_call_secs,
+        trace,
+        model_stats,
+        reduced,
+        errors_preserved,
+        still_valid,
+    })
+}
+
+fn run_logical_hooked(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    msa: MsaStrategy,
+    order_kind: OrderKind,
+    cost: f64,
+    options: &RunOptions,
+    mut hooks: ServiceHooks<'_>,
+) -> Result<RunParts, PipelineError> {
     let model: LogicalModel = build_model(program)?;
     let stats = model.stats();
     let order = match order_kind {
@@ -438,6 +574,11 @@ fn run_logical(
         propagation: options.propagation,
         ..GbrConfig::default()
     };
+    let mut control = GbrControl {
+        cancel: hooks.cancel,
+        checkpoint: hooks.checkpoint.take(),
+        resume: hooks.resume.take(),
+    };
     if options.probe_threads > 1 {
         // Speculative parallel probing: the scheduler's concurrent memo
         // subsumes the oracle memo (distinct demanded subsets run the tool
@@ -448,14 +589,21 @@ fn run_logical(
             registry,
             oracle,
             latency_micros: options.probe_latency_micros,
+            external_cache: hooks.cache,
         };
         let spec = SpeculationConfig {
             threads: options.probe_threads,
             width: 0,
             cost_per_call_secs: cost,
         };
-        let run =
-            generalized_binary_reduction_speculative(&instance, &order, &probe, &config, &spec)?;
+        let run = generalized_binary_reduction_speculative_controlled(
+            &instance,
+            &order,
+            &probe,
+            &config,
+            &spec,
+            &mut control,
+        )?;
         let reduced = reduce_program(program, registry, &run.outcome.solution);
         return Ok(RunParts {
             reduced,
@@ -468,14 +616,28 @@ fn run_logical(
         });
     }
     let last_bytes = Cell::new(0u64);
+    let external = hooks.cache;
     let mut predicate = |keep: &VarSet| {
+        // The external cache replaces the *tool run* only: latency is not
+        // emulated on a hit (that is the point of a persistent cache), and
+        // the per-run accounting above this closure never sees it.
+        if let Some(probe) = external.and_then(|c| c.lookup(keep)) {
+            last_bytes.set(probe.size);
+            return probe.outcome;
+        }
         let candidate = reduce_program(program, registry, keep);
-        last_bytes.set(program_byte_size(&candidate) as u64);
         emulate_tool_latency(options.probe_latency_micros);
-        oracle.preserves_failure(&candidate)
+        let outcome = oracle.preserves_failure(&candidate);
+        let size = program_byte_size(&candidate) as u64;
+        last_bytes.set(size);
+        if let Some(cache) = external {
+            cache.store(keep, Probe { outcome, size });
+        }
+        outcome
     };
     let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
-    let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;
+    let outcome =
+        generalized_binary_reduction_controlled(&instance, &order, &mut wrapped, &config, &mut control)?;
     let calls = wrapped.calls();
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
@@ -1209,6 +1371,132 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    /// An in-memory [`ProbeCache`] for tests (the disk-backed one lives in
+    /// the service crate).
+    #[derive(Default)]
+    struct MemCache {
+        map: std::sync::Mutex<HashMap<VarSet, Probe>>,
+        hits: std::sync::atomic::AtomicU64,
+    }
+
+    impl ProbeCache for MemCache {
+        fn lookup(&self, key: &VarSet) -> Option<Probe> {
+            let got = self.map.lock().unwrap().get(key).copied();
+            if got.is_some() {
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            got
+        }
+        fn store(&self, key: &VarSet, probe: Probe) {
+            self.map.lock().unwrap().insert(key.clone(), probe);
+        }
+    }
+
+    #[test]
+    fn resumable_matches_plain_run_and_warm_cache_is_invisible() {
+        let p = benchmark();
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        let plain = run_reduction_with(
+            &p,
+            &oracle,
+            Strategy::Logical(MsaStrategy::GreedyClosure),
+            33.0,
+            &RunOptions::default(),
+        )
+        .expect("plain");
+        let cache = MemCache::default();
+        for round in 0..2 {
+            // Round 0 fills the cache; round 1 is served warm. Both must be
+            // bit-identical to the plain run in every observable.
+            let hooks = ServiceHooks {
+                cache: Some(&cache),
+                ..ServiceHooks::default()
+            };
+            let run = run_logical_resumable(
+                &p,
+                &oracle,
+                MsaStrategy::GreedyClosure,
+                33.0,
+                &RunOptions::default(),
+                hooks,
+            )
+            .expect("resumable");
+            assert_eq!(run.final_metrics, plain.final_metrics, "round={round}");
+            assert_eq!(run.predicate_calls, plain.predicate_calls, "round={round}");
+            assert_eq!(run.cache_hits, plain.cache_hits, "round={round}");
+            assert_eq!(run.cache_misses, plain.cache_misses, "round={round}");
+            assert_eq!(run.trace.digest(), plain.trace.digest(), "round={round}");
+            assert_eq!(
+                lbr_classfile::write_program(&run.reduced),
+                lbr_classfile::write_program(&plain.reduced),
+                "round={round}"
+            );
+        }
+        assert!(
+            cache.hits.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "the warm round must actually hit the external cache"
+        );
+    }
+
+    #[test]
+    fn resumable_checkpoint_resume_matches_uninterrupted() {
+        let p = benchmark();
+        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+        let plain = run_reduction_with(
+            &p,
+            &oracle,
+            Strategy::Logical(MsaStrategy::GreedyClosure),
+            33.0,
+            &RunOptions::default(),
+        )
+        .expect("plain");
+        // Cancel after the first checkpoint, then resume from it — with a
+        // shared cache, so the resumed run's replayed probes are warm.
+        let cache = MemCache::default();
+        let taken = std::sync::atomic::AtomicUsize::new(0);
+        let mut saved: Option<lbr_core::GbrCheckpoint> = None;
+        let mut hook = |ck: &lbr_core::GbrCheckpoint| {
+            taken.store(ck.iterations, std::sync::atomic::Ordering::Relaxed);
+            saved = Some(ck.clone());
+        };
+        let cancel = || taken.load(std::sync::atomic::Ordering::Relaxed) >= 1;
+        let err = run_logical_resumable(
+            &p,
+            &oracle,
+            MsaStrategy::GreedyClosure,
+            33.0,
+            &RunOptions::default(),
+            ServiceHooks {
+                cache: Some(&cache),
+                cancel: Some(&cancel),
+                checkpoint: Some(&mut hook),
+                resume: None,
+            },
+        )
+        .expect_err("cancelled");
+        assert!(matches!(err, PipelineError::Gbr(GbrError::Cancelled)));
+        let ck = saved.expect("checkpoint taken");
+        let resumed = run_logical_resumable(
+            &p,
+            &oracle,
+            MsaStrategy::GreedyClosure,
+            33.0,
+            &RunOptions::default(),
+            ServiceHooks {
+                cache: Some(&cache),
+                resume: Some(ck),
+                ..ServiceHooks::default()
+            },
+        )
+        .expect("resumed run completes");
+        assert_eq!(resumed.final_metrics, plain.final_metrics);
+        assert_eq!(
+            lbr_classfile::write_program(&resumed.reduced),
+            lbr_classfile::write_program(&plain.reduced)
+        );
+        assert!(resumed.errors_preserved && resumed.still_valid);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The reduction daemon binary.
+//!
+//! ```text
+//! lbr-serviced --state-dir state/ [--workers N] [--queue-capacity N]
+//! ```
+//!
+//! Binds an ephemeral localhost port, prints it to stdout (and persists it
+//! in `state/daemon.addr`), recovers any unfinished jobs from the state
+//! directory, and serves until a `shutdown` request. Kill it however you
+//! like — every state file is written atomically, so a restart resumes
+//! checkpointed jobs with a warm oracle cache.
+
+use lbr_service::{Daemon, DaemonConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut state_dir: Option<String> = None;
+    let mut workers = 4usize;
+    let mut queue_capacity = 64usize;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            });
+            i += 1;
+            v
+        };
+        match flag {
+            "--state-dir" => state_dir = Some(value()),
+            "--workers" => {
+                workers = value().parse().unwrap_or_else(|_| {
+                    eprintln!("--workers takes a number");
+                    std::process::exit(2);
+                })
+            }
+            "--queue-capacity" => {
+                queue_capacity = value().parse().unwrap_or_else(|_| {
+                    eprintln!("--queue-capacity takes a number");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("usage: lbr-serviced --state-dir DIR [--workers N] [--queue-capacity N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(state_dir) = state_dir else {
+        eprintln!("--state-dir is required (try --help)");
+        std::process::exit(2);
+    };
+    let mut config = DaemonConfig::new(state_dir, workers);
+    config.queue_capacity = queue_capacity.max(1);
+    let daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", daemon.local_addr());
+    if let Err(e) = daemon.run() {
+        eprintln!("daemon error: {e}");
+        std::process::exit(1);
+    }
+}

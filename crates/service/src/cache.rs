@@ -1,0 +1,383 @@
+//! The disk-backed persistent oracle cache shared across jobs and across
+//! daemon restarts.
+//!
+//! Entries are content-addressed: the key is the candidate keep-set (its
+//! 64-bit [`VarSet::fingerprint`] indexes a bucket; full set equality
+//! resolves collisions) under a caller-supplied *namespace* — a digest of
+//! the input container and the oracle configuration — so two jobs only
+//! share entries when their probes are the same pure function. The value
+//! is the probe verdict and candidate size, exactly what a tool run
+//! produces.
+//!
+//! Persistence is a single text file written via
+//! [`atomic_write`](crate::fsio::atomic_write): a reader never observes a
+//! torn cache, and a `kill -9` at any instant loses at most the entries
+//! added since the last save. Correctness never depends on the cache —
+//! it sits beneath every per-run counter (see
+//! [`ProbeCache`](lbr_core::ProbeCache)), so a lost entry merely costs
+//! one tool re-run.
+
+use crate::fsio::atomic_write_str;
+use lbr_core::{Probe, ProbeCache};
+use lbr_logic::{Var, VarSet};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const HEADER: &str = "lbr-oracle-cache v1";
+
+/// One remembered probe.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    key: VarSet,
+    probe: Probe,
+    /// Loaded from disk (a previous process's work) rather than stored by
+    /// this process — the distinction behind the `warm_hits` stat.
+    warm: bool,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// (namespace, key fingerprint) → entries with that fingerprint.
+    buckets: HashMap<(u64, u64), Vec<CacheEntry>>,
+    /// Entries added since the last save.
+    dirty: usize,
+    len: usize,
+}
+
+/// Counter snapshot for the `stats` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total entries currently held.
+    pub entries: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller then runs the tool).
+    pub misses: u64,
+    /// Hits on entries loaded from disk — proof that cached work survived
+    /// a restart.
+    pub warm_hits: u64,
+}
+
+/// The persistent, thread-safe oracle cache. See the module docs.
+pub struct PersistentOracleCache {
+    path: PathBuf,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    warm_hits: AtomicU64,
+}
+
+impl PersistentOracleCache {
+    /// Opens the cache at `path`, loading any existing entries (which are
+    /// marked *warm*). A missing file is an empty cache; a file with an
+    /// unknown header is an error (never silently dropped).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let mut inner = CacheInner::default();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                if lines.next() != Some(HEADER) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: not a {HEADER} file", path.display()),
+                    ));
+                }
+                for (lineno, line) in lines.enumerate() {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let entry = parse_line(line).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{}: bad cache line {}", path.display(), lineno + 2),
+                        )
+                    })?;
+                    let (ns, key, probe) = entry;
+                    inner
+                        .buckets
+                        .entry((ns, key.fingerprint()))
+                        .or_default()
+                        .push(CacheEntry {
+                            key,
+                            probe,
+                            warm: true,
+                        });
+                    inner.len += 1;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(PersistentOracleCache {
+            path,
+            inner: Mutex::new(inner),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up a probe under the namespace, counting a hit or a miss.
+    pub fn lookup(&self, namespace: u64, key: &VarSet) -> Option<Probe> {
+        let inner = self.inner.lock().expect("cache lock");
+        let found = inner
+            .buckets
+            .get(&(namespace, key.fingerprint()))
+            .and_then(|bucket| bucket.iter().find(|e| e.key == *key));
+        match found {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if entry.warm {
+                    self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(entry.probe)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Remembers a probe under the namespace (first write wins — the
+    /// predicate is pure, so duplicates are necessarily equal).
+    pub fn store(&self, namespace: u64, key: &VarSet, probe: Probe) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let bucket = inner
+            .buckets
+            .entry((namespace, key.fingerprint()))
+            .or_default();
+        if bucket.iter().any(|e| e.key == *key) {
+            return;
+        }
+        bucket.push(CacheEntry {
+            key: key.clone(),
+            probe,
+            warm: false,
+        });
+        inner.len += 1;
+        inner.dirty += 1;
+    }
+
+    /// Serializes every entry and atomically replaces the cache file.
+    pub fn save(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let mut out = String::with_capacity(64 * inner.len + HEADER.len() + 1);
+        out.push_str(HEADER);
+        out.push('\n');
+        // Deterministic line order: sort by (namespace, fingerprint, key).
+        let mut keys: Vec<&(u64, u64)> = inner.buckets.keys().collect();
+        keys.sort();
+        for k in keys {
+            for entry in &inner.buckets[k] {
+                render_line(k.0, &entry.key, entry.probe, &mut out);
+            }
+        }
+        atomic_write_str(&self.path, &out)?;
+        inner.dirty = 0;
+        Ok(())
+    }
+
+    /// [`save`](Self::save) only if entries were added since the last one.
+    pub fn save_if_dirty(&self) -> io::Result<()> {
+        if self.inner.lock().expect("cache lock").dirty > 0 {
+            self.save()?;
+        }
+        Ok(())
+    }
+
+    /// Total entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").len
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The file this cache persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A view of one namespace implementing [`ProbeCache`], the interface
+    /// `lbr_jreduce::ServiceHooks` consumes.
+    pub fn namespaced(&self, namespace: u64) -> NamespacedCache<'_> {
+        NamespacedCache {
+            cache: self,
+            namespace,
+        }
+    }
+}
+
+/// A [`PersistentOracleCache`] scoped to one namespace.
+pub struct NamespacedCache<'c> {
+    cache: &'c PersistentOracleCache,
+    namespace: u64,
+}
+
+impl ProbeCache for NamespacedCache<'_> {
+    fn lookup(&self, key: &VarSet) -> Option<Probe> {
+        self.cache.lookup(self.namespace, key)
+    }
+
+    fn store(&self, key: &VarSet, probe: Probe) {
+        self.cache.store(self.namespace, key, probe);
+    }
+}
+
+/// FNV-1a digest of `salt` and `data` — the namespace for probes of one
+/// (input container, oracle configuration) pair.
+pub fn namespace_digest(salt: &str, data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in salt.bytes() {
+        mix(b);
+    }
+    mix(0xff); // separator: namespace("ab", b"c") ≠ namespace("a", b"bc")
+    for &b in data {
+        mix(b);
+    }
+    h
+}
+
+/// `<ns hex> <universe> <outcome> <size> <idx,idx,…|->`
+fn render_line(ns: u64, key: &VarSet, probe: Probe, out: &mut String) {
+    use std::fmt::Write;
+    write!(
+        out,
+        "{ns:016x} {} {} {} ",
+        key.universe(),
+        probe.outcome as u8,
+        probe.size
+    )
+    .expect("write to string");
+    if key.is_empty() {
+        out.push('-');
+    } else {
+        for (i, v) in key.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "{}", v.index()).expect("write to string");
+        }
+    }
+    out.push('\n');
+}
+
+fn parse_line(line: &str) -> Option<(u64, VarSet, Probe)> {
+    let mut fields = line.split(' ');
+    let ns = u64::from_str_radix(fields.next()?, 16).ok()?;
+    let universe: usize = fields.next()?.parse().ok()?;
+    let outcome = match fields.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let size: u64 = fields.next()?.parse().ok()?;
+    let members = fields.next()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    let key = if members == "-" {
+        VarSet::empty(universe)
+    } else {
+        let mut indices = Vec::new();
+        for part in members.split(',') {
+            let idx: u32 = part.parse().ok()?;
+            if idx as usize >= universe {
+                return None;
+            }
+            indices.push(Var::new(idx));
+        }
+        VarSet::from_iter_with_universe(universe, indices)
+    };
+    Some((ns, key, Probe { outcome, size }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(universe: usize, members: &[u32]) -> VarSet {
+        VarSet::from_iter_with_universe(universe, members.iter().copied().map(Var::new))
+    }
+
+    #[test]
+    fn store_lookup_and_counters() {
+        let dir = std::env::temp_dir().join(format!("lbr-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = PersistentOracleCache::open(dir.join("c1")).unwrap();
+        let key = set(8, &[1, 3, 5]);
+        assert_eq!(cache.lookup(7, &key), None);
+        cache.store(7, &key, Probe { outcome: true, size: 42 });
+        assert_eq!(cache.lookup(7, &key), Some(Probe { outcome: true, size: 42 }));
+        // Namespaces are disjoint.
+        assert_eq!(cache.lookup(8, &key), None);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses, stats.warm_hits), (1, 1, 2, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn survives_save_and_reload() {
+        let dir = std::env::temp_dir().join(format!("lbr-cache2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache");
+        {
+            let cache = PersistentOracleCache::open(&path).unwrap();
+            cache.store(1, &set(6, &[0, 2]), Probe { outcome: false, size: 9 });
+            cache.store(1, &set(6, &[]), Probe { outcome: true, size: 0 });
+            cache.store(2, &set(6, &[0, 2]), Probe { outcome: true, size: 11 });
+            cache.save_if_dirty().unwrap();
+        }
+        let cache = PersistentOracleCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            cache.lookup(1, &set(6, &[0, 2])),
+            Some(Probe { outcome: false, size: 9 })
+        );
+        assert_eq!(cache.lookup(1, &set(6, &[])), Some(Probe { outcome: true, size: 0 }));
+        assert_eq!(
+            cache.lookup(2, &set(6, &[0, 2])),
+            Some(Probe { outcome: true, size: 11 })
+        );
+        assert_eq!(cache.stats().warm_hits, 3, "reloaded entries count as warm");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let dir = std::env::temp_dir().join(format!("lbr-cache3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("notacache");
+        std::fs::write(&path, "something else\n").unwrap();
+        assert!(PersistentOracleCache::open(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn namespace_digest_separates() {
+        assert_ne!(namespace_digest("a", b"bc"), namespace_digest("ab", b"c"));
+        assert_ne!(namespace_digest("a", b"x"), namespace_digest("b", b"x"));
+        assert_eq!(namespace_digest("a", b"x"), namespace_digest("a", b"x"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Serializing [`GbrCheckpoint`]s to JSON files.
+//!
+//! The checkpoint format (see DESIGN.md §Service architecture) is a small
+//! JSON document; `VarSet`s are stored as `{ "universe": N, "members":
+//! [indices…] }`, the only stable public view of a set. Checkpoints go
+//! through [`atomic_write`](crate::fsio::atomic_write) like every other
+//! state file, so a killed writer leaves either the previous checkpoint or
+//! the new one — a resumed job merely restarts from one iteration earlier
+//! in the worst case.
+
+use crate::fsio::atomic_write_str;
+use crate::json::Json;
+use lbr_core::GbrCheckpoint;
+use lbr_logic::{Var, VarSet};
+use std::io;
+use std::path::Path;
+
+/// Current checkpoint format version.
+const VERSION: f64 = 1.0;
+
+/// Renders a `VarSet` as `{ "universe": N, "members": [..] }`.
+pub fn varset_to_json(set: &VarSet) -> Json {
+    Json::obj([
+        ("universe", Json::num(set.universe() as f64)),
+        (
+            "members",
+            Json::Arr(set.iter().map(|v| Json::num(v.index() as f64)).collect()),
+        ),
+    ])
+}
+
+/// Parses a `VarSet` rendered by [`varset_to_json`].
+pub fn varset_from_json(j: &Json) -> Result<VarSet, String> {
+    let universe = j
+        .u64_field("universe")
+        .ok_or("varset: missing universe")? as usize;
+    let members = j
+        .get("members")
+        .and_then(Json::as_arr)
+        .ok_or("varset: missing members")?;
+    let mut vars = Vec::with_capacity(members.len());
+    for m in members {
+        let idx = m.as_u64().ok_or("varset: bad member")?;
+        if idx as usize >= universe {
+            return Err(format!("varset: member {idx} outside universe {universe}"));
+        }
+        vars.push(Var::new(idx as u32));
+    }
+    Ok(VarSet::from_iter_with_universe(universe, vars))
+}
+
+/// Renders a checkpoint as its JSON document.
+pub fn checkpoint_to_json(ck: &GbrCheckpoint) -> Json {
+    let mut fields = vec![
+        ("version", Json::Num(VERSION)),
+        ("iterations", Json::num(ck.iterations as f64)),
+        (
+            "learned",
+            Json::Arr(ck.learned.iter().map(varset_to_json).collect()),
+        ),
+        ("search_space", varset_to_json(&ck.search_space)),
+    ];
+    if let Some(best) = &ck.best {
+        fields.push(("best", varset_to_json(best)));
+    }
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Parses a checkpoint document.
+pub fn checkpoint_from_json(j: &Json) -> Result<GbrCheckpoint, String> {
+    match j.f64_field("version") {
+        Some(v) if v == VERSION => {}
+        v => return Err(format!("checkpoint: unsupported version {v:?}")),
+    }
+    let iterations = j.u64_field("iterations").ok_or("checkpoint: missing iterations")? as usize;
+    let learned = j
+        .get("learned")
+        .and_then(Json::as_arr)
+        .ok_or("checkpoint: missing learned")?
+        .iter()
+        .map(varset_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let search_space =
+        varset_from_json(j.get("search_space").ok_or("checkpoint: missing search_space")?)?;
+    let best = j.get("best").map(varset_from_json).transpose()?;
+    if learned.len() != iterations {
+        return Err(format!(
+            "checkpoint: {} learned sets but {iterations} iterations",
+            learned.len()
+        ));
+    }
+    Ok(GbrCheckpoint {
+        iterations,
+        learned,
+        search_space,
+        best,
+    })
+}
+
+/// Atomically writes a checkpoint file.
+pub fn save_checkpoint(path: &Path, ck: &GbrCheckpoint) -> io::Result<()> {
+    atomic_write_str(path, &checkpoint_to_json(ck).render())
+}
+
+/// Loads a checkpoint file; `Ok(None)` when none exists, an error when one
+/// exists but does not parse (atomic writes make that a real fault, not a
+/// torn write).
+pub fn load_checkpoint(path: &Path) -> io::Result<Option<GbrCheckpoint>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    Json::parse(&text)
+        .and_then(|j| checkpoint_from_json(&j))
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(universe: usize, members: &[u32]) -> VarSet {
+        VarSet::from_iter_with_universe(universe, members.iter().copied().map(Var::new))
+    }
+
+    #[test]
+    fn round_trips_via_file() {
+        let ck = GbrCheckpoint {
+            iterations: 2,
+            learned: vec![set(10, &[1, 4]), set(10, &[7])],
+            search_space: set(10, &[1, 2, 4, 7, 9]),
+            best: Some(set(10, &[1, 4, 7])),
+        };
+        let dir = std::env::temp_dir().join(format!("lbr-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job-1.ckpt");
+        save_checkpoint(&path, &ck).unwrap();
+        let loaded = load_checkpoint(&path).unwrap().expect("checkpoint exists");
+        assert_eq!(loaded, ck);
+        assert_eq!(load_checkpoint(&dir.join("nope")).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_best_round_trips() {
+        let ck = GbrCheckpoint {
+            iterations: 0,
+            learned: vec![],
+            search_space: set(4, &[0, 1, 2, 3]),
+            best: None,
+        };
+        let j = checkpoint_to_json(&ck);
+        assert_eq!(checkpoint_from_json(&j).unwrap(), ck);
+    }
+
+    #[test]
+    fn rejects_inconsistent_documents() {
+        let ck = GbrCheckpoint {
+            iterations: 3, // != learned.len()
+            learned: vec![set(4, &[1])],
+            search_space: set(4, &[1, 2]),
+            best: None,
+        };
+        assert!(checkpoint_from_json(&checkpoint_to_json(&ck)).is_err());
+        assert!(varset_from_json(&Json::parse(r#"{"universe":2,"members":[5]}"#).unwrap()).is_err());
+    }
+}

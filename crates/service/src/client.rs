@@ -1,0 +1,144 @@
+//! A blocking client for the reduction daemon's line-JSON protocol.
+//!
+//! Each request opens one TCP connection, sends one JSON line, and reads
+//! one JSON line back — stateless on the wire, so a client never holds a
+//! daemon resource across calls (the exception is [`Client::wait_result`],
+//! whose single request blocks server-side until the job is terminal).
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A handle on a running daemon.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (`host:port`).
+    pub fn connect(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// A client for the daemon owning `state_dir`, via its `daemon.addr`
+    /// file.
+    pub fn from_state_dir(state_dir: &Path) -> io::Result<Client> {
+        let addr = std::fs::read_to_string(state_dir.join("daemon.addr"))?;
+        Ok(Client::connect(addr.trim()))
+    }
+
+    /// Sends one request document and returns the response document.
+    pub fn request(&self, request: &Json) -> io::Result<Json> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.write_all(format!("{}\n", request.render()).as_bytes())?;
+        stream.flush()?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection without responding",
+            ));
+        }
+        Json::parse(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Like [`request`](Self::request), but a `{"ok": false}` response
+    /// becomes an error carrying the daemon's message.
+    pub fn expect_ok(&self, request: &Json) -> io::Result<Json> {
+        let response = self.request(request)?;
+        if response.bool_field("ok") == Some(true) {
+            Ok(response)
+        } else {
+            let message = response.str_field("error").unwrap_or("unknown daemon error");
+            Err(io::Error::other(message.to_owned()))
+        }
+    }
+
+    /// Submits a job described by `spec` (the fields of
+    /// [`JobSpec`](crate::JobSpec), minus `id`) and returns the assigned
+    /// job id.
+    pub fn submit(&self, spec: &Json) -> io::Result<u64> {
+        let mut request = match spec {
+            Json::Obj(fields) => fields.clone(),
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidInput, "spec must be an object")),
+        };
+        request.insert("op".to_owned(), Json::str("submit"));
+        self.expect_ok(&Json::Obj(request))?
+            .u64_field("id")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "submit response without id"))
+    }
+
+    /// The job's current status document.
+    pub fn status(&self, id: u64) -> io::Result<Json> {
+        self.expect_ok(&Json::obj([
+            ("op", Json::str("status")),
+            ("id", Json::count(id)),
+        ]))
+    }
+
+    /// Blocks until the job is terminal and returns its result document.
+    pub fn wait_result(&self, id: u64) -> io::Result<Json> {
+        let response = self.expect_ok(&Json::obj([
+            ("op", Json::str("result")),
+            ("id", Json::count(id)),
+            ("wait", Json::Bool(true)),
+        ]))?;
+        response
+            .get("result")
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response without result"))
+    }
+
+    /// Requests cooperative cancellation of a job.
+    pub fn cancel(&self, id: u64) -> io::Result<()> {
+        self.expect_ok(&Json::obj([
+            ("op", Json::str("cancel")),
+            ("id", Json::count(id)),
+        ]))
+        .map(|_| ())
+    }
+
+    /// The daemon's stats document (queue depth, per-job probe counts,
+    /// cache hit rates, worker utilization).
+    pub fn stats(&self) -> io::Result<Json> {
+        self.expect_ok(&Json::obj([("op", Json::str("stats"))]))
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    pub fn shutdown(&self) -> io::Result<()> {
+        self.expect_ok(&Json::obj([("op", Json::str("shutdown"))]))
+            .map(|_| ())
+    }
+
+    /// Whether a daemon answers at this address.
+    pub fn ping(&self) -> bool {
+        self.request(&Json::obj([("op", Json::str("ping"))]))
+            .map(|r| r.bool_field("ok") == Some(true))
+            .unwrap_or(false)
+    }
+
+    /// Polls [`ping`](Self::ping) until the daemon answers or the timeout
+    /// elapses. Used right after spawning a daemon process.
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.ping() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}

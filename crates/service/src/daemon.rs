@@ -1,0 +1,724 @@
+//! The reduction daemon: a multi-threaded TCP service running GBR jobs.
+//!
+//! One daemon owns a *state directory* holding everything it needs to
+//! survive a crash:
+//!
+//! ```text
+//! state/
+//!   daemon.addr        the bound 127.0.0.1:port, written atomically
+//!   oracle.cache       the persistent probe cache, shared by all jobs
+//!   job-7.spec.json    what job 7 asked for
+//!   job-7.ckpt         job 7's latest resumable GBR snapshot
+//!   job-7.result.json  job 7's terminal outcome (done / failed / cancelled)
+//! ```
+//!
+//! Every file is written via [`atomic_write`](crate::fsio::atomic_write).
+//! On startup the daemon rescans the directory: specs with a result file
+//! become terminal records, specs without one are re-enqueued — with a
+//! checkpoint file, the job resumes mid-search instead of starting over,
+//! and the cache (saved at every checkpoint) answers the replayed probes
+//! warm.
+//!
+//! The wire protocol is newline-delimited JSON over localhost TCP, one
+//! request and one response per line (see [`crate::client`] and
+//! DESIGN.md §Service architecture for the operation list).
+
+use crate::cache::{namespace_digest, PersistentOracleCache};
+use crate::checkpoint::{load_checkpoint, save_checkpoint};
+use crate::fsio::{atomic_write, atomic_write_str};
+use crate::job::{JobPhase, JobSpec};
+use crate::json::Json;
+use crate::queue::JobQueue;
+use lbr_classfile::{read_program, write_program};
+use lbr_core::{GbrError, LossyPick};
+use lbr_decompiler::{BugSet, DecompilerOracle};
+use lbr_jreduce::{
+    run_logical_resumable, run_reduction_with, PipelineError, ReductionReport, RunOptions,
+    ServiceHooks, Strategy,
+};
+use lbr_logic::MsaStrategy;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a daemon is configured.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Directory for the address file, oracle cache, and per-job state.
+    pub state_dir: PathBuf,
+    /// Worker threads running jobs concurrently.
+    pub workers: usize,
+    /// Bound of the pending-job queue; submits beyond it are rejected.
+    pub queue_capacity: usize,
+}
+
+impl DaemonConfig {
+    /// A config with `workers` threads over `state_dir` and the default
+    /// queue bound of 64 pending jobs.
+    pub fn new(state_dir: impl Into<PathBuf>, workers: usize) -> Self {
+        DaemonConfig {
+            state_dir: state_dir.into(),
+            workers: workers.max(1),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// What the daemon remembers about one job, in memory.
+struct JobRecord {
+    spec: JobSpec,
+    phase: JobPhase,
+    error: Option<String>,
+    predicate_calls: u64,
+    /// The job continued from a checkpoint (its own earlier life).
+    resumed: bool,
+    /// Cooperative cancel flag, polled between probes.
+    cancel: Arc<AtomicBool>,
+}
+
+/// Shared daemon state: everything workers and connection handlers touch.
+struct ServiceState {
+    config: DaemonConfig,
+    cache: PersistentOracleCache,
+    queue: JobQueue,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    /// Nanoseconds workers have spent inside jobs (utilization numerator).
+    busy_nanos: AtomicU64,
+    started: Instant,
+    submitted: AtomicU64,
+    /// The bound address, for the shutdown self-connect.
+    addr: SocketAddr,
+}
+
+impl ServiceState {
+    fn job_file(&self, id: u64, suffix: &str) -> PathBuf {
+        self.config.state_dir.join(format!("job-{id}.{suffix}"))
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Why [`execute_job`] did not produce a report.
+enum JobStop {
+    /// The cancel hook fired: user cancel, deadline, or daemon shutdown.
+    Cancelled,
+    /// A real failure — bad input, non-failing oracle, pipeline error.
+    Failed(String),
+}
+
+/// A started (bound and recovered, but not yet serving) daemon.
+pub struct Daemon {
+    state: Arc<ServiceState>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Creates the state directory, opens the cache, recovers persisted
+    /// jobs, binds an ephemeral localhost port, and publishes it in
+    /// `daemon.addr`. Call [`run`](Self::run) to serve.
+    pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let cache = PersistentOracleCache::open(config.state_dir.join("oracle.cache"))?;
+        let queue = JobQueue::new(config.queue_capacity);
+        let mut jobs = HashMap::new();
+        let mut max_id = 0u64;
+        let mut recovered = Vec::new();
+        for entry in std::fs::read_dir(&config.state_dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            let Some(id) = name
+                .strip_prefix("job-")
+                .and_then(|rest| rest.strip_suffix(".spec.json"))
+                .and_then(|id| id.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            max_id = max_id.max(id);
+            let spec_path = config.state_dir.join(name.as_ref());
+            let text = std::fs::read_to_string(&spec_path)?;
+            let spec = Json::parse(&text)
+                .and_then(|j| JobSpec::from_json(&j, id))
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: {e}", spec_path.display()),
+                    )
+                })?;
+            let result_path = config.state_dir.join(format!("job-{id}.result.json"));
+            let record = match std::fs::read_to_string(&result_path) {
+                Ok(text) => {
+                    // Terminal in a previous life; keep it inspectable.
+                    let doc = Json::parse(&text).unwrap_or(Json::Null);
+                    let phase = match doc.str_field("status") {
+                        Some("failed") => JobPhase::Failed,
+                        Some("cancelled") => JobPhase::Cancelled,
+                        _ => JobPhase::Done,
+                    };
+                    JobRecord {
+                        spec,
+                        phase,
+                        error: doc.str_field("error").map(str::to_owned),
+                        predicate_calls: doc.u64_field("predicate_calls").unwrap_or(0),
+                        resumed: doc.bool_field("resumed").unwrap_or(false),
+                        cancel: Arc::new(AtomicBool::new(false)),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // Unfinished: re-enqueue. A checkpoint file means the
+                    // search resumes rather than restarts.
+                    let resumed = config.state_dir.join(format!("job-{id}.ckpt")).exists();
+                    recovered.push((id, spec.priority));
+                    JobRecord {
+                        spec,
+                        phase: JobPhase::Queued,
+                        error: None,
+                        predicate_calls: 0,
+                        resumed,
+                        cancel: Arc::new(AtomicBool::new(false)),
+                    }
+                }
+                Err(e) => return Err(e),
+            };
+            jobs.insert(id, record);
+        }
+        recovered.sort_unstable(); // deterministic re-enqueue order
+        for (id, priority) in recovered {
+            if queue.push(id, priority).is_err() {
+                let job = jobs.get_mut(&id).expect("recovered job");
+                job.phase = JobPhase::Failed;
+                job.error = Some("queue full during recovery".to_owned());
+            }
+        }
+        let submitted = jobs.len() as u64;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        atomic_write_str(&config.state_dir.join("daemon.addr"), &format!("{addr}\n"))?;
+        Ok(Daemon {
+            state: Arc::new(ServiceState {
+                config,
+                cache,
+                queue,
+                jobs: Mutex::new(jobs),
+                next_id: AtomicU64::new(max_id + 1),
+                shutdown: AtomicBool::new(false),
+                busy_nanos: AtomicU64::new(0),
+                started: Instant::now(),
+                submitted: AtomicU64::new(submitted),
+                addr,
+            }),
+            listener,
+            addr,
+        })
+    }
+
+    /// The bound localhost address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until a `shutdown` request: workers drain the queue,
+    /// connection handlers answer the protocol. Running jobs are asked to
+    /// cancel (they checkpoint first, so a restart resumes them), the
+    /// cache is saved, and `daemon.addr` is removed.
+    pub fn run(self) -> io::Result<()> {
+        let state = &self.state;
+        std::thread::scope(|scope| {
+            for worker in 0..state.config.workers {
+                let state = Arc::clone(state);
+                std::thread::Builder::new()
+                    .name(format!("lbr-worker-{worker}"))
+                    .spawn_scoped(scope, move || {
+                        while let Some(id) = state.queue.pop() {
+                            run_job(&state, id);
+                        }
+                    })
+                    .expect("spawn worker");
+            }
+            for stream in self.listener.incoming() {
+                if state.shutting_down() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let state = Arc::clone(state);
+                std::thread::Builder::new()
+                    .name("lbr-conn".to_owned())
+                    .spawn_scoped(scope, move || serve_connection(&state, stream))
+                    .expect("spawn connection handler");
+            }
+            // Wake workers; running jobs observe the shutdown flag through
+            // their cancel hook and checkpoint out.
+            state.queue.close();
+        });
+        state.cache.save_if_dirty()?;
+        let _ = std::fs::remove_file(state.config.state_dir.join("daemon.addr"));
+        Ok(())
+    }
+}
+
+/// One request/response exchange per line until the peer hangs up.
+fn serve_connection(state: &ServiceState, stream: TcpStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Json::parse(&line) {
+            Ok(request) => handle_request(state, &request),
+            Err(e) => error_response(&format!("bad request: {e}")),
+        };
+        if writer
+            .write_all(format!("{}\n", response.render()).as_bytes())
+            .is_err()
+        {
+            break;
+        }
+        if state.shutting_down() {
+            break;
+        }
+    }
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+fn ok_response<const N: usize>(fields: [(&str, Json); N]) -> Json {
+    let mut doc = vec![("ok".to_owned(), Json::Bool(true))];
+    doc.extend(fields.into_iter().map(|(k, v)| (k.to_owned(), v)));
+    Json::Obj(doc.into_iter().collect())
+}
+
+fn handle_request(state: &ServiceState, request: &Json) -> Json {
+    match request.str_field("op") {
+        Some("ping") => ok_response([]),
+        Some("submit") => handle_submit(state, request),
+        Some("status") => handle_status(state, request),
+        Some("result") => handle_result(state, request),
+        Some("cancel") => handle_cancel(state, request),
+        Some("stats") => handle_stats(state),
+        Some("shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue.close();
+            // Unblock the accept loop so `run` can wind down.
+            let _ = TcpStream::connect(state.addr);
+            ok_response([])
+        }
+        Some(other) => error_response(&format!("unknown op {other:?}")),
+        None => error_response("request has no \"op\""),
+    }
+}
+
+fn handle_submit(state: &ServiceState, request: &Json) -> Json {
+    if state.shutting_down() {
+        return error_response("daemon is shutting down");
+    }
+    let id = state.next_id.fetch_add(1, Ordering::SeqCst);
+    let spec = match JobSpec::from_json(request, id) {
+        Ok(mut spec) => {
+            spec.id = id;
+            spec
+        }
+        Err(e) => return error_response(&e),
+    };
+    if let Err(e) = atomic_write_str(
+        &state.job_file(id, "spec.json"),
+        &spec.to_json().render(),
+    ) {
+        return error_response(&format!("cannot persist spec: {e}"));
+    }
+    let priority = spec.priority;
+    state.jobs.lock().expect("jobs lock").insert(
+        id,
+        JobRecord {
+            spec,
+            phase: JobPhase::Queued,
+            error: None,
+            predicate_calls: 0,
+            resumed: false,
+            cancel: Arc::new(AtomicBool::new(false)),
+        },
+    );
+    if state.queue.push(id, priority).is_err() {
+        state.jobs.lock().expect("jobs lock").remove(&id);
+        let _ = std::fs::remove_file(state.job_file(id, "spec.json"));
+        return error_response("queue full");
+    }
+    state.submitted.fetch_add(1, Ordering::Relaxed);
+    ok_response([("id", Json::count(id))])
+}
+
+fn handle_status(state: &ServiceState, request: &Json) -> Json {
+    let Some(id) = request.u64_field("id") else {
+        return error_response("status needs an \"id\"");
+    };
+    let jobs = state.jobs.lock().expect("jobs lock");
+    match jobs.get(&id) {
+        Some(job) => {
+            let mut doc = vec![
+                ("ok".to_owned(), Json::Bool(true)),
+                ("id".to_owned(), Json::count(id)),
+                ("phase".to_owned(), Json::str(job.phase.name())),
+                ("resumed".to_owned(), Json::Bool(job.resumed)),
+            ];
+            if let Some(e) = &job.error {
+                doc.push(("error".to_owned(), Json::str(e)));
+            }
+            Json::Obj(doc.into_iter().collect())
+        }
+        None => error_response(&format!("no such job {id}")),
+    }
+}
+
+fn handle_result(state: &ServiceState, request: &Json) -> Json {
+    let Some(id) = request.u64_field("id") else {
+        return error_response("result needs an \"id\"");
+    };
+    let wait = request.bool_field("wait").unwrap_or(false);
+    loop {
+        let phase = {
+            let jobs = state.jobs.lock().expect("jobs lock");
+            match jobs.get(&id) {
+                Some(job) => job.phase,
+                None => return error_response(&format!("no such job {id}")),
+            }
+        };
+        if phase.is_terminal() {
+            break;
+        }
+        if !wait {
+            return error_response(&format!("job {id} is {}", phase.name()));
+        }
+        if state.shutting_down() {
+            return error_response("daemon is shutting down");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    match std::fs::read_to_string(state.job_file(id, "result.json")) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(doc) => ok_response([("result", doc)]),
+            Err(e) => error_response(&format!("corrupt result file: {e}")),
+        },
+        Err(e) => error_response(&format!("cannot read result: {e}")),
+    }
+}
+
+fn handle_cancel(state: &ServiceState, request: &Json) -> Json {
+    let Some(id) = request.u64_field("id") else {
+        return error_response("cancel needs an \"id\"");
+    };
+    let mut jobs = state.jobs.lock().expect("jobs lock");
+    match jobs.get_mut(&id) {
+        Some(job) if job.phase.is_terminal() => {
+            error_response(&format!("job {id} already {}", job.phase.name()))
+        }
+        Some(job) if job.phase == JobPhase::Queued => {
+            // Finalize immediately; the worker that eventually pops the id
+            // sees a non-queued phase and skips it.
+            job.phase = JobPhase::Cancelled;
+            job.error = Some("cancelled while queued".to_owned());
+            job.cancel.store(true, Ordering::SeqCst);
+            let doc = terminal_result_doc(id, "cancelled", job.error.as_deref());
+            drop(jobs);
+            let _ = atomic_write_str(&state.job_file(id, "result.json"), &doc.render());
+            ok_response([("id", Json::count(id))])
+        }
+        Some(job) => {
+            job.cancel.store(true, Ordering::SeqCst);
+            ok_response([("id", Json::count(id))])
+        }
+        None => error_response(&format!("no such job {id}")),
+    }
+}
+
+fn handle_stats(state: &ServiceState) -> Json {
+    let uptime = state.started.elapsed().as_secs_f64();
+    let busy = state.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+    let utilization = if uptime > 0.0 {
+        (busy / (uptime * state.config.workers as f64)).min(1.0)
+    } else {
+        0.0
+    };
+    let cache = state.cache.stats();
+    let lookups = cache.hits + cache.misses;
+    let hit_rate = if lookups > 0 {
+        cache.hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    let jobs = state.jobs.lock().expect("jobs lock");
+    let mut counts = [0u64; 5];
+    let mut per_job: Vec<(u64, &JobRecord)> = Vec::with_capacity(jobs.len());
+    for (&id, job) in jobs.iter() {
+        counts[match job.phase {
+            JobPhase::Queued => 0,
+            JobPhase::Running => 1,
+            JobPhase::Done => 2,
+            JobPhase::Failed => 3,
+            JobPhase::Cancelled => 4,
+        }] += 1;
+        per_job.push((id, job));
+    }
+    per_job.sort_unstable_by_key(|(id, _)| *id);
+    let per_job = Json::Arr(
+        per_job
+            .into_iter()
+            .map(|(id, job)| {
+                Json::obj([
+                    ("id", Json::count(id)),
+                    ("phase", Json::str(job.phase.name())),
+                    ("predicate_calls", Json::count(job.predicate_calls)),
+                    ("resumed", Json::Bool(job.resumed)),
+                ])
+            })
+            .collect(),
+    );
+    ok_response([
+        ("uptime_secs", Json::Num(uptime)),
+        ("workers", Json::count(state.config.workers as u64)),
+        ("queue_depth", Json::count(state.queue.depth() as u64)),
+        ("worker_utilization", Json::Num(utilization)),
+        (
+            "jobs",
+            Json::obj([
+                ("submitted", Json::count(state.submitted.load(Ordering::Relaxed))),
+                ("queued", Json::count(counts[0])),
+                ("running", Json::count(counts[1])),
+                ("done", Json::count(counts[2])),
+                ("failed", Json::count(counts[3])),
+                ("cancelled", Json::count(counts[4])),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("entries", Json::count(cache.entries)),
+                ("hits", Json::count(cache.hits)),
+                ("misses", Json::count(cache.misses)),
+                ("warm_hits", Json::count(cache.warm_hits)),
+                ("hit_rate", Json::Num(hit_rate)),
+            ]),
+        ),
+        ("per_job", per_job),
+    ])
+}
+
+/// A worker picked job `id` off the queue: run it and persist the outcome.
+fn run_job(state: &ServiceState, id: u64) {
+    let (spec, cancel) = {
+        let mut jobs = state.jobs.lock().expect("jobs lock");
+        let Some(job) = jobs.get_mut(&id) else { return };
+        if job.phase != JobPhase::Queued {
+            return; // cancelled-while-queued jobs are finalized below
+        }
+        if job.cancel.load(Ordering::SeqCst) {
+            job.phase = JobPhase::Cancelled;
+            job.error = Some("cancelled while queued".to_owned());
+            let doc = terminal_result_doc(id, "cancelled", job.error.as_deref());
+            drop(jobs);
+            let _ = atomic_write_str(&state.job_file(id, "result.json"), &doc.render());
+            return;
+        }
+        job.phase = JobPhase::Running;
+        (job.spec.clone(), Arc::clone(&job.cancel))
+    };
+    if state.shutting_down() {
+        // Leave it Queued on disk; the next daemon re-enqueues it.
+        let mut jobs = state.jobs.lock().expect("jobs lock");
+        if let Some(job) = jobs.get_mut(&id) {
+            job.phase = JobPhase::Queued;
+        }
+        return;
+    }
+    let started = Instant::now();
+    let outcome = execute_job(state, &spec, &cancel, started);
+    state
+        .busy_nanos
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let _ = state.cache.save_if_dirty();
+    match outcome {
+        Ok((report, resumed)) => {
+            let doc = success_result_doc(&spec, &report, resumed);
+            let _ = atomic_write_str(&state.job_file(id, "result.json"), &doc.render());
+            let _ = std::fs::remove_file(state.job_file(id, "ckpt"));
+            let mut jobs = state.jobs.lock().expect("jobs lock");
+            if let Some(job) = jobs.get_mut(&id) {
+                job.phase = JobPhase::Done;
+                job.predicate_calls = report.predicate_calls;
+                job.resumed = resumed;
+            }
+        }
+        Err(JobStop::Cancelled) if state.shutting_down() => {
+            // Checkpointed out for shutdown: stays resumable, not terminal.
+            let mut jobs = state.jobs.lock().expect("jobs lock");
+            if let Some(job) = jobs.get_mut(&id) {
+                job.phase = JobPhase::Queued;
+            }
+        }
+        Err(stop) => {
+            let (status, error) = match stop {
+                JobStop::Cancelled => ("cancelled", "cancelled by request".to_owned()),
+                JobStop::Failed(e) => ("failed", e),
+                // shutdown case handled above
+            };
+            let doc = terminal_result_doc(id, status, Some(&error));
+            let _ = atomic_write_str(&state.job_file(id, "result.json"), &doc.render());
+            let mut jobs = state.jobs.lock().expect("jobs lock");
+            if let Some(job) = jobs.get_mut(&id) {
+                job.phase = if status == "cancelled" {
+                    JobPhase::Cancelled
+                } else {
+                    JobPhase::Failed
+                };
+                job.error = Some(error);
+            }
+        }
+    }
+}
+
+/// Runs the reduction itself. `Ok` carries the report and whether the run
+/// continued from a checkpoint.
+fn execute_job(
+    state: &ServiceState,
+    spec: &JobSpec,
+    cancel: &AtomicBool,
+    started: Instant,
+) -> Result<(ReductionReport, bool), JobStop> {
+    let bytes = std::fs::read(&spec.input)
+        .map_err(|e| JobStop::Failed(format!("cannot read {}: {e}", spec.input)))?;
+    let program =
+        read_program(&bytes).map_err(|e| JobStop::Failed(format!("bad container: {e}")))?;
+    let bugs = match spec.decompiler.as_str() {
+        "a" => BugSet::decompiler_a(),
+        "b" => BugSet::decompiler_b(),
+        "c" => BugSet::decompiler_c(),
+        _ => BugSet::all(),
+    };
+    let oracle = DecompilerOracle::new(&program, bugs);
+    if !oracle.is_failing() {
+        return Err(JobStop::Failed(format!(
+            "input does not trigger decompiler {}'s bugs — nothing to reduce",
+            spec.decompiler
+        )));
+    }
+    let options = RunOptions {
+        probe_threads: spec.probe_threads,
+        probe_latency_micros: spec.probe_latency_micros,
+        ..RunOptions::default()
+    };
+    let deadline = (spec.deadline_secs > 0.0).then(|| Duration::from_secs_f64(spec.deadline_secs));
+    let report = if spec.strategy == "logical" {
+        // The service path: persistent cache + checkpoint/resume + cancel.
+        let namespace = namespace_digest(&spec.decompiler, &bytes);
+        let scoped = state.cache.namespaced(namespace);
+        let ckpt_path = state.job_file(spec.id, "ckpt");
+        let resume = load_checkpoint(&ckpt_path)
+            .map_err(|e| JobStop::Failed(format!("corrupt checkpoint: {e}")))?;
+        let resumed = resume.is_some();
+        let cancel_hook = move || {
+            cancel.load(Ordering::SeqCst)
+                || state.shutting_down()
+                || deadline.is_some_and(|d| started.elapsed() > d)
+        };
+        // Saving the cache at every checkpoint bounds what a `kill -9`
+        // can lose to one iteration of probes.
+        let mut checkpoint_hook = |ck: &lbr_core::GbrCheckpoint| {
+            let _ = save_checkpoint(&ckpt_path, ck);
+            let _ = state.cache.save_if_dirty();
+        };
+        let hooks = ServiceHooks {
+            cache: Some(&scoped),
+            cancel: Some(&cancel_hook),
+            checkpoint: Some(&mut checkpoint_hook),
+            resume,
+        };
+        let report = run_logical_resumable(
+            &program,
+            &oracle,
+            MsaStrategy::GreedyClosure,
+            spec.cost,
+            &options,
+            hooks,
+        )
+        .map_err(map_pipeline_error)?;
+        (report, resumed)
+    } else {
+        // Baseline strategies run uncached and uncheckpointed.
+        let strategy = match spec.strategy.as_str() {
+            "logical-min" => Strategy::LogicalMinimized,
+            "jreduce" => Strategy::JReduce,
+            "lossy1" => Strategy::Lossy(LossyPick::FirstFirst),
+            "lossy2" => Strategy::Lossy(LossyPick::LastLast),
+            _ => Strategy::DdminItems,
+        };
+        let report = run_reduction_with(&program, &oracle, strategy, spec.cost, &options)
+            .map_err(map_pipeline_error)?;
+        (report, false)
+    };
+    if let Some(out) = &spec.output {
+        atomic_write(Path::new(out), &write_program(&report.0.reduced))
+            .map_err(|e| JobStop::Failed(format!("cannot write {out}: {e}")))?;
+    }
+    Ok(report)
+}
+
+fn map_pipeline_error(e: PipelineError) -> JobStop {
+    match e {
+        PipelineError::Gbr(GbrError::Cancelled) => JobStop::Cancelled,
+        other => JobStop::Failed(other.to_string()),
+    }
+}
+
+/// The result document of a successful job. The `trace_digest` is the
+/// hex-rendered [`ReductionTrace::digest`](lbr_core::ReductionTrace) —
+/// comparing it against an in-process run proves the daemon produced a
+/// bit-identical reduction (JSON numbers cannot carry a full u64 exactly,
+/// hence the string).
+fn success_result_doc(spec: &JobSpec, report: &ReductionReport, resumed: bool) -> Json {
+    let mut fields = vec![
+        ("id", Json::count(spec.id)),
+        ("status", Json::str("done")),
+        ("strategy", Json::str(&report.strategy)),
+        ("initial_classes", Json::count(report.initial.classes as u64)),
+        ("initial_bytes", Json::count(report.initial.bytes as u64)),
+        ("final_classes", Json::count(report.final_metrics.classes as u64)),
+        ("final_bytes", Json::count(report.final_metrics.bytes as u64)),
+        ("predicate_calls", Json::count(report.predicate_calls)),
+        ("cache_hits", Json::count(report.cache_hits)),
+        ("cache_misses", Json::count(report.cache_misses)),
+        (
+            "trace_digest",
+            Json::str(format!("{:016x}", report.trace.digest())),
+        ),
+        ("resumed", Json::Bool(resumed)),
+        ("errors_preserved", Json::Bool(report.errors_preserved)),
+        ("still_valid", Json::Bool(report.still_valid)),
+        ("modeled_secs", Json::Num(report.modeled_secs)),
+        ("wall_secs", Json::Num(report.wall_secs)),
+    ];
+    if let Some(out) = &spec.output {
+        fields.push(("output", Json::str(out)));
+    }
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn terminal_result_doc(id: u64, status: &str, error: Option<&str>) -> Json {
+    let mut fields = vec![("id", Json::count(id)), ("status", Json::str(status))];
+    if let Some(e) = error {
+        fields.push(("error", Json::str(e)));
+    }
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}

@@ -1,0 +1,53 @@
+//! A multi-threaded reduction *service* over the pipeline of
+//! [`lbr_jreduce`]: a daemon that queues, runs, checkpoints, and resumes
+//! reduction jobs, plus the client for its wire protocol.
+//!
+//! The paper's tool is a batch process: one input, one oracle, one long
+//! run of ≈33 s probes. This crate wraps that pipeline the way a fuzzing
+//! or CI fleet would deploy it —
+//!
+//! * [`Daemon`] listens on localhost TCP and runs jobs from a bounded
+//!   priority [`JobQueue`] on a pool of worker threads;
+//! * a [`PersistentOracleCache`] shares probe verdicts across jobs *and
+//!   across restarts*: entries are content-addressed by a digest of the
+//!   input container and oracle configuration plus the candidate keep-set,
+//!   so only genuinely identical probes are shared, and the whole file is
+//!   replaced atomically so a crash can never corrupt it;
+//! * running jobs checkpoint their GBR state
+//!   ([`GbrCheckpoint`](lbr_core::GbrCheckpoint)) after every iteration;
+//!   a killed daemon restarts, re-enqueues unfinished jobs, and resumes
+//!   them from the snapshot — converging to the *same* reduced program an
+//!   uninterrupted run produces;
+//! * [`Client`] speaks the newline-delimited JSON protocol: `submit`,
+//!   `status`, `result`, `cancel`, `stats`, `shutdown`.
+//!
+//! Determinism is the invariant everything here preserves: a job's
+//! reduced bytes, predicate-call count, and trace digest are identical
+//! whether it runs in-process, through the daemon, against a cold or warm
+//! cache, interrupted or not, at any worker count. The end-to-end tests
+//! assert exactly that.
+//!
+//! Everything is built on `std` alone — the wire format is the minimal
+//! [`Json`] document model in [`json`], persistence is plain files under
+//! a state directory written crash-safely by [`fsio`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod checkpoint;
+pub mod client;
+pub mod daemon;
+pub mod fsio;
+pub mod job;
+pub mod json;
+pub mod queue;
+
+pub use cache::{namespace_digest, CacheStats, NamespacedCache, PersistentOracleCache};
+pub use checkpoint::{load_checkpoint, save_checkpoint};
+pub use client::Client;
+pub use daemon::{Daemon, DaemonConfig};
+pub use fsio::{atomic_write, atomic_write_str};
+pub use job::{JobPhase, JobSpec};
+pub use json::Json;
+pub use queue::{JobQueue, QueueFull};

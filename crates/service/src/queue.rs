@@ -1,0 +1,152 @@
+//! The bounded priority work queue feeding the daemon's job workers.
+//!
+//! Higher priority pops first; within a priority, submission order (FIFO).
+//! The queue is bounded — a full queue *rejects* the submit rather than
+//! blocking the connection handler, so a flood of submissions cannot wedge
+//! the protocol or grow memory without bound. `pop` blocks on a condvar
+//! until work arrives or the queue is closed for shutdown.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Returned by [`JobQueue::push`] when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+#[derive(PartialEq, Eq)]
+struct QueueItem {
+    priority: u8,
+    /// Tie-breaker: smaller sequence number (earlier submit) pops first.
+    seq: u64,
+    job_id: u64,
+}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier seq.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct QueueInner {
+    heap: BinaryHeap<QueueItem>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A bounded priority queue of job ids. See the module docs.
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// Creates a queue holding at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job; fails with [`QueueFull`] at capacity and panics
+    /// never. Pushing to a closed queue also reports [`QueueFull`].
+    pub fn push(&self, job_id: u64, priority: u8) -> Result<(), QueueFull> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.heap.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(QueueItem {
+            priority,
+            seq,
+            job_id,
+        });
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available and pops the highest-priority one;
+    /// `None` once the queue is closed *and* drained (worker shutdown).
+    pub fn pop(&self) -> Option<u64> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.heap.pop() {
+                return Some(item.job_id);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue wait");
+        }
+    }
+
+    /// Closes the queue: pending jobs still pop, new pushes fail, and
+    /// blocked workers wake up to exit.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently waiting (not including running ones).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_then_fifo() {
+        let q = JobQueue::new(8);
+        q.push(1, 0).unwrap();
+        q.push(2, 5).unwrap();
+        q.push(3, 5).unwrap();
+        q.push(4, 9).unwrap();
+        assert_eq!(q.depth(), 4);
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn bounded_and_closable() {
+        let q = JobQueue::new(2);
+        q.push(1, 0).unwrap();
+        q.push(2, 0).unwrap();
+        assert_eq!(q.push(3, 9), Err(QueueFull));
+        q.close();
+        assert_eq!(q.push(4, 0), Err(QueueFull));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42, 1).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(42));
+    }
+}
