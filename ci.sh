@@ -96,6 +96,31 @@ grep -o '"warm_hits":[0-9]*' "$smoke_dir/stats.json" | grep -qv ':0$'
 wait "$svc_pid" 2>/dev/null || true
 svc_pid=""
 
+echo "== differential fuzzing gate (fixed seed, every progression) =="
+# A fixed-seed campaign across every progression must come back clean; the
+# seed pins the exact case stream, so a violation here is reproducible with
+# the printed `fuzz --replay` command.
+./target/release/fuzz --budget-secs 60 --seed 0xC0FFEE --min-cases 200 \
+    --out-dir "$smoke_dir"
+
+echo "== fuzzing self-test (broken oracle must be caught and shrunk) =="
+# Prove the harness can still catch bugs: with the deliberately lying
+# oracle armed, the campaign must exit non-zero and leave a shrunk,
+# replayable case file whose replay also exits non-zero.
+broken_dir="$smoke_dir/broken"
+mkdir -p "$broken_dir"
+if ./target/release/fuzz --max-cases 3 --break-oracle --no-daemon \
+    --seed 0xC0FFEE --out-dir "$broken_dir" >/dev/null 2>&1; then
+    echo "broken-oracle campaign did not detect the planted bug" >&2
+    exit 1
+fi
+broken_case=$(ls "$broken_dir"/FUZZ_CASE_*.json 2>/dev/null | head -n 1)
+[ -n "$broken_case" ] || { echo "no shrunk case file was written" >&2; exit 1; }
+if ./target/release/fuzz --replay "$broken_case" --no-daemon >/dev/null 2>&1; then
+    echo "replay of $broken_case did not reproduce the violation" >&2
+    exit 1
+fi
+
 # Optional wall-time gate against the committed baseline: BENCH_GATE=1 ./ci.sh
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== bench gate (<=10% wall regression vs BENCH_baseline.json) =="

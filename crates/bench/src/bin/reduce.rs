@@ -22,7 +22,7 @@
 use lbr_classfile::{disassemble_program, read_program, write_class_directory, write_program};
 use lbr_core::LossyPick;
 use lbr_decompiler::{BugSet, DecompilerOracle};
-use lbr_jreduce::{run_per_error_with, run_reduction_with, RunOptions, Strategy};
+use lbr_jreduce::{check_report, run_per_error_with, run_reduction_with, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 use lbr_service::{atomic_write, atomic_write_str, Json};
 
@@ -140,6 +140,12 @@ fn main() {
     };
     let report = run_reduction_with(&program, &oracle, strategy, cost, &options)
         .unwrap_or_else(|e| fail(format!("reduction failed: {e}")));
+    // A result only counts if it holds up end to end: error preserved,
+    // still verifying, not grown, and the serialized bytes re-read into
+    // the same verifying program. Anything less is a reducer bug, not a
+    // result — refuse to report success.
+    check_report(&report)
+        .unwrap_or_else(|e| fail(format!("reduced output failed validation: {e}")));
     println!(
         "{}: {} → {} classes, {} → {} bytes ({:.1}%), {} tool runs, errors preserved: {}",
         report.strategy,

@@ -194,15 +194,19 @@ fn write_slot(dir: &Path, index: usize, result: &Result<RunRecord, String>) {
 
 fn run_one(config: &EvalConfig, b: &Benchmark, strategy: Strategy) -> Result<RunRecord, String> {
     let oracle = b.oracle();
-    run_reduction_with(
+    let report = run_reduction_with(
         &b.program,
         &oracle,
         strategy,
         config.cost_per_call_secs,
         &config.options,
     )
-    .map(|report| record_of(b, report))
-    .map_err(|e| format!("{} / {}: {e}", b.name, strategy.name()))
+    .map_err(|e| format!("{} / {}: {e}", b.name, strategy.name()))?;
+    // An unsound or non-round-tripping result must surface as a failed
+    // job (eval exits non-zero), not as a quietly wrong table row.
+    lbr_jreduce::check_report(&report)
+        .map_err(|e| format!("{} / {}: invalid result: {e}", b.name, strategy.name()))?;
+    Ok(record_of(b, report))
 }
 
 /// Runs `strategies` over the whole suite, skipping (and reporting) failed

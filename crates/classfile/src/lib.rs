@@ -43,6 +43,7 @@ mod insn;
 mod io;
 mod program;
 mod read;
+mod roundtrip;
 mod ty;
 mod verify;
 mod write;
@@ -55,6 +56,7 @@ pub use insn::{FieldRef, Insn, MethodRef};
 pub use io::{read_class_directory, write_class_directory, DirError};
 pub use program::{Program, Resolution, Step};
 pub use read::{read_class, read_program, ReadError};
+pub use roundtrip::{round_trip_verify, round_trip_verify_bytes};
 pub use ty::{MethodDescriptor, Type};
 pub use verify::{
     is_valid, verify_class, verify_class_structure, verify_method_code, verify_program,

@@ -1,0 +1,103 @@
+//! Binary round-trip validation: the check every reducer output must pass.
+//!
+//! A reduced program is only a *result* if it survives serialization: the
+//! bytes we hand back must re-read into the same in-memory program and
+//! that program must still verify. [`round_trip_verify`] bundles the three
+//! checks (write → read → compare, then verify) into one call used by the
+//! `reduce`/`eval` binaries and the differential fuzzing harness.
+
+use crate::read::read_program;
+use crate::verify::verify_program;
+use crate::write::write_program;
+use crate::Program;
+
+/// Serializes `program`, reads the bytes back, and verifies the result.
+///
+/// Returns `Err` with a diagnostic if the bytes fail to parse, the re-read
+/// program differs from the original, or the verifier reports errors.
+pub fn round_trip_verify(program: &Program) -> Result<(), String> {
+    let bytes = write_program(program);
+    round_trip_verify_bytes(&bytes, Some(program))
+}
+
+/// Validates serialized program `bytes`: they must parse, optionally match
+/// `expected`, and verify cleanly.
+///
+/// This is the form used when the bytes already exist (a written output
+/// file, a daemon result): parse failures, mismatches against the
+/// in-memory program they claim to encode, and verifier errors all come
+/// back as `Err` diagnostics.
+pub fn round_trip_verify_bytes(bytes: &[u8], expected: Option<&Program>) -> Result<(), String> {
+    let back = read_program(bytes).map_err(|e| format!("re-read failed: {e}"))?;
+    if let Some(orig) = expected {
+        if &back != orig {
+            return Err("re-read program differs from the in-memory original".to_string());
+        }
+    }
+    let errors = verify_program(&back);
+    if !errors.is_empty() {
+        let mut msg = format!("re-read program fails verification ({} errors):", errors.len());
+        for e in errors.iter().take(3) {
+            msg.push_str(&format!(" [{e}]"));
+        }
+        if errors.len() > 3 {
+            msg.push_str(" …");
+        }
+        return Err(msg);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassFile, Code, Insn, MethodDescriptor, MethodInfo};
+
+    fn tiny_program() -> Program {
+        let mut program = Program::new();
+        let mut class = ClassFile::new_class("A");
+        class.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        program.insert(class);
+        program
+    }
+
+    #[test]
+    fn valid_program_round_trips() {
+        assert_eq!(round_trip_verify(&tiny_program()), Ok(()));
+    }
+
+    #[test]
+    fn garbage_bytes_are_rejected() {
+        let err = round_trip_verify_bytes(b"not a container", None).unwrap_err();
+        assert!(err.contains("re-read failed"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_expected_is_rejected() {
+        let bytes = write_program(&tiny_program());
+        let mut other = tiny_program();
+        other.remove("A");
+        let err = round_trip_verify_bytes(&bytes, Some(&other)).unwrap_err();
+        assert!(err.contains("differs"), "{err}");
+    }
+
+    #[test]
+    fn unverifiable_program_is_rejected() {
+        let mut program = Program::new();
+        let mut class = ClassFile::new_class("B");
+        // References a missing superclass-like callee: invalid stack depth.
+        class.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::void(),
+            Code::new(0, 0, vec![Insn::Pop, Insn::Return]),
+        ));
+        program.insert(class);
+        let bytes = write_program(&program);
+        let err = round_trip_verify_bytes(&bytes, Some(&program)).unwrap_err();
+        assert!(err.contains("verification"), "{err}");
+    }
+}

@@ -115,6 +115,22 @@ impl ReductionTrace {
         h
     }
 
+    /// Whether two traces recorded the *same logical probe sequence*:
+    /// identical call indices, candidate sizes, verdicts, and modeled
+    /// times, point for point. Wall times are ignored, exactly as in
+    /// [`digest`](Self::digest) — but unlike the digest this cannot
+    /// collide, so differential harnesses use it to assert bit-identity
+    /// between a run and its sequential baseline.
+    pub fn same_probe_sequence(&self, other: &ReductionTrace) -> bool {
+        self.points.len() == other.points.len()
+            && self.points.iter().zip(&other.points).all(|(a, b)| {
+                a.call == b.call
+                    && a.size == b.size
+                    && a.success == b.success
+                    && a.modeled_secs.to_bits() == b.modeled_secs.to_bits()
+            })
+    }
+
     /// Merges another trace after this one, shifting its call indices and
     /// times so the merged trace reads as one sequential run. Used when a
     /// benchmark requires several reduction searches (one per distinct

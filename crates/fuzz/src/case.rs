@@ -1,0 +1,322 @@
+//! Fuzz cases: seed-deterministic descriptions of one generated program
+//! plus the oracle it is reduced under.
+//!
+//! A case never stores the program itself — only the seeds and the
+//! sampled [`WorkloadConfig`] that regenerate it bit-for-bit, plus an
+//! optional `keep_classes` restriction produced by the shrinker. That
+//! keeps `FUZZ_CASE_*.json` files tiny and guarantees `fuzz --replay`
+//! reproduces *exactly* the program that violated an invariant.
+//!
+//! Serialization is exact: `u64` seeds and `f64` probabilities are stored
+//! as hexadecimal bit patterns (JSON numbers are doubles and would
+//! silently round a 64-bit seed).
+
+use lbr_decompiler::{BugKind, BugSet};
+use lbr_prng::SplitMix64;
+use lbr_service::Json;
+use lbr_workload::WorkloadConfig;
+use lbr_classfile::Program;
+
+/// Format tag written into every case file.
+const VERSION: &str = "lbr-fuzz-case v1";
+
+/// Golden-ratio increment: decorrelates per-case seeds drawn from one
+/// master seed (the SplitMix64 stream constant).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One replayable fuzz case. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// The run's master seed.
+    pub master_seed: u64,
+    /// The case's index in the run's deterministic stream.
+    pub index: u64,
+    /// Which simulated decompiler the oracle models (`a`/`b`/`c`).
+    pub decompiler: String,
+    /// The sampled generator configuration (stored in full so old case
+    /// files survive future changes to the sampler).
+    pub workload: WorkloadConfig,
+    /// Shrunk restriction: keep only these classes of the generated
+    /// program. `None` means the whole program.
+    pub keep_classes: Option<Vec<String>>,
+    /// Whether the intentionally-broken oracle progression is armed (the
+    /// harness's self-test; see `fuzz --break-oracle`).
+    pub break_oracle: bool,
+    /// The invariant violation this case was shrunk from, for humans.
+    pub violation: Option<String>,
+}
+
+/// The simulated decompiler for a CLI name.
+pub fn bugset_by_name(name: &str) -> Option<BugSet> {
+    match name {
+        "a" => Some(BugSet::decompiler_a()),
+        "b" => Some(BugSet::decompiler_b()),
+        "c" => Some(BugSet::decompiler_c()),
+        _ => None,
+    }
+}
+
+impl FuzzCase {
+    /// The deterministic per-case seed: each index gets its own
+    /// decorrelated SplitMix64 stream from the master seed.
+    pub fn case_seed(master_seed: u64, index: u64) -> u64 {
+        SplitMix64::seed_from_u64(master_seed.wrapping_add((index + 1).wrapping_mul(GOLDEN)))
+            .next_u64()
+    }
+
+    /// Samples case `index` of the `master_seed` run: a random small
+    /// workload geometry, a random decompiler, and that decompiler's bug
+    /// kinds planted so the oracle has something to preserve.
+    pub fn sampled(master_seed: u64, index: u64, break_oracle: bool) -> FuzzCase {
+        let case_seed = Self::case_seed(master_seed, index);
+        let mut rng = SplitMix64::seed_from_u64(case_seed ^ GOLDEN);
+        let decompiler = ["a", "b", "c"][rng.gen_range(0usize..=2)].to_string();
+        let bugs = bugset_by_name(&decompiler).expect("fixed name set");
+        let mut workload = WorkloadConfig::sampled(case_seed);
+        workload.plant = bugs.kinds().to_vec();
+        FuzzCase {
+            master_seed,
+            index,
+            decompiler,
+            workload,
+            keep_classes: None,
+            break_oracle,
+            violation: None,
+        }
+    }
+
+    /// Regenerates the case's program (restricted to `keep_classes` when
+    /// the case was shrunk). Fully deterministic.
+    pub fn program(&self) -> Program {
+        let mut program = lbr_workload::generate(&self.workload);
+        if let Some(keep) = &self.keep_classes {
+            let drop: Vec<String> = program
+                .names()
+                .filter(|n| !keep.iter().any(|k| k.as_str() == *n))
+                .map(|n| n.to_string())
+                .collect();
+            for name in drop {
+                program.remove(&name);
+            }
+        }
+        program
+    }
+
+    /// The oracle's bug set.
+    pub fn bugs(&self) -> BugSet {
+        bugset_by_name(&self.decompiler).expect("validated decompiler name")
+    }
+
+    /// Serializes the case (exact: seeds and probabilities as bit
+    /// patterns).
+    pub fn to_json(&self) -> Json {
+        let w = &self.workload;
+        let workload = Json::obj([
+            ("seed", hex_u64(w.seed)),
+            ("classes", Json::count(w.classes as u64)),
+            ("interfaces", Json::count(w.interfaces as u64)),
+            ("cluster_size", Json::count(w.cluster_size as u64)),
+            ("cross_cluster_prob", hex_f64(w.cross_cluster_prob)),
+            ("bug_cluster_fraction", hex_f64(w.bug_cluster_fraction)),
+            ("methods_per_class", pair(w.methods_per_class)),
+            ("stmts_per_method", pair(w.stmts_per_method)),
+            ("fields_per_class", pair(w.fields_per_class)),
+            ("subclass_prob", hex_f64(w.subclass_prob)),
+            ("implements_prob", hex_f64(w.implements_prob)),
+            ("iface_extends_prob", hex_f64(w.iface_extends_prob)),
+            ("plants_per_bug", Json::count(w.plants_per_bug as u64)),
+            (
+                "plant",
+                Json::Arr(w.plant.iter().map(|k| Json::count(bug_index(*k))).collect()),
+            ),
+        ]);
+        let mut fields = vec![
+            ("version", Json::str(VERSION)),
+            ("master_seed", hex_u64(self.master_seed)),
+            ("index", Json::count(self.index)),
+            ("decompiler", Json::str(&self.decompiler)),
+            ("workload", workload),
+            ("break_oracle", Json::Bool(self.break_oracle)),
+        ];
+        if let Some(keep) = &self.keep_classes {
+            fields.push((
+                "keep_classes",
+                Json::Arr(keep.iter().map(Json::str).collect()),
+            ));
+        }
+        if let Some(v) = &self.violation {
+            fields.push(("violation", Json::str(v)));
+        }
+        Json::obj_from(fields)
+    }
+
+    /// Parses a serialized case, validating the version tag.
+    pub fn from_json(json: &Json) -> Result<FuzzCase, String> {
+        if json.str_field("version") != Some(VERSION) {
+            return Err(format!("not a {VERSION} file"));
+        }
+        let decompiler = json
+            .str_field("decompiler")
+            .ok_or("missing decompiler")?
+            .to_string();
+        if bugset_by_name(&decompiler).is_none() {
+            return Err(format!("unknown decompiler {decompiler:?}"));
+        }
+        let w = json.get("workload").ok_or("missing workload")?;
+        let workload = WorkloadConfig {
+            seed: parse_hex_u64(w, "seed")?,
+            classes: parse_usize(w, "classes")?,
+            interfaces: parse_usize(w, "interfaces")?,
+            cluster_size: parse_usize(w, "cluster_size")?,
+            cross_cluster_prob: parse_hex_f64(w, "cross_cluster_prob")?,
+            bug_cluster_fraction: parse_hex_f64(w, "bug_cluster_fraction")?,
+            methods_per_class: parse_pair(w, "methods_per_class")?,
+            stmts_per_method: parse_pair(w, "stmts_per_method")?,
+            fields_per_class: parse_pair(w, "fields_per_class")?,
+            subclass_prob: parse_hex_f64(w, "subclass_prob")?,
+            implements_prob: parse_hex_f64(w, "implements_prob")?,
+            iface_extends_prob: parse_hex_f64(w, "iface_extends_prob")?,
+            plants_per_bug: parse_usize(w, "plants_per_bug")?,
+            plant: parse_plant(w)?,
+        };
+        let keep_classes = match json.get("keep_classes") {
+            None => None,
+            Some(arr) => Some(
+                arr.as_arr()
+                    .ok_or("keep_classes must be an array")?
+                    .iter()
+                    .map(|j| j.as_str().map(str::to_string).ok_or("bad class name"))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        Ok(FuzzCase {
+            master_seed: parse_hex_u64(json, "master_seed")?,
+            index: json.u64_field("index").ok_or("missing index")?,
+            decompiler,
+            workload,
+            keep_classes,
+            break_oracle: json.get("break_oracle").and_then(Json::as_bool).unwrap_or(false),
+            violation: json.str_field("violation").map(str::to_string),
+        })
+    }
+
+    /// Loads a case file.
+    pub fn load(path: &std::path::Path) -> Result<FuzzCase, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes the case file atomically.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        lbr_service::atomic_write_str(path, &(self.to_json().render() + "\n"))
+    }
+}
+
+fn hex_u64(v: u64) -> Json {
+    Json::str(format!("{v:016x}"))
+}
+
+fn hex_f64(v: f64) -> Json {
+    hex_u64(v.to_bits())
+}
+
+fn pair(p: (usize, usize)) -> Json {
+    Json::Arr(vec![Json::count(p.0 as u64), Json::count(p.1 as u64)])
+}
+
+fn bug_index(kind: BugKind) -> u64 {
+    BugKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("every kind is in ALL") as u64
+}
+
+fn parse_hex_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    let s = obj.str_field(key).ok_or_else(|| format!("missing {key}"))?;
+    u64::from_str_radix(s, 16).map_err(|_| format!("bad hex in {key}: {s:?}"))
+}
+
+fn parse_hex_f64(obj: &Json, key: &str) -> Result<f64, String> {
+    parse_hex_u64(obj, key).map(f64::from_bits)
+}
+
+fn parse_usize(obj: &Json, key: &str) -> Result<usize, String> {
+    obj.u64_field(key)
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("missing {key}"))
+}
+
+fn parse_pair(obj: &Json, key: &str) -> Result<(usize, usize), String> {
+    let arr = obj
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing {key}"))?;
+    match arr {
+        [a, b] => Ok((
+            a.as_u64().ok_or_else(|| format!("bad {key}"))? as usize,
+            b.as_u64().ok_or_else(|| format!("bad {key}"))? as usize,
+        )),
+        _ => Err(format!("{key} must be a two-element array")),
+    }
+}
+
+fn parse_plant(obj: &Json) -> Result<Vec<BugKind>, String> {
+    obj.get("plant")
+        .and_then(Json::as_arr)
+        .ok_or("missing plant")?
+        .iter()
+        .map(|j| {
+            let idx = j.as_u64().ok_or("bad plant index")? as usize;
+            BugKind::ALL
+                .get(idx)
+                .copied()
+                .ok_or_else(|| format!("plant index {idx} out of range"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = FuzzCase::sampled(0xC0FFEE, 5, false);
+        let b = FuzzCase::sampled(0xC0FFEE, 5, false);
+        assert_eq!(a, b);
+        assert_eq!(
+            lbr_classfile::write_program(&a.program()),
+            lbr_classfile::write_program(&b.program())
+        );
+        // Neighboring indices diverge.
+        let c = FuzzCase::sampled(0xC0FFEE, 6, false);
+        assert_ne!(a.workload.seed, c.workload.seed);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut case = FuzzCase::sampled(u64::MAX - 3, 11, true);
+        case.keep_classes = Some(vec!["Cls0".into(), "Iface1".into()]);
+        case.violation = Some("example".into());
+        let rendered = case.to_json().render();
+        let back = FuzzCase::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(case, back);
+        // The program regenerates identically through the round trip.
+        assert_eq!(
+            lbr_classfile::write_program(&case.program()),
+            lbr_classfile::write_program(&back.program())
+        );
+    }
+
+    #[test]
+    fn rejects_foreign_and_corrupt_payloads() {
+        assert!(FuzzCase::from_json(&Json::parse("{}").unwrap()).is_err());
+        let mut case = FuzzCase::sampled(1, 0, false).to_json();
+        if let Json::Obj(map) = &mut case {
+            map.insert("decompiler".into(), Json::str("z"));
+        }
+        assert!(FuzzCase::from_json(&case).is_err());
+    }
+}

@@ -1,0 +1,514 @@
+//! The differential harness: one generated case, every progression, all
+//! invariants cross-checked.
+//!
+//! The invariants (numbered here and in DESIGN.md §Fuzzing architecture):
+//!
+//! - **I1** every result still induces the oracle's full error message;
+//! - **I2** every result verifies *and* survives a binary round trip
+//!   (serialize → parse → equal → verify);
+//! - **I3** no result is larger than its input;
+//! - **I4** the GBR result, predicate-call count, and probe trace are
+//!   bit-identical across the legacy scan engine, speculative probe
+//!   threads, a cold persistent cache, that cache re-opened warm, a cache
+//!   with injected I/O faults, and the service daemon;
+//! - **I5** the logical reducer's result is never more than 25% larger
+//!   than the ddmin baseline's (a regression tripwire: both reducers are
+//!   heuristics and ddmin occasionally wins small cases by a few bytes,
+//!   but GBR losing badly means the logical model stopped guiding the
+//!   search);
+//! - **I6** a warm cache actually answers probes (warm hits observed);
+//! - **I7** cache faults only ever cost re-runs (subsumed by I4: the
+//!   faulty run must equal the fault-free one).
+
+use crate::case::FuzzCase;
+use lbr_classfile::{verify_program, write_program, Program};
+use lbr_core::TestOutcome;
+use lbr_decompiler::DecompilerOracle;
+use lbr_jreduce::{
+    check_report, run_logical_resumable, run_reduction_with, ReductionReport, RunOptions,
+    ServiceHooks, Strategy,
+};
+use lbr_logic::{MsaStrategy, Var, VarSet};
+use lbr_service::{
+    namespace_digest, Client, Daemon, DaemonConfig, FaultPlan, Json, PersistentOracleCache,
+};
+use std::io;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The modeled per-probe cost, matching the service's default so daemon
+/// traces are comparable.
+pub const COST_SECS: f64 = 33.0;
+
+/// The outcome of running one case through the progressions.
+#[derive(Debug, Clone, Default)]
+pub struct CaseOutcome {
+    /// The case did not qualify (oracle not failing, or a shrunk subset
+    /// that no longer verifies) and was not counted.
+    pub skipped: bool,
+    /// Invariant violations, empty on a clean case.
+    pub violations: Vec<String>,
+    /// Progressions exercised.
+    pub progressions: usize,
+    /// Predicate calls of the reference run (throughput reporting).
+    pub predicate_calls: u64,
+}
+
+impl CaseOutcome {
+    fn skipped() -> CaseOutcome {
+        CaseOutcome {
+            skipped: true,
+            ..CaseOutcome::default()
+        }
+    }
+}
+
+struct DaemonHandle {
+    client: Client,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+/// Owns the scratch directory and the optional in-process daemon the
+/// progressions run against. One harness serves a whole fuzz run.
+pub struct Harness {
+    scratch: PathBuf,
+    daemon: Option<DaemonHandle>,
+    job_counter: std::cell::Cell<u64>,
+}
+
+impl Harness {
+    /// Creates a harness with a fresh scratch directory (removed on drop).
+    pub fn new(scratch: PathBuf) -> io::Result<Harness> {
+        std::fs::create_dir_all(&scratch)?;
+        Ok(Harness {
+            scratch,
+            daemon: None,
+            job_counter: std::cell::Cell::new(0),
+        })
+    }
+
+    /// Starts the in-process reduction daemon so `run_case` can exercise
+    /// the service path.
+    pub fn with_daemon(mut self) -> io::Result<Harness> {
+        let state_dir = self.scratch.join("daemon");
+        let daemon = Daemon::start(DaemonConfig::new(state_dir, 1))?;
+        let client = Client::connect(daemon.local_addr().to_string());
+        let thread = std::thread::spawn(move || daemon.run());
+        if !client.wait_ready(Duration::from_secs(5)) {
+            return Err(io::Error::other("daemon did not become ready"));
+        }
+        self.daemon = Some(DaemonHandle { client, thread });
+        Ok(self)
+    }
+
+    /// Whether the daemon progression is available.
+    pub fn has_daemon(&self) -> bool {
+        self.daemon.is_some()
+    }
+
+    /// Runs `case` through every progression and cross-checks the
+    /// invariants. `with_daemon` additionally routes the case through the
+    /// service (ignored if the harness has no daemon); the shrinker turns
+    /// it off to keep ddmin probes cheap.
+    pub fn run_case(&self, case: &FuzzCase, with_daemon: bool) -> CaseOutcome {
+        let program = case.program();
+        if !verify_program(&program).is_empty() {
+            return CaseOutcome::skipped();
+        }
+        let oracle = DecompilerOracle::new(&program, case.bugs());
+        if !oracle.is_failing() {
+            return CaseOutcome::skipped();
+        }
+
+        let mut out = CaseOutcome::default();
+
+        // P0: the reference — GBR over the logical model, default options.
+        let reference = match run_reduction_with(
+            &program,
+            &oracle,
+            Strategy::Logical(MsaStrategy::GreedyClosure),
+            COST_SECS,
+            &RunOptions::default(),
+        ) {
+            Ok(report) => report,
+            Err(e) => {
+                out.violations.push(format!("reference run failed: {e}"));
+                return out;
+            }
+        };
+        out.progressions += 1;
+        out.predicate_calls = reference.predicate_calls;
+        soundness("I1-I3 reference", &reference, &mut out.violations);
+
+        // P1: the legacy scan engine must replay the identical search.
+        self.identical_to(case, &reference, "legacy-scan", &RunOptions::legacy(), &mut out);
+
+        // P2: speculative parallel probing must change nothing but speed.
+        let parallel = RunOptions {
+            probe_threads: 2,
+            ..RunOptions::default()
+        };
+        self.identical_to(case, &reference, "probe-threads-2", &parallel, &mut out);
+
+        // P3: the DPLL-conditioned MSA strategy — its own sound result
+        // (a different search, so no bit-identity with the reference).
+        match run_reduction_with(
+            &program,
+            &oracle,
+            Strategy::Logical(MsaStrategy::DpllMinimize),
+            COST_SECS,
+            &RunOptions::default(),
+        ) {
+            Ok(report) => {
+                out.progressions += 1;
+                soundness("I1-I3 dpll-minimize", &report, &mut out.violations);
+            }
+            Err(e) => out
+                .violations
+                .push(format!("dpll-minimize run failed: {e}")),
+        }
+
+        // P4: the ddmin baseline — sound, and never beaten by GBR (I5).
+        match run_reduction_with(
+            &program,
+            &oracle,
+            Strategy::DdminItems,
+            COST_SECS,
+            &RunOptions::default(),
+        ) {
+            Ok(report) => {
+                out.progressions += 1;
+                soundness("I1-I3 ddmin-items", &report, &mut out.violations);
+                // I5 is a regression tripwire, not a theorem: both
+                // reducers are heuristics, and on tiny programs ddmin
+                // occasionally wins by a handful of bytes (fuzzing found
+                // such cases immediately — see tests/fuzz_regressions/).
+                // What must never happen is GBR losing *badly*: that
+                // would mean the logical model stopped guiding the
+                // search.
+                let bound = report.final_metrics.bytes + report.final_metrics.bytes / 4;
+                if reference.final_metrics.bytes > bound {
+                    out.violations.push(format!(
+                        "I5: GBR result ({} bytes) more than 25% above the ddmin baseline ({} bytes)",
+                        reference.final_metrics.bytes, report.final_metrics.bytes
+                    ));
+                }
+            }
+            Err(e) => out.violations.push(format!("ddmin-items run failed: {e}")),
+        }
+
+        // P5+P6: cold persistent cache, then the same cache re-opened warm.
+        self.cache_progressions(case, &program, &oracle, &reference, &mut out);
+
+        // P7: a cache with injected I/O faults must degrade to misses,
+        // never to a different result.
+        self.faulty_cache_progression(case, &program, &oracle, &reference, &mut out);
+
+        // P8: the daemon path — submit the container, compare the result
+        // file bit for bit.
+        if with_daemon {
+            if let Some(daemon) = &self.daemon {
+                self.daemon_progression(daemon, case, &program, &reference, &mut out);
+            }
+        }
+
+        // P9 (armed by `fuzz --break-oracle`): a deliberately lying
+        // predicate that accepts any verifying subprogram. The harness
+        // must catch its result losing the error message — this is the
+        // self-test that proves violations are detected and shrunk.
+        if case.break_oracle {
+            out.progressions += 1;
+            let reduced = broken_oracle_reduce(&program);
+            if !oracle.preserves_failure(&reduced) {
+                out.violations.push(format!(
+                    "I1 broken-oracle: result ({} classes) loses the error message",
+                    reduced.len()
+                ));
+            }
+        }
+
+        out
+    }
+
+    /// Re-runs the reference strategy under different `options` and
+    /// asserts bit-identity (I4).
+    fn identical_to(
+        &self,
+        case: &FuzzCase,
+        reference: &ReductionReport,
+        tag: &str,
+        options: &RunOptions,
+        out: &mut CaseOutcome,
+    ) {
+        let program = case.program();
+        let oracle = DecompilerOracle::new(&program, case.bugs());
+        match run_reduction_with(
+            &program,
+            &oracle,
+            Strategy::Logical(MsaStrategy::GreedyClosure),
+            COST_SECS,
+            options,
+        ) {
+            Ok(report) => {
+                out.progressions += 1;
+                diff_reports(tag, reference, &report, &mut out.violations);
+            }
+            Err(e) => out.violations.push(format!("{tag} run failed: {e}")),
+        }
+    }
+
+    fn cache_progressions(
+        &self,
+        case: &FuzzCase,
+        program: &Program,
+        oracle: &DecompilerOracle,
+        reference: &ReductionReport,
+        out: &mut CaseOutcome,
+    ) {
+        let path = self
+            .scratch
+            .join(format!("cache-{:016x}-{}", case.master_seed, case.index));
+        let namespace = namespace_digest(&case.decompiler, &write_program(program));
+        let run_with_cache = |cache: &PersistentOracleCache| {
+            let scoped = cache.namespaced(namespace);
+            run_logical_resumable(
+                program,
+                oracle,
+                MsaStrategy::GreedyClosure,
+                COST_SECS,
+                &RunOptions::default(),
+                ServiceHooks {
+                    cache: Some(&scoped),
+                    ..ServiceHooks::default()
+                },
+            )
+        };
+        let cold_cache = match PersistentOracleCache::open(&path) {
+            Ok(cache) => cache,
+            Err(e) => {
+                out.violations.push(format!("cold cache open failed: {e}"));
+                return;
+            }
+        };
+        match run_with_cache(&cold_cache) {
+            Ok(report) => {
+                out.progressions += 1;
+                diff_reports("cold-cache", reference, &report, &mut out.violations);
+            }
+            Err(e) => out.violations.push(format!("cold-cache run failed: {e}")),
+        }
+        if let Err(e) = cold_cache.save_if_dirty() {
+            out.violations.push(format!("cache save failed: {e}"));
+            return;
+        }
+        let warm_cache = match PersistentOracleCache::open(&path) {
+            Ok(cache) => cache,
+            Err(e) => {
+                out.violations.push(format!("warm cache open failed: {e}"));
+                return;
+            }
+        };
+        match run_with_cache(&warm_cache) {
+            Ok(report) => {
+                out.progressions += 1;
+                diff_reports("warm-cache", reference, &report, &mut out.violations);
+                if warm_cache.stats().warm_hits == 0 {
+                    out.violations.push(
+                        "I6 warm-cache: no probe was answered from disk".to_string(),
+                    );
+                }
+            }
+            Err(e) => out.violations.push(format!("warm-cache run failed: {e}")),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn faulty_cache_progression(
+        &self,
+        case: &FuzzCase,
+        program: &Program,
+        oracle: &DecompilerOracle,
+        reference: &ReductionReport,
+        out: &mut CaseOutcome,
+    ) {
+        let path = self
+            .scratch
+            .join(format!("faulty-{:016x}-{}", case.master_seed, case.index));
+        let cache = match PersistentOracleCache::open(&path) {
+            Ok(cache) => cache,
+            Err(e) => {
+                out.violations.push(format!("faulty cache open failed: {e}"));
+                return;
+            }
+        };
+        cache.inject_faults(FaultPlan {
+            rate: 0.4,
+            seed: FuzzCase::case_seed(case.master_seed, case.index) ^ 0xFA_17,
+        });
+        let namespace = namespace_digest(&case.decompiler, &write_program(program));
+        let scoped = cache.namespaced(namespace);
+        match run_logical_resumable(
+            program,
+            oracle,
+            MsaStrategy::GreedyClosure,
+            COST_SECS,
+            &RunOptions::default(),
+            ServiceHooks {
+                cache: Some(&scoped),
+                ..ServiceHooks::default()
+            },
+        ) {
+            Ok(report) => {
+                out.progressions += 1;
+                diff_reports("faulty-cache", reference, &report, &mut out.violations);
+            }
+            Err(e) => out.violations.push(format!("faulty-cache run failed: {e}")),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn daemon_progression(
+        &self,
+        daemon: &DaemonHandle,
+        case: &FuzzCase,
+        program: &Program,
+        reference: &ReductionReport,
+        out: &mut CaseOutcome,
+    ) {
+        let job = self.job_counter.get();
+        self.job_counter.set(job + 1);
+        let input = self.scratch.join(format!("job-{job}.lbrc"));
+        let output = self.scratch.join(format!("job-{job}-out.lbrc"));
+        if let Err(e) = std::fs::write(&input, write_program(program)) {
+            out.violations.push(format!("daemon input write failed: {e}"));
+            return;
+        }
+        let spec = Json::obj([
+            ("input", Json::str(input.display().to_string())),
+            ("output", Json::str(output.display().to_string())),
+            ("decompiler", Json::str(&case.decompiler)),
+        ]);
+        let result = daemon
+            .client
+            .submit(&spec)
+            .and_then(|id| daemon.client.wait_result(id));
+        let result = match result {
+            Ok(result) => result,
+            Err(e) => {
+                out.violations.push(format!("daemon job failed: {e}"));
+                return;
+            }
+        };
+        out.progressions += 1;
+        let v = &mut out.violations;
+        if result.str_field("status") != Some("done") {
+            v.push(format!(
+                "daemon: job ended {:?} ({:?})",
+                result.str_field("status"),
+                result.str_field("error")
+            ));
+            return;
+        }
+        if result.u64_field("predicate_calls") != Some(reference.predicate_calls) {
+            v.push(format!(
+                "I4 daemon: {:?} predicate calls, reference made {}",
+                result.u64_field("predicate_calls"),
+                reference.predicate_calls
+            ));
+        }
+        let expected_digest = format!("{:016x}", reference.trace.digest());
+        if result.str_field("trace_digest") != Some(expected_digest.as_str()) {
+            v.push(format!(
+                "I4 daemon: trace digest {:?}, reference {expected_digest}",
+                result.str_field("trace_digest")
+            ));
+        }
+        match std::fs::read(&output) {
+            Ok(bytes) if bytes == write_program(&reference.reduced) => {}
+            Ok(_) => v.push("I4 daemon: output bytes differ from the reference".to_string()),
+            Err(e) => v.push(format!("daemon output unreadable: {e}")),
+        }
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&output);
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        if let Some(daemon) = self.daemon.take() {
+            let _ = daemon.client.shutdown();
+            let _ = daemon.thread.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.scratch);
+    }
+}
+
+/// The sorted class names of a program.
+pub fn class_names(program: &Program) -> Vec<String> {
+    program.names().map(str::to_string).collect()
+}
+
+/// The subprogram keeping exactly the classes of `names` selected by
+/// `set`.
+pub fn subprogram(program: &Program, names: &[String], set: &VarSet) -> Program {
+    let mut sub = program.clone();
+    for (i, name) in names.iter().enumerate() {
+        if !set.contains(Var::new(i as u32)) {
+            sub.remove(name);
+        }
+    }
+    sub
+}
+
+/// The "reducer" driven by an intentionally-broken oracle: its predicate
+/// accepts *any* verifying subprogram — it never checks the error message
+/// — so class-level ddmin happily deletes everything. The surrounding
+/// invariant check must catch the lie.
+fn broken_oracle_reduce(program: &Program) -> Program {
+    let names = class_names(program);
+    let universe = names.len();
+    let atoms: Vec<VarSet> = (0..universe)
+        .map(|i| VarSet::from_iter_with_universe(universe, [Var::new(i as u32)]))
+        .collect();
+    let (kept, _) = lbr_core::ddmin(&atoms, universe, |set: &VarSet| {
+        let sub = subprogram(program, &names, set);
+        if verify_program(&sub).is_empty() {
+            TestOutcome::Fail
+        } else {
+            TestOutcome::Unresolved
+        }
+    });
+    subprogram(program, &names, &kept)
+}
+
+/// Appends a violation for every invariant of [`check_report`] the report
+/// breaks (I1: error preserved, I2: verifies + binary round trip, I3: not
+/// grown).
+fn soundness(tag: &str, report: &ReductionReport, violations: &mut Vec<String>) {
+    if let Err(e) = check_report(report) {
+        violations.push(format!("{tag}: {e}"));
+    }
+}
+
+/// Appends I4 violations wherever `report` differs from `reference` in
+/// result bytes, predicate calls, or the deterministic probe trace.
+fn diff_reports(
+    tag: &str,
+    reference: &ReductionReport,
+    report: &ReductionReport,
+    violations: &mut Vec<String>,
+) {
+    if write_program(&report.reduced) != write_program(&reference.reduced) {
+        violations.push(format!("I4 {tag}: reduced bytes differ from the reference"));
+    }
+    if report.predicate_calls != reference.predicate_calls {
+        violations.push(format!(
+            "I4 {tag}: {} predicate calls, reference made {}",
+            report.predicate_calls, reference.predicate_calls
+        ));
+    }
+    if !report.trace.same_probe_sequence(&reference.trace) {
+        violations.push(format!("I4 {tag}: probe trace diverges from the reference"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Shrinking violating cases with our own ddmin, at class granularity.
+//!
+//! When a case violates an invariant, the whole generated program is
+//! rarely needed to reproduce it. The shrinker runs [`lbr_core::ddmin`]
+//! over the program's class names; each probe re-runs the full in-process
+//! progression suite (the daemon path is skipped — its core code is
+//! already covered by the resumable-cache progressions) and counts as
+//! *failing* exactly when some invariant still breaks. Subsets that no
+//! longer verify or no longer trigger the oracle are `Unresolved`, so the
+//! result is always a valid, still-violating case — stored as a
+//! `keep_classes` restriction on the original seeds, which is what makes
+//! the shrunk `FUZZ_CASE_*.json` replayable.
+
+use crate::case::FuzzCase;
+use crate::run::{class_names, Harness};
+use lbr_core::TestOutcome;
+use lbr_logic::{Var, VarSet};
+
+/// Shrinks a violating `case` to a minimal still-violating class subset.
+///
+/// Returns the shrunk case with `keep_classes` set and `violation`
+/// recording the surviving violation. If the violation does not reproduce
+/// in-process (e.g. it was daemon-specific), the original case is
+/// returned unshrunk with the given `violation` message attached.
+pub fn shrink_case(case: &FuzzCase, harness: &Harness, violation: &str) -> FuzzCase {
+    let program = case.program();
+    let names = class_names(&program);
+    let universe = names.len();
+    let atoms: Vec<VarSet> = (0..universe)
+        .map(|i| VarSet::from_iter_with_universe(universe, [Var::new(i as u32)]))
+        .collect();
+    let still_violates = |set: &VarSet| -> TestOutcome {
+        let mut candidate = case.clone();
+        candidate.keep_classes = Some(
+            names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| set.contains(Var::new(*i as u32)))
+                .map(|(_, n)| n.clone())
+                .collect(),
+        );
+        let outcome = harness.run_case(&candidate, false);
+        if outcome.skipped {
+            TestOutcome::Unresolved
+        } else if outcome.violations.is_empty() {
+            TestOutcome::Pass
+        } else {
+            TestOutcome::Fail
+        }
+    };
+    let (kept, _stats) = lbr_core::ddmin(&atoms, universe, still_violates);
+
+    let mut shrunk = case.clone();
+    shrunk.keep_classes = Some(
+        names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| kept.contains(Var::new(*i as u32)))
+            .map(|(_, n)| n.clone())
+            .collect(),
+    );
+    // Record the violation the *shrunk* case exhibits; fall back to the
+    // caller's message if the subset unexpectedly runs clean.
+    let outcome = harness.run_case(&shrunk, false);
+    shrunk.violation = Some(
+        outcome
+            .violations
+            .first()
+            .cloned()
+            .unwrap_or_else(|| violation.to_string()),
+    );
+    if outcome.skipped || outcome.violations.is_empty() {
+        // Not reproducible in-process: keep the whole program.
+        let mut original = case.clone();
+        original.violation = Some(violation.to_string());
+        return original;
+    }
+    shrunk
+}

@@ -1056,8 +1056,11 @@ fn run_per_error_parallel(
     })
 }
 
-/// Convenience: run a strategy and panic-free assert the three soundness
-/// bits every run must satisfy (used by tests and the harness).
+/// Convenience: run a strategy and panic-free assert the soundness bits
+/// every run must satisfy (used by tests, the binaries, and the fuzzing
+/// harness): error preserved, still verifying, not grown, and — because a
+/// result is ultimately a *file* — the reduced program must survive a
+/// binary round trip (serialize → parse → equal → verify).
 pub fn check_report(report: &ReductionReport) -> Result<(), String> {
     if !report.errors_preserved {
         return Err(format!(
@@ -1074,6 +1077,8 @@ pub fn check_report(report: &ReductionReport) -> Result<(), String> {
     if report.final_metrics.bytes > report.initial.bytes {
         return Err(format!("{}: reduction grew the input", report.strategy));
     }
+    lbr_classfile::round_trip_verify(&report.reduced)
+        .map_err(|e| format!("{}: round-trip check failed: {e}", report.strategy))?;
     Ok(())
 }
 

@@ -458,10 +458,14 @@ fn search(engine: &mut Engine, order: &VarOrder) -> bool {
     false
 }
 
-/// The reverse-`<`-order minimization pass of
+/// The reverse-`<`-order minimization sweep of
 /// [`MsaStrategy::GreedyMinimize`] on an absolute true set: tries to drop
 /// each variable not pinned by the current engine state, keeping the drop
-/// only if every stored clause stays satisfied under set membership.
+/// only if every stored clause stays satisfied under set membership. Like
+/// the scan-based `minimize`, the sweep repeats until it drops nothing —
+/// removing a variable can satisfy a clause through a negative literal and
+/// free an earlier-considered variable — and must iterate in exactly the
+/// same order so both implementations return identical sets.
 fn minimize_from_state(engine: &Engine, order: &VarOrder, mut s: VarSet) -> VarSet {
     let members: Vec<Var> = {
         // Variables assigned in the current state cannot be dropped (the
@@ -471,13 +475,23 @@ fn minimize_from_state(engine: &Engine, order: &VarOrder, mut s: VarSet) -> VarS
         m.reverse();
         m
     };
-    for v in members {
-        s.remove(v);
-        if !engine.satisfied_by(&s) {
-            s.insert(v);
+    loop {
+        let mut dropped = false;
+        for &v in &members {
+            if !s.contains(v) {
+                continue;
+            }
+            s.remove(v);
+            if engine.satisfied_by(&s) {
+                dropped = true;
+            } else {
+                s.insert(v);
+            }
+        }
+        if !dropped {
+            return s;
         }
     }
-    s
 }
 
 #[cfg(test)]

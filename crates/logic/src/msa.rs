@@ -171,9 +171,13 @@ fn propagate_or_conflict(cnf: &Cnf, pa: &mut PartialAssignment) -> Option<()> {
     (!crate::propagate(cnf, pa).is_conflict()).then_some(())
 }
 
-/// Reverse-`<`-order pass dropping true variables whose removal keeps the
-/// formula satisfied. Produces a set that is minimal with respect to single
-/// removals (not necessarily subset-minimal).
+/// Reverse-`<`-order sweep dropping true variables whose removal keeps the
+/// formula satisfied, repeated until a full sweep drops nothing. Produces a
+/// set that is minimal with respect to single removals (not necessarily
+/// subset-minimal). A single sweep is not enough: removing a variable can
+/// satisfy a clause through a negative literal and thereby free an
+/// earlier-considered variable, so we iterate to the fixpoint. Each repeat
+/// removed at least one variable, bounding the loop by `|s|` sweeps.
 fn minimize(cnf: &Cnf, order: &VarOrder, mut s: VarSet) -> VarSet {
     let members: Vec<Var> = {
         let mut m: Vec<Var> = s.iter().collect();
@@ -181,13 +185,23 @@ fn minimize(cnf: &Cnf, order: &VarOrder, mut s: VarSet) -> VarSet {
         m.reverse();
         m
     };
-    for v in members {
-        s.remove(v);
-        if !cnf.eval(&s) {
-            s.insert(v);
+    loop {
+        let mut dropped = false;
+        for &v in &members {
+            if !s.contains(v) {
+                continue;
+            }
+            s.remove(v);
+            if cnf.eval(&s) {
+                dropped = true;
+            } else {
+                s.insert(v);
+            }
+        }
+        if !dropped {
+            return s;
         }
     }
-    s
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 use crate::fsio::atomic_write_str;
 use lbr_core::{Probe, ProbeCache};
 use lbr_logic::{Var, VarSet};
+use lbr_prng::SplitMix64;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -61,6 +62,29 @@ pub struct CacheStats {
     pub warm_hits: u64,
 }
 
+/// A deterministic plan for injecting cache-layer I/O faults.
+///
+/// The cache's correctness contract — a lost entry only ever costs a tool
+/// re-run, never a wrong result — is the kind of claim that rots silently.
+/// A `FaultPlan` makes it testable: with probability [`rate`](Self::rate)
+/// each `lookup`/`store` *pretends* the disk misbehaved (the lookup
+/// degrades to a miss, the store is dropped), drawing from its own
+/// seed-deterministic stream so a fuzz run's faults replay exactly. The
+/// differential harness runs every case against a fault-injected cache and
+/// asserts bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a single cache operation faults.
+    pub rate: f64,
+    /// Seed of the fault stream (independent of workload seeds).
+    pub seed: u64,
+}
+
+struct FaultState {
+    rate: f64,
+    rng: SplitMix64,
+}
+
 /// The persistent, thread-safe oracle cache. See the module docs.
 pub struct PersistentOracleCache {
     path: PathBuf,
@@ -68,6 +92,8 @@ pub struct PersistentOracleCache {
     hits: AtomicU64,
     misses: AtomicU64,
     warm_hits: AtomicU64,
+    faults: Mutex<Option<FaultState>>,
+    faults_injected: AtomicU64,
 }
 
 impl PersistentOracleCache {
@@ -118,11 +144,56 @@ impl PersistentOracleCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
+            faults: Mutex::new(None),
+            faults_injected: AtomicU64::new(0),
         })
     }
 
+    /// Arms probabilistic fault injection (see [`FaultPlan`]). A rate of
+    /// `0` disarms it.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        let mut faults = self.faults.lock().expect("fault lock");
+        *faults = if plan.rate > 0.0 {
+            Some(FaultState {
+                rate: plan.rate,
+                rng: SplitMix64::seed_from_u64(plan.seed),
+            })
+        } else {
+            None
+        };
+    }
+
+    /// How many operations have been faulted so far — lets tests confirm
+    /// that the fault path was actually exercised.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// Draws from the fault stream; `true` means the current operation
+    /// must behave as if the disk failed.
+    fn fault(&self) -> bool {
+        let mut faults = self.faults.lock().expect("fault lock");
+        match faults.as_mut() {
+            Some(state) => {
+                let fired = state.rng.gen_bool(state.rate);
+                if fired {
+                    self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                }
+                fired
+            }
+            None => false,
+        }
+    }
+
     /// Looks up a probe under the namespace, counting a hit or a miss.
+    ///
+    /// Under an armed [`FaultPlan`] a faulted lookup degrades to a miss:
+    /// the caller re-runs the tool, which is always safe.
     pub fn lookup(&self, namespace: u64, key: &VarSet) -> Option<Probe> {
+        if self.fault() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let inner = self.inner.lock().expect("cache lock");
         let found = inner
             .buckets
@@ -145,7 +216,13 @@ impl PersistentOracleCache {
 
     /// Remembers a probe under the namespace (first write wins — the
     /// predicate is pure, so duplicates are necessarily equal).
+    ///
+    /// Under an armed [`FaultPlan`] a faulted store is silently dropped:
+    /// the entry is simply lost and a later probe recomputes it.
     pub fn store(&self, namespace: u64, key: &VarSet, probe: Probe) {
+        if self.fault() {
+            return;
+        }
         let mut inner = self.inner.lock().expect("cache lock");
         let bucket = inner
             .buckets
@@ -361,6 +438,49 @@ mod tests {
             Some(Probe { outcome: true, size: 11 })
         );
         assert_eq!(cache.stats().warm_hits, 3, "reloaded entries count as warm");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faults_degrade_to_misses_never_wrong_results() {
+        let dir = std::env::temp_dir().join(format!("lbr-cache4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = PersistentOracleCache::open(dir.join("faulty")).unwrap();
+        let key = set(8, &[2, 4]);
+        let probe = Probe { outcome: true, size: 17 };
+        cache.store(3, &key, probe);
+        assert_eq!(cache.lookup(3, &key), Some(probe));
+
+        // Every operation faults: lookups miss, stores are dropped.
+        cache.inject_faults(FaultPlan { rate: 1.0, seed: 99 });
+        assert_eq!(cache.lookup(3, &key), None, "faulted lookup must miss");
+        let other = set(8, &[1]);
+        cache.store(3, &other, Probe { outcome: false, size: 5 });
+        assert_eq!(cache.len(), 1, "faulted store must be dropped");
+        assert!(cache.faults_injected() >= 2);
+
+        // Disarmed: the surviving entry is served again, intact. A fault
+        // can only cost a re-run — it can never corrupt what is returned.
+        cache.inject_faults(FaultPlan { rate: 0.0, seed: 0 });
+        assert_eq!(cache.lookup(3, &key), Some(probe));
+        assert_eq!(cache.lookup(3, &other), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_stream_is_seed_deterministic() {
+        let dir = std::env::temp_dir().join(format!("lbr-cache5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let draw = |seed: u64| {
+            let cache = PersistentOracleCache::open(dir.join(format!("f{seed}"))).unwrap();
+            let key = set(4, &[0]);
+            cache.store(0, &key, Probe { outcome: true, size: 1 });
+            cache.inject_faults(FaultPlan { rate: 0.5, seed });
+            // A miss on a stored key can only come from an injected fault.
+            (0..64).map(|_| cache.lookup(0, &key).is_none()).collect::<Vec<bool>>()
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same fault pattern");
+        assert_ne!(draw(7), draw(8), "different seeds should diverge");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -625,8 +625,17 @@ fn execute_job(
         let namespace = namespace_digest(&spec.decompiler, &bytes);
         let scoped = state.cache.namespaced(namespace);
         let ckpt_path = state.job_file(spec.id, "ckpt");
-        let resume = load_checkpoint(&ckpt_path)
-            .map_err(|e| JobStop::Failed(format!("corrupt checkpoint: {e}")))?;
+        // A checkpoint torn mid-write (truncated file, garbage bytes) is
+        // discarded and the search restarts from scratch: determinism
+        // guarantees the restarted run lands on the identical result, so
+        // the only thing a corrupt checkpoint may ever cost is time.
+        let resume = match load_checkpoint(&ckpt_path) {
+            Ok(resume) => resume,
+            Err(_) => {
+                let _ = std::fs::remove_file(&ckpt_path);
+                None
+            }
+        };
         let resumed = resume.is_some();
         let cancel_hook = move || {
             cancel.load(Ordering::SeqCst)

@@ -43,7 +43,7 @@ pub mod job;
 pub mod json;
 pub mod queue;
 
-pub use cache::{namespace_digest, CacheStats, NamespacedCache, PersistentOracleCache};
+pub use cache::{namespace_digest, CacheStats, FaultPlan, NamespacedCache, PersistentOracleCache};
 pub use checkpoint::{load_checkpoint, save_checkpoint};
 pub use client::Client;
 pub use daemon::{Daemon, DaemonConfig};

@@ -22,7 +22,7 @@ use lbr_decompiler::BugKind;
 use lbr_prng::{SliceChoose, SplitMix64};
 
 /// Configuration for [`generate`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// RNG seed (generation is fully deterministic per seed).
     pub seed: u64,
@@ -96,6 +96,39 @@ impl WorkloadConfig {
             methods_per_class: (3, 7),
             stmts_per_method: (3, 8),
             plant: BugKind::ALL.to_vec(),
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// A randomized small configuration for differential fuzzing: the
+    /// program geometry (class/interface counts, cluster size, member
+    /// ranges, hierarchy probabilities) is drawn deterministically from
+    /// `seed`, giving the harness structural diversity beyond the fixed
+    /// profiles while staying cheap enough to reduce hundreds of times
+    /// per minute. The bug-plant list is left at the default; callers
+    /// substitute the kinds matching the decompiler under test.
+    pub fn sampled(seed: u64) -> Self {
+        // Decorrelate the geometry stream from the content stream: the
+        // same `seed` feeds `generate` directly, so geometry must not
+        // replay it.
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5EED_6E0E_7121_C0DE);
+        let pct = |rng: &mut SplitMix64, lo: u64, hi: u64| rng.gen_range(lo..=hi) as f64 / 100.0;
+        let m_lo = rng.gen_range(1usize..=2);
+        let s_lo = rng.gen_range(1usize..=2);
+        WorkloadConfig {
+            seed,
+            classes: rng.gen_range(6usize..=12),
+            interfaces: rng.gen_range(2usize..=4),
+            cluster_size: rng.gen_range(3usize..=6),
+            cross_cluster_prob: pct(&mut rng, 0, 4),
+            bug_cluster_fraction: pct(&mut rng, 25, 50),
+            methods_per_class: (m_lo, m_lo + rng.gen_range(1usize..=2)),
+            stmts_per_method: (s_lo, s_lo + rng.gen_range(1usize..=3)),
+            fields_per_class: (0, rng.gen_range(1usize..=2)),
+            subclass_prob: pct(&mut rng, 15, 50),
+            implements_prob: pct(&mut rng, 25, 60),
+            iface_extends_prob: pct(&mut rng, 20, 50),
+            plants_per_bug: rng.gen_range(1usize..=2),
             ..WorkloadConfig::default()
         }
     }
@@ -972,6 +1005,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sampled_configs_are_deterministic_and_verify() {
+        for seed in [0u64, 1, 7, 0xC0FFEE] {
+            let a = WorkloadConfig::sampled(seed);
+            let b = WorkloadConfig::sampled(seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+            assert!((6..=12).contains(&a.classes));
+            assert!(a.methods_per_class.0 <= a.methods_per_class.1);
+            assert!(a.stmts_per_method.0 <= a.stmts_per_method.1);
+            let p = generate(&a);
+            assert!(
+                lbr_classfile::verify_program(&p).is_empty(),
+                "sampled seed {seed} must generate a verifying program"
+            );
+        }
+        // Different seeds should explore different geometries.
+        let g0 = WorkloadConfig::sampled(0);
+        let distinct = (1..32u64)
+            .map(WorkloadConfig::sampled)
+            .filter(|c| c.classes != g0.classes || c.interfaces != g0.interfaces)
+            .count();
+        assert!(distinct > 16, "sampled geometry barely varies: {distinct}/31");
     }
 
     #[test]

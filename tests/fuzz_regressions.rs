@@ -1,0 +1,78 @@
+//! Replays previously-shrunk fuzzing cases from `tests/fuzz_regressions/`.
+//!
+//! Each file was produced by the `fuzz` binary's ddmin shrinker when a
+//! campaign found an invariant violation, and is pinned here so the
+//! behavior never regresses silently:
+//!
+//! - `i5_ddmin_beats_gbr.json` — the case that proved strict "GBR ≤ ddmin"
+//!   is not a theorem (ddmin won by 38 bytes), which demoted invariant I5
+//!   to a 25% regression tripwire. It must replay clean.
+//! - `broken_oracle_catch_{a,b}.json` — shrunk cases with the deliberately
+//!   lying oracle armed (`break_oracle: true`). The harness must still
+//!   *catch* the planted I1 violation on them; if these ever replay clean,
+//!   the fuzzer has lost its ability to detect unsound reductions.
+
+use lbr_fuzz::{FuzzCase, Harness};
+use std::path::{Path, PathBuf};
+
+fn regression_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz_regressions")
+}
+
+/// Replays one pinned case without the daemon progression (the recorded
+/// violations are all reproducible in-process; skipping the daemon keeps
+/// the test fast).
+fn replay(name: &str) -> lbr_fuzz::CaseOutcome {
+    let path = regression_dir().join(name);
+    let case = FuzzCase::load(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let scratch = std::env::temp_dir().join(format!(
+        "lbr-fuzz-regr-{}-{name}",
+        std::process::id()
+    ));
+    let harness = Harness::new(scratch).expect("scratch dir");
+    let outcome = harness.run_case(&case, false);
+    assert!(!outcome.skipped, "{name}: case no longer qualifies — generator drift?");
+    outcome
+}
+
+#[test]
+fn i5_tripwire_case_replays_clean() {
+    let outcome = replay("i5_ddmin_beats_gbr.json");
+    assert!(
+        outcome.violations.is_empty(),
+        "the pinned I5 case must stay within the 25% tripwire: {:?}",
+        outcome.violations
+    );
+    assert!(outcome.progressions >= 5, "all in-process progressions must run");
+}
+
+#[test]
+fn broken_oracle_cases_are_still_caught() {
+    for name in ["broken_oracle_catch_a.json", "broken_oracle_catch_b.json"] {
+        let outcome = replay(name);
+        assert!(
+            outcome.violations.iter().any(|v| v.contains("I1")),
+            "{name}: the harness must catch the planted unsound oracle, got {:?}",
+            outcome.violations
+        );
+    }
+}
+
+/// The pinned files themselves stay parseable and carry their recorded
+/// violation messages (the provenance a future reader will reach for).
+#[test]
+fn regression_files_record_their_provenance() {
+    for entry in std::fs::read_dir(regression_dir()).expect("regression dir") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let case = FuzzCase::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            case.violation.is_some(),
+            "{}: a pinned case must record the violation that produced it",
+            path.display()
+        );
+        assert!(case.keep_classes.is_some(), "{}: pinned cases are shrunk", path.display());
+    }
+}
