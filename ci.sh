@@ -17,6 +17,9 @@ cargo test --workspace -q --offline
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== rustfmt (check) =="
+cargo fmt --all --check
+
 echo "== speculative probing determinism smoke =="
 # --probe-threads must be a pure wall-clock optimisation: a 2-thread run of
 # the small suite has to be bit-identical (calls, sizes, cache totals) to

@@ -3,8 +3,8 @@
 
 use lbr_bench::microbench::bench;
 use lbr_core::{
-    binary_reduction, closure_size_order, ddmin, generalized_binary_reduction, DepGraph,
-    GbrConfig, Instance, TestOutcome,
+    binary_reduction, closure_size_order, ddmin, generalized_binary_reduction, DepGraph, GbrConfig,
+    Instance, TestOutcome,
 };
 use lbr_logic::{Clause, Cnf, Var, VarSet};
 

@@ -7,8 +7,8 @@
 //! speedup ratios back the numbers quoted in `EXPERIMENTS.md`.
 
 use lbr_bench::microbench::{bench, fmt_duration};
-use lbr_core::{closure_size_order, generalized_binary_reduction, GbrConfig, Instance, Oracle};
 use lbr_core::PropagationMode;
+use lbr_core::{closure_size_order, generalized_binary_reduction, GbrConfig, Instance, Oracle};
 use lbr_jreduce::{build_model, run_reduction_with, RunOptions, Strategy};
 use lbr_logic::{msa, msa_scan, MsaStrategy, VarSet};
 use lbr_workload::{generate, WorkloadConfig};
@@ -85,7 +85,8 @@ fn main() {
     });
 
     // End-to-end pipeline: real decompiler predicate, memo on vs off.
-    let oracle = lbr_decompiler::DecompilerOracle::new(&program, lbr_decompiler::BugSet::decompiler_a());
+    let oracle =
+        lbr_decompiler::DecompilerOracle::new(&program, lbr_decompiler::BugSet::decompiler_a());
     let mut pipeline_times = Vec::new();
     for (name, options) in [
         ("default", RunOptions::default()),

@@ -20,10 +20,14 @@ fn main() {
 
     for strategy in MsaStrategy::ALL {
         bench(&format!("msa/closure-order/{}", strategy.name()), || {
-            msa(&model.cnf, &order, strategy).expect("satisfiable").len()
+            msa(&model.cnf, &order, strategy)
+                .expect("satisfiable")
+                .len()
         });
         bench(&format!("msa/natural-order/{}", strategy.name()), || {
-            msa(&model.cnf, &natural, strategy).expect("satisfiable").len()
+            msa(&model.cnf, &natural, strategy)
+                .expect("satisfiable")
+                .len()
         });
     }
 }

@@ -81,7 +81,10 @@ impl<'a> Parser<'a> {
     }
 
     fn fail(&self, what: &str) -> ! {
-        eprintln!("bench_compare: JSON parse error at byte {}: {what}", self.pos);
+        eprintln!(
+            "bench_compare: JSON parse error at byte {}: {what}",
+            self.pos
+        );
         std::process::exit(2);
     }
 
@@ -298,7 +301,12 @@ fn compare_wall(baseline: &Json, current: &Json, threshold_pct: f64) -> ExitCode
 /// Determinism smoke: the two files must describe the same computation
 /// (per-run calls, sizes and cache totals), wall times excepted.
 fn compare_identical(baseline: &Json, current: &Json) -> ExitCode {
-    const FIELDS: [&str; 4] = ["predicate_calls", "final_bytes", "cache_hits", "cache_misses"];
+    const FIELDS: [&str; 4] = [
+        "predicate_calls",
+        "final_bytes",
+        "cache_hits",
+        "cache_misses",
+    ];
     let key = |r: &Json| (r.str_field("benchmark"), r.str_field("strategy"));
     let base: BTreeMap<_, Json> = baseline
         .get("runs")
@@ -368,7 +376,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!("usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical]");
                 println!();
-                println!("  default      fail on per-strategy wall-time regression > PCT% (default 10)");
+                println!(
+                    "  default      fail on per-strategy wall-time regression > PCT% (default 10)"
+                );
                 println!("  --identical  fail unless per-run calls, sizes and cache totals match");
                 return ExitCode::SUCCESS;
             }
@@ -379,7 +389,9 @@ fn main() -> ExitCode {
         }
     }
     let [baseline, current] = files.as_slice() else {
-        eprintln!("usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical]");
+        eprintln!(
+            "usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical]"
+        );
         return ExitCode::from(2);
     };
     let baseline = parse_file(baseline);

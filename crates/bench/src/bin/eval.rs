@@ -99,7 +99,9 @@ fn main() {
                     "usage: eval [--experiment all|stats|fig8a|fig8b|lossy|per-error|ablate-msa|ablate-order|ddmin|csv]"
                 );
                 println!("            [--programs N] [--scale F] [--seed N] [--cost SECS]");
-                println!("            [--threads N] [--probe-threads N] [--legacy] [--json [PATH]]");
+                println!(
+                    "            [--threads N] [--probe-threads N] [--legacy] [--json [PATH]]"
+                );
                 println!();
                 println!("  --threads N   worker threads for the run grid (0 = all cores)");
                 println!("  --probe-threads N  speculative probe threads inside each GBR search");
@@ -111,7 +113,9 @@ fn main() {
                 println!("  --legacy      scan-BCP baseline: no incremental engine, no memo");
                 println!("  --slot-dir DIR  persist each finished run as DIR/slot-NNNN.json");
                 println!("                the moment it completes (atomic temp+rename writes)");
-                println!("  --json [PATH] write machine-readable results (default BENCH_results.json)");
+                println!(
+                    "  --json [PATH] write machine-readable results (default BENCH_results.json)"
+                );
                 return;
             }
             other => {
@@ -169,10 +173,7 @@ fn main() {
                 .map(|&m| Strategy::Logical(m))
                 .collect();
             let records = run(&strategies);
-            print!(
-                "{}",
-                render_ablation(&records, "A1: MSA strategy ablation")
-            );
+            print!("{}", render_ablation(&records, "A1: MSA strategy ablation"));
             json_records = records;
         }
         "ablate-order" => {
@@ -222,10 +223,7 @@ fn main() {
             println!();
             print!("{}", render_lossy(&records));
             println!();
-            print!(
-                "{}",
-                render_ablation(&records, "Summary: all strategies")
-            );
+            print!("{}", render_ablation(&records, "Summary: all strategies"));
             json_records = records;
         }
         other => {

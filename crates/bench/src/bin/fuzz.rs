@@ -54,9 +54,7 @@ fn main() {
             v
         };
         match flag {
-            "--budget-secs" => {
-                budget_secs = value().parse().expect("--budget-secs takes seconds")
-            }
+            "--budget-secs" => budget_secs = value().parse().expect("--budget-secs takes seconds"),
             "--seed" => {
                 let v = value();
                 seed = parse_seed(&v).unwrap_or_else(|| {
@@ -65,16 +63,16 @@ fn main() {
                 });
             }
             "--min-cases" => min_cases = value().parse().expect("--min-cases takes a number"),
-            "--max-cases" => {
-                max_cases = Some(value().parse().expect("--max-cases takes a number"))
-            }
+            "--max-cases" => max_cases = Some(value().parse().expect("--max-cases takes a number")),
             "--out-dir" => out_dir = value(),
             "--replay" => replay = Some(value()),
             "--break-oracle" => break_oracle = true,
             "--no-daemon" => daemon = false,
             "--help" | "-h" => {
                 println!("usage: fuzz [--budget-secs N] [--seed N|0xHEX] [--min-cases N]");
-                println!("            [--max-cases N] [--out-dir DIR] [--break-oracle] [--no-daemon]");
+                println!(
+                    "            [--max-cases N] [--out-dir DIR] [--break-oracle] [--no-daemon]"
+                );
                 println!("       fuzz --replay FUZZ_CASE_N.json");
                 return;
             }
@@ -86,10 +84,7 @@ fn main() {
         i += 1;
     }
 
-    let scratch = std::env::temp_dir().join(format!(
-        "lbr-fuzz-{}-{seed:x}",
-        std::process::id()
-    ));
+    let scratch = std::env::temp_dir().join(format!("lbr-fuzz-{}-{seed:x}", std::process::id()));
     let harness = Harness::new(scratch).unwrap_or_else(|e| fail(format!("scratch dir: {e}")));
     let harness = if daemon {
         harness
@@ -100,8 +95,7 @@ fn main() {
     };
 
     if let Some(path) = replay {
-        let case =
-            FuzzCase::load(std::path::Path::new(&path)).unwrap_or_else(|e| fail(e));
+        let case = FuzzCase::load(std::path::Path::new(&path)).unwrap_or_else(|e| fail(e));
         eprintln!(
             "replaying {path}: master seed {:016x}, case {}, decompiler {}{}{}",
             case.master_seed,
@@ -110,7 +104,11 @@ fn main() {
             case.keep_classes
                 .as_ref()
                 .map_or(String::new(), |k| format!(", {} classes kept", k.len())),
-            if case.break_oracle { ", broken oracle armed" } else { "" },
+            if case.break_oracle {
+                ", broken oracle armed"
+            } else {
+                ""
+            },
         );
         if let Some(v) = &case.violation {
             eprintln!("recorded violation: {v}");
@@ -120,7 +118,10 @@ fn main() {
             fail("case no longer qualifies (oracle not failing) — generator drift?".into());
         }
         if outcome.violations.is_empty() {
-            println!("replay clean: {} progressions, no violations", outcome.progressions);
+            println!(
+                "replay clean: {} progressions, no violations",
+                outcome.progressions
+            );
         } else {
             for v in &outcome.violations {
                 eprintln!("violation: {v}");
@@ -139,8 +140,8 @@ fn main() {
         out_dir: PathBuf::from(out_dir),
         log: true,
     };
-    let summary = run_campaign(&config, &harness)
-        .unwrap_or_else(|e| fail(format!("campaign failed: {e}")));
+    let summary =
+        run_campaign(&config, &harness).unwrap_or_else(|e| fail(format!("campaign failed: {e}")));
     println!(
         "fuzz: {} cases ({} skipped), {} progressions, {} reference tool runs, {} violations",
         summary.cases_run,

@@ -47,7 +47,9 @@ struct RoundStats {
 /// Submits every input, waits for all of them concurrently, and measures
 /// the round against the cache counters it moved.
 fn run_round(client: &Client, inputs: &[PathBuf], out_dir: &Path, tag: &str) -> RoundStats {
-    let before = client.stats().unwrap_or_else(|e| fail(format!("stats: {e}")));
+    let before = client
+        .stats()
+        .unwrap_or_else(|e| fail(format!("stats: {e}")));
     let cache_before = |k: &str| {
         before
             .get("cache")
@@ -67,7 +69,12 @@ fn run_round(client: &Client, inputs: &[PathBuf], out_dir: &Path, tag: &str) -> 
                 ("decompiler", Json::str("a")),
                 (
                     "output",
-                    Json::str(out_dir.join(format!("{tag}-{i}.lbrc")).display().to_string()),
+                    Json::str(
+                        out_dir
+                            .join(format!("{tag}-{i}.lbrc"))
+                            .display()
+                            .to_string(),
+                    ),
                 ),
             ]);
             std::thread::spawn(move || {
@@ -94,7 +101,9 @@ fn run_round(client: &Client, inputs: &[PathBuf], out_dir: &Path, tag: &str) -> 
     }
     let wall = round_start.elapsed().as_secs_f64();
 
-    let after = client.stats().unwrap_or_else(|e| fail(format!("stats: {e}")));
+    let after = client
+        .stats()
+        .unwrap_or_else(|e| fail(format!("stats: {e}")));
     let cache_after = |k: &str| after.get("cache").and_then(|c| c.u64_field(k)).unwrap_or(0);
     let hits = cache_after("hits") - hits0;
     let lookups = hits + cache_after("misses") - misses0;
@@ -104,7 +113,11 @@ fn run_round(client: &Client, inputs: &[PathBuf], out_dir: &Path, tag: &str) -> 
         jobs_per_sec: inputs.len() as f64 / wall.max(1e-9),
         p50_ms: percentile(&latencies_ms, 0.5),
         p95_ms: percentile(&latencies_ms, 0.95),
-        hit_rate: if lookups > 0 { hits as f64 / lookups as f64 } else { 0.0 },
+        hit_rate: if lookups > 0 {
+            hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
         all_done,
     }
 }
@@ -221,7 +234,9 @@ fn main() {
             ("warm", round_doc(&warm)),
         ]));
 
-        client.shutdown().unwrap_or_else(|e| fail(format!("shutdown: {e}")));
+        client
+            .shutdown()
+            .unwrap_or_else(|e| fail(format!("shutdown: {e}")));
         handle
             .join()
             .expect("daemon thread")

@@ -22,7 +22,7 @@
 use lbr_classfile::{disassemble_program, read_program, write_class_directory, write_program};
 use lbr_core::LossyPick;
 use lbr_decompiler::{BugSet, DecompilerOracle};
-use lbr_jreduce::{check_report, run_per_error_with, run_reduction_with, RunOptions, Strategy};
+use lbr_jreduce::{check_report, ReductionSession, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 use lbr_service::{atomic_write, atomic_write_str, Json};
 
@@ -75,8 +75,12 @@ fn main() {
             "--per-error" => per_error = true,
             "--help" | "-h" => {
                 println!("usage: reduce --input bench.lbrc [--decompiler a|b|c|all]");
-                println!("              [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]");
-                println!("              [--out reduced.lbrc] [--out-dir dir/] [--json report.json]");
+                println!(
+                    "              [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]"
+                );
+                println!(
+                    "              [--out reduced.lbrc] [--out-dir dir/] [--json report.json]"
+                );
                 println!("              [--disasm] [--per-error] [--cost SECS]");
                 println!("              [--probe-threads N] [--probe-latency-micros N]");
                 return;
@@ -117,11 +121,21 @@ fn main() {
     );
 
     if per_error {
-        let report = run_per_error_with(&program, &oracle, cost, &options)
+        let report = ReductionSession::new(&program, &oracle)
+            .cost_per_call(cost)
+            .options(options)
+            .run_per_error()
             .unwrap_or_else(|e| fail(format!("per-error reduction failed: {e}")));
-        println!("per-error witnesses ({} searches, {} tool runs):", report.errors.len(), report.total_calls);
+        println!(
+            "per-error witnesses ({} searches, {} tool runs):",
+            report.errors.len(),
+            report.total_calls
+        );
         for (error, size) in &report.errors {
-            println!("  {:>4} classes {:>8} bytes  {error}", size.classes, size.bytes);
+            println!(
+                "  {:>4} classes {:>8} bytes  {error}",
+                size.classes, size.bytes
+            );
         }
         return;
     }
@@ -138,7 +152,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let report = run_reduction_with(&program, &oracle, strategy, cost, &options)
+    let report = ReductionSession::new(&program, &oracle)
+        .strategy(strategy)
+        .cost_per_call(cost)
+        .options(options)
+        .run()
         .unwrap_or_else(|e| fail(format!("reduction failed: {e}")));
     // A result only counts if it holds up end to end: error preserved,
     // still verifying, not grown, and the serialized bytes re-read into
@@ -175,10 +193,19 @@ fn main() {
         // so `diff`ing daemon output against an in-process run is trivial.
         let doc = Json::obj([
             ("strategy", Json::str(&report.strategy)),
-            ("initial_classes", Json::count(report.initial.classes as u64)),
+            (
+                "initial_classes",
+                Json::count(report.initial.classes as u64),
+            ),
             ("initial_bytes", Json::count(report.initial.bytes as u64)),
-            ("final_classes", Json::count(report.final_metrics.classes as u64)),
-            ("final_bytes", Json::count(report.final_metrics.bytes as u64)),
+            (
+                "final_classes",
+                Json::count(report.final_metrics.classes as u64),
+            ),
+            (
+                "final_bytes",
+                Json::count(report.final_metrics.bytes as u64),
+            ),
             ("predicate_calls", Json::count(report.predicate_calls)),
             (
                 "trace_digest",

@@ -193,7 +193,9 @@ fn main() {
             println!("{{\"ok\":true}}");
         }
         "stats" => {
-            let doc = client.stats().unwrap_or_else(|e| fail(format!("stats: {e}")));
+            let doc = client
+                .stats()
+                .unwrap_or_else(|e| fail(format!("stats: {e}")));
             println!("{}", doc.render());
         }
         "shutdown" => {

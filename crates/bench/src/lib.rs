@@ -15,8 +15,8 @@
 
 pub mod microbench;
 
-use lbr_core::{LossyPick, ReductionTrace};
-use lbr_jreduce::{run_reduction_with, RunOptions, Strategy};
+use lbr_core::{LossyPick, ProbeStats, ReductionTrace};
+use lbr_jreduce::{ReductionSession, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 use lbr_service::{atomic_write_str, Json};
 use lbr_workload::{geometric_mean, suite, suite_stats, Benchmark, SuiteConfig, SuiteStats};
@@ -106,18 +106,11 @@ pub struct RunRecord {
     pub graph_fraction: f64,
     /// Soundness: errors preserved and result verifies.
     pub sound: bool,
-    /// Oracle probes answered from the memo (0 with memoization off).
-    pub cache_hits: u64,
-    /// Oracle probes that ran the tool under memoization.
-    pub cache_misses: u64,
-    /// Logical probes consumed by the algorithm (equals `calls`; identical
-    /// at every `probe_threads` setting).
-    pub useful_calls: u64,
-    /// Speculative probes executed but never demanded (0 sequentially).
-    pub speculative_calls: u64,
-    /// Demanded probes that were not already finished when demanded — the
-    /// probes on the run's critical path.
-    pub critical_path_calls: u64,
+    /// The run's unified probe accounting (memo hits/misses, useful vs
+    /// speculative vs critical-path calls). Serialized through
+    /// [`ProbeStats::fields`], so the CSV columns and JSON keys can never
+    /// drift from the other frontends.
+    pub probe_stats: ProbeStats,
 }
 
 impl RunRecord {
@@ -129,6 +122,16 @@ impl RunRecord {
     /// Final relative class count.
     pub fn relative_classes(&self) -> f64 {
         self.final_classes as f64 / self.initial_classes.max(1) as f64
+    }
+
+    /// Oracle probes answered from the memo (0 with memoization off).
+    pub fn cache_hits(&self) -> u64 {
+        self.probe_stats.memo_hits
+    }
+
+    /// Oracle probes that ran the tool under memoization.
+    pub fn cache_misses(&self) -> u64 {
+        self.probe_stats.memo_misses
     }
 }
 
@@ -148,11 +151,7 @@ fn record_of(benchmark: &Benchmark, report: lbr_jreduce::ReductionReport) -> Run
         clauses: report.model_stats.map_or(0, |s| s.clauses),
         graph_fraction: report.model_stats.map_or(0.0, |s| s.graph_fraction),
         sound: report.errors_preserved && report.still_valid,
-        cache_hits: report.cache_hits,
-        cache_misses: report.cache_misses,
-        useful_calls: report.probe_stats.useful_calls,
-        speculative_calls: report.probe_stats.speculative_calls,
-        critical_path_calls: report.probe_stats.critical_path_calls,
+        probe_stats: report.probe_stats,
     }
 }
 
@@ -160,7 +159,7 @@ fn record_of(benchmark: &Benchmark, report: lbr_jreduce::ReductionReport) -> Run
 /// [`EvalConfig::slot_dir`]): the full [`RunRecord`] minus the trace,
 /// plus the trace's digest so runs can be compared for bit-identity.
 pub fn record_doc(r: &RunRecord) -> Json {
-    Json::obj([
+    let mut fields: std::collections::BTreeMap<String, Json> = [
         ("benchmark", Json::str(&r.benchmark)),
         ("strategy", Json::str(&r.strategy)),
         ("initial_classes", Json::count(r.initial_classes as u64)),
@@ -170,14 +169,22 @@ pub fn record_doc(r: &RunRecord) -> Json {
         ("calls", Json::count(r.calls)),
         ("wall_secs", Json::Num(r.wall_secs)),
         ("modeled_secs", Json::Num(r.modeled_secs)),
-        ("trace_digest", Json::str(format!("{:016x}", r.trace.digest()))),
+        (
+            "trace_digest",
+            Json::str(format!("{:016x}", r.trace.digest())),
+        ),
         ("sound", Json::Bool(r.sound)),
-        ("cache_hits", Json::count(r.cache_hits)),
-        ("cache_misses", Json::count(r.cache_misses)),
-        ("useful_calls", Json::count(r.useful_calls)),
-        ("speculative_calls", Json::count(r.speculative_calls)),
-        ("critical_path_calls", Json::count(r.critical_path_calls)),
-    ])
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_owned(), v))
+    .collect();
+    fields.extend(
+        r.probe_stats
+            .fields()
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), Json::count(v))),
+    );
+    Json::Obj(fields)
 }
 
 /// Atomically persists one finished grid job into the slot directory.
@@ -194,14 +201,12 @@ fn write_slot(dir: &Path, index: usize, result: &Result<RunRecord, String>) {
 
 fn run_one(config: &EvalConfig, b: &Benchmark, strategy: Strategy) -> Result<RunRecord, String> {
     let oracle = b.oracle();
-    let report = run_reduction_with(
-        &b.program,
-        &oracle,
-        strategy,
-        config.cost_per_call_secs,
-        &config.options,
-    )
-    .map_err(|e| format!("{} / {}: {e}", b.name, strategy.name()))?;
+    let report = ReductionSession::new(&b.program, &oracle)
+        .strategy(strategy)
+        .cost_per_call(config.cost_per_call_secs)
+        .options(config.options)
+        .run()
+        .map_err(|e| format!("{} / {}: {e}", b.name, strategy.name()))?;
     // An unsound or non-round-tripping result must surface as a failed
     // job (eval exits non-zero), not as a quietly wrong table row.
     lbr_jreduce::check_report(&report)
@@ -311,7 +316,12 @@ fn records_of<'r>(records: &'r [RunRecord], strategy: &str) -> Vec<&'r RunRecord
 
 fn fmt_secs(s: f64) -> String {
     let total = s.round() as i64;
-    format!("{}:{:02}:{:02}", total / 3600, (total % 3600) / 60, total % 60)
+    format!(
+        "{}:{:02}:{:02}",
+        total / 3600,
+        (total % 3600) / 60,
+        total % 60
+    )
 }
 
 // ----------------------------------------------------------------------
@@ -330,11 +340,22 @@ pub fn render_stats(stats: &SuiteStats, records: &[RunRecord]) -> String {
     };
     let mut out = String::new();
     let _ = writeln!(out, "# E2: Benchmark statistics (geometric means)");
-    let _ = writeln!(out, "#     paper: 227 instances, 184 classes, 285 KB, 9.2 errors,");
-    let _ = writeln!(out, "#            2.9k items, 8.7k clauses, 97.5% graph clauses");
+    let _ = writeln!(
+        out,
+        "#     paper: 227 instances, 184 classes, 285 KB, 9.2 errors,"
+    );
+    let _ = writeln!(
+        out,
+        "#            2.9k items, 8.7k clauses, 97.5% graph clauses"
+    );
     let _ = writeln!(out, "instances            {}", stats.benchmarks);
     let _ = writeln!(out, "classes              {:.1}", stats.classes);
-    let _ = writeln!(out, "bytes                {:.0} ({:.1} KB)", stats.bytes, stats.bytes / 1024.0);
+    let _ = writeln!(
+        out,
+        "bytes                {:.0} ({:.1} KB)",
+        stats.bytes,
+        stats.bytes / 1024.0
+    );
     let _ = writeln!(out, "errors               {:.1}", stats.errors);
     let _ = writeln!(out, "reducible items      {items:.0}");
     let _ = writeln!(out, "model clauses        {clauses:.0}");
@@ -370,7 +391,11 @@ pub fn render_fig8a(records: &[RunRecord]) -> String {
             fmt_secs(gm_time)
         );
         let _ = writeln!(out, "cumulative frequency (fraction of benchmarks ≤ x):");
-        let _ = writeln!(out, "{:>10} {:>12} {:>12} {:>12}", "quantile", "time(s)", "classes%", "bytes%");
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>12} {:>12}",
+            "quantile", "time(s)", "classes%", "bytes%"
+        );
         let mut times: Vec<f64> = rs.iter().map(|r| r.modeled_secs).collect();
         let mut classes: Vec<f64> = rs.iter().map(|r| 100.0 * r.relative_classes()).collect();
         let mut bytes: Vec<f64> = rs.iter().map(|r| 100.0 * r.relative_bytes()).collect();
@@ -413,7 +438,10 @@ pub fn render_fig8a(records: &[RunRecord]) -> String {
 pub fn render_fig8b(records: &[RunRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# E4: Figure 8b — mean reduction over time");
-    let _ = writeln!(out, "#     series: reduction factor (initial/best bytes so far), modeled time");
+    let _ = writeln!(
+        out,
+        "#     series: reduction factor (initial/best bytes so far), modeled time"
+    );
     let max_time = records
         .iter()
         .map(|r| r.modeled_secs)
@@ -454,8 +482,14 @@ pub fn render_fig8b(records: &[RunRecord]) -> String {
 pub fn render_lossy(records: &[RunRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# E5: Lossy encodings vs the full logical reducer");
-    let _ = writeln!(out, "#     paper: lossy-1/2 produce 5%/8% more bytes; ours strictly");
-    let _ = writeln!(out, "#     better on 48%/51% of benchmarks (79%/84% with ≥5% non-graph)");
+    let _ = writeln!(
+        out,
+        "#     paper: lossy-1/2 produce 5%/8% more bytes; ours strictly"
+    );
+    let _ = writeln!(
+        out,
+        "#     better on 48%/51% of benchmarks (79%/84% with ≥5% non-graph)"
+    );
     let logical = records_of(records, "logical/greedy");
     for lossy_name in ["lossy-1", "lossy-2"] {
         let lossy = records_of(records, lossy_name);
@@ -541,7 +575,10 @@ pub fn render_ablation(records: &[RunRecord], title: &str) -> String {
 /// (the paper's long-running cases: "73 searches … 951 decompilations").
 pub fn render_per_error(config: &EvalConfig, benchmarks: &[Benchmark]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# E6: per-error reduction (one search per distinct error)");
+    let _ = writeln!(
+        out,
+        "# E6: per-error reduction (one search per distinct error)"
+    );
     let _ = writeln!(
         out,
         "{:<12} {:>7} {:>9} {:>14} {:>16} {:>10}",
@@ -550,12 +587,11 @@ pub fn render_per_error(config: &EvalConfig, benchmarks: &[Benchmark]) -> String
     let mut witness_sizes: Vec<f64> = Vec::new();
     for b in benchmarks {
         let oracle = b.oracle();
-        match lbr_jreduce::run_per_error_with(
-            &b.program,
-            &oracle,
-            config.cost_per_call_secs,
-            &config.options,
-        ) {
+        match ReductionSession::new(&b.program, &oracle)
+            .cost_per_call(config.cost_per_call_secs)
+            .options(config.options)
+            .run_per_error()
+        {
             Ok(report) => {
                 let gm = geometric_mean(report.errors.iter().map(|(_, s)| s.bytes as f64));
                 witness_sizes.extend(report.errors.iter().map(|(_, s)| s.bytes as f64));
@@ -586,15 +622,29 @@ pub fn render_per_error(config: &EvalConfig, benchmarks: &[Benchmark]) -> String
 
 /// Renders the full per-run CSV (for external plotting).
 pub fn render_csv(records: &[RunRecord]) -> String {
+    // The probe-stat columns (header and values) come straight from
+    // `ProbeStats::fields`, the one canonical spelling of those counters.
+    let stat_names: Vec<&str> = ProbeStats::default()
+        .fields()
+        .iter()
+        .map(|&(k, _)| k)
+        .collect();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "benchmark,strategy,initial_classes,initial_bytes,final_classes,final_bytes,calls,wall_secs,modeled_secs,items,clauses,graph_fraction,sound,cache_hits,cache_misses,useful_calls,speculative_calls,critical_path_calls"
+        "benchmark,strategy,initial_classes,initial_bytes,final_classes,final_bytes,calls,wall_secs,modeled_secs,items,clauses,graph_fraction,sound,{}",
+        stat_names.join(",")
     );
     for r in records {
+        let stat_values: Vec<String> = r
+            .probe_stats
+            .fields()
+            .iter()
+            .map(|&(_, v)| v.to_string())
+            .collect();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{:.3},{:.1},{},{},{:.4},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{:.3},{:.1},{},{},{:.4},{},{}",
             r.benchmark,
             r.strategy,
             r.initial_classes,
@@ -608,11 +658,7 @@ pub fn render_csv(records: &[RunRecord]) -> String {
             r.clauses,
             r.graph_fraction,
             r.sound,
-            r.cache_hits,
-            r.cache_misses,
-            r.useful_calls,
-            r.speculative_calls,
-            r.critical_path_calls
+            stat_values.join(",")
         );
     }
     out
@@ -641,11 +687,11 @@ pub fn render_json(records: &[RunRecord]) -> String {
             r.calls,
             r.wall_secs,
             r.modeled_secs,
-            r.cache_hits,
-            r.cache_misses,
-            r.useful_calls,
-            r.speculative_calls,
-            r.critical_path_calls,
+            r.cache_hits(),
+            r.cache_misses(),
+            r.probe_stats.useful_calls,
+            r.probe_stats.speculative_calls,
+            r.probe_stats.critical_path_calls,
             r.sound
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
@@ -661,11 +707,11 @@ pub fn render_json(records: &[RunRecord]) -> String {
         let rs = records_of(records, s);
         let wall: f64 = rs.iter().map(|r| r.wall_secs).sum();
         let calls: u64 = rs.iter().map(|r| r.calls).sum();
-        let hits: u64 = rs.iter().map(|r| r.cache_hits).sum();
-        let misses: u64 = rs.iter().map(|r| r.cache_misses).sum();
-        let useful: u64 = rs.iter().map(|r| r.useful_calls).sum();
-        let speculative: u64 = rs.iter().map(|r| r.speculative_calls).sum();
-        let critical: u64 = rs.iter().map(|r| r.critical_path_calls).sum();
+        let hits: u64 = rs.iter().map(|r| r.cache_hits()).sum();
+        let misses: u64 = rs.iter().map(|r| r.cache_misses()).sum();
+        let useful: u64 = rs.iter().map(|r| r.probe_stats.useful_calls).sum();
+        let speculative: u64 = rs.iter().map(|r| r.probe_stats.speculative_calls).sum();
+        let critical: u64 = rs.iter().map(|r| r.probe_stats.critical_path_calls).sum();
         let hit_rate = if hits + misses > 0 {
             hits as f64 / (hits + misses) as f64
         } else {
@@ -687,7 +733,11 @@ pub fn render_json(records: &[RunRecord]) -> String {
             critical,
             bytes_pct
         );
-        out.push_str(if i + 1 < strategies.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < strategies.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ]\n}\n");
     out
@@ -730,7 +780,8 @@ mod tests {
         assert!(
             records
                 .iter()
-                .all(|r| r.useful_calls == r.calls && r.speculative_calls == 0),
+                .all(|r| r.probe_stats.useful_calls == r.calls
+                    && r.probe_stats.speculative_calls == 0),
             "sequential runs: useful == calls, no speculation"
         );
         let json = render_json(&records);
@@ -796,7 +847,7 @@ mod tests {
         for (s, l) in sequential.iter().zip(&legacy) {
             assert_eq!(s.final_bytes, l.final_bytes);
             assert_eq!(s.calls, l.calls);
-            assert_eq!(l.cache_hits + l.cache_misses, 0, "legacy runs no cache");
+            assert_eq!(l.cache_hits() + l.cache_misses(), 0, "legacy runs no cache");
         }
         let json = render_json(&sequential);
         assert!(json.contains("\"strategies\""));
@@ -827,7 +878,10 @@ mod tests {
                 .expect("every slot file is complete, parseable JSON");
             assert_eq!(doc.str_field("benchmark"), Some(record.benchmark.as_str()));
             assert_eq!(doc.str_field("strategy"), Some(record.strategy.as_str()));
-            assert_eq!(doc.u64_field("final_bytes"), Some(record.final_bytes as u64));
+            assert_eq!(
+                doc.u64_field("final_bytes"),
+                Some(record.final_bytes as u64)
+            );
             assert_eq!(
                 doc.str_field("trace_digest"),
                 Some(format!("{:016x}", record.trace.digest()).as_str())

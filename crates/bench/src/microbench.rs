@@ -34,7 +34,10 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> Duration {
         .collect();
     samples.sort();
     let median = samples[SAMPLES / 2];
-    println!("{name:<44} {:>12} /iter  ({iters} iters/sample)", fmt_duration(median));
+    println!(
+        "{name:<44} {:>12} /iter  ({iters} iters/sample)",
+        fmt_duration(median)
+    );
     median
 }
 

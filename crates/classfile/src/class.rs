@@ -83,7 +83,11 @@ impl ClassFile {
 
 impl fmt::Display for ClassFile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = if self.is_interface() { "interface" } else { "class" };
+        let kind = if self.is_interface() {
+            "interface"
+        } else {
+            "class"
+        };
         write!(f, "{} {}", kind, self.name)?;
         if let Some(s) = &self.superclass {
             write!(f, " extends {s}")?;

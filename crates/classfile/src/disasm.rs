@@ -20,13 +20,21 @@ pub fn disassemble_program(program: &Program) -> String {
 /// Renders one class.
 pub fn disassemble_class(class: &ClassFile) -> String {
     let mut out = String::new();
-    let kind = if class.is_interface() { "interface" } else { "class" };
+    let kind = if class.is_interface() {
+        "interface"
+    } else {
+        "class"
+    };
     let _ = write!(out, "{} {} {}", class.flags, kind, class.name);
     if let Some(s) = &class.superclass {
         let _ = write!(out, " extends {s}");
     }
     if !class.interfaces.is_empty() {
-        let kw = if class.is_interface() { "extends" } else { "implements" };
+        let kw = if class.is_interface() {
+            "extends"
+        } else {
+            "implements"
+        };
         let _ = write!(out, " {} {}", kw, class.interfaces.join(", "));
     }
     let _ = writeln!(out, " {{");

@@ -126,6 +126,9 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert_eq!(Flags::EMPTY.to_string(), "(none)");
-        assert_eq!((Flags::PUBLIC | Flags::ABSTRACT).to_string(), "public abstract");
+        assert_eq!(
+            (Flags::PUBLIC | Flags::ABSTRACT).to_string(),
+            "public abstract"
+        );
     }
 }

@@ -246,8 +246,7 @@ mod tests {
         assert_eq!(Insn::Nop.encoded_len(), 1);
         assert_eq!(Insn::ALoad(0).encoded_len(), 3);
         assert_eq!(
-            Insn::InvokeInterface(MethodRef::new("I", "m", MethodDescriptor::void()))
-                .encoded_len(),
+            Insn::InvokeInterface(MethodRef::new("I", "m", MethodDescriptor::void())).encoded_len(),
             5
         );
     }
@@ -276,10 +275,7 @@ mod tests {
 
     #[test]
     fn display_refs() {
-        assert_eq!(
-            FieldRef::new("A", "f", Type::Int).to_string(),
-            "A.f:I"
-        );
+        assert_eq!(FieldRef::new("A", "f", Type::Int).to_string(), "A.f:I");
         assert_eq!(
             MethodRef::new("A", "m", MethodDescriptor::void()).to_string(),
             "A.m()V"

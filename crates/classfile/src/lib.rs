@@ -59,7 +59,7 @@ pub use read::{read_class, read_program, ReadError};
 pub use roundtrip::{round_trip_verify, round_trip_verify_bytes};
 pub use ty::{MethodDescriptor, Type};
 pub use verify::{
-    is_valid, verify_class, verify_class_structure, verify_method_code, verify_program,
-    InvokeKind, NoHooks, VerifyError, VerifyHooks,
+    is_valid, verify_class, verify_class_structure, verify_method_code, verify_program, InvokeKind,
+    NoHooks, VerifyError, VerifyHooks,
 };
 pub use write::{class_byte_size, program_byte_size, write_class, write_program};

@@ -7,7 +7,7 @@
 //! the logical constraint generator needs: keeping a use of subtyping means
 //! keeping every relation on its derivation path.
 
-use crate::{ClassFile, FieldInfo, MethodInfo, MethodDescriptor, OBJECT};
+use crate::{ClassFile, FieldInfo, MethodDescriptor, MethodInfo, OBJECT};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -436,14 +436,20 @@ mod tests {
         // interface J; interface I extends J; class A implements I;
         // class B extends A; field A.f; method I.m abstract, A.m concrete.
         let mut j = ClassFile::new_interface("J");
-        j.methods.push(MethodInfo::new_abstract("p", MethodDescriptor::void()));
+        j.methods
+            .push(MethodInfo::new_abstract("p", MethodDescriptor::void()));
         let mut i = ClassFile::new_interface("I");
         i.interfaces.push("J".into());
-        i.methods.push(MethodInfo::new_abstract("m", MethodDescriptor::void()));
+        i.methods
+            .push(MethodInfo::new_abstract("m", MethodDescriptor::void()));
         let mut a = ClassFile::new_class("A");
         a.interfaces.push("I".into());
         a.fields.push(FieldInfo::new("f", Type::Int));
-        a.methods.push(MethodInfo::new("m", MethodDescriptor::void(), Code::trivial(1)));
+        a.methods.push(MethodInfo::new(
+            "m",
+            MethodDescriptor::void(),
+            Code::trivial(1),
+        ));
         let mut b = ClassFile::new_class("B");
         b.superclass = Some("A".into());
         [j, i, a, b].into_iter().collect()
@@ -469,9 +475,18 @@ mod tests {
         assert_eq!(
             path,
             vec![
-                Step::Extends { sub: "B".into(), sup: "A".into() },
-                Step::Implements { class: "A".into(), iface: "I".into() },
-                Step::IfaceExtends { sub: "I".into(), sup: "J".into() },
+                Step::Extends {
+                    sub: "B".into(),
+                    sup: "A".into()
+                },
+                Step::Implements {
+                    class: "A".into(),
+                    iface: "I".into()
+                },
+                Step::IfaceExtends {
+                    sub: "I".into(),
+                    sup: "J".into()
+                },
             ]
         );
         assert_eq!(p.subtype_path("A", "A"), Some(vec![]));

@@ -18,7 +18,11 @@ pub struct ReadError {
 
 impl fmt::Display for ReadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "class read error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "class read error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -51,11 +55,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ReadError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, ReadError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 }
 
@@ -80,9 +88,7 @@ pub fn read_class(bytes: &[u8]) -> Result<ClassFile, ReadError> {
             1 => {
                 let len = c.u16()? as usize;
                 let raw = c.take(len)?;
-                Constant::Utf8(
-                    String::from_utf8(raw.to_vec()).map_err(|_| c.err("invalid UTF-8"))?,
-                )
+                Constant::Utf8(String::from_utf8(raw.to_vec()).map_err(|_| c.err("invalid UTF-8"))?)
             }
             3 => Constant::Integer(c.u32()? as i32),
             7 => Constant::Class(c.u16()?),
@@ -348,7 +354,11 @@ mod tests {
                 1,
                 vec![
                     Insn::ALoad(0),
-                    Insn::InvokeSpecial(MethodRef::new("Object", "<init>", MethodDescriptor::void())),
+                    Insn::InvokeSpecial(MethodRef::new(
+                        "Object",
+                        "<init>",
+                        MethodDescriptor::void(),
+                    )),
                     Insn::Return,
                 ],
             ),
@@ -451,6 +461,9 @@ mod tests {
             ),
         ));
         let back = read_class(&write_class(&c)).expect("decodes");
-        assert_eq!(back.methods[0].code.as_ref().unwrap().insns, c.methods[0].code.as_ref().unwrap().insns);
+        assert_eq!(
+            back.methods[0].code.as_ref().unwrap().insns,
+            c.methods[0].code.as_ref().unwrap().insns
+        );
     }
 }

@@ -36,7 +36,10 @@ pub fn round_trip_verify_bytes(bytes: &[u8], expected: Option<&Program>) -> Resu
     }
     let errors = verify_program(&back);
     if !errors.is_empty() {
-        let mut msg = format!("re-read program fails verification ({} errors):", errors.len());
+        let mut msg = format!(
+            "re-read program fails verification ({} errors):",
+            errors.len()
+        );
         for e in errors.iter().take(3) {
             msg.push_str(&format!(" [{e}]"));
         }

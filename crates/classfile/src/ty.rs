@@ -158,7 +158,11 @@ mod tests {
 
     #[test]
     fn type_descriptor_roundtrip() {
-        for t in [Type::Int, Type::reference("A"), Type::reference("pkg_Name0")] {
+        for t in [
+            Type::Int,
+            Type::reference("A"),
+            Type::reference("pkg_Name0"),
+        ] {
             assert_eq!(Type::parse(&t.descriptor()), Some(t.clone()));
         }
         assert_eq!(Type::parse("X"), None);

@@ -168,14 +168,16 @@ pub fn verify_class_structure(
         },
     }
     if class.is_interface() && class.superclass.as_deref() != Some(OBJECT) {
-        err(errors, None, "interface superclass must be Object".to_owned());
+        err(
+            errors,
+            None,
+            "interface superclass must be Object".to_owned(),
+        );
     }
     for i in &class.interfaces {
         match program.get(i) {
             None => err(errors, None, format!("cannot resolve interface {i}")),
-            Some(ic) if !ic.is_interface() => {
-                err(errors, None, format!("{i} is not an interface"))
-            }
+            Some(ic) if !ic.is_interface() => err(errors, None, format!("{i} is not an interface")),
             Some(_) => {}
         }
     }
@@ -188,13 +190,21 @@ pub fn verify_class_structure(
         seen_fields.push(&f.name);
         if let Some(c) = f.ty.class_name() {
             if program.get(c).is_none() {
-                err(errors, Some(f.name.clone()), format!("field type {c} missing"));
+                err(
+                    errors,
+                    Some(f.name.clone()),
+                    format!("field type {c} missing"),
+                );
             } else {
                 hooks.on_type_use(c);
             }
         }
         if class.is_interface() && !f.flags.is_static() {
-            err(errors, Some(f.name.clone()), "interface instance field".to_owned());
+            err(
+                errors,
+                Some(f.name.clone()),
+                "interface instance field".to_owned(),
+            );
         }
     }
     let mut seen_methods: Vec<(String, String)> = Vec::new();
@@ -216,8 +226,16 @@ pub fn verify_class_structure(
             }
         }
         match (&m.code, m.flags.is_abstract()) {
-            (Some(_), true) => err(errors, Some(m.name.clone()), "abstract method with code".into()),
-            (None, false) => err(errors, Some(m.name.clone()), "concrete method without code".into()),
+            (Some(_), true) => err(
+                errors,
+                Some(m.name.clone()),
+                "abstract method with code".into(),
+            ),
+            (None, false) => err(
+                errors,
+                Some(m.name.clone()),
+                "concrete method without code".into(),
+            ),
             _ => {}
         }
         if m.flags.is_abstract() && !class.is_interface() && !class.flags.is_abstract() {
@@ -364,7 +382,10 @@ pub fn verify_method_code(
 
         macro_rules! pop {
             () => {
-                state.stack.pop().ok_or_else(|| fail(format!("stack underflow at {pc}")))?
+                state
+                    .stack
+                    .pop()
+                    .ok_or_else(|| fail(format!("stack underflow at {pc}")))?
             };
         }
         macro_rules! pop_int {
@@ -378,9 +399,7 @@ pub fn verify_method_code(
         macro_rules! pop_ref {
             () => {{
                 match pop!() {
-                    Abs::Int => {
-                        return Err(fail(format!("expected reference on stack at {pc}")))
-                    }
+                    Abs::Int => return Err(fail(format!("expected reference on stack at {pc}"))),
                     other => other,
                 }
             }};
@@ -393,16 +412,10 @@ pub fn verify_method_code(
                 match (&got, want) {
                     (Abs::Int, Type::Int) => {}
                     (Abs::Null, Type::Reference(_)) => {}
-                    (Abs::Ref(s), Type::Reference(t)) => {
-                        match program.subtype_path(s, t) {
-                            Some(steps) => hooks.on_subtype(s, t, &steps),
-                            None => {
-                                return Err(fail(format!(
-                                    "{s} is not assignable to {t} at {pc}"
-                                )))
-                            }
-                        }
-                    }
+                    (Abs::Ref(s), Type::Reference(t)) => match program.subtype_path(s, t) {
+                        Some(steps) => hooks.on_subtype(s, t, &steps),
+                        None => return Err(fail(format!("{s} is not assignable to {t} at {pc}"))),
+                    },
                     _ => {
                         return Err(fail(format!(
                             "cannot assign {got:?} to {} at {pc}",
@@ -417,12 +430,10 @@ pub fn verify_method_code(
             Insn::Nop => {}
             Insn::IConst(_) => state.stack.push(Abs::Int),
             Insn::AConstNull => state.stack.push(Abs::Null),
-            Insn::ILoad(s) => {
-                match state.locals.get(*s as usize) {
-                    Some(Some(Abs::Int)) => state.stack.push(Abs::Int),
-                    _ => return Err(fail(format!("iload of non-int slot {s} at {pc}"))),
-                }
-            }
+            Insn::ILoad(s) => match state.locals.get(*s as usize) {
+                Some(Some(Abs::Int)) => state.stack.push(Abs::Int),
+                _ => return Err(fail(format!("iload of non-int slot {s} at {pc}"))),
+            },
             Insn::ALoad(s) => match state.locals.get(*s as usize) {
                 Some(Some(v @ (Abs::Ref(_) | Abs::Null))) => state.stack.push(v.clone()),
                 _ => return Err(fail(format!("aload of non-reference slot {s} at {pc}"))),
@@ -891,8 +902,10 @@ mod tests {
                 "abstract method in concrete class",
                 Box::new(|p: &mut Program| {
                     let a = p.get_mut("A").unwrap();
-                    a.methods
-                        .push(MethodInfo::new_abstract("halfdone", MethodDescriptor::void()));
+                    a.methods.push(MethodInfo::new_abstract(
+                        "halfdone",
+                        MethodDescriptor::void(),
+                    ));
                 }),
             ),
             (
@@ -918,7 +931,11 @@ mod tests {
     fn stack_underflow_detected() {
         let p = simple_program();
         let class = p.get("A").unwrap();
-        let m = MethodInfo::new("bad", MethodDescriptor::void(), Code::new(1, 1, vec![Insn::Pop, Insn::Return]));
+        let m = MethodInfo::new(
+            "bad",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Pop, Insn::Return]),
+        );
         let err =
             verify_method_code(&p, class, &m, m.code.as_ref().unwrap(), &mut NoHooks).unwrap_err();
         assert!(err.detail.contains("underflow"));
@@ -1019,7 +1036,11 @@ mod tests {
     fn falling_off_the_end_detected() {
         let p = simple_program();
         let class = p.get("A").unwrap();
-        let m = MethodInfo::new("bad", MethodDescriptor::void(), Code::new(1, 1, vec![Insn::Nop]));
+        let m = MethodInfo::new(
+            "bad",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Nop]),
+        );
         let err =
             verify_method_code(&p, class, &m, m.code.as_ref().unwrap(), &mut NoHooks).unwrap_err();
         assert!(err.detail.contains("falls off"));

@@ -321,11 +321,7 @@ mod tests {
     fn branch_offsets_relative() {
         // goto forward over a nop: delta = 1 (nop) ... encoded relative to
         // the goto's own offset.
-        let code = Code::new(
-            1,
-            1,
-            vec![Insn::Goto(2), Insn::Nop, Insn::Return],
-        );
+        let code = Code::new(1, 1, vec![Insn::Goto(2), Insn::Nop, Insn::Return]);
         let mut pool = ConstantPool::new();
         let bytes = encode_code(&code, &mut pool);
         assert_eq!(bytes[0], 0xa7);

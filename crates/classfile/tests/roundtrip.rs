@@ -33,7 +33,9 @@ fn rand_type(rng: &mut SplitMix64) -> Type {
 }
 
 fn rand_desc(rng: &mut SplitMix64) -> MethodDescriptor {
-    let params = (0..rng.gen_range(0..4usize)).map(|_| rand_type(rng)).collect();
+    let params = (0..rng.gen_range(0..4usize))
+        .map(|_| rand_type(rng))
+        .collect();
     let ret = if rng.gen_bool(0.5) {
         Some(rand_type(rng))
     } else {
@@ -108,7 +110,9 @@ fn rand_class(rng: &mut SplitMix64) -> ClassFile {
     } else {
         None
     };
-    let interfaces = (0..rng.gen_range(0..3usize)).map(|_| rand_name(rng)).collect();
+    let interfaces = (0..rng.gen_range(0..3usize))
+        .map(|_| rand_name(rng))
+        .collect();
     let fields = (0..rng.gen_range(0..4usize))
         .map(|_| FieldInfo {
             flags: rand_flags(rng),

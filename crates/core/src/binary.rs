@@ -71,7 +71,10 @@ pub fn binary_reduction(
     let closures = graph.closure_list();
     let mut kept = graph.closure_of(graph.required().iter());
     // Active closures not already inside `kept`, in dependency order.
-    let mut active: Vec<&Closure> = closures.iter().filter(|c| !c.set.is_subset(&kept)).collect();
+    let mut active: Vec<&Closure> = closures
+        .iter()
+        .filter(|c| !c.set.is_subset(&kept))
+        .collect();
     let mut iterations = 0usize;
 
     loop {
@@ -183,7 +186,11 @@ mod tests {
         g.require(v(0));
         let mut bug = |s: &VarSet| s.contains(v(0));
         let out = binary_reduction(&g, &mut bug).unwrap();
-        assert_eq!(out.solution.len(), 4, "J-Reduce cannot reduce below class level");
+        assert_eq!(
+            out.solution.len(),
+            4,
+            "J-Reduce cannot reduce below class level"
+        );
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //! Everything is `std`-only (scoped threads, mutexes, condvars), matching
 //! the eval harness's pool style.
 
+use crate::keyed::KeyedMap;
 use lbr_logic::VarSet;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
@@ -79,8 +80,7 @@ pub trait ProbeCache: Sync {
 
 /// The per-key state inside a memo shard.
 #[derive(Debug)]
-struct Entry<V> {
-    key: VarSet,
+struct Slot<V> {
     /// `None` while the probe is in flight (claimed but not finished).
     value: Option<V>,
     /// Whether the owning algorithm ever asked for this key (as opposed
@@ -90,7 +90,7 @@ struct Entry<V> {
 
 #[derive(Debug)]
 struct Shard<V> {
-    map: Mutex<HashMap<u64, Vec<Entry<V>>>>,
+    map: Mutex<KeyedMap<Slot<V>>>,
     ready: Condvar,
 }
 
@@ -141,7 +141,7 @@ impl<V: Clone> ShardedMemo<V> {
         ShardedMemo {
             shards: (0..n)
                 .map(|_| Shard {
-                    map: Mutex::new(HashMap::new()),
+                    map: Mutex::new(KeyedMap::new()),
                     ready: Condvar::new(),
                 })
                 .collect(),
@@ -161,24 +161,24 @@ impl<V: Clone> ShardedMemo<V> {
     /// for the same key block until the value is ready. The computing call
     /// counts as a miss, every other call (cached or waited) as a hit.
     pub fn get_or_compute(&self, key: &VarSet, f: impl FnOnce() -> V) -> V {
-        let fp = key.fingerprint();
-        let shard = self.shard(fp);
+        let shard = self.shard(key.fingerprint());
         {
             let mut map = shard.map.lock().expect("memo shard");
-            let bucket = map.entry(fp).or_default();
-            if let Some(e) = bucket.iter_mut().find(|e| e.key == *key) {
-                e.demanded = true;
+            if let Some(slot) = map.get_mut(key) {
+                slot.demanded = true;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                if let Some(v) = &e.value {
+                if let Some(v) = &slot.value {
                     return v.clone();
                 }
-                return Self::wait_in(shard, map, fp, key);
+                return Self::wait_in(shard, map, key);
             }
-            bucket.push(Entry {
-                key: key.clone(),
-                value: None,
-                demanded: true,
-            });
+            map.insert_if_absent(
+                key,
+                Slot {
+                    value: None,
+                    demanded: true,
+                },
+            );
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         let v = f();
@@ -189,18 +189,18 @@ impl<V: Clone> ShardedMemo<V> {
     /// Claims `key` for speculative computation. Returns `false` if it is
     /// already claimed or done (speculation is then redundant).
     pub fn try_claim(&self, key: &VarSet) -> bool {
-        let fp = key.fingerprint();
-        let mut map = self.shard(fp).map.lock().expect("memo shard");
-        let bucket = map.entry(fp).or_default();
-        if bucket.iter().any(|e| e.key == *key) {
-            return false;
-        }
-        bucket.push(Entry {
-            key: key.clone(),
-            value: None,
-            demanded: false,
-        });
-        true
+        let mut map = self
+            .shard(key.fingerprint())
+            .map
+            .lock()
+            .expect("memo shard");
+        map.insert_if_absent(
+            key,
+            Slot {
+                value: None,
+                demanded: false,
+            },
+        )
     }
 
     /// Looks up `key` on behalf of the owning algorithm, marking it
@@ -208,58 +208,48 @@ impl<V: Clone> ShardedMemo<V> {
     /// [`ClaimResult::Claimed`] and [`wait`](ShardedMemo::wait) on
     /// [`ClaimResult::InFlight`].
     pub fn claim_or_get(&self, key: &VarSet) -> ClaimResult<V> {
-        let fp = key.fingerprint();
-        let mut map = self.shard(fp).map.lock().expect("memo shard");
-        let bucket = map.entry(fp).or_default();
-        if let Some(e) = bucket.iter_mut().find(|e| e.key == *key) {
-            let first = !e.demanded;
-            e.demanded = true;
-            return match &e.value {
+        let mut map = self
+            .shard(key.fingerprint())
+            .map
+            .lock()
+            .expect("memo shard");
+        if let Some(slot) = map.get_mut(key) {
+            let first = !slot.demanded;
+            slot.demanded = true;
+            return match &slot.value {
                 Some(v) => ClaimResult::Done(v.clone(), first),
                 None => ClaimResult::InFlight(first),
             };
         }
-        bucket.push(Entry {
-            key: key.clone(),
-            value: None,
-            demanded: true,
-        });
+        map.insert_if_absent(
+            key,
+            Slot {
+                value: None,
+                demanded: true,
+            },
+        );
         ClaimResult::Claimed
     }
 
     /// Publishes the value for a previously claimed key and wakes waiters.
     pub fn fulfill(&self, key: &VarSet, value: V) {
-        let fp = key.fingerprint();
-        let shard = self.shard(fp);
+        let shard = self.shard(key.fingerprint());
         let mut map = shard.map.lock().expect("memo shard");
-        let e = map
-            .get_mut(&fp)
-            .and_then(|b| b.iter_mut().find(|e| e.key == *key))
-            .expect("fulfill without claim");
-        e.value = Some(value);
+        let slot = map.get_mut(key).expect("fulfill without claim");
+        slot.value = Some(value);
         shard.ready.notify_all();
     }
 
     /// Blocks until the in-flight value for `key` is published.
     pub fn wait(&self, key: &VarSet) -> V {
-        let fp = key.fingerprint();
-        let shard = self.shard(fp);
+        let shard = self.shard(key.fingerprint());
         let map = shard.map.lock().expect("memo shard");
-        Self::wait_in(shard, map, fp, key)
+        Self::wait_in(shard, map, key)
     }
 
-    fn wait_in(
-        shard: &Shard<V>,
-        mut map: MutexGuard<'_, HashMap<u64, Vec<Entry<V>>>>,
-        fp: u64,
-        key: &VarSet,
-    ) -> V {
+    fn wait_in(shard: &Shard<V>, mut map: MutexGuard<'_, KeyedMap<Slot<V>>>, key: &VarSet) -> V {
         loop {
-            if let Some(v) = map
-                .get(&fp)
-                .and_then(|b| b.iter().find(|e| e.key == *key))
-                .and_then(|e| e.value.clone())
-            {
+            if let Some(v) = map.get(key).and_then(|slot| slot.value.clone()) {
                 return v;
             }
             map = shard.ready.wait(map).expect("memo shard");
@@ -283,12 +273,10 @@ impl<V: Clone> ShardedMemo<V> {
         let mut scan = MemoScan::default();
         for shard in &self.shards {
             let map = shard.map.lock().expect("memo shard");
-            for bucket in map.values() {
-                for e in bucket {
-                    scan.entries += 1;
-                    if e.demanded {
-                        scan.demanded += 1;
-                    }
+            for (_, slot) in map.iter() {
+                scan.entries += 1;
+                if slot.demanded {
+                    scan.demanded += 1;
                 }
             }
         }

@@ -199,7 +199,10 @@ mod tests {
             }
         });
         assert!(r.contains(v(0)) && r.contains(v(1)));
-        assert!(stats.unresolved > 0, "dependencies should cause don't-knows");
+        assert!(
+            stats.unresolved > 0,
+            "dependencies should cause don't-knows"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! search space `D^∪_r` with the learned clause conjoined.
 
 use crate::concurrent::{ConcurrentPredicate, DemandKind, ProbeScheduler};
+use crate::stats::ProbeStats;
 use crate::trace::ReductionTrace;
 use crate::{Instance, Predicate};
 use lbr_logic::{engine, msa_scan, Clause, Cnf, Engine, Lit, MsaStrategy, Var, VarOrder, VarSet};
@@ -90,7 +91,10 @@ impl std::fmt::Display for GbrError {
         match self {
             GbrError::ModelUnsatisfiable => write!(f, "dependency model became unsatisfiable"),
             GbrError::PredicateNotMonotone => {
-                write!(f, "predicate rejected the whole search space (not monotone, or P(I) false)")
+                write!(
+                    f,
+                    "predicate rejected the whole search space (not monotone, or P(I) false)"
+                )
             }
             GbrError::IterationLimit => write!(f, "iteration safety bound exceeded"),
             GbrError::Cancelled => write!(f, "reduction cancelled by its control hook"),
@@ -317,7 +321,13 @@ fn gbr_loop<D: ProbeDriver>(
         // Anytime stop: the current search space is itself a valid failing
         // input (invariant), so a best-so-far answer always exists.
         let Some(d0_fails) = driver.test(&prefix_unions[0]) else {
-            return Ok(anytime_outcome(driver, search_space, iteration, learned, progression_lengths));
+            return Ok(anytime_outcome(
+                driver,
+                search_space,
+                iteration,
+                learned,
+                progression_lengths,
+            ));
         };
         if d0_fails {
             driver.search_done();
@@ -347,7 +357,13 @@ fn gbr_loop<D: ProbeDriver>(
             }
             let mid = lo + (hi - lo) / 2;
             let Some(mid_fails) = driver.test(&prefix_unions[mid]) else {
-                return Ok(anytime_outcome(driver, search_space, iteration, learned, progression_lengths));
+                return Ok(anytime_outcome(
+                    driver,
+                    search_space,
+                    iteration,
+                    learned,
+                    progression_lengths,
+                ));
             };
             if mid_fails {
                 hi = mid;
@@ -361,7 +377,13 @@ fn gbr_loop<D: ProbeDriver>(
         if !hi_verified {
             match driver.test(&prefix_unions[hi]) {
                 None => {
-                    return Ok(anytime_outcome(driver, search_space, iteration, learned, progression_lengths))
+                    return Ok(anytime_outcome(
+                        driver,
+                        search_space,
+                        iteration,
+                        learned,
+                        progression_lengths,
+                    ))
                 }
                 Some(false) => {
                     driver.search_done();
@@ -487,32 +509,6 @@ impl SpeculationConfig {
             self.width
         }
     }
-}
-
-/// Probe accounting for a speculative run.
-///
-/// `useful_calls` is the *logical* probe count — deterministic and equal
-/// to the sequential [`generalized_binary_reduction`] call count, because
-/// the speculative driver demands exactly the sequential probe sequence.
-/// `speculative_calls` is wasted work (executed but never demanded) and
-/// `critical_path_calls` measures how often the search actually had to
-/// wait for a tool run; both depend on timing and thread count.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ProbeStats {
-    /// Logical probes demanded by the search (equals sequential calls).
-    pub useful_calls: u64,
-    /// Probes executed speculatively whose result was never demanded.
-    pub speculative_calls: u64,
-    /// Demanded probes that were not already finished when demanded (the
-    /// search blocked on them: waited for a worker or ran the tool
-    /// itself). Ranges from `useful_calls` (no useful speculation) down
-    /// towards the number of main-loop iterations (perfect speculation).
-    pub critical_path_calls: u64,
-    /// Demanded probes answered from the concurrent memo without a fresh
-    /// tool run (repeat demands of a subset; deterministic).
-    pub memo_hits: u64,
-    /// Distinct subsets demanded (each ran the tool once; deterministic).
-    pub memo_misses: u64,
 }
 
 /// The result of a speculative GBR run: the (bit-identical) outcome plus
@@ -841,8 +837,7 @@ fn build_progression_incremental(
     if !engine.assume_all(&restriction) {
         return Err(GbrError::ModelUnsatisfiable);
     }
-    let d0 = engine::msa_from_state(engine, order, strategy)
-        .ok_or(GbrError::ModelUnsatisfiable)?;
+    let d0 = engine::msa_from_state(engine, order, strategy).ok_or(GbrError::ModelUnsatisfiable)?;
     let mut covered = d0.clone();
     let asserted: Vec<Lit> = covered.iter().map(Lit::pos).collect();
     let ok = engine.assume_all(&asserted);
@@ -1144,8 +1139,7 @@ mod tests {
         let natural = VarOrder::natural(8);
         let mut bug = |s: &VarSet| s.contains(v(5));
         let out =
-            generalized_binary_reduction(&inst, &natural, &mut bug, &GbrConfig::default())
-                .unwrap();
+            generalized_binary_reduction(&inst, &natural, &mut bug, &GbrConfig::default()).unwrap();
         assert_eq!(out.solution.len(), 8, "natural order keeps everything");
         // The closure-size order recovers the minimal suffix {5, 6, 7}.
         let good = crate::closure_size_order(&inst.cnf);
@@ -1224,9 +1218,8 @@ mod tests {
         let order = crate::closure_size_order(&inst.cnf);
         let mut bug = |s: &VarSet| s.contains(v(40));
         let mut oracle = Oracle::new(&mut bug, 0.0);
-        let out =
-            generalized_binary_reduction(&inst, &order, &mut oracle, &GbrConfig::default())
-                .unwrap();
+        let out = generalized_binary_reduction(&inst, &order, &mut oracle, &GbrConfig::default())
+            .unwrap();
         assert!(out.solution.contains(v(40)));
         assert_eq!(out.solution.len(), 24, "minimal suffix {{40..63}}");
         // One search: ~log2(n) + constant probes.
@@ -1259,13 +1252,8 @@ mod tests {
         let order = crate::closure_size_order(&inst.cnf);
         let predicate = |s: &VarSet| s.contains(v(13)) && s.contains(v(4));
         let mut seq_pred = predicate;
-        let seq = generalized_binary_reduction(
-            &inst,
-            &order,
-            &mut seq_pred,
-            &GbrConfig::default(),
-        )
-        .expect("sequential");
+        let seq = generalized_binary_reduction(&inst, &order, &mut seq_pred, &GbrConfig::default())
+            .expect("sequential");
         for threads in [2usize, 4, 8] {
             let run = generalized_binary_reduction_speculative(
                 &inst,
@@ -1297,9 +1285,8 @@ mod tests {
         let order = crate::closure_size_order(&inst.cnf);
         let mut bug = |s: &VarSet| s.contains(v(25));
         let mut oracle = Oracle::new(&mut bug, 0.0);
-        let seq =
-            generalized_binary_reduction(&inst, &order, &mut oracle, &GbrConfig::default())
-                .expect("sequential");
+        let seq = generalized_binary_reduction(&inst, &order, &mut oracle, &GbrConfig::default())
+            .expect("sequential");
         let run = generalized_binary_reduction_speculative(
             &inst,
             &order,
@@ -1383,13 +1370,9 @@ mod tests {
         let order = VarOrder::natural(24);
         let bug = |s: &VarSet| s.contains(v(3)) && s.contains(v(11)) && s.contains(v(19));
         let mut reference = bug;
-        let full = generalized_binary_reduction(
-            &inst,
-            &order,
-            &mut reference,
-            &GbrConfig::default(),
-        )
-        .expect("uninterrupted run");
+        let full =
+            generalized_binary_reduction(&inst, &order, &mut reference, &GbrConfig::default())
+                .expect("uninterrupted run");
         assert!(full.iterations >= 2, "test needs a multi-iteration run");
 
         // Interrupt after every possible iteration count and resume.
@@ -1435,7 +1418,10 @@ mod tests {
             .expect("resumed run converges");
             assert_eq!(resumed.solution, full.solution, "stop_after={stop_after}");
             assert_eq!(resumed.learned, full.learned, "stop_after={stop_after}");
-            assert_eq!(resumed.iterations, full.iterations, "stop_after={stop_after}");
+            assert_eq!(
+                resumed.iterations, full.iterations,
+                "stop_after={stop_after}"
+            );
         }
     }
 

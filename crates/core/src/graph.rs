@@ -50,7 +50,10 @@ impl DepGraph {
 
     /// Adds the dependency `from → to` ("keeping `from` requires `to`").
     pub fn add_edge(&mut self, from: Var, to: Var) {
-        assert!(from.index() < self.n && to.index() < self.n, "node out of range");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "node out of range"
+        );
         if from != to && !self.adj[from.index()].contains(&to) {
             self.adj[from.index()].push(to);
         }
@@ -95,7 +98,8 @@ impl DepGraph {
         if !self.required.is_subset(sub) {
             return false;
         }
-        sub.iter().all(|v| self.adj[v.index()].iter().all(|t| sub.contains(*t)))
+        sub.iter()
+            .all(|v| self.adj[v.index()].iter().all(|t| sub.contains(*t)))
     }
 
     /// Converts to the equivalent CNF (edges become implications, required
@@ -215,8 +219,7 @@ impl<'g> Tarjan<'g> {
                 if self.index[w.index()] == UNVISITED {
                     work.push((w, 0));
                 } else if self.on_stack[w.index()] {
-                    self.lowlink[v.index()] =
-                        self.lowlink[v.index()].min(self.index[w.index()]);
+                    self.lowlink[v.index()] = self.lowlink[v.index()].min(self.index[w.index()]);
                 }
             } else {
                 work.pop();

@@ -1,0 +1,131 @@
+//! The one keyed-cache implementation every probe memo shares.
+//!
+//! Probe caches throughout the workspace — the per-run memo of
+//! [`Oracle`](crate::Oracle), the striped concurrent
+//! [`ShardedMemo`](crate::ShardedMemo), and the disk-backed persistent
+//! cache of the service crate — all key values by a candidate subset
+//! ([`VarSet`]) and all want the same trick: bucket by the cheap 64-bit
+//! [`VarSet::fingerprint`] so the hot hit path is one multiply-xor pass
+//! over the words (instead of `SipHash` over the full word vector), and
+//! resolve the rare fingerprint collisions by full set equality inside the
+//! bucket. [`KeyedMap`] is that trick, written once.
+
+use lbr_logic::VarSet;
+use std::collections::HashMap;
+
+/// A map keyed by candidate subsets, bucketed by fingerprint with exact
+/// equality resolving collisions. Semantically identical to a
+/// `HashMap<VarSet, V>`; faster on the hit path and clone-free on lookup.
+#[derive(Debug, Clone)]
+pub struct KeyedMap<V> {
+    buckets: HashMap<u64, Vec<(VarSet, V)>>,
+    len: usize,
+}
+
+impl<V> Default for KeyedMap<V> {
+    fn default() -> Self {
+        KeyedMap::new()
+    }
+}
+
+impl<V> KeyedMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        KeyedMap {
+            buckets: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value stored for `key`, if any.
+    pub fn get(&self, key: &VarSet) -> Option<&V> {
+        self.buckets
+            .get(&key.fingerprint())?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Mutable access to the value stored for `key`, if any.
+    pub fn get_mut(&mut self, key: &VarSet) -> Option<&mut V> {
+        self.buckets
+            .get_mut(&key.fingerprint())?
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether `key` has an entry.
+    pub fn contains(&self, key: &VarSet) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `value` for `key` if absent; returns `false` (and leaves
+    /// the existing value untouched) when the key is already present.
+    /// First-write-wins matches what probe caches want: the predicate is
+    /// pure, so duplicates are necessarily equal.
+    pub fn insert_if_absent(&mut self, key: &VarSet, value: V) -> bool {
+        let bucket = self.buckets.entry(key.fingerprint()).or_default();
+        if bucket.iter().any(|(k, _)| k == key) {
+            return false;
+        }
+        bucket.push((key.clone(), value));
+        self.len += 1;
+        true
+    }
+
+    /// Iterates over all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VarSet, &V)> {
+        self.buckets
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|(k, v)| (k, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_logic::Var;
+
+    fn set(universe: usize, vars: &[u32]) -> VarSet {
+        VarSet::from_iter_with_universe(universe, vars.iter().map(|&v| Var::new(v)))
+    }
+
+    #[test]
+    fn insert_get_and_first_write_wins() {
+        let mut map: KeyedMap<u32> = KeyedMap::new();
+        let a = set(8, &[1, 3]);
+        let b = set(8, &[2]);
+        assert!(map.get(&a).is_none());
+        assert!(map.insert_if_absent(&a, 7));
+        assert!(!map.insert_if_absent(&a, 8), "duplicate insert is a no-op");
+        assert!(map.insert_if_absent(&b, 9));
+        assert_eq!(map.get(&a), Some(&7));
+        assert_eq!(map.get(&b), Some(&9));
+        assert_eq!(map.len(), 2);
+        *map.get_mut(&b).unwrap() = 10;
+        assert_eq!(map.get(&b), Some(&10));
+    }
+
+    #[test]
+    fn iter_sees_every_entry() {
+        let mut map: KeyedMap<usize> = KeyedMap::new();
+        let keys: Vec<VarSet> = (0..16u32).map(|i| set(32, &[i])).collect();
+        for (i, k) in keys.iter().enumerate() {
+            map.insert_if_absent(k, i);
+        }
+        let mut seen: Vec<usize> = map.iter().map(|(_, &v)| v).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -50,13 +50,17 @@
 mod binary;
 mod concurrent;
 mod ddmin;
+mod fault;
 mod gbr;
 mod graph;
 mod hitting;
+mod keyed;
 mod lossy;
 mod minimize;
 mod orders;
 mod problem;
+mod stack;
+mod stats;
 mod trace;
 
 pub use binary::{binary_reduction, BinaryReductionError, BinaryReductionOutcome};
@@ -65,16 +69,23 @@ pub use concurrent::{
     ProbeScheduler, ShardedMemo,
 };
 pub use ddmin::{ddmin, DdminStats, TestOutcome};
+pub use fault::{FaultInjector, FaultPlan};
 pub use gbr::{
     build_progression, generalized_binary_reduction, generalized_binary_reduction_controlled,
-    generalized_binary_reduction_speculative,
-    generalized_binary_reduction_speculative_controlled, GbrCheckpoint, GbrConfig, GbrControl,
-    GbrError, GbrOutcome, ProbeStats, PropagationMode, SpeculationConfig, SpeculativeRun,
+    generalized_binary_reduction_speculative, generalized_binary_reduction_speculative_controlled,
+    GbrCheckpoint, GbrConfig, GbrControl, GbrError, GbrOutcome, PropagationMode, SpeculationConfig,
+    SpeculativeRun,
 };
 pub use graph::{Closure, DepGraph};
 pub use hitting::{reduction_is_faithful, HittingSet};
+pub use keyed::KeyedMap;
 pub use lossy::{lossy_encode, lossy_graph, lossy_is_sound, LossyGraph, LossyPick};
 pub use minimize::{minimize_solution, MinimizeStats};
 pub use orders::{closure_size_order, closure_sizes, closure_sizes_of_graph, natural_order};
 pub use problem::{Instance, Oracle, Predicate};
+pub use stack::{
+    CacheLayer, FaultyCache, LatencyLayer, MemoryCache, OracleLayer, OracleStack, StatsLayer,
+    ValidationLayer,
+};
+pub use stats::{CacheStats, ProbeStats};
 pub use trace::{ReductionTrace, TracePoint};

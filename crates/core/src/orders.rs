@@ -93,9 +93,7 @@ pub fn closure_sizes_of_graph(graph: &DepGraph) -> Vec<u32> {
         }
         member_counts[i] = count;
     }
-    (0..n)
-        .map(|v| member_counts[scc_of[v]])
-        .collect()
+    (0..n).map(|v| member_counts[scc_of[v]]).collect()
 }
 
 /// The order variables were created in (identity permutation) — a poor

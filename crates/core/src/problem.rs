@@ -5,9 +5,9 @@
 //! the sub-input still induces the bug), and `R_I` a CNF whose models are
 //! the valid sub-inputs. `P` must be monotone on valid sub-inputs.
 
+use crate::keyed::KeyedMap;
 use crate::trace::ReductionTrace;
 use lbr_logic::{Cnf, VarSet};
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// A black-box predicate on sub-inputs.
@@ -97,23 +97,12 @@ pub struct Oracle<'p> {
     cost_per_call_secs: f64,
     trace: ReductionTrace,
     size_of: Option<SizeMetric<'p>>,
-    /// Memoized probes, bucketed by [`VarSet::fingerprint`]. Keying the
-    /// map by the 64-bit fingerprint instead of the `VarSet` itself keeps
-    /// the hot hit path to one multiply-xor pass over the words (vs
-    /// `SipHash` over the full word vector) and zero clones; the rare
-    /// fingerprint collisions are resolved by full equality inside the
-    /// bucket, so behavior is identical to a `HashMap<VarSet, _>`.
-    memo: Option<HashMap<u64, Vec<MemoEntry>>>,
+    /// Memoized probes — `(outcome, measured size)` per candidate —
+    /// on the workspace-wide [`KeyedMap`] (shared with
+    /// [`ShardedMemo`](crate::ShardedMemo)).
+    memo: Option<KeyedMap<(bool, u64)>>,
     cache_hits: u64,
     cache_misses: u64,
-}
-
-/// One memoized probe: the exact key (for collision resolution), its
-/// outcome and its measured size.
-struct MemoEntry {
-    key: VarSet,
-    outcome: bool,
-    size: u64,
 }
 
 impl<'p> Oracle<'p> {
@@ -143,7 +132,7 @@ impl<'p> Oracle<'p> {
     /// Enables memoization: each distinct candidate subset runs the wrapped
     /// predicate (and the size metric) at most once.
     pub fn with_memo(mut self) -> Self {
-        self.memo = Some(HashMap::new());
+        self.memo = Some(KeyedMap::new());
         self
     }
 
@@ -184,26 +173,21 @@ impl<'p> Oracle<'p> {
 
 impl Predicate for Oracle<'_> {
     fn test(&mut self, input: &VarSet) -> bool {
-        let (outcome, size) = match &mut self.memo {
-            Some(memo) => {
-                let bucket = memo.entry(input.fingerprint()).or_default();
-                match bucket.iter().find(|e| e.key == *input) {
-                    Some(e) => {
-                        self.cache_hits += 1;
-                        (e.outcome, e.size)
-                    }
-                    None => {
-                        self.cache_misses += 1;
-                        let outcome = self.inner.test(input);
-                        let size = Self::measure(&self.size_of, input);
-                        bucket.push(MemoEntry {
-                            key: input.clone(),
-                            outcome,
-                            size,
-                        });
-                        (outcome, size)
-                    }
-                }
+        let memoized = self.memo.as_ref().map(|memo| memo.get(input).copied());
+        let (outcome, size) = match memoized {
+            Some(Some((outcome, size))) => {
+                self.cache_hits += 1;
+                (outcome, size)
+            }
+            Some(None) => {
+                self.cache_misses += 1;
+                let outcome = self.inner.test(input);
+                let size = Self::measure(&self.size_of, input);
+                self.memo
+                    .as_mut()
+                    .expect("memo enabled")
+                    .insert_if_absent(input, (outcome, size));
+                (outcome, size)
             }
             None => {
                 let outcome = self.inner.test(input);

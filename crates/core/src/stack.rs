@@ -1,0 +1,493 @@
+//! The composable oracle middleware stack.
+//!
+//! Every caller of the reduction algorithms wraps the same black-box
+//! predicate with the same few concerns — an external probe cache,
+//! emulated tool latency, fault injection, validation, counters — and
+//! before this module each caller hand-rolled its own wrapping. Here each
+//! concern is an [`OracleLayer`]: a decorator that receives the candidate
+//! subset and a `next` continuation, and may answer the probe itself
+//! (a cache hit), pass it down (possibly after a delay), or observe the
+//! result on the way back up. An [`OracleStack`] threads the layers over
+//! a base [`ConcurrentPredicate`] and is itself a `ConcurrentPredicate`,
+//! so a stacked oracle drops into every probe path unchanged — the
+//! sequential [`Oracle`](crate::Oracle) wrapper, the speculative
+//! [`ProbeScheduler`](crate::ProbeScheduler), or a bare algorithm.
+//!
+//! The canonical order, outermost first, is
+//!
+//! ```text
+//! memo/trace/stats (Oracle or ProbeScheduler, per run)
+//!   └─ CacheLayer (cross-run ProbeCache; optionally FaultyCache-wrapped)
+//!        └─ LatencyLayer (emulated tool latency on fresh runs only)
+//!             └─ base predicate (materialize candidate + run the tool)
+//! ```
+//!
+//! so cache hits never sleep and per-run memo hits never reach the stack
+//! at all — exactly the behavior the callers had before. Layers use
+//! atomic counters, so their stat totals are exact under any thread
+//! interleaving wherever the underlying cache discipline is (the
+//! run-once [`ShardedMemo`](crate::ShardedMemo) above, first-write-wins
+//! caches below).
+
+use crate::concurrent::{ConcurrentPredicate, Probe, ProbeCache};
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::keyed::KeyedMap;
+use lbr_logic::VarSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One middleware layer over a probe path.
+///
+/// A layer receives the candidate and the rest of the stack as `next`; it
+/// may call `next` zero times (answering from a cache), once (the normal
+/// case), or — for validation-style layers — observe and re-emit the
+/// result. Layers are probed through `&self` from many threads, so all
+/// internal state must be thread-safe.
+pub trait OracleLayer: Sync {
+    /// A short stable name, used in docs, logs and stat maps.
+    fn name(&self) -> &'static str;
+    /// Handles one probe, delegating to `next` for the layers below.
+    fn probe(&self, input: &VarSet, next: &dyn Fn(&VarSet) -> Probe) -> Probe;
+}
+
+/// A stack of [`OracleLayer`]s over a base predicate.
+///
+/// Layers are applied outermost-first: `stack.push(a); stack.push(b)`
+/// probes as `a(b(base))`. The stack borrows its layers, so the caller
+/// keeps the concrete layer values and can read their counters after the
+/// run.
+pub struct OracleStack<'p> {
+    base: &'p dyn ConcurrentPredicate,
+    layers: Vec<&'p dyn OracleLayer>,
+}
+
+impl<'p> OracleStack<'p> {
+    /// A stack with no layers: probes go straight to `base`.
+    pub fn new(base: &'p dyn ConcurrentPredicate) -> Self {
+        OracleStack {
+            base,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Adds `layer` beneath the layers already pushed (the first push is
+    /// outermost).
+    pub fn push(&mut self, layer: &'p dyn OracleLayer) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, layer: &'p dyn OracleLayer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// The names of the layers, outermost first.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    fn probe_from(&self, depth: usize, input: &VarSet) -> Probe {
+        match self.layers.get(depth) {
+            Some(layer) => layer.probe(input, &|key| self.probe_from(depth + 1, key)),
+            None => self.base.probe(input),
+        }
+    }
+}
+
+impl ConcurrentPredicate for OracleStack<'_> {
+    fn probe(&self, input: &VarSet) -> Probe {
+        self.probe_from(0, input)
+    }
+}
+
+/// The cross-run cache layer: answers probes from a [`ProbeCache`] and
+/// stores fresh results back.
+///
+/// Sits beneath the per-run bookkeeping, so a hit replaces the tool
+/// invocation only — logical call counts, traces and results are
+/// bit-identical whether the cache is cold, warm, faulty or absent.
+pub struct CacheLayer<'c> {
+    cache: &'c dyn ProbeCache,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'c> CacheLayer<'c> {
+    /// A layer over `cache`.
+    pub fn new(cache: &'c dyn ProbeCache) -> Self {
+        CacheLayer {
+            cache,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Probes answered by the cache without running the layers below.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probes that fell through to the layers below.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl OracleLayer for CacheLayer<'_> {
+    fn name(&self) -> &'static str {
+        "cache"
+    }
+
+    fn probe(&self, input: &VarSet, next: &dyn Fn(&VarSet) -> Probe) -> Probe {
+        if let Some(probe) = self.cache.lookup(input) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return probe;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let probe = next(input);
+        self.cache.store(input, probe);
+        probe
+    }
+}
+
+/// Emulated tool latency: sleeps for a fixed duration on every probe that
+/// reaches it, modeling the decompile+compile wall cost without the
+/// tools. Placed beneath the cache layer so cache hits stay instant.
+pub struct LatencyLayer {
+    micros: u64,
+}
+
+impl LatencyLayer {
+    /// A layer that sleeps `micros` microseconds per probe (0 = no-op).
+    pub fn new(micros: u64) -> Self {
+        LatencyLayer { micros }
+    }
+}
+
+impl OracleLayer for LatencyLayer {
+    fn name(&self) -> &'static str {
+        "latency"
+    }
+
+    fn probe(&self, input: &VarSet, next: &dyn Fn(&VarSet) -> Probe) -> Probe {
+        if self.micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.micros));
+        }
+        next(input)
+    }
+}
+
+/// A pass-through layer that checks every probed candidate against a
+/// caller-supplied validity predicate, counting violations.
+///
+/// GBR promises to only probe *valid* sub-inputs (models of `R_I`);
+/// pinning that promise as a layer makes it observable per run instead
+/// of trusted. Counts rather than panics, because some baselines (ddmin)
+/// probe invalid candidates by design.
+pub struct ValidationLayer<F> {
+    is_valid: F,
+    checked: AtomicU64,
+    violations: AtomicU64,
+}
+
+impl<F: Fn(&VarSet) -> bool + Sync> ValidationLayer<F> {
+    /// A layer that checks candidates with `is_valid`.
+    pub fn new(is_valid: F) -> Self {
+        ValidationLayer {
+            is_valid,
+            checked: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+        }
+    }
+
+    /// Probes that passed through this layer.
+    pub fn checked(&self) -> u64 {
+        self.checked.load(Ordering::Relaxed)
+    }
+
+    /// Probed candidates that failed the validity check.
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+}
+
+impl<F: Fn(&VarSet) -> bool + Sync> OracleLayer for ValidationLayer<F> {
+    fn name(&self) -> &'static str {
+        "validation"
+    }
+
+    fn probe(&self, input: &VarSet, next: &dyn Fn(&VarSet) -> Probe) -> Probe {
+        self.checked.fetch_add(1, Ordering::Relaxed);
+        if !(self.is_valid)(input) {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        }
+        next(input)
+    }
+}
+
+/// An observation layer: counts probes that reached it and tracks the
+/// smallest candidate that still induced the failure.
+pub struct StatsLayer {
+    probes: AtomicU64,
+    failures: AtomicU64,
+    best_failing: AtomicU64,
+}
+
+impl StatsLayer {
+    /// A fresh observer.
+    pub fn new() -> Self {
+        StatsLayer {
+            probes: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            best_failing: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Probes that reached this layer.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Probes whose outcome preserved the failure.
+    pub fn failures_preserved(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Size of the smallest failure-preserving candidate seen, if any.
+    pub fn best_failing_size(&self) -> Option<u64> {
+        match self.best_failing.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            s => Some(s),
+        }
+    }
+}
+
+impl Default for StatsLayer {
+    fn default() -> Self {
+        StatsLayer::new()
+    }
+}
+
+impl OracleLayer for StatsLayer {
+    fn name(&self) -> &'static str {
+        "stats"
+    }
+
+    fn probe(&self, input: &VarSet, next: &dyn Fn(&VarSet) -> Probe) -> Probe {
+        let probe = next(input);
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        if probe.outcome {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            self.best_failing.fetch_min(probe.size, Ordering::Relaxed);
+        }
+        probe
+    }
+}
+
+/// A plain in-memory [`ProbeCache`] over a [`KeyedMap`] — the simplest
+/// thing to hand a [`CacheLayer`] in tests, examples, or single-process
+/// runs that want cross-run sharing without a disk file.
+#[derive(Default)]
+pub struct MemoryCache {
+    map: Mutex<KeyedMap<Probe>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoryCache::default()
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memory cache").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl ProbeCache for MemoryCache {
+    fn lookup(&self, key: &VarSet) -> Option<Probe> {
+        let found = self.map.lock().expect("memory cache").get(key).copied();
+        match found {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &VarSet, probe: Probe) {
+        self.map
+            .lock()
+            .expect("memory cache")
+            .insert_if_absent(key, probe);
+    }
+}
+
+/// A [`ProbeCache`] decorator that injects deterministic faults: a
+/// faulted lookup degrades to a miss, a faulted store is dropped. Wrap
+/// any cache with it and hand the result to a [`CacheLayer`] to prove a
+/// probe path survives cache loss with bit-identical results.
+pub struct FaultyCache<'c> {
+    inner: &'c dyn ProbeCache,
+    injector: FaultInjector,
+}
+
+impl<'c> FaultyCache<'c> {
+    /// Wraps `inner`, faulting each operation per `plan`.
+    pub fn new(inner: &'c dyn ProbeCache, plan: FaultPlan) -> Self {
+        let injector = FaultInjector::new();
+        injector.arm(plan);
+        FaultyCache { inner, injector }
+    }
+
+    /// Operations faulted so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injector.injected()
+    }
+}
+
+impl ProbeCache for FaultyCache<'_> {
+    fn lookup(&self, key: &VarSet) -> Option<Probe> {
+        if self.injector.fire() {
+            return None;
+        }
+        self.inner.lookup(key)
+    }
+
+    fn store(&self, key: &VarSet, probe: Probe) {
+        if self.injector.fire() {
+            return;
+        }
+        self.inner.store(key, probe);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_logic::Var;
+    use std::sync::atomic::AtomicUsize;
+
+    fn set(universe: usize, vars: &[u32]) -> VarSet {
+        VarSet::from_iter_with_universe(universe, vars.iter().map(|&v| Var::new(v)))
+    }
+
+    #[test]
+    fn empty_stack_is_the_base_predicate() {
+        let base = |s: &VarSet| s.len() >= 2;
+        let stack = OracleStack::new(&base);
+        assert!(stack.probe(&set(4, &[0, 1])).outcome);
+        assert!(!stack.probe(&set(4, &[0])).outcome);
+    }
+
+    #[test]
+    fn cache_layer_answers_repeats_without_the_base() {
+        let runs = AtomicUsize::new(0);
+        let base = |s: &VarSet| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            s.contains(Var::new(0))
+        };
+        let cache = MemoryCache::new();
+        let layer = CacheLayer::new(&cache);
+        let stack = OracleStack::new(&base).with(&layer);
+        let key = set(4, &[0, 2]);
+        let first = stack.probe(&key);
+        let second = stack.probe(&key);
+        assert_eq!(first, second);
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "base ran once");
+        assert_eq!((layer.hits(), layer.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn layer_order_is_outermost_first() {
+        // cache over stats: a cache hit must bypass the stats layer.
+        let base = |_: &VarSet| true;
+        let cache = MemoryCache::new();
+        let cache_layer = CacheLayer::new(&cache);
+        let stats = StatsLayer::new();
+        let stack = OracleStack::new(&base).with(&cache_layer).with(&stats);
+        assert_eq!(stack.layer_names(), ["cache", "stats"]);
+        let key = set(4, &[1]);
+        stack.probe(&key);
+        stack.probe(&key);
+        assert_eq!(stats.probes(), 1, "the hit never reached the stats layer");
+        assert_eq!(cache_layer.hits(), 1);
+    }
+
+    #[test]
+    fn validation_layer_counts_but_does_not_block() {
+        let base = |_: &VarSet| true;
+        let validation = ValidationLayer::new(|s: &VarSet| s.len().is_multiple_of(2));
+        let stack = OracleStack::new(&base).with(&validation);
+        assert!(stack.probe(&set(4, &[0, 1])).outcome);
+        assert!(stack.probe(&set(4, &[0])).outcome, "violations still probe");
+        assert_eq!(validation.checked(), 2);
+        assert_eq!(validation.violations(), 1);
+    }
+
+    #[test]
+    fn stats_layer_tracks_best_failing_size() {
+        let base = |s: &VarSet| s.contains(Var::new(0));
+        let stats = StatsLayer::new();
+        let stack = OracleStack::new(&base).with(&stats);
+        stack.probe(&set(8, &[0, 1, 2]));
+        stack.probe(&set(8, &[0]));
+        stack.probe(&set(8, &[3]));
+        assert_eq!(stats.probes(), 3);
+        assert_eq!(stats.failures_preserved(), 2);
+        assert_eq!(stats.best_failing_size(), Some(1));
+    }
+
+    #[test]
+    fn faulty_cache_loses_entries_never_corrupts() {
+        let inner = MemoryCache::new();
+        let key = set(4, &[1, 3]);
+        let probe = Probe {
+            outcome: true,
+            size: 9,
+        };
+        // Every operation faults: the store is dropped, the lookup misses.
+        let all_faults = FaultyCache::new(&inner, FaultPlan { rate: 1.0, seed: 1 });
+        all_faults.store(&key, probe);
+        assert!(inner.is_empty(), "faulted store must be dropped");
+        inner.store(&key, probe);
+        assert_eq!(all_faults.lookup(&key), None, "faulted lookup must miss");
+        assert!(all_faults.faults_injected() >= 2);
+        // Disarmed path returns the intact entry.
+        let no_faults = FaultyCache::new(&inner, FaultPlan { rate: 0.0, seed: 1 });
+        assert_eq!(no_faults.lookup(&key), Some(probe));
+    }
+
+    #[test]
+    fn latency_layer_passes_through() {
+        let base = |s: &VarSet| s.is_empty();
+        let latency = LatencyLayer::new(0);
+        let stack = OracleStack::new(&base).with(&latency);
+        assert!(stack.probe(&set(2, &[])).outcome);
+        assert!(!stack.probe(&set(2, &[1])).outcome);
+    }
+}

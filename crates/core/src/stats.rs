@@ -1,0 +1,141 @@
+//! The one set of probe/cache statistics types every frontend shares.
+//!
+//! Before this module, the reduce CSV, the eval JSON, and the daemon's
+//! `stats` endpoint each carried their own copy of the same counters
+//! under drifting names. Now there is exactly one [`ProbeStats`] (per-run
+//! probe accounting) and one [`CacheStats`] (cross-run persistent-cache
+//! accounting), and each renders itself through
+//! [`fields`](ProbeStats::fields) — so a CSV header, a JSON key, and a
+//! stats-endpoint field for the same counter are always the same string.
+
+/// Probe accounting for one reduction run.
+///
+/// Sequential runs have trivial speculation columns (nothing speculative,
+/// critical path = fresh tool runs); speculative parallel runs fill in
+/// wasted vs blocking probes. The memo columns are the per-run oracle
+/// memo's hit/miss totals, deterministic at every thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Logical probes demanded by the search (equals sequential calls).
+    pub useful_calls: u64,
+    /// Probes executed speculatively whose result was never demanded.
+    pub speculative_calls: u64,
+    /// Demanded probes that were not already finished when demanded (the
+    /// search blocked on them: waited for a worker or ran the tool
+    /// itself). Ranges from `useful_calls` (no useful speculation) down
+    /// towards the number of main-loop iterations (perfect speculation).
+    pub critical_path_calls: u64,
+    /// Demanded probes answered from the per-run memo without a fresh
+    /// tool run (repeat demands of a subset; deterministic).
+    pub memo_hits: u64,
+    /// Distinct subsets demanded (each ran the tool once; deterministic).
+    pub memo_misses: u64,
+}
+
+impl ProbeStats {
+    /// Probe accounting for a run without speculation: every probe is
+    /// useful, nothing is speculative, and the critical path is every
+    /// probe that had to run the tool (all of them without a memo, the
+    /// misses with one).
+    pub fn sequential(calls: u64, memo_hits: u64, memo_misses: u64) -> ProbeStats {
+        ProbeStats {
+            useful_calls: calls,
+            speculative_calls: 0,
+            critical_path_calls: if memo_hits + memo_misses == calls {
+                memo_misses
+            } else {
+                calls
+            },
+            memo_hits,
+            memo_misses,
+        }
+    }
+
+    /// The serialized field set, in canonical order. Every frontend (CSV
+    /// columns, JSON keys, the daemon's per-job stats) renders exactly
+    /// these names, so the same counter never appears under two spellings.
+    pub fn fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("cache_hits", self.memo_hits),
+            ("cache_misses", self.memo_misses),
+            ("useful_calls", self.useful_calls),
+            ("speculative_calls", self.speculative_calls),
+            ("critical_path_calls", self.critical_path_calls),
+        ]
+    }
+}
+
+/// Counter snapshot of a cross-run probe cache (the persistent oracle
+/// cache of the service crate, or any other [`ProbeCache`]
+/// implementation that keeps totals).
+///
+/// [`ProbeCache`]: crate::ProbeCache
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total entries currently held.
+    pub entries: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller then runs the tool).
+    pub misses: u64,
+    /// Hits on entries loaded from disk — proof that cached work survived
+    /// a restart.
+    pub warm_hits: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (`0.0` with no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// The serialized field set, in canonical order (see
+    /// [`ProbeStats::fields`]).
+    pub fn fields(&self) -> [(&'static str, u64); 4] {
+        [
+            ("entries", self.entries),
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("warm_hits", self.warm_hits),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stats_with_memo() {
+        let s = ProbeStats::sequential(10, 4, 6);
+        assert_eq!(s.useful_calls, 10);
+        assert_eq!(s.speculative_calls, 0);
+        assert_eq!(s.critical_path_calls, 6, "misses are the critical path");
+        assert_eq!(s.memo_hits, 4);
+    }
+
+    #[test]
+    fn sequential_stats_without_memo() {
+        let s = ProbeStats::sequential(10, 0, 0);
+        assert_eq!(s.critical_path_calls, 10, "every probe ran the tool");
+    }
+
+    #[test]
+    fn cache_hit_rate() {
+        let empty = CacheStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        let s = CacheStats {
+            entries: 5,
+            hits: 3,
+            misses: 1,
+            warm_hits: 2,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.fields()[3], ("warm_hits", 2));
+    }
+}

@@ -33,7 +33,14 @@ impl ReductionTrace {
     }
 
     /// Appends an invocation record.
-    pub fn record(&mut self, call: u64, wall_secs: f64, modeled_secs: f64, size: u64, success: bool) {
+    pub fn record(
+        &mut self,
+        call: u64,
+        wall_secs: f64,
+        modeled_secs: f64,
+        size: u64,
+        success: bool,
+    ) {
         self.points.push(TracePoint {
             call,
             wall_secs,
@@ -60,7 +67,11 @@ impl ReductionTrace {
 
     /// The size of the smallest sub-input that still induced the failure.
     pub fn best_failing_size(&self) -> Option<u64> {
-        self.points.iter().filter(|p| p.success).map(|p| p.size).min()
+        self.points
+            .iter()
+            .filter(|p| p.success)
+            .map(|p| p.size)
+            .min()
     }
 
     /// The smallest failing size among invocations whose *modeled* time is

@@ -59,14 +59,8 @@ fn run_both(
             propagation: mode,
             ..GbrConfig::default()
         };
-        let out = generalized_binary_reduction(instance, order, &mut oracle, &config).map(|o| {
-            (
-                o.solution,
-                o.iterations,
-                o.learned,
-                o.progression_lengths,
-            )
-        });
+        let out = generalized_binary_reduction(instance, order, &mut oracle, &config)
+            .map(|o| (o.solution, o.iterations, o.learned, o.progression_lengths));
         calls.push(oracle.calls());
         results.push(out);
     }

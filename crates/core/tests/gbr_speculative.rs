@@ -6,9 +6,8 @@
 //! speculation accounting may vary.
 
 use lbr_core::{
-    closure_size_order, generalized_binary_reduction,
-    generalized_binary_reduction_speculative, GbrConfig, GbrError, Instance, Oracle,
-    SpeculationConfig,
+    closure_size_order, generalized_binary_reduction, generalized_binary_reduction_speculative,
+    GbrConfig, GbrError, Instance, Oracle, SpeculationConfig,
 };
 use lbr_logic::{Clause, Cnf, Var, VarSet};
 use lbr_prng::SplitMix64;

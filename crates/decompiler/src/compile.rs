@@ -185,7 +185,9 @@ impl<'s> Compiler<'s> {
         // Interface-implementation obligations.
         if !class.is_interface && !class.is_abstract {
             for iface in self.interface_closure(&class.name) {
-                let Some(ic) = self.lookup(&iface) else { continue };
+                let Some(ic) = self.lookup(&iface) else {
+                    continue;
+                };
                 for im in &ic.methods {
                     if im.body.is_some() {
                         continue;
@@ -293,11 +295,7 @@ impl<'s> Compiler<'s> {
             }
             Stmt::Return(None) => {
                 if *ret != SrcType::Void {
-                    self.diag(
-                        &class.name,
-                        Some(member),
-                        "missing return value".to_owned(),
-                    );
+                    self.diag(&class.name, Some(member), "missing return value".to_owned());
                 }
             }
             Stmt::Return(Some(e)) => {
@@ -471,7 +469,11 @@ impl<'s> Compiler<'s> {
                         Some(member),
                         format!(
                             "constructor {cname}({}) cannot be applied",
-                            arg_tys.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+                            arg_tys
+                                .iter()
+                                .map(|t| t.to_string())
+                                .collect::<Vec<_>>()
+                                .join(",")
                         ),
                     );
                 }
@@ -572,7 +574,11 @@ impl<'s> Compiler<'s> {
             Some(member),
             format!(
                 "cannot find symbol: method {mname}({}) in {owner}",
-                arg_tys.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+                arg_tys
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
         );
         SrcType::Class(ERROR_TYPE.to_owned())
@@ -643,7 +649,11 @@ mod tests {
         ));
         let set = SourceSet { classes: vec![a] };
         let msgs = error_messages(&set);
-        assert!(msgs.iter().any(|m| m.contains("cannot find symbol: class Ghost")), "{msgs:?}");
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("cannot find symbol: class Ghost")),
+            "{msgs:?}"
+        );
     }
 
     #[test]
@@ -660,7 +670,10 @@ mod tests {
         ));
         let set = SourceSet { classes: vec![a] };
         let msgs = error_messages(&set);
-        assert!(msgs.iter().any(|m| m.contains("method nope() in A")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("method nope() in A")),
+            "{msgs:?}"
+        );
     }
 
     #[test]
@@ -682,10 +695,13 @@ mod tests {
         };
         let mut a = class("A");
         a.interfaces.push("I".into());
-        let set = SourceSet { classes: vec![i, a] };
+        let set = SourceSet {
+            classes: vec![i, a],
+        };
         let msgs = error_messages(&set);
         assert!(
-            msgs.iter().any(|m| m.contains("does not override abstract method m() in I")),
+            msgs.iter()
+                .any(|m| m.contains("does not override abstract method m() in I")),
             "{msgs:?}"
         );
     }
@@ -702,10 +718,13 @@ mod tests {
                 Box::new(SExpr::New("B".into(), vec![])),
             ))],
         ));
-        let set = SourceSet { classes: vec![a, b] };
+        let set = SourceSet {
+            classes: vec![a, b],
+        };
         let msgs = error_messages(&set);
         assert!(
-            msgs.iter().any(|m| m.contains("B cannot be converted to A")),
+            msgs.iter()
+                .any(|m| m.contains("B cannot be converted to A")),
             "{msgs:?}"
         );
     }
@@ -723,7 +742,10 @@ mod tests {
         ));
         let set = SourceSet { classes: vec![a] };
         let msgs = error_messages(&set);
-        assert!(msgs.iter().any(|m| m.contains("bad operand types")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("bad operand types")),
+            "{msgs:?}"
+        );
     }
 
     #[test]
@@ -765,7 +787,11 @@ mod tests {
             SrcType::Void,
             vec![Stmt::Throw(SExpr::Int(3))],
         ));
-        a.methods.push(method("missing_return", SrcType::Int, vec![Stmt::Return(None)]));
+        a.methods.push(method(
+            "missing_return",
+            SrcType::Int,
+            vec![Stmt::Return(None)],
+        ));
         a.methods.push(method(
             "unexpected_return",
             SrcType::Void,
@@ -836,7 +862,9 @@ mod tests {
                 vec![],
             ))],
         ));
-        let set = SourceSet { classes: vec![j, i, a] };
+        let set = SourceSet {
+            classes: vec![j, i, a],
+        };
         assert!(compile(&set).is_empty(), "{:?}", compile(&set));
     }
 

@@ -89,7 +89,11 @@ fn decompile_method(
     SourceMethod {
         name,
         is_ctor,
-        ret: if is_ctor { SrcType::Void } else { ret_type(&method.desc.ret) },
+        ret: if is_ctor {
+            SrcType::Void
+        } else {
+            ret_type(&method.desc.ret)
+        },
         params,
         body,
     }
@@ -139,7 +143,11 @@ fn decompile_code(
                     Some((n, t)) => (n.clone(), t.clone()),
                     None => (format!("v{s}"), SrcType::Class("Object".to_owned())),
                 };
-                let expr = if name == "this" { SExpr::This } else { SExpr::Var(name) };
+                let expr = if name == "this" {
+                    SExpr::This
+                } else {
+                    SExpr::Var(name)
+                };
                 stack.push((expr, ty));
             }
             Insn::IStore(s) | Insn::AStore(s) => {
@@ -150,9 +158,7 @@ fn decompile_code(
                     None => {
                         let name = format!("v{s}");
                         let decl_ty = match &t {
-                            SrcType::Class(c) if c == "null" => {
-                                SrcType::Class("Object".to_owned())
-                            }
+                            SrcType::Class(c) if c == "null" => SrcType::Class("Object".to_owned()),
                             other => other.clone(),
                         };
                         stmts.push(Stmt::Local(decl_ty.clone(), name.clone(), e));
@@ -202,13 +208,12 @@ fn decompile_code(
             }
             Insn::GetField(f) => {
                 let (recv, _) = pop(&mut stack);
-                let fname = if bugs.contains(BugKind::FieldRenamer)
-                    && matches!(recv, SExpr::Field(..))
-                {
-                    format!("{}_", f.name)
-                } else {
-                    f.name.clone()
-                };
+                let fname =
+                    if bugs.contains(BugKind::FieldRenamer) && matches!(recv, SExpr::Field(..)) {
+                        format!("{}_", f.name)
+                    } else {
+                        f.name.clone()
+                    };
                 stack.push((SExpr::Field(Box::new(recv), fname), src_type(&f.ty)));
             }
             Insn::PutField(f) => {
@@ -243,8 +248,7 @@ fn decompile_code(
                             // Standard new;dup;<init> pattern: the original
                             // `new` placeholder sits below; replace it.
                             if let Some(top) = stack.last_mut() {
-                                if matches!(&top.0, SExpr::New(c2, a) if *c2 == c && a.is_empty())
-                                {
+                                if matches!(&top.0, SExpr::New(c2, a) if *c2 == c && a.is_empty()) {
                                     top.0 = completed;
                                     continue;
                                 }
@@ -345,12 +349,7 @@ fn apply_ctor_arg_dropper(bugs: &BugSet, m: &lbr_classfile::MethodRef, args: &mu
     }
 }
 
-fn push_or_emit(
-    stack: &mut Vec<Entry>,
-    stmts: &mut Vec<Stmt>,
-    call: SExpr,
-    ret: &Option<Type>,
-) {
+fn push_or_emit(stack: &mut Vec<Entry>, stmts: &mut Vec<Stmt>, call: SExpr, ret: &Option<Type>) {
     match ret {
         Some(t) => stack.push((call, src_type(t))),
         None => stmts.push(Stmt::Expr(call)),
@@ -409,7 +408,10 @@ mod tests {
         let p = program_with(vec![a]);
         let src = decompile_class(&p, p.get("A").unwrap(), &BugSet::none());
         assert!(src.methods[0].is_ctor);
-        assert_eq!(src.methods[0].body.as_ref().unwrap(), &vec![Stmt::Return(None)]);
+        assert_eq!(
+            src.methods[0].body.as_ref().unwrap(),
+            &vec![Stmt::Return(None)]
+        );
     }
 
     #[test]
@@ -473,10 +475,13 @@ mod tests {
     #[test]
     fn static_ghost_receiver() {
         let mut a = ClassFile::new_class("Util");
-        a.methods.push(void_method("go", vec![
-            Insn::InvokeStatic(MethodRef::new("Util", "helper", MethodDescriptor::void())),
-            Insn::Return,
-        ]));
+        a.methods.push(void_method(
+            "go",
+            vec![
+                Insn::InvokeStatic(MethodRef::new("Util", "helper", MethodDescriptor::void())),
+                Insn::Return,
+            ],
+        ));
         let p = program_with(vec![a]);
         let src = decompile_class(
             &p,
@@ -514,7 +519,8 @@ mod tests {
     #[test]
     fn interface_amnesia() {
         let mut j = ClassFile::new_interface("J");
-        j.methods.push(MethodInfo::new_abstract("p", MethodDescriptor::void()));
+        j.methods
+            .push(MethodInfo::new_abstract("p", MethodDescriptor::void()));
         let mut i = ClassFile::new_interface("I");
         i.interfaces.push("J".into());
         let p = program_with(vec![j, i]);
@@ -566,7 +572,9 @@ mod tests {
         let src = decompile_program(&p, &BugSet::of(&[BugKind::CastToObject]));
         let errors = crate::compile::compile(&src);
         assert!(
-            errors.iter().any(|e| e.message.contains("method m() in Object")),
+            errors
+                .iter()
+                .any(|e| e.message.contains("method m() in Object")),
             "{errors:?}"
         );
     }

@@ -89,9 +89,7 @@ impl DecompilerOracle {
 mod tests {
     use super::*;
     use crate::bugs::BugKind;
-    use lbr_classfile::{
-        ClassFile, Code, Insn, MethodDescriptor, MethodInfo, MethodRef,
-    };
+    use lbr_classfile::{ClassFile, Code, Insn, MethodDescriptor, MethodInfo, MethodRef};
 
     fn failing_program() -> Program {
         let mut i = ClassFile::new_interface("I");
@@ -135,7 +133,11 @@ mod tests {
         assert!(oracle.preserves_failure(&p));
         // Removing the `go` method removes the failure.
         let mut smaller = p.clone();
-        smaller.get_mut("A").unwrap().methods.retain(|m| m.name != "go");
+        smaller
+            .get_mut("A")
+            .unwrap()
+            .methods
+            .retain(|m| m.name != "go");
         assert!(!oracle.preserves_failure(&smaller));
     }
 

@@ -144,7 +144,10 @@ impl SourceSet {
     /// The non-blank line count of the rendered source — the "lines"
     /// metric of the paper's motivating comparison (7,661 → 815 lines).
     pub fn line_count(&self) -> usize {
-        self.render().lines().filter(|l| !l.trim().is_empty()).count()
+        self.render()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
     }
 }
 
@@ -152,7 +155,11 @@ impl SourceSet {
 pub fn render_class(c: &SourceClass) -> String {
     let mut out = String::new();
     let kind = if c.is_interface { "interface" } else { "class" };
-    let abs = if c.is_abstract && !c.is_interface { "abstract " } else { "" };
+    let abs = if c.is_abstract && !c.is_interface {
+        "abstract "
+    } else {
+        ""
+    };
     let _ = write!(out, "{abs}{kind} {}", c.name);
     if let Some(s) = &c.superclass {
         if s != "Object" {
@@ -160,7 +167,11 @@ pub fn render_class(c: &SourceClass) -> String {
         }
     }
     if !c.interfaces.is_empty() {
-        let kw = if c.is_interface { "extends" } else { "implements" };
+        let kw = if c.is_interface {
+            "extends"
+        } else {
+            "implements"
+        };
         let _ = write!(out, " {kw} {}", c.interfaces.join(", "));
     }
     let _ = writeln!(out, " {{");
@@ -271,10 +282,7 @@ mod tests {
             vec![SExpr::Null, SExpr::Var("x".into())],
         );
         assert_eq!(render_expr(&call), "this.m(null, x)");
-        assert_eq!(
-            render_expr(&SExpr::ClassLiteral("A".into())),
-            "A.class"
-        );
+        assert_eq!(render_expr(&SExpr::ClassLiteral("A".into())), "A.class");
     }
 
     #[test]

@@ -8,8 +8,10 @@ use lbr_decompiler::{decompile_program, error_messages, BugKind, BugSet};
 
 fn fixture() -> Program {
     let mut i = ClassFile::new_interface("Shape");
-    i.methods
-        .push(MethodInfo::new_abstract("area", MethodDescriptor::new(vec![], Some(Type::Int))));
+    i.methods.push(MethodInfo::new_abstract(
+        "area",
+        MethodDescriptor::new(vec![], Some(Type::Int)),
+    ));
     let mut c = ClassFile::new_class("Circle");
     c.interfaces.push("Shape".into());
     c.fields.push(lbr_classfile::FieldInfo::new("r", Type::Int));

@@ -245,7 +245,10 @@ mod tests {
             fji_cnf.graph_fraction() < 1.0,
             "the FJI example needs non-graph clauses"
         );
-        assert!(fji_cnf.shape_histogram().general >= 4, "the four mAny clauses");
+        assert!(
+            fji_cnf.shape_histogram().general >= 4,
+            "the four mAny clauses"
+        );
     }
 
     #[test]

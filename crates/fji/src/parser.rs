@@ -350,10 +350,7 @@ impl Parser {
             // is a cast.
             let is_cast = matches!(self.peek(1), Some(Tok::Ident(_)))
                 && matches!(self.peek(2), Some(Tok::Punct(')')))
-                && matches!(
-                    self.peek(3),
-                    Some(Tok::Ident(_)) | Some(Tok::Punct('('))
-                );
+                && matches!(self.peek(3), Some(Tok::Ident(_)) | Some(Tok::Punct('(')));
             self.bump(); // '('
             if is_cast {
                 let ty = self.expect_ident()?;
@@ -398,10 +395,7 @@ mod tests {
             parse_expr("new A()").unwrap(),
             Expr::new_object("A", vec![])
         );
-        assert_eq!(
-            parse_expr("this.s").unwrap(),
-            Expr::this().field("s")
-        );
+        assert_eq!(parse_expr("this.s").unwrap(), Expr::this().field("s"));
         assert_eq!(
             parse_expr("a.m(b, new C())").unwrap(),
             Expr::var("a").call("m", vec![Expr::var("b"), Expr::new_object("C", vec![])])
@@ -410,10 +404,7 @@ mod tests {
 
     #[test]
     fn parses_casts() {
-        assert_eq!(
-            parse_expr("(I) a").unwrap(),
-            Expr::var("a").cast("I")
-        );
+        assert_eq!(parse_expr("(I) a").unwrap(), Expr::var("a").cast("I"));
         assert_eq!(
             parse_expr("((I) a).m()").unwrap(),
             Expr::var("a").cast("I").call("m", vec![])

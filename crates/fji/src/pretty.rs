@@ -101,7 +101,10 @@ fn args_text(args: &[Expr]) -> String {
 /// Number of non-blank source lines in the pretty-printed program — the
 /// "lines in the decompiled program" size metric of the paper's examples.
 pub fn line_count(program: &Program) -> usize {
-    pretty(program).lines().filter(|l| !l.trim().is_empty()).count()
+    pretty(program)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
 }
 
 #[cfg(test)]

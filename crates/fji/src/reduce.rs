@@ -195,7 +195,10 @@ mod tests {
         let reg = ItemRegistry::from_program(&p);
         let keep = keep_items(
             &reg,
-            &[Item::Class("A".into()), Item::Method("A".into(), "m".into())],
+            &[
+                Item::Class("A".into()),
+                Item::Method("A".into(), "m".into()),
+            ],
         );
         let r = reduce(&p, &reg, &keep);
         let m = &r.class("A").unwrap().methods[0];

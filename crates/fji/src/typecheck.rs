@@ -24,43 +24,68 @@ pub enum TypeError {
     /// A name was declared twice.
     DuplicateDecl(String),
     /// A member was declared twice within one type.
-    DuplicateMember { /// Enclosing type.
-        owner: String, /// Member name.
-        member: String },
+    DuplicateMember {
+        /// Enclosing type.
+        owner: String,
+        /// Member name.
+        member: String,
+    },
     /// A class `extends` a non-class or `implements` a non-interface.
-    BadKind { /// The name used.
-        name: String, /// What was expected ("class"/"interface").
-        expected: &'static str },
+    BadKind {
+        /// The name used.
+        name: String,
+        /// What was expected ("class"/"interface").
+        expected: &'static str,
+    },
     /// The constructor is not the canonical FJ constructor.
     BadConstructor(String),
     /// A method overrides a superclass method at a different type.
-    BadOverride { /// Class declaring the override.
-        class: String, /// Method name.
-        method: String },
+    BadOverride {
+        /// Class declaring the override.
+        class: String,
+        /// Method name.
+        method: String,
+    },
     /// An unbound variable in an expression.
     UnboundVar(String),
     /// No field `field` on type `ty`.
-    NoSuchField { /// Receiver type.
-        ty: String, /// Field name.
-        field: String },
+    NoSuchField {
+        /// Receiver type.
+        ty: String,
+        /// Field name.
+        field: String,
+    },
     /// No method `method` on type `ty`.
-    NoSuchMethod { /// Receiver type.
-        ty: String, /// Method name.
-        method: String },
+    NoSuchMethod {
+        /// Receiver type.
+        ty: String,
+        /// Method name.
+        method: String,
+    },
     /// `sub` is not a subtype of `sup`.
-    NotSubtype { /// The smaller type.
-        sub: String, /// The required supertype.
-        sup: String },
+    NotSubtype {
+        /// The smaller type.
+        sub: String,
+        /// The required supertype.
+        sup: String,
+    },
     /// Wrong number of arguments.
-    ArityMismatch { /// What was called.
-        target: String, /// Expected count.
-        expected: usize, /// Found count.
-        found: usize },
+    ArityMismatch {
+        /// What was called.
+        target: String,
+        /// Expected count.
+        expected: usize,
+        /// Found count.
+        found: usize,
+    },
     /// A class does not implement (or inherit) a signature of its
     /// interface at the right type.
-    SignatureUnimplemented { /// The class.
-        class: String, /// The signature name.
-        method: String },
+    SignatureUnimplemented {
+        /// The class.
+        class: String,
+        /// The signature name.
+        method: String,
+    },
     /// Cyclic inheritance.
     InheritanceCycle(String),
 }
@@ -247,10 +272,10 @@ impl Checker<'_> {
         }
         // Implements step.
         if decl.interface == sup {
-            return Ok(Some(self.reg.formula(&Item::Impl(
-                decl.name.clone(),
-                decl.interface.clone(),
-            ))));
+            return Ok(Some(
+                self.reg
+                    .formula(&Item::Impl(decl.name.clone(), decl.interface.clone())),
+            ));
         }
         Ok(None)
     }
@@ -519,9 +544,7 @@ impl Checker<'_> {
     ) -> Result<(String, Formula), TypeError> {
         match e {
             Expr::Var(x) => {
-                let ty = env
-                    .get(x)
-                    .ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
+                let ty = env.get(x).ok_or_else(|| TypeError::UnboundVar(x.clone()))?;
                 Ok((ty.clone(), Formula::tt()))
             }
             Expr::Field(recv, field) => {
@@ -533,23 +556,22 @@ impl Checker<'_> {
                     });
                 }
                 let fields = self.fields(&recv_ty)?;
-                let f = fields
-                    .iter()
-                    .find(|f| f.name == *field)
-                    .ok_or_else(|| TypeError::NoSuchField {
+                let f = fields.iter().find(|f| f.name == *field).ok_or_else(|| {
+                    TypeError::NoSuchField {
                         ty: recv_ty.clone(),
                         field: field.clone(),
-                    })?;
+                    }
+                })?;
                 Ok((f.ty.clone(), pi))
             }
             Expr::Call(recv, method, args) => {
                 let (recv_ty, pi) = self.expr(env, recv)?;
-                let (param_tys, ret) = self
-                    .mtype(method, &recv_ty)?
-                    .ok_or_else(|| TypeError::NoSuchMethod {
-                        ty: recv_ty.clone(),
-                        method: method.clone(),
-                    })?;
+                let (param_tys, ret) =
+                    self.mtype(method, &recv_ty)?
+                        .ok_or_else(|| TypeError::NoSuchMethod {
+                            ty: recv_ty.clone(),
+                            method: method.clone(),
+                        })?;
                 if args.len() != param_tys.len() {
                     return Err(TypeError::ArityMismatch {
                         target: format!("{recv_ty}.{method}()"),
@@ -743,7 +765,10 @@ mod tests {
         // The relative-signature constraint must mention [A.m()] through
         // mAny(P, m, B) = mAny(P, m, A) = [A.m()].
         let text = format!("{f:?}");
-        assert!(text.contains('v'), "formula should mention variables: {text}");
+        assert!(
+            text.contains('v'),
+            "formula should mention variables: {text}"
+        );
     }
 
     #[test]

@@ -152,10 +152,7 @@ impl ItemRegistry {
 
     /// Renders a solution the way the paper prints them.
     pub fn render_solution(&self, solution: &VarSet) -> String {
-        let mut parts: Vec<String> = solution
-            .iter()
-            .map(|v| self.item(v).to_string())
-            .collect();
+        let mut parts: Vec<String> = solution.iter().map(|v| self.item(v).to_string()).collect();
         parts.sort();
         parts.join(", ")
     }
@@ -223,13 +220,18 @@ mod tests {
             c.interface = EMPTY_INTERFACE.into();
         }
         let reg = ItemRegistry::from_program(&p);
-        assert!(reg.var(&Item::Impl("A".into(), EMPTY_INTERFACE.into())).is_none());
+        assert!(reg
+            .var(&Item::Impl("A".into(), EMPTY_INTERFACE.into()))
+            .is_none());
         assert_eq!(reg.len(), 5);
     }
 
     #[test]
     fn item_display() {
-        assert_eq!(Item::MethodCode("A".into(), "m".into()).to_string(), "[A.m()!code]");
+        assert_eq!(
+            Item::MethodCode("A".into(), "m".into()).to_string(),
+            "[A.m()!code]"
+        );
         assert_eq!(Item::Impl("A".into(), "I".into()).to_string(), "[A<I]");
     }
 

@@ -7,7 +7,14 @@ use lbr_fji::{ClassDecl, Constructor, Field, InterfaceDecl, Method, Signature, T
 use lbr_prng::{SliceChoose, SplitMix64};
 
 const KEYWORDS: [&str; 8] = [
-    "class", "extends", "implements", "interface", "return", "new", "super", "this",
+    "class",
+    "extends",
+    "implements",
+    "interface",
+    "return",
+    "new",
+    "super",
+    "this",
 ];
 
 const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
@@ -80,7 +87,9 @@ fn rand_class(rng: &mut SplitMix64) -> ClassDecl {
     let interface = rand_type_name(rng);
     let fields = rand_params(rng);
     let cparams = rand_params(rng);
-    let super_args = (0..rng.gen_range(0..2usize)).map(|_| rand_ident(rng)).collect();
+    let super_args = (0..rng.gen_range(0..2usize))
+        .map(|_| rand_ident(rng))
+        .collect();
     let methods = (0..rng.gen_range(0..3usize))
         .map(|_| Method {
             ret: rand_type_name(rng),

@@ -11,11 +11,11 @@
 //! as hexadecimal bit patterns (JSON numbers are doubles and would
 //! silently round a 64-bit seed).
 
+use lbr_classfile::Program;
 use lbr_decompiler::{BugKind, BugSet};
 use lbr_prng::SplitMix64;
 use lbr_service::Json;
 use lbr_workload::WorkloadConfig;
-use lbr_classfile::Program;
 
 /// Format tag written into every case file.
 const VERSION: &str = "lbr-fuzz-case v1";
@@ -195,15 +195,17 @@ impl FuzzCase {
             decompiler,
             workload,
             keep_classes,
-            break_oracle: json.get("break_oracle").and_then(Json::as_bool).unwrap_or(false),
+            break_oracle: json
+                .get("break_oracle")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
             violation: json.str_field("violation").map(str::to_string),
         })
     }
 
     /// Loads a case file.
     pub fn load(path: &std::path::Path) -> Result<FuzzCase, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         Self::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
     }

@@ -114,7 +114,9 @@ pub fn run_campaign(config: &CampaignConfig, harness: &Harness) -> io::Result<Ca
                     eprintln!("fuzz: shrinking case {} …", case.index);
                 }
                 let shrunk = shrink_case(&case, harness, &violation);
-                let path = config.out_dir.join(format!("FUZZ_CASE_{}.json", case.index));
+                let path = config
+                    .out_dir
+                    .join(format!("FUZZ_CASE_{}.json", case.index));
                 shrunk.save(&path)?;
                 if config.log {
                     eprintln!(

@@ -24,10 +24,7 @@ use crate::case::FuzzCase;
 use lbr_classfile::{verify_program, write_program, Program};
 use lbr_core::TestOutcome;
 use lbr_decompiler::DecompilerOracle;
-use lbr_jreduce::{
-    check_report, run_logical_resumable, run_reduction_with, ReductionReport, RunOptions,
-    ServiceHooks, Strategy,
-};
+use lbr_jreduce::{check_report, ReductionReport, ReductionSession, RunOptions, Strategy};
 use lbr_logic::{MsaStrategy, Var, VarSet};
 use lbr_service::{
     namespace_digest, Client, Daemon, DaemonConfig, FaultPlan, Json, PersistentOracleCache,
@@ -40,6 +37,15 @@ use std::time::Duration;
 /// The modeled per-probe cost, matching the service's default so daemon
 /// traces are comparable.
 pub const COST_SECS: f64 = 33.0;
+
+/// The base session every progression starts from: the paper's reducer at
+/// the service's modeled cost. Progressions differ only in the session
+/// knobs they chain on top (strategy, options, an attached cache).
+fn session<'s>(program: &'s Program, oracle: &'s DecompilerOracle) -> ReductionSession<'s> {
+    ReductionSession::new(program, oracle)
+        .strategy(Strategy::Logical(MsaStrategy::GreedyClosure))
+        .cost_per_call(COST_SECS)
+}
 
 /// The outcome of running one case through the progressions.
 #[derive(Debug, Clone, Default)]
@@ -124,13 +130,7 @@ impl Harness {
         let mut out = CaseOutcome::default();
 
         // P0: the reference — GBR over the logical model, default options.
-        let reference = match run_reduction_with(
-            &program,
-            &oracle,
-            Strategy::Logical(MsaStrategy::GreedyClosure),
-            COST_SECS,
-            &RunOptions::default(),
-        ) {
+        let reference = match session(&program, &oracle).run() {
             Ok(report) => report,
             Err(e) => {
                 out.violations.push(format!("reference run failed: {e}"));
@@ -141,25 +141,29 @@ impl Harness {
         out.predicate_calls = reference.predicate_calls;
         soundness("I1-I3 reference", &reference, &mut out.violations);
 
-        // P1: the legacy scan engine must replay the identical search.
-        self.identical_to(case, &reference, "legacy-scan", &RunOptions::legacy(), &mut out);
-
-        // P2: speculative parallel probing must change nothing but speed.
-        let parallel = RunOptions {
-            probe_threads: 2,
-            ..RunOptions::default()
-        };
-        self.identical_to(case, &reference, "probe-threads-2", &parallel, &mut out);
+        // P1+P2: sessions that must replay the identical search (I4) —
+        // the legacy scan engine, and speculative parallel probing (which
+        // may change nothing but speed).
+        let identical: [(&str, RunOptions); 2] = [
+            ("legacy-scan", RunOptions::legacy()),
+            (
+                "probe-threads-2",
+                RunOptions {
+                    probe_threads: 2,
+                    ..RunOptions::default()
+                },
+            ),
+        ];
+        for (tag, options) in identical {
+            self.identical_to(case, &reference, tag, &options, &mut out);
+        }
 
         // P3: the DPLL-conditioned MSA strategy — its own sound result
         // (a different search, so no bit-identity with the reference).
-        match run_reduction_with(
-            &program,
-            &oracle,
-            Strategy::Logical(MsaStrategy::DpllMinimize),
-            COST_SECS,
-            &RunOptions::default(),
-        ) {
+        match session(&program, &oracle)
+            .strategy(Strategy::Logical(MsaStrategy::DpllMinimize))
+            .run()
+        {
             Ok(report) => {
                 out.progressions += 1;
                 soundness("I1-I3 dpll-minimize", &report, &mut out.violations);
@@ -170,13 +174,10 @@ impl Harness {
         }
 
         // P4: the ddmin baseline — sound, and never beaten by GBR (I5).
-        match run_reduction_with(
-            &program,
-            &oracle,
-            Strategy::DdminItems,
-            COST_SECS,
-            &RunOptions::default(),
-        ) {
+        match session(&program, &oracle)
+            .strategy(Strategy::DdminItems)
+            .run()
+        {
             Ok(report) => {
                 out.progressions += 1;
                 soundness("I1-I3 ddmin-items", &report, &mut out.violations);
@@ -243,13 +244,7 @@ impl Harness {
     ) {
         let program = case.program();
         let oracle = DecompilerOracle::new(&program, case.bugs());
-        match run_reduction_with(
-            &program,
-            &oracle,
-            Strategy::Logical(MsaStrategy::GreedyClosure),
-            COST_SECS,
-            options,
-        ) {
+        match session(&program, &oracle).options(*options).run() {
             Ok(report) => {
                 out.progressions += 1;
                 diff_reports(tag, reference, &report, &mut out.violations);
@@ -272,17 +267,7 @@ impl Harness {
         let namespace = namespace_digest(&case.decompiler, &write_program(program));
         let run_with_cache = |cache: &PersistentOracleCache| {
             let scoped = cache.namespaced(namespace);
-            run_logical_resumable(
-                program,
-                oracle,
-                MsaStrategy::GreedyClosure,
-                COST_SECS,
-                &RunOptions::default(),
-                ServiceHooks {
-                    cache: Some(&scoped),
-                    ..ServiceHooks::default()
-                },
-            )
+            session(program, oracle).cache(&scoped).run()
         };
         let cold_cache = match PersistentOracleCache::open(&path) {
             Ok(cache) => cache,
@@ -314,9 +299,8 @@ impl Harness {
                 out.progressions += 1;
                 diff_reports("warm-cache", reference, &report, &mut out.violations);
                 if warm_cache.stats().warm_hits == 0 {
-                    out.violations.push(
-                        "I6 warm-cache: no probe was answered from disk".to_string(),
-                    );
+                    out.violations
+                        .push("I6 warm-cache: no probe was answered from disk".to_string());
                 }
             }
             Err(e) => out.violations.push(format!("warm-cache run failed: {e}")),
@@ -338,7 +322,8 @@ impl Harness {
         let cache = match PersistentOracleCache::open(&path) {
             Ok(cache) => cache,
             Err(e) => {
-                out.violations.push(format!("faulty cache open failed: {e}"));
+                out.violations
+                    .push(format!("faulty cache open failed: {e}"));
                 return;
             }
         };
@@ -348,17 +333,7 @@ impl Harness {
         });
         let namespace = namespace_digest(&case.decompiler, &write_program(program));
         let scoped = cache.namespaced(namespace);
-        match run_logical_resumable(
-            program,
-            oracle,
-            MsaStrategy::GreedyClosure,
-            COST_SECS,
-            &RunOptions::default(),
-            ServiceHooks {
-                cache: Some(&scoped),
-                ..ServiceHooks::default()
-            },
-        ) {
+        match session(program, oracle).cache(&scoped).run() {
             Ok(report) => {
                 out.progressions += 1;
                 diff_reports("faulty-cache", reference, &report, &mut out.violations);
@@ -381,7 +356,8 @@ impl Harness {
         let input = self.scratch.join(format!("job-{job}.lbrc"));
         let output = self.scratch.join(format!("job-{job}-out.lbrc"));
         if let Err(e) = std::fs::write(&input, write_program(program)) {
-            out.violations.push(format!("daemon input write failed: {e}"));
+            out.violations
+                .push(format!("daemon input write failed: {e}"));
             return;
         }
         let spec = Json::obj([

@@ -7,9 +7,9 @@
 //! items *within* classes — the motivation for the paper's finer-grained
 //! model.
 
+use lbr_classfile::Program;
 use lbr_core::DepGraph;
 use lbr_logic::{Var, VarSet};
-use lbr_classfile::Program;
 use std::collections::HashMap;
 
 /// A class-level dependency graph with its node naming.

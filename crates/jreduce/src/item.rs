@@ -242,9 +242,7 @@ impl ItemRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lbr_classfile::{
-        ClassFile, Code, FieldInfo, Insn, MethodDescriptor, MethodInfo, Type,
-    };
+    use lbr_classfile::{ClassFile, Code, FieldInfo, Insn, MethodDescriptor, MethodInfo, Type};
 
     fn sample_program() -> Program {
         let mut i = ClassFile::new_interface("I");
@@ -313,7 +311,10 @@ mod tests {
             Item::SuperClass("B".into(), "A".into()).to_string(),
             "[B<:A]"
         );
-        assert_eq!(Item::Implements("A".into(), "I".into()).to_string(), "[A<I]");
+        assert_eq!(
+            Item::Implements("A".into(), "I".into()).to_string(),
+            "[A<I]"
+        );
     }
 
     #[test]

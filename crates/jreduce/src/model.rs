@@ -131,18 +131,12 @@ impl Generator<'_> {
             if let Some(sup) = &class.superclass {
                 if sup != OBJECT {
                     let rel = reg.formula(&Item::SuperClass(name.clone(), sup.clone()));
-                    out.push(rel.implies(Formula::and([
-                        class_var.clone(),
-                        reg.type_formula(sup),
-                    ])));
+                    out.push(rel.implies(Formula::and([class_var.clone(), reg.type_formula(sup)])));
                 }
             }
             for iface in &class.interfaces {
                 let rel = reg.formula(&Item::Implements(name.clone(), iface.clone()));
-                out.push(rel.implies(Formula::and([
-                    class_var.clone(),
-                    reg.type_formula(iface),
-                ])));
+                out.push(rel.implies(Formula::and([class_var.clone(), reg.type_formula(iface)])));
             }
             // A kept class keeps at least one constructor.
             let ctors: Vec<Formula> = class
@@ -155,10 +149,7 @@ impl Generator<'_> {
         } else {
             for sup in &class.interfaces {
                 let rel = reg.formula(&Item::InterfaceExtends(name.clone(), sup.clone()));
-                out.push(rel.implies(Formula::and([
-                    class_var.clone(),
-                    reg.type_formula(sup),
-                ])));
+                out.push(rel.implies(Formula::and([class_var.clone(), reg.type_formula(sup)])));
             }
         }
         for field in &class.fields {
@@ -246,7 +237,9 @@ impl Generator<'_> {
         sources.sort();
         sources.dedup();
         for source in sources {
-            let Some(decl) = self.program.get(&source) else { continue };
+            let Some(decl) = self.program.get(&source) else {
+                continue;
+            };
             let abstracts: Vec<&lbr_classfile::MethodInfo> = decl
                 .methods
                 .iter()
@@ -264,11 +257,8 @@ impl Generator<'_> {
                 ));
                 let impl_any = self.impl_any(&class.name, &m.name, &m.desc);
                 for path in &paths {
-                    let cond = Formula::and([
-                        class_var.clone(),
-                        self.steps_formula(path),
-                        sig.clone(),
-                    ]);
+                    let cond =
+                        Formula::and([class_var.clone(), self.steps_formula(path), sig.clone()]);
                     out.push(cond.implies(impl_any.clone()));
                 }
             }
@@ -405,7 +395,9 @@ impl Generator<'_> {
         let mut queue = vec![class.to_owned()];
         let mut seen: HashSet<String> = queue.iter().cloned().collect();
         while let Some(cur) = queue.pop() {
-            let Some(decl) = self.program.get(&cur) else { continue };
+            let Some(decl) = self.program.get(&cur) else {
+                continue;
+            };
             if !decl.is_interface() {
                 if let Some(sup) = &decl.superclass {
                     if sup != OBJECT {
@@ -580,9 +572,7 @@ impl VerifyHooks for Collector<'_, '_> {
 mod tests {
     use super::*;
     use crate::reducer::reduce_program;
-    use lbr_classfile::{
-        Code, Insn, MethodInfo, Type,
-    };
+    use lbr_classfile::{Code, Insn, MethodInfo, Type};
     use lbr_logic::{dpll, Lit, VarOrder, VarSet};
 
     fn ctor() -> MethodInfo {
@@ -731,7 +721,11 @@ mod tests {
         let reg = &model.registry;
         let v = |item: &Item| reg.var(item).expect("registered");
         let assumptions = [
-            Lit::pos(v(&Item::MethodCode("M".into(), "main".into(), "()V".into()))),
+            Lit::pos(v(&Item::MethodCode(
+                "M".into(),
+                "main".into(),
+                "()V".into(),
+            ))),
             Lit::neg(v(&Item::Implements("A".into(), "I".into()))),
         ];
         let order = VarOrder::natural(reg.len());
@@ -846,7 +840,11 @@ mod tests {
         let order = VarOrder::natural(reg.len());
         // Keeping the reflective body must force B's whole supertype web.
         let assumptions = [
-            Lit::pos(v(&Item::MethodCode("R".into(), "reflect".into(), "()V".into()))),
+            Lit::pos(v(&Item::MethodCode(
+                "R".into(),
+                "reflect".into(),
+                "()V".into(),
+            ))),
             Lit::neg(v(&Item::Implements("A".into(), "I".into()))),
         ];
         assert!(

@@ -11,24 +11,33 @@
 //!   constraints (two variants), reduced with Binary Reduction,
 //! * [`Strategy::DdminItems`] — ddmin at item granularity with a validity
 //!   filter (the ablation showing why plain ddmin disappoints).
+//!
+//! The stages live in submodules — [`logical`] (GBR with service hooks),
+//! [`baselines`] (J-Reduce, lossy, ddmin), [`per_error`] (the per-error
+//! sweep) — all built on the [`probe`] module's candidate probe and the
+//! `lbr-core` oracle middleware stack. This module owns the shared
+//! vocabulary ([`Strategy`], [`RunOptions`], [`ReductionReport`]) and the
+//! dispatch; the ergonomic front door is
+//! [`ReductionSession`](crate::ReductionSession).
 
-use crate::classgraph::ClassGraph;
-use crate::model::{build_model, LogicalModel, ModelError, ModelStats};
-use crate::reducer::reduce_program;
+mod baselines;
+mod logical;
+mod per_error;
+mod probe;
+#[cfg(test)]
+mod tests;
+
+pub use logical::ServiceHooks;
+pub use per_error::PerErrorReport;
+
+use crate::model::{ModelError, ModelStats};
 use lbr_classfile::{program_byte_size, Program};
-use crate::item::ItemRegistry;
 use lbr_core::{
-    binary_reduction, closure_size_order, ddmin, generalized_binary_reduction,
-    generalized_binary_reduction_controlled,
-    generalized_binary_reduction_speculative_controlled, lossy_graph, BinaryReductionError,
-    ConcurrentPredicate, DepGraph, GbrCheckpoint, GbrConfig, GbrControl, GbrError, Instance,
-    LossyPick, Oracle, Probe, ProbeCache, ProbeStats, PropagationMode, ReductionTrace,
-    ShardedMemo, SpeculationConfig, TestOutcome,
+    BinaryReductionError, GbrError, LossyPick, ProbeStats, PropagationMode, ReductionTrace,
 };
 use lbr_decompiler::DecompilerOracle;
-use lbr_logic::{MsaStrategy, VarSet};
-use std::cell::{Cell, RefCell};
-use std::collections::{BTreeSet, HashMap};
+use lbr_logic::MsaStrategy;
+use probe::{OrderKind, RunParts};
 use std::time::Instant;
 
 /// A reduction strategy.
@@ -155,16 +164,12 @@ pub struct ReductionReport {
     pub final_metrics: SizeMetrics,
     /// Number of black-box predicate invocations.
     pub predicate_calls: u64,
-    /// Probes answered from the oracle's memo without re-running the tool
-    /// (0 when memoization is off or the strategy bypasses the oracle).
-    pub cache_hits: u64,
-    /// Probes that actually ran the tool while memoization was on.
-    pub cache_misses: u64,
-    /// Probe accounting under speculation: `useful_calls` always equals
-    /// [`predicate_calls`](Self::predicate_calls); `speculative_calls` and
-    /// `critical_path_calls` are zero / equal to the fresh-tool-run count
-    /// for sequential runs and reflect wasted vs blocking probes when
-    /// `probe_threads > 1`.
+    /// The unified probe accounting: `useful_calls` always equals
+    /// [`predicate_calls`](Self::predicate_calls); `memo_hits`/`memo_misses`
+    /// are the per-run memo totals (see [`cache_hits`](Self::cache_hits));
+    /// `speculative_calls` and `critical_path_calls` are zero / equal to
+    /// the fresh-tool-run count for sequential runs and reflect wasted vs
+    /// blocking probes when `probe_threads > 1`.
     pub probe_stats: ProbeStats,
     /// Wall-clock seconds of the whole run.
     pub wall_secs: f64,
@@ -192,6 +197,17 @@ impl ReductionReport {
     /// Final size relative to the input, in classes.
     pub fn relative_classes(&self) -> f64 {
         self.final_metrics.classes as f64 / self.initial.classes.max(1) as f64
+    }
+
+    /// Probes answered from the oracle's memo without re-running the tool
+    /// (0 when memoization is off or the strategy bypasses the oracle).
+    pub fn cache_hits(&self) -> u64 {
+        self.probe_stats.memo_hits
+    }
+
+    /// Probes that actually ran the tool while memoization was on.
+    pub fn cache_misses(&self) -> u64 {
+        self.probe_stats.memo_misses
     }
 }
 
@@ -280,216 +296,14 @@ pub fn run_reduction_with(
     cost_per_call_secs: f64,
     options: &RunOptions,
 ) -> Result<ReductionReport, PipelineError> {
-    if !oracle.is_failing() {
-        return Err(PipelineError::NotFailing);
-    }
-    let start = Instant::now();
-    let initial = SizeMetrics::of(program);
-    let parts = match strategy {
-        Strategy::Logical(msa) => run_logical(
-            program,
-            oracle,
-            msa,
-            OrderKind::ClosureSize,
-            cost_per_call_secs,
-            options,
-        )?,
-        Strategy::LogicalNaturalOrder => run_logical(
-            program,
-            oracle,
-            MsaStrategy::GreedyClosure,
-            OrderKind::Natural,
-            cost_per_call_secs,
-            options,
-        )?,
-        Strategy::LogicalMinimized => {
-            run_logical_minimized(program, oracle, cost_per_call_secs, options)?
-        }
-        Strategy::JReduce => run_jreduce(program, oracle, cost_per_call_secs, options)?,
-        Strategy::Lossy(pick) => run_lossy(program, oracle, pick, cost_per_call_secs, options)?,
-        Strategy::DdminItems => run_ddmin(program, oracle, cost_per_call_secs, options)?,
-    };
-    let RunParts {
-        reduced,
-        calls,
-        trace,
-        model_stats,
-        cache_hits,
-        cache_misses,
-        probe_stats,
-    } = parts;
-    let errors_preserved = oracle.preserves_failure(&reduced);
-    let still_valid = lbr_classfile::verify_program(&reduced).is_empty();
-    Ok(ReductionReport {
-        strategy: strategy.name(),
-        initial,
-        final_metrics: SizeMetrics::of(&reduced),
-        predicate_calls: calls,
-        cache_hits,
-        cache_misses,
-        probe_stats,
-        wall_secs: start.elapsed().as_secs_f64(),
-        modeled_secs: calls as f64 * cost_per_call_secs,
-        trace,
-        model_stats,
-        reduced,
-        errors_preserved,
-        still_valid,
-    })
-}
-
-struct RunParts {
-    reduced: Program,
-    calls: u64,
-    trace: ReductionTrace,
-    model_stats: Option<ModelStats>,
-    cache_hits: u64,
-    cache_misses: u64,
-    probe_stats: ProbeStats,
-}
-
-/// Probe accounting for a run without speculation: every probe is useful,
-/// nothing is speculative, and the critical path is every probe that had
-/// to run the tool (all of them without a memo, the misses with one).
-fn sequential_probe_stats(calls: u64, cache_hits: u64, cache_misses: u64) -> ProbeStats {
-    ProbeStats {
-        useful_calls: calls,
-        speculative_calls: 0,
-        critical_path_calls: if cache_hits + cache_misses == calls {
-            cache_misses
-        } else {
-            calls
-        },
-        memo_hits: cache_hits,
-        memo_misses: cache_misses,
-    }
-}
-
-/// Sleeps for the emulated tool-invocation latency (no-op at 0). Called
-/// exactly where the wrapped tool actually runs, so memoized probes are
-/// never charged.
-fn emulate_tool_latency(micros: u64) {
-    if micros > 0 {
-        std::thread::sleep(std::time::Duration::from_micros(micros));
-    }
-}
-
-/// The thread-safe probe path for speculative GBR: builds the candidate
-/// program, tests it against the oracle and measures its bytes, all from
-/// borrowed shared state — pure per probe, so many workers can probe one
-/// instance concurrently.
-struct CandidateProbe<'a> {
-    program: &'a Program,
-    registry: &'a ItemRegistry,
-    oracle: &'a DecompilerOracle,
-    latency_micros: u64,
-    /// An external probe cache (e.g. the service daemon's persistent,
-    /// cross-job one). A hit replaces only the tool invocation, beneath
-    /// every per-run counter, so results and accounting are identical
-    /// whether it is cold, warm, or absent.
-    external_cache: Option<&'a dyn ProbeCache>,
-}
-
-impl ConcurrentPredicate for CandidateProbe<'_> {
-    fn probe(&self, keep: &VarSet) -> Probe {
-        if let Some(cache) = self.external_cache {
-            if let Some(probe) = cache.lookup(keep) {
-                return probe;
-            }
-        }
-        let candidate = reduce_program(self.program, self.registry, keep);
-        emulate_tool_latency(self.latency_micros);
-        let probe = Probe {
-            outcome: self.oracle.preserves_failure(&candidate),
-            size: program_byte_size(&candidate) as u64,
-        };
-        if let Some(cache) = self.external_cache {
-            cache.store(keep, probe);
-        }
-        probe
-    }
-}
-
-/// Which variable order GBR uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OrderKind {
-    ClosureSize,
-    Natural,
-}
-
-/// Builds the standard oracle wrapper (size metric + optional memo) around
-/// a keep-set predicate.
-fn wrap_oracle<'p>(
-    predicate: &'p mut dyn lbr_core::Predicate,
-    cost: f64,
-    size_of: impl Fn(&VarSet) -> u64 + 'p,
-    options: &RunOptions,
-) -> Oracle<'p> {
-    let wrapped = Oracle::new(predicate, cost).with_size_metric(size_of);
-    if options.memoize {
-        wrapped.with_memo()
-    } else {
-        wrapped
-    }
-}
-
-fn run_logical(
-    program: &Program,
-    oracle: &DecompilerOracle,
-    msa: MsaStrategy,
-    order_kind: OrderKind,
-    cost: f64,
-    options: &RunOptions,
-) -> Result<RunParts, PipelineError> {
-    run_logical_hooked(
+    dispatch(
         program,
         oracle,
-        msa,
-        order_kind,
-        cost,
+        strategy,
+        cost_per_call_secs,
         options,
         ServiceHooks::default(),
     )
-}
-
-/// Long-running-service hooks for a logical reduction run: an external
-/// probe cache, cooperative cancellation, and checkpoint/resume. The
-/// default value is inert, making [`run_logical_resumable`] equivalent to
-/// [`run_reduction_with`] on [`Strategy::Logical`].
-///
-/// All four hooks preserve the pipeline's determinism contract:
-///
-/// * `cache` sits beneath every per-run counter — a hit replaces only the
-///   tool invocation, so verdicts, sizes, call counts, and traces are
-///   bit-identical whether it is cold, warm, or absent.
-/// * `cancel`/`checkpoint`/`resume` snapshot and restore the GBR loop
-///   between probes; a resumed run converges to the same solution as an
-///   uninterrupted one (its *trace* covers only the probes demanded after
-///   the resume point — replays of the interrupted iteration's tail,
-///   which a warm cache answers without tool runs).
-#[derive(Default)]
-pub struct ServiceHooks<'h> {
-    /// Probe cache shared across runs of the *same* program + oracle
-    /// (callers must namespace keys; the keep-set alone is not unique).
-    pub cache: Option<&'h dyn ProbeCache>,
-    /// Polled between probes; `true` aborts with
-    /// [`PipelineError::Gbr`]([`GbrError::Cancelled`]).
-    pub cancel: Option<&'h (dyn Fn() -> bool + Sync)>,
-    /// Invoked with a resumable snapshot after every GBR iteration.
-    pub checkpoint: Option<&'h mut dyn FnMut(&GbrCheckpoint)>,
-    /// Continue a previous run from its last checkpoint.
-    pub resume: Option<GbrCheckpoint>,
-}
-
-impl std::fmt::Debug for ServiceHooks<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServiceHooks")
-            .field("cache", &self.cache.is_some())
-            .field("cancel", &self.cancel.is_some())
-            .field("checkpoint", &self.checkpoint.is_some())
-            .field("resume", &self.resume)
-            .finish()
-    }
 }
 
 /// [`Strategy::Logical`] with [`ServiceHooks`]: the entry point the
@@ -509,343 +323,81 @@ pub fn run_logical_resumable(
     options: &RunOptions,
     hooks: ServiceHooks<'_>,
 ) -> Result<ReductionReport, PipelineError> {
+    dispatch(
+        program,
+        oracle,
+        Strategy::Logical(msa),
+        cost_per_call_secs,
+        options,
+        hooks,
+    )
+}
+
+/// The one dispatcher every entry point funnels through: check the input
+/// actually fails, run the strategy's stage, assemble the report.
+/// [`ServiceHooks`] apply to the GBR-based logical strategies; the other
+/// stages have no pending-probe tree or resumable loop and ignore them.
+pub(crate) fn dispatch(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    strategy: Strategy,
+    cost_per_call_secs: f64,
+    options: &RunOptions,
+    hooks: ServiceHooks<'_>,
+) -> Result<ReductionReport, PipelineError> {
     if !oracle.is_failing() {
         return Err(PipelineError::NotFailing);
     }
     let start = Instant::now();
     let initial = SizeMetrics::of(program);
-    let parts = run_logical_hooked(
-        program,
-        oracle,
-        msa,
-        OrderKind::ClosureSize,
-        cost_per_call_secs,
-        options,
-        hooks,
-    )?;
+    let cost = cost_per_call_secs;
+    let parts = match strategy {
+        Strategy::Logical(msa) => logical::run_hooked(
+            program,
+            oracle,
+            msa,
+            OrderKind::ClosureSize,
+            cost,
+            options,
+            hooks,
+        )?,
+        Strategy::LogicalNaturalOrder => logical::run_hooked(
+            program,
+            oracle,
+            MsaStrategy::GreedyClosure,
+            OrderKind::Natural,
+            cost,
+            options,
+            hooks,
+        )?,
+        Strategy::LogicalMinimized => logical::run_minimized(program, oracle, cost, options)?,
+        Strategy::JReduce => baselines::run_jreduce(program, oracle, cost, options)?,
+        Strategy::Lossy(pick) => baselines::run_lossy(program, oracle, pick, cost, options)?,
+        Strategy::DdminItems => baselines::run_ddmin(program, oracle, cost, options)?,
+    };
     let RunParts {
         reduced,
         calls,
         trace,
         model_stats,
-        cache_hits,
-        cache_misses,
         probe_stats,
     } = parts;
     let errors_preserved = oracle.preserves_failure(&reduced);
     let still_valid = lbr_classfile::verify_program(&reduced).is_empty();
     Ok(ReductionReport {
-        strategy: Strategy::Logical(msa).name(),
+        strategy: strategy.name(),
         initial,
         final_metrics: SizeMetrics::of(&reduced),
         predicate_calls: calls,
-        cache_hits,
-        cache_misses,
         probe_stats,
         wall_secs: start.elapsed().as_secs_f64(),
-        modeled_secs: calls as f64 * cost_per_call_secs,
+        modeled_secs: calls as f64 * cost,
         trace,
         model_stats,
         reduced,
         errors_preserved,
         still_valid,
     })
-}
-
-fn run_logical_hooked(
-    program: &Program,
-    oracle: &DecompilerOracle,
-    msa: MsaStrategy,
-    order_kind: OrderKind,
-    cost: f64,
-    options: &RunOptions,
-    mut hooks: ServiceHooks<'_>,
-) -> Result<RunParts, PipelineError> {
-    let model: LogicalModel = build_model(program)?;
-    let stats = model.stats();
-    let order = match order_kind {
-        OrderKind::ClosureSize => closure_size_order(&model.cnf),
-        OrderKind::Natural => lbr_core::natural_order(&model.cnf),
-    };
-    let instance = Instance::over_all_vars(model.cnf.clone());
-    let registry = &model.registry;
-    let config = GbrConfig {
-        msa_strategy: msa,
-        propagation: options.propagation,
-        ..GbrConfig::default()
-    };
-    let mut control = GbrControl {
-        cancel: hooks.cancel,
-        checkpoint: hooks.checkpoint.take(),
-        resume: hooks.resume.take(),
-    };
-    if options.probe_threads > 1 {
-        // Speculative parallel probing: the scheduler's concurrent memo
-        // subsumes the oracle memo (distinct demanded subsets run the tool
-        // once either way), so the same deterministic hit/miss counts come
-        // back in the stats.
-        let probe = CandidateProbe {
-            program,
-            registry,
-            oracle,
-            latency_micros: options.probe_latency_micros,
-            external_cache: hooks.cache,
-        };
-        let spec = SpeculationConfig {
-            threads: options.probe_threads,
-            width: 0,
-            cost_per_call_secs: cost,
-        };
-        let run = generalized_binary_reduction_speculative_controlled(
-            &instance,
-            &order,
-            &probe,
-            &config,
-            &spec,
-            &mut control,
-        )?;
-        let reduced = reduce_program(program, registry, &run.outcome.solution);
-        return Ok(RunParts {
-            reduced,
-            calls: run.stats.useful_calls,
-            trace: run.trace,
-            model_stats: Some(stats),
-            cache_hits: run.stats.memo_hits,
-            cache_misses: run.stats.memo_misses,
-            probe_stats: run.stats,
-        });
-    }
-    let last_bytes = Cell::new(0u64);
-    let external = hooks.cache;
-    let mut predicate = |keep: &VarSet| {
-        // The external cache replaces the *tool run* only: latency is not
-        // emulated on a hit (that is the point of a persistent cache), and
-        // the per-run accounting above this closure never sees it.
-        if let Some(probe) = external.and_then(|c| c.lookup(keep)) {
-            last_bytes.set(probe.size);
-            return probe.outcome;
-        }
-        let candidate = reduce_program(program, registry, keep);
-        emulate_tool_latency(options.probe_latency_micros);
-        let outcome = oracle.preserves_failure(&candidate);
-        let size = program_byte_size(&candidate) as u64;
-        last_bytes.set(size);
-        if let Some(cache) = external {
-            cache.store(keep, Probe { outcome, size });
-        }
-        outcome
-    };
-    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
-    let outcome =
-        generalized_binary_reduction_controlled(&instance, &order, &mut wrapped, &config, &mut control)?;
-    let calls = wrapped.calls();
-    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
-    let trace = wrapped.into_trace();
-    let reduced = reduce_program(program, registry, &outcome.solution);
-    Ok(RunParts {
-        reduced,
-        calls,
-        trace,
-        model_stats: Some(stats),
-        cache_hits,
-        cache_misses,
-        probe_stats: sequential_probe_stats(calls, cache_hits, cache_misses),
-    })
-}
-
-fn run_logical_minimized(
-    program: &Program,
-    oracle: &DecompilerOracle,
-    cost: f64,
-    options: &RunOptions,
-) -> Result<RunParts, PipelineError> {
-    let model: LogicalModel = build_model(program)?;
-    let stats = model.stats();
-    let order = closure_size_order(&model.cnf);
-    let instance = Instance::over_all_vars(model.cnf.clone());
-    let registry = &model.registry;
-    let last_bytes = Cell::new(0u64);
-    let mut predicate = |keep: &VarSet| {
-        let candidate = reduce_program(program, registry, keep);
-        last_bytes.set(program_byte_size(&candidate) as u64);
-        emulate_tool_latency(options.probe_latency_micros);
-        oracle.preserves_failure(&candidate)
-    };
-    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
-    let config = GbrConfig {
-        propagation: options.propagation,
-        ..GbrConfig::default()
-    };
-    let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;
-    let (minimized, _stats) =
-        lbr_core::minimize_solution(&instance, &order, &mut wrapped, &outcome.solution);
-    let calls = wrapped.calls();
-    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
-    let trace = wrapped.into_trace();
-    let reduced = reduce_program(program, registry, &minimized);
-    Ok(RunParts {
-        reduced,
-        calls,
-        trace,
-        model_stats: Some(stats),
-        cache_hits,
-        cache_misses,
-        probe_stats: sequential_probe_stats(calls, cache_hits, cache_misses),
-    })
-}
-
-fn run_jreduce(
-    program: &Program,
-    oracle: &DecompilerOracle,
-    cost: f64,
-    options: &RunOptions,
-) -> Result<RunParts, PipelineError> {
-    let cg = ClassGraph::new(program);
-    let last_bytes = Cell::new(0u64);
-    let mut predicate = |keep: &VarSet| {
-        let candidate = cg.subset_program(program, keep);
-        last_bytes.set(program_byte_size(&candidate) as u64);
-        emulate_tool_latency(options.probe_latency_micros);
-        oracle.preserves_failure(&candidate)
-    };
-    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
-    let outcome = binary_reduction(&cg.graph, &mut wrapped)?;
-    let calls = wrapped.calls();
-    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
-    let trace = wrapped.into_trace();
-    let reduced = cg.subset_program(program, &outcome.solution);
-    Ok(RunParts {
-        reduced,
-        calls,
-        trace,
-        model_stats: None,
-        cache_hits,
-        cache_misses,
-        probe_stats: sequential_probe_stats(calls, cache_hits, cache_misses),
-    })
-}
-
-fn run_lossy(
-    program: &Program,
-    oracle: &DecompilerOracle,
-    pick: LossyPick,
-    cost: f64,
-    options: &RunOptions,
-) -> Result<RunParts, PipelineError> {
-    let model = build_model(program)?;
-    let stats = model.stats();
-    let order = closure_size_order(&model.cnf);
-    let lg = lossy_graph(&model.cnf, &order, pick).ok_or(PipelineError::LossyContradiction)?;
-    if !lg.forbidden.is_empty() {
-        // Our models generate no purely negative clauses, so a non-empty
-        // forbidden set indicates a contradictory encoding.
-        return Err(PipelineError::LossyContradiction);
-    }
-    let graph: DepGraph = lg.graph;
-    let registry = &model.registry;
-    let last_bytes = Cell::new(0u64);
-    let mut predicate = |keep: &VarSet| {
-        let candidate = reduce_program(program, registry, keep);
-        last_bytes.set(program_byte_size(&candidate) as u64);
-        emulate_tool_latency(options.probe_latency_micros);
-        oracle.preserves_failure(&candidate)
-    };
-    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
-    let outcome = binary_reduction(&graph, &mut wrapped)?;
-    let calls = wrapped.calls();
-    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
-    let trace = wrapped.into_trace();
-    let reduced = reduce_program(program, registry, &outcome.solution);
-    Ok(RunParts {
-        reduced,
-        calls,
-        trace,
-        model_stats: Some(stats),
-        cache_hits,
-        cache_misses,
-        probe_stats: sequential_probe_stats(calls, cache_hits, cache_misses),
-    })
-}
-
-fn run_ddmin(
-    program: &Program,
-    oracle: &DecompilerOracle,
-    cost: f64,
-    options: &RunOptions,
-) -> Result<RunParts, PipelineError> {
-    let model = build_model(program)?;
-    let stats = model.stats();
-    let registry = &model.registry;
-    let n = registry.len();
-    let atoms: Vec<VarSet> = (0..n as u32)
-        .map(|i| VarSet::from_iter_with_universe(n, [lbr_logic::Var::new(i)]))
-        .collect();
-    let cnf = &model.cnf;
-    let mut trace = ReductionTrace::new();
-    let mut calls = 0u64;
-    let start = Instant::now();
-    let (solution, _stats) = ddmin(&atoms, n, |keep| {
-        if !cnf.eval(keep) {
-            return TestOutcome::Unresolved; // invalid — "don't know"
-        }
-        calls += 1;
-        let candidate = reduce_program(program, registry, keep);
-        emulate_tool_latency(options.probe_latency_micros);
-        let ok = oracle.preserves_failure(&candidate);
-        trace.record(
-            calls,
-            start.elapsed().as_secs_f64(),
-            calls as f64 * cost,
-            program_byte_size(&candidate) as u64,
-            ok,
-        );
-        if ok {
-            TestOutcome::Fail
-        } else {
-            TestOutcome::Pass
-        }
-    });
-    let reduced = reduce_program(program, registry, &solution);
-    Ok(RunParts {
-        reduced,
-        calls,
-        trace,
-        model_stats: Some(stats),
-        cache_hits: 0,
-        cache_misses: 0,
-        probe_stats: sequential_probe_stats(calls, 0, 0),
-    })
-}
-
-/// The result of a per-error reduction sweep.
-#[derive(Debug, Clone)]
-pub struct PerErrorReport {
-    /// One `(error message, reduced size)` row per distinct baseline
-    /// error, in message order.
-    pub errors: Vec<(String, SizeMetrics)>,
-    /// The traces of all searches, concatenated sequentially (the way the
-    /// paper's long-running cases accumulate "951 decompilations …").
-    pub combined_trace: ReductionTrace,
-    /// Total predicate invocations across all searches.
-    pub total_calls: u64,
-    /// Probes answered by the shared error cache without re-running the
-    /// tool. The searches all start from the same instance, so every
-    /// search after the first begins with guaranteed hits.
-    pub cache_hits: u64,
-    /// Probes that actually decompiled a candidate.
-    pub cache_misses: u64,
-}
-
-impl PerErrorReport {
-    /// Fraction of probes served from the cache (`0.0` when disabled).
-    pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / total as f64
-        }
-    }
 }
 
 /// Reduces once *per distinct baseline error* — the paper's observation
@@ -862,7 +414,7 @@ impl PerErrorReport {
 ///
 /// # Errors
 ///
-/// See [`PipelineError`]; an individual search that fails is skipped.
+/// See [`PipelineError`].
 pub fn run_per_error(
     program: &Program,
     oracle: &DecompilerOracle,
@@ -889,171 +441,7 @@ pub fn run_per_error_with(
     cost_per_call_secs: f64,
     options: &RunOptions,
 ) -> Result<PerErrorReport, PipelineError> {
-    if !oracle.is_failing() {
-        return Err(PipelineError::NotFailing);
-    }
-    let model = build_model(program)?;
-    let order = closure_size_order(&model.cnf);
-    let instance = Instance::over_all_vars(model.cnf.clone());
-    let registry = &model.registry;
-    if options.probe_threads > 1 {
-        return run_per_error_parallel(
-            program,
-            oracle,
-            cost_per_call_secs,
-            options,
-            &order,
-            &instance,
-            registry,
-        );
-    }
-    // Shared across searches: keep-set → (error messages, candidate bytes).
-    type ErrorCache = HashMap<VarSet, (std::collections::BTreeSet<String>, u64)>;
-    let cache: RefCell<ErrorCache> = RefCell::new(HashMap::new());
-    let hits = Cell::new(0u64);
-    let misses = Cell::new(0u64);
-    let probe = |keep: &VarSet| -> (u64, std::collections::BTreeSet<String>) {
-        if options.memoize {
-            if let Some((errors, bytes)) = cache.borrow().get(keep) {
-                hits.set(hits.get() + 1);
-                return (*bytes, errors.clone());
-            }
-        }
-        let candidate = reduce_program(program, registry, keep);
-        emulate_tool_latency(options.probe_latency_micros);
-        let errors = oracle.errors(&candidate);
-        let bytes = program_byte_size(&candidate) as u64;
-        if options.memoize {
-            misses.set(misses.get() + 1);
-            cache
-                .borrow_mut()
-                .insert(keep.clone(), (errors.clone(), bytes));
-        }
-        (bytes, errors)
-    };
-    let mut rows = Vec::new();
-    let mut combined_trace = ReductionTrace::new();
-    let mut total_calls = 0u64;
-    for error in oracle.baseline().clone() {
-        // The probe computes outcome and size together; the size metric
-        // reads the bytes of the probe that just ran instead of probing
-        // again (the oracle measures right after testing).
-        let last_bytes = Cell::new(0u64);
-        let mut predicate = |keep: &VarSet| {
-            let (bytes, errors) = probe(keep);
-            last_bytes.set(bytes);
-            errors.contains(&error)
-        };
-        let mut wrapped = Oracle::new(&mut predicate, cost_per_call_secs)
-            .with_size_metric(|_| last_bytes.get());
-        let config = GbrConfig {
-            propagation: options.propagation,
-            ..GbrConfig::default()
-        };
-        let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;
-        total_calls += wrapped.calls();
-        combined_trace.append_sequential(wrapped.trace());
-        let reduced = reduce_program(program, registry, &outcome.solution);
-        drop(wrapped);
-        rows.push((error.clone(), SizeMetrics::of(&reduced)));
-    }
-    Ok(PerErrorReport {
-        errors: rows,
-        combined_trace,
-        total_calls,
-        cache_hits: hits.get(),
-        cache_misses: misses.get(),
-    })
-}
-
-/// The parallel half of [`run_per_error_with`]: each baseline error's GBR
-/// search is independent, so workers claim error indices atomically and
-/// write results into per-error slots; the report is assembled in baseline
-/// order afterwards, making the output identical to the sequential sweep.
-#[allow(clippy::too_many_arguments)]
-fn run_per_error_parallel(
-    program: &Program,
-    oracle: &DecompilerOracle,
-    cost_per_call_secs: f64,
-    options: &RunOptions,
-    order: &lbr_logic::VarOrder,
-    instance: &Instance,
-    registry: &ItemRegistry,
-) -> Result<PerErrorReport, PipelineError> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    let errors: Vec<String> = oracle.baseline().iter().cloned().collect();
-    // Shared across all searches: keep-set → (error messages, bytes). The
-    // run-once claim discipline makes the hit/miss totals deterministic
-    // (misses = distinct subsets probed) and equal to the sequential
-    // sweep's, where later searches hit what earlier ones cached.
-    let shared: Option<ShardedMemo<(BTreeSet<String>, u64)>> = options
-        .memoize
-        .then(|| ShardedMemo::new(4 * options.probe_threads));
-    type Slot = Result<((String, SizeMetrics), ReductionTrace, u64), PipelineError>;
-    let slots: Vec<Mutex<Option<Slot>>> = errors.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = options.probe_threads.min(errors.len()).max(1);
-    let config = GbrConfig {
-        propagation: options.propagation,
-        ..GbrConfig::default()
-    };
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(error) = errors.get(i) else {
-                    break;
-                };
-                let run_probe = |keep: &VarSet| {
-                    let candidate = reduce_program(program, registry, keep);
-                    emulate_tool_latency(options.probe_latency_micros);
-                    (oracle.errors(&candidate), program_byte_size(&candidate) as u64)
-                };
-                let last_bytes = Cell::new(0u64);
-                let mut predicate = |keep: &VarSet| {
-                    let (errs, bytes) = match &shared {
-                        Some(memo) => memo.get_or_compute(keep, || run_probe(keep)),
-                        None => run_probe(keep),
-                    };
-                    last_bytes.set(bytes);
-                    errs.contains(error)
-                };
-                let mut wrapped = Oracle::new(&mut predicate, cost_per_call_secs)
-                    .with_size_metric(|_| last_bytes.get());
-                let outcome =
-                    generalized_binary_reduction(instance, order, &mut wrapped, &config);
-                let slot: Slot = outcome.map_err(PipelineError::from).map(|out| {
-                    let reduced = reduce_program(program, registry, &out.solution);
-                    (
-                        (error.clone(), SizeMetrics::of(&reduced)),
-                        wrapped.trace().clone(),
-                        wrapped.calls(),
-                    )
-                });
-                *slots[i].lock().expect("per-error slot") = Some(slot);
-            });
-        }
-    });
-    let mut rows = Vec::new();
-    let mut combined_trace = ReductionTrace::new();
-    let mut total_calls = 0u64;
-    for slot in slots {
-        let (row, trace, calls) = slot
-            .into_inner()
-            .expect("per-error slot")
-            .expect("worker wrote slot")?;
-        rows.push(row);
-        combined_trace.append_sequential(&trace);
-        total_calls += calls;
-    }
-    Ok(PerErrorReport {
-        errors: rows,
-        combined_trace,
-        total_calls,
-        cache_hits: shared.as_ref().map_or(0, |m| m.hits()),
-        cache_misses: shared.as_ref().map_or(0, |m| m.misses()),
-    })
+    per_error::run_sweep(program, oracle, cost_per_call_secs, options)
 }
 
 /// Convenience: run a strategy and panic-free assert the soundness bits
@@ -1080,446 +468,4 @@ pub fn check_report(report: &ReductionReport) -> Result<(), String> {
     lbr_classfile::round_trip_verify(&report.reduced)
         .map_err(|e| format!("{}: round-trip check failed: {e}", report.strategy))?;
     Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use lbr_classfile::{
-        ClassFile, Code, Insn, MethodDescriptor, MethodInfo, MethodRef, Type,
-    };
-    use lbr_decompiler::{BugKind, BugSet};
-
-    fn ctor() -> MethodInfo {
-        MethodInfo::new(
-            "<init>",
-            MethodDescriptor::void(),
-            Code::new(1, 1, vec![Insn::Return]),
-        )
-    }
-
-    /// A benchmark with one cast-to-interface bug plus unrelated classes
-    /// that a good reducer should drop.
-    fn benchmark() -> Program {
-        let mut i = ClassFile::new_interface("I");
-        i.methods
-            .push(MethodInfo::new_abstract("m", MethodDescriptor::void()));
-        let mut a = ClassFile::new_class("A");
-        a.interfaces.push("I".into());
-        a.methods.push(ctor());
-        // A realistic body: stubbing it out should save real bytes.
-        let mut chunky = vec![];
-        for k in 0..20 {
-            chunky.push(Insn::IConst(k));
-            chunky.push(Insn::Pop);
-        }
-        chunky.push(Insn::Return);
-        a.methods.push(MethodInfo::new(
-            "m",
-            MethodDescriptor::void(),
-            Code::new(1, 1, chunky),
-        ));
-        a.methods.push(MethodInfo::new(
-            "trigger",
-            MethodDescriptor::void(),
-            Code::new(
-                2,
-                1,
-                vec![
-                    Insn::ALoad(0),
-                    Insn::CheckCast("I".into()),
-                    Insn::InvokeInterface(MethodRef::new("I", "m", MethodDescriptor::void())),
-                    Insn::Return,
-                ],
-            ),
-        ));
-        // Unrelated ballast classes.
-        let mut ballast = Vec::new();
-        for k in 0..6 {
-            let mut c = ClassFile::new_class(format!("Ballast{k}"));
-            c.methods.push(ctor());
-            c.methods.push(MethodInfo::new(
-                "use",
-                MethodDescriptor::new(vec![Type::reference("A")], None),
-                Code::new(1, 2, vec![Insn::Return]),
-            ));
-            ballast.push(c);
-        }
-        let mut p: Program = [i, a].into_iter().collect();
-        for b in ballast {
-            p.insert(b);
-        }
-        p
-    }
-
-    #[test]
-    fn logical_beats_jreduce_on_the_benchmark() {
-        let p = benchmark();
-        assert!(lbr_classfile::verify_program(&p).is_empty());
-        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-        assert!(oracle.is_failing());
-        let logical = run_reduction(
-            &p,
-            &oracle,
-            Strategy::Logical(MsaStrategy::GreedyClosure),
-            0.0,
-        )
-        .expect("logical runs");
-        check_report(&logical).expect("logical sound");
-        let jreduce =
-            run_reduction(&p, &oracle, Strategy::JReduce, 0.0).expect("jreduce runs");
-        check_report(&jreduce).expect("jreduce sound");
-        assert!(
-            logical.final_metrics.bytes <= jreduce.final_metrics.bytes,
-            "logical ({}) must be at least as small as jreduce ({})",
-            logical.final_metrics.bytes,
-            jreduce.final_metrics.bytes
-        );
-        // The ballast must be gone in both.
-        assert!(logical.reduced.get("Ballast0").is_none());
-        assert!(jreduce.reduced.get("Ballast0").is_none());
-        // Logical keeps A but can strip its unused parts.
-        assert!(logical.reduced.get("A").is_some());
-    }
-
-    #[test]
-    fn lossy_variants_run_and_are_sound() {
-        let p = benchmark();
-        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-        for pick in [LossyPick::FirstFirst, LossyPick::LastLast] {
-            let report =
-                run_reduction(&p, &oracle, Strategy::Lossy(pick), 0.0).expect("lossy runs");
-            check_report(&report).unwrap_or_else(|e| panic!("{e}"));
-        }
-    }
-
-    #[test]
-    fn ddmin_runs_and_is_sound() {
-        let p = benchmark();
-        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-        let report =
-            run_reduction(&p, &oracle, Strategy::DdminItems, 0.0).expect("ddmin runs");
-        check_report(&report).unwrap_or_else(|e| panic!("{e}"));
-    }
-
-    #[test]
-    fn not_failing_is_an_error() {
-        let p = benchmark();
-        let oracle = DecompilerOracle::new(&p, BugSet::none());
-        let err = run_reduction(&p, &oracle, Strategy::JReduce, 0.0).unwrap_err();
-        assert!(matches!(err, PipelineError::NotFailing));
-    }
-
-    #[test]
-    fn performance_options_do_not_change_results() {
-        let p = benchmark();
-        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-        for strategy in [
-            Strategy::Logical(MsaStrategy::GreedyClosure),
-            Strategy::LogicalMinimized,
-            Strategy::JReduce,
-            Strategy::Lossy(LossyPick::FirstFirst),
-        ] {
-            let fast = run_reduction_with(&p, &oracle, strategy, 33.0, &RunOptions::default())
-                .expect("default options");
-            let slow = run_reduction_with(&p, &oracle, strategy, 33.0, &RunOptions::legacy())
-                .expect("legacy options");
-            assert_eq!(fast.final_metrics, slow.final_metrics, "{strategy:?}");
-            assert_eq!(fast.predicate_calls, slow.predicate_calls, "{strategy:?}");
-            assert_eq!(
-                fast.cache_hits + fast.cache_misses,
-                fast.predicate_calls,
-                "{strategy:?}: every probe is a hit or a miss"
-            );
-            assert_eq!(slow.cache_hits, 0, "{strategy:?}");
-            assert_eq!(slow.cache_misses, 0, "{strategy:?}");
-        }
-    }
-
-    /// The benchmark extended with an unrelated second bug (a static call
-    /// that decompiles to a ghost receiver) so the baseline has two
-    /// distinct error messages.
-    fn two_bug_benchmark() -> Program {
-        let mut p = benchmark();
-        let mut util = ClassFile::new_class("Util");
-        util.methods.push(ctor());
-        let mut helper = MethodInfo::new(
-            "helper",
-            MethodDescriptor::void(),
-            Code::new(1, 1, vec![Insn::Return]),
-        );
-        helper.flags |= lbr_classfile::Flags::STATIC;
-        util.methods.push(helper);
-        util.methods.push(MethodInfo::new(
-            "go",
-            MethodDescriptor::void(),
-            Code::new(
-                1,
-                1,
-                vec![
-                    Insn::InvokeStatic(MethodRef::new("Util", "helper", MethodDescriptor::void())),
-                    Insn::Return,
-                ],
-            ),
-        ));
-        p.insert(util);
-        p
-    }
-
-    #[test]
-    fn per_error_cache_is_shared_across_searches() {
-        let p = two_bug_benchmark();
-        let oracle = DecompilerOracle::new(
-            &p,
-            BugSet::of(&[BugKind::CastToObject, BugKind::StaticGhostReceiver]),
-        );
-        assert!(
-            oracle.baseline().len() >= 2,
-            "need at least two distinct errors, got {:?}",
-            oracle.baseline()
-        );
-        let cached = run_per_error(&p, &oracle, 0.0).expect("per-error runs");
-        assert_eq!(cached.errors.len(), oracle.baseline().len());
-        assert!(
-            cached.cache_hits > 0,
-            "searches share probes (every search starts from the same D0)"
-        );
-        assert!(cached.cache_hit_rate() > 0.0);
-        // The cache is a pure optimization: identical rows and call counts.
-        let uncached = run_per_error_with(
-            &p,
-            &oracle,
-            0.0,
-            &RunOptions {
-                memoize: false,
-                ..RunOptions::default()
-            },
-        )
-        .expect("per-error runs uncached");
-        assert_eq!(cached.errors, uncached.errors);
-        assert_eq!(cached.total_calls, uncached.total_calls);
-        assert_eq!(uncached.cache_hits, 0);
-        assert_eq!(uncached.cache_misses, 0);
-    }
-
-    #[test]
-    fn probe_threads_do_not_change_results() {
-        let p = benchmark();
-        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-        let sequential = run_reduction_with(
-            &p,
-            &oracle,
-            Strategy::Logical(MsaStrategy::GreedyClosure),
-            33.0,
-            &RunOptions::default(),
-        )
-        .expect("sequential");
-        for threads in [2usize, 4] {
-            let parallel = run_reduction_with(
-                &p,
-                &oracle,
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                33.0,
-                &RunOptions {
-                    probe_threads: threads,
-                    ..RunOptions::default()
-                },
-            )
-            .expect("parallel");
-            assert_eq!(parallel.final_metrics, sequential.final_metrics, "threads={threads}");
-            assert_eq!(
-                parallel.predicate_calls, sequential.predicate_calls,
-                "threads={threads}"
-            );
-            assert_eq!(parallel.cache_hits, sequential.cache_hits, "threads={threads}");
-            assert_eq!(parallel.cache_misses, sequential.cache_misses, "threads={threads}");
-            assert_eq!(
-                parallel.probe_stats.useful_calls,
-                sequential.predicate_calls,
-                "threads={threads}"
-            );
-            assert!((parallel.modeled_secs - sequential.modeled_secs).abs() < 1e-9);
-            // The traces agree on everything but wall-clock timing.
-            assert_eq!(parallel.trace.len(), sequential.trace.len());
-            for (a, b) in parallel.trace.points().iter().zip(sequential.trace.points()) {
-                assert_eq!((a.call, a.size, a.success), (b.call, b.size, b.success));
-                assert!((a.modeled_secs - b.modeled_secs).abs() < 1e-9);
-            }
-        }
-    }
-
-    #[test]
-    fn per_error_parallel_matches_sequential() {
-        let p = two_bug_benchmark();
-        let oracle = DecompilerOracle::new(
-            &p,
-            BugSet::of(&[BugKind::CastToObject, BugKind::StaticGhostReceiver]),
-        );
-        let sequential =
-            run_per_error_with(&p, &oracle, 33.0, &RunOptions::default()).expect("sequential");
-        for threads in [2usize, 4] {
-            let parallel = run_per_error_with(
-                &p,
-                &oracle,
-                33.0,
-                &RunOptions {
-                    probe_threads: threads,
-                    ..RunOptions::default()
-                },
-            )
-            .expect("parallel");
-            assert_eq!(parallel.errors, sequential.errors, "threads={threads}");
-            assert_eq!(parallel.total_calls, sequential.total_calls, "threads={threads}");
-            assert_eq!(parallel.cache_hits, sequential.cache_hits, "threads={threads}");
-            assert_eq!(
-                parallel.cache_misses, sequential.cache_misses,
-                "threads={threads}"
-            );
-        }
-    }
-
-    /// An in-memory [`ProbeCache`] for tests (the disk-backed one lives in
-    /// the service crate).
-    #[derive(Default)]
-    struct MemCache {
-        map: std::sync::Mutex<HashMap<VarSet, Probe>>,
-        hits: std::sync::atomic::AtomicU64,
-    }
-
-    impl ProbeCache for MemCache {
-        fn lookup(&self, key: &VarSet) -> Option<Probe> {
-            let got = self.map.lock().unwrap().get(key).copied();
-            if got.is_some() {
-                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            }
-            got
-        }
-        fn store(&self, key: &VarSet, probe: Probe) {
-            self.map.lock().unwrap().insert(key.clone(), probe);
-        }
-    }
-
-    #[test]
-    fn resumable_matches_plain_run_and_warm_cache_is_invisible() {
-        let p = benchmark();
-        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-        let plain = run_reduction_with(
-            &p,
-            &oracle,
-            Strategy::Logical(MsaStrategy::GreedyClosure),
-            33.0,
-            &RunOptions::default(),
-        )
-        .expect("plain");
-        let cache = MemCache::default();
-        for round in 0..2 {
-            // Round 0 fills the cache; round 1 is served warm. Both must be
-            // bit-identical to the plain run in every observable.
-            let hooks = ServiceHooks {
-                cache: Some(&cache),
-                ..ServiceHooks::default()
-            };
-            let run = run_logical_resumable(
-                &p,
-                &oracle,
-                MsaStrategy::GreedyClosure,
-                33.0,
-                &RunOptions::default(),
-                hooks,
-            )
-            .expect("resumable");
-            assert_eq!(run.final_metrics, plain.final_metrics, "round={round}");
-            assert_eq!(run.predicate_calls, plain.predicate_calls, "round={round}");
-            assert_eq!(run.cache_hits, plain.cache_hits, "round={round}");
-            assert_eq!(run.cache_misses, plain.cache_misses, "round={round}");
-            assert_eq!(run.trace.digest(), plain.trace.digest(), "round={round}");
-            assert_eq!(
-                lbr_classfile::write_program(&run.reduced),
-                lbr_classfile::write_program(&plain.reduced),
-                "round={round}"
-            );
-        }
-        assert!(
-            cache.hits.load(std::sync::atomic::Ordering::Relaxed) > 0,
-            "the warm round must actually hit the external cache"
-        );
-    }
-
-    #[test]
-    fn resumable_checkpoint_resume_matches_uninterrupted() {
-        let p = benchmark();
-        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-        let plain = run_reduction_with(
-            &p,
-            &oracle,
-            Strategy::Logical(MsaStrategy::GreedyClosure),
-            33.0,
-            &RunOptions::default(),
-        )
-        .expect("plain");
-        // Cancel after the first checkpoint, then resume from it — with a
-        // shared cache, so the resumed run's replayed probes are warm.
-        let cache = MemCache::default();
-        let taken = std::sync::atomic::AtomicUsize::new(0);
-        let mut saved: Option<lbr_core::GbrCheckpoint> = None;
-        let mut hook = |ck: &lbr_core::GbrCheckpoint| {
-            taken.store(ck.iterations, std::sync::atomic::Ordering::Relaxed);
-            saved = Some(ck.clone());
-        };
-        let cancel = || taken.load(std::sync::atomic::Ordering::Relaxed) >= 1;
-        let err = run_logical_resumable(
-            &p,
-            &oracle,
-            MsaStrategy::GreedyClosure,
-            33.0,
-            &RunOptions::default(),
-            ServiceHooks {
-                cache: Some(&cache),
-                cancel: Some(&cancel),
-                checkpoint: Some(&mut hook),
-                resume: None,
-            },
-        )
-        .expect_err("cancelled");
-        assert!(matches!(err, PipelineError::Gbr(GbrError::Cancelled)));
-        let ck = saved.expect("checkpoint taken");
-        let resumed = run_logical_resumable(
-            &p,
-            &oracle,
-            MsaStrategy::GreedyClosure,
-            33.0,
-            &RunOptions::default(),
-            ServiceHooks {
-                cache: Some(&cache),
-                resume: Some(ck),
-                ..ServiceHooks::default()
-            },
-        )
-        .expect("resumed run completes");
-        assert_eq!(resumed.final_metrics, plain.final_metrics);
-        assert_eq!(
-            lbr_classfile::write_program(&resumed.reduced),
-            lbr_classfile::write_program(&plain.reduced)
-        );
-        assert!(resumed.errors_preserved && resumed.still_valid);
-    }
-
-    #[test]
-    fn modeled_time_tracks_calls() {
-        let p = benchmark();
-        let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-        let report = run_reduction(
-            &p,
-            &oracle,
-            Strategy::Logical(MsaStrategy::GreedyClosure),
-            33.0,
-        )
-        .expect("runs");
-        assert!(report.predicate_calls > 0);
-        assert!(
-            (report.modeled_secs - report.predicate_calls as f64 * 33.0).abs() < 1e-9
-        );
-        assert!(report.relative_bytes() <= 1.0);
-        assert!(report.relative_classes() <= 1.0);
-    }
 }

@@ -1,0 +1,155 @@
+//! The evaluated baselines: J-Reduce's class-graph Binary Reduction, the
+//! lossy graph encodings, and validity-filtered ddmin.
+
+use crate::classgraph::ClassGraph;
+use crate::model::build_model;
+use crate::pipeline::probe::{wrap_oracle, CandidateProbe, RunParts};
+use crate::pipeline::{PipelineError, RunOptions};
+use crate::reducer::reduce_program;
+use lbr_classfile::Program;
+use lbr_core::{
+    binary_reduction, closure_size_order, ddmin, lossy_graph, ConcurrentPredicate, DepGraph,
+    LatencyLayer, LossyPick, OracleStack, ProbeStats, ReductionTrace, TestOutcome,
+};
+use lbr_decompiler::DecompilerOracle;
+use lbr_logic::VarSet;
+use std::cell::Cell;
+use std::time::Instant;
+
+/// The J-Reduce baseline: class graph + Binary Reduction over closures.
+pub(crate) fn run_jreduce(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    cost: f64,
+    options: &RunOptions,
+) -> Result<RunParts, PipelineError> {
+    let cg = ClassGraph::new(program);
+    let materialize = |keep: &VarSet| cg.subset_program(program, keep);
+    let base = CandidateProbe {
+        materialize: &materialize,
+        oracle,
+    };
+    let latency = LatencyLayer::new(options.probe_latency_micros);
+    let stack = OracleStack::new(&base).with(&latency);
+    let last_bytes = Cell::new(0u64);
+    let mut predicate = |keep: &VarSet| {
+        let probe = stack.probe(keep);
+        last_bytes.set(probe.size);
+        probe.outcome
+    };
+    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
+    let outcome = binary_reduction(&cg.graph, &mut wrapped)?;
+    let calls = wrapped.calls();
+    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
+    let trace = wrapped.into_trace();
+    let reduced = cg.subset_program(program, &outcome.solution);
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: None,
+        probe_stats: ProbeStats::sequential(calls, cache_hits, cache_misses),
+    })
+}
+
+/// A lossy encoding of the logical model + Binary Reduction.
+pub(crate) fn run_lossy(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    pick: LossyPick,
+    cost: f64,
+    options: &RunOptions,
+) -> Result<RunParts, PipelineError> {
+    let model = build_model(program)?;
+    let stats = model.stats();
+    let order = closure_size_order(&model.cnf);
+    let lg = lossy_graph(&model.cnf, &order, pick).ok_or(PipelineError::LossyContradiction)?;
+    if !lg.forbidden.is_empty() {
+        // Our models generate no purely negative clauses, so a non-empty
+        // forbidden set indicates a contradictory encoding.
+        return Err(PipelineError::LossyContradiction);
+    }
+    let graph: DepGraph = lg.graph;
+    let registry = &model.registry;
+    let materialize = |keep: &VarSet| reduce_program(program, registry, keep);
+    let base = CandidateProbe {
+        materialize: &materialize,
+        oracle,
+    };
+    let latency = LatencyLayer::new(options.probe_latency_micros);
+    let stack = OracleStack::new(&base).with(&latency);
+    let last_bytes = Cell::new(0u64);
+    let mut predicate = |keep: &VarSet| {
+        let probe = stack.probe(keep);
+        last_bytes.set(probe.size);
+        probe.outcome
+    };
+    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
+    let outcome = binary_reduction(&graph, &mut wrapped)?;
+    let calls = wrapped.calls();
+    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
+    let trace = wrapped.into_trace();
+    let reduced = reduce_program(program, registry, &outcome.solution);
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: Some(stats),
+        probe_stats: ProbeStats::sequential(calls, cache_hits, cache_misses),
+    })
+}
+
+/// ddmin over items with a validity filter: invalid candidates answer
+/// "don't know" without running (or counting) a tool invocation.
+pub(crate) fn run_ddmin(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    cost: f64,
+    options: &RunOptions,
+) -> Result<RunParts, PipelineError> {
+    let model = build_model(program)?;
+    let stats = model.stats();
+    let registry = &model.registry;
+    let n = registry.len();
+    let atoms: Vec<VarSet> = (0..n as u32)
+        .map(|i| VarSet::from_iter_with_universe(n, [lbr_logic::Var::new(i)]))
+        .collect();
+    let cnf = &model.cnf;
+    let materialize = |keep: &VarSet| reduce_program(program, registry, keep);
+    let base = CandidateProbe {
+        materialize: &materialize,
+        oracle,
+    };
+    let latency = LatencyLayer::new(options.probe_latency_micros);
+    let stack = OracleStack::new(&base).with(&latency);
+    let mut trace = ReductionTrace::new();
+    let mut calls = 0u64;
+    let start = Instant::now();
+    let (solution, _stats) = ddmin(&atoms, n, |keep| {
+        if !cnf.eval(keep) {
+            return TestOutcome::Unresolved; // invalid — "don't know"
+        }
+        calls += 1;
+        let probe = stack.probe(keep);
+        trace.record(
+            calls,
+            start.elapsed().as_secs_f64(),
+            calls as f64 * cost,
+            probe.size,
+            probe.outcome,
+        );
+        if probe.outcome {
+            TestOutcome::Fail
+        } else {
+            TestOutcome::Pass
+        }
+    });
+    let reduced = reduce_program(program, registry, &solution);
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: Some(stats),
+        probe_stats: ProbeStats::sequential(calls, 0, 0),
+    })
+}

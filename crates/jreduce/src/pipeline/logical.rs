@@ -1,0 +1,207 @@
+//! The paper's reducer: logical model + Generalized Binary Reduction,
+//! with optional service hooks (external cache, cancellation,
+//! checkpoint/resume) and the minimization postpass variant.
+
+use crate::model::{build_model, LogicalModel};
+use crate::pipeline::probe::{wrap_oracle, CandidateProbe, OrderKind, RunParts};
+use crate::pipeline::{PipelineError, RunOptions};
+use crate::reducer::reduce_program;
+use lbr_classfile::Program;
+use lbr_core::{
+    closure_size_order, generalized_binary_reduction, generalized_binary_reduction_controlled,
+    generalized_binary_reduction_speculative_controlled, CacheLayer, ConcurrentPredicate,
+    GbrCheckpoint, GbrConfig, GbrControl, Instance, LatencyLayer, OracleStack, ProbeCache,
+    ProbeStats, SpeculationConfig,
+};
+use lbr_decompiler::DecompilerOracle;
+use lbr_logic::{MsaStrategy, VarSet};
+use std::cell::Cell;
+
+/// Long-running-service hooks for a logical reduction run: an external
+/// probe cache, cooperative cancellation, and checkpoint/resume. The
+/// default value is inert, making [`run_logical_resumable`] equivalent to
+/// [`run_reduction_with`] on [`Strategy::Logical`].
+///
+/// All four hooks preserve the pipeline's determinism contract:
+///
+/// * `cache` sits beneath every per-run counter — a hit replaces only the
+///   tool invocation, so verdicts, sizes, call counts, and traces are
+///   bit-identical whether it is cold, warm, or absent.
+/// * `cancel`/`checkpoint`/`resume` snapshot and restore the GBR loop
+///   between probes; a resumed run converges to the same solution as an
+///   uninterrupted one (its *trace* covers only the probes demanded after
+///   the resume point — replays of the interrupted iteration's tail,
+///   which a warm cache answers without tool runs).
+///
+/// [`run_logical_resumable`]: crate::run_logical_resumable
+/// [`run_reduction_with`]: crate::run_reduction_with
+/// [`Strategy::Logical`]: crate::Strategy::Logical
+#[derive(Default)]
+pub struct ServiceHooks<'h> {
+    /// Probe cache shared across runs of the *same* program + oracle
+    /// (callers must namespace keys; the keep-set alone is not unique).
+    pub cache: Option<&'h dyn ProbeCache>,
+    /// Polled between probes; `true` aborts with
+    /// [`PipelineError::Gbr`]([`lbr_core::GbrError::Cancelled`]).
+    pub cancel: Option<&'h (dyn Fn() -> bool + Sync)>,
+    /// Invoked with a resumable snapshot after every GBR iteration.
+    pub checkpoint: Option<&'h mut dyn FnMut(&GbrCheckpoint)>,
+    /// Continue a previous run from its last checkpoint.
+    pub resume: Option<GbrCheckpoint>,
+}
+
+impl std::fmt::Debug for ServiceHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHooks")
+            .field("cache", &self.cache.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("checkpoint", &self.checkpoint.is_some())
+            .field("resume", &self.resume)
+            .finish()
+    }
+}
+
+/// GBR over the logical model. The oracle middleware is assembled here:
+/// `[cache?, latency]` over the base candidate probe, beneath the per-run
+/// memo/trace bookkeeping of either the sequential [`lbr_core::Oracle`]
+/// or the speculative scheduler — so cache hits never sleep and memoized
+/// repeats never reach the stack at all.
+pub(crate) fn run_hooked(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    msa: MsaStrategy,
+    order_kind: OrderKind,
+    cost: f64,
+    options: &RunOptions,
+    mut hooks: ServiceHooks<'_>,
+) -> Result<RunParts, PipelineError> {
+    let model: LogicalModel = build_model(program)?;
+    let stats = model.stats();
+    let order = match order_kind {
+        OrderKind::ClosureSize => closure_size_order(&model.cnf),
+        OrderKind::Natural => lbr_core::natural_order(&model.cnf),
+    };
+    let instance = Instance::over_all_vars(model.cnf.clone());
+    let registry = &model.registry;
+    let config = GbrConfig {
+        msa_strategy: msa,
+        propagation: options.propagation,
+        ..GbrConfig::default()
+    };
+    let mut control = GbrControl {
+        cancel: hooks.cancel,
+        checkpoint: hooks.checkpoint.take(),
+        resume: hooks.resume.take(),
+    };
+    let materialize = |keep: &VarSet| reduce_program(program, registry, keep);
+    let base = CandidateProbe {
+        materialize: &materialize,
+        oracle,
+    };
+    let cache_layer = hooks.cache.map(CacheLayer::new);
+    let latency = LatencyLayer::new(options.probe_latency_micros);
+    let mut stack = OracleStack::new(&base);
+    if let Some(layer) = &cache_layer {
+        stack.push(layer);
+    }
+    stack.push(&latency);
+    if options.probe_threads > 1 {
+        // Speculative parallel probing: the scheduler's concurrent memo
+        // subsumes the oracle memo (distinct demanded subsets run the tool
+        // once either way), so the same deterministic hit/miss counts come
+        // back in the stats.
+        let spec = SpeculationConfig {
+            threads: options.probe_threads,
+            width: 0,
+            cost_per_call_secs: cost,
+        };
+        let run = generalized_binary_reduction_speculative_controlled(
+            &instance,
+            &order,
+            &stack,
+            &config,
+            &spec,
+            &mut control,
+        )?;
+        let reduced = reduce_program(program, registry, &run.outcome.solution);
+        return Ok(RunParts {
+            reduced,
+            calls: run.stats.useful_calls,
+            trace: run.trace,
+            model_stats: Some(stats),
+            probe_stats: run.stats,
+        });
+    }
+    let last_bytes = Cell::new(0u64);
+    let mut predicate = |keep: &VarSet| {
+        let probe = stack.probe(keep);
+        last_bytes.set(probe.size);
+        probe.outcome
+    };
+    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
+    let outcome = generalized_binary_reduction_controlled(
+        &instance,
+        &order,
+        &mut wrapped,
+        &config,
+        &mut control,
+    )?;
+    let calls = wrapped.calls();
+    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
+    let trace = wrapped.into_trace();
+    let reduced = reduce_program(program, registry, &outcome.solution);
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: Some(stats),
+        probe_stats: ProbeStats::sequential(calls, cache_hits, cache_misses),
+    })
+}
+
+/// GBR followed by the local-minimization postpass: extra tool runs for a
+/// possibly smaller output.
+pub(crate) fn run_minimized(
+    program: &Program,
+    oracle: &DecompilerOracle,
+    cost: f64,
+    options: &RunOptions,
+) -> Result<RunParts, PipelineError> {
+    let model: LogicalModel = build_model(program)?;
+    let stats = model.stats();
+    let order = closure_size_order(&model.cnf);
+    let instance = Instance::over_all_vars(model.cnf.clone());
+    let registry = &model.registry;
+    let materialize = |keep: &VarSet| reduce_program(program, registry, keep);
+    let base = CandidateProbe {
+        materialize: &materialize,
+        oracle,
+    };
+    let latency = LatencyLayer::new(options.probe_latency_micros);
+    let stack = OracleStack::new(&base).with(&latency);
+    let last_bytes = Cell::new(0u64);
+    let mut predicate = |keep: &VarSet| {
+        let probe = stack.probe(keep);
+        last_bytes.set(probe.size);
+        probe.outcome
+    };
+    let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
+    let config = GbrConfig {
+        propagation: options.propagation,
+        ..GbrConfig::default()
+    };
+    let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;
+    let (minimized, _stats) =
+        lbr_core::minimize_solution(&instance, &order, &mut wrapped, &outcome.solution);
+    let calls = wrapped.calls();
+    let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
+    let trace = wrapped.into_trace();
+    let reduced = reduce_program(program, registry, &minimized);
+    Ok(RunParts {
+        reduced,
+        calls,
+        trace,
+        model_stats: Some(stats),
+        probe_stats: ProbeStats::sequential(calls, cache_hits, cache_misses),
+    })
+}

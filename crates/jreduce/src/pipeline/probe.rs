@@ -1,0 +1,81 @@
+//! The probe path shared by every reduction stage: the base predicate
+//! (materialize a candidate program, run the tool) plus the standard
+//! per-run oracle wrapper.
+//!
+//! Middleware concerns — the cross-run probe cache and emulated tool
+//! latency — are *not* hand-rolled here anymore: stages assemble an
+//! [`OracleStack`](lbr_core::OracleStack) of
+//! [`CacheLayer`](lbr_core::CacheLayer) /
+//! [`LatencyLayer`](lbr_core::LatencyLayer) over [`CandidateProbe`] and
+//! hand the stack to whichever driver they use (the sequential
+//! [`Oracle`], the speculative scheduler, or ddmin).
+
+use crate::model::ModelStats;
+use crate::pipeline::RunOptions;
+use lbr_classfile::{program_byte_size, Program};
+use lbr_core::{ConcurrentPredicate, Oracle, Probe, ProbeStats, ReductionTrace};
+use lbr_decompiler::DecompilerOracle;
+use lbr_logic::VarSet;
+
+/// The base of every oracle stack: builds the candidate program for a
+/// keep-set, tests it against the decompiler oracle, and measures its
+/// bytes — all from borrowed shared state, pure per probe, so many
+/// workers can probe one instance concurrently.
+pub(crate) struct CandidateProbe<'a> {
+    /// Keep-set → candidate program (item-level reducer or class-graph
+    /// subset, depending on the stage).
+    pub materialize: &'a (dyn Fn(&VarSet) -> Program + Sync),
+    pub oracle: &'a DecompilerOracle,
+}
+
+impl ConcurrentPredicate for CandidateProbe<'_> {
+    fn probe(&self, keep: &VarSet) -> Probe {
+        let candidate = (self.materialize)(keep);
+        Probe {
+            outcome: self.oracle.preserves_failure(&candidate),
+            size: program_byte_size(&candidate) as u64,
+        }
+    }
+}
+
+/// Sleeps for the emulated tool-invocation latency (no-op at 0). Probe
+/// paths that flow through an [`lbr_core::OracleStack`] use
+/// [`lbr_core::LatencyLayer`] instead; this free function serves the
+/// per-error sweep, whose probes carry error *sets* rather than [`Probe`]s.
+pub(crate) fn emulate_tool_latency(micros: u64) {
+    if micros > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(micros));
+    }
+}
+
+/// Builds the standard per-run oracle wrapper (size metric + optional
+/// memo) around a keep-set predicate.
+pub(crate) fn wrap_oracle<'p>(
+    predicate: &'p mut dyn lbr_core::Predicate,
+    cost: f64,
+    size_of: impl Fn(&VarSet) -> u64 + 'p,
+    options: &RunOptions,
+) -> Oracle<'p> {
+    let wrapped = Oracle::new(predicate, cost).with_size_metric(size_of);
+    if options.memoize {
+        wrapped.with_memo()
+    } else {
+        wrapped
+    }
+}
+
+/// Which variable order GBR uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OrderKind {
+    ClosureSize,
+    Natural,
+}
+
+/// What a stage hands back to the report assembler.
+pub(crate) struct RunParts {
+    pub reduced: Program,
+    pub calls: u64,
+    pub trace: ReductionTrace,
+    pub model_stats: Option<ModelStats>,
+    pub probe_stats: ProbeStats,
+}

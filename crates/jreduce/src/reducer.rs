@@ -33,9 +33,7 @@ fn reduce_class(class: &ClassFile, reg: &ItemRegistry, keep: &VarSet) -> ClassFi
     // Superclass relation.
     if !class.is_interface() {
         if let Some(sup) = &class.superclass {
-            if sup != OBJECT
-                && !reg.kept(&Item::SuperClass(name.clone(), sup.clone()), keep)
-            {
+            if sup != OBJECT && !reg.kept(&Item::SuperClass(name.clone(), sup.clone()), keep) {
                 reduced.superclass = Some(OBJECT.to_owned());
             }
         }
@@ -67,7 +65,10 @@ fn reduce_class(class: &ClassFile, reg: &ItemRegistry, keep: &VarSet) -> ClassFi
             }
             methods.push(kept_method);
         } else if m.code.is_some() {
-            if !reg.kept(&Item::Method(name.clone(), m.name.clone(), desc.clone()), keep) {
+            if !reg.kept(
+                &Item::Method(name.clone(), m.name.clone(), desc.clone()),
+                keep,
+            ) {
                 continue;
             }
             let mut kept_method = m.clone();
@@ -182,8 +183,15 @@ mod tests {
             &[Item::MethodCode("A".into(), "m".into(), "()V".into())],
         );
         let r = reduce_program(&p, &reg, &keep);
-        let m = r.get("A").unwrap().method("m", &MethodDescriptor::void()).unwrap();
-        assert_eq!(m.code.as_ref().unwrap().insns, vec![Insn::AConstNull, Insn::AThrow]);
+        let m = r
+            .get("A")
+            .unwrap()
+            .method("m", &MethodDescriptor::void())
+            .unwrap();
+        assert_eq!(
+            m.code.as_ref().unwrap().insns,
+            vec![Insn::AConstNull, Insn::AThrow]
+        );
     }
 
     #[test]
@@ -198,7 +206,11 @@ mod tests {
             ],
         );
         let r = reduce_program(&p, &reg, &keep);
-        assert!(r.get("A").unwrap().method("m", &MethodDescriptor::void()).is_none());
+        assert!(r
+            .get("A")
+            .unwrap()
+            .method("m", &MethodDescriptor::void())
+            .is_none());
     }
 
     #[test]

@@ -120,12 +120,18 @@ impl Clause {
 
     /// Iterates the positive literals' variables.
     pub fn positives(&self) -> impl Iterator<Item = Var> + '_ {
-        self.lits.iter().filter(|l| l.is_positive()).map(|l| l.var())
+        self.lits
+            .iter()
+            .filter(|l| l.is_positive())
+            .map(|l| l.var())
     }
 
     /// Iterates the negative literals' variables (the implication body).
     pub fn negatives(&self) -> impl Iterator<Item = Var> + '_ {
-        self.lits.iter().filter(|l| !l.is_positive()).map(|l| l.var())
+        self.lits
+            .iter()
+            .filter(|l| !l.is_positive())
+            .map(|l| l.var())
     }
 
     /// Classifies the clause; see [`ClauseShape`].
@@ -225,7 +231,10 @@ mod tests {
         );
         assert_eq!(
             Clause::edge(v(0), v(1)).shape(),
-            ClauseShape::Edge { from: v(0), to: v(1) }
+            ClauseShape::Edge {
+                from: v(0),
+                to: v(1)
+            }
         );
         assert_eq!(
             Clause::implication([], [v(0), v(1)]).shape(),
@@ -270,7 +279,10 @@ mod tests {
 
     #[test]
     fn implication_builder_matches_edge() {
-        assert_eq!(Clause::implication([v(4)], [v(9)]), Clause::edge(v(4), v(9)));
+        assert_eq!(
+            Clause::implication([v(4)], [v(9)]),
+            Clause::edge(v(4), v(9))
+        );
     }
 
     #[test]

@@ -130,7 +130,11 @@ pub fn count_models_parallel(cnf: &Cnf, threads: usize) -> u128 {
         });
         slots
             .into_iter()
-            .map(|s| s.into_inner().expect("component slot").expect("worker wrote slot"))
+            .map(|s| {
+                s.into_inner()
+                    .expect("component slot")
+                    .expect("worker wrote slot")
+            })
             .collect()
     };
     for sub in subtotals {
@@ -322,7 +326,12 @@ fn condition_clauses(clauses: &[Clause], lit: Lit) -> Option<Vec<Clause>> {
             continue; // satisfied
         }
         if c.lits().contains(&lit.negated()) {
-            let kept: Vec<Lit> = c.lits().iter().copied().filter(|&l| l != lit.negated()).collect();
+            let kept: Vec<Lit> = c
+                .lits()
+                .iter()
+                .copied()
+                .filter(|&l| l != lit.negated())
+                .collect();
             if kept.is_empty() {
                 return None;
             }
@@ -337,7 +346,12 @@ fn condition_clauses(clauses: &[Clause], lit: Lit) -> Option<Vec<Clause>> {
 /// Splits clauses into connected components over shared variables.
 fn components(clauses: &[Clause], vars: &[Var]) -> Vec<(Vec<Clause>, Vec<Var>)> {
     // Union-find over variable indices.
-    let index: HashMap<Var, usize> = vars.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+    let index: HashMap<Var, usize> = vars
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
     let mut parent: Vec<usize> = (0..vars.len()).collect();
     fn find(parent: &mut Vec<usize>, x: usize) -> usize {
         if parent[x] != x {
@@ -541,7 +555,11 @@ mod tests {
         let expected = count_models(&cnf);
         assert_eq!(expected, brute(&cnf));
         for threads in [1, 2, 4, 8] {
-            assert_eq!(count_models_parallel(&cnf, threads), expected, "threads={threads}");
+            assert_eq!(
+                count_models_parallel(&cnf, threads),
+                expected,
+                "threads={threads}"
+            );
         }
         // Degenerate cases.
         assert_eq!(count_models_parallel(&Cnf::new(3), 4), 8);

@@ -15,7 +15,11 @@ pub struct ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -71,13 +75,14 @@ pub fn from_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
                     message: "expected 'p cnf <vars> <clauses>'".into(),
                 });
             }
-            let vars: usize = parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseDimacsError {
-                    line: lineno,
-                    message: "bad variable count".into(),
-                })?;
+            let vars: usize =
+                parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError {
+                        line: lineno,
+                        message: "bad variable count".into(),
+                    })?;
             num_vars = Some(vars);
             cnf.ensure_vars(vars);
             continue;
@@ -140,7 +145,10 @@ mod tests {
         let text = "c a comment\n\np cnf 2 1\nc another\n1 -2 0\n";
         let cnf = from_dimacs(text).expect("parse");
         assert_eq!(cnf.len(), 1);
-        assert_eq!(cnf.clauses()[0], Clause::new(vec![Lit::pos(v(0)), Lit::neg(v(1))]));
+        assert_eq!(
+            cnf.clauses()[0],
+            Clause::new(vec![Lit::pos(v(0)), Lit::neg(v(1))])
+        );
     }
 
     #[test]

@@ -424,9 +424,14 @@ fn violated_pick(engine: &Engine, order: &VarOrder, ci: usize) -> Option<Option<
             return None;
         }
     }
-    Some(order.min(lits.iter().filter(|l| l.is_positive()).map(|l| l.var()).filter(
-        |&v| engine.value(v) != Some(false),
-    )))
+    Some(
+        order.min(
+            lits.iter()
+                .filter(|l| l.is_positive())
+                .map(|l| l.var())
+                .filter(|&v| engine.value(v) != Some(false)),
+        ),
+    )
 }
 
 /// Complete DPLL search from the engine's current state: branches in
@@ -559,8 +564,8 @@ mod tests {
         let mut engine = Engine::new(&cnf, 2);
         assert!(engine.is_ok());
         assert_eq!(engine.value(v(1)), Some(false)); // level-0 fact
-        // ¬v1 and (v0 ⇒ v1) force ¬v0 at level 0 too, so assuming v0
-        // conflicts immediately — and the fact survives backtracking.
+                                                     // ¬v1 and (v0 ⇒ v1) force ¬v0 at level 0 too, so assuming v0
+                                                     // conflicts immediately — and the fact survives backtracking.
         assert_eq!(engine.value(v(0)), Some(false));
         assert!(!engine.assume(Lit::pos(v(0))));
         engine.backtrack(0);
@@ -645,7 +650,11 @@ mod tests {
         let order = VarOrder::natural(3);
         let mut engine = Engine::new(&cnf, 3);
         let m = solve_from_state(&mut engine, &order).expect("sat");
-        assert_eq!(m.iter().collect::<Vec<_>>(), vec![v(2)], "default-false branching");
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            vec![v(2)],
+            "default-false branching"
+        );
         // Conditioning away all positives makes it unsat.
         assert!(engine.assume_all(&[Lit::neg(v(0)), Lit::neg(v(1))]));
         assert!(!engine.assume(Lit::neg(v(2))));

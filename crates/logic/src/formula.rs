@@ -331,10 +331,7 @@ mod tests {
 
     #[test]
     fn nested_distribution() {
-        let f = Formula::or([
-            Formula::and([fv(0), fv(1)]),
-            Formula::and([fv(2), fv(3)]),
-        ]);
+        let f = Formula::or([Formula::and([fv(0), fv(1)]), Formula::and([fv(2), fv(3)])]);
         let cnf = f.to_cnf();
         assert_eq!(cnf.len(), 4);
         assert_equisat(&f, 4);
@@ -358,7 +355,10 @@ mod tests {
 
     #[test]
     fn demorgan_equisat() {
-        let f = Formula::not(Formula::and([fv(0), Formula::or([fv(1), Formula::not(fv(2))])]));
+        let f = Formula::not(Formula::and([
+            fv(0),
+            Formula::or([fv(1), Formula::not(fv(2))]),
+        ]));
         assert_equisat(&f, 3);
     }
 

@@ -131,7 +131,10 @@ mod tests {
         let b = Var::new(2);
         let mut lits = vec![Lit::neg(b), Lit::pos(a), Lit::neg(a), Lit::pos(b)];
         lits.sort();
-        assert_eq!(lits, vec![Lit::pos(a), Lit::neg(a), Lit::pos(b), Lit::neg(b)]);
+        assert_eq!(
+            lits,
+            vec![Lit::pos(a), Lit::neg(a), Lit::pos(b), Lit::neg(b)]
+        );
     }
 
     #[test]

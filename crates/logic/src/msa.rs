@@ -134,11 +134,7 @@ fn greedy_closure(cnf: &Cnf, order: &VarOrder, universe: usize) -> Option<VarSet
                 }
             }
             // Satisfy with the <-smallest positive literal not forced false.
-            let pick = order.min(
-                clause
-                    .positives()
-                    .filter(|&v| pa.value(v) != Some(false)),
-            );
+            let pick = order.min(clause.positives().filter(|&v| pa.value(v) != Some(false)));
             match pick {
                 Some(v) => {
                     pa.assign(Lit::pos(v));
@@ -230,7 +226,11 @@ mod tests {
         let cnf = edge_cnf(4, &[(0, 1), (1, 2)], &[0]);
         for strat in MsaStrategy::ALL {
             let m = msa(&cnf, &VarOrder::natural(4), strat).expect("sat");
-            assert_eq!(m.iter().collect::<Vec<_>>(), vec![v(0), v(1), v(2)], "{strat:?}");
+            assert_eq!(
+                m.iter().collect::<Vec<_>>(),
+                vec![v(0), v(1), v(2)],
+                "{strat:?}"
+            );
         }
     }
 
@@ -251,7 +251,10 @@ mod tests {
         cnf.add_clause(Clause::unit(Lit::pos(v(0))));
         cnf.add_clause(Clause::unit(Lit::neg(v(0))));
         for strat in MsaStrategy::ALL {
-            assert!(msa(&cnf, &VarOrder::natural(1), strat).is_none(), "{strat:?}");
+            assert!(
+                msa(&cnf, &VarOrder::natural(1), strat).is_none(),
+                "{strat:?}"
+            );
         }
     }
 

@@ -88,7 +88,11 @@ impl VarSet {
     #[inline]
     pub fn insert(&mut self, v: Var) -> bool {
         let i = v.index();
-        assert!(i < self.universe, "variable {v} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "variable {v} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         if *w & mask == 0 {
@@ -179,7 +183,10 @@ impl VarSet {
     /// Whether every member of `self` is in `other`.
     pub fn is_subset(&self, other: &VarSet) -> bool {
         assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// A 64-bit fingerprint of the set's contents (and universe).
@@ -318,7 +325,11 @@ mod tests {
         let b = set(200, &[1, 64, 199]);
         let c = set(200, &[1, 64, 198]);
         assert_eq!(a.fingerprint(), b.fingerprint());
-        assert_ne!(a.fingerprint(), c.fingerprint(), "expected distinct fingerprints");
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "expected distinct fingerprints"
+        );
         // Same members, different universe: different identity.
         assert_ne!(set(100, &[3]).fingerprint(), set(101, &[3]).fingerprint());
     }

@@ -59,7 +59,12 @@ fn msa_engine_matches_scan_for_every_strategy_and_order() {
             for strategy in MsaStrategy::ALL {
                 let fast = msa(&cnf, &order, strategy);
                 let scan = msa_scan(&cnf, &order, strategy);
-                assert_eq!(fast, scan, "{}: engine/scan disagree on {cnf:?}", strategy.name());
+                assert_eq!(
+                    fast,
+                    scan,
+                    "{}: engine/scan disagree on {cnf:?}",
+                    strategy.name()
+                );
             }
         }
     }
@@ -86,7 +91,11 @@ fn msa_results_are_models_and_existence_matches_brute_force() {
                         all.len()
                     );
                 }
-                None => assert!(!satisfiable, "{}: missed a model of {cnf:?}", strategy.name()),
+                None => assert!(
+                    !satisfiable,
+                    "{}: missed a model of {cnf:?}",
+                    strategy.name()
+                ),
             }
         }
     }
@@ -130,7 +139,11 @@ fn engine_propagation_matches_naive_rescan() {
         }
         for i in 0..n {
             let v = Var::new(i as u32);
-            assert_eq!(engine.value(v), pa.value(v), "{v:?} after initial BCP of {cnf:?}");
+            assert_eq!(
+                engine.value(v),
+                pa.value(v),
+                "{v:?} after initial BCP of {cnf:?}"
+            );
         }
 
         // Push random assumptions; both sides must imply the same values or
@@ -140,17 +153,28 @@ fn engine_propagation_matches_naive_rescan() {
             if engine.value(v).is_some() {
                 continue;
             }
-            let lit = if rng.gen_bool(0.5) { Lit::pos(v) } else { Lit::neg(v) };
+            let lit = if rng.gen_bool(0.5) {
+                Lit::pos(v)
+            } else {
+                Lit::neg(v)
+            };
             let engine_ok = engine.assume(lit);
             pa.assign(lit);
             let scan_ok = !matches!(propagate(&cnf, &mut pa), Propagation::Conflict);
-            assert_eq!(engine_ok, scan_ok, "conflict detection after {lit:?} on {cnf:?}");
+            assert_eq!(
+                engine_ok, scan_ok,
+                "conflict detection after {lit:?} on {cnf:?}"
+            );
             if !engine_ok {
                 break;
             }
             for i in 0..n {
                 let u = Var::new(i as u32);
-                assert_eq!(engine.value(u), pa.value(u), "{u:?} after assuming {lit:?} on {cnf:?}");
+                assert_eq!(
+                    engine.value(u),
+                    pa.value(u),
+                    "{u:?} after assuming {lit:?} on {cnf:?}"
+                );
             }
         }
     }

@@ -18,14 +18,15 @@
 //! one tool re-run.
 
 use crate::fsio::atomic_write_str;
-use lbr_core::{Probe, ProbeCache};
+use lbr_core::{FaultInjector, Probe, ProbeCache};
 use lbr_logic::{Var, VarSet};
-use lbr_prng::SplitMix64;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+pub use lbr_core::{CacheStats, FaultPlan};
 
 const HEADER: &str = "lbr-oracle-cache v1";
 
@@ -48,43 +49,6 @@ struct CacheInner {
     len: usize,
 }
 
-/// Counter snapshot for the `stats` endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Total entries currently held.
-    pub entries: u64,
-    /// Lookups answered from the cache.
-    pub hits: u64,
-    /// Lookups that found nothing (the caller then runs the tool).
-    pub misses: u64,
-    /// Hits on entries loaded from disk — proof that cached work survived
-    /// a restart.
-    pub warm_hits: u64,
-}
-
-/// A deterministic plan for injecting cache-layer I/O faults.
-///
-/// The cache's correctness contract — a lost entry only ever costs a tool
-/// re-run, never a wrong result — is the kind of claim that rots silently.
-/// A `FaultPlan` makes it testable: with probability [`rate`](Self::rate)
-/// each `lookup`/`store` *pretends* the disk misbehaved (the lookup
-/// degrades to a miss, the store is dropped), drawing from its own
-/// seed-deterministic stream so a fuzz run's faults replay exactly. The
-/// differential harness runs every case against a fault-injected cache and
-/// asserts bit-identical results.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FaultPlan {
-    /// Probability in `[0, 1]` that a single cache operation faults.
-    pub rate: f64,
-    /// Seed of the fault stream (independent of workload seeds).
-    pub seed: u64,
-}
-
-struct FaultState {
-    rate: f64,
-    rng: SplitMix64,
-}
-
 /// The persistent, thread-safe oracle cache. See the module docs.
 pub struct PersistentOracleCache {
     path: PathBuf,
@@ -92,8 +56,7 @@ pub struct PersistentOracleCache {
     hits: AtomicU64,
     misses: AtomicU64,
     warm_hits: AtomicU64,
-    faults: Mutex<Option<FaultState>>,
-    faults_injected: AtomicU64,
+    faults: FaultInjector,
 }
 
 impl PersistentOracleCache {
@@ -144,45 +107,20 @@ impl PersistentOracleCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
-            faults: Mutex::new(None),
-            faults_injected: AtomicU64::new(0),
+            faults: FaultInjector::new(),
         })
     }
 
     /// Arms probabilistic fault injection (see [`FaultPlan`]). A rate of
     /// `0` disarms it.
     pub fn inject_faults(&self, plan: FaultPlan) {
-        let mut faults = self.faults.lock().expect("fault lock");
-        *faults = if plan.rate > 0.0 {
-            Some(FaultState {
-                rate: plan.rate,
-                rng: SplitMix64::seed_from_u64(plan.seed),
-            })
-        } else {
-            None
-        };
+        self.faults.arm(plan);
     }
 
     /// How many operations have been faulted so far — lets tests confirm
     /// that the fault path was actually exercised.
     pub fn faults_injected(&self) -> u64 {
-        self.faults_injected.load(Ordering::Relaxed)
-    }
-
-    /// Draws from the fault stream; `true` means the current operation
-    /// must behave as if the disk failed.
-    fn fault(&self) -> bool {
-        let mut faults = self.faults.lock().expect("fault lock");
-        match faults.as_mut() {
-            Some(state) => {
-                let fired = state.rng.gen_bool(state.rate);
-                if fired {
-                    self.faults_injected.fetch_add(1, Ordering::Relaxed);
-                }
-                fired
-            }
-            None => false,
-        }
+        self.faults.injected()
     }
 
     /// Looks up a probe under the namespace, counting a hit or a miss.
@@ -190,7 +128,7 @@ impl PersistentOracleCache {
     /// Under an armed [`FaultPlan`] a faulted lookup degrades to a miss:
     /// the caller re-runs the tool, which is always safe.
     pub fn lookup(&self, namespace: u64, key: &VarSet) -> Option<Probe> {
-        if self.fault() {
+        if self.faults.fire() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -220,7 +158,7 @@ impl PersistentOracleCache {
     /// Under an armed [`FaultPlan`] a faulted store is silently dropped:
     /// the entry is simply lost and a later probe recomputes it.
     pub fn store(&self, namespace: u64, key: &VarSet, probe: Probe) {
-        if self.fault() {
+        if self.faults.fire() {
             return;
         }
         let mut inner = self.inner.lock().expect("cache lock");
@@ -405,12 +343,28 @@ mod tests {
         let cache = PersistentOracleCache::open(dir.join("c1")).unwrap();
         let key = set(8, &[1, 3, 5]);
         assert_eq!(cache.lookup(7, &key), None);
-        cache.store(7, &key, Probe { outcome: true, size: 42 });
-        assert_eq!(cache.lookup(7, &key), Some(Probe { outcome: true, size: 42 }));
+        cache.store(
+            7,
+            &key,
+            Probe {
+                outcome: true,
+                size: 42,
+            },
+        );
+        assert_eq!(
+            cache.lookup(7, &key),
+            Some(Probe {
+                outcome: true,
+                size: 42
+            })
+        );
         // Namespaces are disjoint.
         assert_eq!(cache.lookup(8, &key), None);
         let stats = cache.stats();
-        assert_eq!((stats.entries, stats.hits, stats.misses, stats.warm_hits), (1, 1, 2, 0));
+        assert_eq!(
+            (stats.entries, stats.hits, stats.misses, stats.warm_hits),
+            (1, 1, 2, 0)
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -421,21 +375,54 @@ mod tests {
         let path = dir.join("cache");
         {
             let cache = PersistentOracleCache::open(&path).unwrap();
-            cache.store(1, &set(6, &[0, 2]), Probe { outcome: false, size: 9 });
-            cache.store(1, &set(6, &[]), Probe { outcome: true, size: 0 });
-            cache.store(2, &set(6, &[0, 2]), Probe { outcome: true, size: 11 });
+            cache.store(
+                1,
+                &set(6, &[0, 2]),
+                Probe {
+                    outcome: false,
+                    size: 9,
+                },
+            );
+            cache.store(
+                1,
+                &set(6, &[]),
+                Probe {
+                    outcome: true,
+                    size: 0,
+                },
+            );
+            cache.store(
+                2,
+                &set(6, &[0, 2]),
+                Probe {
+                    outcome: true,
+                    size: 11,
+                },
+            );
             cache.save_if_dirty().unwrap();
         }
         let cache = PersistentOracleCache::open(&path).unwrap();
         assert_eq!(cache.len(), 3);
         assert_eq!(
             cache.lookup(1, &set(6, &[0, 2])),
-            Some(Probe { outcome: false, size: 9 })
+            Some(Probe {
+                outcome: false,
+                size: 9
+            })
         );
-        assert_eq!(cache.lookup(1, &set(6, &[])), Some(Probe { outcome: true, size: 0 }));
+        assert_eq!(
+            cache.lookup(1, &set(6, &[])),
+            Some(Probe {
+                outcome: true,
+                size: 0
+            })
+        );
         assert_eq!(
             cache.lookup(2, &set(6, &[0, 2])),
-            Some(Probe { outcome: true, size: 11 })
+            Some(Probe {
+                outcome: true,
+                size: 11
+            })
         );
         assert_eq!(cache.stats().warm_hits, 3, "reloaded entries count as warm");
         let _ = std::fs::remove_dir_all(&dir);
@@ -447,15 +434,28 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let cache = PersistentOracleCache::open(dir.join("faulty")).unwrap();
         let key = set(8, &[2, 4]);
-        let probe = Probe { outcome: true, size: 17 };
+        let probe = Probe {
+            outcome: true,
+            size: 17,
+        };
         cache.store(3, &key, probe);
         assert_eq!(cache.lookup(3, &key), Some(probe));
 
         // Every operation faults: lookups miss, stores are dropped.
-        cache.inject_faults(FaultPlan { rate: 1.0, seed: 99 });
+        cache.inject_faults(FaultPlan {
+            rate: 1.0,
+            seed: 99,
+        });
         assert_eq!(cache.lookup(3, &key), None, "faulted lookup must miss");
         let other = set(8, &[1]);
-        cache.store(3, &other, Probe { outcome: false, size: 5 });
+        cache.store(
+            3,
+            &other,
+            Probe {
+                outcome: false,
+                size: 5,
+            },
+        );
         assert_eq!(cache.len(), 1, "faulted store must be dropped");
         assert!(cache.faults_injected() >= 2);
 
@@ -474,10 +474,19 @@ mod tests {
         let draw = |seed: u64| {
             let cache = PersistentOracleCache::open(dir.join(format!("f{seed}"))).unwrap();
             let key = set(4, &[0]);
-            cache.store(0, &key, Probe { outcome: true, size: 1 });
+            cache.store(
+                0,
+                &key,
+                Probe {
+                    outcome: true,
+                    size: 1,
+                },
+            );
             cache.inject_faults(FaultPlan { rate: 0.5, seed });
             // A miss on a stored key can only come from an injected fault.
-            (0..64).map(|_| cache.lookup(0, &key).is_none()).collect::<Vec<bool>>()
+            (0..64)
+                .map(|_| cache.lookup(0, &key).is_none())
+                .collect::<Vec<bool>>()
         };
         assert_eq!(draw(7), draw(7), "same seed, same fault pattern");
         assert_ne!(draw(7), draw(8), "different seeds should diverge");

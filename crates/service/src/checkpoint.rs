@@ -31,9 +31,7 @@ pub fn varset_to_json(set: &VarSet) -> Json {
 
 /// Parses a `VarSet` rendered by [`varset_to_json`].
 pub fn varset_from_json(j: &Json) -> Result<VarSet, String> {
-    let universe = j
-        .u64_field("universe")
-        .ok_or("varset: missing universe")? as usize;
+    let universe = j.u64_field("universe").ok_or("varset: missing universe")? as usize;
     let members = j
         .get("members")
         .and_then(Json::as_arr)
@@ -72,7 +70,9 @@ pub fn checkpoint_from_json(j: &Json) -> Result<GbrCheckpoint, String> {
         Some(v) if v == VERSION => {}
         v => return Err(format!("checkpoint: unsupported version {v:?}")),
     }
-    let iterations = j.u64_field("iterations").ok_or("checkpoint: missing iterations")? as usize;
+    let iterations = j
+        .u64_field("iterations")
+        .ok_or("checkpoint: missing iterations")? as usize;
     let learned = j
         .get("learned")
         .and_then(Json::as_arr)
@@ -80,8 +80,10 @@ pub fn checkpoint_from_json(j: &Json) -> Result<GbrCheckpoint, String> {
         .iter()
         .map(varset_from_json)
         .collect::<Result<Vec<_>, _>>()?;
-    let search_space =
-        varset_from_json(j.get("search_space").ok_or("checkpoint: missing search_space")?)?;
+    let search_space = varset_from_json(
+        j.get("search_space")
+            .ok_or("checkpoint: missing search_space")?,
+    )?;
     let best = j.get("best").map(varset_from_json).transpose()?;
     if learned.len() != iterations {
         return Err(format!(
@@ -114,7 +116,12 @@ pub fn load_checkpoint(path: &Path) -> io::Result<Option<GbrCheckpoint>> {
     Json::parse(&text)
         .and_then(|j| checkpoint_from_json(&j))
         .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display())))
+        .map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
 }
 
 #[cfg(test)]
@@ -164,6 +171,8 @@ mod tests {
             best: None,
         };
         assert!(checkpoint_from_json(&checkpoint_to_json(&ck)).is_err());
-        assert!(varset_from_json(&Json::parse(r#"{"universe":2,"members":[5]}"#).unwrap()).is_err());
+        assert!(
+            varset_from_json(&Json::parse(r#"{"universe":2,"members":[5]}"#).unwrap()).is_err()
+        );
     }
 }

@@ -54,7 +54,9 @@ impl Client {
         if response.bool_field("ok") == Some(true) {
             Ok(response)
         } else {
-            let message = response.str_field("error").unwrap_or("unknown daemon error");
+            let message = response
+                .str_field("error")
+                .unwrap_or("unknown daemon error");
             Err(io::Error::other(message.to_owned()))
         }
     }
@@ -65,7 +67,12 @@ impl Client {
     pub fn submit(&self, spec: &Json) -> io::Result<u64> {
         let mut request = match spec {
             Json::Obj(fields) => fields.clone(),
-            _ => return Err(io::Error::new(io::ErrorKind::InvalidInput, "spec must be an object")),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "spec must be an object",
+                ))
+            }
         };
         request.insert("op".to_owned(), Json::str("submit"));
         self.expect_ok(&Json::Obj(request))?

@@ -32,10 +32,7 @@ use crate::queue::JobQueue;
 use lbr_classfile::{read_program, write_program};
 use lbr_core::{GbrError, LossyPick};
 use lbr_decompiler::{BugSet, DecompilerOracle};
-use lbr_jreduce::{
-    run_logical_resumable, run_reduction_with, PipelineError, ReductionReport, RunOptions,
-    ServiceHooks, Strategy,
-};
+use lbr_jreduce::{PipelineError, ReductionReport, ReductionSession, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -334,10 +331,7 @@ fn handle_submit(state: &ServiceState, request: &Json) -> Json {
         }
         Err(e) => return error_response(&e),
     };
-    if let Err(e) = atomic_write_str(
-        &state.job_file(id, "spec.json"),
-        &spec.to_json().render(),
-    ) {
+    if let Err(e) = atomic_write_str(&state.job_file(id, "spec.json"), &spec.to_json().render()) {
         return error_response(&format!("cannot persist spec: {e}"));
     }
     let priority = spec.priority;
@@ -453,12 +447,6 @@ fn handle_stats(state: &ServiceState) -> Json {
         0.0
     };
     let cache = state.cache.stats();
-    let lookups = cache.hits + cache.misses;
-    let hit_rate = if lookups > 0 {
-        cache.hits as f64 / lookups as f64
-    } else {
-        0.0
-    };
     let jobs = state.jobs.lock().expect("jobs lock");
     let mut counts = [0u64; 5];
     let mut per_job: Vec<(u64, &JobRecord)> = Vec::with_capacity(jobs.len());
@@ -494,7 +482,10 @@ fn handle_stats(state: &ServiceState) -> Json {
         (
             "jobs",
             Json::obj([
-                ("submitted", Json::count(state.submitted.load(Ordering::Relaxed))),
+                (
+                    "submitted",
+                    Json::count(state.submitted.load(Ordering::Relaxed)),
+                ),
                 ("queued", Json::count(counts[0])),
                 ("running", Json::count(counts[1])),
                 ("done", Json::count(counts[2])),
@@ -504,13 +495,17 @@ fn handle_stats(state: &ServiceState) -> Json {
         ),
         (
             "cache",
-            Json::obj([
-                ("entries", Json::count(cache.entries)),
-                ("hits", Json::count(cache.hits)),
-                ("misses", Json::count(cache.misses)),
-                ("warm_hits", Json::count(cache.warm_hits)),
-                ("hit_rate", Json::Num(hit_rate)),
-            ]),
+            // The counter names come from the one shared `CacheStats`
+            // serialization, so the daemon can never drift from the CSV
+            // and JSON frontends.
+            Json::Obj(
+                cache
+                    .fields()
+                    .iter()
+                    .map(|&(k, v)| (k.to_owned(), Json::count(v)))
+                    .chain([("hit_rate".to_owned(), Json::Num(cache.hit_rate()))])
+                    .collect(),
+            ),
         ),
         ("per_job", per_job),
     ])
@@ -648,21 +643,17 @@ fn execute_job(
             let _ = save_checkpoint(&ckpt_path, ck);
             let _ = state.cache.save_if_dirty();
         };
-        let hooks = ServiceHooks {
-            cache: Some(&scoped),
-            cancel: Some(&cancel_hook),
-            checkpoint: Some(&mut checkpoint_hook),
-            resume,
-        };
-        let report = run_logical_resumable(
-            &program,
-            &oracle,
-            MsaStrategy::GreedyClosure,
-            spec.cost,
-            &options,
-            hooks,
-        )
-        .map_err(map_pipeline_error)?;
+        let mut session = ReductionSession::new(&program, &oracle)
+            .strategy(Strategy::Logical(MsaStrategy::GreedyClosure))
+            .cost_per_call(spec.cost)
+            .options(options)
+            .cache(&scoped)
+            .cancel(&cancel_hook)
+            .checkpoint(&mut checkpoint_hook);
+        if let Some(ck) = resume {
+            session = session.resume(ck);
+        }
+        let report = session.run().map_err(map_pipeline_error)?;
         (report, resumed)
     } else {
         // Baseline strategies run uncached and uncheckpointed.
@@ -673,7 +664,11 @@ fn execute_job(
             "lossy2" => Strategy::Lossy(LossyPick::LastLast),
             _ => Strategy::DdminItems,
         };
-        let report = run_reduction_with(&program, &oracle, strategy, spec.cost, &options)
+        let report = ReductionSession::new(&program, &oracle)
+            .strategy(strategy)
+            .cost_per_call(spec.cost)
+            .options(options)
+            .run()
             .map_err(map_pipeline_error)?;
         (report, false)
     };
@@ -701,13 +696,22 @@ fn success_result_doc(spec: &JobSpec, report: &ReductionReport, resumed: bool) -
         ("id", Json::count(spec.id)),
         ("status", Json::str("done")),
         ("strategy", Json::str(&report.strategy)),
-        ("initial_classes", Json::count(report.initial.classes as u64)),
+        (
+            "initial_classes",
+            Json::count(report.initial.classes as u64),
+        ),
         ("initial_bytes", Json::count(report.initial.bytes as u64)),
-        ("final_classes", Json::count(report.final_metrics.classes as u64)),
-        ("final_bytes", Json::count(report.final_metrics.bytes as u64)),
+        (
+            "final_classes",
+            Json::count(report.final_metrics.classes as u64),
+        ),
+        (
+            "final_bytes",
+            Json::count(report.final_metrics.bytes as u64),
+        ),
         ("predicate_calls", Json::count(report.predicate_calls)),
-        ("cache_hits", Json::count(report.cache_hits)),
-        ("cache_misses", Json::count(report.cache_misses)),
+        ("cache_hits", Json::count(report.cache_hits())),
+        ("cache_misses", Json::count(report.cache_misses())),
         (
             "trace_digest",
             Json::str(format!("{:016x}", report.trace.digest())),

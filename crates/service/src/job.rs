@@ -123,7 +123,10 @@ impl JobPhase {
 
     /// Whether the job will never run again.
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobPhase::Done | JobPhase::Failed | JobPhase::Cancelled)
+        matches!(
+            self,
+            JobPhase::Done | JobPhase::Failed | JobPhase::Cancelled
+        )
     }
 }
 
@@ -157,8 +160,15 @@ mod tests {
         assert_eq!(spec.decompiler, "a");
         assert_eq!(spec.strategy, "logical");
         assert_eq!(spec.probe_threads, 1);
-        assert!(JobSpec::from_json(&Json::parse(r#"{"input":"x","decompiler":"z"}"#).unwrap(), 0).is_err());
-        assert!(JobSpec::from_json(&Json::parse(r#"{"input":"x","strategy":"z"}"#).unwrap(), 0).is_err());
+        assert!(JobSpec::from_json(
+            &Json::parse(r#"{"input":"x","decompiler":"z"}"#).unwrap(),
+            0
+        )
+        .is_err());
+        assert!(
+            JobSpec::from_json(&Json::parse(r#"{"input":"x","strategy":"z"}"#).unwrap(), 0)
+                .is_err()
+        );
         assert!(JobSpec::from_json(&Json::parse("{}").unwrap(), 0).is_err());
     }
 }

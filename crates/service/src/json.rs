@@ -28,22 +28,12 @@ pub enum Json {
 impl Json {
     /// Builds an object from key/value pairs.
     pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// [`obj`](Self::obj) over a dynamically built pair list.
     pub fn obj_from(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// A string value.
@@ -385,7 +375,10 @@ mod tests {
         assert_eq!(Json::parse(&v.render()).expect("reparses"), v);
         assert_eq!(v.u64_field("c"), None);
         assert_eq!(v.bool_field("c"), Some(true));
-        assert_eq!(v.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
     }
 
     #[test]

@@ -54,12 +54,18 @@ fn baseline(bytes: &[u8]) -> ReductionReport {
     .expect("baseline reduction")
 }
 
-fn start_daemon(dir: &Path, workers: usize) -> (Client, std::thread::JoinHandle<std::io::Result<()>>) {
+fn start_daemon(
+    dir: &Path,
+    workers: usize,
+) -> (Client, std::thread::JoinHandle<std::io::Result<()>>) {
     let daemon = Daemon::start(DaemonConfig::new(dir, workers)).expect("start daemon");
     let addr = daemon.local_addr().to_string();
     let handle = std::thread::spawn(move || daemon.run());
     let client = Client::connect(addr);
-    assert!(client.wait_ready(Duration::from_secs(5)), "daemon never came up");
+    assert!(
+        client.wait_ready(Duration::from_secs(5)),
+        "daemon never came up"
+    );
     (client, handle)
 }
 
@@ -142,10 +148,24 @@ fn property_persistent_cache_is_invisible_to_results() {
                 write_program(&reference.reduced),
                 "round {round}: {name} cache changed the reduced bytes"
             );
-            assert_eq!(report.predicate_calls, reference.predicate_calls, "round {round}: {name}");
-            assert_eq!(report.cache_hits, reference.cache_hits, "round {round}: {name}");
-            assert_eq!(report.cache_misses, reference.cache_misses, "round {round}: {name}");
-            assert_eq!(report.probe_stats, reference.probe_stats, "round {round}: {name}");
+            assert_eq!(
+                report.predicate_calls, reference.predicate_calls,
+                "round {round}: {name}"
+            );
+            assert_eq!(
+                report.cache_hits(),
+                reference.cache_hits(),
+                "round {round}: {name}"
+            );
+            assert_eq!(
+                report.cache_misses(),
+                reference.cache_misses(),
+                "round {round}: {name}"
+            );
+            assert_eq!(
+                report.probe_stats, reference.probe_stats,
+                "round {round}: {name}"
+            );
             assert_eq!(
                 report.trace.digest(),
                 reference.trace.digest(),
@@ -171,7 +191,10 @@ fn daemon_job_matches_in_process_run() {
     let id1 = client.submit(&submit_spec(&input, &out1, &[])).unwrap();
     let result1 = client.wait_result(id1).unwrap();
     assert_eq!(result1.str_field("status"), Some("done"));
-    assert_eq!(result1.u64_field("predicate_calls"), Some(reference.predicate_calls));
+    assert_eq!(
+        result1.u64_field("predicate_calls"),
+        Some(reference.predicate_calls)
+    );
     assert_eq!(
         result1.str_field("trace_digest"),
         Some(format!("{:016x}", reference.trace.digest()).as_str())
@@ -188,8 +211,14 @@ fn daemon_job_matches_in_process_run() {
     let id2 = client.submit(&submit_spec(&input, &out2, &[])).unwrap();
     let result2 = client.wait_result(id2).unwrap();
     assert_eq!(result2.str_field("status"), Some("done"));
-    assert_eq!(result2.u64_field("predicate_calls"), Some(reference.predicate_calls));
-    assert_eq!(result2.str_field("trace_digest"), result1.str_field("trace_digest"));
+    assert_eq!(
+        result2.u64_field("predicate_calls"),
+        Some(reference.predicate_calls)
+    );
+    assert_eq!(
+        result2.str_field("trace_digest"),
+        result1.str_field("trace_digest")
+    );
     assert_eq!(std::fs::read(&out2).unwrap(), std::fs::read(&out1).unwrap());
 
     let stats = client.stats().unwrap();
@@ -197,14 +226,25 @@ fn daemon_job_matches_in_process_run() {
     assert_eq!(jobs.u64_field("done"), Some(2));
     assert_eq!(stats.u64_field("queue_depth"), Some(0));
     let cache = stats.get("cache").expect("stats.cache");
-    assert!(cache.u64_field("hits").unwrap() > 0, "second job must hit the cache");
-    let per_job = stats.get("per_job").and_then(Json::as_arr).expect("stats.per_job");
+    assert!(
+        cache.u64_field("hits").unwrap() > 0,
+        "second job must hit the cache"
+    );
+    let per_job = stats
+        .get("per_job")
+        .and_then(Json::as_arr)
+        .expect("stats.per_job");
     assert_eq!(per_job.len(), 2);
-    assert!(per_job.iter().all(|j| j.u64_field("predicate_calls") == Some(reference.predicate_calls)));
+    assert!(per_job
+        .iter()
+        .all(|j| j.u64_field("predicate_calls") == Some(reference.predicate_calls)));
 
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
-    assert!(!state.join("daemon.addr").exists(), "clean shutdown removes the addr file");
+    assert!(
+        !state.join("daemon.addr").exists(),
+        "clean shutdown removes the addr file"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -223,7 +263,11 @@ fn interrupted_job_resumes_and_cache_survives_restart() {
     // Slow the probes down so the shutdown lands mid-search.
     let out = dir.join("out.lbrc");
     let id = client
-        .submit(&submit_spec(&input, &out, &[("probe_latency_micros", Json::count(1500))]))
+        .submit(&submit_spec(
+            &input,
+            &out,
+            &[("probe_latency_micros", Json::count(1500))],
+        ))
         .unwrap();
 
     // Wait for the first checkpoint, then pull the rug.
@@ -255,15 +299,27 @@ fn interrupted_job_resumes_and_cache_survives_restart() {
     let id2 = client.submit(&submit_spec(&input, &out2, &[])).unwrap();
     let fresh = client.wait_result(id2).unwrap();
     assert_eq!(fresh.str_field("status"), Some("done"));
-    assert_eq!(fresh.u64_field("predicate_calls"), Some(reference.predicate_calls));
+    assert_eq!(
+        fresh.u64_field("predicate_calls"),
+        Some(reference.predicate_calls)
+    );
     assert_eq!(
         fresh.str_field("trace_digest"),
         Some(format!("{:016x}", reference.trace.digest()).as_str())
     );
-    assert_eq!(std::fs::read(&out2).unwrap(), write_program(&reference.reduced));
+    assert_eq!(
+        std::fs::read(&out2).unwrap(),
+        write_program(&reference.reduced)
+    );
     let stats = client.stats().unwrap();
-    let warm = stats.get("cache").and_then(|c| c.u64_field("warm_hits")).unwrap();
-    assert!(warm > 0, "probes must be answered by disk-persisted entries");
+    let warm = stats
+        .get("cache")
+        .and_then(|c| c.u64_field("warm_hits"))
+        .unwrap();
+    assert!(
+        warm > 0,
+        "probes must be answered by disk-persisted entries"
+    );
 
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
@@ -319,11 +375,16 @@ fn failures_cancellation_and_protocol_errors() {
     let (client, handle) = start_daemon(&state, 1);
 
     // Submit without an input is rejected outright.
-    assert!(client.submit(&Json::obj_from(vec![("decompiler", Json::str("a"))])).is_err());
+    assert!(client
+        .submit(&Json::obj_from(vec![("decompiler", Json::str("a"))]))
+        .is_err());
 
     // A vanished input file fails the job, with the reason in the result.
     let id = client
-        .submit(&Json::obj_from(vec![("input", Json::str("/nonexistent/x.lbrc"))]))
+        .submit(&Json::obj_from(vec![(
+            "input",
+            Json::str("/nonexistent/x.lbrc"),
+        )]))
         .unwrap();
     let result = client.wait_result(id).unwrap();
     assert_eq!(result.str_field("status"), Some("failed"));
@@ -347,15 +408,24 @@ fn failures_cancellation_and_protocol_errors() {
         .unwrap();
     let result = client.wait_result(id).unwrap();
     assert_eq!(result.str_field("status"), Some("failed"));
-    assert!(result.str_field("error").unwrap().contains("does not trigger"));
+    assert!(result
+        .str_field("error")
+        .unwrap()
+        .contains("does not trigger"));
 
     // With one worker busy on a slow job, a queued job can be cancelled.
     let (input, _) = make_container(&dir, 77, 16);
     let out = dir.join("slow.lbrc");
     let slow = client
-        .submit(&submit_spec(&input, &out, &[("probe_latency_micros", Json::count(20_000))]))
+        .submit(&submit_spec(
+            &input,
+            &out,
+            &[("probe_latency_micros", Json::count(20_000))],
+        ))
         .unwrap();
-    let queued = client.submit(&submit_spec(&input, &dir.join("q.lbrc"), &[])).unwrap();
+    let queued = client
+        .submit(&submit_spec(&input, &dir.join("q.lbrc"), &[]))
+        .unwrap();
     client.cancel(queued).unwrap();
     let result = client.wait_result(queued).unwrap();
     assert_eq!(result.str_field("status"), Some("cancelled"));
@@ -367,7 +437,9 @@ fn failures_cancellation_and_protocol_errors() {
     assert!(!out.exists(), "a cancelled job writes no output");
 
     // Unknown ops and statuses of unknown jobs answer with errors.
-    let response = client.request(&Json::obj([("op", Json::str("frobnicate"))])).unwrap();
+    let response = client
+        .request(&Json::obj([("op", Json::str("frobnicate"))]))
+        .unwrap();
     assert_eq!(response.bool_field("ok"), Some(false));
     assert!(client.status(999).is_err());
 

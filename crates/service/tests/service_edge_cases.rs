@@ -59,7 +59,10 @@ fn start_daemon(
     let addr = daemon.local_addr().to_string();
     let handle = std::thread::spawn(move || daemon.run());
     let client = Client::connect(addr);
-    assert!(client.wait_ready(Duration::from_secs(5)), "daemon never came up");
+    assert!(
+        client.wait_ready(Duration::from_secs(5)),
+        "daemon never came up"
+    );
     (client, handle)
 }
 
@@ -88,10 +91,16 @@ fn cancelling_a_queued_job_prevents_it_from_ever_starting() {
     // job behind it and cancel that one before a worker can exist for it.
     let slow_out = dir.join("slow.lbrc");
     let slow = client
-        .submit(&submit_spec(&input, &slow_out, &[("probe_latency_micros", Json::count(2_000))]))
+        .submit(&submit_spec(
+            &input,
+            &slow_out,
+            &[("probe_latency_micros", Json::count(2_000))],
+        ))
         .unwrap();
     let doomed_out = dir.join("doomed.lbrc");
-    let doomed = client.submit(&submit_spec(&input, &doomed_out, &[])).unwrap();
+    let doomed = client
+        .submit(&submit_spec(&input, &doomed_out, &[]))
+        .unwrap();
     client.cancel(doomed).unwrap();
 
     let cancelled = client.wait_result(doomed).unwrap();
@@ -105,8 +114,14 @@ fn cancelling_a_queued_job_prevents_it_from_ever_starting() {
     // The job in front of it is unaffected and still bit-identical.
     let finished = client.wait_result(slow).unwrap();
     assert_eq!(finished.str_field("status"), Some("done"));
-    assert_eq!(std::fs::read(&slow_out).unwrap(), write_program(&reference.reduced));
-    assert!(!doomed_out.exists(), "a cancelled queued job must write nothing");
+    assert_eq!(
+        std::fs::read(&slow_out).unwrap(),
+        write_program(&reference.reduced)
+    );
+    assert!(
+        !doomed_out.exists(),
+        "a cancelled queued job must write nothing"
+    );
 
     let stats = client.stats().unwrap();
     let jobs = stats.get("jobs").expect("stats.jobs");
@@ -129,7 +144,7 @@ fn corrupt_json_on_the_wire_is_rejected_without_killing_the_daemon() {
 
     for garbage in [
         "this is { not json\n",
-        "{\"op\": \"submit\", \"spec\": \n",       // truncated mid-document
+        "{\"op\": \"submit\", \"spec\": \n", // truncated mid-document
         "{\"op\": \"submit\"} trailing garbage\n", // valid prefix, junk suffix
     ] {
         let mut stream = TcpStream::connect(addr.trim()).unwrap();
@@ -146,14 +161,20 @@ fn corrupt_json_on_the_wire_is_rejected_without_killing_the_daemon() {
     }
 
     // The daemon survived all three and still does real work.
-    assert!(client.ping(), "daemon must still answer after garbage requests");
+    assert!(
+        client.ping(),
+        "daemon must still answer after garbage requests"
+    );
     let (input, bytes) = make_container(&dir, 42, 10);
     let reference = baseline(&bytes);
     let out = dir.join("out.lbrc");
     let id = client.submit(&submit_spec(&input, &out, &[])).unwrap();
     let result = client.wait_result(id).unwrap();
     assert_eq!(result.str_field("status"), Some("done"));
-    assert_eq!(std::fs::read(&out).unwrap(), write_program(&reference.reduced));
+    assert_eq!(
+        std::fs::read(&out).unwrap(),
+        write_program(&reference.reduced)
+    );
 
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
@@ -175,7 +196,11 @@ fn truncated_checkpoint_restarts_the_job_and_converges_to_the_same_bytes() {
 
     let out = dir.join("out.lbrc");
     let id = client
-        .submit(&submit_spec(&input, &out, &[("probe_latency_micros", Json::count(1_500))]))
+        .submit(&submit_spec(
+            &input,
+            &out,
+            &[("probe_latency_micros", Json::count(1_500))],
+        ))
         .unwrap();
 
     // Wait for the first checkpoint, then take the daemon down mid-job.
@@ -192,7 +217,10 @@ fn truncated_checkpoint_restarts_the_job_and_converges_to_the_same_bytes() {
     // Simulate the torn write: chop the checkpoint in half and confirm it
     // is now unreadable rather than a silently-valid prefix.
     let full = std::fs::read(&ckpt).unwrap();
-    assert!(full.len() > 2, "checkpoint too small to truncate meaningfully");
+    assert!(
+        full.len() > 2,
+        "checkpoint too small to truncate meaningfully"
+    );
     std::fs::write(&ckpt, &full[..full.len() / 2]).unwrap();
     assert!(
         load_checkpoint(&ckpt).is_err(),
@@ -210,7 +238,10 @@ fn truncated_checkpoint_restarts_the_job_and_converges_to_the_same_bytes() {
         write_program(&reference.reduced),
         "restart after checkpoint corruption must converge to the same bytes"
     );
-    assert_eq!(resumed.u64_field("predicate_calls"), Some(reference.predicate_calls));
+    assert_eq!(
+        resumed.u64_field("predicate_calls"),
+        Some(reference.predicate_calls)
+    );
     assert!(!ckpt.exists(), "finished jobs clean up their checkpoint");
 
     client.shutdown().unwrap();

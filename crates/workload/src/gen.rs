@@ -198,10 +198,8 @@ fn make_plan(config: &WorkloadConfig, rng: &mut SplitMix64) -> Plan {
         let name = format!("Iface{i}");
         let mut extends = Vec::new();
         if rng.gen_bool(config.iface_extends_prob) {
-            let earlier: Vec<&IfacePlan> = interfaces
-                .iter()
-                .filter(|p| p.cluster == cluster)
-                .collect();
+            let earlier: Vec<&IfacePlan> =
+                interfaces.iter().filter(|p| p.cluster == cluster).collect();
             if let Some(target) = earlier.choose(rng) {
                 extends.push(target.name.clone());
             }
@@ -249,13 +247,15 @@ fn make_plan(config: &WorkloadConfig, rng: &mut SplitMix64) -> Plan {
         };
         let mut ifaces: Vec<String> = Vec::new();
         if rng.gen_bool(config.implements_prob) {
-            let local: Vec<&IfacePlan> = interfaces
-                .iter()
-                .filter(|p| p.cluster == cluster)
-                .collect();
+            let local: Vec<&IfacePlan> =
+                interfaces.iter().filter(|p| p.cluster == cluster).collect();
             // The paper notes classes implementing *multiple* interfaces
             // need special constraint-generation attention; exercise it.
-            let count = if local.len() >= 2 && rng.gen_bool(0.3) { 2 } else { 1 };
+            let count = if local.len() >= 2 && rng.gen_bool(0.3) {
+                2
+            } else {
+                1
+            };
             for ip in local.choose_multiple(rng, count) {
                 if !ifaces.contains(&ip.name) {
                     ifaces.push(ip.name.clone());
@@ -469,9 +469,11 @@ fn emit(config: &WorkloadConfig, plan: &Plan, rng: &mut SplitMix64) -> Program {
             class.methods.push(make_two_int_ctor(cp));
         }
         for (m, d) in &cp.methods {
-            class
-                .methods
-                .push(MethodInfo::new(m, d.clone(), make_body(config, plan, cp, d, rng)));
+            class.methods.push(MethodInfo::new(
+                m,
+                d.clone(),
+                make_body(config, plan, cp, d, rng),
+            ));
         }
         for (m, d) in &cp.statics {
             let mut info = MethodInfo::new(m, d.clone(), static_body());
@@ -858,8 +860,12 @@ fn inject(
         .map(|c| c.name.clone())
         .collect();
     for _ in 0..10 {
-        let Some(name) = class_names.choose(rng) else { return };
-        let Some(class) = program.get_mut(name) else { continue };
+        let Some(name) = class_names.choose(rng) else {
+            return;
+        };
+        let Some(class) = program.get_mut(name) else {
+            continue;
+        };
         let candidates: Vec<usize> = class
             .methods
             .iter()
@@ -867,7 +873,9 @@ fn inject(
             .filter(|(_, m)| !m.is_init() && !m.flags.is_static() && m.code.is_some())
             .map(|(i, _)| i)
             .collect();
-        let Some(&idx) = candidates.choose(rng) else { continue };
+        let Some(&idx) = candidates.choose(rng) else {
+            continue;
+        };
         let code = class.methods[idx].code.as_mut().expect("filtered on code");
         let mut insns = pattern.clone();
         insns.extend(code.insns.iter().cloned());
@@ -909,7 +917,9 @@ mod tests {
                 plant: vec![],
                 ..WorkloadConfig::default()
             });
-            if p.classes().any(|c| !c.is_interface() && c.interfaces.len() >= 2) {
+            if p.classes()
+                .any(|c| !c.is_interface() && c.interfaces.len() >= 2)
+            {
                 found = true;
                 break;
             }
@@ -1028,7 +1038,10 @@ mod tests {
             .map(WorkloadConfig::sampled)
             .filter(|c| c.classes != g0.classes || c.interfaces != g0.interfaces)
             .count();
-        assert!(distinct > 16, "sampled geometry barely varies: {distinct}/31");
+        assert!(
+            distinct > 16,
+            "sampled geometry barely varies: {distinct}/31"
+        );
     }
 
     #[test]

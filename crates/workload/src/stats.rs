@@ -44,11 +44,7 @@ pub fn suite_stats(benchmarks: &[Benchmark]) -> SuiteStats {
                 .iter()
                 .map(|b| program_byte_size(&b.program) as f64),
         ),
-        errors: geometric_mean(
-            benchmarks
-                .iter()
-                .map(|b| b.oracle().error_count() as f64),
-        ),
+        errors: geometric_mean(benchmarks.iter().map(|b| b.oracle().error_count() as f64)),
     }
 }
 

@@ -29,14 +29,17 @@ fn main() {
         oracle.error_count()
     );
 
-    let report = lbr::jreduce::run_per_error(&program, &oracle, 33.0)
-        .expect("per-error reduction succeeds");
+    let report =
+        lbr::jreduce::run_per_error(&program, &oracle, 33.0).expect("per-error reduction succeeds");
     let (error, size) = report
         .errors
         .iter()
         .min_by_key(|(_, s)| s.bytes)
         .expect("at least one error");
-    println!("smallest witness: {} classes, {} bytes, for:", size.classes, size.bytes);
+    println!(
+        "smallest witness: {} classes, {} bytes, for:",
+        size.classes, size.bytes
+    );
     println!("  {error}\n");
 
     // Re-derive that witness to render the report.

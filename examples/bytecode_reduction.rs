@@ -40,7 +40,10 @@ fn main() {
     // The tool: decompiler A (cast, pattern-match, constructor and
     // super-interface bugs).
     let oracle = DecompilerOracle::new(&program, BugSet::decompiler_a());
-    println!("\nbaseline: {} compiler errors, e.g.:", oracle.error_count());
+    println!(
+        "\nbaseline: {} compiler errors, e.g.:",
+        oracle.error_count()
+    );
     for e in oracle.baseline().iter().take(4) {
         println!("  {e}");
     }

@@ -1,0 +1,39 @@
+//! A custom reduction session (`cargo run --release --example
+//! custom_session`): a planted decompiler bug reduced through a
+//! fault-injected external probe cache — the middleware soaks up the I/O
+//! faults, the result stays bit-identical.
+
+use lbr::core::{FaultPlan, FaultyCache, MemoryCache};
+use lbr::decompiler::{BugSet, DecompilerOracle};
+use lbr::jreduce::ReductionSession;
+use lbr::workload::{generate, WorkloadConfig};
+
+fn main() {
+    let program = generate(&WorkloadConfig {
+        seed: 7,
+        plant: BugSet::decompiler_a().kinds().to_vec(),
+        ..WorkloadConfig::default()
+    });
+    let oracle = DecompilerOracle::new(&program, BugSet::decompiler_a());
+
+    // An in-memory probe cache wrapped in a 40% fault injector: lookups
+    // fail to misses, stores get dropped — but never a wrong result.
+    let cache = MemoryCache::new();
+    let faulty = FaultyCache::new(&cache, FaultPlan { rate: 0.4, seed: 7 });
+
+    let report = ReductionSession::new(&program, &oracle)
+        .cost_per_call(33.0)
+        .cache(&faulty)
+        .probe_threads(2)
+        .run()
+        .expect("reduction succeeds");
+
+    println!(
+        "{}: {} -> {} bytes in {} tool runs ({} faults injected)",
+        report.strategy,
+        report.initial.bytes,
+        report.final_metrics.bytes,
+        report.predicate_calls,
+        faulty.faults_injected(),
+    );
+}

@@ -31,8 +31,9 @@ new App().main();
 
 fn main() {
     let source = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEMO.to_owned(),
     };
     let program = match parse_program(&source) {

@@ -27,7 +27,10 @@ fn main() {
     let mut cnf = figure2_cnf(&reg);
     cnf.dedup_clauses();
     println!("\n=== Dependency constraints ===");
-    println!("{} constraints (Figure 2 lists 32 + 1 duplicate)", cnf.len());
+    println!(
+        "{} constraints (Figure 2 lists 32 + 1 duplicate)",
+        cnf.len()
+    );
     let hist = cnf.shape_histogram();
     println!(
         "  {} edges, {} required, {} general (the mAny-style clauses)",

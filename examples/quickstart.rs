@@ -29,7 +29,7 @@ fn main() {
     cnf.add_clause(Clause::edge(backend_x86, ir)); //      x86 ⇒ ir
     cnf.add_clause(Clause::edge(backend_arm, ir)); //      arm ⇒ ir
     cnf.add_clause(Clause::edge(driver, parser)); //       driver ⇒ parser
-    // driver ⇒ (x86 ∨ arm): the non-graph constraint.
+                                                  // driver ⇒ (x86 ∨ arm): the non-graph constraint.
     cnf.add_clause(Clause::implication([driver], [backend_x86, backend_arm]));
 
     // The black-box predicate: the bug reproduces whenever the driver and
@@ -43,12 +43,19 @@ fn main() {
         generalized_binary_reduction(&instance, &order, &mut oracle, &GbrConfig::default())
             .expect("the input reduces");
 
-    println!("reduced {} pieces to {}:", pool.len(), outcome.solution.len());
+    println!(
+        "reduced {} pieces to {}:",
+        pool.len(),
+        outcome.solution.len()
+    );
     for v in outcome.solution.iter() {
         println!("  - {}", pool.name(v));
     }
     println!("predicate invocations: {}", oracle.calls());
     assert!(outcome.solution.contains(driver));
     assert!(outcome.solution.contains(backend_arm));
-    assert!(!outcome.solution.contains(backend_x86), "x86 backend removed");
+    assert!(
+        !outcome.solution.contains(backend_x86),
+        "x86 backend removed"
+    );
 }

@@ -104,9 +104,7 @@ fn backbone_of_model_with_requirement() {
         .iter()
         .enumerate()
         .find_map(|(i, item)| match item {
-            Item::MethodCode(c, _, _) => {
-                Some((lbr::logic::Var::new(i as u32), c.clone()))
-            }
+            Item::MethodCode(c, _, _) => Some((lbr::logic::Var::new(i as u32), c.clone())),
             _ => None,
         })
         .expect("some method code exists");

@@ -25,13 +25,13 @@ fn regression_dir() -> PathBuf {
 fn replay(name: &str) -> lbr_fuzz::CaseOutcome {
     let path = regression_dir().join(name);
     let case = FuzzCase::load(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let scratch = std::env::temp_dir().join(format!(
-        "lbr-fuzz-regr-{}-{name}",
-        std::process::id()
-    ));
+    let scratch = std::env::temp_dir().join(format!("lbr-fuzz-regr-{}-{name}", std::process::id()));
     let harness = Harness::new(scratch).expect("scratch dir");
     let outcome = harness.run_case(&case, false);
-    assert!(!outcome.skipped, "{name}: case no longer qualifies — generator drift?");
+    assert!(
+        !outcome.skipped,
+        "{name}: case no longer qualifies — generator drift?"
+    );
     outcome
 }
 
@@ -43,7 +43,10 @@ fn i5_tripwire_case_replays_clean() {
         "the pinned I5 case must stay within the 25% tripwire: {:?}",
         outcome.violations
     );
-    assert!(outcome.progressions >= 5, "all in-process progressions must run");
+    assert!(
+        outcome.progressions >= 5,
+        "all in-process progressions must run"
+    );
 }
 
 #[test]
@@ -73,6 +76,10 @@ fn regression_files_record_their_provenance() {
             "{}: a pinned case must record the violation that produced it",
             path.display()
         );
-        assert!(case.keep_classes.is_some(), "{}: pinned cases are shrunk", path.display());
+        assert!(
+            case.keep_classes.is_some(),
+            "{}: pinned cases are shrunk",
+            path.display()
+        );
     }
 }

@@ -9,8 +9,8 @@
 //! while GBR's 11-item optimum does not.
 
 use lbr::core::{
-    binary_reduction, closure_size_order, generalized_binary_reduction, lossy_encode,
-    lossy_graph, lossy_is_sound, GbrConfig, Instance, LossyPick,
+    binary_reduction, closure_size_order, generalized_binary_reduction, lossy_encode, lossy_graph,
+    lossy_is_sound, GbrConfig, Instance, LossyPick,
 };
 use lbr::fji::{figure1_program, figure1b_solution, figure2_cnf, figure2_var, ItemRegistry};
 use lbr::logic::{dpll, VarSet};

@@ -8,8 +8,8 @@
 
 use lbr::core::{closure_size_order, generalized_binary_reduction, GbrConfig, Instance, Oracle};
 use lbr::fji::{
-    figure1_program, figure1b_solution, figure2_cnf, figure2_dependency_cnf, figure2_var,
-    pretty, reduce, typecheck_decls, typechecks, ItemRegistry,
+    figure1_program, figure1b_solution, figure2_cnf, figure2_dependency_cnf, figure2_var, pretty,
+    reduce, typecheck_decls, typechecks, ItemRegistry,
 };
 use lbr::logic::{count_models, Clause, Lit, VarSet};
 
@@ -68,8 +68,9 @@ fn gbr_finds_the_optimal_reduction() {
     let mut bug = |s: &VarSet| needed.iter().all(|v| s.contains(*v));
     let mut oracle = Oracle::new(&mut bug, 0.0);
 
-    let outcome = generalized_binary_reduction(&instance, &order, &mut oracle, &GbrConfig::default())
-        .expect("the example reduces");
+    let outcome =
+        generalized_binary_reduction(&instance, &order, &mut oracle, &GbrConfig::default())
+            .expect("the example reduces");
 
     let optimal = figure1b_solution(&reg);
     assert_eq!(

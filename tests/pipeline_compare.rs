@@ -15,7 +15,11 @@ fn all_strategies_are_sound_and_ordered() {
         programs: 2,
         scale: 1.0,
     });
-    assert!(benchmarks.len() >= 3, "suite too small: {}", benchmarks.len());
+    assert!(
+        benchmarks.len() >= 3,
+        "suite too small: {}",
+        benchmarks.len()
+    );
 
     let strategies = [
         Strategy::JReduce,
@@ -84,8 +88,7 @@ fn ddmin_is_sound_but_expensive() {
         0.0,
     )
     .expect("gbr runs");
-    let ddmin = run_reduction(&b.program, &oracle, Strategy::DdminItems, 0.0)
-        .expect("ddmin runs");
+    let ddmin = run_reduction(&b.program, &oracle, Strategy::DdminItems, 0.0).expect("ddmin runs");
     check_report(&gbr).expect("gbr sound");
     check_report(&ddmin).expect("ddmin sound");
     assert!(

@@ -92,8 +92,14 @@ fn msa_returns_models_iff_satisfiable() {
         for strategy in lbr::logic::MsaStrategy::ALL {
             match lbr::logic::msa(&cnf, &order, strategy) {
                 Some(model) => {
-                    assert!(sat, "seed {seed}: {strategy:?} found a model of an unsat formula");
-                    assert!(cnf.eval(&model), "seed {seed}: {strategy:?} returned a non-model");
+                    assert!(
+                        sat,
+                        "seed {seed}: {strategy:?} found a model of an unsat formula"
+                    );
+                    assert!(
+                        cnf.eval(&model),
+                        "seed {seed}: {strategy:?} returned a non-model"
+                    );
                 }
                 None => assert!(!sat, "seed {seed}: {strategy:?} missed a model"),
             }
@@ -185,8 +191,7 @@ fn bytecode_theorem_models_reduce_to_verifying_programs() {
                     .collect(),
             );
             let forced = Lit::pos(Var::new((probe as usize * 13 % n) as u32));
-            if let Some((solution, _)) =
-                dpll::solve_with_assumptions(&model.cnf, &order, &[forced])
+            if let Some((solution, _)) = dpll::solve_with_assumptions(&model.cnf, &order, &[forced])
             {
                 let reduced = reduce_program(&program, &model.registry, &solution);
                 let errors = lbr::classfile::verify_program(&reduced);

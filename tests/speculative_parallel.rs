@@ -9,9 +9,7 @@ use lbr::core::{
     GbrConfig, Instance, Oracle, SpeculationConfig,
 };
 use lbr::fji::{figure1_program, figure1b_solution, figure2_cnf, figure2_var, ItemRegistry};
-use lbr::jreduce::{
-    check_report, run_per_error_with, run_reduction_with, RunOptions, Strategy,
-};
+use lbr::jreduce::{check_report, run_per_error_with, run_reduction_with, RunOptions, Strategy};
 use lbr::logic::{count_models, count_models_parallel, MsaStrategy, VarSet};
 use lbr::workload::{suite, SuiteConfig};
 
@@ -96,16 +94,15 @@ fn pipeline_probe_threads_is_bit_identical() {
                 check_report(&parallel).expect("parallel sound");
                 assert_eq!(parallel.reduced, sequential.reduced, "{}", b.name);
                 assert_eq!(parallel.predicate_calls, sequential.predicate_calls);
-                assert_eq!(parallel.cache_hits, sequential.cache_hits);
-                assert_eq!(parallel.cache_misses, sequential.cache_misses);
+                assert_eq!(parallel.cache_hits(), sequential.cache_hits());
+                assert_eq!(parallel.cache_misses(), sequential.cache_misses());
                 assert_eq!(parallel.final_metrics, sequential.final_metrics);
                 assert_eq!(trace_shape(&parallel.trace), trace_shape(&sequential.trace));
                 // Modeled time charges only the logical probe sequence, so
                 // wasted speculation must not inflate it.
                 assert!((parallel.modeled_secs - sequential.modeled_secs).abs() < 1e-9);
                 assert_eq!(
-                    parallel.probe_stats.useful_calls,
-                    parallel.predicate_calls,
+                    parallel.probe_stats.useful_calls, parallel.predicate_calls,
                     "useful probes are exactly the logical probes"
                 );
             }
@@ -153,7 +150,11 @@ fn parallel_model_counting_matches_sequential() {
     let dep = lbr::fji::figure2_dependency_cnf(&reg);
     assert_eq!(count_models(&dep), 6_766);
     for threads in [1usize, 2, 4, 8] {
-        assert_eq!(count_models_parallel(&dep, threads), 6_766, "threads {threads}");
+        assert_eq!(
+            count_models_parallel(&dep, threads),
+            6_766,
+            "threads {threads}"
+        );
     }
     // And on the full Figure 2 CNF with the root requirement.
     let cnf = figure2_cnf(&reg);

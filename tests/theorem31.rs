@@ -45,7 +45,11 @@ fn every_full_model_reduces_to_a_typechecking_program() {
     let models = all_models(&cnf, 7_000);
     // The main expression `new M().main()` pins [M] and [M.main()],
     // shrinking the space below the 6,766 declaration-only models.
-    assert!(!models.is_empty() && models.len() < 6_766, "{}", models.len());
+    assert!(
+        !models.is_empty() && models.len() < 6_766,
+        "{}",
+        models.len()
+    );
     for (i, model) in models.iter().enumerate() {
         let reduced = reduce(&program, &reg, model);
         if let Err(e) = typechecks(&reduced) {
@@ -71,9 +75,14 @@ fn converse_of_theorem_31_does_not_hold() {
     let reg = ItemRegistry::from_program(&program);
     let mut phi = VarSet::empty(reg.len());
     for name in [
-        "A", "A<I", "A.m()!code", // code kept, method dropped: violates φ ⊨ π
-        "I", // kept with no signatures, so no obligations fire
-        "M", "M.x()", "M.main()", "M.main()!code", // M.x's body is stubbed
+        "A",
+        "A<I",
+        "A.m()!code", // code kept, method dropped: violates φ ⊨ π
+        "I",          // kept with no signatures, so no obligations fire
+        "M",
+        "M.x()",
+        "M.main()",
+        "M.main()!code", // M.x's body is stubbed
     ] {
         phi.insert(figure2_var(&reg, name));
     }
@@ -99,5 +108,8 @@ fn non_models_can_produce_ill_typed_programs() {
     let cnf = figure2_dependency_cnf(&reg);
     assert!(!cnf.eval(&bad), "the assignment must violate the model");
     let reduced = reduce(&program, &reg, &bad);
-    assert!(typechecks(&reduced).is_err(), "the reduction must not type check");
+    assert!(
+        typechecks(&reduced).is_err(),
+        "the reduction must not type check"
+    );
 }
