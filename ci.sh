@@ -99,6 +99,28 @@ grep -o '"warm_hits":[0-9]*' "$smoke_dir/stats.json" | grep -qv ':0$'
 wait "$svc_pid" 2>/dev/null || true
 svc_pid=""
 
+echo "== binary framing smoke (byte-identical to JSON framing) =="
+# The compact binary wire format is an encoding, not a semantic change: the
+# same job submitted over --binary must produce byte-identical output and
+# the same trace digest as the JSON-framed reference run above.
+./target/release/lbr-serviced --state-dir "$svc" --workers 2 >/dev/null &
+svc_pid=$!
+wait_daemon
+./target/release/reduce-client --state-dir "$svc" --binary submit \
+    --input "$smoke_dir/daemon.lbrc" --decompiler a \
+    --out "$smoke_dir/binary.lbrc" --wait >"$smoke_dir/binary.json"
+bin_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/binary.json")
+[ -n "$bin_digest" ] && [ "$ref_digest" = "$bin_digest" ]
+cmp "$smoke_dir/ref.lbrc" "$smoke_dir/binary.lbrc"
+./target/release/reduce-client --state-dir "$svc" shutdown >/dev/null
+wait "$svc_pid" 2>/dev/null || true
+svc_pid=""
+
+echo "== saturation smoke (fixed seed, queue-full must shed, not hang) =="
+# Offered load far above a tiny queue's capacity: every arrival must either
+# complete or be shed with an explicit retry_after_ms — never time out.
+./target/release/loadgen --smoke --seed 1
+
 echo "== differential fuzzing gate (fixed seed, every progression) =="
 # A fixed-seed campaign across every progression must come back clean; the
 # seed pins the exact case stream, so a violation here is reproducible with
@@ -124,12 +146,20 @@ if ./target/release/fuzz --replay "$broken_case" --no-daemon >/dev/null 2>&1; th
     exit 1
 fi
 
-# Optional wall-time gate against the committed baseline: BENCH_GATE=1 ./ci.sh
+# Optional wall-time gates against the committed baselines: BENCH_GATE=1 ./ci.sh
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== bench gate (<=10% wall regression vs BENCH_baseline.json) =="
     ./target/release/eval --experiment fig8a --programs 2 --scale 0.6 \
         --json "$smoke_dir/current.json" >/dev/null
     ./target/release/bench_compare BENCH_baseline.json "$smoke_dir/current.json"
+
+    echo "== service gate (warm >=150 jobs/s, <=30% drift vs BENCH_service.json) =="
+    # Warm throughput and p95 are wall-clock-sensitive, so the drift threshold
+    # is looser than the deterministic wall gate above; the 150 jobs/s floor on
+    # the highest-worker run is absolute.
+    ./target/release/loadgen --out "$smoke_dir/service.json" >/dev/null
+    ./target/release/bench_compare BENCH_service.json "$smoke_dir/service.json" \
+        --service --threshold 30 --min-warm-jps 150
 fi
 
 echo "CI OK"

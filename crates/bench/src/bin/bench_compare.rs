@@ -351,11 +351,91 @@ fn compare_identical(baseline: &Json, current: &Json) -> ExitCode {
     }
 }
 
+/// Service gate over two `BENCH_service.json` files (loadgen output):
+/// per worker count, warm throughput may not drop more than
+/// `threshold_pct` below baseline and warm p95 may not rise more than
+/// `threshold_pct` above it; additionally the highest-worker run must
+/// sustain at least `min_warm_jps` warm jobs/sec absolute.
+fn compare_service(
+    baseline: &Json,
+    current: &Json,
+    threshold_pct: f64,
+    min_warm_jps: f64,
+) -> ExitCode {
+    let runs_of = |doc: &Json| -> BTreeMap<u64, Json> {
+        doc.get("runs")
+            .map(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|r| (r.num_field("workers") as u64, r.clone()))
+            .collect()
+    };
+    let base = runs_of(baseline);
+    let runs = runs_of(current);
+    let mut compared = 0usize;
+    let mut failed = false;
+    for (workers, run) in &runs {
+        let warm = |r: &Json, f: &str| r.get("warm").map(|w| w.num_field(f)).unwrap_or(f64::NAN);
+        let cur_jps = warm(run, "jobs_per_sec");
+        let cur_p95 = warm(run, "p95_ms");
+        match base.get(workers) {
+            Some(b) => {
+                compared += 1;
+                let base_jps = warm(b, "jobs_per_sec");
+                let base_p95 = warm(b, "p95_ms");
+                let jps_floor = base_jps * (1.0 - threshold_pct / 100.0);
+                let p95_ceil = base_p95 * (1.0 + threshold_pct / 100.0);
+                let jps_bad = cur_jps < jps_floor;
+                // A p95 gate only makes sense against a sane baseline.
+                let p95_bad = base_p95.is_finite() && base_p95 > 0.0 && cur_p95 > p95_ceil;
+                failed |= jps_bad || p95_bad;
+                println!(
+                    "{workers:>2} workers  warm {base_jps:>8.2} → {cur_jps:>8.2} jobs/s  p95 {base_p95:>7.1} → {cur_p95:>7.1} ms  {}",
+                    if jps_bad || p95_bad { "REGRESSION" } else { "ok" }
+                );
+            }
+            None => println!("{workers:>2} workers  (not in baseline, skipped)"),
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench_compare: no common worker counts to compare");
+        return ExitCode::from(2);
+    }
+    if min_warm_jps > 0.0 {
+        match runs.iter().next_back() {
+            Some((workers, run)) => {
+                let jps = run
+                    .get("warm")
+                    .map(|w| w.num_field("jobs_per_sec"))
+                    .unwrap_or(f64::NAN);
+                let ok = jps >= min_warm_jps;
+                failed |= !ok;
+                println!(
+                    "{workers:>2} workers  warm floor {min_warm_jps:>8.2} jobs/s, measured {jps:>8.2}  {}",
+                    if ok { "ok" } else { "BELOW FLOOR" }
+                );
+            }
+            None => unreachable!("compared > 0"),
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_compare: service gate failed (threshold {threshold_pct:.0}%, floor {min_warm_jps:.0} jobs/s)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_compare: service throughput and p95 within gates");
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<String> = Vec::new();
     let mut threshold_pct = 10.0f64;
+    let mut min_warm_jps = 0.0f64;
     let mut identical = false;
+    let mut service = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -369,17 +449,37 @@ fn main() -> ExitCode {
                     });
                 i += 2;
             }
+            "--min-warm-jps" => {
+                min_warm_jps = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--min-warm-jps takes a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
             "--identical" => {
                 identical = true;
                 i += 1;
             }
+            "--service" => {
+                service = true;
+                i += 1;
+            }
             "--help" | "-h" => {
-                println!("usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical]");
+                println!("usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT]");
+                println!("                     [--identical | --service [--min-warm-jps N]]");
                 println!();
                 println!(
                     "  default      fail on per-strategy wall-time regression > PCT% (default 10)"
                 );
                 println!("  --identical  fail unless per-run calls, sizes and cache totals match");
+                println!(
+                    "  --service    gate BENCH_service.json: warm jobs/sec and p95 within PCT%"
+                );
+                println!("               of baseline per worker count; with --min-warm-jps, the");
+                println!("               highest-worker run must also sustain that absolute floor");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -390,7 +490,7 @@ fn main() -> ExitCode {
     }
     let [baseline, current] = files.as_slice() else {
         eprintln!(
-            "usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical]"
+            "usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical | --service]"
         );
         return ExitCode::from(2);
     };
@@ -398,6 +498,8 @@ fn main() -> ExitCode {
     let current = parse_file(current);
     if identical {
         compare_identical(&baseline, &current)
+    } else if service {
+        compare_service(&baseline, &current, threshold_pct, min_warm_jps)
     } else {
         compare_wall(&baseline, &current, threshold_pct)
     }

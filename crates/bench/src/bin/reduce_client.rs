@@ -7,7 +7,7 @@
 //!   submit --input bench.lbrc [--decompiler a|b|c|all] [--strategy S]
 //!          [--out reduced.lbrc] [--priority N] [--cost SECS]
 //!          [--probe-threads N] [--probe-latency-micros N]
-//!          [--deadline-secs F] [--wait]
+//!          [--deadline-secs F] [--wait] [--events]
 //!   status --id N
 //!   result --id N [--wait]
 //!   cancel --id N
@@ -16,11 +16,16 @@
 //!   ping
 //! ```
 //!
+//! `--binary` negotiates the compact binary framing over one persistent
+//! connection (daemons that do not offer it transparently fall back to
+//! line JSON); `--events` streams `running`/`progress` events to stderr
+//! while a `submit --wait` blocks, instead of the client polling.
+//!
 //! Responses are printed to stdout as one JSON document. Exit status:
 //! `0` on success (for `result --wait`, only when the job finished
 //! `done`), `1` on daemon/job errors, `2` on usage errors.
 
-use lbr_service::{Client, Json};
+use lbr_service::{Client, Connection, Json};
 use std::path::Path;
 
 fn usage() -> ! {
@@ -50,6 +55,9 @@ fn main() {
         println!("  stats                  queue depth, cache hit rates, utilization");
         println!("  shutdown               stop the daemon (running jobs checkpoint)");
         println!("  ping                   liveness check");
+        println!();
+        println!("  --binary               negotiate compact binary framing");
+        println!("  --events               stream job progress events to stderr");
         return;
     }
 
@@ -58,6 +66,8 @@ fn main() {
     let mut op: Option<String> = None;
     let mut id: Option<u64> = None;
     let mut wait = false;
+    let mut binary = false;
+    let mut events = false;
     // submit fields, passed through as the job spec.
     let mut spec: Vec<(&'static str, Json)> = Vec::new();
     let mut i = 0;
@@ -81,6 +91,8 @@ fn main() {
                 }))
             }
             "--wait" => wait = true,
+            "--binary" => binary = true,
+            "--events" => events = true,
             "--input" => spec.push(("input", Json::str(value()))),
             "--decompiler" | "-d" => spec.push(("decompiler", Json::str(value()))),
             "--strategy" | "-s" => spec.push(("strategy", Json::str(value()))),
@@ -137,6 +149,11 @@ fn main() {
     };
     let Some(op) = op else { usage() };
     let need_id = || id.unwrap_or_else(|| usage());
+
+    if binary || events {
+        run_over_connection(&client, &op, spec, id, wait, binary, events);
+        return;
+    }
 
     match op.as_str() {
         "ping" => {
@@ -202,6 +219,117 @@ fn main() {
             client
                 .shutdown()
                 .unwrap_or_else(|e| fail(format!("shutdown: {e}")));
+            println!("{{\"ok\":true}}");
+        }
+        other => {
+            eprintln!("unknown op {other} (try --help)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The persistent-connection path: negotiated framing, optional event
+/// stream. Used whenever `--binary` or `--events` is requested.
+fn run_over_connection(
+    client: &Client,
+    op: &str,
+    spec: Vec<(&'static str, Json)>,
+    id: Option<u64>,
+    wait: bool,
+    binary: bool,
+    events: bool,
+) {
+    let mut conn = Connection::negotiate(client.addr(), binary)
+        .unwrap_or_else(|e| fail(format!("cannot connect to {}: {e}", client.addr())));
+    if binary && conn.framing() != lbr_service::Framing::Binary {
+        eprintln!("note: daemon does not offer binary framing, using JSON");
+    }
+    let need_id = || id.unwrap_or_else(|| usage());
+    let expect = |r: std::io::Result<Json>, what: &str| -> Json {
+        r.unwrap_or_else(|e| fail(format!("{what}: {e}")))
+    };
+    match op {
+        "ping" => {
+            expect(
+                conn.expect_ok(&Json::obj([("op", Json::str("ping"))])),
+                "ping",
+            );
+            println!("{{\"ok\":true}}");
+        }
+        "submit" => {
+            let job_id = conn
+                .submit(&Json::obj_from(spec), events)
+                .unwrap_or_else(|e| fail(format!("submit: {e}")));
+            if !wait {
+                println!("{{\"id\":{job_id}}}");
+                return;
+            }
+            let result = if events {
+                // The terminal event carries the result; progress goes to
+                // stderr as it streams in.
+                loop {
+                    let ev = expect(conn.next_event(), "event stream");
+                    match ev.str_field("event") {
+                        Some("terminal") => break ev.get("result").cloned().unwrap_or(Json::Null),
+                        Some("error") => fail(format!(
+                            "job {job_id}: {}",
+                            ev.str_field("error").unwrap_or("daemon error")
+                        )),
+                        _ => eprintln!("{}", ev.render()),
+                    }
+                }
+            } else {
+                expect(conn.wait_result(job_id), "waiting")
+            };
+            println!("{}", result.render());
+            if result.str_field("status") != Some("done") {
+                std::process::exit(1);
+            }
+        }
+        "status" => {
+            let doc = expect(
+                conn.expect_ok(&Json::obj([
+                    ("op", Json::str("status")),
+                    ("id", Json::count(need_id())),
+                ])),
+                "status",
+            );
+            println!("{}", doc.render());
+        }
+        "result" => {
+            let job_id = need_id();
+            let result = if wait {
+                expect(conn.wait_result(job_id), "result")
+            } else {
+                expect(
+                    conn.expect_ok(&Json::obj([
+                        ("op", Json::str("result")),
+                        ("id", Json::count(job_id)),
+                    ])),
+                    "result",
+                )
+                .get("result")
+                .cloned()
+                .unwrap_or(Json::Null)
+            };
+            println!("{}", result.render());
+            if result.str_field("status") != Some("done") {
+                std::process::exit(1);
+            }
+        }
+        "cancel" => {
+            expect(conn.cancel(need_id()).map(|()| Json::Null), "cancel");
+            println!("{{\"ok\":true}}");
+        }
+        "stats" => {
+            let doc = expect(conn.stats(), "stats");
+            println!("{}", doc.render());
+        }
+        "shutdown" => {
+            expect(
+                conn.expect_ok(&Json::obj([("op", Json::str("shutdown"))])),
+                "shutdown",
+            );
             println!("{{\"ok\":true}}");
         }
         other => {

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! lbr-serviced --state-dir state/ [--workers N] [--queue-capacity N]
+//!              [--shards N] [--idle-timeout-secs N] [--max-frame-kb N]
+//!              [--max-inflight N] [--checkpoint-interval-ms N]
 //! ```
 //!
 //! Binds an ephemeral localhost port, prints it to stdout (and persists it
@@ -11,12 +13,19 @@
 //! checkpointed jobs with a warm oracle cache.
 
 use lbr_service::{Daemon, DaemonConfig};
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut state_dir: Option<String> = None;
     let mut workers = 4usize;
     let mut queue_capacity = 64usize;
+    let mut shards: Option<usize> = None;
+    let mut idle_timeout_secs: Option<u64> = None;
+    let mut max_frame_kb: Option<usize> = None;
+    let mut max_inflight: Option<usize> = None;
+    let mut checkpoint_interval_ms: Option<u64> = None;
+    let mut memoize = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -28,22 +37,28 @@ fn main() {
             i += 1;
             v
         };
+        let parse = |flag: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} takes a number");
+                std::process::exit(2);
+            })
+        };
         match flag {
             "--state-dir" => state_dir = Some(value()),
-            "--workers" => {
-                workers = value().parse().unwrap_or_else(|_| {
-                    eprintln!("--workers takes a number");
-                    std::process::exit(2);
-                })
-            }
-            "--queue-capacity" => {
-                queue_capacity = value().parse().unwrap_or_else(|_| {
-                    eprintln!("--queue-capacity takes a number");
-                    std::process::exit(2);
-                })
-            }
+            "--workers" => workers = parse(flag, value()) as usize,
+            "--queue-capacity" => queue_capacity = parse(flag, value()) as usize,
+            "--shards" => shards = Some(parse(flag, value()) as usize),
+            "--idle-timeout-secs" => idle_timeout_secs = Some(parse(flag, value())),
+            "--max-frame-kb" => max_frame_kb = Some(parse(flag, value()) as usize),
+            "--max-inflight" => max_inflight = Some(parse(flag, value()) as usize),
+            "--checkpoint-interval-ms" => checkpoint_interval_ms = Some(parse(flag, value())),
+            "--memoize" => memoize = true,
             "--help" | "-h" => {
-                println!("usage: lbr-serviced --state-dir DIR [--workers N] [--queue-capacity N]");
+                println!(
+                    "usage: lbr-serviced --state-dir DIR [--workers N] [--queue-capacity N]\n\
+                     \x20                   [--shards N] [--idle-timeout-secs N] [--max-frame-kb N]\n\
+                     \x20                   [--max-inflight N] [--checkpoint-interval-ms N] [--memoize]"
+                );
                 return;
             }
             other => {
@@ -59,6 +74,22 @@ fn main() {
     };
     let mut config = DaemonConfig::new(state_dir, workers);
     config.queue_capacity = queue_capacity.max(1);
+    if let Some(n) = shards {
+        config.shards = n.max(1);
+    }
+    if let Some(secs) = idle_timeout_secs {
+        config.idle_timeout = Duration::from_secs(secs.max(1));
+    }
+    if let Some(kb) = max_frame_kb {
+        config.max_frame_bytes = kb.max(1) * 1024;
+    }
+    if let Some(n) = max_inflight {
+        config.max_inflight_per_client = n.max(1);
+    }
+    if let Some(ms) = checkpoint_interval_ms {
+        config.checkpoint_interval = Duration::from_millis(ms);
+    }
+    config.memoize_results = memoize;
     let daemon = match Daemon::start(config) {
         Ok(d) => d,
         Err(e) => {

@@ -38,15 +38,19 @@ pub mod cache;
 pub mod checkpoint;
 pub mod client;
 pub mod daemon;
+pub mod frame;
 pub mod fsio;
 pub mod job;
 pub mod json;
 pub mod queue;
+mod reactor;
+mod shard;
 
 pub use cache::{namespace_digest, CacheStats, FaultPlan, NamespacedCache, PersistentOracleCache};
 pub use checkpoint::{load_checkpoint, save_checkpoint};
-pub use client::Client;
+pub use client::{Client, Connection};
 pub use daemon::{Daemon, DaemonConfig};
+pub use frame::{FrameDecoder, Framing, WireError, WireFrame};
 pub use fsio::{atomic_write, atomic_write_str};
 pub use job::{JobPhase, JobSpec};
 pub use json::Json;

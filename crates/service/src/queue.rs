@@ -3,23 +3,35 @@
 //! Higher priority pops first; within a priority, submission order (FIFO).
 //! The queue is bounded — a full queue *rejects* the submit rather than
 //! blocking the connection handler, so a flood of submissions cannot wedge
-//! the protocol or grow memory without bound. `pop` blocks on a condvar
-//! until work arrives or the queue is closed for shutdown.
+//! the protocol or grow memory without bound (the daemon turns the
+//! rejection into an explicit shed-with-`retry_after_ms` response). `pop`
+//! blocks on a condvar until work arrives or the queue is closed for
+//! shutdown, and reports how long the popped job sat queued so the stats
+//! endpoint can surface queue-wait time.
 
 use std::collections::BinaryHeap;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Returned by [`JobQueue::push`] when the queue is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueFull;
 
-#[derive(PartialEq, Eq)]
 struct QueueItem {
     priority: u8,
     /// Tie-breaker: smaller sequence number (earlier submit) pops first.
     seq: u64,
     job_id: u64,
+    queued_at: Instant,
 }
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for QueueItem {}
 
 impl Ord for QueueItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -76,18 +88,20 @@ impl JobQueue {
             priority,
             seq,
             job_id,
+            queued_at: Instant::now(),
         });
         self.available.notify_one();
         Ok(())
     }
 
-    /// Blocks until a job is available and pops the highest-priority one;
-    /// `None` once the queue is closed *and* drained (worker shutdown).
-    pub fn pop(&self) -> Option<u64> {
+    /// Blocks until a job is available and pops the highest-priority one
+    /// together with how long it waited; `None` once the queue is closed
+    /// *and* drained (worker shutdown).
+    pub fn pop(&self) -> Option<(u64, Duration)> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
             if let Some(item) = inner.heap.pop() {
-                return Some(item.job_id);
+                return Some((item.job_id, item.queued_at.elapsed()));
             }
             if inner.closed {
                 return None;
@@ -107,11 +121,20 @@ impl JobQueue {
     pub fn depth(&self) -> usize {
         self.inner.lock().expect("queue lock").heap.len()
     }
+
+    /// The configured bound on pending jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn pop_id(q: &JobQueue) -> Option<u64> {
+        q.pop().map(|(id, _)| id)
+    }
 
     #[test]
     fn priority_then_fifo() {
@@ -121,32 +144,35 @@ mod tests {
         q.push(3, 5).unwrap();
         q.push(4, 9).unwrap();
         assert_eq!(q.depth(), 4);
-        assert_eq!(q.pop(), Some(4));
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), Some(3));
-        assert_eq!(q.pop(), Some(1));
+        assert_eq!(pop_id(&q), Some(4));
+        assert_eq!(pop_id(&q), Some(2));
+        assert_eq!(pop_id(&q), Some(3));
+        assert_eq!(pop_id(&q), Some(1));
     }
 
     #[test]
     fn bounded_and_closable() {
         let q = JobQueue::new(2);
+        assert_eq!(q.capacity(), 2);
         q.push(1, 0).unwrap();
         q.push(2, 0).unwrap();
         assert_eq!(q.push(3, 9), Err(QueueFull));
         q.close();
         assert_eq!(q.push(4, 0), Err(QueueFull));
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), None);
+        assert_eq!(pop_id(&q), Some(1));
+        assert_eq!(pop_id(&q), Some(2));
+        assert_eq!(pop_id(&q), None);
     }
 
     #[test]
-    fn pop_blocks_until_push() {
+    fn pop_blocks_until_push_and_reports_wait() {
         let q = std::sync::Arc::new(JobQueue::new(4));
         let q2 = q.clone();
         let handle = std::thread::spawn(move || q2.pop());
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.push(42, 1).unwrap();
-        assert_eq!(handle.join().unwrap(), Some(42));
+        let (id, waited) = handle.join().unwrap().expect("queued item");
+        assert_eq!(id, 42);
+        assert!(waited <= Duration::from_secs(5), "wait is sane: {waited:?}");
     }
 }

@@ -1,0 +1,479 @@
+//! Readiness polling for the daemon's event-loop shards.
+//!
+//! The workspace is dependency-free, so the Linux fast path drives
+//! `epoll` through raw syscalls (`epoll_create1` / `epoll_ctl` /
+//! `epoll_pwait`, level-triggered); everywhere else a portable fallback
+//! treats every registered descriptor as ready on a short tick — correct
+//! (all I/O is non-blocking) at the cost of idle wakeups. The [`Waker`]
+//! is a non-blocking `UnixStream` pair: any thread can nudge a parked
+//! shard by writing one byte.
+
+use std::io;
+use std::net::TcpStream;
+
+#[cfg(unix)]
+use std::os::fd::{AsRawFd, RawFd};
+#[cfg(not(unix))]
+type RawFd = i32;
+
+/// Token reserved for the shard's [`Waker`]; connections use ids > 0.
+pub(crate) const WAKER_TOKEN: u64 = 0;
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// The token the descriptor was registered under.
+    pub token: u64,
+    /// Reading will make progress (data, EOF, or error to collect).
+    pub readable: bool,
+    /// Writing will make progress.
+    pub writable: bool,
+}
+
+// ----------------------------------------------------------------------
+// Linux: epoll via raw syscalls.
+// ----------------------------------------------------------------------
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use super::{Event, RawFd};
+    use std::io;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const CLOSE: usize = 3;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EPOLL_CREATE1: usize = 291;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const CLOSE: usize = 57;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const EPOLL_CREATE1: usize = 20;
+    }
+
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// The kernel's `struct epoll_event`. x86_64 packs it to 12 bytes;
+    /// other architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(n: usize, args: [usize; 6]) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") args[0],
+            in("rsi") args[1],
+            in("rdx") args[2],
+            in("r10") args[3],
+            in("r8") args[4],
+            in("r9") args[5],
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(n: usize, args: [usize; 6]) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") args[0] => ret,
+            in("x1") args[1],
+            in("x2") args[2],
+            in("x3") args[3],
+            in("x4") args[4],
+            in("x5") args[5],
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    fn interest(writable: bool) -> u32 {
+        // Level-triggered; RDHUP so a peer half-close reads as readable.
+        EPOLLIN | EPOLLRDHUP | if writable { EPOLLOUT } else { 0 }
+    }
+
+    /// An epoll instance.
+    pub(crate) struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd =
+                check(unsafe { syscall6(nr::EPOLL_CREATE1, [EPOLL_CLOEXEC, 0, 0, 0, 0, 0]) })?
+                    as RawFd;
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: usize, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            let event = EpollEvent {
+                events: interest(writable),
+                data: token,
+            };
+            let ptr = if op == EPOLL_CTL_DEL {
+                std::ptr::null()
+            } else {
+                &event as *const EpollEvent
+            };
+            check(unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    [self.epfd as usize, op, fd as usize, ptr as usize, 0, 0],
+                )
+            })
+            .map(|_| ())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, writable)
+        }
+
+        pub fn rearm(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, writable)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, false)
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            events.clear();
+            const CAP: usize = 256;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; CAP];
+            let n = unsafe {
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    [
+                        self.epfd as usize,
+                        raw.as_mut_ptr() as usize,
+                        CAP,
+                        timeout_ms as usize,
+                        0, // no sigmask
+                        8, // sigsetsize
+                    ],
+                )
+            };
+            if n == -(4isize) {
+                return Ok(()); // EINTR: treat as an empty wakeup
+            }
+            let n = check(n)?;
+            for ev in &raw[..n] {
+                let ev = *ev; // copy out of the (possibly packed) array
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                let _ = syscall6(nr::CLOSE, [self.epfd as usize, 0, 0, 0, 0, 0]);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fallback: report every registered descriptor as ready on a short tick.
+// ----------------------------------------------------------------------
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use super::{Event, RawFd};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// A degenerate poller: `wait` sleeps one tick and reports every
+    /// registered descriptor ready. Non-blocking I/O keeps this correct;
+    /// it only costs idle wakeups.
+    pub(crate) struct Poller {
+        registered: Mutex<BTreeMap<RawFd, (u64, bool)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Mutex::new(BTreeMap::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.registered
+                .lock()
+                .expect("poller lock")
+                .insert(fd, (token, writable));
+            Ok(())
+        }
+
+        pub fn rearm(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.register(fd, token, writable)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().expect("poller lock").remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            events.clear();
+            std::thread::sleep(Duration::from_millis(timeout_ms.clamp(1, 10) as u64));
+            for (&_fd, &(token, writable)) in self.registered.lock().expect("poller lock").iter() {
+                events.push(Event {
+                    token,
+                    readable: true,
+                    writable,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Readiness multiplexer over non-blocking descriptors. See module docs.
+pub(crate) struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// A fresh poller instance.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Starts watching `stream` under `token`; `writable` adds write
+    /// interest on top of the always-on read interest.
+    pub fn register(&self, stream: &TcpStream, token: u64, writable: bool) -> io::Result<()> {
+        self.inner.register(raw_fd(stream), token, writable)
+    }
+
+    /// Updates the interest set of an already-registered stream.
+    pub fn rearm(&self, stream: &TcpStream, token: u64, writable: bool) -> io::Result<()> {
+        self.inner.rearm(raw_fd(stream), token, writable)
+    }
+
+    /// Stops watching `stream` (must precede closing it).
+    pub fn deregister(&self, stream: &TcpStream) -> io::Result<()> {
+        self.inner.deregister(raw_fd(stream))
+    }
+
+    /// Registers the read end of a [`Waker`].
+    pub fn register_waker(&self, waker: &Waker) -> io::Result<()> {
+        self.inner.register(waker.read_fd(), WAKER_TOKEN, false)
+    }
+
+    /// Blocks up to `timeout_ms` for readiness; fills `events`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        self.inner.wait(events, timeout_ms)
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd(stream: &TcpStream) -> RawFd {
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd(_stream: &TcpStream) -> RawFd {
+    0
+}
+
+// ----------------------------------------------------------------------
+// Waker.
+// ----------------------------------------------------------------------
+
+#[cfg(unix)]
+mod waker {
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+
+    /// Wakes a parked shard from any thread: one byte down a
+    /// non-blocking socket pair. Writes coalesce — a full pipe means a
+    /// wakeup is already pending, which is all we need.
+    pub(crate) struct Waker {
+        read: UnixStream,
+        write: UnixStream,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let (read, write) = UnixStream::pair()?;
+            read.set_nonblocking(true)?;
+            write.set_nonblocking(true)?;
+            Ok(Waker { read, write })
+        }
+
+        /// Nudges the owning shard; never blocks.
+        pub fn wake(&self) {
+            let _ = (&self.write).write(&[1]);
+        }
+
+        /// Consumes pending wakeups (called by the shard on readiness).
+        pub fn drain(&self) {
+            let mut sink = [0u8; 64];
+            while matches!((&self.read).read(&mut sink), Ok(n) if n > 0) {}
+        }
+
+        pub fn read_fd(&self) -> RawFd {
+            self.read.as_raw_fd()
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod waker {
+    use std::io;
+
+    /// Fallback waker: the scan poller ticks on a timeout anyway, so
+    /// waking is a no-op with bounded extra latency.
+    pub(crate) struct Waker;
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            Ok(Waker)
+        }
+
+        pub fn wake(&self) {}
+
+        pub fn drain(&self) {}
+
+        pub fn read_fd(&self) -> super::RawFd {
+            -1
+        }
+    }
+}
+
+pub(crate) use waker::Waker;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_after_peer_write_and_on_eof() {
+        let (a, mut b) = pair();
+        a.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(&a, 7, false).unwrap();
+        let mut events = Vec::new();
+
+        b.write_all(b"x").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            poller.wait(&mut events, 100).unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no readable event arrived");
+        }
+        let mut buf = [0u8; 8];
+        assert_eq!((&a).read(&mut buf).unwrap(), 1);
+
+        drop(b); // EOF must also surface as readable
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            poller.wait(&mut events, 100).unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no EOF event arrived");
+        }
+        assert_eq!((&a).read(&mut buf).unwrap(), 0);
+        poller.deregister(&a).unwrap();
+    }
+
+    #[test]
+    fn waker_unblocks_a_parked_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.register_waker(&waker).unwrap();
+        waker.wake();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller.wait(&mut events, 5_000).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "wait did not wake promptly"
+        );
+        waker.drain();
+        waker.wake();
+        waker.wake(); // coalesces, never blocks
+        waker.drain();
+    }
+
+    #[test]
+    fn write_interest_is_reported_when_armed() {
+        let (a, _b) = pair();
+        a.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(&a, 3, false).unwrap();
+        poller.rearm(&a, 3, true).unwrap();
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            poller.wait(&mut events, 100).unwrap();
+            if events.iter().any(|e| e.token == 3 && e.writable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no writable event arrived");
+        }
+    }
+}

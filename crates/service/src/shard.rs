@@ -1,0 +1,414 @@
+//! Event-loop shards: the daemon's connection plane.
+//!
+//! A single acceptor hands each new connection to one of N shards
+//! (round-robin). Each shard owns its connections outright — sockets,
+//! read decoders, write buffers — and multiplexes them with one
+//! [`Poller`](crate::reactor::Poller) on one thread, so thousands of
+//! idle connections cost no threads and no stacks. Other threads talk
+//! to a shard only through its mailbox ([`ShardHandle::send`]): new
+//! connections from the acceptor, and pre-encoded response/event bytes
+//! from workers completing jobs.
+//!
+//! Fairness and protection, per connection:
+//! * reads are capped per tick (a chatty peer cannot starve the rest;
+//!   level-triggered readiness re-reports the remainder next tick);
+//! * frames and lines are capped at `max_frame_bytes` — an oversize
+//!   frame is answered with an error and the connection closed;
+//! * a connection idle past `idle_timeout` is closed, unless it is
+//!   parked on a deferred reply (`result --wait`, progress streams);
+//! * write backlogs past a hard cap close the connection (a peer that
+//!   stops reading cannot pin buffer memory); progress events are
+//!   dropped — counted, never blocking — once a softer cap is passed.
+
+use crate::daemon::{dispatch_frame, ServiceState};
+use crate::frame::FrameDecoder;
+use crate::reactor::{Event, Poller, Waker, WAKER_TOKEN};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-tick read budget per connection (fairness bound).
+const READ_BUDGET: usize = 64 * 1024;
+/// Write backlog (bytes) past which progress events are dropped.
+const EVENT_BACKLOG_CAP: usize = 1 << 20;
+/// Write backlog (bytes) past which the connection is closed.
+const HARD_BACKLOG_CAP: usize = 16 << 20;
+/// Poll timeout: idle-sweep resolution and fallback-poller tick.
+const TICK_MS: i32 = 50;
+
+/// What other threads may ask of a shard.
+pub(crate) enum ShardMsg {
+    /// Adopt a freshly accepted connection.
+    Conn(TcpStream),
+    /// Write pre-encoded bytes to connection `conn` (dropped silently if
+    /// it is gone).
+    Deliver {
+        /// Shard-local connection id.
+        conn: u64,
+        /// Fully encoded frame(s), ready for the socket.
+        bytes: Vec<u8>,
+        /// This delivery completes a deferred reply: the connection's
+        /// idle-exemption count drops by one.
+        ends_wait: bool,
+        /// Drop instead of queueing when the peer is backlogged
+        /// (non-terminal progress events only).
+        droppable: bool,
+    },
+}
+
+/// A shard's cross-thread face: mailbox, waker, and counters.
+pub(crate) struct ShardHandle {
+    mailbox: Mutex<Vec<ShardMsg>>,
+    waker: Waker,
+    /// Connections currently owned by this shard.
+    pub open_conns: AtomicU64,
+    /// Nanoseconds spent processing (vs parked in the poller).
+    pub busy_nanos: AtomicU64,
+    /// Complete frames decoded from peers.
+    pub frames_in: AtomicU64,
+    /// Frames written to peers (responses and events).
+    pub frames_out: AtomicU64,
+    /// Progress events dropped on backlogged connections.
+    pub events_dropped: AtomicU64,
+    /// Connections closed by the idle sweep.
+    pub closed_idle: AtomicU64,
+    /// Connections closed for protocol violations (oversize or
+    /// unframeable input, write backlog overflow).
+    pub closed_protocol: AtomicU64,
+}
+
+impl ShardHandle {
+    pub fn new() -> io::Result<ShardHandle> {
+        Ok(ShardHandle {
+            mailbox: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+            open_conns: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            closed_idle: AtomicU64::new(0),
+            closed_protocol: AtomicU64::new(0),
+        })
+    }
+
+    /// Enqueues a message and nudges the shard awake.
+    pub fn send(&self, msg: ShardMsg) {
+        self.mailbox.lock().expect("shard mailbox").push(msg);
+        self.waker.wake();
+    }
+
+    /// Wakes the shard without a message (shutdown broadcast).
+    pub fn wake(&self) {
+        self.waker.wake();
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_pos: usize,
+    last_activity: Instant,
+    want_write: bool,
+    /// Deferred replies parked on this connection (idle-close exempt
+    /// while non-zero).
+    deferred: u32,
+    /// Flush what is queued, then close.
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+enum FlushOutcome {
+    Progress,
+    Dead,
+}
+
+fn try_flush(conn: &mut Conn) -> FlushOutcome {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return FlushOutcome::Dead,
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return FlushOutcome::Dead,
+        }
+    }
+    if conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    } else if conn.out_pos > READ_BUDGET {
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+    FlushOutcome::Progress
+}
+
+/// The shard thread body: serves until the daemon shuts down.
+pub(crate) fn run_shard(state: &ServiceState, shard_id: usize) {
+    let handle = state.shard(shard_id);
+    let poller = match Poller::new() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("lbr-serviced: shard {shard_id}: cannot create poller: {e}");
+            return;
+        }
+    };
+    if let Err(e) = poller.register_waker(&handle.waker) {
+        eprintln!("lbr-serviced: shard {shard_id}: cannot register waker: {e}");
+        return;
+    }
+
+    let idle_timeout = state.config.idle_timeout;
+    let max_frame = state.config.max_frame_bytes;
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 1;
+    let mut events: Vec<Event> = Vec::new();
+    let mut dead: Vec<(u64, bool)> = Vec::new();
+
+    loop {
+        let _ = poller.wait(&mut events, TICK_MS);
+        let tick_start = Instant::now();
+        handle.waker.drain();
+
+        // Adopt new connections and deliveries from the mailbox.
+        let inbox = std::mem::take(&mut *handle.mailbox.lock().expect("shard mailbox"));
+        for msg in inbox {
+            match msg {
+                ShardMsg::Conn(stream) => {
+                    let id = next_id;
+                    next_id += 1;
+                    if poller.register(&stream, id, false).is_err() {
+                        continue;
+                    }
+                    conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(max_frame),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            last_activity: Instant::now(),
+                            want_write: false,
+                            deferred: 0,
+                            close_after_flush: false,
+                        },
+                    );
+                    handle.open_conns.fetch_add(1, Ordering::Relaxed);
+                }
+                ShardMsg::Deliver {
+                    conn,
+                    bytes,
+                    ends_wait,
+                    droppable,
+                } => {
+                    let Some(c) = conns.get_mut(&conn) else {
+                        continue; // peer already hung up
+                    };
+                    if ends_wait {
+                        c.deferred = c.deferred.saturating_sub(1);
+                    }
+                    if droppable && c.backlog() > EVENT_BACKLOG_CAP {
+                        handle.events_dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    c.out.extend_from_slice(&bytes);
+                    handle.frames_out.fetch_add(1, Ordering::Relaxed);
+                    // A delivery is activity: the peer is being served.
+                    c.last_activity = Instant::now();
+                    if matches!(try_flush(c), FlushOutcome::Dead) {
+                        dead.push((conn, false));
+                    } else {
+                        sync_write_interest(&poller, conn, c);
+                    }
+                }
+            }
+        }
+
+        // Socket readiness.
+        for ev in &events {
+            if ev.token == WAKER_TOKEN {
+                continue;
+            }
+            let Some(c) = conns.get_mut(&ev.token) else {
+                continue;
+            };
+            if ev.writable && c.backlog() > 0 {
+                if matches!(try_flush(c), FlushOutcome::Dead) {
+                    dead.push((ev.token, false));
+                    continue;
+                }
+                sync_write_interest(&poller, ev.token, c);
+            }
+            if ev.readable {
+                match service_reads(state, &handle, shard_id, ev.token, c) {
+                    ConnFate::Alive => sync_write_interest(&poller, ev.token, c),
+                    ConnFate::Close => dead.push((ev.token, false)),
+                    ConnFate::Protocol => dead.push((ev.token, true)),
+                }
+            }
+        }
+
+        // Flush-then-close and backlog enforcement.
+        for (&id, c) in conns.iter() {
+            if c.close_after_flush && c.backlog() == 0 {
+                dead.push((id, false));
+            } else if c.backlog() > HARD_BACKLOG_CAP {
+                dead.push((id, true));
+            }
+        }
+
+        // Idle sweep: connections with deferred replies are exempt.
+        let now = Instant::now();
+        for (&id, c) in conns.iter() {
+            if c.deferred == 0
+                && !c.close_after_flush
+                && now.duration_since(c.last_activity) > idle_timeout
+            {
+                handle.closed_idle.fetch_add(1, Ordering::Relaxed);
+                dead.push((id, false));
+            }
+        }
+
+        for (id, protocol) in dead.drain(..) {
+            if let Some(c) = conns.remove(&id) {
+                let _ = poller.deregister(&c.stream);
+                handle.open_conns.fetch_sub(1, Ordering::Relaxed);
+                if protocol {
+                    handle.closed_protocol.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        handle
+            .busy_nanos
+            .fetch_add(tick_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        if state.shutting_down() {
+            break;
+        }
+    }
+
+    // Wind down: give queued responses (e.g. the `shutdown` ack) a
+    // bounded chance to reach their peers.
+    let deadline = Instant::now() + Duration::from_secs(1);
+    while Instant::now() < deadline {
+        let mut pending = false;
+        for c in conns.values_mut() {
+            if c.backlog() > 0 {
+                match try_flush(c) {
+                    FlushOutcome::Dead => {
+                        c.out.clear();
+                        c.out_pos = 0;
+                    }
+                    FlushOutcome::Progress => pending |= c.backlog() > 0,
+                }
+            }
+        }
+        if !pending {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for (_, c) in conns.drain() {
+        let _ = poller.deregister(&c.stream);
+        handle.open_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn sync_write_interest(poller: &Poller, token: u64, conn: &mut Conn) {
+    let want = conn.backlog() > 0;
+    if want != conn.want_write {
+        conn.want_write = want;
+        let _ = poller.rearm(&conn.stream, token, want);
+    }
+}
+
+enum ConnFate {
+    Alive,
+    /// Peer hung up or an I/O error; close quietly.
+    Close,
+    /// Protocol violation; close and count it.
+    Protocol,
+}
+
+/// Drains up to the read budget, decodes frames, dispatches requests,
+/// and queues replies on the connection.
+fn service_reads(
+    state: &ServiceState,
+    handle: &ShardHandle,
+    shard_id: usize,
+    conn_id: u64,
+    conn: &mut Conn,
+) -> ConnFate {
+    let mut read_total = 0usize;
+    let mut saw_eof = false;
+    let mut chunk = [0u8; 16 * 1024];
+    while read_total < READ_BUDGET {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.decoder.push(&chunk[..n]);
+                read_total += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ConnFate::Close,
+        }
+    }
+
+    loop {
+        match conn.decoder.next_frame() {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                handle.frames_in.fetch_add(1, Ordering::Relaxed);
+                let outcome = dispatch_frame(state, shard_id, conn_id, frame);
+                conn.deferred += outcome.defer;
+                if let Some(bytes) = outcome.reply {
+                    conn.out.extend_from_slice(&bytes);
+                    handle.frames_out.fetch_add(1, Ordering::Relaxed);
+                }
+                if state.shutting_down() {
+                    break;
+                }
+            }
+            Err(e) => {
+                // The stream can no longer be framed: answer once (as a
+                // JSON line — both framings' decoders accept it), then
+                // flush and close.
+                let doc = crate::daemon::error_response(&format!("bad frame: {e}"));
+                conn.out.extend_from_slice(&crate::frame::encode_doc(
+                    crate::frame::Framing::Json,
+                    &doc,
+                ));
+                conn.close_after_flush = true;
+                let _ = try_flush(conn);
+                return ConnFate::Protocol;
+            }
+        }
+    }
+
+    if matches!(try_flush(conn), FlushOutcome::Dead) {
+        return ConnFate::Close;
+    }
+    if saw_eof {
+        // Let queued replies drain, then drop the connection.
+        if conn.backlog() == 0 {
+            return ConnFate::Close;
+        }
+        conn.close_after_flush = true;
+    }
+    ConnFate::Alive
+}
