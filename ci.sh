@@ -33,6 +33,21 @@ trap '[ -n "$svc_pid" ] && kill -9 "$svc_pid" 2>/dev/null; rm -rf "$smoke_dir"' 
     --probe-threads 2 --json "$smoke_dir/par.json" >/dev/null
 ./target/release/bench_compare --identical "$smoke_dir/seq.json" "$smoke_dir/par.json"
 
+echo "== CDCL/DPLL differential smoke (bit-identical engines) =="
+# --engine is a pure solver swap: the CDCL run must produce byte-identical
+# output and the same probe-trace digest as the DPLL reference.
+./target/release/gen --seed 9 --decompiler a --out "$smoke_dir/engine.lbrc" 2>/dev/null
+./target/release/reduce --input "$smoke_dir/engine.lbrc" --decompiler a \
+    --engine dpll --out "$smoke_dir/engine-dpll.lbrc" \
+    --json "$smoke_dir/engine-dpll.json" >/dev/null 2>&1
+./target/release/reduce --input "$smoke_dir/engine.lbrc" --decompiler a \
+    --engine cdcl --out "$smoke_dir/engine-cdcl.lbrc" \
+    --json "$smoke_dir/engine-cdcl.json" >/dev/null 2>&1
+cmp "$smoke_dir/engine-dpll.lbrc" "$smoke_dir/engine-cdcl.lbrc"
+dpll_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/engine-dpll.json")
+cdcl_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/engine-cdcl.json")
+[ -n "$dpll_digest" ] && [ "$dpll_digest" = "$cdcl_digest" ]
+
 echo "== reduction daemon smoke (identical results, kill -9 resume) =="
 # A daemon job must be bit-identical to an in-process `reduce` run, and a
 # daemon killed with SIGKILL mid-job must resume the job from its checkpoint
@@ -122,9 +137,10 @@ echo "== saturation smoke (fixed seed, queue-full must shed, not hang) =="
 ./target/release/loadgen --smoke --seed 1
 
 echo "== differential fuzzing gate (fixed seed, every progression) =="
-# A fixed-seed campaign across every progression must come back clean; the
-# seed pins the exact case stream, so a violation here is reproducible with
-# the printed `fuzz --replay` command.
+# A fixed-seed campaign across every progression — including the I8
+# CDCL-vs-DPLL agreement checks — must come back clean; the seed pins the
+# exact case stream, so a violation here is reproducible with the printed
+# `fuzz --replay` command.
 ./target/release/fuzz --budget-secs 60 --seed 0xC0FFEE --min-cases 200 \
     --out-dir "$smoke_dir"
 
@@ -148,9 +164,14 @@ fi
 
 # Optional wall-time gates against the committed baselines: BENCH_GATE=1 ./ci.sh
 if [ "${BENCH_GATE:-0}" = "1" ]; then
-    echo "== bench gate (<=10% wall regression vs BENCH_baseline.json) =="
-    ./target/release/eval --experiment fig8a --programs 2 --scale 0.6 \
-        --json "$smoke_dir/current.json" >/dev/null
+    echo "== bench gate (<=10% wall, 0% predicate-call regression vs BENCH_baseline.json) =="
+    # The engine/order grid covers the headline strategies plus the CDCL
+    # and learned/portfolio rows; predicate calls are deterministic, so
+    # any increase fails the gate outright. Wall numbers are taken
+    # sequentially (no cross-job core contention) as the minimum of five
+    # repeats — the same recipe that produced the committed baseline.
+    ./target/release/eval --experiment ablate-engine --programs 2 --scale 0.6 \
+        --threads 1 --repeats 5 --json "$smoke_dir/current.json" >/dev/null
     ./target/release/bench_compare BENCH_baseline.json "$smoke_dir/current.json"
 
     echo "== service gate (warm >=150 jobs/s, <=30% drift vs BENCH_service.json) =="

@@ -4,10 +4,14 @@
 //! bench_compare BASELINE.json CURRENT.json [--threshold PCT] [--identical]
 //! ```
 //!
-//! Default mode: per-strategy wall-time gate. For every strategy present
-//! in both files the current total `wall_secs` may exceed the baseline by
-//! at most `--threshold` percent (default 10); any worse regression makes
-//! the process exit non-zero, so the comparison can gate CI.
+//! Default mode: per-strategy wall-time and predicate-call gate. For
+//! every strategy present in both files the current total `wall_secs`
+//! may exceed the baseline by at most `--threshold` percent (default
+//! 10), and the current total `predicate_calls` by at most
+//! `--calls-threshold` percent (default 0 — calls are deterministic, so
+//! any increase is a real regression: an engine change must not buy wall
+//! time with extra tool runs). Any worse regression makes the process
+//! exit non-zero, so the comparison can gate CI.
 //!
 //! `--identical` mode: ignores wall times entirely and instead asserts
 //! that the two files describe *the same computation* — identical
@@ -254,21 +258,33 @@ fn parse_file(path: &str) -> Json {
 // Comparison modes.
 // ----------------------------------------------------------------------
 
-/// Per-strategy wall-time gate: fail on > `threshold_pct` regressions.
-fn compare_wall(baseline: &Json, current: &Json, threshold_pct: f64) -> ExitCode {
-    let base: BTreeMap<String, f64> = baseline
+/// Per-strategy gate: fail on wall-time regressions > `threshold_pct` or
+/// predicate-call regressions > `calls_threshold_pct` (calls are
+/// deterministic, so the default call threshold is zero).
+fn compare_wall(
+    baseline: &Json,
+    current: &Json,
+    threshold_pct: f64,
+    calls_threshold_pct: f64,
+) -> ExitCode {
+    let base: BTreeMap<String, (f64, f64)> = baseline
         .get("strategies")
         .map(Json::as_arr)
         .unwrap_or(&[])
         .iter()
-        .map(|s| (s.str_field("strategy"), s.num_field("wall_secs")))
+        .map(|s| {
+            (
+                s.str_field("strategy"),
+                (s.num_field("wall_secs"), s.num_field("predicate_calls")),
+            )
+        })
         .collect();
     let mut compared = 0usize;
     let mut failed = false;
     for s in current.get("strategies").map(Json::as_arr).unwrap_or(&[]) {
         let name = s.str_field("strategy");
-        let Some(&base_wall) = base.get(&name) else {
-            println!("{name:<24} (not in baseline, skipped)");
+        let Some(&(base_wall, base_calls)) = base.get(&name) else {
+            println!("{name:<36} (not in baseline, skipped)");
             continue;
         };
         compared += 1;
@@ -278,11 +294,20 @@ fn compare_wall(baseline: &Json, current: &Json, threshold_pct: f64) -> ExitCode
         } else {
             0.0
         };
-        let regressed = delta_pct > threshold_pct;
-        failed |= regressed;
+        let cur_calls = s.num_field("predicate_calls");
+        let calls_ceiling = base_calls * (1.0 + calls_threshold_pct / 100.0);
+        let wall_bad = delta_pct > threshold_pct;
+        let calls_bad = base_calls.is_finite() && cur_calls > calls_ceiling;
+        failed |= wall_bad || calls_bad;
         println!(
-            "{name:<24} baseline {base_wall:>9.3}s  current {cur_wall:>9.3}s  {delta_pct:>+7.1}%  {}",
-            if regressed { "REGRESSION" } else { "ok" }
+            "{name:<36} wall {base_wall:>9.3}s → {cur_wall:>9.3}s ({delta_pct:>+7.1}%)  calls {base_calls:>7.0} → {cur_calls:>7.0}  {}",
+            if wall_bad {
+                "WALL REGRESSION"
+            } else if calls_bad {
+                "CALLS REGRESSION"
+            } else {
+                "ok"
+            }
         );
     }
     if compared == 0 {
@@ -290,10 +315,14 @@ fn compare_wall(baseline: &Json, current: &Json, threshold_pct: f64) -> ExitCode
         return ExitCode::from(2);
     }
     if failed {
-        eprintln!("bench_compare: wall-time regression beyond {threshold_pct:.0}% threshold");
+        eprintln!(
+            "bench_compare: regression beyond thresholds (wall {threshold_pct:.0}%, calls {calls_threshold_pct:.0}%)"
+        );
         ExitCode::FAILURE
     } else {
-        println!("bench_compare: within {threshold_pct:.0}% threshold");
+        println!(
+            "bench_compare: within thresholds (wall {threshold_pct:.0}%, calls {calls_threshold_pct:.0}%)"
+        );
         ExitCode::SUCCESS
     }
 }
@@ -433,6 +462,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<String> = Vec::new();
     let mut threshold_pct = 10.0f64;
+    let mut calls_threshold_pct = 0.0f64;
     let mut min_warm_jps = 0.0f64;
     let mut identical = false;
     let mut service = false;
@@ -447,6 +477,16 @@ fn main() -> ExitCode {
                         eprintln!("--threshold takes a percentage");
                         std::process::exit(2);
                     });
+                i += 2;
+            }
+            "--calls-threshold" => {
+                calls_threshold_pct =
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--calls-threshold takes a percentage");
+                            std::process::exit(2);
+                        });
                 i += 2;
             }
             "--min-warm-jps" => {
@@ -469,10 +509,14 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!("usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT]");
+                println!("                     [--calls-threshold PCT]");
                 println!("                     [--identical | --service [--min-warm-jps N]]");
                 println!();
                 println!(
                     "  default      fail on per-strategy wall-time regression > PCT% (default 10)"
+                );
+                println!(
+                    "               or predicate-call regression > --calls-threshold% (default 0)"
                 );
                 println!("  --identical  fail unless per-run calls, sizes and cache totals match");
                 println!(
@@ -501,6 +545,6 @@ fn main() -> ExitCode {
     } else if service {
         compare_service(&baseline, &current, threshold_pct, min_warm_jps)
     } else {
-        compare_wall(&baseline, &current, threshold_pct)
+        compare_wall(&baseline, &current, threshold_pct, calls_threshold_pct)
     }
 }

@@ -2,24 +2,31 @@
 //! paper's Section 5 on the synthetic NJR-like suite.
 //!
 //! ```text
-//! eval [--experiment all|stats|fig8a|fig8b|lossy|ablate-msa|ablate-order|ddmin|csv]
+//! eval [--experiment all|stats|fig8a|fig8b|lossy|ablate-msa|ablate-order|ablate-engine|ddmin|csv]
 //!      [--programs N] [--scale F] [--seed N] [--cost SECS]
-//!      [--threads N] [--probe-threads N] [--legacy] [--json [PATH]]
+//!      [--threads N] [--repeats N] [--probe-threads N] [--legacy] [--json [PATH]]
+//!      [--engine dpll|cdcl] [--order baseline|learned|portfolio]
 //! ```
 //!
 //! `--legacy` disables the incremental propagation engine and oracle
 //! memoization (the scan-BCP baseline); `--probe-threads` enables
 //! speculative parallel probing inside each GBR search (bit-identical
-//! results at any setting); `--json` writes machine-readable results
-//! (default path `BENCH_results.json`).
+//! results at any setting); `--engine cdcl` backs the logical strategies
+//! with the CDCL solver (bit-identical results, different solver effort);
+//! `--order` picks the GBR variable order of `Strategy::Logical`;
+//! `--json` writes machine-readable results (default path
+//! `BENCH_results.json`). The `ablate-engine` experiment runs the
+//! engine/order variant grid in one shot (rows suffixed `+cdcl`,
+//! `+order-learned`, `+order-portfolio`) — the source of the committed
+//! `BENCH_baseline.json`.
 
 use lbr_bench::{
     compute_stats, headline_strategies, lossy_strategies, render_ablation, render_csv,
-    render_fig8a, render_fig8b, render_json, render_lossy, render_stats, run_grid, EvalConfig,
-    RunRecord,
+    render_fig8a, render_fig8b, render_json, render_lossy, render_stats, run_engine_grid, run_grid,
+    EvalConfig, RunRecord,
 };
-use lbr_core::LossyPick;
-use lbr_jreduce::{RunOptions, Strategy};
+use lbr_core::{EngineChoice, LossyPick};
+use lbr_jreduce::{OrderChoice, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 
 fn main() {
@@ -63,6 +70,10 @@ fn main() {
                 config.threads = value(i).parse().expect("--threads takes a number");
                 i += 2;
             }
+            "--repeats" => {
+                config.repeats = value(i).parse().expect("--repeats takes a count");
+                i += 2;
+            }
             "--probe-threads" => {
                 config.options.probe_threads =
                     value(i).parse().expect("--probe-threads takes a number");
@@ -76,6 +87,29 @@ fn main() {
             "--legacy" => {
                 config.options = RunOptions::legacy();
                 i += 1;
+            }
+            "--engine" => {
+                config.options.engine = match value(i).as_str() {
+                    "dpll" => EngineChoice::Dpll,
+                    "cdcl" => EngineChoice::Cdcl,
+                    other => {
+                        eprintln!("unknown engine {other} (dpll|cdcl)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--order" => {
+                config.options.order = match value(i).as_str() {
+                    "baseline" => OrderChoice::Baseline,
+                    "learned" => OrderChoice::Learned,
+                    "portfolio" => OrderChoice::Portfolio,
+                    other => {
+                        eprintln!("unknown order {other} (baseline|learned|portfolio)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
             }
             "--slot-dir" => {
                 config.slot_dir = Some(value(i).into());
@@ -96,14 +130,18 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: eval [--experiment all|stats|fig8a|fig8b|lossy|per-error|ablate-msa|ablate-order|ddmin|csv]"
+                    "usage: eval [--experiment all|stats|fig8a|fig8b|lossy|per-error|ablate-msa|ablate-order|ablate-engine|ddmin|csv]"
                 );
                 println!("            [--programs N] [--scale F] [--seed N] [--cost SECS]");
                 println!(
-                    "            [--threads N] [--probe-threads N] [--legacy] [--json [PATH]]"
+                    "            [--threads N] [--repeats N] [--probe-threads N] [--legacy] [--json [PATH]]"
                 );
+                println!("            [--engine dpll|cdcl] [--order baseline|learned|portfolio]");
                 println!();
                 println!("  --threads N   worker threads for the run grid (0 = all cores)");
+                println!("  --repeats N   timing repetitions per job; wall_secs is the minimum");
+                println!("                (everything else is deterministic; pair with");
+                println!("                --threads 1 for gate-quality wall numbers)");
                 println!("  --probe-threads N  speculative probe threads inside each GBR search");
                 println!("                (and parallel per-error searches); results are");
                 println!("                bit-identical at every setting (default 1)");
@@ -111,6 +149,11 @@ fn main() {
                 println!("                paper's real probes by sleeping inside each tool run");
                 println!("                (for wall-clock speedup measurements; default 0)");
                 println!("  --legacy      scan-BCP baseline: no incremental engine, no memo");
+                println!("  --engine E    complete-search solver behind the logical strategies:");
+                println!("                dpll (default) or cdcl (bit-identical results)");
+                println!("  --order O     GBR variable order for Strategy::Logical: baseline");
+                println!("                (closure-size, default), learned (activity-refined),");
+                println!("                or portfolio (race baseline/learned/history orders)");
                 println!("  --slot-dir DIR  persist each finished run as DIR/slot-NNNN.json");
                 println!("                the moment it completes (atomic temp+rename writes)");
                 println!(
@@ -193,6 +236,16 @@ fn main() {
                 Strategy::DdminItems,
             ]);
             print!("{}", render_ablation(&records, "A3: ddmin baseline"));
+            json_records = records;
+        }
+        "ablate-engine" => {
+            let records = run_engine_grid(&config, &benchmarks);
+            let expected = benchmarks.len() * 5;
+            failed_jobs.set(failed_jobs.get() + (expected - records.len()));
+            print!(
+                "{}",
+                render_ablation(&records, "A4: engine/order ablation (CDCL, learned orders)")
+            );
             json_records = records;
         }
         "per-error" => {

@@ -6,11 +6,16 @@
 //!        [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]
 //!        [--out reduced.lbrc] [--json report.json] [--disasm]
 //!        [--per-error] [--cost SECS] [--probe-threads N]
+//!        [--engine dpll|cdcl] [--order baseline|learned|portfolio]
 //! ```
 //!
 //! `--probe-threads N` runs N speculative probe threads inside the GBR
 //! search (and N concurrent searches in `--per-error` mode); the reduced
-//! output is bit-identical at every setting. `--json` writes a small
+//! output is bit-identical at every setting. `--engine cdcl` backs the
+//! logical strategies' complete searches with the CDCL solver — same
+//! output, different solver effort — and `--order` picks the GBR variable
+//! order of the `logical` strategy (each choice is deterministic, but
+//! different choices may commit different sound results). `--json` writes a small
 //! machine-readable report (sizes, predicate calls, trace digest) for
 //! comparing runs — the CI daemon smoke test diffs it against the
 //! service's result document.
@@ -20,9 +25,9 @@
 //! fails, `2` on usage errors.
 
 use lbr_classfile::{disassemble_program, read_program, write_class_directory, write_program};
-use lbr_core::LossyPick;
+use lbr_core::{EngineChoice, LossyPick};
 use lbr_decompiler::{BugSet, DecompilerOracle};
-use lbr_jreduce::{check_report, ReductionSession, RunOptions, Strategy};
+use lbr_jreduce::{check_report, OrderChoice, ReductionSession, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 use lbr_service::{atomic_write, atomic_write_str, Json};
 
@@ -71,6 +76,27 @@ fn main() {
                     .parse()
                     .expect("--probe-latency-micros takes a number")
             }
+            "--engine" => {
+                options.engine = match value().as_str() {
+                    "dpll" => EngineChoice::Dpll,
+                    "cdcl" => EngineChoice::Cdcl,
+                    other => {
+                        eprintln!("unknown engine {other} (dpll|cdcl)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--order" => {
+                options.order = match value().as_str() {
+                    "baseline" => OrderChoice::Baseline,
+                    "learned" => OrderChoice::Learned,
+                    "portfolio" => OrderChoice::Portfolio,
+                    other => {
+                        eprintln!("unknown order {other} (baseline|learned|portfolio)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--disasm" => disasm = true,
             "--per-error" => per_error = true,
             "--help" | "-h" => {
@@ -83,6 +109,7 @@ fn main() {
                 );
                 println!("              [--disasm] [--per-error] [--cost SECS]");
                 println!("              [--probe-threads N] [--probe-latency-micros N]");
+                println!("              [--engine dpll|cdcl] [--order baseline|learned|portfolio]");
                 return;
             }
             other => {

@@ -72,16 +72,20 @@ pub use ddmin::{ddmin, DdminStats, TestOutcome};
 pub use fault::{FaultInjector, FaultPlan};
 pub use gbr::{
     build_progression, generalized_binary_reduction, generalized_binary_reduction_controlled,
+    generalized_binary_reduction_portfolio, generalized_binary_reduction_portfolio_controlled,
     generalized_binary_reduction_speculative, generalized_binary_reduction_speculative_controlled,
-    GbrCheckpoint, GbrConfig, GbrControl, GbrError, GbrOutcome, PropagationMode, SpeculationConfig,
-    SpeculativeRun,
+    EngineChoice, GbrCheckpoint, GbrConfig, GbrControl, GbrError, GbrOutcome, PortfolioRun,
+    PropagationMode, SpeculationConfig, SpeculativeRun,
 };
 pub use graph::{Closure, DepGraph};
 pub use hitting::{reduction_is_faithful, HittingSet};
 pub use keyed::KeyedMap;
 pub use lossy::{lossy_encode, lossy_graph, lossy_is_sound, LossyGraph, LossyPick};
 pub use minimize::{minimize_solution, MinimizeStats};
-pub use orders::{closure_size_order, closure_sizes, closure_sizes_of_graph, natural_order};
+pub use orders::{
+    activity_order, closure_size_order, closure_sizes, closure_sizes_of_graph, history_order,
+    natural_order, probe_activity,
+};
 pub use problem::{Instance, Oracle, Predicate};
 pub use stack::{
     CacheLayer, FaultyCache, LatencyLayer, MemoryCache, OracleLayer, OracleStack, StatsLayer,

@@ -18,14 +18,21 @@
 //!   search);
 //! - **I6** a warm cache actually answers probes (warm hits observed);
 //! - **I7** cache faults only ever cost re-runs (subsumed by I4: the
-//!   faulty run must equal the fault-free one).
+//!   faulty run must equal the fault-free one);
+//! - **I8** the CDCL engine agrees with legacy DPLL: the CDCL-backed
+//!   session replays the reference search bit-identically (same reduced
+//!   bytes, calls, trace), and on the case's logical model the two
+//!   solvers return the same SAT verdict, the same lex-least model, and
+//!   the same model count.
 
 use crate::case::FuzzCase;
 use lbr_classfile::{verify_program, write_program, Program};
-use lbr_core::TestOutcome;
+use lbr_core::{EngineChoice, TestOutcome};
 use lbr_decompiler::DecompilerOracle;
-use lbr_jreduce::{check_report, ReductionReport, ReductionSession, RunOptions, Strategy};
-use lbr_logic::{MsaStrategy, Var, VarSet};
+use lbr_jreduce::{
+    build_model, check_report, ReductionReport, ReductionSession, RunOptions, Strategy,
+};
+use lbr_logic::{count_models, CdclEngine, CountSession, MsaStrategy, Var, VarSet};
 use lbr_service::{
     namespace_digest, Client, Daemon, DaemonConfig, FaultPlan, Json, PersistentOracleCache,
 };
@@ -158,6 +165,10 @@ impl Harness {
             self.identical_to(case, &reference, tag, &options, &mut out);
         }
 
+        // P10 (I8): the CDCL engine — bit-identical session replay plus
+        // direct solver agreement on the case's logical model.
+        self.cdcl_progression(case, &program, &reference, &mut out);
+
         // P3: the DPLL-conditioned MSA strategy — its own sound result
         // (a different search, so no bit-identity with the reference).
         match session(&program, &oracle)
@@ -247,9 +258,71 @@ impl Harness {
         match session(&program, &oracle).options(*options).run() {
             Ok(report) => {
                 out.progressions += 1;
-                diff_reports(tag, reference, &report, &mut out.violations);
+                diff_reports("I4", tag, reference, &report, &mut out.violations);
             }
             Err(e) => out.violations.push(format!("{tag} run failed: {e}")),
+        }
+    }
+
+    /// I8: the CDCL progression. The CDCL-backed session must replay the
+    /// DPLL reference bit-identically (both engines compute the same
+    /// lex-least model, so only solver effort may differ), and on the
+    /// case's logical model the two solvers must agree directly — same
+    /// SAT verdict, same model, same model count (with and without CDCL
+    /// component probes).
+    fn cdcl_progression(
+        &self,
+        case: &FuzzCase,
+        program: &Program,
+        reference: &ReductionReport,
+        out: &mut CaseOutcome,
+    ) {
+        let oracle = DecompilerOracle::new(program, case.bugs());
+        let options = RunOptions {
+            engine: EngineChoice::Cdcl,
+            ..RunOptions::default()
+        };
+        match session(program, &oracle).options(options).run() {
+            Ok(report) => {
+                out.progressions += 1;
+                if !report.strategy.ends_with("+cdcl") {
+                    out.violations.push(format!(
+                        "I8 cdcl-engine: strategy label {:?} is missing +cdcl",
+                        report.strategy
+                    ));
+                }
+                diff_reports("I8", "cdcl-engine", reference, &report, &mut out.violations);
+            }
+            Err(e) => out.violations.push(format!("cdcl-engine run failed: {e}")),
+        }
+        let model = match build_model(program) {
+            Ok(model) => model,
+            Err(e) => {
+                out.violations.push(format!("I8: model build failed: {e}"));
+                return;
+            }
+        };
+        let order = lbr_core::closure_size_order(&model.cnf);
+        let dpll = lbr_logic::dpll::solve(&model.cnf, &order);
+        let mut engine = CdclEngine::new(&model.cnf, model.cnf.num_vars());
+        let cdcl = engine.solve(&order, &[]);
+        if dpll != cdcl {
+            out.violations.push(format!(
+                "I8: solvers disagree on the model (dpll {:?}, cdcl {:?})",
+                dpll, cdcl
+            ));
+        }
+        // Model-count agreement only on small formulas: the counter's u128
+        // total overflows past 2^128 models, and counting is exponential in
+        // the worst case, so large cases would also blow the time budget.
+        if model.cnf.num_vars() <= 64 {
+            let plain = count_models(&model.cnf);
+            let probed = CountSession::new().with_cdcl_probes(true).count(&model.cnf);
+            if plain != probed {
+                out.violations.push(format!(
+                    "I8: model counts disagree (plain {plain}, cdcl-probed {probed})"
+                ));
+            }
         }
     }
 
@@ -279,7 +352,7 @@ impl Harness {
         match run_with_cache(&cold_cache) {
             Ok(report) => {
                 out.progressions += 1;
-                diff_reports("cold-cache", reference, &report, &mut out.violations);
+                diff_reports("I4", "cold-cache", reference, &report, &mut out.violations);
             }
             Err(e) => out.violations.push(format!("cold-cache run failed: {e}")),
         }
@@ -297,7 +370,7 @@ impl Harness {
         match run_with_cache(&warm_cache) {
             Ok(report) => {
                 out.progressions += 1;
-                diff_reports("warm-cache", reference, &report, &mut out.violations);
+                diff_reports("I4", "warm-cache", reference, &report, &mut out.violations);
                 if warm_cache.stats().warm_hits == 0 {
                     out.violations
                         .push("I6 warm-cache: no probe was answered from disk".to_string());
@@ -336,7 +409,13 @@ impl Harness {
         match session(program, oracle).cache(&scoped).run() {
             Ok(report) => {
                 out.progressions += 1;
-                diff_reports("faulty-cache", reference, &report, &mut out.violations);
+                diff_reports(
+                    "I4",
+                    "faulty-cache",
+                    reference,
+                    &report,
+                    &mut out.violations,
+                );
             }
             Err(e) => out.violations.push(format!("faulty-cache run failed: {e}")),
         }
@@ -467,24 +546,31 @@ fn soundness(tag: &str, report: &ReductionReport, violations: &mut Vec<String>) 
     }
 }
 
-/// Appends I4 violations wherever `report` differs from `reference` in
-/// result bytes, predicate calls, or the deterministic probe trace.
+/// Appends violations under invariant `inv` (I4 for the replay
+/// progressions, I8 for the CDCL engine) wherever `report` differs from
+/// `reference` in result bytes, predicate calls, or the deterministic
+/// probe trace.
 fn diff_reports(
+    inv: &str,
     tag: &str,
     reference: &ReductionReport,
     report: &ReductionReport,
     violations: &mut Vec<String>,
 ) {
     if write_program(&report.reduced) != write_program(&reference.reduced) {
-        violations.push(format!("I4 {tag}: reduced bytes differ from the reference"));
+        violations.push(format!(
+            "{inv} {tag}: reduced bytes differ from the reference"
+        ));
     }
     if report.predicate_calls != reference.predicate_calls {
         violations.push(format!(
-            "I4 {tag}: {} predicate calls, reference made {}",
+            "{inv} {tag}: {} predicate calls, reference made {}",
             report.predicate_calls, reference.predicate_calls
         ));
     }
     if !report.trace.same_probe_sequence(&reference.trace) {
-        violations.push(format!("I4 {tag}: probe trace diverges from the reference"));
+        violations.push(format!(
+            "{inv} {tag}: probe trace diverges from the reference"
+        ));
     }
 }

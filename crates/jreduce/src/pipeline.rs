@@ -33,7 +33,8 @@ pub use per_error::PerErrorReport;
 use crate::model::{ModelError, ModelStats};
 use lbr_classfile::{program_byte_size, Program};
 use lbr_core::{
-    BinaryReductionError, GbrError, LossyPick, ProbeStats, PropagationMode, ReductionTrace,
+    BinaryReductionError, EngineChoice, GbrError, LossyPick, ProbeStats, PropagationMode,
+    ReductionTrace,
 };
 use lbr_decompiler::DecompilerOracle;
 use lbr_logic::MsaStrategy;
@@ -75,9 +76,35 @@ impl Strategy {
     }
 }
 
+/// Which GBR variable order a [`Strategy::Logical`] run uses. The other
+/// strategies — including [`Strategy::LogicalNaturalOrder`], which *is* an
+/// order ablation — ignore this knob.
+///
+/// Unlike the other [`RunOptions`] knobs, a non-default order choice *is*
+/// allowed to change what a run computes (a better order finds smaller
+/// solutions in fewer probes); each choice remains bit-identical across
+/// repeats, thread counts, and the other knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderChoice {
+    /// The closure-size order Theorem 4.5 wants (the historical default).
+    #[default]
+    Baseline,
+    /// The closure-size order refined by conflict-activity statistics from
+    /// a bounded, deterministic CDCL probe of the dependency model (zero
+    /// predicate calls; see [`lbr_core::activity_order`]).
+    Learned,
+    /// A fixed three-member portfolio — baseline, activity-learned, and
+    /// cache-history orders — raced over one shared probe scheduler, the
+    /// smallest solution committed with the lowest portfolio index winning
+    /// ties (see [`lbr_core::generalized_binary_reduction_portfolio`]).
+    Portfolio,
+}
+
 /// Performance knobs for a reduction run. They change how fast a run is,
 /// never what it computes: results, predicate-call counts, and traces are
-/// identical across all settings.
+/// identical across all settings. (The one documented exception is
+/// [`order`](Self::order), which may trade extra probes for a smaller
+/// result — still deterministically.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// How GBR propagates the dependency model (incremental watched-literal
@@ -108,6 +135,16 @@ pub struct RunOptions {
     /// measurements. Results, call counts, traces and modeled times are
     /// unaffected.
     pub probe_latency_micros: u64,
+    /// Which complete-search solver backs the MSA computations of the
+    /// GBR-based logical strategies (DPLL vs CDCL with learned clauses).
+    /// Bit-identical results; only solver effort differs. Requires
+    /// [`PropagationMode::Incremental`] to take effect (the legacy scan
+    /// has no persistent engine).
+    pub engine: EngineChoice,
+    /// Which GBR variable order a [`Strategy::Logical`] run uses (see
+    /// [`OrderChoice`]). Non-default choices suffix the report's strategy
+    /// name (`+order-learned`, `+order-portfolio`).
+    pub order: OrderChoice,
 }
 
 impl Default for RunOptions {
@@ -117,6 +154,8 @@ impl Default for RunOptions {
             memoize: true,
             probe_threads: 1,
             probe_latency_micros: 0,
+            engine: EngineChoice::default(),
+            order: OrderChoice::default(),
         }
     }
 }
@@ -130,6 +169,8 @@ impl RunOptions {
             memoize: false,
             probe_threads: 1,
             probe_latency_micros: 0,
+            engine: EngineChoice::Dpll,
+            order: OrderChoice::Baseline,
         }
     }
 }
@@ -385,7 +426,7 @@ pub(crate) fn dispatch(
     let errors_preserved = oracle.preserves_failure(&reduced);
     let still_valid = lbr_classfile::verify_program(&reduced).is_empty();
     Ok(ReductionReport {
-        strategy: strategy.name(),
+        strategy: strategy_label(strategy, options),
         initial,
         final_metrics: SizeMetrics::of(&reduced),
         predicate_calls: calls,
@@ -398,6 +439,28 @@ pub(crate) fn dispatch(
         errors_preserved,
         still_valid,
     })
+}
+
+/// The report's strategy label: the strategy name, suffixed for every
+/// non-default option the strategy actually honors, so rows from
+/// different configurations stay distinguishable in comparisons.
+fn strategy_label(strategy: Strategy, options: &RunOptions) -> String {
+    let mut name = strategy.name();
+    let honors_engine = matches!(
+        strategy,
+        Strategy::Logical(_) | Strategy::LogicalNaturalOrder | Strategy::LogicalMinimized
+    ) && options.propagation == PropagationMode::Incremental;
+    if honors_engine && options.engine == EngineChoice::Cdcl {
+        name.push_str("+cdcl");
+    }
+    if matches!(strategy, Strategy::Logical(_)) {
+        match options.order {
+            OrderChoice::Baseline => {}
+            OrderChoice::Learned => name.push_str("+order-learned"),
+            OrderChoice::Portfolio => name.push_str("+order-portfolio"),
+        }
+    }
+    name
 }
 
 /// Reduces once *per distinct baseline error* — the paper's observation

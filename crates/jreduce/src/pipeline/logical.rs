@@ -4,14 +4,15 @@
 
 use crate::model::{build_model, LogicalModel};
 use crate::pipeline::probe::{wrap_oracle, CandidateProbe, OrderKind, RunParts};
-use crate::pipeline::{PipelineError, RunOptions};
+use crate::pipeline::{OrderChoice, PipelineError, RunOptions};
 use crate::reducer::reduce_program;
 use lbr_classfile::Program;
 use lbr_core::{
-    closure_size_order, generalized_binary_reduction, generalized_binary_reduction_controlled,
-    generalized_binary_reduction_speculative_controlled, CacheLayer, ConcurrentPredicate,
-    GbrCheckpoint, GbrConfig, GbrControl, Instance, LatencyLayer, OracleStack, ProbeCache,
-    ProbeStats, SpeculationConfig,
+    activity_order, closure_size_order, generalized_binary_reduction,
+    generalized_binary_reduction_controlled, generalized_binary_reduction_portfolio_controlled,
+    generalized_binary_reduction_speculative_controlled, history_order, probe_activity, CacheLayer,
+    ConcurrentPredicate, GbrCheckpoint, GbrConfig, GbrControl, Instance, LatencyLayer, OracleStack,
+    ProbeCache, ProbeStats, SpeculationConfig,
 };
 use lbr_decompiler::DecompilerOracle;
 use lbr_logic::{MsaStrategy, VarSet};
@@ -61,6 +62,12 @@ impl std::fmt::Debug for ServiceHooks<'_> {
     }
 }
 
+/// Conflict-budget for the deterministic activity probe behind
+/// [`OrderChoice::Learned`] and the portfolio's activity member: how many
+/// deepest-closure variables are stress-assumed. Solver-only work — zero
+/// predicate calls.
+const ACTIVITY_PROBES: usize = 8;
+
 /// GBR over the logical model. The oracle middleware is assembled here:
 /// `[cache?, latency]` over the base candidate probe, beneath the per-run
 /// memo/trace bookkeeping of either the sequential [`lbr_core::Oracle`]
@@ -78,7 +85,12 @@ pub(crate) fn run_hooked(
     let model: LogicalModel = build_model(program)?;
     let stats = model.stats();
     let order = match order_kind {
-        OrderKind::ClosureSize => closure_size_order(&model.cnf),
+        OrderKind::ClosureSize => match options.order {
+            OrderChoice::Learned => {
+                activity_order(&model.cnf, &probe_activity(&model.cnf, ACTIVITY_PROBES))
+            }
+            OrderChoice::Baseline | OrderChoice::Portfolio => closure_size_order(&model.cnf),
+        },
         OrderKind::Natural => lbr_core::natural_order(&model.cnf),
     };
     let instance = Instance::over_all_vars(model.cnf.clone());
@@ -86,6 +98,7 @@ pub(crate) fn run_hooked(
     let config = GbrConfig {
         msa_strategy: msa,
         propagation: options.propagation,
+        engine: options.engine,
         ..GbrConfig::default()
     };
     let mut control = GbrControl {
@@ -105,6 +118,57 @@ pub(crate) fn run_hooked(
         stack.push(layer);
     }
     stack.push(&latency);
+    if options.order == OrderChoice::Portfolio && matches!(order_kind, OrderKind::ClosureSize) {
+        // Checkpoint/resume snapshots are per-order state and do not
+        // compose with a portfolio race; a resume snapshot instead feeds
+        // the cache-history member's weights (variables that earlier
+        // progress kept are likely required again), and the checkpoint
+        // hook is not called. Cancellation is honored.
+        let history = control.resume.take();
+        let mut weights = vec![0u64; model.cnf.num_vars()];
+        if let Some(ck) = &history {
+            for l in &ck.learned {
+                for v in l.iter() {
+                    weights[v.index()] += 1;
+                }
+            }
+            if let Some(best) = &ck.best {
+                for v in best.iter() {
+                    weights[v.index()] += 1;
+                }
+            }
+        }
+        let orders = [
+            order.clone(),
+            activity_order(&model.cnf, &probe_activity(&model.cnf, ACTIVITY_PROBES)),
+            history_order(&model.cnf, &weights),
+        ];
+        let spec = SpeculationConfig {
+            threads: options.probe_threads.max(1),
+            width: 0,
+            cost_per_call_secs: cost,
+        };
+        let mut race_control = GbrControl {
+            cancel: control.cancel,
+            ..GbrControl::default()
+        };
+        let race = generalized_binary_reduction_portfolio_controlled(
+            &instance,
+            &orders,
+            &stack,
+            &config,
+            &spec,
+            &mut race_control,
+        )?;
+        let reduced = reduce_program(program, registry, &race.run.outcome.solution);
+        return Ok(RunParts {
+            reduced,
+            calls: race.run.stats.useful_calls,
+            trace: race.run.trace,
+            model_stats: Some(stats),
+            probe_stats: race.run.stats,
+        });
+    }
     if options.probe_threads > 1 {
         // Speculative parallel probing: the scheduler's concurrent memo
         // subsumes the oracle memo (distinct demanded subsets run the tool
@@ -188,6 +252,7 @@ pub(crate) fn run_minimized(
     let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
     let config = GbrConfig {
         propagation: options.propagation,
+        engine: options.engine,
         ..GbrConfig::default()
     };
     let outcome = generalized_binary_reduction(&instance, &order, &mut wrapped, &config)?;

@@ -1,0 +1,250 @@
+//! Learned-clause machinery shared by the CDCL engine and its clients:
+//! the Luby restart sequence, clause-database aging policy, and a
+//! component-keyed store that lets isomorphic sub-formulas reuse each
+//! other's learned clauses across probes.
+//!
+//! # Clause-database lifecycle
+//!
+//! The [`CdclEngine`](crate::CdclEngine) appends every 1UIP conflict
+//! clause to its clause list, tagged with its *literal block distance*
+//! (LBD — the number of distinct decision levels among its literals; a
+//! small LBD means the clause connects few levels and tends to stay
+//! useful). When the learned population exceeds a budget, the engine ages
+//! the database: learned clauses are ranked by `(lbd, len)` and the worst
+//! half is dropped, except *glue* clauses (LBD ≤ 2) and clauses currently
+//! locked as the reason of an assignment on the trail. The budget then
+//! grows geometrically so the solver always makes progress.
+//!
+//! # Sharing across components and probes
+//!
+//! Connected components of a dependency model are frequently isomorphic
+//! (the counter's canonical-renaming cache exploits exactly this).
+//! A clause learned while solving one component is, after renaming, a
+//! valid implied clause of every isomorphic component — learned clauses
+//! are resolution products of the component's own clauses, so they hold
+//! in any renaming of it. [`SharedClauseStore`] keys canonically renamed
+//! learned clauses by the component's canonical key, letting the model
+//! counter's satisfiability probes start warm on components it has seen —
+//! in this probe or a previous one.
+
+use crate::{Lit, Var};
+use std::collections::HashMap;
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4,
+/// 8, … (`i` is 1-based). CDCL restart intervals follow this sequence
+/// scaled by a constant conflict budget; the schedule is universally
+/// within a constant factor of the optimal fixed schedule.
+///
+/// # Examples
+///
+/// ```
+/// use lbr_logic::learned::luby;
+/// let prefix: Vec<u64> = (1..=9).map(luby).collect();
+/// assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1]);
+/// ```
+pub fn luby(mut i: u64) -> u64 {
+    // luby(2^k - 1) = 2^(k-1); for 2^(k-1) <= i < 2^k - 1 the block is a
+    // repetition of the prefix, so recurse on the offset into it.
+    loop {
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+/// Counters of a CDCL run; purely informational and deterministic for a
+/// given formula, order and assumption sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CdclStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Trail literals assigned by propagation.
+    pub propagations: u64,
+    /// Luby restarts performed.
+    pub restarts: u64,
+    /// Clauses learned from conflicts.
+    pub learned: u64,
+    /// Learned clauses dropped by database aging.
+    pub deleted: u64,
+    /// Clauses imported from a [`SharedClauseStore`] or a peer engine.
+    pub imported: u64,
+}
+
+/// A component-keyed store of canonically renamed learned clauses.
+///
+/// Keys are the model counter's renaming-invariant canonical component
+/// keys; values are learned clauses with variables replaced by canonical
+/// ids (the first-occurrence numbering the key itself uses). Isomorphic
+/// components therefore share one entry, and the same component hit on a
+/// later probe retrieves its clauses warm. See the module docs for the
+/// soundness argument.
+#[derive(Debug, Default)]
+pub struct SharedClauseStore {
+    by_key: HashMap<Vec<u64>, Vec<Vec<(u32, bool)>>>,
+    hits: u64,
+    misses: u64,
+    stored: u64,
+}
+
+/// Cap on clauses recorded per component: the store is a warm-start
+/// cache, not an archive, and retrieval cost is linear in what it holds.
+const STORE_CLAUSES_PER_KEY: usize = 32;
+/// Cap on the width of stored clauses; long clauses rarely re-propagate.
+const STORE_MAX_WIDTH: usize = 8;
+
+impl SharedClauseStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct component keys with stored clauses.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Whether the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Successful lookups so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Failed lookups so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total clauses currently stored (across all keys).
+    pub fn stored_clauses(&self) -> u64 {
+        self.stored
+    }
+
+    /// Records `clauses` (in concrete variables) for the component with
+    /// canonical key `key`, where `canon[i]` is the concrete variable with
+    /// canonical id `i`. Clauses wider than the store's width cap, or
+    /// mentioning variables outside the component, are skipped.
+    pub fn record(&mut self, key: &[u64], canon: &[Var], clauses: &[Vec<Lit>]) {
+        if clauses.is_empty() {
+            return;
+        }
+        let rename: HashMap<Var, u32> = canon
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let slot = self.by_key.entry(key.to_vec()).or_default();
+        'clauses: for clause in clauses {
+            if clause.is_empty() || clause.len() > STORE_MAX_WIDTH {
+                continue;
+            }
+            if slot.len() >= STORE_CLAUSES_PER_KEY {
+                break;
+            }
+            let mut canonical: Vec<(u32, bool)> = Vec::with_capacity(clause.len());
+            for &l in clause {
+                match rename.get(&l.var()) {
+                    Some(&id) => canonical.push((id, l.is_positive())),
+                    None => continue 'clauses, // crosses the component boundary
+                }
+            }
+            canonical.sort_unstable();
+            if !slot.contains(&canonical) {
+                slot.push(canonical);
+                self.stored += 1;
+            }
+        }
+    }
+
+    /// Retrieves the clauses stored for `key`, renamed into the concrete
+    /// variables of this occurrence (`canon[i]` = concrete variable with
+    /// canonical id `i`). Returns an empty vec (and counts a miss) when
+    /// the component has not been seen.
+    pub fn lookup(&mut self, key: &[u64], canon: &[Var]) -> Vec<Vec<Lit>> {
+        match self.by_key.get(key) {
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+            Some(stored) => {
+                self.hits += 1;
+                stored
+                    .iter()
+                    .filter(|c| c.iter().all(|&(id, _)| (id as usize) < canon.len()))
+                    .map(|c| {
+                        c.iter()
+                            .map(|&(id, pos)| Lit::with_polarity(canon[id as usize], pos))
+                            .collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix() {
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn luby_powers() {
+        // Position 2^k - 1 holds 2^(k-1).
+        for k in 1..=10u32 {
+            assert_eq!(luby((1u64 << k) - 1), 1u64 << (k - 1), "k={k}");
+        }
+    }
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn store_round_trips_under_renaming() {
+        let mut store = SharedClauseStore::new();
+        let key = vec![1, 2, u64::MAX, 3];
+        // Component A over {v5, v9}: clause (v5 ∨ ¬v9).
+        store.record(&key, &[v(5), v(9)], &[vec![Lit::pos(v(5)), Lit::neg(v(9))]]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stored_clauses(), 1);
+        // Isomorphic component B over {v2, v7} retrieves the renamed clause.
+        let got = store.lookup(&key, &[v(2), v(7)]);
+        assert_eq!(got, vec![vec![Lit::pos(v(2)), Lit::neg(v(7))]]);
+        assert_eq!(store.hits(), 1);
+        assert!(store.lookup(&[9, 9, 9], &[v(0)]).is_empty());
+        assert_eq!(store.misses(), 1);
+    }
+
+    #[test]
+    fn store_skips_foreign_and_wide_clauses() {
+        let mut store = SharedClauseStore::new();
+        let key = vec![7];
+        // Mentions v3, which is not in the component: skipped.
+        store.record(&key, &[v(0)], &[vec![Lit::pos(v(3))]]);
+        assert_eq!(store.stored_clauses(), 0);
+        // Wider than the cap: skipped.
+        let wide: Vec<Lit> = (0..12).map(|i| Lit::pos(v(i))).collect();
+        let vars: Vec<Var> = (0..12).map(v).collect();
+        store.record(&key, &vars, &[wide]);
+        assert_eq!(store.stored_clauses(), 0);
+        // Duplicates collapse.
+        store.record(&key, &[v(0), v(1)], &[vec![Lit::pos(v(0)), Lit::pos(v(1))]]);
+        store.record(&key, &[v(0), v(1)], &[vec![Lit::pos(v(1)), Lit::pos(v(0))]]);
+        assert_eq!(store.stored_clauses(), 1);
+    }
+}
