@@ -7,11 +7,11 @@
 //!   submit --input bench.lbrc [--decompiler a|b|c|all] [--strategy S]
 //!          [--out reduced.lbrc] [--priority N] [--cost SECS]
 //!          [--probe-threads N] [--probe-latency-micros N]
-//!          [--deadline-secs F] [--wait] [--events]
+//!          [--deadline-secs F] [--wait] [--events] [--retry-shed]
 //!   status --id N
 //!   result --id N [--wait]
 //!   cancel --id N
-//!   stats
+//!   stats [--cluster]
 //!   shutdown
 //!   ping
 //! ```
@@ -23,10 +23,14 @@
 //!
 //! Responses are printed to stdout as one JSON document. Exit status:
 //! `0` on success (for `result --wait`, only when the job finished
-//! `done`), `1` on daemon/job errors, `2` on usage errors.
+//! `done`), `1` on daemon/job errors, `2` on usage errors, `3` when the
+//! daemon shed the submit (stderr then carries its `retry_after_ms`
+//! hint; `--retry-shed` sleeps the hinted delay and retries once before
+//! giving up).
 
-use lbr_service::{Client, Connection, Json};
+use lbr_service::{Client, Connection, Json, Submitted};
 use std::path::Path;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!("usage: reduce-client (--state-dir DIR | --addr HOST:PORT) <op> [args]");
@@ -37,6 +41,65 @@ fn usage() -> ! {
 fn fail(message: String) -> ! {
     eprintln!("error: {message}");
     std::process::exit(1);
+}
+
+/// Exit for a shed submit that was not (or no longer) retried: the
+/// daemon's backoff hint goes to stderr, and the status is distinct
+/// from both usage errors and hard failures.
+fn shed_exit(message: &str, retry_after_ms: u64, suggest_flag: bool) -> ! {
+    let suggestion = if suggest_flag {
+        " (or pass --retry-shed to retry once automatically)"
+    } else {
+        ""
+    };
+    eprintln!(
+        "shed: daemon refused the submit ({message}); \
+         retry after {retry_after_ms}ms{suggestion}"
+    );
+    std::process::exit(3);
+}
+
+/// Renders a stats document, narrowed to the coordinator's cluster
+/// section under `--cluster` (an error if the daemon has none).
+fn print_stats(doc: &Json, cluster: bool) {
+    if !cluster {
+        println!("{}", doc.render());
+        return;
+    }
+    match doc.get("cluster") {
+        Some(section) => println!("{}", section.render()),
+        None => {
+            fail("daemon is not a cluster coordinator (stats has no cluster section)".to_owned())
+        }
+    }
+}
+
+/// Resolves a submit outcome, honouring `--retry-shed`: on a shed
+/// response, sleep the daemon's hinted delay and retry exactly once.
+fn admit(mut submit: impl FnMut() -> std::io::Result<Submitted>, retry_shed: bool) -> u64 {
+    match submit().unwrap_or_else(|e| fail(format!("submit: {e}"))) {
+        Submitted::Accepted(id) => id,
+        Submitted::Shed {
+            retry_after_ms,
+            message,
+        } => {
+            if !retry_shed {
+                shed_exit(&message, retry_after_ms, true);
+            }
+            eprintln!(
+                "shed: daemon refused the submit ({message}); \
+                 retrying once in {retry_after_ms}ms"
+            );
+            std::thread::sleep(Duration::from_millis(retry_after_ms));
+            match submit().unwrap_or_else(|e| fail(format!("submit retry: {e}"))) {
+                Submitted::Accepted(id) => id,
+                Submitted::Shed {
+                    retry_after_ms,
+                    message,
+                } => shed_exit(&message, retry_after_ms, false),
+            }
+        }
+    }
 }
 
 fn main() {
@@ -58,6 +121,12 @@ fn main() {
         println!();
         println!("  --binary               negotiate compact binary framing");
         println!("  --events               stream job progress events to stderr");
+        println!("  --retry-shed           on a shed submit, sleep the hinted delay, retry once");
+        println!(
+            "  --cluster              with stats: print only the coordinator's cluster section"
+        );
+        println!();
+        println!("exit status: 0 ok, 1 error, 2 usage, 3 submit shed (hint on stderr)");
         return;
     }
 
@@ -68,6 +137,8 @@ fn main() {
     let mut wait = false;
     let mut binary = false;
     let mut events = false;
+    let mut retry_shed = false;
+    let mut cluster = false;
     // submit fields, passed through as the job spec.
     let mut spec: Vec<(&'static str, Json)> = Vec::new();
     let mut i = 0;
@@ -93,6 +164,8 @@ fn main() {
             "--wait" => wait = true,
             "--binary" => binary = true,
             "--events" => events = true,
+            "--retry-shed" => retry_shed = true,
+            "--cluster" => cluster = true,
             "--input" => spec.push(("input", Json::str(value()))),
             "--decompiler" | "-d" => spec.push(("decompiler", Json::str(value()))),
             "--strategy" | "-s" => spec.push(("strategy", Json::str(value()))),
@@ -151,7 +224,9 @@ fn main() {
     let need_id = || id.unwrap_or_else(|| usage());
 
     if binary || events {
-        run_over_connection(&client, &op, spec, id, wait, binary, events);
+        run_over_connection(
+            &client, &op, spec, id, wait, binary, events, retry_shed, cluster,
+        );
         return;
     }
 
@@ -164,9 +239,8 @@ fn main() {
             }
         }
         "submit" => {
-            let job_id = client
-                .submit(&Json::obj_from(spec))
-                .unwrap_or_else(|e| fail(format!("submit: {e}")));
+            let spec = Json::obj_from(spec);
+            let job_id = admit(|| client.try_submit(&spec), retry_shed);
             if wait {
                 let result = client
                     .wait_result(job_id)
@@ -213,7 +287,7 @@ fn main() {
             let doc = client
                 .stats()
                 .unwrap_or_else(|e| fail(format!("stats: {e}")));
-            println!("{}", doc.render());
+            print_stats(&doc, cluster);
         }
         "shutdown" => {
             client
@@ -230,6 +304,7 @@ fn main() {
 
 /// The persistent-connection path: negotiated framing, optional event
 /// stream. Used whenever `--binary` or `--events` is requested.
+#[allow(clippy::too_many_arguments)]
 fn run_over_connection(
     client: &Client,
     op: &str,
@@ -238,6 +313,8 @@ fn run_over_connection(
     wait: bool,
     binary: bool,
     events: bool,
+    retry_shed: bool,
+    cluster: bool,
 ) {
     let mut conn = Connection::negotiate(client.addr(), binary)
         .unwrap_or_else(|e| fail(format!("cannot connect to {}: {e}", client.addr())));
@@ -257,9 +334,8 @@ fn run_over_connection(
             println!("{{\"ok\":true}}");
         }
         "submit" => {
-            let job_id = conn
-                .submit(&Json::obj_from(spec), events)
-                .unwrap_or_else(|e| fail(format!("submit: {e}")));
+            let spec = Json::obj_from(spec);
+            let job_id = admit(|| conn.try_submit(&spec, events), retry_shed);
             if !wait {
                 println!("{{\"id\":{job_id}}}");
                 return;
@@ -323,7 +399,7 @@ fn run_over_connection(
         }
         "stats" => {
             let doc = expect(conn.stats(), "stats");
-            println!("{}", doc.render());
+            print_stats(&doc, cluster);
         }
         "shutdown" => {
             expect(

@@ -1,0 +1,111 @@
+//! The cluster coordinator binary: the reduction daemon with a
+//! worker-facing cluster server attached.
+//!
+//! ```text
+//! lbr-coordinatord --state-dir state/ [--workers N] [--batch N]
+//!                  [--queue-capacity N] [--checkpoint-interval-ms N]
+//! ```
+//!
+//! Prints the client-facing daemon address on stdout (persisted in
+//! `state/daemon.addr`); workers find the cluster listener via
+//! `state/cluster.addr`. Kill it however you like — jobs checkpoint and
+//! a restart resumes them, warm cache and all, exactly like the plain
+//! daemon.
+
+use lbr_cluster::{ClusterServer, DEFAULT_BATCH};
+use lbr_service::{Daemon, DaemonConfig, PersistentOracleCache};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut state_dir: Option<String> = None;
+    let mut workers = 2usize;
+    let mut batch = DEFAULT_BATCH;
+    let mut queue_capacity = 64usize;
+    let mut checkpoint_interval_ms: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            });
+            i += 1;
+            v
+        };
+        let parse = |flag: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} takes a number");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--state-dir" => state_dir = Some(value()),
+            "--workers" => workers = parse(flag, value()) as usize,
+            "--batch" => batch = parse(flag, value()) as usize,
+            "--queue-capacity" => queue_capacity = parse(flag, value()) as usize,
+            "--checkpoint-interval-ms" => checkpoint_interval_ms = Some(parse(flag, value())),
+            "--help" | "-h" => {
+                println!(
+                    "usage: lbr-coordinatord --state-dir DIR [--workers N] [--batch N]\n\
+                     \x20                       [--queue-capacity N] [--checkpoint-interval-ms N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(state_dir) = state_dir else {
+        eprintln!("--state-dir is required (try --help)");
+        std::process::exit(2);
+    };
+    if let Err(e) = std::fs::create_dir_all(&state_dir) {
+        eprintln!("cannot create {state_dir}: {e}");
+        std::process::exit(1);
+    }
+    let cache =
+        match PersistentOracleCache::open(std::path::Path::new(&state_dir).join("oracle.cache")) {
+            Ok(cache) => Arc::new(cache),
+            Err(e) => {
+                eprintln!("cannot open oracle cache: {e}");
+                std::process::exit(1);
+            }
+        };
+    let cluster = match ClusterServer::start(
+        std::path::Path::new(&state_dir),
+        Arc::clone(&cache),
+        batch.max(1),
+    ) {
+        Ok(cluster) => cluster,
+        Err(e) => {
+            eprintln!("cannot start cluster server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut config = DaemonConfig::new(&state_dir, workers);
+    config.queue_capacity = queue_capacity.max(1);
+    if let Some(ms) = checkpoint_interval_ms {
+        config.checkpoint_interval = Duration::from_millis(ms);
+    }
+    let daemon = match Daemon::start_clustered(config, cache, Arc::clone(&cluster) as _) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", daemon.local_addr());
+    eprintln!("cluster listener: {}", cluster.local_addr());
+    let result = daemon.run();
+    cluster.shutdown();
+    if let Err(e) = result {
+        eprintln!("daemon error: {e}");
+        std::process::exit(1);
+    }
+}

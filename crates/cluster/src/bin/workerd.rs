@@ -1,0 +1,104 @@
+//! The cluster worker binary: evaluates probe batches for a coordinator.
+//!
+//! ```text
+//! lbr-workerd (--coordinator HOST:PORT | --state-dir DIR)
+//!             [--name NAME] [--batch N]
+//!             [--cache-fault-rate P --cache-fault-seed S]
+//! ```
+//!
+//! `--state-dir` reads the coordinator's `cluster.addr` (the easy path
+//! when both run on one machine). The fault flags simulate a partition
+//! of the coordinator-hosted cache tier: faulted operations degrade to
+//! local misses, results stay exact. Reconnects with backoff if the
+//! coordinator goes away.
+
+use lbr_cluster::{run_worker, WorkerOptions};
+use lbr_core::FaultPlan;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut coordinator: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut name = format!("worker-{}", std::process::id());
+    let mut batch: Option<usize> = None;
+    let mut fault_rate: Option<f64> = None;
+    let mut fault_seed = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            });
+            i += 1;
+            v
+        };
+        match flag {
+            "--coordinator" => coordinator = Some(value()),
+            "--state-dir" => state_dir = Some(value()),
+            "--name" => name = value(),
+            "--batch" => {
+                batch = Some(value().parse().unwrap_or_else(|_| {
+                    eprintln!("--batch takes a number");
+                    std::process::exit(2);
+                }))
+            }
+            "--cache-fault-rate" => {
+                fault_rate = Some(value().parse().unwrap_or_else(|_| {
+                    eprintln!("--cache-fault-rate takes a probability");
+                    std::process::exit(2);
+                }))
+            }
+            "--cache-fault-seed" => {
+                fault_seed = value().parse().unwrap_or_else(|_| {
+                    eprintln!("--cache-fault-seed takes a number");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lbr-workerd (--coordinator HOST:PORT | --state-dir DIR)\n\
+                     \x20                  [--name NAME] [--batch N]\n\
+                     \x20                  [--cache-fault-rate P --cache-fault-seed S]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let coordinator = match (coordinator, state_dir) {
+        (Some(addr), _) => addr,
+        (None, Some(dir)) => {
+            let path = std::path::Path::new(&dir).join("cluster.addr");
+            match std::fs::read_to_string(&path) {
+                Ok(text) => text.trim().to_owned(),
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        (None, None) => {
+            eprintln!("--coordinator or --state-dir is required (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let mut options = WorkerOptions::new(coordinator, name);
+    options.batch = batch;
+    options.reconnect = true;
+    if let Some(rate) = fault_rate {
+        options.cache_faults = Some(FaultPlan {
+            rate,
+            seed: fault_seed,
+        });
+    }
+    if let Err(e) = run_worker(&options) {
+        eprintln!("worker error: {e}");
+        std::process::exit(1);
+    }
+}

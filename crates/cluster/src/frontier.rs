@@ -1,0 +1,462 @@
+//! The shared speculative frontier: the coordinator-side structure that
+//! carries one job's probe work between the GBR driver and the worker
+//! nodes.
+//!
+//! A [`SharedFrontier`] plays the role the local
+//! [`ProbeScheduler`](lbr_core::ProbeScheduler) plays for in-process
+//! speculation, with the worker pool replaced by whoever shows up over
+//! TCP:
+//!
+//! * the driver **speculates** — replaces the queue of candidate
+//!   keep-sets with the probes the search may need next;
+//! * workers **pull** slices of the queue as probe batches and stream
+//!   **verdicts** back, in whatever order the network delivers them;
+//! * the driver **demands** verdicts in the exact sequential probe order
+//!   of single-host GBR — ready verdicts return instantly, in-flight
+//!   ones are awaited, unclaimed ones are computed inline against the
+//!   local oracle stack.
+//!
+//! Ordered demands are what make the cluster deterministic: the merge of
+//! worker replies is a *permutation-invariant* function of the verdict
+//! set, because every verdict is keyed by its candidate subset and the
+//! driver consumes them by key, never by arrival order. The property test
+//! below shuffles reply order across a hundred seeds and asserts the
+//! reduction trace digest never moves.
+//!
+//! Robustness lives here too: [`worker_gone`](SharedFrontier::worker_gone)
+//! requeues a dead worker's unfinished slice (demanded probes jump the
+//! queue and wake the driver, which takes them over inline), and a
+//! patience backstop re-runs a probe locally if its worker goes silent
+//! without dropping the connection. Probes are pure, so a duplicated run
+//! costs time, never correctness — first verdict wins.
+
+use lbr_core::{
+    ConcurrentPredicate, DemandKind, Demanded, KeyedMap, MemoScan, Probe, VerdictSource,
+};
+use lbr_logic::VarSet;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// The pseudo-worker id of the coordinator's own driving thread, used
+/// when a demand computes a probe inline (no worker had claimed it).
+pub const LOCAL_WORKER: u64 = u64::MAX;
+
+/// How long a demand waits on a claimed-but-unanswered probe before
+/// re-running it locally. A backstop for workers that hang without
+/// dropping their connection — clean deaths requeue via
+/// [`SharedFrontier::worker_gone`] within milliseconds.
+const TAKEOVER_PATIENCE: Duration = Duration::from_secs(5);
+
+/// Condvar wait slice while a demand is parked on an in-flight probe.
+const WAIT_SLICE: Duration = Duration::from_millis(5);
+
+/// Where one claimed probe stands.
+#[derive(Debug, Clone, Copy)]
+enum SlotState {
+    /// Claimed by a worker (or [`LOCAL_WORKER`]); verdict pending.
+    Assigned(u64),
+    /// Verdict recorded; the value every later demand returns.
+    Done(Probe),
+    /// Its worker died before answering; requeued for reassignment.
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    /// Whether the driver ever demanded this subset (deterministic
+    /// hit/miss accounting, same rule as the local scheduler).
+    demanded: bool,
+}
+
+#[derive(Debug, Default)]
+struct FrontierInner {
+    /// Every subset ever claimed or answered, keyed exactly.
+    table: KeyedMap<Slot>,
+    /// Speculation not yet claimed by anyone. Replaced wholesale by
+    /// [`SharedFrontier::speculate`]; entries here have no table slot.
+    queue: VecDeque<VarSet>,
+}
+
+/// One job's probe frontier, shared between the GBR driving thread and
+/// the cluster's connection threads. See the module docs for the
+/// protocol.
+#[derive(Debug, Default)]
+pub struct SharedFrontier {
+    inner: Mutex<FrontierInner>,
+    /// Signalled on every verdict and every requeue.
+    ready: Condvar,
+    executed: AtomicU64,
+    requeued: AtomicU64,
+    stale: AtomicU64,
+}
+
+impl SharedFrontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        SharedFrontier::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FrontierInner> {
+        self.inner.lock().expect("frontier lock")
+    }
+
+    /// Replaces the speculation queue with `candidates` (empty cancels
+    /// all pending speculation). Subsets already claimed or answered are
+    /// skipped — their verdicts land in the table either way.
+    pub fn speculate(&self, candidates: Vec<VarSet>) {
+        let mut inner = self.lock();
+        inner.queue.clear();
+        for candidate in candidates {
+            match inner.table.get(&candidate).map(|slot| slot.state) {
+                Some(SlotState::Done(_)) | Some(SlotState::Assigned(_)) => {}
+                Some(SlotState::Abandoned) | None => inner.queue.push_back(candidate),
+            }
+        }
+    }
+
+    /// Claims up to `max` queued subsets for `worker` and returns them as
+    /// a probe batch. An empty batch means the frontier is (currently)
+    /// drained.
+    pub fn pull(&self, worker: u64, max: usize) -> Vec<VarSet> {
+        let mut inner = self.lock();
+        let mut batch = Vec::new();
+        while batch.len() < max {
+            let Some(key) = inner.queue.pop_front() else {
+                break;
+            };
+            match inner.table.get_mut(&key) {
+                None => {
+                    inner.table.insert_if_absent(
+                        &key,
+                        Slot {
+                            state: SlotState::Assigned(worker),
+                            demanded: false,
+                        },
+                    );
+                    batch.push(key);
+                }
+                Some(slot) => match slot.state {
+                    SlotState::Abandoned => {
+                        slot.state = SlotState::Assigned(worker);
+                        batch.push(key);
+                    }
+                    // Raced with an inline demand or another pull.
+                    SlotState::Done(_) | SlotState::Assigned(_) => {}
+                },
+            }
+        }
+        batch
+    }
+
+    /// Records one verdict from `worker`. Returns `false` for stale
+    /// verdicts (the subset was already answered — a takeover or a
+    /// duplicate); first write wins, which is sound because the
+    /// predicate is pure.
+    pub fn verdict(&self, worker: u64, key: &VarSet, probe: Probe) -> bool {
+        let _ = worker;
+        let mut inner = self.lock();
+        let accepted = match inner.table.get_mut(key) {
+            Some(slot) => match slot.state {
+                SlotState::Done(_) => false,
+                SlotState::Assigned(_) | SlotState::Abandoned => {
+                    slot.state = SlotState::Done(probe);
+                    true
+                }
+            },
+            // Unknown subset: a reply for a slot this frontier never
+            // assigned (e.g. reconstructed under a different universe).
+            None => false,
+        };
+        drop(inner);
+        if accepted {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            self.ready.notify_all();
+        } else {
+            self.stale.fetch_add(1, Ordering::Relaxed);
+        }
+        accepted
+    }
+
+    /// Releases every probe still assigned to `worker` (it died or
+    /// disconnected): demanded subsets jump to the queue front and the
+    /// waiting driver is woken to take them over; the rest requeue at
+    /// the back for live workers.
+    pub fn worker_gone(&self, worker: u64) {
+        let mut inner = self.lock();
+        let orphaned: Vec<VarSet> = inner
+            .table
+            .iter()
+            .filter(|(_, slot)| matches!(slot.state, SlotState::Assigned(w) if w == worker))
+            .map(|(key, _)| key.clone())
+            .collect();
+        let mut released = 0u64;
+        for key in orphaned {
+            let demanded = {
+                let slot = inner.table.get_mut(&key).expect("orphaned slot");
+                slot.state = SlotState::Abandoned;
+                slot.demanded
+            };
+            if demanded {
+                inner.queue.push_front(key);
+            } else {
+                inner.queue.push_back(key);
+            }
+            released += 1;
+        }
+        drop(inner);
+        if released > 0 {
+            self.requeued.fetch_add(released, Ordering::Relaxed);
+            self.ready.notify_all();
+        }
+    }
+
+    /// The driver's ordered demand: returns the verdict for `input`,
+    /// waiting on an in-flight worker or computing inline against
+    /// `local` when nobody claimed it. See the module docs for the
+    /// determinism argument.
+    pub fn demand(&self, input: &VarSet, local: &dyn ConcurrentPredicate) -> Demanded {
+        let mut inner = self.lock();
+        let first_demand = match inner.table.get_mut(input) {
+            Some(slot) => {
+                let first = !slot.demanded;
+                slot.demanded = true;
+                first
+            }
+            None => true,
+        };
+        let mut waited = Duration::ZERO;
+        loop {
+            match inner.table.get(input).map(|slot| slot.state) {
+                Some(SlotState::Done(probe)) => {
+                    return Demanded {
+                        probe,
+                        first_demand,
+                        kind: if waited.is_zero() {
+                            DemandKind::Ready
+                        } else {
+                            DemandKind::Waited
+                        },
+                    };
+                }
+                Some(SlotState::Assigned(w)) if w != LOCAL_WORKER && waited < TAKEOVER_PATIENCE => {
+                    let (guard, _) = self
+                        .ready
+                        .wait_timeout(inner, WAIT_SLICE)
+                        .expect("frontier lock");
+                    inner = guard;
+                    waited += WAIT_SLICE;
+                }
+                // Unclaimed, abandoned, or past patience: run it here.
+                _ => {
+                    match inner.table.get_mut(input) {
+                        Some(slot) => slot.state = SlotState::Assigned(LOCAL_WORKER),
+                        None => {
+                            inner.table.insert_if_absent(
+                                input,
+                                Slot {
+                                    state: SlotState::Assigned(LOCAL_WORKER),
+                                    demanded: true,
+                                },
+                            );
+                        }
+                    }
+                    drop(inner);
+                    let computed = local.probe(input);
+                    let mut inner = self.lock();
+                    let slot = inner.table.get_mut(input).expect("claimed slot");
+                    let probe = match slot.state {
+                        // A worker's verdict landed while we ran the
+                        // tool: keep the first write (values are equal —
+                        // the predicate is pure).
+                        SlotState::Done(probe) => probe,
+                        _ => {
+                            slot.state = SlotState::Done(computed);
+                            self.executed.fetch_add(1, Ordering::Relaxed);
+                            computed
+                        }
+                    };
+                    drop(inner);
+                    self.ready.notify_all();
+                    return Demanded {
+                        probe,
+                        first_demand,
+                        kind: DemandKind::Computed,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Probes answered through this frontier (worker verdicts plus
+    /// inline computes).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Probes requeued after their worker died.
+    pub fn requeued(&self) -> u64 {
+        self.requeued.load(Ordering::Relaxed)
+    }
+
+    /// Verdicts dropped because the subset was already answered.
+    pub fn stale(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Entry/demand totals over answered probes, matching the local
+    /// scheduler's accounting: `entries − demanded` is pure speculative
+    /// waste.
+    pub fn scan(&self) -> MemoScan {
+        let inner = self.lock();
+        let mut scan = MemoScan::default();
+        for (_, slot) in inner.table.iter() {
+            if matches!(slot.state, SlotState::Done(_)) {
+                scan.entries += 1;
+                if slot.demanded {
+                    scan.demanded += 1;
+                }
+            }
+        }
+        scan
+    }
+
+    /// Pending (unclaimed) speculation, for observability.
+    pub fn queue_depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+}
+
+/// A [`VerdictSource`] view of a [`SharedFrontier`] bound to the run's
+/// local oracle stack — what
+/// [`open_frontier`](lbr_core::ProbeDistributor::open_frontier) hands the
+/// GBR driver. The local predicate is the zero-worker (and dead-worker)
+/// fallback: the run always makes progress.
+pub struct RemoteFrontier<'a> {
+    shared: std::sync::Arc<SharedFrontier>,
+    local: &'a dyn ConcurrentPredicate,
+}
+
+impl<'a> RemoteFrontier<'a> {
+    /// Binds `shared` to the run's local probe fallback.
+    pub fn new(shared: std::sync::Arc<SharedFrontier>, local: &'a dyn ConcurrentPredicate) -> Self {
+        RemoteFrontier { shared, local }
+    }
+}
+
+impl VerdictSource for RemoteFrontier<'_> {
+    fn demand(&self, input: &VarSet) -> Demanded {
+        self.shared.demand(input, self.local)
+    }
+
+    fn speculate(&self, candidates: Vec<VarSet>) {
+        self.shared.speculate(candidates);
+    }
+
+    fn executed(&self) -> u64 {
+        self.shared.executed()
+    }
+
+    fn scan(&self) -> MemoScan {
+        self.shared.scan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_logic::Var;
+
+    fn set(universe: usize, vars: &[u32]) -> VarSet {
+        VarSet::from_iter_with_universe(universe, vars.iter().map(|&v| Var::new(v)))
+    }
+
+    fn probe_of(size: u64) -> Probe {
+        Probe {
+            outcome: true,
+            size,
+        }
+    }
+
+    #[test]
+    fn pull_claims_and_speculate_replaces() {
+        let frontier = SharedFrontier::new();
+        frontier.speculate(vec![set(8, &[0]), set(8, &[1]), set(8, &[2])]);
+        let batch = frontier.pull(1, 2);
+        assert_eq!(batch.len(), 2);
+        // Retarget: the unclaimed tail is cancelled, claimed slices stay.
+        frontier.speculate(vec![set(8, &[3])]);
+        let batch2 = frontier.pull(2, 8);
+        assert_eq!(batch2, vec![set(8, &[3])]);
+        assert_eq!(frontier.pull(2, 8), Vec::<VarSet>::new());
+    }
+
+    #[test]
+    fn verdicts_are_first_write_wins() {
+        let frontier = SharedFrontier::new();
+        frontier.speculate(vec![set(8, &[0])]);
+        let batch = frontier.pull(1, 1);
+        assert!(frontier.verdict(1, &batch[0], probe_of(10)));
+        assert!(!frontier.verdict(2, &batch[0], probe_of(99)), "stale");
+        assert_eq!(frontier.stale(), 1);
+        let local = |_: &VarSet| panic!("must be answered from the table");
+        let got = frontier.demand(&batch[0], &local);
+        assert_eq!(got.probe.size, 10);
+        assert!(got.first_demand);
+        assert_eq!(got.kind, DemandKind::Ready);
+    }
+
+    #[test]
+    fn unclaimed_demand_computes_inline() {
+        let frontier = SharedFrontier::new();
+        let local = |keep: &VarSet| keep.len() > 1;
+        let got = frontier.demand(&set(8, &[0, 1]), &local);
+        assert!(got.probe.outcome);
+        assert_eq!(got.kind, DemandKind::Computed);
+        assert!(got.first_demand);
+        let again = frontier.demand(&set(8, &[0, 1]), &local);
+        assert!(!again.first_demand, "repeat demand is a memo hit");
+        assert_eq!(again.kind, DemandKind::Ready);
+        assert_eq!(frontier.executed(), 1);
+    }
+
+    #[test]
+    fn dead_worker_slice_is_requeued_and_taken_over() {
+        let frontier = SharedFrontier::new();
+        let a = set(8, &[0]);
+        let b = set(8, &[1]);
+        frontier.speculate(vec![a.clone(), b.clone()]);
+        let batch = frontier.pull(7, 2);
+        assert_eq!(batch.len(), 2);
+        // The driver demands `a` on another thread, then the worker dies.
+        let computed = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let local = |keep: &VarSet| keep.len() == 1;
+                frontier.demand(&a, &local)
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            frontier.worker_gone(7);
+            handle.join().expect("demand thread")
+        });
+        assert!(computed.probe.outcome, "taken over and computed locally");
+        assert_eq!(frontier.requeued(), 2);
+        // The undemanded probe is back on the queue for live workers.
+        assert_eq!(frontier.pull(8, 8), vec![b]);
+    }
+
+    #[test]
+    fn scan_counts_answered_probes_only() {
+        let frontier = SharedFrontier::new();
+        frontier.speculate(vec![set(8, &[0]), set(8, &[1]), set(8, &[2])]);
+        let batch = frontier.pull(1, 3);
+        frontier.verdict(1, &batch[0], probe_of(1));
+        frontier.verdict(1, &batch[1], probe_of(2));
+        let local = |_: &VarSet| true;
+        frontier.demand(&batch[0], &local);
+        let scan = frontier.scan();
+        assert_eq!(scan.entries, 2, "unanswered claims are not entries");
+        assert_eq!(scan.demanded, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! The distributed reduction cluster: a coordinator and worker nodes
+//! sharing one oracle-cache tier.
+//!
+//! The paper's cost model is brutally simple — wall time ≈ predicate
+//! calls × ≈33 s of decompile+compile — which makes probe evaluation the
+//! one thing worth distributing. This crate scales the speculative
+//! frontier of parallel GBR past one host:
+//!
+//! * the **coordinator** (`lbr-coordinatord`) is the ordinary reduction
+//!   daemon plus a [`ClusterServer`]: it owns the job queue, the
+//!   checkpoints, and the authoritative content-addressed
+//!   [`PersistentOracleCache`](lbr_service::PersistentOracleCache);
+//! * **workers** (`lbr-workerd`) connect over TCP, pull slices of each
+//!   job's speculative frontier as probe batches, evaluate them with a
+//!   local oracle stack (local memo → coordinator-hosted cache tier →
+//!   probe), and stream verdicts back;
+//! * the GBR driver *demands* verdicts in the exact sequential probe
+//!   order through a [`SharedFrontier`], so the reduced program and its
+//!   trace digest are **bit-identical** to the single-host daemon at any
+//!   worker count — zero workers included (unclaimed demands compute
+//!   inline).
+//!
+//! Robustness is part of the design, not a bolt-on: a worker dying
+//! mid-batch has its slice requeued (demanded probes wake the driver,
+//! which takes them over), a partitioned cache tier degrades to local
+//! misses via [`FaultPlan`](lbr_core::FaultPlan), and a `kill -9`'d
+//! coordinator restarts from its checkpoints exactly like the
+//! single-host daemon — the chaos smoke in `ci.sh` asserts byte-identical
+//! output through all three.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod frontier;
+pub mod server;
+pub mod wire;
+pub mod worker;
+
+pub use frontier::{RemoteFrontier, SharedFrontier, LOCAL_WORKER};
+pub use server::{ClusterServer, DEFAULT_BATCH};
+pub use wire::CLUSTER_MAX_FRAME;
+pub use worker::{run_worker, WorkerOptions};

@@ -1,0 +1,538 @@
+//! The coordinator's cluster server: worker connections, job frontiers,
+//! and the shared oracle-cache tier.
+//!
+//! One [`ClusterServer`] rides alongside one reduction daemon. It binds
+//! its own TCP listener (published in `cluster.addr` next to
+//! `daemon.addr`), accepts worker nodes, and implements the daemon's
+//! [`ClusterDispatch`] hook: every `logical` job gets a
+//! [`ProbeDistributor`] whose frontier the connected workers drain.
+//!
+//! ```text
+//!                        coordinator host
+//!   clients ──► daemon (job queue, checkpoints) ──► GBR driver thread
+//!                   │                                  │ demand/speculate
+//!                   │ ClusterDispatch          SharedFrontier (per job)
+//!                   ▼                                  ▲ pull/verdict
+//!               ClusterServer ◄── TCP (OP_CLUSTER) ──► worker nodes
+//!                   │
+//!          PersistentOracleCache (authoritative tier, shared with daemon)
+//! ```
+//!
+//! The server owns nothing a worker could corrupt: verdicts merge into
+//! each job's [`SharedFrontier`] keyed by subset (first write wins), the
+//! cache tier is the daemon's own content-addressed
+//! [`PersistentOracleCache`] behind the same namespace digests, and a
+//! worker that vanishes mid-batch just has its slice requeued.
+
+use crate::frontier::{RemoteFrontier, SharedFrontier};
+use crate::wire::{
+    keep_from_json, keep_to_json, probe_fields, probe_from, recv_doc, send_doc, to_hex,
+};
+use lbr_core::{ConcurrentPredicate, ProbeDistributor, VerdictSource};
+use lbr_service::{
+    atomic_write_str, namespace_digest, ClusterDispatch, JobSpec, Json, PersistentOracleCache,
+};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default probes per pulled batch.
+pub const DEFAULT_BATCH: usize = 8;
+
+/// How long an idle worker is told to wait before re-pulling.
+const IDLE_WAIT_MS: u64 = 5;
+
+/// One registered job: everything a connection thread needs to serve
+/// pulls, verdicts, and cache traffic for it.
+struct JobSession {
+    job: u64,
+    /// The job's cache namespace — identical to the daemon's own
+    /// (digest of decompiler id + input bytes), so worker-tier entries
+    /// and coordinator-side entries share one keyspace.
+    namespace: u64,
+    /// What a worker needs to rebuild the exact pipeline predicate.
+    descriptor: Json,
+    frontier: Arc<SharedFrontier>,
+}
+
+/// Monotonic counters for the `stats` endpoint.
+#[derive(Default)]
+struct Counters {
+    batches: AtomicU64,
+    probes_assigned: AtomicU64,
+    verdicts: AtomicU64,
+    verdicts_stale: AtomicU64,
+    requeued: AtomicU64,
+    descriptors_sent: AtomicU64,
+    cache_gets: AtomicU64,
+    cache_hits: AtomicU64,
+    cross_worker_hits: AtomicU64,
+    cache_puts: AtomicU64,
+    jobs_opened: AtomicU64,
+}
+
+/// State shared by the acceptor, connection threads, and distributors.
+struct ServerShared {
+    cache: Arc<PersistentOracleCache>,
+    batch: usize,
+    jobs: Mutex<HashMap<u64, Arc<JobSession>>>,
+    /// (namespace, keep fingerprint) → worker that stored the entry;
+    /// lets a cache hit tell whether it crossed workers.
+    origins: Mutex<HashMap<(u64, u64), u64>>,
+    next_worker: AtomicU64,
+    workers_connected: AtomicU64,
+    workers_seen: AtomicU64,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+impl ServerShared {
+    fn sessions_by_id(&self) -> Vec<Arc<JobSession>> {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let mut sessions: Vec<Arc<JobSession>> = jobs.values().cloned().collect();
+        sessions.sort_unstable_by_key(|s| s.job);
+        sessions
+    }
+
+    fn session(&self, job: u64) -> Option<Arc<JobSession>> {
+        self.jobs.lock().expect("jobs lock").get(&job).cloned()
+    }
+}
+
+/// The worker-facing side of a clustered coordinator. Start one with
+/// [`start`](ClusterServer::start), then hand it (as the
+/// [`ClusterDispatch`]) to
+/// [`Daemon::start_clustered`](lbr_service::Daemon::start_clustered).
+pub struct ClusterServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+}
+
+impl ClusterServer {
+    /// Binds an ephemeral localhost listener, publishes it in
+    /// `state_dir/cluster.addr`, and starts accepting worker
+    /// connections. `cache` must be the same instance the daemon uses —
+    /// it *is* the shared tier.
+    pub fn start(
+        state_dir: &Path,
+        cache: Arc<PersistentOracleCache>,
+        batch: usize,
+    ) -> io::Result<Arc<ClusterServer>> {
+        std::fs::create_dir_all(state_dir)?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        atomic_write_str(&state_dir.join("cluster.addr"), &format!("{addr}\n"))?;
+        let shared = Arc::new(ServerShared {
+            cache,
+            batch: batch.max(1),
+            jobs: Mutex::new(HashMap::new()),
+            origins: Mutex::new(HashMap::new()),
+            next_worker: AtomicU64::new(1),
+            workers_connected: AtomicU64::new(0),
+            workers_seen: AtomicU64::new(0),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("lbr-cluster-accept".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let _ = std::thread::Builder::new()
+                        .name("lbr-cluster-conn".to_owned())
+                        .spawn(move || serve_connection(&conn_shared, stream));
+                }
+            })
+            .expect("spawn cluster acceptor");
+        Ok(Arc::new(ClusterServer { shared, addr }))
+    }
+
+    /// The bound worker-facing address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Workers connected right now.
+    pub fn workers_connected(&self) -> u64 {
+        self.shared.workers_connected.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting new workers (existing connections drain on their
+    /// next request error).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl ClusterDispatch for ClusterServer {
+    fn job_distributor(&self, spec: &JobSpec, input: &[u8]) -> Option<Box<dyn ProbeDistributor>> {
+        if spec.strategy != "logical" {
+            return None;
+        }
+        let descriptor = Json::obj([
+            ("input", Json::str(to_hex(input))),
+            ("decompiler", Json::str(spec.decompiler.clone())),
+            ("latency_micros", Json::count(spec.probe_latency_micros)),
+        ]);
+        Some(Box::new(JobDistributor {
+            shared: Arc::clone(&self.shared),
+            job: spec.id,
+            namespace: namespace_digest(&spec.decompiler, input),
+            descriptor,
+        }))
+    }
+
+    fn stats(&self) -> Json {
+        let shared = &self.shared;
+        let c = &shared.counters;
+        let count = |a: &AtomicU64| Json::count(a.load(Ordering::Relaxed));
+        Json::obj([
+            ("workers_connected", count(&shared.workers_connected)),
+            ("workers_seen", count(&shared.workers_seen)),
+            ("jobs_open", {
+                Json::count(shared.jobs.lock().expect("jobs lock").len() as u64)
+            }),
+            ("jobs_distributed", count(&c.jobs_opened)),
+            ("batches", count(&c.batches)),
+            ("probes_assigned", count(&c.probes_assigned)),
+            ("verdicts", count(&c.verdicts)),
+            ("verdicts_stale", count(&c.verdicts_stale)),
+            ("requeued", count(&c.requeued)),
+            ("descriptors_sent", count(&c.descriptors_sent)),
+            ("cache_gets", count(&c.cache_gets)),
+            ("cache_hits", count(&c.cache_hits)),
+            ("cross_worker_hits", count(&c.cross_worker_hits)),
+            ("cache_puts", count(&c.cache_puts)),
+        ])
+    }
+}
+
+/// The per-job [`ProbeDistributor`] the daemon threads into a
+/// [`ReductionSession`](lbr_jreduce::ReductionSession).
+struct JobDistributor {
+    shared: Arc<ServerShared>,
+    job: u64,
+    namespace: u64,
+    descriptor: Json,
+}
+
+impl ProbeDistributor for JobDistributor {
+    fn open_frontier<'a>(
+        &'a self,
+        local: &'a dyn ConcurrentPredicate,
+    ) -> Box<dyn VerdictSource + 'a> {
+        let frontier = Arc::new(SharedFrontier::new());
+        let session = Arc::new(JobSession {
+            job: self.job,
+            namespace: self.namespace,
+            descriptor: self.descriptor.clone(),
+            frontier: Arc::clone(&frontier),
+        });
+        self.shared
+            .jobs
+            .lock()
+            .expect("jobs lock")
+            .insert(self.job, session);
+        self.shared
+            .counters
+            .jobs_opened
+            .fetch_add(1, Ordering::Relaxed);
+        Box::new(OpenFrontier {
+            remote: RemoteFrontier::new(frontier, local),
+            shared: Arc::clone(&self.shared),
+            job: self.job,
+        })
+    }
+
+    fn frontier_width(&self) -> usize {
+        self.shared.workers_connected.load(Ordering::Relaxed) as usize * self.shared.batch
+    }
+}
+
+/// The live frontier of one run: unregisters the job when the run ends,
+/// so workers stop being offered its work. Verdicts racing the
+/// unregistration land in the (now private) frontier — harmless.
+struct OpenFrontier<'a> {
+    remote: RemoteFrontier<'a>,
+    shared: Arc<ServerShared>,
+    job: u64,
+}
+
+impl VerdictSource for OpenFrontier<'_> {
+    fn demand(&self, input: &lbr_logic::VarSet) -> lbr_core::Demanded {
+        self.remote.demand(input)
+    }
+
+    fn speculate(&self, candidates: Vec<lbr_logic::VarSet>) {
+        self.remote.speculate(candidates)
+    }
+
+    fn executed(&self) -> u64 {
+        self.remote.executed()
+    }
+
+    fn scan(&self) -> lbr_core::MemoScan {
+        self.remote.scan()
+    }
+}
+
+impl Drop for OpenFrontier<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .jobs
+            .lock()
+            .expect("jobs lock")
+            .remove(&self.job);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Connection handling (one thread per worker).
+// ----------------------------------------------------------------------
+
+/// Serves one worker connection until EOF or a protocol error, then
+/// requeues everything the worker still held.
+fn serve_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
+    let mut worker: Option<u64> = None;
+    while let Ok(request) = recv_doc(&mut stream) {
+        let reply = handle_request(shared, &mut worker, &request);
+        if send_doc(&mut stream, &reply).is_err() {
+            break;
+        }
+    }
+    if let Some(worker) = worker {
+        shared.workers_connected.fetch_sub(1, Ordering::Relaxed);
+        for session in shared.sessions_by_id() {
+            let before = session.frontier.requeued();
+            session.frontier.worker_gone(worker);
+            let released = session.frontier.requeued() - before;
+            shared
+                .counters
+                .requeued
+                .fetch_add(released, Ordering::Relaxed);
+        }
+    }
+}
+
+fn error_reply(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+fn handle_request(shared: &Arc<ServerShared>, worker: &mut Option<u64>, request: &Json) -> Json {
+    match request.str_field("op") {
+        Some("hello") => {
+            let id = shared.next_worker.fetch_add(1, Ordering::Relaxed);
+            *worker = Some(id);
+            shared.workers_connected.fetch_add(1, Ordering::Relaxed);
+            shared.workers_seen.fetch_add(1, Ordering::Relaxed);
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("worker", Json::count(id)),
+                ("batch", Json::count(shared.batch as u64)),
+            ])
+        }
+        Some("pull") => handle_pull(shared, request),
+        Some("verdicts") => handle_verdicts(shared, request),
+        Some("cache_get") => handle_cache_get(shared, request),
+        Some("cache_put") => handle_cache_put(shared, request),
+        Some(other) => error_reply(&format!("unknown cluster op {other:?}")),
+        None => error_reply("missing op"),
+    }
+}
+
+/// Picks the job a pulling worker should serve: its current job if that
+/// still has queued work (descriptor stickiness), else the lowest job id
+/// with work, else — when nothing is queued anywhere — its current job
+/// again so it keeps polling cheaply.
+fn handle_pull(shared: &Arc<ServerShared>, request: &Json) -> Json {
+    let Some(worker) = request.u64_field("worker") else {
+        return error_reply("pull before hello");
+    };
+    let max = request
+        .u64_field("max")
+        .map_or(shared.batch, |n| (n as usize).clamp(1, 1024));
+    let current = request.u64_field("job");
+    let sessions = shared.sessions_by_id();
+    let chosen = current
+        .and_then(|id| {
+            sessions
+                .iter()
+                .find(|s| s.job == id && s.frontier.queue_depth() > 0)
+        })
+        .or_else(|| sessions.iter().find(|s| s.frontier.queue_depth() > 0));
+    let Some(session) = chosen else {
+        return Json::obj([
+            ("ok", Json::Bool(true)),
+            ("kind", Json::str("idle")),
+            ("wait_ms", Json::count(IDLE_WAIT_MS)),
+        ]);
+    };
+    if current != Some(session.job) {
+        shared
+            .counters
+            .descriptors_sent
+            .fetch_add(1, Ordering::Relaxed);
+        return Json::obj([
+            ("ok", Json::Bool(true)),
+            ("kind", Json::str("job")),
+            ("job", Json::count(session.job)),
+            ("descriptor", session.descriptor.clone()),
+        ]);
+    }
+    let batch = session.frontier.pull(worker, max);
+    if batch.is_empty() {
+        return Json::obj([
+            ("ok", Json::Bool(true)),
+            ("kind", Json::str("idle")),
+            ("wait_ms", Json::count(IDLE_WAIT_MS)),
+        ]);
+    }
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .probes_assigned
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let universe = batch[0].universe() as u64;
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("batch")),
+        ("job", Json::count(session.job)),
+        ("universe", Json::count(universe)),
+        (
+            "probes",
+            Json::Arr(batch.iter().map(keep_to_json).collect()),
+        ),
+    ])
+}
+
+fn handle_verdicts(shared: &Arc<ServerShared>, request: &Json) -> Json {
+    let (Some(worker), Some(job), Some(universe)) = (
+        request.u64_field("worker"),
+        request.u64_field("job"),
+        request.u64_field("universe"),
+    ) else {
+        return error_reply("verdicts needs worker, job, universe");
+    };
+    let Some(session) = shared.session(job) else {
+        // The run finished while the batch was in flight; drop it.
+        return Json::obj([("ok", Json::Bool(true)), ("accepted", Json::count(0))]);
+    };
+    let Some(results) = request.get("results").and_then(Json::as_arr) else {
+        return error_reply("verdicts needs results");
+    };
+    let mut accepted = 0u64;
+    for result in results {
+        let Some(keep_doc) = result.get("keep") else {
+            return error_reply("verdict missing keep");
+        };
+        let keep = match keep_from_json(keep_doc, universe as usize) {
+            Ok(keep) => keep,
+            Err(e) => return error_reply(&e),
+        };
+        let probe = match probe_from(result) {
+            Ok(probe) => probe,
+            Err(e) => return error_reply(&e),
+        };
+        if session.frontier.verdict(worker, &keep, probe) {
+            accepted += 1;
+            shared.counters.verdicts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared
+                .counters
+                .verdicts_stale
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("accepted", Json::count(accepted)),
+    ])
+}
+
+fn handle_cache_get(shared: &Arc<ServerShared>, request: &Json) -> Json {
+    let (Some(worker), Some(job), Some(universe), Some(keep_doc)) = (
+        request.u64_field("worker"),
+        request.u64_field("job"),
+        request.u64_field("universe"),
+        request.get("keep"),
+    ) else {
+        return error_reply("cache_get needs worker, job, universe, keep");
+    };
+    let Some(session) = shared.session(job) else {
+        return Json::obj([("ok", Json::Bool(true)), ("hit", Json::Bool(false))]);
+    };
+    let keep = match keep_from_json(keep_doc, universe as usize) {
+        Ok(keep) => keep,
+        Err(e) => return error_reply(&e),
+    };
+    shared.counters.cache_gets.fetch_add(1, Ordering::Relaxed);
+    match shared.cache.lookup(session.namespace, &keep) {
+        Some(probe) => {
+            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let origin = shared
+                .origins
+                .lock()
+                .expect("origins lock")
+                .get(&(session.namespace, keep.fingerprint()))
+                .copied();
+            // An entry this worker did not store itself — it came from
+            // another worker, the coordinator's own probes, or disk.
+            if origin != Some(worker) {
+                shared
+                    .counters
+                    .cross_worker_hits
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let [outcome, size] = probe_fields(probe);
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("hit", Json::Bool(true)),
+                outcome,
+                size,
+            ])
+        }
+        None => Json::obj([("ok", Json::Bool(true)), ("hit", Json::Bool(false))]),
+    }
+}
+
+fn handle_cache_put(shared: &Arc<ServerShared>, request: &Json) -> Json {
+    let (Some(worker), Some(job), Some(universe), Some(keep_doc)) = (
+        request.u64_field("worker"),
+        request.u64_field("job"),
+        request.u64_field("universe"),
+        request.get("keep"),
+    ) else {
+        return error_reply("cache_put needs worker, job, universe, keep");
+    };
+    let Some(session) = shared.session(job) else {
+        return Json::obj([("ok", Json::Bool(true))]);
+    };
+    let keep = match keep_from_json(keep_doc, universe as usize) {
+        Ok(keep) => keep,
+        Err(e) => return error_reply(&e),
+    };
+    let probe = match probe_from(request) {
+        Ok(probe) => probe,
+        Err(e) => return error_reply(&e),
+    };
+    shared.cache.store(session.namespace, &keep, probe);
+    shared.counters.cache_puts.fetch_add(1, Ordering::Relaxed);
+    shared
+        .origins
+        .lock()
+        .expect("origins lock")
+        .entry((session.namespace, keep.fingerprint()))
+        .or_insert(worker);
+    Json::obj([("ok", Json::Bool(true))])
+}

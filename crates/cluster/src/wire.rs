@@ -1,0 +1,148 @@
+//! The cluster wire dialect: [`Json`] documents in `OP_CLUSTER` binary
+//! frames, plus the codecs for the values both sides exchange.
+//!
+//! Cluster peers speak the length-prefixed binary framing of
+//! [`lbr_service::frame`] exclusively — opcode [`OP_CLUSTER`], one JSON
+//! document per frame, strict request/response per connection (the worker
+//! always speaks first). The messages:
+//!
+//! | request (worker → coordinator)                    | response |
+//! |---------------------------------------------------|----------|
+//! | `{"op":"hello","name":…}`                          | `{"ok":true,"worker":id,"batch":n}` |
+//! | `{"op":"pull","worker":id,"job":id\|null,"max":n}` | `kind:"job"` (descriptor), `kind:"batch"` (probes), or `kind:"idle"` |
+//! | `{"op":"verdicts","worker":id,"job":id,…}`         | `{"ok":true,"accepted":n}` |
+//! | `{"op":"cache_get","job":id,"keep":[…]}`           | `{"ok":true,"hit":bool,…}` |
+//! | `{"op":"cache_put","job":id,"keep":[…],…}`         | `{"ok":true}` |
+//!
+//! Candidate keep-sets travel as dense variable-index arrays plus the
+//! model universe; both sides rebuild the exact [`VarSet`], so cache keys
+//! and frontier slots agree bit-for-bit across hosts. Job inputs (the
+//! `.lbrc` container bytes) travel hex-encoded inside the job descriptor.
+
+use lbr_core::Probe;
+use lbr_logic::{Var, VarSet};
+use lbr_service::{read_binary_frame, write_binary_frame, Json, OP_CLUSTER};
+use std::io::{self, Read, Write};
+
+/// Frame cap on cluster connections. Job descriptors carry whole input
+/// containers, so the cap is far above the daemon's client-facing 1 MiB.
+pub const CLUSTER_MAX_FRAME: usize = 64 << 20;
+
+/// Writes one cluster document as a binary frame.
+pub fn send_doc(writer: &mut dyn Write, doc: &Json) -> io::Result<()> {
+    write_binary_frame(writer, OP_CLUSTER, doc)
+}
+
+/// Reads one cluster document, rejecting frames that are not
+/// [`OP_CLUSTER`] or exceed [`CLUSTER_MAX_FRAME`] (before allocating).
+pub fn recv_doc(reader: &mut dyn Read) -> io::Result<Json> {
+    let (opcode, doc) = read_binary_frame(reader, CLUSTER_MAX_FRAME)?;
+    if opcode != OP_CLUSTER {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected opcode {opcode:#04x} on cluster connection"),
+        ));
+    }
+    Ok(doc)
+}
+
+/// Encodes a keep-set as its dense index array (universe travels beside
+/// it, once per message, not per set).
+pub fn keep_to_json(keep: &VarSet) -> Json {
+    Json::Arr(keep.iter().map(|v| Json::count(v.index() as u64)).collect())
+}
+
+/// Rebuilds a keep-set from an index array over `universe`. Indices at or
+/// beyond the universe are an error — they would silently change the set.
+pub fn keep_from_json(doc: &Json, universe: usize) -> Result<VarSet, String> {
+    let arr = doc.as_arr().ok_or("keep-set is not an array")?;
+    let mut vars = Vec::with_capacity(arr.len());
+    for item in arr {
+        let index = item.as_u64().ok_or("keep-set index is not a number")? as usize;
+        if index >= universe {
+            return Err(format!(
+                "keep-set index {index} outside universe {universe}"
+            ));
+        }
+        vars.push(Var::new(index as u32));
+    }
+    Ok(VarSet::from_iter_with_universe(universe, vars))
+}
+
+/// Encodes a probe verdict into message fields.
+pub fn probe_fields(probe: Probe) -> [(&'static str, Json); 2] {
+    [
+        ("outcome", Json::Bool(probe.outcome)),
+        ("size", Json::count(probe.size)),
+    ]
+}
+
+/// Decodes a probe verdict from message fields.
+pub fn probe_from(doc: &Json) -> Result<Probe, String> {
+    Ok(Probe {
+        outcome: doc.bool_field("outcome").ok_or("missing probe outcome")?,
+        size: doc.u64_field("size").ok_or("missing probe size")?,
+    })
+}
+
+/// Hex-encodes container bytes for a job descriptor.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes a hex-encoded job input.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err("odd-length hex input".to_owned());
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&text[i..i + 2], 16).map_err(|e| e.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_sets_round_trip() {
+        let keep = VarSet::from_iter_with_universe(17, [0u32, 3, 16].map(Var::new));
+        let back = keep_from_json(&keep_to_json(&keep), 17).unwrap();
+        assert_eq!(back, keep);
+        assert_eq!(back.fingerprint(), keep.fingerprint());
+    }
+
+    #[test]
+    fn keep_set_outside_universe_is_rejected() {
+        let keep = VarSet::from_iter_with_universe(8, [7u32].map(Var::new));
+        let err = keep_from_json(&keep_to_json(&keep), 4).unwrap_err();
+        assert!(err.contains("outside universe"), "{err}");
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn docs_round_trip_over_a_pipe() {
+        let doc = Json::obj([
+            ("op", Json::str("pull")),
+            ("max", Json::count(8)),
+            ("keep", keep_to_json(&VarSet::full(5))),
+        ]);
+        let mut buf = Vec::new();
+        send_doc(&mut buf, &doc).unwrap();
+        let back = recv_doc(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.str_field("op"), Some("pull"));
+        assert_eq!(back.u64_field("max"), Some(8));
+    }
+}

@@ -13,7 +13,7 @@
 //! the current search space), and rebuild the progression over the smaller
 //! search space `D^∪_r` with the learned clause conjoined.
 
-use crate::concurrent::{ConcurrentPredicate, DemandKind, ProbeScheduler};
+use crate::concurrent::{ConcurrentPredicate, DemandKind, MemoScan, ProbeScheduler, VerdictSource};
 use crate::stats::ProbeStats;
 use crate::trace::ReductionTrace;
 use crate::{Instance, Predicate};
@@ -609,18 +609,7 @@ pub fn generalized_binary_reduction_speculative_controlled(
         for _ in 0..workers {
             s.spawn(|| scheduler.worker());
         }
-        let mut driver = SpeculativeDriver {
-            scheduler: &scheduler,
-            calls: 0,
-            limit: config.max_predicate_calls,
-            best: None,
-            width: spec.effective_width(),
-            cost_per_call_secs: spec.cost_per_call_secs,
-            start: Instant::now(),
-            trace: ReductionTrace::new(),
-            distinct: 0,
-            critical: 0,
-        };
+        let mut driver = SpeculativeDriver::new(&scheduler, config, spec);
         let outcome = gbr_loop(instance, order, config, &mut driver, control);
         // Always shut down before the scope joins, also on error paths —
         // otherwise the workers wait on the queue condvar forever.
@@ -632,6 +621,55 @@ pub fn generalized_binary_reduction_speculative_controlled(
     // entry was executed exactly once, so entries − demanded is precisely
     // the wasted speculation.
     let scan = scheduler.scan();
+    Ok(assemble_run(outcome, driver, scan))
+}
+
+/// Runs GBR against an arbitrary [`VerdictSource`] — the entry point the
+/// cluster backend uses to consume a *remote* speculation frontier
+/// instead of the local [`ProbeScheduler`].
+///
+/// The driver demands exactly the sequential probe sequence and retargets
+/// the source's frontier as the search narrows, so as long as the source
+/// honors the [`VerdictSource`] contract the result is **bit-identical**
+/// to [`generalized_binary_reduction`] with the same predicate — at any
+/// worker count, local or remote. Only wall time,
+/// [`ProbeStats::speculative_calls`] and
+/// [`ProbeStats::critical_path_calls`] vary with scheduling.
+///
+/// The source's lifecycle belongs to the caller: this function cancels
+/// pending speculation when the search finishes (also on error paths) but
+/// never shuts the source down.
+///
+/// # Errors
+///
+/// Exactly the cases of [`generalized_binary_reduction`]; see
+/// [`GbrError`].
+pub fn generalized_binary_reduction_with_source(
+    instance: &Instance,
+    order: &VarOrder,
+    source: &dyn VerdictSource,
+    config: &GbrConfig,
+    spec: &SpeculationConfig,
+    control: &mut GbrControl<'_>,
+) -> Result<SpeculativeRun, GbrError> {
+    let mut driver = SpeculativeDriver::new(source, config, spec);
+    let outcome = gbr_loop(instance, order, config, &mut driver, control);
+    // Cancel whatever the frontier still holds, also on error paths —
+    // remote workers must not keep probing a finished run.
+    source.speculate(Vec::new());
+    let outcome = outcome?;
+    let scan = source.scan();
+    Ok(assemble_run(outcome, driver, scan))
+}
+
+/// The shared stats/trace assembly of every speculative entry point.
+/// `entries − demanded` is the wasted speculation; the memo-hit split
+/// mirrors the sequential oracle's first-demand accounting.
+fn assemble_run(
+    outcome: GbrOutcome,
+    driver: SpeculativeDriver<'_>,
+    scan: MemoScan,
+) -> SpeculativeRun {
     let stats = ProbeStats {
         useful_calls: driver.calls,
         speculative_calls: scan.entries - scan.demanded,
@@ -639,11 +677,11 @@ pub fn generalized_binary_reduction_speculative_controlled(
         memo_hits: driver.calls - driver.distinct,
         memo_misses: driver.distinct,
     };
-    Ok(SpeculativeRun {
+    SpeculativeRun {
         outcome,
         stats,
         trace: driver.trace,
-    })
+    }
 }
 
 /// The outcome of a portfolio race over several variable orders.
@@ -730,18 +768,7 @@ pub fn generalized_binary_reduction_portfolio_controlled(
         }
         let mut members = Vec::with_capacity(orders.len());
         for order in orders {
-            let mut driver = SpeculativeDriver {
-                scheduler: &scheduler,
-                calls: 0,
-                limit: config.max_predicate_calls,
-                best: None,
-                width: spec.effective_width(),
-                cost_per_call_secs: spec.cost_per_call_secs,
-                start: Instant::now(),
-                trace: ReductionTrace::new(),
-                distinct: 0,
-                critical: 0,
-            };
+            let mut driver = SpeculativeDriver::new(&scheduler, config, spec);
             let mut member_control = GbrControl {
                 cancel,
                 ..GbrControl::default()
@@ -793,9 +820,10 @@ pub fn generalized_binary_reduction_portfolio_controlled(
 
 /// The driver behind [`generalized_binary_reduction_speculative`]: same
 /// budget/best bookkeeping as [`Budgeted`], but probes are demanded from a
-/// shared [`ProbeScheduler`] and the narrowing hooks retarget speculation.
-struct SpeculativeDriver<'s, 'p> {
-    scheduler: &'s ProbeScheduler<'p>,
+/// [`VerdictSource`] (the local [`ProbeScheduler`] or a remote cluster
+/// frontier) and the narrowing hooks retarget speculation.
+struct SpeculativeDriver<'s> {
+    source: &'s dyn VerdictSource,
     calls: u64,
     limit: Option<u64>,
     best: Option<VarSet>,
@@ -809,13 +837,30 @@ struct SpeculativeDriver<'s, 'p> {
     critical: u64,
 }
 
-impl ProbeDriver for SpeculativeDriver<'_, '_> {
+impl<'s> SpeculativeDriver<'s> {
+    fn new(source: &'s dyn VerdictSource, config: &GbrConfig, spec: &SpeculationConfig) -> Self {
+        SpeculativeDriver {
+            source,
+            calls: 0,
+            limit: config.max_predicate_calls,
+            best: None,
+            width: spec.effective_width(),
+            cost_per_call_secs: spec.cost_per_call_secs,
+            start: Instant::now(),
+            trace: ReductionTrace::new(),
+            distinct: 0,
+            critical: 0,
+        }
+    }
+}
+
+impl ProbeDriver for SpeculativeDriver<'_> {
     fn test(&mut self, input: &VarSet) -> Option<bool> {
         if self.limit.is_some_and(|l| self.calls >= l) {
             return None;
         }
         self.calls += 1;
-        let demanded = self.scheduler.demand(input);
+        let demanded = self.source.demand(input);
         if demanded.first_demand {
             self.distinct += 1;
         }
@@ -855,7 +900,7 @@ impl ProbeDriver for SpeculativeDriver<'_, '_> {
         // never contains, so the full frontier — including the first
         // `mid` — is speculated during `D₀`.)
         let frontier = speculation_frontier(lo, hi, self.width);
-        self.scheduler.speculate(
+        self.source.speculate(
             frontier
                 .into_iter()
                 .filter(|&i| i != next)
@@ -865,7 +910,7 @@ impl ProbeDriver for SpeculativeDriver<'_, '_> {
     }
 
     fn search_done(&mut self) {
-        self.scheduler.speculate(Vec::new());
+        self.source.speculate(Vec::new());
     }
 }
 

@@ -66,7 +66,7 @@ mod trace;
 pub use binary::{binary_reduction, BinaryReductionError, BinaryReductionOutcome};
 pub use concurrent::{
     ClaimResult, ConcurrentPredicate, DemandKind, Demanded, MemoScan, Probe, ProbeCache,
-    ProbeScheduler, ShardedMemo,
+    ProbeDistributor, ProbeScheduler, ShardedMemo, VerdictSource,
 };
 pub use ddmin::{ddmin, DdminStats, TestOutcome};
 pub use fault::{FaultInjector, FaultPlan};
@@ -74,8 +74,8 @@ pub use gbr::{
     build_progression, generalized_binary_reduction, generalized_binary_reduction_controlled,
     generalized_binary_reduction_portfolio, generalized_binary_reduction_portfolio_controlled,
     generalized_binary_reduction_speculative, generalized_binary_reduction_speculative_controlled,
-    EngineChoice, GbrCheckpoint, GbrConfig, GbrControl, GbrError, GbrOutcome, PortfolioRun,
-    PropagationMode, SpeculationConfig, SpeculativeRun,
+    generalized_binary_reduction_with_source, EngineChoice, GbrCheckpoint, GbrConfig, GbrControl,
+    GbrError, GbrOutcome, PortfolioRun, PropagationMode, SpeculationConfig, SpeculativeRun,
 };
 pub use graph::{Closure, DepGraph};
 pub use hitting::{reduction_is_faithful, HittingSet};

@@ -27,6 +27,7 @@
 
 use crate::case::FuzzCase;
 use lbr_classfile::{verify_program, write_program, Program};
+use lbr_cluster::{run_worker, ClusterServer, WorkerOptions};
 use lbr_core::{EngineChoice, TestOutcome};
 use lbr_decompiler::DecompilerOracle;
 use lbr_jreduce::{
@@ -38,6 +39,8 @@ use lbr_service::{
 };
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -82,11 +85,27 @@ struct DaemonHandle {
     thread: JoinHandle<io::Result<()>>,
 }
 
+/// An in-process reduction cluster: a clustered coordinator daemon, its
+/// worker-facing listener, and one worker node over loopback TCP.
+struct ClusterHandle {
+    client: Client,
+    thread: JoinHandle<io::Result<()>>,
+    server: Arc<ClusterServer>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<io::Result<()>>>,
+}
+
+/// Modeled probe latency for the cluster progression: just enough that
+/// the worker node wins probe batches from the coordinator's inline
+/// path, so the distributed merge is genuinely exercised.
+const CLUSTER_LATENCY_MICROS: u64 = 500;
+
 /// Owns the scratch directory and the optional in-process daemon the
 /// progressions run against. One harness serves a whole fuzz run.
 pub struct Harness {
     scratch: PathBuf,
     daemon: Option<DaemonHandle>,
+    cluster: Option<ClusterHandle>,
     job_counter: std::cell::Cell<u64>,
 }
 
@@ -97,6 +116,7 @@ impl Harness {
         Ok(Harness {
             scratch,
             daemon: None,
+            cluster: None,
             job_counter: std::cell::Cell::new(0),
         })
     }
@@ -118,6 +138,43 @@ impl Harness {
     /// Whether the daemon progression is available.
     pub fn has_daemon(&self) -> bool {
         self.daemon.is_some()
+    }
+
+    /// Starts an in-process reduction cluster (clustered coordinator plus
+    /// one worker node over loopback TCP) so `run_case` can exercise the
+    /// distributed path.
+    pub fn with_cluster(mut self) -> io::Result<Harness> {
+        let state_dir = self.scratch.join("cluster");
+        std::fs::create_dir_all(&state_dir)?;
+        let cache = Arc::new(PersistentOracleCache::open(state_dir.join("oracle.cache"))?);
+        let server = ClusterServer::start(&state_dir, Arc::clone(&cache), 4)?;
+        let daemon = Daemon::start_clustered(
+            DaemonConfig::new(state_dir, 1),
+            cache,
+            Arc::clone(&server) as _,
+        )?;
+        let client = Client::connect(daemon.local_addr().to_string());
+        let thread = std::thread::spawn(move || daemon.run());
+        if !client.wait_ready(Duration::from_secs(5)) {
+            return Err(io::Error::other("clustered daemon did not become ready"));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut options = WorkerOptions::new(server.local_addr().to_string(), "fuzz-worker");
+        options.stop = Some(Arc::clone(&stop));
+        let workers = vec![std::thread::spawn(move || run_worker(&options))];
+        self.cluster = Some(ClusterHandle {
+            client,
+            thread,
+            server,
+            stop,
+            workers,
+        });
+        Ok(self)
+    }
+
+    /// Whether the cluster progression is available.
+    pub fn has_cluster(&self) -> bool {
+        self.cluster.is_some()
     }
 
     /// Runs `case` through every progression and cross-checks the
@@ -221,7 +278,31 @@ impl Harness {
         // file bit for bit.
         if with_daemon {
             if let Some(daemon) = &self.daemon {
-                self.daemon_progression(daemon, case, &program, &reference, &mut out);
+                self.service_progression(
+                    &daemon.client,
+                    "daemon",
+                    0,
+                    case,
+                    &program,
+                    &reference,
+                    &mut out,
+                );
+            }
+            // P11: the distributed cluster — the same container through a
+            // clustered coordinator with a TCP worker node must replay
+            // the reference bit-identically; this is the ordered-verdict
+            // merge (and the shared cache tier) under the same I1–I8
+            // cross-checks as the single-host daemon.
+            if let Some(cluster) = &self.cluster {
+                self.service_progression(
+                    &cluster.client,
+                    "cluster",
+                    CLUSTER_LATENCY_MICROS,
+                    case,
+                    &program,
+                    &reference,
+                    &mut out,
+                );
             }
         }
 
@@ -422,9 +503,19 @@ impl Harness {
         let _ = std::fs::remove_file(&path);
     }
 
-    fn daemon_progression(
+    /// Runs `case` through a service front door (`client`) and compares
+    /// the job result against the in-process `reference` run: exact
+    /// predicate-call count, trace digest, and output bytes (I4). Both
+    /// the single-host daemon (`tag = "daemon"`, zero latency) and the
+    /// clustered coordinator (`tag = "cluster"`, enough modeled probe
+    /// latency that the TCP worker actually participates) go through
+    /// here.
+    #[allow(clippy::too_many_arguments)]
+    fn service_progression(
         &self,
-        daemon: &DaemonHandle,
+        client: &Client,
+        tag: &str,
+        latency_micros: u64,
         case: &FuzzCase,
         program: &Program,
         reference: &ReductionReport,
@@ -436,22 +527,23 @@ impl Harness {
         let output = self.scratch.join(format!("job-{job}-out.lbrc"));
         if let Err(e) = std::fs::write(&input, write_program(program)) {
             out.violations
-                .push(format!("daemon input write failed: {e}"));
+                .push(format!("{tag} input write failed: {e}"));
             return;
         }
-        let spec = Json::obj([
+        let mut fields = vec![
             ("input", Json::str(input.display().to_string())),
             ("output", Json::str(output.display().to_string())),
             ("decompiler", Json::str(&case.decompiler)),
-        ]);
-        let result = daemon
-            .client
-            .submit(&spec)
-            .and_then(|id| daemon.client.wait_result(id));
+        ];
+        if latency_micros > 0 {
+            fields.push(("probe_latency_micros", Json::count(latency_micros)));
+        }
+        let spec = Json::obj_from(fields);
+        let result = client.submit(&spec).and_then(|id| client.wait_result(id));
         let result = match result {
             Ok(result) => result,
             Err(e) => {
-                out.violations.push(format!("daemon job failed: {e}"));
+                out.violations.push(format!("{tag} job failed: {e}"));
                 return;
             }
         };
@@ -459,7 +551,7 @@ impl Harness {
         let v = &mut out.violations;
         if result.str_field("status") != Some("done") {
             v.push(format!(
-                "daemon: job ended {:?} ({:?})",
+                "{tag}: job ended {:?} ({:?})",
                 result.str_field("status"),
                 result.str_field("error")
             ));
@@ -467,7 +559,7 @@ impl Harness {
         }
         if result.u64_field("predicate_calls") != Some(reference.predicate_calls) {
             v.push(format!(
-                "I4 daemon: {:?} predicate calls, reference made {}",
+                "I4 {tag}: {:?} predicate calls, reference made {}",
                 result.u64_field("predicate_calls"),
                 reference.predicate_calls
             ));
@@ -475,14 +567,14 @@ impl Harness {
         let expected_digest = format!("{:016x}", reference.trace.digest());
         if result.str_field("trace_digest") != Some(expected_digest.as_str()) {
             v.push(format!(
-                "I4 daemon: trace digest {:?}, reference {expected_digest}",
+                "I4 {tag}: trace digest {:?}, reference {expected_digest}",
                 result.str_field("trace_digest")
             ));
         }
         match std::fs::read(&output) {
             Ok(bytes) if bytes == write_program(&reference.reduced) => {}
-            Ok(_) => v.push("I4 daemon: output bytes differ from the reference".to_string()),
-            Err(e) => v.push(format!("daemon output unreadable: {e}")),
+            Ok(_) => v.push(format!("I4 {tag}: output bytes differ from the reference")),
+            Err(e) => v.push(format!("{tag} output unreadable: {e}")),
         }
         let _ = std::fs::remove_file(&input);
         let _ = std::fs::remove_file(&output);
@@ -494,6 +586,15 @@ impl Drop for Harness {
         if let Some(daemon) = self.daemon.take() {
             let _ = daemon.client.shutdown();
             let _ = daemon.thread.join();
+        }
+        if let Some(cluster) = self.cluster.take() {
+            cluster.stop.store(true, Ordering::SeqCst);
+            let _ = cluster.client.shutdown();
+            for worker in cluster.workers {
+                let _ = worker.join();
+            }
+            cluster.server.shutdown();
+            let _ = cluster.thread.join();
         }
         let _ = std::fs::remove_dir_all(&self.scratch);
     }

@@ -29,6 +29,7 @@ mod tests;
 
 pub use logical::ServiceHooks;
 pub use per_error::PerErrorReport;
+pub use probe::CandidateProbe;
 
 use crate::model::{ModelError, ModelStats};
 use lbr_classfile::{program_byte_size, Program};

@@ -10,9 +10,10 @@ use lbr_classfile::Program;
 use lbr_core::{
     activity_order, closure_size_order, generalized_binary_reduction,
     generalized_binary_reduction_controlled, generalized_binary_reduction_portfolio_controlled,
-    generalized_binary_reduction_speculative_controlled, history_order, probe_activity, CacheLayer,
-    ConcurrentPredicate, GbrCheckpoint, GbrConfig, GbrControl, Instance, LatencyLayer, OracleStack,
-    ProbeCache, ProbeStats, SpeculationConfig,
+    generalized_binary_reduction_speculative_controlled, generalized_binary_reduction_with_source,
+    history_order, probe_activity, CacheLayer, ConcurrentPredicate, GbrCheckpoint, GbrConfig,
+    GbrControl, Instance, LatencyLayer, OracleStack, ProbeCache, ProbeDistributor, ProbeStats,
+    SpeculationConfig,
 };
 use lbr_decompiler::DecompilerOracle;
 use lbr_logic::{MsaStrategy, VarSet};
@@ -49,6 +50,14 @@ pub struct ServiceHooks<'h> {
     pub checkpoint: Option<&'h mut dyn FnMut(&GbrCheckpoint)>,
     /// Continue a previous run from its last checkpoint.
     pub resume: Option<GbrCheckpoint>,
+    /// Distributes the run's speculative probe frontier to external
+    /// evaluators (the cluster's worker nodes): GBR consumes the
+    /// distributor's [`VerdictSource`](lbr_core::VerdictSource) instead
+    /// of the local probe scheduler. Results stay bit-identical — the
+    /// driver demands the exact sequential probe order either way. A
+    /// [`OrderChoice::Portfolio`] run ignores the distributor (the race
+    /// shares one local scheduler across its members).
+    pub distributor: Option<&'h dyn ProbeDistributor>,
 }
 
 impl std::fmt::Debug for ServiceHooks<'_> {
@@ -58,6 +67,7 @@ impl std::fmt::Debug for ServiceHooks<'_> {
             .field("cancel", &self.cancel.is_some())
             .field("checkpoint", &self.checkpoint.is_some())
             .field("resume", &self.resume)
+            .field("distributor", &self.distributor.is_some())
             .finish()
     }
 }
@@ -167,6 +177,35 @@ pub(crate) fn run_hooked(
             trace: race.run.trace,
             model_stats: Some(stats),
             probe_stats: race.run.stats,
+        });
+    }
+    if let Some(dist) = hooks.distributor {
+        // Cluster backend: GBR demands verdicts from the distributor's
+        // remote frontier instead of a local scheduler. The driving
+        // thread computes unclaimed probes inline against the local
+        // stack (through `open_frontier`'s fallback), so the run makes
+        // progress at any worker count — including zero.
+        let spec = SpeculationConfig {
+            threads: 1,
+            width: dist.frontier_width().max(options.probe_threads.max(1)),
+            cost_per_call_secs: cost,
+        };
+        let source = dist.open_frontier(&stack);
+        let run = generalized_binary_reduction_with_source(
+            &instance,
+            &order,
+            &*source,
+            &config,
+            &spec,
+            &mut control,
+        )?;
+        let reduced = reduce_program(program, registry, &run.outcome.solution);
+        return Ok(RunParts {
+            reduced,
+            calls: run.stats.useful_calls,
+            trace: run.trace,
+            model_stats: Some(stats),
+            probe_stats: run.stats,
         });
     }
     if options.probe_threads > 1 {

@@ -21,10 +21,16 @@ use lbr_logic::VarSet;
 /// keep-set, tests it against the decompiler oracle, and measures its
 /// bytes — all from borrowed shared state, pure per probe, so many
 /// workers can probe one instance concurrently.
-pub(crate) struct CandidateProbe<'a> {
+///
+/// Public so out-of-process probe evaluators (the cluster's worker
+/// nodes) can assemble the *exact* predicate the pipeline uses — same
+/// materialization, same oracle check, same byte-size metric — which is
+/// what keeps remotely computed verdicts bit-identical to local ones.
+pub struct CandidateProbe<'a> {
     /// Keep-set → candidate program (item-level reducer or class-graph
     /// subset, depending on the stage).
     pub materialize: &'a (dyn Fn(&VarSet) -> Program + Sync),
+    /// The decompiler oracle the candidate is tested against.
     pub oracle: &'a DecompilerOracle,
 }
 

@@ -388,6 +388,7 @@ fn resumable_checkpoint_resume_matches_uninterrupted() {
             cancel: Some(&cancel),
             checkpoint: Some(&mut hook),
             resume: None,
+            distributor: None,
         },
     )
     .expect_err("cancelled");

@@ -30,7 +30,7 @@ use crate::pipeline::{
     Strategy,
 };
 use lbr_classfile::Program;
-use lbr_core::{EngineChoice, GbrCheckpoint, ProbeCache, PropagationMode};
+use lbr_core::{EngineChoice, GbrCheckpoint, ProbeCache, ProbeDistributor, PropagationMode};
 use lbr_decompiler::DecompilerOracle;
 use lbr_logic::MsaStrategy;
 
@@ -158,6 +158,16 @@ impl<'s> ReductionSession<'s> {
     /// starting fresh.
     pub fn resume(mut self, checkpoint: GbrCheckpoint) -> Self {
         self.hooks.resume = Some(checkpoint);
+        self
+    }
+
+    /// Distributes the run's speculative probe frontier to external
+    /// evaluators — the cluster backend. GBR demands verdicts from the
+    /// distributor's frontier in the exact sequential probe order, so the
+    /// result is bit-identical to a local run at any worker count (see
+    /// [`ServiceHooks::distributor`]).
+    pub fn distributor(mut self, distributor: &'s dyn ProbeDistributor) -> Self {
+        self.hooks.distributor = Some(distributor);
         self
     }
 

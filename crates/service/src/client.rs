@@ -20,6 +20,63 @@ use std::net::TcpStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+/// The outcome of a submit attempt, distinguishing admission-control
+/// load shedding (an explicit "come back later", with the daemon's
+/// backoff hint) from hard errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submitted {
+    /// The job was admitted under this id.
+    Accepted(u64),
+    /// The daemon shed the submit instead of queueing it.
+    Shed {
+        /// How long the daemon suggests backing off before retrying.
+        retry_after_ms: u64,
+        /// The daemon's reason (queue full, per-client cap, …).
+        message: String,
+    },
+}
+
+/// Classifies a raw submit response: accepted, shed, or a hard error.
+fn classify_submit(response: Json) -> io::Result<Submitted> {
+    if response.bool_field("ok") == Some(true) {
+        return response
+            .u64_field("id")
+            .map(Submitted::Accepted)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "submit response without id")
+            });
+    }
+    let message = response
+        .str_field("error")
+        .unwrap_or("unknown daemon error")
+        .to_owned();
+    if response.bool_field("shed") == Some(true) {
+        return Ok(Submitted::Shed {
+            retry_after_ms: response.u64_field("retry_after_ms").unwrap_or(0),
+            message,
+        });
+    }
+    Err(io::Error::other(message))
+}
+
+/// Builds the submit request document from a job spec object.
+fn submit_request(spec: &Json, events: bool) -> io::Result<Json> {
+    let mut request = match spec {
+        Json::Obj(fields) => fields.clone(),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "spec must be an object",
+            ))
+        }
+    };
+    request.insert("op".to_owned(), Json::str("submit"));
+    if events {
+        request.insert("events".to_owned(), Json::Bool(true));
+    }
+    Ok(Json::Obj(request))
+}
+
 /// A handle on a running daemon.
 #[derive(Debug, Clone)]
 pub struct Client {
@@ -72,21 +129,25 @@ impl Client {
 
     /// Submits a job described by `spec` (the fields of
     /// [`JobSpec`](crate::JobSpec), minus `id`) and returns the assigned
-    /// job id.
+    /// job id. A shed submit comes back as an error mentioning the
+    /// daemon's retry hint; use [`try_submit`](Self::try_submit) to
+    /// handle shedding programmatically.
     pub fn submit(&self, spec: &Json) -> io::Result<u64> {
-        let mut request = match spec {
-            Json::Obj(fields) => fields.clone(),
-            _ => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    "spec must be an object",
-                ))
-            }
-        };
-        request.insert("op".to_owned(), Json::str("submit"));
-        self.expect_ok(&Json::Obj(request))?
-            .u64_field("id")
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "submit response without id"))
+        match self.try_submit(spec)? {
+            Submitted::Accepted(id) => Ok(id),
+            Submitted::Shed {
+                retry_after_ms,
+                message,
+            } => Err(io::Error::other(format!(
+                "{message} (shed; retry after {retry_after_ms}ms)"
+            ))),
+        }
+    }
+
+    /// Submits a job, reporting load shedding as [`Submitted::Shed`]
+    /// (with the daemon's `retry_after_ms` hint) instead of an error.
+    pub fn try_submit(&self, spec: &Json) -> io::Result<Submitted> {
+        classify_submit(self.request(&submit_request(spec, false)?)?)
     }
 
     /// The job's current status document.
@@ -379,22 +440,21 @@ impl Connection {
     /// daemon streams `running` / `progress` / `terminal` events for it
     /// over this connection.
     pub fn submit(&mut self, spec: &Json, events: bool) -> io::Result<u64> {
-        let mut request = match spec {
-            Json::Obj(fields) => fields.clone(),
-            _ => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    "spec must be an object",
-                ))
-            }
-        };
-        request.insert("op".to_owned(), Json::str("submit"));
-        if events {
-            request.insert("events".to_owned(), Json::Bool(true));
+        match self.try_submit(spec, events)? {
+            Submitted::Accepted(id) => Ok(id),
+            Submitted::Shed {
+                retry_after_ms,
+                message,
+            } => Err(io::Error::other(format!(
+                "{message} (shed; retry after {retry_after_ms}ms)"
+            ))),
         }
-        self.expect_ok(&Json::Obj(request))?
-            .u64_field("id")
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "submit response without id"))
+    }
+
+    /// Submits a job, reporting load shedding as [`Submitted::Shed`]
+    /// (with the daemon's `retry_after_ms` hint) instead of an error.
+    pub fn try_submit(&mut self, spec: &Json, events: bool) -> io::Result<Submitted> {
+        classify_submit(self.request(&submit_request(spec, events)?)?)
     }
 
     /// Sends several requests in one `batch` frame and returns their
@@ -439,5 +499,40 @@ impl Connection {
     /// The daemon's stats document.
     pub fn stats(&mut self) -> io::Result<Json> {
         self.expect_ok(&Json::obj([("op", Json::str("stats"))]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_classification_separates_shed_from_errors() {
+        let ok = Json::obj([("ok", Json::Bool(true)), ("id", Json::count(7))]);
+        assert_eq!(classify_submit(ok).unwrap(), Submitted::Accepted(7));
+
+        let shed = Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::str("queue full")),
+            ("shed", Json::Bool(true)),
+            ("retry_after_ms", Json::count(250)),
+        ]);
+        assert_eq!(
+            classify_submit(shed).unwrap(),
+            Submitted::Shed {
+                retry_after_ms: 250,
+                message: "queue full".to_owned(),
+            }
+        );
+
+        let hard = Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::str("no such input")),
+        ]);
+        let err = classify_submit(hard).unwrap_err();
+        assert!(err.to_string().contains("no such input"));
+
+        let missing_id = Json::obj([("ok", Json::Bool(true))]);
+        assert!(classify_submit(missing_id).is_err());
     }
 }

@@ -49,7 +49,7 @@ use crate::json::Json;
 use crate::queue::JobQueue;
 use crate::shard::{run_shard, ShardHandle, ShardMsg};
 use lbr_classfile::{read_program, write_program};
-use lbr_core::{GbrError, LossyPick};
+use lbr_core::{GbrError, LossyPick, ProbeDistributor};
 use lbr_decompiler::{BugSet, DecompilerOracle};
 use lbr_jreduce::{PipelineError, ReductionReport, ReductionSession, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
@@ -166,7 +166,12 @@ struct JobRecord {
 /// Shared daemon state: everything workers, handlers, and shards touch.
 pub(crate) struct ServiceState {
     pub(crate) config: DaemonConfig,
-    cache: PersistentOracleCache,
+    /// Shared with the cluster server (the coordinator-hosted cache tier
+    /// workers query over the wire) when one is attached.
+    cache: Arc<PersistentOracleCache>,
+    /// Attached reduction cluster, if the daemon was started with
+    /// [`Daemon::start_clustered`].
+    cluster: Option<Arc<dyn ClusterDispatch>>,
     queue: JobQueue,
     jobs: Mutex<HashMap<u64, JobRecord>>,
     next_id: AtomicU64,
@@ -218,6 +223,28 @@ impl ServiceState {
     }
 }
 
+/// The daemon's hook into a reduction cluster: a coordinator-side
+/// component (the `lbr-cluster` crate's server) that can hand a running
+/// job a [`ProbeDistributor`] fanning its speculative probe frontier out
+/// to connected worker nodes.
+///
+/// The daemon itself stays cluster-agnostic — it asks the dispatch for a
+/// distributor per job and threads it into the
+/// [`ReductionSession`](lbr_jreduce::ReductionSession); `None` (strategy
+/// not distributable, or no cluster attached) falls back to the ordinary
+/// single-host paths. Determinism is owned by the distributor: the GBR
+/// driver demands verdicts in the exact sequential probe order, so the
+/// reduction is bit-identical at any worker count.
+pub trait ClusterDispatch: Send + Sync {
+    /// A distributor for one job, or `None` if this job should run on the
+    /// single-host path. `input` is the job's container bytes (already
+    /// read); implementations use them to describe the job to workers.
+    fn job_distributor(&self, spec: &JobSpec, input: &[u8]) -> Option<Box<dyn ProbeDistributor>>;
+    /// A JSON document of cluster counters, merged into the daemon's
+    /// `stats` response under `"cluster"`.
+    fn stats(&self) -> Json;
+}
+
 /// Why [`execute_job`] did not produce a report.
 enum JobStop {
     /// The cancel hook fired: user cancel, deadline, or daemon shutdown.
@@ -239,7 +266,30 @@ impl Daemon {
     /// `daemon.addr`. Call [`run`](Self::run) to serve.
     pub fn start(config: DaemonConfig) -> io::Result<Daemon> {
         std::fs::create_dir_all(&config.state_dir)?;
-        let cache = PersistentOracleCache::open(config.state_dir.join("oracle.cache"))?;
+        let cache = Arc::new(PersistentOracleCache::open(
+            config.state_dir.join("oracle.cache"),
+        )?);
+        Daemon::start_inner(config, cache, None)
+    }
+
+    /// Like [`start`](Self::start), but with an externally opened oracle
+    /// cache (shared with the cluster's coordinator-hosted cache tier)
+    /// and a [`ClusterDispatch`] that offers each logical job a probe
+    /// distributor over the connected worker nodes.
+    pub fn start_clustered(
+        config: DaemonConfig,
+        cache: Arc<PersistentOracleCache>,
+        cluster: Arc<dyn ClusterDispatch>,
+    ) -> io::Result<Daemon> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        Daemon::start_inner(config, cache, Some(cluster))
+    }
+
+    fn start_inner(
+        config: DaemonConfig,
+        cache: Arc<PersistentOracleCache>,
+        cluster: Option<Arc<dyn ClusterDispatch>>,
+    ) -> io::Result<Daemon> {
         let queue = JobQueue::new(config.queue_capacity);
         let mut jobs = HashMap::new();
         let mut max_id = 0u64;
@@ -323,6 +373,7 @@ impl Daemon {
             state: Arc::new(ServiceState {
                 config,
                 cache,
+                cluster,
                 queue,
                 jobs: Mutex::new(jobs),
                 next_id: AtomicU64::new(max_id + 1),
@@ -931,7 +982,7 @@ fn handle_stats(state: &ServiceState) -> Json {
             .map(|s| f(s).load(Ordering::Relaxed))
             .sum::<u64>()
     };
-    ok_response([
+    let mut response = ok_response([
         ("uptime_secs", Json::Num(uptime)),
         ("workers", Json::count(state.config.workers as u64)),
         ("queue_depth", Json::count(state.queue.depth() as u64)),
@@ -1002,7 +1053,13 @@ fn handle_stats(state: &ServiceState) -> Json {
             ),
         ),
         ("per_job", per_job),
-    ])
+    ]);
+    if let Some(cluster) = &state.cluster {
+        if let Json::Obj(fields) = &mut response {
+            fields.insert("cluster".to_owned(), cluster.stats());
+        }
+    }
+    response
 }
 
 // ----------------------------------------------------------------------
@@ -1296,6 +1353,14 @@ fn execute_job(
         // The service path: persistent cache + checkpoint/resume + cancel.
         let namespace = namespace_digest(&spec.decompiler, &bytes);
         let scoped = state.cache.namespaced(namespace);
+        // With a cluster attached, the job's speculative frontier is
+        // served by worker nodes; the session output stays bit-identical
+        // (the distributor's contract), so checkpoints, caching, and
+        // resume compose unchanged.
+        let distributor = state
+            .cluster
+            .as_ref()
+            .and_then(|cluster| cluster.job_distributor(spec, &bytes));
         let ckpt_path = state.job_file(spec.id, "ckpt");
         // A checkpoint torn mid-write (truncated file, garbage bytes) is
         // discarded and the search restarts from scratch: determinism
@@ -1338,6 +1403,9 @@ fn execute_job(
             .checkpoint(&mut checkpoint_hook);
         if let Some(ck) = resume {
             session = session.resume(ck);
+        }
+        if let Some(dist) = &distributor {
+            session = session.distributor(&**dist);
         }
         let report = session.run().map_err(map_pipeline_error)?;
         (report, resumed)

@@ -48,9 +48,11 @@ mod shard;
 
 pub use cache::{namespace_digest, CacheStats, FaultPlan, NamespacedCache, PersistentOracleCache};
 pub use checkpoint::{load_checkpoint, save_checkpoint};
-pub use client::{Client, Connection};
-pub use daemon::{Daemon, DaemonConfig};
-pub use frame::{FrameDecoder, Framing, WireError, WireFrame};
+pub use client::{Client, Connection, Submitted};
+pub use daemon::{ClusterDispatch, Daemon, DaemonConfig};
+pub use frame::{
+    read_binary_frame, write_binary_frame, FrameDecoder, Framing, WireError, WireFrame, OP_CLUSTER,
+};
 pub use fsio::{atomic_write, atomic_write_str};
 pub use job::{JobPhase, JobSpec};
 pub use json::Json;
