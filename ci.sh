@@ -35,10 +35,11 @@ cleanup() {
     rm -rf "$smoke_dir"
 }
 trap cleanup EXIT
-./target/release/eval --experiment fig8a --programs 1 --scale 0.5 \
+./target/release/eval --experiment fig8a --format both --programs 1 --scale 0.5 \
     --probe-threads 1 --json "$smoke_dir/seq.json" >/dev/null
-./target/release/eval --experiment fig8a --programs 1 --scale 0.5 \
+./target/release/eval --experiment fig8a --format both --programs 1 --scale 0.5 \
     --probe-threads 2 --json "$smoke_dir/par.json" >/dev/null
+grep -q '"format": "stackvm"' "$smoke_dir/seq.json"
 ./target/release/bench_compare --identical "$smoke_dir/seq.json" "$smoke_dir/par.json"
 
 echo "== CDCL/DPLL differential smoke (bit-identical engines) =="
@@ -55,6 +56,23 @@ cmp "$smoke_dir/engine-dpll.lbrc" "$smoke_dir/engine-cdcl.lbrc"
 dpll_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/engine-dpll.json")
 cdcl_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/engine-cdcl.json")
 [ -n "$dpll_digest" ] && [ "$dpll_digest" = "$cdcl_digest" ]
+
+echo "== cross-format differential smoke (stackvm frontend, same pipeline) =="
+# The stackvm frontend rides the same Input-generic pipeline: both engines
+# must agree bit for bit on a stackvm module, exactly as they do on the
+# classfile container above.
+./target/release/gen --format stackvm --seed 9 --decompiler a \
+    --out "$smoke_dir/svm.lbrs" 2>/dev/null
+./target/release/reduce --format stackvm --input "$smoke_dir/svm.lbrs" \
+    --decompiler a --engine dpll --out "$smoke_dir/svm-dpll.lbrs" \
+    --json "$smoke_dir/svm-dpll.json" >/dev/null 2>&1
+./target/release/reduce --format stackvm --input "$smoke_dir/svm.lbrs" \
+    --decompiler a --engine cdcl --out "$smoke_dir/svm-cdcl.lbrs" \
+    --json "$smoke_dir/svm-cdcl.json" >/dev/null 2>&1
+cmp "$smoke_dir/svm-dpll.lbrs" "$smoke_dir/svm-cdcl.lbrs"
+svm_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/svm-dpll.json")
+svm_cdcl=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/svm-cdcl.json")
+[ -n "$svm_digest" ] && [ "$svm_digest" = "$svm_cdcl" ]
 
 echo "== reduction daemon smoke (identical results, kill -9 resume) =="
 # A daemon job must be bit-identical to an in-process `reduce` run, and a
@@ -83,6 +101,15 @@ cmp "$smoke_dir/ref.lbrc" "$smoke_dir/daemon-out.lbrc"
 ref_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/ref.json")
 got_digest=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/daemon-result.json")
 [ -n "$ref_digest" ] && [ "$ref_digest" = "$got_digest" ]
+# A stackvm job through the same daemon must match the in-process stackvm
+# reduction from the cross-format smoke above, bit for bit.
+./target/release/reduce-client --state-dir "$svc" submit \
+    --input "$smoke_dir/svm.lbrs" --format stackvm --decompiler a \
+    --out "$smoke_dir/svm-daemon.lbrs" --wait >"$smoke_dir/svm-daemon.json"
+cmp "$smoke_dir/svm-dpll.lbrs" "$smoke_dir/svm-daemon.lbrs"
+svm_daemon=$(grep -o '"trace_digest":"[0-9a-f]*"' "$smoke_dir/svm-daemon.json")
+[ "$svm_digest" = "$svm_daemon" ]
+grep -q '"format":"stackvm"' "$smoke_dir/svm-daemon.json"
 
 # Kill -9 mid-job: a fresh container (cold cache, so probes really sleep),
 # slowed-down probes, wait for the first checkpoint, then SIGKILL the daemon
@@ -281,11 +308,13 @@ fi
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== bench gate (<=10% wall, 0% predicate-call regression vs BENCH_baseline.json) =="
     # The engine/order grid covers the headline strategies plus the CDCL
-    # and learned/portfolio rows; predicate calls are deterministic, so
+    # and learned/portfolio rows, over both frontends (the baseline holds
+    # per-format aggregate entries); predicate calls are deterministic, so
     # any increase fails the gate outright. Wall numbers are taken
     # sequentially (no cross-job core contention) as the minimum of five
     # repeats — the same recipe that produced the committed baseline.
-    ./target/release/eval --experiment ablate-engine --programs 2 --scale 0.6 \
+    ./target/release/eval --experiment ablate-engine --format both \
+        --programs 2 --scale 0.6 \
         --threads 1 --repeats 5 --json "$smoke_dir/current.json" >/dev/null
     ./target/release/bench_compare BENCH_baseline.json "$smoke_dir/current.json"
 

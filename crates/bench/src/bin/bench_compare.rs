@@ -69,6 +69,16 @@ impl Json {
             _ => f64::NAN,
         }
     }
+
+    /// The record's input format. Results files written before the
+    /// stackvm frontend existed carry no `format` key; they are all
+    /// classfile records.
+    fn format_field(&self) -> String {
+        match self.get("format") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => "classfile".to_owned(),
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -267,6 +277,9 @@ fn compare_wall(
     threshold_pct: f64,
     calls_threshold_pct: f64,
 ) -> ExitCode {
+    // Strategy aggregates are keyed per format: the same strategy name
+    // appears once per frontend in a `--format both` results file.
+    let key_of = |s: &Json| format!("{}/{}", s.format_field(), s.str_field("strategy"));
     let base: BTreeMap<String, (f64, f64)> = baseline
         .get("strategies")
         .map(Json::as_arr)
@@ -274,7 +287,7 @@ fn compare_wall(
         .iter()
         .map(|s| {
             (
-                s.str_field("strategy"),
+                key_of(s),
                 (s.num_field("wall_secs"), s.num_field("predicate_calls")),
             )
         })
@@ -282,7 +295,7 @@ fn compare_wall(
     let mut compared = 0usize;
     let mut failed = false;
     for s in current.get("strategies").map(Json::as_arr).unwrap_or(&[]) {
-        let name = s.str_field("strategy");
+        let name = key_of(s);
         let Some(&(base_wall, base_calls)) = base.get(&name) else {
             println!("{name:<36} (not in baseline, skipped)");
             continue;
@@ -336,7 +349,13 @@ fn compare_identical(baseline: &Json, current: &Json) -> ExitCode {
         "cache_hits",
         "cache_misses",
     ];
-    let key = |r: &Json| (r.str_field("benchmark"), r.str_field("strategy"));
+    let key = |r: &Json| {
+        (
+            r.format_field(),
+            r.str_field("benchmark"),
+            r.str_field("strategy"),
+        )
+    };
     let base: BTreeMap<_, Json> = baseline
         .get("runs")
         .map(Json::as_arr)
@@ -350,7 +369,7 @@ fn compare_identical(baseline: &Json, current: &Json) -> ExitCode {
     for r in runs {
         let k = key(r);
         let Some(b) = base.get(&k) else {
-            eprintln!("{}/{}: missing from baseline", k.0, k.1);
+            eprintln!("{}/{}/{}: missing from baseline", k.0, k.1, k.2);
             mismatches += 1;
             continue;
         };
@@ -358,7 +377,7 @@ fn compare_identical(baseline: &Json, current: &Json) -> ExitCode {
         for field in FIELDS {
             let (bv, cv) = (b.num_field(field), r.num_field(field));
             if bv != cv {
-                eprintln!("{}/{}: {field} differs: {bv} vs {cv}", k.0, k.1);
+                eprintln!("{}/{}/{}: {field} differs: {bv} vs {cv}", k.0, k.1, k.2);
                 mismatches += 1;
             }
         }

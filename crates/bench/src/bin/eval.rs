@@ -3,10 +3,16 @@
 //!
 //! ```text
 //! eval [--experiment all|stats|fig8a|fig8b|lossy|ablate-msa|ablate-order|ablate-engine|ddmin|csv]
+//!      [--format classfile|stackvm|both]
 //!      [--programs N] [--scale F] [--seed N] [--cost SECS]
 //!      [--threads N] [--repeats N] [--probe-threads N] [--legacy] [--json [PATH]]
 //!      [--engine dpll|cdcl] [--order baseline|learned|portfolio]
 //! ```
+//!
+//! `--format` selects which frontend's suite the experiment runs over:
+//! the classfile suite (default), the stackvm suite, or `both` — every
+//! run record and JSON aggregate is tagged with its format, so one
+//! results file can gate both frontends at once.
 //!
 //! `--legacy` disables the incremental propagation engine and oracle
 //! memoization (the scan-BCP baseline); `--probe-threads` enables
@@ -23,7 +29,7 @@
 use lbr_bench::{
     compute_stats, headline_strategies, lossy_strategies, render_ablation, render_csv,
     render_fig8a, render_fig8b, render_json, render_lossy, render_stats, run_engine_grid, run_grid,
-    EvalConfig, RunRecord,
+    EvalBenchmark, EvalConfig, RunRecord,
 };
 use lbr_core::{EngineChoice, LossyPick};
 use lbr_jreduce::{OrderChoice, RunOptions, Strategy};
@@ -32,6 +38,7 @@ use lbr_logic::MsaStrategy;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_owned();
+    let mut format = "classfile".to_owned();
     let mut config = EvalConfig::default();
     let mut json_path: Option<String> = None;
     let mut i = 0;
@@ -48,6 +55,10 @@ fn main() {
         match flag {
             "--experiment" | "-e" => {
                 experiment = value(i);
+                i += 2;
+            }
+            "--format" | "-f" => {
+                format = value(i);
                 i += 2;
             }
             "--programs" | "-p" => {
@@ -132,12 +143,16 @@ fn main() {
                 println!(
                     "usage: eval [--experiment all|stats|fig8a|fig8b|lossy|per-error|ablate-msa|ablate-order|ablate-engine|ddmin|csv]"
                 );
+                println!("            [--format classfile|stackvm|both]");
                 println!("            [--programs N] [--scale F] [--seed N] [--cost SECS]");
                 println!(
                     "            [--threads N] [--repeats N] [--probe-threads N] [--legacy] [--json [PATH]]"
                 );
                 println!("            [--engine dpll|cdcl] [--order baseline|learned|portfolio]");
                 println!();
+                println!("  --format F    which frontend's suite to evaluate: classfile");
+                println!("                (default), stackvm, or both; every record is");
+                println!("                tagged with its format in the JSON output");
                 println!("  --threads N   worker threads for the run grid (0 = all cores)");
                 println!("  --repeats N   timing repetitions per job; wall_secs is the minimum");
                 println!("                (everything else is deterministic; pair with");
@@ -168,121 +183,65 @@ fn main() {
         }
     }
 
-    eprintln!(
-        "building suite: {} programs, scale {:.2}, seed {} …",
-        config.programs, config.scale, config.seed
-    );
-    let benchmarks = config.suite();
-    eprintln!("suite has {} failing instances", benchmarks.len());
-    if benchmarks.is_empty() {
-        eprintln!("error: the suite produced no failing instances — nothing to evaluate");
-        std::process::exit(1);
+    const EXPERIMENTS: [&str; 11] = [
+        "all",
+        "stats",
+        "fig8a",
+        "fig8b",
+        "lossy",
+        "per-error",
+        "ablate-msa",
+        "ablate-order",
+        "ablate-engine",
+        "ddmin",
+        "csv",
+    ];
+    if !EXPERIMENTS.contains(&experiment.as_str()) {
+        eprintln!("unknown experiment {experiment} (try --help)");
+        std::process::exit(2);
     }
-    let stats = compute_stats(&benchmarks);
+    let run_classfile = matches!(format.as_str(), "classfile" | "both");
+    let run_stackvm = matches!(format.as_str(), "stackvm" | "both");
+    if !run_classfile && !run_stackvm {
+        eprintln!("unknown format {format} (classfile|stackvm|both)");
+        std::process::exit(2);
+    }
 
     let failed_jobs = std::cell::Cell::new(0usize);
-    let run = |strategies: &[Strategy]| {
-        let records = run_grid(&config, &benchmarks, strategies);
-        let expected = benchmarks.len() * strategies.len();
-        failed_jobs.set(failed_jobs.get() + (expected - records.len()));
-        records
-    };
     let mut json_records: Vec<RunRecord> = Vec::new();
 
-    match experiment.as_str() {
-        "stats" => {
-            let records = run(&headline_strategies());
-            print!("{}", render_stats(&stats, &records));
-            json_records = records;
+    if run_classfile {
+        eprintln!(
+            "building classfile suite: {} programs, scale {:.2}, seed {} …",
+            config.programs, config.scale, config.seed
+        );
+        let benchmarks = config.suite();
+        eprintln!("suite has {} failing instances", benchmarks.len());
+        if benchmarks.is_empty() {
+            eprintln!("error: the suite produced no failing instances — nothing to evaluate");
+            std::process::exit(1);
         }
-        "fig8a" => {
-            let records = run(&headline_strategies());
-            print!("{}", render_fig8a(&records));
-            json_records = records;
+        let stats = compute_stats(&benchmarks);
+        json_records.extend(drive(
+            &experiment,
+            &config,
+            &benchmarks,
+            Some(&stats),
+            &failed_jobs,
+        ));
+    }
+    if run_stackvm {
+        eprintln!(
+            "building stackvm suite: {} programs, seed {} …",
+            config.programs, config.seed
+        );
+        let benchmarks = config.stack_suite();
+        eprintln!("suite has {} failing modules", benchmarks.len());
+        if benchmarks.is_empty() {
+            eprintln!("error: the suite produced no failing modules — nothing to evaluate");
+            std::process::exit(1);
         }
-        "fig8b" => {
-            let records = run(&headline_strategies());
-            print!("{}", render_fig8b(&records));
-            json_records = records;
-        }
-        "lossy" => {
-            let records = run(&lossy_strategies());
-            print!("{}", render_lossy(&records));
-            json_records = records;
-        }
-        "ablate-msa" => {
-            let strategies: Vec<Strategy> = MsaStrategy::ALL
-                .iter()
-                .map(|&m| Strategy::Logical(m))
-                .collect();
-            let records = run(&strategies);
-            print!("{}", render_ablation(&records, "A1: MSA strategy ablation"));
-            json_records = records;
-        }
-        "ablate-order" => {
-            let records = run(&[
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                Strategy::LogicalNaturalOrder,
-            ]);
-            print!(
-                "{}",
-                render_ablation(&records, "A2: variable-order ablation (Theorem 4.5)")
-            );
-            json_records = records;
-        }
-        "ddmin" => {
-            let records = run(&[
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                Strategy::DdminItems,
-            ]);
-            print!("{}", render_ablation(&records, "A3: ddmin baseline"));
-            json_records = records;
-        }
-        "ablate-engine" => {
-            let records = run_engine_grid(&config, &benchmarks);
-            let expected = benchmarks.len() * 5;
-            failed_jobs.set(failed_jobs.get() + (expected - records.len()));
-            print!(
-                "{}",
-                render_ablation(&records, "A4: engine/order ablation (CDCL, learned orders)")
-            );
-            json_records = records;
-        }
-        "per-error" => {
-            print!("{}", lbr_bench::render_per_error(&config, &benchmarks));
-        }
-        "csv" => {
-            let records = run(&[
-                Strategy::JReduce,
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                Strategy::Lossy(LossyPick::FirstFirst),
-                Strategy::Lossy(LossyPick::LastLast),
-            ]);
-            print!("{}", render_csv(&records));
-            json_records = records;
-        }
-        "all" => {
-            let records = run(&[
-                Strategy::JReduce,
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                Strategy::Lossy(LossyPick::FirstFirst),
-                Strategy::Lossy(LossyPick::LastLast),
-            ]);
-            print!("{}", render_stats(&stats, &records));
-            println!();
-            print!("{}", render_fig8a(&records));
-            println!();
-            print!("{}", render_fig8b(&records));
-            println!();
-            print!("{}", render_lossy(&records));
-            println!();
-            print!("{}", render_ablation(&records, "Summary: all strategies"));
-            json_records = records;
-        }
-        other => {
-            eprintln!("unknown experiment {other} (try --help)");
-            std::process::exit(2);
-        }
+        json_records.extend(drive(&experiment, &config, &benchmarks, None, &failed_jobs));
     }
 
     if let Some(path) = json_path {
@@ -301,5 +260,124 @@ fn main() {
             failed_jobs.get()
         );
         std::process::exit(1);
+    }
+}
+
+/// Runs one experiment over one format's suite. `stats` carries the
+/// classfile suite statistics (the `stats` experiment's Table 1 has no
+/// stackvm analogue yet — the ablation summary stands in for it there).
+fn drive<B: EvalBenchmark>(
+    experiment: &str,
+    config: &EvalConfig,
+    benchmarks: &[B],
+    stats: Option<&lbr_bench::Stats>,
+    failed_jobs: &std::cell::Cell<usize>,
+) -> Vec<RunRecord> {
+    let run = |strategies: &[Strategy]| {
+        let records = run_grid(config, benchmarks, strategies);
+        let expected = benchmarks.len() * strategies.len();
+        failed_jobs.set(failed_jobs.get() + (expected - records.len()));
+        records
+    };
+    let render_stats_or_summary = |records: &[RunRecord]| match stats {
+        Some(stats) => print!("{}", render_stats(stats, records)),
+        None => print!(
+            "{}",
+            render_ablation(records, "Suite summary (no Table-1 stats for this format)")
+        ),
+    };
+    match experiment {
+        "stats" => {
+            let records = run(&headline_strategies());
+            render_stats_or_summary(&records);
+            records
+        }
+        "fig8a" => {
+            let records = run(&headline_strategies());
+            print!("{}", render_fig8a(&records));
+            records
+        }
+        "fig8b" => {
+            let records = run(&headline_strategies());
+            print!("{}", render_fig8b(&records));
+            records
+        }
+        "lossy" => {
+            let records = run(&lossy_strategies());
+            print!("{}", render_lossy(&records));
+            records
+        }
+        "ablate-msa" => {
+            let strategies: Vec<Strategy> = MsaStrategy::ALL
+                .iter()
+                .map(|&m| Strategy::Logical(m))
+                .collect();
+            let records = run(&strategies);
+            print!("{}", render_ablation(&records, "A1: MSA strategy ablation"));
+            records
+        }
+        "ablate-order" => {
+            let records = run(&[
+                Strategy::Logical(MsaStrategy::GreedyClosure),
+                Strategy::LogicalNaturalOrder,
+            ]);
+            print!(
+                "{}",
+                render_ablation(&records, "A2: variable-order ablation (Theorem 4.5)")
+            );
+            records
+        }
+        "ddmin" => {
+            let records = run(&[
+                Strategy::Logical(MsaStrategy::GreedyClosure),
+                Strategy::DdminItems,
+            ]);
+            print!("{}", render_ablation(&records, "A3: ddmin baseline"));
+            records
+        }
+        "ablate-engine" => {
+            let records = run_engine_grid(config, benchmarks);
+            let expected = benchmarks.len() * 5;
+            failed_jobs.set(failed_jobs.get() + (expected - records.len()));
+            print!(
+                "{}",
+                render_ablation(&records, "A4: engine/order ablation (CDCL, learned orders)")
+            );
+            records
+        }
+        "per-error" => {
+            print!("{}", lbr_bench::render_per_error(config, benchmarks));
+            Vec::new()
+        }
+        "csv" => {
+            let records = run(&[
+                Strategy::JReduce,
+                Strategy::Logical(MsaStrategy::GreedyClosure),
+                Strategy::Lossy(LossyPick::FirstFirst),
+                Strategy::Lossy(LossyPick::LastLast),
+            ]);
+            print!("{}", render_csv(&records));
+            records
+        }
+        "all" => {
+            let records = run(&[
+                Strategy::JReduce,
+                Strategy::Logical(MsaStrategy::GreedyClosure),
+                Strategy::Lossy(LossyPick::FirstFirst),
+                Strategy::Lossy(LossyPick::LastLast),
+            ]);
+            render_stats_or_summary(&records);
+            println!();
+            print!("{}", render_fig8a(&records));
+            println!();
+            print!("{}", render_fig8b(&records));
+            println!();
+            print!("{}", render_lossy(&records));
+            println!();
+            print!("{}", render_ablation(&records, "Summary: all strategies"));
+            records
+        }
+        // Validated in main against the experiment list.
+        other => unreachable!("unknown experiment {other}"),
     }
 }

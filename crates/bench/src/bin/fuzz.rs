@@ -3,13 +3,16 @@
 //! ```text
 //! fuzz [--budget-secs N] [--seed N|0xHEX] [--min-cases N] [--max-cases N]
 //!      [--out-dir DIR] [--break-oracle] [--no-daemon] [--no-cluster]
+//!      [--no-stackvm]
 //! fuzz --replay FUZZ_CASE_*.json
 //! ```
 //!
 //! Campaign mode samples a seed-deterministic stream of generated
-//! programs and runs each through every progression, cross-checking the
-//! invariants; violations are shrunk with ddmin and persisted as
-//! replayable case files. `--replay` re-runs one case file exactly.
+//! inputs (classfile programs, and roughly one case in three a stackvm
+//! module — `--no-stackvm` opts out) and runs each through every
+//! progression, cross-checking the invariants; violations are shrunk
+//! with ddmin and persisted as replayable case files. `--replay` re-runs
+//! one case file exactly.
 //!
 //! Exit status: `0` when every case is clean, `1` when any invariant was
 //! violated (campaign) or the violation reproduces (replay), `2` on usage
@@ -43,6 +46,7 @@ fn main() {
     let mut break_oracle = false;
     let mut daemon = true;
     let mut cluster = true;
+    let mut stackvm = true;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -70,12 +74,13 @@ fn main() {
             "--break-oracle" => break_oracle = true,
             "--no-daemon" => daemon = false,
             "--no-cluster" => cluster = false,
+            "--no-stackvm" => stackvm = false,
             "--help" | "-h" => {
                 println!("usage: fuzz [--budget-secs N] [--seed N|0xHEX] [--min-cases N]");
                 println!(
                     "            [--max-cases N] [--out-dir DIR] [--break-oracle] [--no-daemon]"
                 );
-                println!("            [--no-cluster]");
+                println!("            [--no-cluster] [--no-stackvm]");
                 println!("       fuzz --replay FUZZ_CASE_N.json");
                 return;
             }
@@ -107,9 +112,10 @@ fn main() {
     if let Some(path) = replay {
         let case = FuzzCase::load(std::path::Path::new(&path)).unwrap_or_else(|e| fail(e));
         eprintln!(
-            "replaying {path}: master seed {:016x}, case {}, decompiler {}{}{}",
+            "replaying {path}: master seed {:016x}, case {} ({}), decompiler {}{}{}",
             case.master_seed,
             case.index,
+            case.format,
             case.decompiler,
             case.keep_classes
                 .as_ref()
@@ -147,6 +153,7 @@ fn main() {
         min_cases,
         max_cases,
         break_oracle,
+        stackvm,
         out_dir: PathBuf::from(out_dir),
         log: true,
     };

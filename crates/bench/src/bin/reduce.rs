@@ -2,13 +2,17 @@
 //! tool.
 //!
 //! ```text
-//! reduce --input bench.lbrc --decompiler a|b|c|all
+//! reduce --input bench.lbrc [--format classfile|stackvm]
+//!        --decompiler a|b|c|all
 //!        [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]
 //!        [--out reduced.lbrc] [--json report.json] [--disasm]
 //!        [--per-error] [--cost SECS] [--probe-threads N]
 //!        [--engine dpll|cdcl] [--order baseline|learned|portfolio]
 //! ```
 //!
+//! `--format` selects the frontend; everything downstream of the parse —
+//! strategies, probe threading, engines, validation, the JSON report —
+//! is the same [`Input`]-generic pipeline for both formats.
 //! `--probe-threads N` runs N speculative probe threads inside the GBR
 //! search (and N concurrent searches in `--per-error` mode); the reduced
 //! output is bit-identical at every setting. `--engine cdcl` backs the
@@ -24,12 +28,13 @@
 //! not trigger the selected decompiler's bugs, or the reduction itself
 //! fails, `2` on usage errors.
 
-use lbr_classfile::{disassemble_program, read_program, write_class_directory, write_program};
-use lbr_core::{EngineChoice, LossyPick};
+use lbr_classfile::{disassemble_program, read_program, write_class_directory};
+use lbr_core::{EngineChoice, Input, InputOracle, LossyPick};
 use lbr_decompiler::{BugSet, DecompilerOracle};
 use lbr_jreduce::{check_report, OrderChoice, ReductionSession, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 use lbr_service::{atomic_write, atomic_write_str, Json};
+use lbr_stackvm::{Module as StackModule, StackBugSet, StackOracle};
 
 /// Prints a diagnostic and exits with status 1 (runtime failure).
 fn fail(message: String) -> ! {
@@ -37,18 +42,34 @@ fn fail(message: String) -> ! {
     std::process::exit(1);
 }
 
+/// Everything the format-generic run needs beyond the parsed input.
+struct ReduceArgs {
+    decompiler: String,
+    strategy: String,
+    out: Option<String>,
+    out_dir: Option<String>,
+    json: Option<String>,
+    disasm: bool,
+    per_error: bool,
+    cost: f64,
+    options: RunOptions,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input: Option<String> = None;
-    let mut out: Option<String> = None;
-    let mut out_dir: Option<String> = None;
-    let mut json: Option<String> = None;
-    let mut decompiler = "a".to_owned();
-    let mut strategy = "logical".to_owned();
-    let mut disasm = false;
-    let mut per_error = false;
-    let mut cost = 33.0f64;
-    let mut options = RunOptions::default();
+    let mut format = "classfile".to_owned();
+    let mut run = ReduceArgs {
+        decompiler: "a".to_owned(),
+        strategy: "logical".to_owned(),
+        out: None,
+        out_dir: None,
+        json: None,
+        disasm: false,
+        per_error: false,
+        cost: 33.0,
+        options: RunOptions::default(),
+    };
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -62,22 +83,23 @@ fn main() {
         };
         match flag {
             "--input" | "-i" => input = Some(value()),
-            "--out" | "-o" => out = Some(value()),
-            "--out-dir" => out_dir = Some(value()),
-            "--json" => json = Some(value()),
-            "--decompiler" | "-d" => decompiler = value(),
-            "--strategy" | "-s" => strategy = value(),
-            "--cost" => cost = value().parse().expect("--cost takes seconds"),
+            "--format" | "-f" => format = value(),
+            "--out" | "-o" => run.out = Some(value()),
+            "--out-dir" => run.out_dir = Some(value()),
+            "--json" => run.json = Some(value()),
+            "--decompiler" | "-d" => run.decompiler = value(),
+            "--strategy" | "-s" => run.strategy = value(),
+            "--cost" => run.cost = value().parse().expect("--cost takes seconds"),
             "--probe-threads" => {
-                options.probe_threads = value().parse().expect("--probe-threads takes a number")
+                run.options.probe_threads = value().parse().expect("--probe-threads takes a number")
             }
             "--probe-latency-micros" => {
-                options.probe_latency_micros = value()
+                run.options.probe_latency_micros = value()
                     .parse()
                     .expect("--probe-latency-micros takes a number")
             }
             "--engine" => {
-                options.engine = match value().as_str() {
+                run.options.engine = match value().as_str() {
                     "dpll" => EngineChoice::Dpll,
                     "cdcl" => EngineChoice::Cdcl,
                     other => {
@@ -87,7 +109,7 @@ fn main() {
                 }
             }
             "--order" => {
-                options.order = match value().as_str() {
+                run.options.order = match value().as_str() {
                     "baseline" => OrderChoice::Baseline,
                     "learned" => OrderChoice::Learned,
                     "portfolio" => OrderChoice::Portfolio,
@@ -97,10 +119,11 @@ fn main() {
                     }
                 }
             }
-            "--disasm" => disasm = true,
-            "--per-error" => per_error = true,
+            "--disasm" => run.disasm = true,
+            "--per-error" => run.per_error = true,
             "--help" | "-h" => {
-                println!("usage: reduce --input bench.lbrc [--decompiler a|b|c|all]");
+                println!("usage: reduce --input bench.lbrc [--format classfile|stackvm]");
+                println!("              [--decompiler a|b|c|all]");
                 println!(
                     "              [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]"
                 );
@@ -124,33 +147,81 @@ fn main() {
         std::process::exit(2);
     });
     let bytes = std::fs::read(&input).unwrap_or_else(|e| fail(format!("cannot read {input}: {e}")));
-    let program = read_program(&bytes).unwrap_or_else(|e| fail(format!("bad container: {e}")));
-    let bugs = match decompiler.as_str() {
-        "a" => BugSet::decompiler_a(),
-        "b" => BugSet::decompiler_b(),
-        "c" => BugSet::decompiler_c(),
-        "all" => BugSet::all(),
+    match format.as_str() {
+        "classfile" => {
+            let program =
+                read_program(&bytes).unwrap_or_else(|e| fail(format!("bad container: {e}")));
+            let bugs = match run.decompiler.as_str() {
+                "a" => BugSet::decompiler_a(),
+                "b" => BugSet::decompiler_b(),
+                "c" => BugSet::decompiler_c(),
+                "all" => BugSet::all(),
+                other => {
+                    eprintln!("unknown decompiler {other}");
+                    std::process::exit(2);
+                }
+            };
+            let oracle = DecompilerOracle::new(&program, bugs);
+            run_reduce(
+                &program,
+                &oracle,
+                &run,
+                &|p| disassemble_program(p),
+                &|p, dir| write_class_directory(p, dir).map_err(|e| e.to_string()),
+            );
+        }
+        "stackvm" => {
+            let module = <StackModule as Input>::from_bytes(&bytes)
+                .unwrap_or_else(|e| fail(format!("bad container: {e}")));
+            let bugs = match run.decompiler.as_str() {
+                "a" => StackBugSet::lowering_a(),
+                "b" => StackBugSet::lowering_b(),
+                "c" => StackBugSet::lowering_c(),
+                "all" => StackBugSet::all(),
+                other => {
+                    eprintln!("unknown decompiler {other}");
+                    std::process::exit(2);
+                }
+            };
+            let oracle = StackOracle::new(&module, bugs);
+            run_reduce(&module, &oracle, &run, &|m| format!("{m:#?}\n"), &|_, _| {
+                Err("--out-dir is classfile-only".to_owned())
+            });
+        }
         other => {
-            eprintln!("unknown decompiler {other}");
+            eprintln!("unknown format {other} (classfile|stackvm)");
             std::process::exit(2);
         }
-    };
-    let oracle = DecompilerOracle::new(&program, bugs);
+    }
+}
+
+/// The format-generic body: same session, strategies, validation, and
+/// reporting for every frontend behind the [`Input`] trait. The two
+/// closures are the only format-specific affordances (human-readable
+/// dump, directory export).
+fn run_reduce<I: Input, O: InputOracle<I>>(
+    program: &I,
+    oracle: &O,
+    args: &ReduceArgs,
+    disassemble: &dyn Fn(&I) -> String,
+    write_dir: &dyn Fn(&I, &std::path::Path) -> Result<usize, String>,
+) {
     if !oracle.is_failing() {
         fail(format!(
-            "the input does not trigger decompiler {decompiler}'s bugs — nothing to reduce"
+            "the input does not trigger decompiler {}'s bugs — nothing to reduce",
+            args.decompiler
         ));
     }
     eprintln!(
-        "input: {} classes; {} compiler errors to preserve",
-        program.len(),
+        "input: {} units; {} compiler errors to preserve",
+        program.unit_count(),
         oracle.error_count()
     );
 
-    if per_error {
-        let report = ReductionSession::new(&program, &oracle)
-            .cost_per_call(cost)
-            .options(options)
+    if args.per_error {
+        let report = ReductionSession::new(program, oracle)
+            .cost_per_call(args.cost)
+            .options(args.options)
             .run_per_error()
             .unwrap_or_else(|e| fail(format!("per-error reduction failed: {e}")));
         println!(
@@ -167,7 +238,7 @@ fn main() {
         return;
     }
 
-    let strategy = match strategy.as_str() {
+    let strategy = match args.strategy.as_str() {
         "logical" => Strategy::Logical(MsaStrategy::GreedyClosure),
         "logical-min" => Strategy::LogicalMinimized,
         "jreduce" => Strategy::JReduce,
@@ -179,10 +250,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let report = ReductionSession::new(&program, &oracle)
+    let report = ReductionSession::new(program, oracle)
         .strategy(strategy)
-        .cost_per_call(cost)
-        .options(options)
+        .cost_per_call(args.cost)
+        .options(args.options)
         .run()
         .unwrap_or_else(|e| fail(format!("reduction failed: {e}")));
     // A result only counts if it holds up end to end: error preserved,
@@ -202,23 +273,24 @@ fn main() {
         report.predicate_calls,
         report.errors_preserved,
     );
-    if disasm {
-        print!("{}", disassemble_program(&report.reduced));
+    if args.disasm {
+        print!("{}", disassemble(&report.reduced));
     }
-    if let Some(path) = out {
-        atomic_write(std::path::Path::new(&path), &write_program(&report.reduced))
+    if let Some(path) = &args.out {
+        atomic_write(std::path::Path::new(path), &report.reduced.to_bytes())
             .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
     }
-    if let Some(dir) = out_dir {
-        let n = write_class_directory(&report.reduced, std::path::Path::new(&dir))
+    if let Some(dir) = &args.out_dir {
+        let n = write_dir(&report.reduced, std::path::Path::new(dir))
             .unwrap_or_else(|e| fail(format!("cannot write {dir}: {e}")));
         eprintln!("wrote {n} class files to {dir}");
     }
-    if let Some(path) = json {
+    if let Some(path) = &args.json {
         // The same identity fields the service's result document carries,
         // so `diff`ing daemon output against an in-process run is trivial.
         let doc = Json::obj([
+            ("format", Json::str(I::FORMAT)),
             ("strategy", Json::str(&report.strategy)),
             (
                 "initial_classes",
@@ -241,7 +313,7 @@ fn main() {
             ("errors_preserved", Json::Bool(report.errors_preserved)),
             ("still_valid", Json::Bool(report.still_valid)),
         ]);
-        atomic_write_str(std::path::Path::new(&path), &doc.render())
+        atomic_write_str(std::path::Path::new(path), &doc.render())
             .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
     }

@@ -108,7 +108,8 @@ fn main() {
         println!("usage: reduce-client (--state-dir DIR | --addr HOST:PORT) <op> [args]");
         println!();
         println!("ops:");
-        println!("  submit --input bench.lbrc [--decompiler a|b|c|all] [--strategy S]");
+        println!("  submit --input bench.lbrc [--format classfile|stackvm]");
+        println!("         [--decompiler a|b|c|all] [--strategy S]");
         println!("         [--out reduced.lbrc] [--priority N] [--cost SECS]");
         println!("         [--probe-threads N] [--probe-latency-micros N]");
         println!("         [--deadline-secs F] [--wait]");
@@ -167,6 +168,7 @@ fn main() {
             "--retry-shed" => retry_shed = true,
             "--cluster" => cluster = true,
             "--input" => spec.push(("input", Json::str(value()))),
+            "--format" | "-f" => spec.push(("format", Json::str(value()))),
             "--decompiler" | "-d" => spec.push(("decompiler", Json::str(value()))),
             "--strategy" | "-s" => spec.push(("strategy", Json::str(value()))),
             "--out" | "-o" => spec.push(("output", Json::str(value()))),

@@ -15,11 +15,14 @@
 
 pub mod microbench;
 
-use lbr_core::{EngineChoice, LossyPick, ProbeStats, ReductionTrace};
+use lbr_core::{EngineChoice, Input, InputOracle, LossyPick, ProbeStats, ReductionTrace};
 use lbr_jreduce::{OrderChoice, ReductionSession, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
 use lbr_service::{atomic_write_str, Json};
-use lbr_workload::{geometric_mean, suite, suite_stats, Benchmark, SuiteConfig, SuiteStats};
+use lbr_workload::{
+    geometric_mean, stack_suite, suite, suite_stats, Benchmark, StackBenchmark, SuiteConfig,
+    SuiteStats,
+};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -71,13 +74,66 @@ impl Default for EvalConfig {
 }
 
 impl EvalConfig {
-    /// Builds the benchmark suite for this configuration.
+    /// Builds the classfile benchmark suite for this configuration.
     pub fn suite(&self) -> Vec<Benchmark> {
         suite(&SuiteConfig {
             seed: self.seed,
             programs: self.programs,
             scale: self.scale,
         })
+    }
+
+    /// Builds the stackvm benchmark suite for this configuration. The
+    /// classfile suite yields up to three failing instances per program;
+    /// three modules per `programs` unit keeps the grids comparably
+    /// sized across formats.
+    pub fn stack_suite(&self) -> Vec<StackBenchmark> {
+        stack_suite(self.seed, self.programs * 3)
+    }
+}
+
+/// What the evaluation grid needs from a benchmark, abstracted over the
+/// frontend: a stable name, the input to reduce, and its oracle. The
+/// same grid machinery — work pool, slot persistence, soundness checks —
+/// then serves every format behind the [`Input`] trait.
+pub trait EvalBenchmark: Sync {
+    /// The frontend's input type.
+    type Input: Input;
+    /// The frontend's oracle type.
+    type Oracle: InputOracle<Self::Input>;
+    /// Stable benchmark name (unique within a suite).
+    fn name(&self) -> &str;
+    /// The input to reduce.
+    fn input(&self) -> &Self::Input;
+    /// Builds the oracle for this benchmark.
+    fn oracle(&self) -> Self::Oracle;
+}
+
+impl EvalBenchmark for Benchmark {
+    type Input = lbr_classfile::Program;
+    type Oracle = lbr_decompiler::DecompilerOracle;
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input(&self) -> &lbr_classfile::Program {
+        &self.program
+    }
+    fn oracle(&self) -> lbr_decompiler::DecompilerOracle {
+        Benchmark::oracle(self)
+    }
+}
+
+impl EvalBenchmark for StackBenchmark {
+    type Input = lbr_stackvm::Module;
+    type Oracle = lbr_stackvm::StackOracle;
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input(&self) -> &lbr_stackvm::Module {
+        &self.module
+    }
+    fn oracle(&self) -> lbr_stackvm::StackOracle {
+        StackBenchmark::oracle(self)
     }
 }
 
@@ -86,6 +142,8 @@ impl EvalConfig {
 pub struct RunRecord {
     /// Benchmark name.
     pub benchmark: String,
+    /// Input format (`classfile`, `stackvm` — [`Input::FORMAT`]).
+    pub format: String,
     /// Strategy name.
     pub strategy: String,
     /// Classes before reduction.
@@ -141,9 +199,13 @@ impl RunRecord {
     }
 }
 
-fn record_of(benchmark: &Benchmark, report: lbr_jreduce::ReductionReport) -> RunRecord {
+fn record_of<B: EvalBenchmark>(
+    benchmark: &B,
+    report: lbr_jreduce::ReductionReport<B::Input>,
+) -> RunRecord {
     RunRecord {
-        benchmark: benchmark.name.clone(),
+        benchmark: benchmark.name().to_owned(),
+        format: B::Input::FORMAT.to_owned(),
         strategy: report.strategy.clone(),
         initial_classes: report.initial.classes,
         initial_bytes: report.initial.bytes,
@@ -167,6 +229,7 @@ fn record_of(benchmark: &Benchmark, report: lbr_jreduce::ReductionReport) -> Run
 pub fn record_doc(r: &RunRecord) -> Json {
     let mut fields: std::collections::BTreeMap<String, Json> = [
         ("benchmark", Json::str(&r.benchmark)),
+        ("format", Json::str(&r.format)),
         ("strategy", Json::str(&r.strategy)),
         ("initial_classes", Json::count(r.initial_classes as u64)),
         ("initial_bytes", Json::count(r.initial_bytes as u64)),
@@ -205,21 +268,25 @@ fn write_slot(dir: &Path, index: usize, result: &Result<RunRecord, String>) {
     }
 }
 
-fn run_one(config: &EvalConfig, b: &Benchmark, strategy: Strategy) -> Result<RunRecord, String> {
+fn run_one<B: EvalBenchmark>(
+    config: &EvalConfig,
+    b: &B,
+    strategy: Strategy,
+) -> Result<RunRecord, String> {
     let oracle = b.oracle();
     let run = || {
-        ReductionSession::new(&b.program, &oracle)
+        ReductionSession::new(b.input(), &oracle)
             .strategy(strategy)
             .cost_per_call(config.cost_per_call_secs)
             .options(config.options)
             .run()
-            .map_err(|e| format!("{} / {}: {e}", b.name, strategy.name()))
+            .map_err(|e| format!("{} / {}: {e}", b.name(), strategy.name()))
     };
     let mut report = run()?;
     // An unsound or non-round-tripping result must surface as a failed
     // job (eval exits non-zero), not as a quietly wrong table row.
     lbr_jreduce::check_report(&report)
-        .map_err(|e| format!("{} / {}: invalid result: {e}", b.name, strategy.name()))?;
+        .map_err(|e| format!("{} / {}: invalid result: {e}", b.name(), strategy.name()))?;
     // Extra repeats only de-noise wall_secs (keep the fastest run); the
     // search itself is deterministic, so checking the first run suffices.
     for _ in 1..config.repeats.max(1) {
@@ -239,12 +306,12 @@ fn run_one(config: &EvalConfig, b: &Benchmark, strategy: Strategy) -> Result<Run
 /// counter and write results into per-job slots, so the returned records
 /// are in exactly the same order — and bit-identical — to a sequential
 /// run. Each job builds its own oracle; nothing is shared across jobs.
-pub fn run_grid(
+pub fn run_grid<B: EvalBenchmark>(
     config: &EvalConfig,
-    benchmarks: &[Benchmark],
+    benchmarks: &[B],
     strategies: &[Strategy],
 ) -> Vec<RunRecord> {
-    let jobs: Vec<(&Benchmark, Strategy)> = benchmarks
+    let jobs: Vec<(&B, Strategy)> = benchmarks
         .iter()
         .flat_map(|b| strategies.iter().map(move |&s| (b, s)))
         .collect();
@@ -325,7 +392,7 @@ pub fn headline_strategies() -> Vec<Strategy> {
 /// `+order-learned`, `+order-portfolio`), so one results file can gate
 /// all of them at once. The caller's `slot_dir` is ignored — the variant
 /// grids would otherwise overwrite each other's slot files.
-pub fn run_engine_grid(config: &EvalConfig, benchmarks: &[Benchmark]) -> Vec<RunRecord> {
+pub fn run_engine_grid<B: EvalBenchmark>(config: &EvalConfig, benchmarks: &[B]) -> Vec<RunRecord> {
     let logical = Strategy::Logical(MsaStrategy::GreedyClosure);
     let variants: [(Strategy, RunOptions); 5] = [
         (Strategy::JReduce, config.options),
@@ -637,7 +704,7 @@ pub fn render_ablation(records: &[RunRecord], title: &str) -> String {
 
 /// E6 — per-error reduction: one GBR search per distinct compiler error
 /// (the paper's long-running cases: "73 searches … 951 decompilations").
-pub fn render_per_error(config: &EvalConfig, benchmarks: &[Benchmark]) -> String {
+pub fn render_per_error<B: EvalBenchmark>(config: &EvalConfig, benchmarks: &[B]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -651,7 +718,7 @@ pub fn render_per_error(config: &EvalConfig, benchmarks: &[Benchmark]) -> String
     let mut witness_sizes: Vec<f64> = Vec::new();
     for b in benchmarks {
         let oracle = b.oracle();
-        match ReductionSession::new(&b.program, &oracle)
+        match ReductionSession::new(b.input(), &oracle)
             .cost_per_call(config.cost_per_call_secs)
             .options(config.options)
             .run_per_error()
@@ -662,7 +729,7 @@ pub fn render_per_error(config: &EvalConfig, benchmarks: &[Benchmark]) -> String
                 let _ = writeln!(
                     out,
                     "{:<12} {:>7} {:>9} {:>14} {:>15.0}g {:>9.0}%",
-                    b.name,
+                    b.name(),
                     oracle.error_count(),
                     report.errors.len(),
                     report.total_calls,
@@ -671,7 +738,7 @@ pub fn render_per_error(config: &EvalConfig, benchmarks: &[Benchmark]) -> String
                 );
             }
             Err(e) => {
-                let _ = writeln!(out, "{:<12} failed: {e}", b.name);
+                let _ = writeln!(out, "{:<12} failed: {e}", b.name());
             }
         }
     }
@@ -741,8 +808,9 @@ pub fn render_json(records: &[RunRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"benchmark\": \"{}\", \"strategy\": \"{}\", \"initial_bytes\": {}, \"final_bytes\": {}, \"initial_classes\": {}, \"final_classes\": {}, \"predicate_calls\": {}, \"wall_secs\": {:.6}, \"modeled_secs\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \"useful_calls\": {}, \"speculative_calls\": {}, \"critical_path_calls\": {}, \"sound\": {}}}",
+            "    {{\"benchmark\": \"{}\", \"format\": \"{}\", \"strategy\": \"{}\", \"initial_bytes\": {}, \"final_bytes\": {}, \"initial_classes\": {}, \"final_classes\": {}, \"predicate_calls\": {}, \"wall_secs\": {:.6}, \"modeled_secs\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \"useful_calls\": {}, \"speculative_calls\": {}, \"critical_path_calls\": {}, \"sound\": {}}}",
             esc(&r.benchmark),
+            esc(&r.format),
             esc(&r.strategy),
             r.initial_bytes,
             r.final_bytes,
@@ -761,14 +829,22 @@ pub fn render_json(records: &[RunRecord]) -> String {
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n  \"strategies\": [\n");
-    let strategies: Vec<String> = {
-        let mut s: Vec<String> = records.iter().map(|r| r.strategy.clone()).collect();
+    // Aggregate per (format, strategy): a stackvm run of `logical/greedy`
+    // must not fold into the classfile aggregate of the same strategy.
+    let strategies: Vec<(String, String)> = {
+        let mut s: Vec<(String, String)> = records
+            .iter()
+            .map(|r| (r.format.clone(), r.strategy.clone()))
+            .collect();
         s.sort();
         s.dedup();
         s
     };
-    for (i, s) in strategies.iter().enumerate() {
-        let rs = records_of(records, s);
+    for (i, (format, s)) in strategies.iter().enumerate() {
+        let rs: Vec<&RunRecord> = records
+            .iter()
+            .filter(|r| &r.strategy == s && &r.format == format)
+            .collect();
         let wall: f64 = rs.iter().map(|r| r.wall_secs).sum();
         let calls: u64 = rs.iter().map(|r| r.calls).sum();
         let hits: u64 = rs.iter().map(|r| r.cache_hits()).sum();
@@ -784,7 +860,8 @@ pub fn render_json(records: &[RunRecord]) -> String {
         let bytes_pct = geometric_mean(rs.iter().map(|r| 100.0 * r.relative_bytes()));
         let _ = write!(
             out,
-            "    {{\"strategy\": \"{}\", \"runs\": {}, \"wall_secs\": {:.6}, \"predicate_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"useful_calls\": {}, \"speculative_calls\": {}, \"critical_path_calls\": {}, \"geo_mean_bytes_pct\": {:.2}}}",
+            "    {{\"format\": \"{}\", \"strategy\": \"{}\", \"runs\": {}, \"wall_secs\": {:.6}, \"predicate_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"useful_calls\": {}, \"speculative_calls\": {}, \"critical_path_calls\": {}, \"geo_mean_bytes_pct\": {:.2}}}",
+            esc(format),
             esc(s),
             rs.len(),
             wall,
@@ -862,6 +939,30 @@ mod tests {
         ] {
             assert!(!text.is_empty());
         }
+    }
+
+    #[test]
+    fn stackvm_grid_runs_and_tags_format() {
+        let config = EvalConfig {
+            programs: 1,
+            ..EvalConfig::default()
+        };
+        let benchmarks = config.stack_suite();
+        assert!(!benchmarks.is_empty());
+        let records = run_grid(&config, &benchmarks, &headline_strategies());
+        assert_eq!(records.len(), benchmarks.len() * 2);
+        assert!(records.iter().all(|r| r.sound), "all runs must be sound");
+        assert!(records.iter().all(|r| r.format == "stackvm"));
+        let json = render_json(&records);
+        assert!(json.contains("\"format\": \"stackvm\""));
+        // Mixed-format records aggregate per (format, strategy): the same
+        // strategy name shows up once per frontend.
+        let classfile = run_grid(&config, &config.suite(), &[Strategy::JReduce]);
+        let mut mixed = records.clone();
+        mixed.extend(classfile);
+        let json = render_json(&mixed);
+        assert!(json.contains("\"format\": \"classfile\", \"strategy\": \"jreduce\""));
+        assert!(json.contains("\"format\": \"stackvm\", \"strategy\": \"jreduce\""));
     }
 
     #[test]

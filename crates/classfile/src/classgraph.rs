@@ -7,7 +7,7 @@
 //! items *within* classes — the motivation for the paper's finer-grained
 //! model.
 
-use lbr_classfile::Program;
+use crate::Program;
 use lbr_core::DepGraph;
 use lbr_logic::{Var, VarSet};
 use std::collections::HashMap;
@@ -90,7 +90,7 @@ impl ClassGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lbr_classfile::{ClassFile, Code, FieldInfo, Insn, MethodDescriptor, MethodInfo, Type};
+    use crate::{ClassFile, Code, FieldInfo, Insn, MethodDescriptor, MethodInfo, Type};
 
     fn program() -> Program {
         let mut a = ClassFile::new_class("A");

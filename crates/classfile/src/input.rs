@@ -1,0 +1,123 @@
+//! The classfile frontend behind the format-agnostic [`Input`] trait.
+//!
+//! This is a thin adapter: the logical model is [`build_model`]'s CNF
+//! with [`reduce_program`] as the solution applier, the coarse model is
+//! [`ClassGraph`]'s class-mention graph with its subset materializer,
+//! and serialization/validation delegate to the existing binary format
+//! and verifier. Every path is the *same code* the pipeline has always
+//! run, so results through the trait are bit-identical to the concrete
+//! classfile path.
+
+use crate::classgraph::ClassGraph;
+use crate::model::build_model;
+use crate::reducer::reduce_program;
+use crate::{program_byte_size, read_program, verify_program, write_program, Program};
+use lbr_core::{CoarseModel, Input, InputModel};
+use lbr_logic::VarSet;
+
+impl Input for Program {
+    const FORMAT: &'static str = "classfile";
+
+    fn model(&self) -> Result<InputModel<'_, Self>, String> {
+        let model = build_model(self).map_err(|e| e.to_string())?;
+        let stats = model.stats();
+        let registry = model.registry;
+        Ok(InputModel {
+            cnf: model.cnf,
+            stats,
+            materialize: Box::new(move |keep: &VarSet| reduce_program(self, &registry, keep)),
+        })
+    }
+
+    fn coarse_model(&self) -> CoarseModel<'_, Self> {
+        let cg = ClassGraph::new(self);
+        CoarseModel {
+            graph: cg.graph.clone(),
+            materialize: Box::new(move |keep: &VarSet| cg.subset_program(self, keep)),
+        }
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        write_program(self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        read_program(bytes).map_err(|e| e.to_string())
+    }
+
+    fn byte_size(&self) -> usize {
+        program_byte_size(self)
+    }
+
+    fn unit_count(&self) -> usize {
+        self.len()
+    }
+
+    fn validate(&self) -> Vec<String> {
+        verify_program(self)
+            .into_iter()
+            .map(|e| e.to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClassFile, Code, Insn, MethodDescriptor, MethodInfo};
+
+    fn sample() -> Program {
+        let mut a = ClassFile::new_class("A");
+        a.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        let mut b = ClassFile::new_class("B");
+        b.superclass = Some("A".into());
+        b.methods.push(MethodInfo::new(
+            "<init>",
+            MethodDescriptor::void(),
+            Code::new(1, 1, vec![Insn::Return]),
+        ));
+        [a, b].into_iter().collect()
+    }
+
+    #[test]
+    fn serialization_matches_concrete_functions() {
+        let p = sample();
+        assert_eq!(p.to_bytes(), write_program(&p));
+        assert_eq!(Program::from_bytes(&p.to_bytes()), Ok(p.clone()));
+        assert_eq!(p.byte_size(), program_byte_size(&p));
+        assert_eq!(p.unit_count(), 2);
+        assert!(p.validate().is_empty());
+        assert_eq!(<Program as Input>::FORMAT, "classfile");
+    }
+
+    #[test]
+    fn model_materializes_like_reduce_program() {
+        let p = sample();
+        let trait_model = p.model().expect("model builds");
+        let concrete = build_model(&p).expect("model builds");
+        assert_eq!(trait_model.cnf, concrete.cnf);
+        assert_eq!(trait_model.stats, concrete.stats());
+        let keep = VarSet::full(trait_model.cnf.num_vars());
+        assert_eq!(
+            (trait_model.materialize)(&keep),
+            reduce_program(&p, &concrete.registry, &keep)
+        );
+    }
+
+    #[test]
+    fn coarse_model_materializes_subsets() {
+        let p = sample();
+        let coarse = p.coarse_model();
+        assert_eq!(coarse.graph.len(), 2);
+        let cg = ClassGraph::new(&p);
+        let mut keep = VarSet::empty(2);
+        keep.insert(cg.node("A").unwrap());
+        let sub = (coarse.materialize)(&keep);
+        assert_eq!(sub.len(), 1);
+        assert!(sub.get("A").is_some());
+    }
+}

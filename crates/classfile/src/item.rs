@@ -18,7 +18,7 @@
 //! | 10 | `ConstructorCode(C, d)` | replace the body with the trivial one |
 //! | 11 | `Signature(T, m, d)` | drop the abstract method |
 
-use lbr_classfile::Program;
+use crate::Program;
 use lbr_logic::{Formula, Var, VarSet};
 use std::collections::HashMap;
 use std::fmt;
@@ -105,7 +105,7 @@ impl fmt::Display for Item {
 
 /// Maps the items of a program to dense logic variables.
 ///
-/// Built-in or foreign names ([`lbr_classfile::OBJECT`], or a superclass of
+/// Built-in or foreign names ([`crate::OBJECT`], or a superclass of
 /// `Object`) are not registered; [`ItemRegistry::formula`] returns `true`
 /// for them so constraint generation can treat them uniformly.
 #[derive(Debug, Clone, Default)]
@@ -129,7 +129,7 @@ impl ItemRegistry {
             } else {
                 reg.add(Item::Class(name.clone()));
                 if let Some(sup) = &class.superclass {
-                    if sup != lbr_classfile::OBJECT {
+                    if sup != crate::OBJECT {
                         reg.add(Item::SuperClass(name.clone(), sup.clone()));
                     }
                 }
@@ -242,7 +242,7 @@ impl ItemRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lbr_classfile::{ClassFile, Code, FieldInfo, Insn, MethodDescriptor, MethodInfo, Type};
+    use crate::{ClassFile, Code, FieldInfo, Insn, MethodDescriptor, MethodInfo, Type};
 
     fn sample_program() -> Program {
         let mut i = ClassFile::new_interface("I");

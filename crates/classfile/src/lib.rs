@@ -36,26 +36,35 @@
 #![warn(rust_2018_idioms)]
 
 mod class;
+mod classgraph;
 mod constpool;
 mod disasm;
 mod flags;
+mod input;
 mod insn;
 mod io;
+mod item;
+mod model;
 mod program;
 mod read;
+mod reducer;
 mod roundtrip;
 mod ty;
 mod verify;
 mod write;
 
 pub use class::{ClassFile, Code, FieldInfo, MethodInfo, OBJECT};
+pub use classgraph::ClassGraph;
 pub use constpool::{Constant, ConstantPool};
 pub use disasm::{disassemble_class, disassemble_code, disassemble_program, mnemonic};
 pub use flags::Flags;
 pub use insn::{FieldRef, Insn, MethodRef};
 pub use io::{read_class_directory, write_class_directory, DirError};
+pub use item::{Item, ItemRegistry};
+pub use model::{build_model, supertype_paths, LogicalModel, ModelError};
 pub use program::{Program, Resolution, Step};
 pub use read::{read_class, read_program, ReadError};
+pub use reducer::reduce_program;
 pub use roundtrip::{round_trip_verify, round_trip_verify_bytes};
 pub use ty::{MethodDescriptor, Type};
 pub use verify::{

@@ -22,10 +22,11 @@
 //!   implAny` constraints, which need full propositional logic.
 
 use crate::item::{Item, ItemRegistry};
-use lbr_classfile::{
+use crate::{
     verify_method_code, ClassFile, FieldRef, InvokeKind, MethodDescriptor, MethodRef, Program,
     Resolution, Step, VerifyError, VerifyHooks, OBJECT,
 };
+use lbr_core::ModelStats;
 use lbr_logic::{Cnf, Formula};
 use std::collections::HashSet;
 
@@ -48,17 +49,6 @@ impl LogicalModel {
             graph_fraction: self.cnf.graph_fraction(),
         }
     }
-}
-
-/// Model-size statistics.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ModelStats {
-    /// Number of reducible items (variables).
-    pub items: usize,
-    /// Number of CNF clauses.
-    pub clauses: usize,
-    /// Fraction of clauses that are graph constraints.
-    pub graph_fraction: f64,
 }
 
 /// An error during model generation: the input program does not verify.
@@ -240,7 +230,7 @@ impl Generator<'_> {
             let Some(decl) = self.program.get(&source) else {
                 continue;
             };
-            let abstracts: Vec<&lbr_classfile::MethodInfo> = decl
+            let abstracts: Vec<&crate::MethodInfo> = decl
                 .methods
                 .iter()
                 .filter(|m| m.flags.is_abstract())
@@ -572,7 +562,7 @@ impl VerifyHooks for Collector<'_, '_> {
 mod tests {
     use super::*;
     use crate::reducer::reduce_program;
-    use lbr_classfile::{Code, Insn, MethodInfo, Type};
+    use crate::{Code, Insn, MethodInfo, Type};
     use lbr_logic::{dpll, Lit, VarOrder, VarSet};
 
     fn ctor() -> MethodInfo {
@@ -642,7 +632,7 @@ mod tests {
     #[test]
     fn model_builds_on_valid_program() {
         let p = paperish_program();
-        assert!(lbr_classfile::verify_program(&p).is_empty());
+        assert!(crate::verify_program(&p).is_empty());
         let model = build_model(&p).expect("model builds");
         let stats = model.stats();
         assert!(stats.items > 10);
@@ -681,7 +671,7 @@ mod tests {
                 dpll::solve_with_assumptions(&model.cnf, &order, &[assumption])
             {
                 let reduced = reduce_program(&p, &model.registry, &solution);
-                let errors = lbr_classfile::verify_program(&reduced);
+                let errors = crate::verify_program(&reduced);
                 assert!(
                     errors.is_empty(),
                     "model {} reduced to invalid program: {errors:?}",
@@ -774,7 +764,7 @@ mod tests {
             Code::new(1, 1, vec![Insn::Return]),
         ));
         let p: Program = [j, i1, i2, c].into_iter().collect();
-        assert!(lbr_classfile::verify_program(&p).is_empty());
+        assert!(crate::verify_program(&p).is_empty());
         assert_eq!(supertype_paths(&p, "C", "J", 16).len(), 2);
         let model = build_model(&p).expect("model builds");
         let reg = &model.registry;

@@ -1,7 +1,7 @@
 //! The item-level program reducer (the bytecode analog of Figure 5).
 
 use crate::item::{Item, ItemRegistry};
-use lbr_classfile::{ClassFile, Code, Program, OBJECT};
+use crate::{ClassFile, Code, Program, OBJECT};
 use lbr_logic::VarSet;
 
 /// Applies a solution: keeps exactly the items in `keep` (plus built-ins),
@@ -87,7 +87,7 @@ fn reduce_class(class: &ClassFile, reg: &ItemRegistry, keep: &VarSet) -> ClassFi
     reduced
 }
 
-fn locals_for(m: &lbr_classfile::MethodInfo) -> u16 {
+fn locals_for(m: &crate::MethodInfo) -> u16 {
     let this = u16::from(!m.flags.is_static());
     this + m.desc.params.len() as u16
 }
@@ -95,7 +95,7 @@ fn locals_for(m: &lbr_classfile::MethodInfo) -> u16 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lbr_classfile::{FieldInfo, Insn, MethodDescriptor, MethodInfo, Type};
+    use crate::{FieldInfo, Insn, MethodDescriptor, MethodInfo, Type};
 
     fn sample() -> (Program, ItemRegistry) {
         let mut i = ClassFile::new_interface("I");

@@ -182,6 +182,7 @@ impl ClusterDispatch for ClusterServer {
         }
         let descriptor = Json::obj([
             ("input", Json::str(to_hex(input))),
+            ("format", Json::str(spec.format.clone())),
             ("decompiler", Json::str(spec.decompiler.clone())),
             ("latency_micros", Json::count(spec.probe_latency_micros)),
         ]);

@@ -18,13 +18,16 @@
 use crate::wire::{from_hex, keep_from_json, keep_to_json, probe_fields, recv_doc, send_doc};
 use lbr_classfile::read_program;
 use lbr_core::{
-    CacheLayer, ConcurrentPredicate, FaultInjector, FaultPlan, LatencyLayer, MemoryCache,
-    OracleStack, Probe, ProbeCache,
+    CacheLayer, ConcurrentPredicate, FaultInjector, FaultPlan, Input, InputOracle, LatencyLayer,
+    MemoryCache, OracleStack, Probe, ProbeCache,
 };
 use lbr_decompiler::{BugSet, DecompilerOracle};
 use lbr_jreduce::{build_model, reduce_program, CandidateProbe};
 use lbr_logic::VarSet;
 use lbr_service::Json;
+use lbr_stackvm::{
+    build_stack_model, reduce_module, Module as StackModule, StackBugSet, StackOracle,
+};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -206,21 +209,80 @@ fn serve_job(
             .ok_or_else(|| protocol("descriptor lacks input"))?,
     )
     .map_err(|e| protocol(&e))?;
-    let program = read_program(&bytes).map_err(|e| protocol(&format!("bad container: {e}")))?;
-    let bugs = match descriptor.str_field("decompiler") {
-        Some("a") => BugSet::decompiler_a(),
-        Some("b") => BugSet::decompiler_b(),
-        Some("c") => BugSet::decompiler_c(),
-        _ => BugSet::all(),
-    };
-    let oracle = DecompilerOracle::new(&program, bugs);
-    let model = build_model(&program).map_err(|e| protocol(&format!("bad model: {e}")))?;
-    let registry = &model.registry;
-    let universe = model.cnf.num_vars();
-    let materialize = |keep: &VarSet| reduce_program(&program, registry, keep);
+    match descriptor.str_field("format") {
+        Some("stackvm") => {
+            let module = <StackModule as Input>::from_bytes(&bytes)
+                .map_err(|e| protocol(&format!("bad container: {e}")))?;
+            let bugs = match descriptor.str_field("decompiler") {
+                Some("a") => StackBugSet::lowering_a(),
+                Some("b") => StackBugSet::lowering_b(),
+                Some("c") => StackBugSet::lowering_c(),
+                _ => StackBugSet::all(),
+            };
+            let oracle = StackOracle::new(&module, bugs);
+            let model =
+                build_stack_model(&module).map_err(|e| protocol(&format!("bad model: {e}")))?;
+            let registry = &model.registry;
+            let universe = model.cnf.num_vars();
+            let materialize = |keep: &VarSet| reduce_module(&module, registry, keep);
+            serve_batches(
+                conn,
+                options,
+                worker,
+                batch,
+                job,
+                descriptor,
+                universe,
+                &materialize,
+                &oracle,
+            )
+        }
+        _ => {
+            let program =
+                read_program(&bytes).map_err(|e| protocol(&format!("bad container: {e}")))?;
+            let bugs = match descriptor.str_field("decompiler") {
+                Some("a") => BugSet::decompiler_a(),
+                Some("b") => BugSet::decompiler_b(),
+                Some("c") => BugSet::decompiler_c(),
+                _ => BugSet::all(),
+            };
+            let oracle = DecompilerOracle::new(&program, bugs);
+            let model = build_model(&program).map_err(|e| protocol(&format!("bad model: {e}")))?;
+            let registry = &model.registry;
+            let universe = model.cnf.num_vars();
+            let materialize = |keep: &VarSet| reduce_program(&program, registry, keep);
+            serve_batches(
+                conn,
+                options,
+                worker,
+                batch,
+                job,
+                descriptor,
+                universe,
+                &materialize,
+                &oracle,
+            )
+        }
+    }
+}
+
+/// The format-generic half of [`serve_job`]: stacks the cache tiers over
+/// the job's predicate and answers pulled batches until redirected.
+#[allow(clippy::too_many_arguments)]
+fn serve_batches<I: Input, O: InputOracle<I>>(
+    conn: &ClusterConn,
+    options: &WorkerOptions,
+    worker: u64,
+    batch: usize,
+    job: u64,
+    descriptor: &Json,
+    universe: usize,
+    materialize: &(dyn Fn(&VarSet) -> I + Sync),
+    oracle: &O,
+) -> io::Result<ServeNext> {
     let base = CandidateProbe {
-        materialize: &materialize,
-        oracle: &oracle,
+        materialize,
+        oracle,
     };
     let local_memo = MemoryCache::new();
     let memo_layer = CacheLayer::new(&local_memo);

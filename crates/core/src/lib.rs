@@ -54,6 +54,7 @@ mod fault;
 mod gbr;
 mod graph;
 mod hitting;
+mod input;
 mod keyed;
 mod lossy;
 mod minimize;
@@ -79,6 +80,7 @@ pub use gbr::{
 };
 pub use graph::{Closure, DepGraph};
 pub use hitting::{reduction_is_faithful, HittingSet};
+pub use input::{CoarseModel, Input, InputModel, InputOracle, ModelStats};
 pub use keyed::KeyedMap;
 pub use lossy::{lossy_encode, lossy_graph, lossy_is_sound, LossyGraph, LossyPick};
 pub use minimize::{minimize_solution, MinimizeStats};

@@ -85,6 +85,19 @@ impl DecompilerOracle {
     }
 }
 
+/// The format-agnostic oracle interface the reduction pipeline consumes.
+/// Delegates to the inherent methods, so trait-driven runs are
+/// bit-identical to the historical concrete path.
+impl lbr_core::InputOracle<Program> for DecompilerOracle {
+    fn baseline(&self) -> &BTreeSet<String> {
+        self.baseline()
+    }
+
+    fn errors(&self, program: &Program) -> BTreeSet<String> {
+        self.errors(program)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,14 +15,23 @@ use lbr_classfile::Program;
 use lbr_decompiler::{BugKind, BugSet};
 use lbr_prng::SplitMix64;
 use lbr_service::Json;
-use lbr_workload::WorkloadConfig;
+use lbr_stackvm::{Module, StackBugKind, StackBugSet};
+use lbr_workload::{StackShape, StackWorkloadConfig, WorkloadConfig};
 
-/// Format tag written into every case file.
-const VERSION: &str = "lbr-fuzz-case v1";
+/// Format tag written into every case file. Old `v1` files (classfile
+/// only, no `format` key) are still accepted by [`FuzzCase::from_json`].
+const VERSION: &str = "lbr-fuzz-case v2";
+
+/// The pre-stackvm tag: accepted on read for pinned regression files.
+const VERSION_V1: &str = "lbr-fuzz-case v1";
 
 /// Golden-ratio increment: decorrelates per-case seeds drawn from one
 /// master seed (the SplitMix64 stream constant).
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Salt for the format draw, so sampling a case's frontend does not
+/// perturb the geometry stream of either frontend's sampler.
+const FORMAT_SALT: u64 = 0xF0_12_34_56;
 
 /// One replayable fuzz case. See the module docs.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,13 +40,20 @@ pub struct FuzzCase {
     pub master_seed: u64,
     /// The case's index in the run's deterministic stream.
     pub index: u64,
-    /// Which simulated decompiler the oracle models (`a`/`b`/`c`).
+    /// The input frontend (`classfile` or `stackvm`).
+    pub format: String,
+    /// Which simulated buggy tool the oracle models (`a`/`b`/`c` — a
+    /// decompiler for classfile cases, a lowering pass for stackvm).
     pub decompiler: String,
-    /// The sampled generator configuration (stored in full so old case
-    /// files survive future changes to the sampler).
+    /// The sampled classfile generator configuration (stored in full so
+    /// old case files survive future changes to the sampler).
     pub workload: WorkloadConfig,
-    /// Shrunk restriction: keep only these classes of the generated
-    /// program. `None` means the whole program.
+    /// The sampled stackvm generator configuration; set exactly when
+    /// `format == "stackvm"`.
+    pub stack_workload: Option<StackWorkloadConfig>,
+    /// Shrunk restriction: keep only these items of the generated input
+    /// (class names for classfile cases, function/global names for
+    /// stackvm). `None` means the whole input.
     pub keep_classes: Option<Vec<String>>,
     /// Whether the intentionally-broken oracle progression is armed (the
     /// harness's self-test; see `fuzz --break-oracle`).
@@ -52,6 +68,17 @@ pub fn bugset_by_name(name: &str) -> Option<BugSet> {
         "a" => Some(BugSet::decompiler_a()),
         "b" => Some(BugSet::decompiler_b()),
         "c" => Some(BugSet::decompiler_c()),
+        _ => None,
+    }
+}
+
+/// The simulated stackvm lowering pass for a CLI name (same `a`/`b`/`c`
+/// selector as the classfile decompilers).
+pub fn stack_bugset_by_name(name: &str) -> Option<StackBugSet> {
+    match name {
+        "a" => Some(StackBugSet::lowering_a()),
+        "b" => Some(StackBugSet::lowering_b()),
+        "c" => Some(StackBugSet::lowering_c()),
         _ => None,
     }
 }
@@ -77,11 +104,55 @@ impl FuzzCase {
         FuzzCase {
             master_seed,
             index,
+            format: "classfile".to_owned(),
             decompiler,
             workload,
+            stack_workload: None,
             keep_classes: None,
             break_oracle,
             violation: None,
+        }
+    }
+
+    /// Samples a stackvm case: the same decorrelated per-case stream, a
+    /// random lowering pass, and a sampled module geometry with that
+    /// pass's trigger patterns planted.
+    pub fn sampled_stack(master_seed: u64, index: u64, break_oracle: bool) -> FuzzCase {
+        let case_seed = Self::case_seed(master_seed, index);
+        let mut rng = SplitMix64::seed_from_u64(case_seed ^ GOLDEN);
+        let decompiler = ["a", "b", "c"][rng.gen_range(0usize..=2)].to_string();
+        let bugs = stack_bugset_by_name(&decompiler).expect("fixed name set");
+        let mut stack_workload = StackWorkloadConfig::sampled(case_seed);
+        stack_workload.plant = bugs.kinds().to_vec();
+        FuzzCase {
+            master_seed,
+            index,
+            format: "stackvm".to_owned(),
+            decompiler,
+            workload: WorkloadConfig::sampled(case_seed),
+            stack_workload: Some(stack_workload),
+            keep_classes: None,
+            break_oracle,
+            violation: None,
+        }
+    }
+
+    /// Samples case `index` drawing the frontend too: roughly one case in
+    /// three is stackvm when `stackvm` is allowed (the campaign's
+    /// `--no-stackvm` opt-out turns it off). The format draw is salted so
+    /// it never perturbs either frontend's geometry stream.
+    pub fn sampled_any(
+        master_seed: u64,
+        index: u64,
+        break_oracle: bool,
+        stackvm: bool,
+    ) -> FuzzCase {
+        let case_seed = Self::case_seed(master_seed, index);
+        let mut rng = SplitMix64::seed_from_u64(case_seed ^ FORMAT_SALT);
+        if stackvm && rng.gen_range(0u64..=2) == 0 {
+            Self::sampled_stack(master_seed, index, break_oracle)
+        } else {
+            Self::sampled(master_seed, index, break_oracle)
         }
     }
 
@@ -102,9 +173,31 @@ impl FuzzCase {
         program
     }
 
+    /// Regenerates a stackvm case's module (restricted to `keep_classes`
+    /// when the case was shrunk — the names select functions and
+    /// globals). Fully deterministic. Panics on classfile cases.
+    pub fn module(&self) -> Module {
+        let config = self
+            .stack_workload
+            .as_ref()
+            .expect("stackvm case carries a stack workload");
+        let mut module = lbr_workload::generate_stack(config);
+        if let Some(keep) = &self.keep_classes {
+            let kept = |name: &str| keep.iter().any(|k| k == name);
+            module.functions.retain(|f| kept(&f.name));
+            module.globals.retain(|g| kept(&g.name));
+        }
+        module
+    }
+
     /// The oracle's bug set.
     pub fn bugs(&self) -> BugSet {
         bugset_by_name(&self.decompiler).expect("validated decompiler name")
+    }
+
+    /// The stackvm oracle's bug set (same `a`/`b`/`c` name).
+    pub fn stack_bugs(&self) -> StackBugSet {
+        stack_bugset_by_name(&self.decompiler).expect("validated decompiler name")
     }
 
     /// Serializes the case (exact: seeds and probabilities as bit
@@ -134,10 +227,33 @@ impl FuzzCase {
             ("version", Json::str(VERSION)),
             ("master_seed", hex_u64(self.master_seed)),
             ("index", Json::count(self.index)),
+            ("format", Json::str(&self.format)),
             ("decompiler", Json::str(&self.decompiler)),
             ("workload", workload),
             ("break_oracle", Json::Bool(self.break_oracle)),
         ];
+        if let Some(sw) = &self.stack_workload {
+            fields.push((
+                "stack_workload",
+                Json::obj([
+                    ("seed", hex_u64(sw.seed)),
+                    ("functions", Json::count(sw.functions as u64)),
+                    ("globals", Json::count(sw.globals as u64)),
+                    ("shape", Json::count(shape_index(sw.shape))),
+                    ("stmts_per_function", pair(sw.stmts_per_function)),
+                    ("plants_per_bug", Json::count(sw.plants_per_bug as u64)),
+                    (
+                        "plant",
+                        Json::Arr(
+                            sw.plant
+                                .iter()
+                                .map(|k| Json::count(stack_bug_index(*k)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         if let Some(keep) = &self.keep_classes {
             fields.push((
                 "keep_classes",
@@ -150,17 +266,45 @@ impl FuzzCase {
         Json::obj_from(fields)
     }
 
-    /// Parses a serialized case, validating the version tag.
+    /// Parses a serialized case, validating the version tag. `v1` files
+    /// (written before the stackvm frontend) parse as classfile cases.
     pub fn from_json(json: &Json) -> Result<FuzzCase, String> {
-        if json.str_field("version") != Some(VERSION) {
+        let version = json.str_field("version");
+        if version != Some(VERSION) && version != Some(VERSION_V1) {
             return Err(format!("not a {VERSION} file"));
         }
+        let format = json.str_field("format").unwrap_or("classfile").to_string();
         let decompiler = json
             .str_field("decompiler")
             .ok_or("missing decompiler")?
             .to_string();
-        if bugset_by_name(&decompiler).is_none() {
-            return Err(format!("unknown decompiler {decompiler:?}"));
+        match format.as_str() {
+            "classfile" => {
+                if bugset_by_name(&decompiler).is_none() {
+                    return Err(format!("unknown decompiler {decompiler:?}"));
+                }
+            }
+            "stackvm" => {
+                if stack_bugset_by_name(&decompiler).is_none() {
+                    return Err(format!("unknown lowering {decompiler:?}"));
+                }
+            }
+            other => return Err(format!("unknown format {other:?}")),
+        }
+        let stack_workload = match json.get("stack_workload") {
+            None => None,
+            Some(sw) => Some(StackWorkloadConfig {
+                seed: parse_hex_u64(sw, "seed")?,
+                functions: parse_usize(sw, "functions")?,
+                globals: parse_usize(sw, "globals")?,
+                shape: parse_shape(sw)?,
+                stmts_per_function: parse_pair(sw, "stmts_per_function")?,
+                plants_per_bug: parse_usize(sw, "plants_per_bug")?,
+                plant: parse_stack_plant(sw)?,
+            }),
+        };
+        if format == "stackvm" && stack_workload.is_none() {
+            return Err("stackvm case is missing stack_workload".to_owned());
         }
         let w = json.get("workload").ok_or("missing workload")?;
         let workload = WorkloadConfig {
@@ -192,8 +336,10 @@ impl FuzzCase {
         Ok(FuzzCase {
             master_seed: parse_hex_u64(json, "master_seed")?,
             index: json.u64_field("index").ok_or("missing index")?,
+            format,
             decompiler,
             workload,
+            stack_workload,
             keep_classes,
             break_oracle: json
                 .get("break_oracle")
@@ -233,6 +379,43 @@ fn bug_index(kind: BugKind) -> u64 {
         .iter()
         .position(|k| *k == kind)
         .expect("every kind is in ALL") as u64
+}
+
+fn stack_bug_index(kind: StackBugKind) -> u64 {
+    StackBugKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("every kind is in ALL") as u64
+}
+
+fn shape_index(shape: StackShape) -> u64 {
+    StackShape::ALL
+        .iter()
+        .position(|s| *s == shape)
+        .expect("every shape is in ALL") as u64
+}
+
+fn parse_shape(obj: &Json) -> Result<StackShape, String> {
+    let idx = obj.u64_field("shape").ok_or("missing shape")? as usize;
+    StackShape::ALL
+        .get(idx)
+        .copied()
+        .ok_or_else(|| format!("shape index {idx} out of range"))
+}
+
+fn parse_stack_plant(obj: &Json) -> Result<Vec<StackBugKind>, String> {
+    obj.get("plant")
+        .and_then(Json::as_arr)
+        .ok_or("missing plant")?
+        .iter()
+        .map(|j| {
+            let idx = j.as_u64().ok_or("bad plant index")? as usize;
+            StackBugKind::ALL
+                .get(idx)
+                .copied()
+                .ok_or_else(|| format!("plant index {idx} out of range"))
+        })
+        .collect()
 }
 
 fn parse_hex_u64(obj: &Json, key: &str) -> Result<u64, String> {
@@ -310,6 +493,45 @@ mod tests {
             lbr_classfile::write_program(&case.program()),
             lbr_classfile::write_program(&back.program())
         );
+    }
+
+    #[test]
+    fn stackvm_json_round_trip_is_exact() {
+        // Find a stackvm draw in the mixed stream so the test also pins
+        // that `sampled_any` actually produces them.
+        let case = (0..64)
+            .map(|i| FuzzCase::sampled_any(0xC0FFEE, i, false, true))
+            .find(|c| c.format == "stackvm")
+            .expect("some case in 64 draws is stackvm");
+        let mut case = case;
+        case.keep_classes = Some(
+            case.module()
+                .functions
+                .iter()
+                .take(2)
+                .map(|f| f.name.clone())
+                .collect(),
+        );
+        case.violation = Some("example".into());
+        let rendered = case.to_json().render();
+        let back = FuzzCase::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(case, back);
+        // The module regenerates identically through the round trip.
+        assert_eq!(
+            lbr_stackvm::write_module(&case.module()),
+            lbr_stackvm::write_module(&back.module())
+        );
+    }
+
+    #[test]
+    fn no_stackvm_opt_out_draws_classfile_only() {
+        for i in 0..64 {
+            let case = FuzzCase::sampled_any(0xC0FFEE, i, false, false);
+            assert_eq!(case.format, "classfile");
+            assert!(case.stack_workload.is_none());
+            // The classfile stream is unperturbed by the format draw.
+            assert_eq!(case, FuzzCase::sampled(0xC0FFEE, i, false));
+        }
     }
 
     #[test]

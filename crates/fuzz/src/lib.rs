@@ -4,15 +4,16 @@
 //! parallel probing, the caching daemon) all promise the same thing:
 //! *results never change, only speed*. This crate turns that promise into
 //! a generative test. A seed-deterministic stream of random-but-valid
-//! classfile programs (built on [`lbr_workload`]'s planner and
-//! [`lbr_prng`]) is pushed through every progression — the GBR engine,
-//! the legacy scan baseline, DPLL/MSA conditioning, the ddmin baseline,
-//! cold/warm/fault-injected persistent caches, and the service daemon —
-//! and the results are cross-checked against the invariants listed in
-//! [`run`] (and DESIGN.md §Fuzzing architecture).
+//! inputs — classfile programs and (one case in three) stackvm modules,
+//! built on [`lbr_workload`]'s planners and [`lbr_prng`] — is pushed
+//! through every progression — the GBR engine, the legacy scan baseline,
+//! DPLL/MSA conditioning, the ddmin baseline, cold/warm/fault-injected
+//! persistent caches, and the service daemon — and the results are
+//! cross-checked against the invariants listed in [`run`] (and DESIGN.md
+//! §Fuzzing architecture).
 //!
 //! On a violation the case is shrunk with our own [`lbr_core::ddmin`] at
-//! class granularity and persisted as a replayable `FUZZ_CASE_*.json`
+//! item granularity and persisted as a replayable `FUZZ_CASE_*.json`
 //! holding nothing but seeds and configuration — see [`FuzzCase`]. The
 //! `fuzz` binary in `lbr-bench` drives [`run_campaign`] from the command
 //! line and `--replay`s case files; ci.sh runs a bounded campaign as a
@@ -25,8 +26,8 @@ mod case;
 mod run;
 mod shrink;
 
-pub use case::{bugset_by_name, FuzzCase};
-pub use run::{class_names, subprogram, CaseOutcome, Harness, COST_SECS};
+pub use case::{bugset_by_name, stack_bugset_by_name, FuzzCase};
+pub use run::{class_names, item_names, subprogram, CaseOutcome, Harness, COST_SECS};
 pub use shrink::shrink_case;
 
 use std::io;
@@ -47,6 +48,10 @@ pub struct CampaignConfig {
     pub max_cases: Option<u64>,
     /// Arm the intentionally-broken oracle progression (self-test).
     pub break_oracle: bool,
+    /// Mix stackvm cases into the stream (progression P12: roughly one
+    /// case in three runs the second frontend through the identical
+    /// generic progression body). `fuzz --no-stackvm` turns it off.
+    pub stackvm: bool,
     /// Where `FUZZ_CASE_*.json` files for violations are written.
     pub out_dir: PathBuf,
     /// Print per-violation and progress lines to stderr.
@@ -90,7 +95,12 @@ pub fn run_campaign(config: &CampaignConfig, harness: &Harness) -> io::Result<Ca
         } else if summary.cases_run >= config.min_cases && started.elapsed() >= config.budget {
             break;
         }
-        let case = FuzzCase::sampled(config.master_seed, index, config.break_oracle);
+        let case = FuzzCase::sampled_any(
+            config.master_seed,
+            index,
+            config.break_oracle,
+            config.stackvm,
+        );
         index += 1;
         let outcome = harness.run_case(&case, true);
         if outcome.skipped {

@@ -24,19 +24,25 @@
 //!   bytes, calls, trace), and on the case's logical model the two
 //!   solvers return the same SAT verdict, the same lex-least model, and
 //!   the same model count.
+//!
+//! The progression suite itself is generic over [`Input`], so the stackvm
+//! frontend (progression P12) runs the exact same body — only the
+//! frontend-specific pieces (parse, oracle, model build) differ, and the
+//! broken-oracle self-test (P9) stays classfile-only.
 
 use crate::case::FuzzCase;
-use lbr_classfile::{verify_program, write_program, Program};
+use lbr_classfile::{verify_program, Program};
 use lbr_cluster::{run_worker, ClusterServer, WorkerOptions};
-use lbr_core::{EngineChoice, TestOutcome};
+use lbr_core::{EngineChoice, Input, InputOracle, TestOutcome};
 use lbr_decompiler::DecompilerOracle;
 use lbr_jreduce::{
     build_model, check_report, ReductionReport, ReductionSession, RunOptions, Strategy,
 };
-use lbr_logic::{count_models, CdclEngine, CountSession, MsaStrategy, Var, VarSet};
+use lbr_logic::{count_models, CdclEngine, Cnf, CountSession, MsaStrategy, Var, VarSet};
 use lbr_service::{
     namespace_digest, Client, Daemon, DaemonConfig, FaultPlan, Json, PersistentOracleCache,
 };
+use lbr_stackvm::{build_stack_model, StackOracle};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,8 +57,12 @@ pub const COST_SECS: f64 = 33.0;
 /// The base session every progression starts from: the paper's reducer at
 /// the service's modeled cost. Progressions differ only in the session
 /// knobs they chain on top (strategy, options, an attached cache).
-fn session<'s>(program: &'s Program, oracle: &'s DecompilerOracle) -> ReductionSession<'s> {
-    ReductionSession::new(program, oracle)
+fn session<'s, I, O>(input: &'s I, oracle: &'s O) -> ReductionSession<'s, I, O>
+where
+    I: Input,
+    O: InputOracle<I>,
+{
+    ReductionSession::new(input, oracle)
         .strategy(Strategy::Logical(MsaStrategy::GreedyClosure))
         .cost_per_call(COST_SECS)
 }
@@ -181,7 +191,26 @@ impl Harness {
     /// invariants. `with_daemon` additionally routes the case through the
     /// service (ignored if the harness has no daemon); the shrinker turns
     /// it off to keep ddmin probes cheap.
+    ///
+    /// Stackvm cases (P12) run the identical generic progression body
+    /// with the stackvm frontend's parser, oracle, and logical model;
+    /// only the broken-oracle self-test (P9) is classfile-specific.
     pub fn run_case(&self, case: &FuzzCase, with_daemon: bool) -> CaseOutcome {
+        if case.format == "stackvm" {
+            let module = case.module();
+            if !module.validate().is_empty() {
+                return CaseOutcome::skipped();
+            }
+            let oracle = StackOracle::new(&module, case.stack_bugs());
+            if !oracle.is_failing() {
+                return CaseOutcome::skipped();
+            }
+            let cnf = build_stack_model(&module)
+                .map(|m| m.cnf)
+                .map_err(|e| e.to_string());
+            return self.run_progressions(case, &module, &oracle, cnf, with_daemon);
+        }
+
         let program = case.program();
         if !verify_program(&program).is_empty() {
             return CaseOutcome::skipped();
@@ -190,11 +219,50 @@ impl Harness {
         if !oracle.is_failing() {
             return CaseOutcome::skipped();
         }
+        let cnf = build_model(&program)
+            .map(|m| m.cnf)
+            .map_err(|e| e.to_string());
+        let mut out = self.run_progressions(case, &program, &oracle, cnf, with_daemon);
 
+        // P9 (armed by `fuzz --break-oracle`): a deliberately lying
+        // predicate that accepts any verifying subprogram. The harness
+        // must catch its result losing the error message — this is the
+        // self-test that proves violations are detected and shrunk.
+        if case.break_oracle {
+            out.progressions += 1;
+            let reduced = broken_oracle_reduce(&program);
+            if !oracle.preserves_failure(&reduced) {
+                out.violations.push(format!(
+                    "I1 broken-oracle: result ({} classes) loses the error message",
+                    reduced.len()
+                ));
+            }
+        }
+
+        out
+    }
+
+    /// The format-generic progression body: P0–P8 plus the CDCL (P10)
+    /// and cluster (P11) replays, cross-checked under I1–I8. `cnf` is
+    /// the frontend's logical model for the direct solver-agreement leg
+    /// of I8 (an `Err` is itself a violation — the input verified, so
+    /// the model must build).
+    fn run_progressions<I, O>(
+        &self,
+        case: &FuzzCase,
+        input: &I,
+        oracle: &O,
+        cnf: Result<Cnf, String>,
+        with_daemon: bool,
+    ) -> CaseOutcome
+    where
+        I: Input,
+        O: InputOracle<I>,
+    {
         let mut out = CaseOutcome::default();
 
         // P0: the reference — GBR over the logical model, default options.
-        let reference = match session(&program, &oracle).run() {
+        let reference = match session(input, oracle).run() {
             Ok(report) => report,
             Err(e) => {
                 out.violations.push(format!("reference run failed: {e}"));
@@ -219,16 +287,16 @@ impl Harness {
             ),
         ];
         for (tag, options) in identical {
-            self.identical_to(case, &reference, tag, &options, &mut out);
+            self.identical_to(input, oracle, &reference, tag, &options, &mut out);
         }
 
         // P10 (I8): the CDCL engine — bit-identical session replay plus
         // direct solver agreement on the case's logical model.
-        self.cdcl_progression(case, &program, &reference, &mut out);
+        self.cdcl_progression(input, oracle, &cnf, &reference, &mut out);
 
         // P3: the DPLL-conditioned MSA strategy — its own sound result
         // (a different search, so no bit-identity with the reference).
-        match session(&program, &oracle)
+        match session(input, oracle)
             .strategy(Strategy::Logical(MsaStrategy::DpllMinimize))
             .run()
         {
@@ -242,10 +310,7 @@ impl Harness {
         }
 
         // P4: the ddmin baseline — sound, and never beaten by GBR (I5).
-        match session(&program, &oracle)
-            .strategy(Strategy::DdminItems)
-            .run()
-        {
+        match session(input, oracle).strategy(Strategy::DdminItems).run() {
             Ok(report) => {
                 out.progressions += 1;
                 soundness("I1-I3 ddmin-items", &report, &mut out.violations);
@@ -268,11 +333,11 @@ impl Harness {
         }
 
         // P5+P6: cold persistent cache, then the same cache re-opened warm.
-        self.cache_progressions(case, &program, &oracle, &reference, &mut out);
+        self.cache_progressions(case, input, oracle, &reference, &mut out);
 
         // P7: a cache with injected I/O faults must degrade to misses,
         // never to a different result.
-        self.faulty_cache_progression(case, &program, &oracle, &reference, &mut out);
+        self.faulty_cache_progression(case, input, oracle, &reference, &mut out);
 
         // P8: the daemon path — submit the container, compare the result
         // file bit for bit.
@@ -283,7 +348,7 @@ impl Harness {
                     "daemon",
                     0,
                     case,
-                    &program,
+                    input,
                     &reference,
                     &mut out,
                 );
@@ -299,25 +364,10 @@ impl Harness {
                     "cluster",
                     CLUSTER_LATENCY_MICROS,
                     case,
-                    &program,
+                    input,
                     &reference,
                     &mut out,
                 );
-            }
-        }
-
-        // P9 (armed by `fuzz --break-oracle`): a deliberately lying
-        // predicate that accepts any verifying subprogram. The harness
-        // must catch its result losing the error message — this is the
-        // self-test that proves violations are detected and shrunk.
-        if case.break_oracle {
-            out.progressions += 1;
-            let reduced = broken_oracle_reduce(&program);
-            if !oracle.preserves_failure(&reduced) {
-                out.violations.push(format!(
-                    "I1 broken-oracle: result ({} classes) loses the error message",
-                    reduced.len()
-                ));
             }
         }
 
@@ -326,17 +376,19 @@ impl Harness {
 
     /// Re-runs the reference strategy under different `options` and
     /// asserts bit-identity (I4).
-    fn identical_to(
+    fn identical_to<I, O>(
         &self,
-        case: &FuzzCase,
-        reference: &ReductionReport,
+        input: &I,
+        oracle: &O,
+        reference: &ReductionReport<I>,
         tag: &str,
         options: &RunOptions,
         out: &mut CaseOutcome,
-    ) {
-        let program = case.program();
-        let oracle = DecompilerOracle::new(&program, case.bugs());
-        match session(&program, &oracle).options(*options).run() {
+    ) where
+        I: Input,
+        O: InputOracle<I>,
+    {
+        match session(input, oracle).options(*options).run() {
             Ok(report) => {
                 out.progressions += 1;
                 diff_reports("I4", tag, reference, &report, &mut out.violations);
@@ -351,19 +403,22 @@ impl Harness {
     /// case's logical model the two solvers must agree directly — same
     /// SAT verdict, same model, same model count (with and without CDCL
     /// component probes).
-    fn cdcl_progression(
+    fn cdcl_progression<I, O>(
         &self,
-        case: &FuzzCase,
-        program: &Program,
-        reference: &ReductionReport,
+        input: &I,
+        oracle: &O,
+        cnf: &Result<Cnf, String>,
+        reference: &ReductionReport<I>,
         out: &mut CaseOutcome,
-    ) {
-        let oracle = DecompilerOracle::new(program, case.bugs());
+    ) where
+        I: Input,
+        O: InputOracle<I>,
+    {
         let options = RunOptions {
             engine: EngineChoice::Cdcl,
             ..RunOptions::default()
         };
-        match session(program, &oracle).options(options).run() {
+        match session(input, oracle).options(options).run() {
             Ok(report) => {
                 out.progressions += 1;
                 if !report.strategy.ends_with("+cdcl") {
@@ -376,16 +431,16 @@ impl Harness {
             }
             Err(e) => out.violations.push(format!("cdcl-engine run failed: {e}")),
         }
-        let model = match build_model(program) {
-            Ok(model) => model,
+        let cnf = match cnf {
+            Ok(cnf) => cnf,
             Err(e) => {
                 out.violations.push(format!("I8: model build failed: {e}"));
                 return;
             }
         };
-        let order = lbr_core::closure_size_order(&model.cnf);
-        let dpll = lbr_logic::dpll::solve(&model.cnf, &order);
-        let mut engine = CdclEngine::new(&model.cnf, model.cnf.num_vars());
+        let order = lbr_core::closure_size_order(cnf);
+        let dpll = lbr_logic::dpll::solve(cnf, &order);
+        let mut engine = CdclEngine::new(cnf, cnf.num_vars());
         let cdcl = engine.solve(&order, &[]);
         if dpll != cdcl {
             out.violations.push(format!(
@@ -396,9 +451,9 @@ impl Harness {
         // Model-count agreement only on small formulas: the counter's u128
         // total overflows past 2^128 models, and counting is exponential in
         // the worst case, so large cases would also blow the time budget.
-        if model.cnf.num_vars() <= 64 {
-            let plain = count_models(&model.cnf);
-            let probed = CountSession::new().with_cdcl_probes(true).count(&model.cnf);
+        if cnf.num_vars() <= 64 {
+            let plain = count_models(cnf);
+            let probed = CountSession::new().with_cdcl_probes(true).count(cnf);
             if plain != probed {
                 out.violations.push(format!(
                     "I8: model counts disagree (plain {plain}, cdcl-probed {probed})"
@@ -407,21 +462,24 @@ impl Harness {
         }
     }
 
-    fn cache_progressions(
+    fn cache_progressions<I, O>(
         &self,
         case: &FuzzCase,
-        program: &Program,
-        oracle: &DecompilerOracle,
-        reference: &ReductionReport,
+        input: &I,
+        oracle: &O,
+        reference: &ReductionReport<I>,
         out: &mut CaseOutcome,
-    ) {
+    ) where
+        I: Input,
+        O: InputOracle<I>,
+    {
         let path = self
             .scratch
             .join(format!("cache-{:016x}-{}", case.master_seed, case.index));
-        let namespace = namespace_digest(&case.decompiler, &write_program(program));
+        let namespace = namespace_digest(&case.decompiler, &input.to_bytes());
         let run_with_cache = |cache: &PersistentOracleCache| {
             let scoped = cache.namespaced(namespace);
-            session(program, oracle).cache(&scoped).run()
+            session(input, oracle).cache(&scoped).run()
         };
         let cold_cache = match PersistentOracleCache::open(&path) {
             Ok(cache) => cache,
@@ -462,14 +520,17 @@ impl Harness {
         let _ = std::fs::remove_file(&path);
     }
 
-    fn faulty_cache_progression(
+    fn faulty_cache_progression<I, O>(
         &self,
         case: &FuzzCase,
-        program: &Program,
-        oracle: &DecompilerOracle,
-        reference: &ReductionReport,
+        input: &I,
+        oracle: &O,
+        reference: &ReductionReport<I>,
         out: &mut CaseOutcome,
-    ) {
+    ) where
+        I: Input,
+        O: InputOracle<I>,
+    {
         let path = self
             .scratch
             .join(format!("faulty-{:016x}-{}", case.master_seed, case.index));
@@ -485,9 +546,9 @@ impl Harness {
             rate: 0.4,
             seed: FuzzCase::case_seed(case.master_seed, case.index) ^ 0xFA_17,
         });
-        let namespace = namespace_digest(&case.decompiler, &write_program(program));
+        let namespace = namespace_digest(&case.decompiler, &input.to_bytes());
         let scoped = cache.namespaced(namespace);
-        match session(program, oracle).cache(&scoped).run() {
+        match session(input, oracle).cache(&scoped).run() {
             Ok(report) => {
                 out.progressions += 1;
                 diff_reports(
@@ -509,31 +570,33 @@ impl Harness {
     /// the single-host daemon (`tag = "daemon"`, zero latency) and the
     /// clustered coordinator (`tag = "cluster"`, enough modeled probe
     /// latency that the TCP worker actually participates) go through
-    /// here.
+    /// here; the job spec carries the case's format tag so the daemon
+    /// picks the matching frontend.
     #[allow(clippy::too_many_arguments)]
-    fn service_progression(
+    fn service_progression<I: Input>(
         &self,
         client: &Client,
         tag: &str,
         latency_micros: u64,
         case: &FuzzCase,
-        program: &Program,
-        reference: &ReductionReport,
+        input: &I,
+        reference: &ReductionReport<I>,
         out: &mut CaseOutcome,
     ) {
         let job = self.job_counter.get();
         self.job_counter.set(job + 1);
-        let input = self.scratch.join(format!("job-{job}.lbrc"));
+        let input_path = self.scratch.join(format!("job-{job}.lbrc"));
         let output = self.scratch.join(format!("job-{job}-out.lbrc"));
-        if let Err(e) = std::fs::write(&input, write_program(program)) {
+        if let Err(e) = std::fs::write(&input_path, input.to_bytes()) {
             out.violations
                 .push(format!("{tag} input write failed: {e}"));
             return;
         }
         let mut fields = vec![
-            ("input", Json::str(input.display().to_string())),
+            ("input", Json::str(input_path.display().to_string())),
             ("output", Json::str(output.display().to_string())),
             ("decompiler", Json::str(&case.decompiler)),
+            ("format", Json::str(I::FORMAT)),
         ];
         if latency_micros > 0 {
             fields.push(("probe_latency_micros", Json::count(latency_micros)));
@@ -572,11 +635,11 @@ impl Harness {
             ));
         }
         match std::fs::read(&output) {
-            Ok(bytes) if bytes == write_program(&reference.reduced) => {}
+            Ok(bytes) if bytes == reference.reduced.to_bytes() => {}
             Ok(_) => v.push(format!("I4 {tag}: output bytes differ from the reference")),
             Err(e) => v.push(format!("{tag} output unreadable: {e}")),
         }
-        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&input_path);
         let _ = std::fs::remove_file(&output);
     }
 }
@@ -603,6 +666,23 @@ impl Drop for Harness {
 /// The sorted class names of a program.
 pub fn class_names(program: &Program) -> Vec<String> {
     program.names().map(str::to_string).collect()
+}
+
+/// The shrinkable item names of a case's input: class names for a
+/// classfile case, function and global names for a stackvm case. These
+/// are the atoms the shrinker's ddmin deletes (via `keep_classes`).
+pub fn item_names(case: &FuzzCase) -> Vec<String> {
+    if case.format == "stackvm" {
+        let module = case.module();
+        module
+            .functions
+            .iter()
+            .map(|f| f.name.clone())
+            .chain(module.globals.iter().map(|g| g.name.clone()))
+            .collect()
+    } else {
+        class_names(&case.program())
+    }
 }
 
 /// The subprogram keeping exactly the classes of `names` selected by
@@ -641,7 +721,7 @@ fn broken_oracle_reduce(program: &Program) -> Program {
 /// Appends a violation for every invariant of [`check_report`] the report
 /// breaks (I1: error preserved, I2: verifies + binary round trip, I3: not
 /// grown).
-fn soundness(tag: &str, report: &ReductionReport, violations: &mut Vec<String>) {
+fn soundness<I: Input>(tag: &str, report: &ReductionReport<I>, violations: &mut Vec<String>) {
     if let Err(e) = check_report(report) {
         violations.push(format!("{tag}: {e}"));
     }
@@ -651,14 +731,14 @@ fn soundness(tag: &str, report: &ReductionReport, violations: &mut Vec<String>) 
 /// progressions, I8 for the CDCL engine) wherever `report` differs from
 /// `reference` in result bytes, predicate calls, or the deterministic
 /// probe trace.
-fn diff_reports(
+fn diff_reports<I: Input>(
     inv: &str,
     tag: &str,
-    reference: &ReductionReport,
-    report: &ReductionReport,
+    reference: &ReductionReport<I>,
+    report: &ReductionReport<I>,
     violations: &mut Vec<String>,
 ) {
-    if write_program(&report.reduced) != write_program(&reference.reduced) {
+    if report.reduced.to_bytes() != reference.reduced.to_bytes() {
         violations.push(format!(
             "{inv} {tag}: reduced bytes differ from the reference"
         ));

@@ -1,30 +1,30 @@
-//! Shrinking violating cases with our own ddmin, at class granularity.
+//! Shrinking violating cases with our own ddmin, at item granularity.
 //!
-//! When a case violates an invariant, the whole generated program is
+//! When a case violates an invariant, the whole generated input is
 //! rarely needed to reproduce it. The shrinker runs [`lbr_core::ddmin`]
-//! over the program's class names; each probe re-runs the full in-process
-//! progression suite (the daemon path is skipped — its core code is
-//! already covered by the resumable-cache progressions) and counts as
-//! *failing* exactly when some invariant still breaks. Subsets that no
-//! longer verify or no longer trigger the oracle are `Unresolved`, so the
-//! result is always a valid, still-violating case — stored as a
-//! `keep_classes` restriction on the original seeds, which is what makes
-//! the shrunk `FUZZ_CASE_*.json` replayable.
+//! over the input's item names — class names for classfile cases,
+//! function and global names for stackvm cases; each probe re-runs the
+//! full in-process progression suite (the daemon path is skipped — its
+//! core code is already covered by the resumable-cache progressions) and
+//! counts as *failing* exactly when some invariant still breaks. Subsets
+//! that no longer verify or no longer trigger the oracle are
+//! `Unresolved`, so the result is always a valid, still-violating case —
+//! stored as a `keep_classes` restriction on the original seeds, which
+//! is what makes the shrunk `FUZZ_CASE_*.json` replayable.
 
 use crate::case::FuzzCase;
-use crate::run::{class_names, Harness};
+use crate::run::{item_names, Harness};
 use lbr_core::TestOutcome;
 use lbr_logic::{Var, VarSet};
 
-/// Shrinks a violating `case` to a minimal still-violating class subset.
+/// Shrinks a violating `case` to a minimal still-violating item subset.
 ///
 /// Returns the shrunk case with `keep_classes` set and `violation`
 /// recording the surviving violation. If the violation does not reproduce
 /// in-process (e.g. it was daemon-specific), the original case is
 /// returned unshrunk with the given `violation` message attached.
 pub fn shrink_case(case: &FuzzCase, harness: &Harness, violation: &str) -> FuzzCase {
-    let program = case.program();
-    let names = class_names(&program);
+    let names = item_names(case);
     let universe = names.len();
     let atoms: Vec<VarSet> = (0..universe)
         .map(|i| VarSet::from_iter_with_universe(universe, [Var::new(i as u32)]))

@@ -1,19 +1,20 @@
-//! The bytecode reduction pipeline of *Logical Bytecode Reduction*.
+//! The format-agnostic reduction pipeline of *Logical Bytecode
+//! Reduction*.
 //!
-//! This crate ties the substrates together into the paper's tool:
+//! This crate ties the substrates together into the paper's tool,
+//! generically over any [`lbr_core::Input`] frontend (the classfile
+//! format in [`lbr_classfile`], the stack-machine bytecode in
+//! `lbr_stackvm`, ...):
 //!
-//! * [`Item`] / [`ItemRegistry`] — the **11 kinds of reducible items**
-//!   (classes, interfaces, superclass / implements / interface-extends
-//!   relations, fields, methods, method bodies, constructors, constructor
-//!   bodies, signatures),
-//! * [`build_model`] — the logical dependency model: syntactic,
-//!   referential, and non-referential (`mAny`, obligations, reflection
-//!   approximation) constraints generated by replaying the verifier,
-//! * [`reduce_program`] — the item-level reducer (the bytecode Figure 5),
-//! * [`ClassGraph`] — the class-granularity model of the J-Reduce
-//!   baseline,
-//! * [`run_reduction`] — drivers for the four evaluated strategies
-//!   ([`Strategy`]).
+//! * [`run_reduction`] — drivers for the evaluated strategies
+//!   ([`Strategy`]), all generic over the input format,
+//! * [`ReductionSession`] — the builder the daemon, cluster, bins, and
+//!   fuzzer configure runs through.
+//!
+//! The classfile frontend's model pieces ([`Item`] / [`ItemRegistry`],
+//! [`build_model`], [`reduce_program`], [`ClassGraph`]) now live in
+//! [`lbr_classfile`] behind the [`lbr_core::Input`] trait; they are
+//! re-exported here for compatibility.
 //!
 //! # Example
 //!
@@ -36,20 +37,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod classgraph;
-mod item;
-mod model;
 mod pipeline;
-mod reducer;
 mod session;
 
-pub use classgraph::ClassGraph;
-pub use item::{Item, ItemRegistry};
-pub use model::{build_model, supertype_paths, LogicalModel, ModelError, ModelStats};
+pub use lbr_classfile::{
+    build_model, reduce_program, supertype_paths, ClassGraph, Item, ItemRegistry, LogicalModel,
+    ModelError,
+};
+pub use lbr_core::ModelStats;
 pub use pipeline::{
     check_report, run_logical_resumable, run_per_error, run_per_error_with, run_reduction,
     run_reduction_with, CandidateProbe, OrderChoice, PerErrorReport, PipelineError,
     ReductionReport, RunOptions, ServiceHooks, SizeMetrics, Strategy,
 };
-pub use reducer::reduce_program;
 pub use session::ReductionSession;

@@ -5,19 +5,22 @@
 //!
 //! * [`Strategy::Logical`] — the paper's tool: the full logical model plus
 //!   Generalized Binary Reduction,
-//! * [`Strategy::JReduce`] — the baseline: the class-mention graph plus
-//!   Binary Reduction over closures,
+//! * [`Strategy::JReduce`] — the baseline: the coarse unit-mention graph
+//!   plus Binary Reduction over closures,
 //! * [`Strategy::Lossy`] — the logical model lossily encoded into graph
 //!   constraints (two variants), reduced with Binary Reduction,
 //! * [`Strategy::DdminItems`] — ddmin at item granularity with a validity
 //!   filter (the ablation showing why plain ddmin disappoints).
 //!
-//! The stages live in submodules — [`logical`] (GBR with service hooks),
-//! [`baselines`] (J-Reduce, lossy, ddmin), [`per_error`] (the per-error
-//! sweep) — all built on the [`probe`] module's candidate probe and the
-//! `lbr-core` oracle middleware stack. This module owns the shared
-//! vocabulary ([`Strategy`], [`RunOptions`], [`ReductionReport`]) and the
-//! dispatch; the ergonomic front door is
+//! Every driver is generic over the input format: an [`Input`] frontend
+//! supplies the logical and coarse models, and an [`InputOracle`]
+//! supplies the failure predicate. The stages live in submodules —
+//! [`logical`] (GBR with service hooks), [`baselines`] (J-Reduce, lossy,
+//! ddmin), [`per_error`] (the per-error sweep) — all built on the
+//! [`probe`] module's candidate probe and the `lbr-core` oracle
+//! middleware stack. This module owns the shared vocabulary
+//! ([`Strategy`], [`RunOptions`], [`ReductionReport`]) and the dispatch;
+//! the ergonomic front door is
 //! [`ReductionSession`](crate::ReductionSession).
 
 mod baselines;
@@ -31,13 +34,11 @@ pub use logical::ServiceHooks;
 pub use per_error::PerErrorReport;
 pub use probe::CandidateProbe;
 
-use crate::model::{ModelError, ModelStats};
-use lbr_classfile::{program_byte_size, Program};
+use lbr_classfile::Program;
 use lbr_core::{
-    BinaryReductionError, EngineChoice, GbrError, LossyPick, ProbeStats, PropagationMode,
-    ReductionTrace,
+    BinaryReductionError, EngineChoice, GbrError, Input, InputOracle, LossyPick, ModelStats,
+    ProbeStats, PropagationMode, ReductionTrace,
 };
-use lbr_decompiler::DecompilerOracle;
 use lbr_logic::MsaStrategy;
 use probe::{OrderKind, RunParts};
 use std::time::Instant;
@@ -55,7 +56,7 @@ pub enum Strategy {
     /// ([`lbr_core::minimize_solution`]): extra tool runs for a possibly
     /// smaller output.
     LogicalMinimized,
-    /// The J-Reduce baseline: class graph + Binary Reduction.
+    /// The J-Reduce baseline: coarse unit graph + Binary Reduction.
     JReduce,
     /// A lossy encoding of the logical model + Binary Reduction.
     Lossy(LossyPick),
@@ -176,28 +177,29 @@ impl RunOptions {
     }
 }
 
-/// Size metrics of a program.
+/// Size metrics of an input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeMetrics {
-    /// Number of classes (including interfaces).
+    /// Number of top-level units (classes including interfaces for the
+    /// classfile format; functions for stackvm).
     pub classes: usize,
     /// Serialized size in bytes.
     pub bytes: usize,
 }
 
 impl SizeMetrics {
-    /// Measures a program.
-    pub fn of(program: &Program) -> Self {
+    /// Measures an input.
+    pub fn of<I: Input>(input: &I) -> Self {
         SizeMetrics {
-            classes: program.len(),
-            bytes: program_byte_size(program),
+            classes: input.unit_count(),
+            bytes: input.byte_size(),
         }
     }
 }
 
 /// The outcome of one reduction run.
 #[derive(Debug, Clone)]
-pub struct ReductionReport {
+pub struct ReductionReport<I = Program> {
     /// Strategy name.
     pub strategy: String,
     /// Input sizes.
@@ -221,22 +223,22 @@ pub struct ReductionReport {
     pub trace: ReductionTrace,
     /// Model statistics, when a logical model was built.
     pub model_stats: Option<ModelStats>,
-    /// The reduced program.
-    pub reduced: Program,
-    /// Whether the reduced program still produces the full error message.
+    /// The reduced input.
+    pub reduced: I,
+    /// Whether the reduced input still produces the full error message.
     pub errors_preserved: bool,
-    /// Whether the reduced program still verifies.
+    /// Whether the reduced input still verifies.
     pub still_valid: bool,
 }
 
-impl ReductionReport {
+impl<I> ReductionReport<I> {
     /// Final size relative to the input, in bytes (the paper's headline
     /// 4.6% vs 24.3%).
     pub fn relative_bytes(&self) -> f64 {
         self.final_metrics.bytes as f64 / self.initial.bytes.max(1) as f64
     }
 
-    /// Final size relative to the input, in classes.
+    /// Final size relative to the input, in top-level units.
     pub fn relative_classes(&self) -> f64 {
         self.final_metrics.classes as f64 / self.initial.classes.max(1) as f64
     }
@@ -251,15 +253,36 @@ impl ReductionReport {
     pub fn cache_misses(&self) -> u64 {
         self.probe_stats.memo_misses
     }
+
+    /// Re-types the reduced payload — e.g. serializing it with
+    /// [`Input::to_bytes`] so callers can handle reports from different
+    /// input formats uniformly.
+    pub fn map_reduced<J>(self, f: impl FnOnce(I) -> J) -> ReductionReport<J> {
+        ReductionReport {
+            strategy: self.strategy,
+            initial: self.initial,
+            final_metrics: self.final_metrics,
+            predicate_calls: self.predicate_calls,
+            probe_stats: self.probe_stats,
+            wall_secs: self.wall_secs,
+            modeled_secs: self.modeled_secs,
+            trace: self.trace,
+            model_stats: self.model_stats,
+            reduced: f(self.reduced),
+            errors_preserved: self.errors_preserved,
+            still_valid: self.still_valid,
+        }
+    }
 }
 
 /// Why a pipeline run failed.
 #[derive(Debug)]
 pub enum PipelineError {
-    /// The input does not trigger the decompiler's bugs.
+    /// The input does not trigger the tool's bugs.
     NotFailing,
-    /// The input does not verify, so no model can be built.
-    Model(ModelError),
+    /// The input does not verify, so no model can be built (the
+    /// frontend's message).
+    Model(String),
     /// GBR failed (see [`GbrError`]).
     Gbr(GbrError),
     /// Binary Reduction failed.
@@ -282,9 +305,9 @@ impl std::fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
-impl From<ModelError> for PipelineError {
-    fn from(e: ModelError) -> Self {
-        PipelineError::Model(e)
+impl From<lbr_classfile::ModelError> for PipelineError {
+    fn from(e: lbr_classfile::ModelError) -> Self {
+        PipelineError::Model(e.to_string())
     }
 }
 
@@ -309,14 +332,14 @@ impl From<BinaryReductionError> for PipelineError {
 /// # Errors
 ///
 /// See [`PipelineError`].
-pub fn run_reduction(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub fn run_reduction<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     strategy: Strategy,
     cost_per_call_secs: f64,
-) -> Result<ReductionReport, PipelineError> {
+) -> Result<ReductionReport<I>, PipelineError> {
     run_reduction_with(
-        program,
+        input,
         oracle,
         strategy,
         cost_per_call_secs,
@@ -331,15 +354,15 @@ pub fn run_reduction(
 /// # Errors
 ///
 /// See [`PipelineError`].
-pub fn run_reduction_with(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub fn run_reduction_with<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     strategy: Strategy,
     cost_per_call_secs: f64,
     options: &RunOptions,
-) -> Result<ReductionReport, PipelineError> {
+) -> Result<ReductionReport<I>, PipelineError> {
     dispatch(
-        program,
+        input,
         oracle,
         strategy,
         cost_per_call_secs,
@@ -357,16 +380,16 @@ pub fn run_reduction_with(
 ///
 /// See [`PipelineError`]; a fired cancellation hook surfaces as
 /// [`PipelineError::Gbr`]([`GbrError::Cancelled`]).
-pub fn run_logical_resumable(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub fn run_logical_resumable<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     msa: MsaStrategy,
     cost_per_call_secs: f64,
     options: &RunOptions,
     hooks: ServiceHooks<'_>,
-) -> Result<ReductionReport, PipelineError> {
+) -> Result<ReductionReport<I>, PipelineError> {
     dispatch(
-        program,
+        input,
         oracle,
         Strategy::Logical(msa),
         cost_per_call_secs,
@@ -379,23 +402,23 @@ pub fn run_logical_resumable(
 /// actually fails, run the strategy's stage, assemble the report.
 /// [`ServiceHooks`] apply to the GBR-based logical strategies; the other
 /// stages have no pending-probe tree or resumable loop and ignore them.
-pub(crate) fn dispatch(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub(crate) fn dispatch<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     strategy: Strategy,
     cost_per_call_secs: f64,
     options: &RunOptions,
     hooks: ServiceHooks<'_>,
-) -> Result<ReductionReport, PipelineError> {
+) -> Result<ReductionReport<I>, PipelineError> {
     if !oracle.is_failing() {
         return Err(PipelineError::NotFailing);
     }
     let start = Instant::now();
-    let initial = SizeMetrics::of(program);
+    let initial = SizeMetrics::of(input);
     let cost = cost_per_call_secs;
     let parts = match strategy {
         Strategy::Logical(msa) => logical::run_hooked(
-            program,
+            input,
             oracle,
             msa,
             OrderKind::ClosureSize,
@@ -404,7 +427,7 @@ pub(crate) fn dispatch(
             hooks,
         )?,
         Strategy::LogicalNaturalOrder => logical::run_hooked(
-            program,
+            input,
             oracle,
             MsaStrategy::GreedyClosure,
             OrderKind::Natural,
@@ -412,10 +435,10 @@ pub(crate) fn dispatch(
             options,
             hooks,
         )?,
-        Strategy::LogicalMinimized => logical::run_minimized(program, oracle, cost, options)?,
-        Strategy::JReduce => baselines::run_jreduce(program, oracle, cost, options)?,
-        Strategy::Lossy(pick) => baselines::run_lossy(program, oracle, pick, cost, options)?,
-        Strategy::DdminItems => baselines::run_ddmin(program, oracle, cost, options)?,
+        Strategy::LogicalMinimized => logical::run_minimized(input, oracle, cost, options)?,
+        Strategy::JReduce => baselines::run_jreduce(input, oracle, cost, options)?,
+        Strategy::Lossy(pick) => baselines::run_lossy(input, oracle, pick, cost, options)?,
+        Strategy::DdminItems => baselines::run_ddmin(input, oracle, cost, options)?,
     };
     let RunParts {
         reduced,
@@ -425,7 +448,7 @@ pub(crate) fn dispatch(
         probe_stats,
     } = parts;
     let errors_preserved = oracle.preserves_failure(&reduced);
-    let still_valid = lbr_classfile::verify_program(&reduced).is_empty();
+    let still_valid = reduced.validate().is_empty();
     Ok(ReductionReport {
         strategy: strategy_label(strategy, options),
         initial,
@@ -471,7 +494,7 @@ fn strategy_label(strategy: Strategy, options: &RunOptions) -> String {
 ///
 /// All searches run against the same instance and differ only in which
 /// error they look for, so the expensive part of every probe — building
-/// the candidate program and collecting its error set — is shared through
+/// the candidate input and collecting its error set — is shared through
 /// one cache keyed by keep-set. The first search pays for its probes; the
 /// later searches re-probe many of the same subsets (every search starts
 /// from the same `D₀`) and get them for free.
@@ -479,12 +502,12 @@ fn strategy_label(strategy: Strategy, options: &RunOptions) -> String {
 /// # Errors
 ///
 /// See [`PipelineError`].
-pub fn run_per_error(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub fn run_per_error<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     cost_per_call_secs: f64,
 ) -> Result<PerErrorReport, PipelineError> {
-    run_per_error_with(program, oracle, cost_per_call_secs, &RunOptions::default())
+    run_per_error_with(input, oracle, cost_per_call_secs, &RunOptions::default())
 }
 
 /// Like [`run_per_error`], with explicit performance [`RunOptions`].
@@ -499,37 +522,53 @@ pub fn run_per_error(
 /// # Errors
 ///
 /// See [`PipelineError`].
-pub fn run_per_error_with(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub fn run_per_error_with<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     cost_per_call_secs: f64,
     options: &RunOptions,
 ) -> Result<PerErrorReport, PipelineError> {
-    per_error::run_sweep(program, oracle, cost_per_call_secs, options)
+    per_error::run_sweep(input, oracle, cost_per_call_secs, options)
 }
 
 /// Convenience: run a strategy and panic-free assert the soundness bits
 /// every run must satisfy (used by tests, the binaries, and the fuzzing
 /// harness): error preserved, still verifying, not grown, and — because a
-/// result is ultimately a *file* — the reduced program must survive a
-/// binary round trip (serialize → parse → equal → verify).
-pub fn check_report(report: &ReductionReport) -> Result<(), String> {
+/// result is ultimately a *file* — the reduced input must survive a
+/// round trip through the format's own serializer (serialize → parse →
+/// equal → verify), frontend-agnostically via the [`Input`] trait.
+pub fn check_report<I: Input>(report: &ReductionReport<I>) -> Result<(), String> {
     if !report.errors_preserved {
         return Err(format!(
-            "{}: reduced program lost the error message",
+            "{}: reduced input lost the error message",
             report.strategy
         ));
     }
     if !report.still_valid {
         return Err(format!(
-            "{}: reduced program does not verify",
+            "{}: reduced input does not verify",
             report.strategy
         ));
     }
     if report.final_metrics.bytes > report.initial.bytes {
         return Err(format!("{}: reduction grew the input", report.strategy));
     }
-    lbr_classfile::round_trip_verify(&report.reduced)
-        .map_err(|e| format!("{}: round-trip check failed: {e}", report.strategy))?;
+    let bytes = report.reduced.to_bytes();
+    let back = I::from_bytes(&bytes)
+        .map_err(|e| format!("{}: round-trip re-parse failed: {e}", report.strategy))?;
+    if back != report.reduced {
+        return Err(format!(
+            "{}: round trip changed the reduced input",
+            report.strategy
+        ));
+    }
+    let errors = back.validate();
+    if !errors.is_empty() {
+        return Err(format!(
+            "{}: round-tripped input does not verify: {}",
+            report.strategy,
+            errors.join("; ")
+        ));
+    }
     Ok(())
 }

@@ -1,32 +1,28 @@
-//! The evaluated baselines: J-Reduce's class-graph Binary Reduction, the
-//! lossy graph encodings, and validity-filtered ddmin.
+//! The evaluated baselines: J-Reduce-style coarse-graph Binary
+//! Reduction, the lossy graph encodings, and validity-filtered ddmin —
+//! all generic over the input format via [`Input`]'s models.
 
-use crate::classgraph::ClassGraph;
-use crate::model::build_model;
 use crate::pipeline::probe::{wrap_oracle, CandidateProbe, RunParts};
 use crate::pipeline::{PipelineError, RunOptions};
-use crate::reducer::reduce_program;
-use lbr_classfile::Program;
 use lbr_core::{
-    binary_reduction, closure_size_order, ddmin, lossy_graph, ConcurrentPredicate, DepGraph,
-    LatencyLayer, LossyPick, OracleStack, ProbeStats, ReductionTrace, TestOutcome,
+    binary_reduction, closure_size_order, ddmin, lossy_graph, ConcurrentPredicate, DepGraph, Input,
+    InputOracle, LatencyLayer, LossyPick, OracleStack, ProbeStats, ReductionTrace, TestOutcome,
 };
-use lbr_decompiler::DecompilerOracle;
 use lbr_logic::VarSet;
 use std::cell::Cell;
 use std::time::Instant;
 
-/// The J-Reduce baseline: class graph + Binary Reduction over closures.
-pub(crate) fn run_jreduce(
-    program: &Program,
-    oracle: &DecompilerOracle,
+/// The J-Reduce baseline: coarse unit graph + Binary Reduction over
+/// closures.
+pub(crate) fn run_jreduce<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     cost: f64,
     options: &RunOptions,
-) -> Result<RunParts, PipelineError> {
-    let cg = ClassGraph::new(program);
-    let materialize = |keep: &VarSet| cg.subset_program(program, keep);
+) -> Result<RunParts<I>, PipelineError> {
+    let coarse = input.coarse_model();
     let base = CandidateProbe {
-        materialize: &materialize,
+        materialize: &*coarse.materialize,
         oracle,
     };
     let latency = LatencyLayer::new(options.probe_latency_micros);
@@ -38,11 +34,11 @@ pub(crate) fn run_jreduce(
         probe.outcome
     };
     let mut wrapped = wrap_oracle(&mut predicate, cost, |_| last_bytes.get(), options);
-    let outcome = binary_reduction(&cg.graph, &mut wrapped)?;
+    let outcome = binary_reduction(&coarse.graph, &mut wrapped)?;
     let calls = wrapped.calls();
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
-    let reduced = cg.subset_program(program, &outcome.solution);
+    let reduced = (coarse.materialize)(&outcome.solution);
     Ok(RunParts {
         reduced,
         calls,
@@ -53,15 +49,15 @@ pub(crate) fn run_jreduce(
 }
 
 /// A lossy encoding of the logical model + Binary Reduction.
-pub(crate) fn run_lossy(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub(crate) fn run_lossy<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     pick: LossyPick,
     cost: f64,
     options: &RunOptions,
-) -> Result<RunParts, PipelineError> {
-    let model = build_model(program)?;
-    let stats = model.stats();
+) -> Result<RunParts<I>, PipelineError> {
+    let model = input.model().map_err(PipelineError::Model)?;
+    let stats = model.stats;
     let order = closure_size_order(&model.cnf);
     let lg = lossy_graph(&model.cnf, &order, pick).ok_or(PipelineError::LossyContradiction)?;
     if !lg.forbidden.is_empty() {
@@ -70,10 +66,8 @@ pub(crate) fn run_lossy(
         return Err(PipelineError::LossyContradiction);
     }
     let graph: DepGraph = lg.graph;
-    let registry = &model.registry;
-    let materialize = |keep: &VarSet| reduce_program(program, registry, keep);
     let base = CandidateProbe {
-        materialize: &materialize,
+        materialize: &*model.materialize,
         oracle,
     };
     let latency = LatencyLayer::new(options.probe_latency_micros);
@@ -89,7 +83,7 @@ pub(crate) fn run_lossy(
     let calls = wrapped.calls();
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
-    let reduced = reduce_program(program, registry, &outcome.solution);
+    let reduced = (model.materialize)(&outcome.solution);
     Ok(RunParts {
         reduced,
         calls,
@@ -101,23 +95,21 @@ pub(crate) fn run_lossy(
 
 /// ddmin over items with a validity filter: invalid candidates answer
 /// "don't know" without running (or counting) a tool invocation.
-pub(crate) fn run_ddmin(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub(crate) fn run_ddmin<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     cost: f64,
     options: &RunOptions,
-) -> Result<RunParts, PipelineError> {
-    let model = build_model(program)?;
-    let stats = model.stats();
-    let registry = &model.registry;
-    let n = registry.len();
+) -> Result<RunParts<I>, PipelineError> {
+    let model = input.model().map_err(PipelineError::Model)?;
+    let stats = model.stats;
+    let n = model.cnf.num_vars();
     let atoms: Vec<VarSet> = (0..n as u32)
         .map(|i| VarSet::from_iter_with_universe(n, [lbr_logic::Var::new(i)]))
         .collect();
     let cnf = &model.cnf;
-    let materialize = |keep: &VarSet| reduce_program(program, registry, keep);
     let base = CandidateProbe {
-        materialize: &materialize,
+        materialize: &*model.materialize,
         oracle,
     };
     let latency = LatencyLayer::new(options.probe_latency_micros);
@@ -144,7 +136,7 @@ pub(crate) fn run_ddmin(
             TestOutcome::Pass
         }
     });
-    let reduced = reduce_program(program, registry, &solution);
+    let reduced = (model.materialize)(&solution);
     Ok(RunParts {
         reduced,
         calls,

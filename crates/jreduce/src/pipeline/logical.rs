@@ -1,21 +1,19 @@
 //! The paper's reducer: logical model + Generalized Binary Reduction,
 //! with optional service hooks (external cache, cancellation,
-//! checkpoint/resume) and the minimization postpass variant.
+//! checkpoint/resume) and the minimization postpass variant. Generic
+//! over the input format: the frontend's [`Input::model`] supplies the
+//! CNF and the solution applier.
 
-use crate::model::{build_model, LogicalModel};
 use crate::pipeline::probe::{wrap_oracle, CandidateProbe, OrderKind, RunParts};
 use crate::pipeline::{OrderChoice, PipelineError, RunOptions};
-use crate::reducer::reduce_program;
-use lbr_classfile::Program;
 use lbr_core::{
     activity_order, closure_size_order, generalized_binary_reduction,
     generalized_binary_reduction_controlled, generalized_binary_reduction_portfolio_controlled,
     generalized_binary_reduction_speculative_controlled, generalized_binary_reduction_with_source,
     history_order, probe_activity, CacheLayer, ConcurrentPredicate, GbrCheckpoint, GbrConfig,
-    GbrControl, Instance, LatencyLayer, OracleStack, ProbeCache, ProbeDistributor, ProbeStats,
-    SpeculationConfig,
+    GbrControl, Input, InputOracle, Instance, LatencyLayer, OracleStack, ProbeCache,
+    ProbeDistributor, ProbeStats, SpeculationConfig,
 };
-use lbr_decompiler::DecompilerOracle;
 use lbr_logic::{MsaStrategy, VarSet};
 use std::cell::Cell;
 
@@ -83,17 +81,17 @@ const ACTIVITY_PROBES: usize = 8;
 /// memo/trace bookkeeping of either the sequential [`lbr_core::Oracle`]
 /// or the speculative scheduler — so cache hits never sleep and memoized
 /// repeats never reach the stack at all.
-pub(crate) fn run_hooked(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub(crate) fn run_hooked<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     msa: MsaStrategy,
     order_kind: OrderKind,
     cost: f64,
     options: &RunOptions,
     mut hooks: ServiceHooks<'_>,
-) -> Result<RunParts, PipelineError> {
-    let model: LogicalModel = build_model(program)?;
-    let stats = model.stats();
+) -> Result<RunParts<I>, PipelineError> {
+    let model = input.model().map_err(PipelineError::Model)?;
+    let stats = model.stats;
     let order = match order_kind {
         OrderKind::ClosureSize => match options.order {
             OrderChoice::Learned => {
@@ -104,7 +102,6 @@ pub(crate) fn run_hooked(
         OrderKind::Natural => lbr_core::natural_order(&model.cnf),
     };
     let instance = Instance::over_all_vars(model.cnf.clone());
-    let registry = &model.registry;
     let config = GbrConfig {
         msa_strategy: msa,
         propagation: options.propagation,
@@ -116,9 +113,8 @@ pub(crate) fn run_hooked(
         checkpoint: hooks.checkpoint.take(),
         resume: hooks.resume.take(),
     };
-    let materialize = |keep: &VarSet| reduce_program(program, registry, keep);
     let base = CandidateProbe {
-        materialize: &materialize,
+        materialize: &*model.materialize,
         oracle,
     };
     let cache_layer = hooks.cache.map(CacheLayer::new);
@@ -170,7 +166,7 @@ pub(crate) fn run_hooked(
             &spec,
             &mut race_control,
         )?;
-        let reduced = reduce_program(program, registry, &race.run.outcome.solution);
+        let reduced = (model.materialize)(&race.run.outcome.solution);
         return Ok(RunParts {
             reduced,
             calls: race.run.stats.useful_calls,
@@ -199,7 +195,7 @@ pub(crate) fn run_hooked(
             &spec,
             &mut control,
         )?;
-        let reduced = reduce_program(program, registry, &run.outcome.solution);
+        let reduced = (model.materialize)(&run.outcome.solution);
         return Ok(RunParts {
             reduced,
             calls: run.stats.useful_calls,
@@ -226,7 +222,7 @@ pub(crate) fn run_hooked(
             &spec,
             &mut control,
         )?;
-        let reduced = reduce_program(program, registry, &run.outcome.solution);
+        let reduced = (model.materialize)(&run.outcome.solution);
         return Ok(RunParts {
             reduced,
             calls: run.stats.useful_calls,
@@ -252,7 +248,7 @@ pub(crate) fn run_hooked(
     let calls = wrapped.calls();
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
-    let reduced = reduce_program(program, registry, &outcome.solution);
+    let reduced = (model.materialize)(&outcome.solution);
     Ok(RunParts {
         reduced,
         calls,
@@ -264,20 +260,18 @@ pub(crate) fn run_hooked(
 
 /// GBR followed by the local-minimization postpass: extra tool runs for a
 /// possibly smaller output.
-pub(crate) fn run_minimized(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub(crate) fn run_minimized<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     cost: f64,
     options: &RunOptions,
-) -> Result<RunParts, PipelineError> {
-    let model: LogicalModel = build_model(program)?;
-    let stats = model.stats();
+) -> Result<RunParts<I>, PipelineError> {
+    let model = input.model().map_err(PipelineError::Model)?;
+    let stats = model.stats;
     let order = closure_size_order(&model.cnf);
     let instance = Instance::over_all_vars(model.cnf.clone());
-    let registry = &model.registry;
-    let materialize = |keep: &VarSet| reduce_program(program, registry, keep);
     let base = CandidateProbe {
-        materialize: &materialize,
+        materialize: &*model.materialize,
         oracle,
     };
     let latency = LatencyLayer::new(options.probe_latency_micros);
@@ -300,7 +294,7 @@ pub(crate) fn run_minimized(
     let calls = wrapped.calls();
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
-    let reduced = reduce_program(program, registry, &minimized);
+    let reduced = (model.materialize)(&minimized);
     Ok(RunParts {
         reduced,
         calls,

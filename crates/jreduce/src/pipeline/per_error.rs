@@ -1,17 +1,12 @@
 //! The per-error sweep: one GBR search per distinct baseline error, all
-//! sharing one run-once probe cache.
+//! sharing one run-once probe cache. Generic over the input format.
 
-use crate::item::ItemRegistry;
-use crate::model::build_model;
 use crate::pipeline::probe::emulate_tool_latency;
 use crate::pipeline::{PipelineError, RunOptions, SizeMetrics};
-use crate::reducer::reduce_program;
-use lbr_classfile::{program_byte_size, Program};
 use lbr_core::{
-    closure_size_order, generalized_binary_reduction, GbrConfig, Instance, Oracle, ReductionTrace,
-    ShardedMemo,
+    closure_size_order, generalized_binary_reduction, GbrConfig, Input, InputOracle, Instance,
+    Oracle, ReductionTrace, ShardedMemo,
 };
-use lbr_decompiler::DecompilerOracle;
 use lbr_logic::VarSet;
 use std::cell::Cell;
 use std::collections::BTreeSet;
@@ -55,19 +50,19 @@ impl PerErrorReport {
 /// identical output — rows, traces, call counts and cache totals — because
 /// the shared run-once memo computes each distinct subset exactly once
 /// under any interleaving.
-pub(crate) fn run_sweep(
-    program: &Program,
-    oracle: &DecompilerOracle,
+pub(crate) fn run_sweep<I: Input, O: InputOracle<I> + ?Sized>(
+    input: &I,
+    oracle: &O,
     cost_per_call_secs: f64,
     options: &RunOptions,
 ) -> Result<PerErrorReport, PipelineError> {
     if !oracle.is_failing() {
         return Err(PipelineError::NotFailing);
     }
-    let model = build_model(program)?;
+    let model = input.model().map_err(PipelineError::Model)?;
     let order = closure_size_order(&model.cnf);
     let instance = Instance::over_all_vars(model.cnf.clone());
-    let registry: &ItemRegistry = &model.registry;
+    let materialize = &*model.materialize;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let errors: Vec<String> = oracle.baseline().iter().cloned().collect();
@@ -94,12 +89,9 @@ pub(crate) fn run_sweep(
                     break;
                 };
                 let run_probe = |keep: &VarSet| {
-                    let candidate = reduce_program(program, registry, keep);
+                    let candidate = materialize(keep);
                     emulate_tool_latency(options.probe_latency_micros);
-                    (
-                        oracle.errors(&candidate),
-                        program_byte_size(&candidate) as u64,
-                    )
+                    (oracle.errors(&candidate), candidate.byte_size() as u64)
                 };
                 // The probe computes error set and size together; the size
                 // metric reads the bytes of the probe that just ran instead
@@ -118,7 +110,7 @@ pub(crate) fn run_sweep(
                 let outcome =
                     generalized_binary_reduction(&instance, &order, &mut wrapped, &config);
                 let slot: Slot = outcome.map_err(PipelineError::from).map(|out| {
-                    let reduced = reduce_program(program, registry, &out.solution);
+                    let reduced = materialize(&out.solution);
                     (
                         (error.clone(), SizeMetrics::of(&reduced)),
                         wrapped.trace().clone(),

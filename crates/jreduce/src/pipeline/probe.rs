@@ -1,5 +1,5 @@
 //! The probe path shared by every reduction stage: the base predicate
-//! (materialize a candidate program, run the tool) plus the standard
+//! (materialize a candidate input, run the tool) plus the standard
 //! per-run oracle wrapper.
 //!
 //! Middleware concerns — the cross-run probe cache and emulated tool
@@ -10,36 +10,35 @@
 //! hand the stack to whichever driver they use (the sequential
 //! [`Oracle`], the speculative scheduler, or ddmin).
 
-use crate::model::ModelStats;
 use crate::pipeline::RunOptions;
-use lbr_classfile::{program_byte_size, Program};
-use lbr_core::{ConcurrentPredicate, Oracle, Probe, ProbeStats, ReductionTrace};
-use lbr_decompiler::DecompilerOracle;
+use lbr_core::{
+    ConcurrentPredicate, Input, InputOracle, ModelStats, Oracle, Probe, ProbeStats, ReductionTrace,
+};
 use lbr_logic::VarSet;
 
-/// The base of every oracle stack: builds the candidate program for a
-/// keep-set, tests it against the decompiler oracle, and measures its
-/// bytes — all from borrowed shared state, pure per probe, so many
-/// workers can probe one instance concurrently.
+/// The base of every oracle stack: builds the candidate input for a
+/// keep-set, tests it against the tool oracle, and measures its bytes —
+/// all from borrowed shared state, pure per probe, so many workers can
+/// probe one instance concurrently. Generic over the input format.
 ///
 /// Public so out-of-process probe evaluators (the cluster's worker
 /// nodes) can assemble the *exact* predicate the pipeline uses — same
 /// materialization, same oracle check, same byte-size metric — which is
 /// what keeps remotely computed verdicts bit-identical to local ones.
-pub struct CandidateProbe<'a> {
-    /// Keep-set → candidate program (item-level reducer or class-graph
+pub struct CandidateProbe<'a, I, O: ?Sized> {
+    /// Keep-set → candidate input (item-level reducer or coarse-graph
     /// subset, depending on the stage).
-    pub materialize: &'a (dyn Fn(&VarSet) -> Program + Sync),
-    /// The decompiler oracle the candidate is tested against.
-    pub oracle: &'a DecompilerOracle,
+    pub materialize: &'a (dyn Fn(&VarSet) -> I + Sync),
+    /// The tool oracle the candidate is tested against.
+    pub oracle: &'a O,
 }
 
-impl ConcurrentPredicate for CandidateProbe<'_> {
+impl<I: Input, O: InputOracle<I> + ?Sized> ConcurrentPredicate for CandidateProbe<'_, I, O> {
     fn probe(&self, keep: &VarSet) -> Probe {
         let candidate = (self.materialize)(keep);
         Probe {
             outcome: self.oracle.preserves_failure(&candidate),
-            size: program_byte_size(&candidate) as u64,
+            size: candidate.byte_size() as u64,
         }
     }
 }
@@ -78,8 +77,8 @@ pub(crate) enum OrderKind {
 }
 
 /// What a stage hands back to the report assembler.
-pub(crate) struct RunParts {
-    pub reduced: Program,
+pub(crate) struct RunParts<I> {
+    pub reduced: I,
     pub calls: u64,
     pub trace: ReductionTrace,
     pub model_stats: Option<ModelStats>,

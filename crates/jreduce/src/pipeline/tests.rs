@@ -1,7 +1,7 @@
 use super::*;
 use lbr_classfile::{ClassFile, Code, Insn, MethodDescriptor, MethodInfo, MethodRef, Type};
 use lbr_core::MemoryCache;
-use lbr_decompiler::{BugKind, BugSet};
+use lbr_decompiler::{BugKind, BugSet, DecompilerOracle};
 
 fn ctor() -> MethodInfo {
     MethodInfo::new(

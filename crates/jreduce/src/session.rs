@@ -12,7 +12,8 @@
 //! ```no_run
 //! # use lbr_jreduce::{ReductionSession, Strategy};
 //! # use lbr_logic::MsaStrategy;
-//! # let (program, oracle) = unimplemented!();
+//! # let (program, oracle): (lbr_classfile::Program, lbr_decompiler::DecompilerOracle) =
+//! #     unimplemented!();
 //! let report = ReductionSession::new(&program, &oracle)
 //!     .strategy(Strategy::Logical(MsaStrategy::GreedyClosure))
 //!     .cost_per_call(33.0)
@@ -29,35 +30,40 @@ use crate::pipeline::{
     self, OrderChoice, PerErrorReport, PipelineError, ReductionReport, RunOptions, ServiceHooks,
     Strategy,
 };
-use lbr_classfile::Program;
-use lbr_core::{EngineChoice, GbrCheckpoint, ProbeCache, ProbeDistributor, PropagationMode};
-use lbr_decompiler::DecompilerOracle;
+use lbr_core::{
+    EngineChoice, GbrCheckpoint, Input, InputOracle, ProbeCache, ProbeDistributor, PropagationMode,
+};
 use lbr_logic::MsaStrategy;
 
-/// A configured reduction run waiting to happen. Build one with
-/// [`ReductionSession::new`], chain the knobs you care about, then call
-/// [`run`](Self::run) (one report for the chosen [`Strategy`]) or
-/// [`run_per_error`](Self::run_per_error) (one row per distinct baseline
-/// error).
+/// A configured reduction run waiting to happen, generic over the input
+/// format (classfile programs, stackvm modules, any [`Input`]). Build
+/// one with [`ReductionSession::new`], chain the knobs you care about,
+/// then call [`run`](Self::run) (one report for the chosen [`Strategy`])
+/// or [`run_per_error`](Self::run_per_error) (one row per distinct
+/// baseline error).
 ///
 /// Defaults: [`Strategy::Logical`] with [`MsaStrategy::GreedyClosure`],
 /// zero modeled cost per call, [`RunOptions::default`] (memoized,
 /// sequential, no latency emulation), and no service hooks.
-pub struct ReductionSession<'s> {
-    program: &'s Program,
-    oracle: &'s DecompilerOracle,
+pub struct ReductionSession<
+    's,
+    I = lbr_classfile::Program,
+    O: ?Sized = lbr_decompiler::DecompilerOracle,
+> {
+    input: &'s I,
+    oracle: &'s O,
     strategy: Strategy,
     cost_per_call_secs: f64,
     options: RunOptions,
     hooks: ServiceHooks<'s>,
 }
 
-impl<'s> ReductionSession<'s> {
-    /// A session over one program and oracle, with all knobs at their
+impl<'s, I: Input, O: InputOracle<I> + ?Sized> ReductionSession<'s, I, O> {
+    /// A session over one input and oracle, with all knobs at their
     /// defaults.
-    pub fn new(program: &'s Program, oracle: &'s DecompilerOracle) -> Self {
+    pub fn new(input: &'s I, oracle: &'s O) -> Self {
         ReductionSession {
-            program,
+            input,
             oracle,
             strategy: Strategy::Logical(MsaStrategy::GreedyClosure),
             cost_per_call_secs: 0.0,
@@ -176,9 +182,9 @@ impl<'s> ReductionSession<'s> {
     /// # Errors
     ///
     /// See [`PipelineError`].
-    pub fn run(self) -> Result<ReductionReport, PipelineError> {
+    pub fn run(self) -> Result<ReductionReport<I>, PipelineError> {
         pipeline::dispatch(
-            self.program,
+            self.input,
             self.oracle,
             self.strategy,
             self.cost_per_call_secs,
@@ -197,7 +203,7 @@ impl<'s> ReductionSession<'s> {
     /// See [`PipelineError`].
     pub fn run_per_error(self) -> Result<PerErrorReport, PipelineError> {
         pipeline::run_per_error_with(
-            self.program,
+            self.input,
             self.oracle,
             self.cost_per_call_secs,
             &self.options,
@@ -208,8 +214,8 @@ impl<'s> ReductionSession<'s> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lbr_classfile::{ClassFile, Code, Insn, MethodDescriptor, MethodInfo, MethodRef};
-    use lbr_decompiler::{BugKind, BugSet};
+    use lbr_classfile::{ClassFile, Code, Insn, MethodDescriptor, MethodInfo, MethodRef, Program};
+    use lbr_decompiler::{BugKind, BugSet, DecompilerOracle};
 
     fn tiny() -> Program {
         let mut i = ClassFile::new_interface("I");

@@ -48,11 +48,12 @@ use crate::job::{JobPhase, JobSpec};
 use crate::json::Json;
 use crate::queue::JobQueue;
 use crate::shard::{run_shard, ShardHandle, ShardMsg};
-use lbr_classfile::{read_program, write_program};
-use lbr_core::{GbrError, LossyPick, ProbeDistributor};
+use lbr_classfile::read_program;
+use lbr_core::{GbrError, Input, InputOracle, LossyPick, ProbeDistributor};
 use lbr_decompiler::{BugSet, DecompilerOracle};
 use lbr_jreduce::{PipelineError, ReductionReport, ReductionSession, RunOptions, Strategy};
 use lbr_logic::MsaStrategy;
+use lbr_stackvm::{Module as StackModule, StackBugSet, StackOracle};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -1318,25 +1319,59 @@ fn run_job(state: &ServiceState, id: u64) {
     }
 }
 
-/// Runs the reduction itself. `Ok` carries the report and whether the run
+/// Runs the reduction itself: parses the container per `spec.format`,
+/// builds the matching oracle, and hands both to the format-generic
+/// [`run_reduction`]. `Ok` carries the report (with the reduced input
+/// already serialized back to container bytes) and whether the run
 /// continued from a checkpoint.
 fn execute_job(
     state: &ServiceState,
     spec: &JobSpec,
     cancel: &AtomicBool,
     started: Instant,
-) -> Result<(ReductionReport, bool), JobStop> {
+) -> Result<(ReductionReport<Vec<u8>>, bool), JobStop> {
     let bytes = std::fs::read(&spec.input)
         .map_err(|e| JobStop::Failed(format!("cannot read {}: {e}", spec.input)))?;
-    let program =
-        read_program(&bytes).map_err(|e| JobStop::Failed(format!("bad container: {e}")))?;
-    let bugs = match spec.decompiler.as_str() {
-        "a" => BugSet::decompiler_a(),
-        "b" => BugSet::decompiler_b(),
-        "c" => BugSet::decompiler_c(),
-        _ => BugSet::all(),
-    };
-    let oracle = DecompilerOracle::new(&program, bugs);
+    match spec.format.as_str() {
+        "stackvm" => {
+            let module = <StackModule as Input>::from_bytes(&bytes)
+                .map_err(|e| JobStop::Failed(format!("bad container: {e}")))?;
+            let bugs = match spec.decompiler.as_str() {
+                "a" => StackBugSet::lowering_a(),
+                "b" => StackBugSet::lowering_b(),
+                "c" => StackBugSet::lowering_c(),
+                _ => StackBugSet::all(),
+            };
+            let oracle = StackOracle::new(&module, bugs);
+            run_reduction(state, spec, cancel, started, &bytes, &module, &oracle)
+        }
+        _ => {
+            let program =
+                read_program(&bytes).map_err(|e| JobStop::Failed(format!("bad container: {e}")))?;
+            let bugs = match spec.decompiler.as_str() {
+                "a" => BugSet::decompiler_a(),
+                "b" => BugSet::decompiler_b(),
+                "c" => BugSet::decompiler_c(),
+                _ => BugSet::all(),
+            };
+            let oracle = DecompilerOracle::new(&program, bugs);
+            run_reduction(state, spec, cancel, started, &bytes, &program, &oracle)
+        }
+    }
+}
+
+/// The format-generic body of [`execute_job`]: identical caching,
+/// checkpointing, cancellation, and cluster plumbing for every frontend
+/// behind the [`Input`] trait.
+fn run_reduction<I: Input, O: InputOracle<I>>(
+    state: &ServiceState,
+    spec: &JobSpec,
+    cancel: &AtomicBool,
+    started: Instant,
+    bytes: &[u8],
+    input: &I,
+    oracle: &O,
+) -> Result<(ReductionReport<Vec<u8>>, bool), JobStop> {
     if !oracle.is_failing() {
         return Err(JobStop::Failed(format!(
             "input does not trigger decompiler {}'s bugs — nothing to reduce",
@@ -1351,7 +1386,7 @@ fn execute_job(
     let deadline = (spec.deadline_secs > 0.0).then(|| Duration::from_secs_f64(spec.deadline_secs));
     let report = if spec.strategy == "logical" {
         // The service path: persistent cache + checkpoint/resume + cancel.
-        let namespace = namespace_digest(&spec.decompiler, &bytes);
+        let namespace = namespace_digest(&spec.decompiler, bytes);
         let scoped = state.cache.namespaced(namespace);
         // With a cluster attached, the job's speculative frontier is
         // served by worker nodes; the session output stays bit-identical
@@ -1360,7 +1395,7 @@ fn execute_job(
         let distributor = state
             .cluster
             .as_ref()
-            .and_then(|cluster| cluster.job_distributor(spec, &bytes));
+            .and_then(|cluster| cluster.job_distributor(spec, bytes));
         let ckpt_path = state.job_file(spec.id, "ckpt");
         // A checkpoint torn mid-write (truncated file, garbage bytes) is
         // discarded and the search restarts from scratch: determinism
@@ -1394,7 +1429,7 @@ fn execute_job(
                 last_saved = Some(Instant::now());
             }
         };
-        let mut session = ReductionSession::new(&program, &oracle)
+        let mut session = ReductionSession::new(input, oracle)
             .strategy(Strategy::Logical(MsaStrategy::GreedyClosure))
             .cost_per_call(spec.cost)
             .options(options)
@@ -1418,7 +1453,7 @@ fn execute_job(
             "lossy2" => Strategy::Lossy(LossyPick::LastLast),
             _ => Strategy::DdminItems,
         };
-        let report = ReductionSession::new(&program, &oracle)
+        let report = ReductionSession::new(input, oracle)
             .strategy(strategy)
             .cost_per_call(spec.cost)
             .options(options)
@@ -1426,11 +1461,13 @@ fn execute_job(
             .map_err(map_pipeline_error)?;
         (report, false)
     };
+    let (report, resumed) = report;
+    let report = report.map_reduced(|reduced| reduced.to_bytes());
     if let Some(out) = &spec.output {
-        atomic_write(Path::new(out), &write_program(&report.0.reduced))
+        atomic_write(Path::new(out), &report.reduced)
             .map_err(|e| JobStop::Failed(format!("cannot write {out}: {e}")))?;
     }
-    Ok(report)
+    Ok((report, resumed))
 }
 
 fn map_pipeline_error(e: PipelineError) -> JobStop {
@@ -1451,7 +1488,8 @@ fn map_pipeline_error(e: PipelineError) -> JobStop {
 /// fields — priority, deadline, output path — are deliberately excluded.
 fn job_memo_digest(spec: &JobSpec, input: &[u8]) -> u64 {
     let meta = format!(
-        "{}|{}|{}|{}|{}",
+        "{}|{}|{}|{}|{}|{}",
+        spec.format,
         spec.decompiler,
         spec.strategy,
         spec.cost.to_bits(),
@@ -1497,7 +1535,7 @@ fn try_replay(state: &ServiceState, spec: &JobSpec, digest: u64, started: Instan
 /// first, then the result document (so a present document always finds
 /// its bytes), both atomically. Per-run fields are stripped; they are
 /// re-stamped at replay time.
-fn store_memo(state: &ServiceState, digest: u64, doc: &Json, report: &ReductionReport) {
+fn store_memo(state: &ServiceState, digest: u64, doc: &Json, report: &ReductionReport<Vec<u8>>) {
     let Json::Obj(mut fields) = doc.clone() else {
         return;
     };
@@ -1508,12 +1546,7 @@ fn store_memo(state: &ServiceState, digest: u64, doc: &Json, report: &ReductionR
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
-    if atomic_write(
-        &memo_file(state, digest, "lbrc"),
-        &write_program(&report.reduced),
-    )
-    .is_err()
-    {
+    if atomic_write(&memo_file(state, digest, "lbrc"), &report.reduced).is_err() {
         return;
     }
     let _ = atomic_write_str(
@@ -1522,10 +1555,11 @@ fn store_memo(state: &ServiceState, digest: u64, doc: &Json, report: &ReductionR
     );
 }
 
-fn success_result_doc(spec: &JobSpec, report: &ReductionReport, resumed: bool) -> Json {
+fn success_result_doc(spec: &JobSpec, report: &ReductionReport<Vec<u8>>, resumed: bool) -> Json {
     let mut fields = vec![
         ("id", Json::count(spec.id)),
         ("status", Json::str("done")),
+        ("format", Json::str(&spec.format)),
         ("strategy", Json::str(&report.strategy)),
         (
             "initial_classes",

@@ -10,6 +10,8 @@ pub struct JobSpec {
     pub id: u64,
     /// Path to the `.lbrc` benchmark container to reduce.
     pub input: String,
+    /// Input format of the container: `classfile` (default) or `stackvm`.
+    pub format: String,
     /// Decompiler whose bugs the oracle preserves: `a`, `b`, `c`, `all`.
     pub decompiler: String,
     /// Reduction strategy. `logical` (the default) supports
@@ -40,6 +42,11 @@ impl JobSpec {
             .str_field("input")
             .ok_or("submit: missing \"input\"")?
             .to_owned();
+        let format = j.str_field("format").unwrap_or("classfile").to_owned();
+        match format.as_str() {
+            "classfile" | "stackvm" => {}
+            other => return Err(format!("submit: unknown format {other:?}")),
+        }
         let decompiler = j.str_field("decompiler").unwrap_or("a").to_owned();
         match decompiler.as_str() {
             "a" | "b" | "c" | "all" => {}
@@ -60,6 +67,7 @@ impl JobSpec {
         Ok(JobSpec {
             id: j.u64_field("id").unwrap_or(fallback_id),
             input,
+            format,
             decompiler,
             strategy,
             priority,
@@ -76,6 +84,7 @@ impl JobSpec {
         let mut fields = vec![
             ("id", Json::count(self.id)),
             ("input", Json::str(&self.input)),
+            ("format", Json::str(&self.format)),
             ("decompiler", Json::str(&self.decompiler)),
             ("strategy", Json::str(&self.strategy)),
             ("priority", Json::count(self.priority as u64)),
@@ -139,6 +148,7 @@ mod tests {
         let spec = JobSpec {
             id: 7,
             input: "/tmp/bench.lbrc".into(),
+            format: "stackvm".into(),
             decompiler: "b".into(),
             strategy: "logical".into(),
             priority: 9,
@@ -157,6 +167,7 @@ mod tests {
         let j = Json::parse(r#"{"input":"x.lbrc"}"#).unwrap();
         let spec = JobSpec::from_json(&j, 3).unwrap();
         assert_eq!(spec.id, 3);
+        assert_eq!(spec.format, "classfile");
         assert_eq!(spec.decompiler, "a");
         assert_eq!(spec.strategy, "logical");
         assert_eq!(spec.probe_threads, 1);
@@ -165,6 +176,10 @@ mod tests {
             0
         )
         .is_err());
+        assert!(
+            JobSpec::from_json(&Json::parse(r#"{"input":"x","format":"wasm"}"#).unwrap(), 0)
+                .is_err()
+        );
         assert!(
             JobSpec::from_json(&Json::parse(r#"{"input":"x","strategy":"z"}"#).unwrap(), 0)
                 .is_err()

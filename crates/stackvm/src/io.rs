@@ -1,0 +1,419 @@
+//! Binary reader/writer for stackvm modules.
+//!
+//! The container is magic `LBRS`, a format version byte, function and
+//! global counts, then the units in module order. All integers are
+//! big-endian; strings are length-prefixed UTF-8. The writer and reader
+//! round-trip exactly (`read_module(write_module(m)) == m`), which the
+//! format-agnostic `check_report` validation relies on.
+
+use crate::module::{Function, Global, Module, Op, Sig, Ty};
+
+const MAGIC: &[u8; 4] = b"LBRS";
+const VERSION: u8 = 1;
+
+/// An error from decoding a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.detail)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn ty_byte(ty: Ty) -> u8 {
+    match ty {
+        Ty::Int => 0,
+        Ty::Bool => 1,
+    }
+}
+
+fn write_ret(out: &mut Vec<u8>, ret: Option<Ty>) {
+    match ret {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            out.push(ty_byte(t));
+        }
+    }
+}
+
+fn write_sig(out: &mut Vec<u8>, sig: &Sig) {
+    out.extend_from_slice(&(sig.params.len() as u16).to_be_bytes());
+    for p in &sig.params {
+        out.push(ty_byte(*p));
+    }
+    write_ret(out, sig.ret);
+}
+
+fn write_op(out: &mut Vec<u8>, op: &Op) {
+    match op {
+        Op::PushInt(v) => {
+            out.push(0x01);
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        Op::PushBool(b) => {
+            out.push(0x02);
+            out.push(*b as u8);
+        }
+        Op::Add => out.push(0x03),
+        Op::Sub => out.push(0x04),
+        Op::Mul => out.push(0x05),
+        Op::Eq => out.push(0x06),
+        Op::Lt => out.push(0x07),
+        Op::Not => out.push(0x08),
+        Op::Dup => out.push(0x09),
+        Op::Drop => out.push(0x0A),
+        Op::LocalGet(n) => {
+            out.push(0x0B);
+            out.extend_from_slice(&n.to_be_bytes());
+        }
+        Op::LocalSet(n) => {
+            out.push(0x0C);
+            out.extend_from_slice(&n.to_be_bytes());
+        }
+        Op::GlobalGet(name) => {
+            out.push(0x0D);
+            write_str(out, name);
+        }
+        Op::GlobalSet(name) => {
+            out.push(0x0E);
+            write_str(out, name);
+        }
+        Op::Call(name) => {
+            out.push(0x0F);
+            write_str(out, name);
+        }
+        Op::CallIndirect(sig) => {
+            out.push(0x10);
+            write_sig(out, sig);
+        }
+        Op::Jump(t) => {
+            out.push(0x11);
+            out.extend_from_slice(&t.to_be_bytes());
+        }
+        Op::JumpIf(t) => {
+            out.push(0x12);
+            out.extend_from_slice(&t.to_be_bytes());
+        }
+        Op::Return => out.push(0x13),
+        Op::Trap => out.push(0x14),
+    }
+}
+
+fn write_function(out: &mut Vec<u8>, f: &Function) {
+    write_str(out, &f.name);
+    out.extend_from_slice(&(f.params.len() as u16).to_be_bytes());
+    for p in &f.params {
+        out.push(ty_byte(*p));
+    }
+    write_ret(out, f.ret);
+    out.extend_from_slice(&(f.locals.len() as u16).to_be_bytes());
+    for l in &f.locals {
+        out.push(ty_byte(*l));
+    }
+    out.extend_from_slice(&f.max_stack.to_be_bytes());
+    out.extend_from_slice(&(f.body.len() as u32).to_be_bytes());
+    for op in &f.body {
+        write_op(out, op);
+    }
+}
+
+fn write_global(out: &mut Vec<u8>, g: &Global) {
+    write_str(out, &g.name);
+    out.push(ty_byte(g.ty));
+}
+
+/// Serializes a module: magic `LBRS`, version, counts, globals, functions.
+pub fn write_module(module: &Module) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(module.globals.len() as u32).to_be_bytes());
+    out.extend_from_slice(&(module.functions.len() as u32).to_be_bytes());
+    for g in &module.globals {
+        write_global(&mut out, g);
+    }
+    for f in &module.functions {
+        write_function(&mut out, f);
+    }
+    out
+}
+
+/// The byte-size cost metric: the encoded size of the units alone,
+/// excluding the fixed 13-byte container header — the same convention as
+/// the classfile frontend's `program_byte_size`, so cross-format size
+/// tables compare unit payloads, not framing.
+pub fn module_byte_size(module: &Module) -> usize {
+    let mut out = Vec::new();
+    for g in &module.globals {
+        write_global(&mut out, g);
+    }
+    for f in &module.functions {
+        write_function(&mut out, f);
+    }
+    out.len()
+}
+
+struct Cursor<'b> {
+    bytes: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Cursor<'b> {
+    fn err(&self, detail: impl Into<String>) -> ReadError {
+        ReadError {
+            offset: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], ReadError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(self.err(format!("truncated: wanted {n} bytes")));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ReadError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ReadError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ReadError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ReadError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ReadError> {
+        let len = self.u16()? as usize;
+        let at = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ReadError {
+            offset: at,
+            detail: "invalid utf-8".into(),
+        })
+    }
+
+    fn ty(&mut self) -> Result<Ty, ReadError> {
+        match self.u8()? {
+            0 => Ok(Ty::Int),
+            1 => Ok(Ty::Bool),
+            b => Err(self.err(format!("unknown type tag {b:#x}"))),
+        }
+    }
+
+    fn ret(&mut self) -> Result<Option<Ty>, ReadError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.ty()?)),
+            b => Err(self.err(format!("unknown return tag {b:#x}"))),
+        }
+    }
+
+    fn sig(&mut self) -> Result<Sig, ReadError> {
+        let n = self.u16()? as usize;
+        let mut params = Vec::with_capacity(n);
+        for _ in 0..n {
+            params.push(self.ty()?);
+        }
+        Ok(Sig::new(params, self.ret()?))
+    }
+
+    fn op(&mut self) -> Result<Op, ReadError> {
+        match self.u8()? {
+            0x01 => Ok(Op::PushInt(self.i64()?)),
+            0x02 => Ok(Op::PushBool(self.u8()? != 0)),
+            0x03 => Ok(Op::Add),
+            0x04 => Ok(Op::Sub),
+            0x05 => Ok(Op::Mul),
+            0x06 => Ok(Op::Eq),
+            0x07 => Ok(Op::Lt),
+            0x08 => Ok(Op::Not),
+            0x09 => Ok(Op::Dup),
+            0x0A => Ok(Op::Drop),
+            0x0B => Ok(Op::LocalGet(self.u32()?)),
+            0x0C => Ok(Op::LocalSet(self.u32()?)),
+            0x0D => Ok(Op::GlobalGet(self.str()?)),
+            0x0E => Ok(Op::GlobalSet(self.str()?)),
+            0x0F => Ok(Op::Call(self.str()?)),
+            0x10 => Ok(Op::CallIndirect(self.sig()?)),
+            0x11 => Ok(Op::Jump(self.u32()?)),
+            0x12 => Ok(Op::JumpIf(self.u32()?)),
+            0x13 => Ok(Op::Return),
+            0x14 => Ok(Op::Trap),
+            b => Err(self.err(format!("unknown opcode {b:#x}"))),
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ReadError> {
+        let name = self.str()?;
+        let np = self.u16()? as usize;
+        let mut params = Vec::with_capacity(np);
+        for _ in 0..np {
+            params.push(self.ty()?);
+        }
+        let ret = self.ret()?;
+        let nl = self.u16()? as usize;
+        let mut locals = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            locals.push(self.ty()?);
+        }
+        let max_stack = self.u32()?;
+        let nb = self.u32()? as usize;
+        let mut body = Vec::with_capacity(nb.min(1 << 16));
+        for _ in 0..nb {
+            body.push(self.op()?);
+        }
+        Ok(Function {
+            name,
+            params,
+            ret,
+            locals,
+            max_stack,
+            body,
+        })
+    }
+}
+
+/// Decodes a module written by [`write_module`].
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on truncated input, bad magic, an unsupported
+/// version, or a malformed unit.
+pub fn read_module(bytes: &[u8]) -> Result<Module, ReadError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    if c.take(4)? != MAGIC {
+        return Err(ReadError {
+            offset: 0,
+            detail: "bad magic".into(),
+        });
+    }
+    let version = c.u8()?;
+    if version != VERSION {
+        return Err(c.err(format!("unsupported version {version}")));
+    }
+    let ng = c.u32()? as usize;
+    let nf = c.u32()? as usize;
+    let mut module = Module::new();
+    for _ in 0..ng {
+        let name = c.str()?;
+        let ty = c.ty()?;
+        module.globals.push(Global { name, ty });
+    }
+    for _ in 0..nf {
+        module.functions.push(c.function()?);
+    }
+    if c.pos != bytes.len() {
+        return Err(c.err("trailing bytes after module"));
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Module {
+        let mut m = Module::new();
+        m.globals.push(Global::new("counter", Ty::Int));
+        let mut f = Function::new("main", vec![], Some(Ty::Int));
+        f.locals = vec![Ty::Int, Ty::Bool];
+        f.body = vec![
+            Op::PushInt(7),
+            Op::LocalSet(0),
+            Op::LocalGet(0),
+            Op::PushInt(1),
+            Op::Add,
+            Op::GlobalSet("counter".into()),
+            Op::GlobalGet("counter".into()),
+            Op::Return,
+        ];
+        m.functions.push(f);
+        let mut g = Function::new("helper", vec![Ty::Int, Ty::Int], Some(Ty::Bool));
+        g.body = vec![
+            Op::LocalGet(0),
+            Op::LocalGet(1),
+            Op::Lt,
+            Op::Not,
+            Op::Return,
+        ];
+        m.functions.push(g);
+        m
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let m = sample();
+        let bytes = write_module(&m);
+        assert_eq!(&bytes[..4], b"LBRS");
+        assert_eq!(read_module(&bytes), Ok(m));
+    }
+
+    #[test]
+    fn round_trips_every_opcode() {
+        let mut f = Function::new("all", vec![Ty::Int], None);
+        f.body = vec![
+            Op::PushInt(-5),
+            Op::PushBool(true),
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Eq,
+            Op::Lt,
+            Op::Not,
+            Op::Dup,
+            Op::Drop,
+            Op::LocalGet(3),
+            Op::LocalSet(4),
+            Op::GlobalGet("g".into()),
+            Op::GlobalSet("g".into()),
+            Op::Call("f".into()),
+            Op::CallIndirect(Sig::new(vec![Ty::Bool], Some(Ty::Int))),
+            Op::Jump(0),
+            Op::JumpIf(1),
+            Op::Return,
+            Op::Trap,
+        ];
+        let m: Module = [f].into_iter().collect();
+        assert_eq!(read_module(&write_module(&m)), Ok(m));
+    }
+
+    #[test]
+    fn byte_size_excludes_container_header() {
+        let m = sample();
+        // magic(4) + version(1) + globals(4) + functions(4) = 13.
+        assert_eq!(module_byte_size(&m), write_module(&m).len() - 13);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let m = sample();
+        let mut bytes = write_module(&m);
+        assert!(read_module(&bytes[..bytes.len() - 1]).is_err());
+        bytes[0] = b'X';
+        assert!(read_module(&bytes).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Materializes a keep-set back into a module.
+//!
+//! Dropped globals and functions disappear; a function whose `Body`
+//! item is dropped (but whose `Function` item survives for its callers)
+//! keeps its signature and gets the `Trap` stub — a one-instruction
+//! body that verifies under any signature, the stackvm analog of the
+//! classfile reducer's `aconst_null; athrow` stub.
+
+use crate::item::StackRegistry;
+use crate::module::{Module, Op};
+use lbr_logic::VarSet;
+
+/// Builds the sub-module described by `keep`. Satisfying keep-sets of
+/// the model's CNF always materialize to modules that verify.
+pub fn reduce_module(module: &Module, registry: &StackRegistry, keep: &VarSet) -> Module {
+    let mut out = Module::new();
+    for (i, g) in module.globals.iter().enumerate() {
+        if keep.contains(registry.global_var(module, i)) {
+            out.globals.push(g.clone());
+        }
+    }
+    for (i, f) in module.functions.iter().enumerate() {
+        if !keep.contains(registry.function_var(i)) {
+            continue;
+        }
+        let mut f = f.clone();
+        if !keep.contains(registry.body_var(i)) {
+            f.body = vec![Op::Trap];
+            f.locals.clear();
+            f.max_stack = 0;
+        }
+        out.functions.push(f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build_stack_model;
+    use crate::module::{Function, Global, Ty};
+    use crate::verify::verify_module;
+
+    fn sample() -> Module {
+        let mut m = Module::new();
+        m.globals.push(Global::new("g", Ty::Int));
+        let mut main = Function::new("main", vec![], None);
+        main.body = vec![Op::Call("helper".into()), Op::Return];
+        m.functions.push(main);
+        let mut helper = Function::new("helper", vec![], None);
+        helper.body = vec![Op::GlobalGet("g".into()), Op::Drop, Op::Return];
+        m.functions.push(helper);
+        m
+    }
+
+    #[test]
+    fn full_keep_set_is_identity() {
+        let m = sample();
+        let model = build_stack_model(&m).expect("verifies");
+        let keep = VarSet::full(model.cnf.num_vars());
+        assert_eq!(reduce_module(&m, &model.registry, &keep), m);
+    }
+
+    #[test]
+    fn dropped_body_becomes_trap_stub() {
+        let m = sample();
+        let model = build_stack_model(&m).expect("verifies");
+        let reg = &model.registry;
+        let mut keep = VarSet::empty(model.cnf.num_vars());
+        keep.insert(reg.function_var(0));
+        keep.insert(reg.body_var(0));
+        keep.insert(reg.function_var(1)); // helper survives, body stubbed
+        assert!(model.cnf.eval(&keep));
+        let reduced = reduce_module(&m, reg, &keep);
+        assert_eq!(reduced.functions.len(), 2);
+        assert!(reduced.globals.is_empty());
+        assert_eq!(reduced.function("helper").unwrap().body, vec![Op::Trap]);
+        // A satisfying keep-set materializes to a verifying module.
+        assert!(verify_module(&reduced).is_empty());
+    }
+
+    #[test]
+    fn empty_keep_set_is_empty_module() {
+        let m = sample();
+        let model = build_stack_model(&m).expect("verifies");
+        let keep = VarSet::empty(model.cnf.num_vars());
+        let reduced = reduce_module(&m, &model.registry, &keep);
+        assert!(reduced.functions.is_empty() && reduced.globals.is_empty());
+    }
+}

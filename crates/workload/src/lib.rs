@@ -27,9 +27,11 @@
 #![warn(rust_2018_idioms)]
 
 mod gen;
+mod stackgen;
 mod stats;
 mod suite;
 
 pub use gen::{generate, WorkloadConfig};
+pub use stackgen::{generate_stack, stack_suite, StackBenchmark, StackShape, StackWorkloadConfig};
 pub use stats::{geometric_mean, suite_stats, SuiteStats};
 pub use suite::{suite, Benchmark, SuiteConfig};

@@ -83,3 +83,80 @@ fn regression_files_record_their_provenance() {
         );
     }
 }
+
+/// The pinned files predate the `format` field (`lbr-fuzz-case v1`); the
+/// v2 parser must keep accepting them as classfile cases.
+#[test]
+fn v1_regression_files_parse_as_classfile() {
+    for entry in std::fs::read_dir(regression_dir()).expect("regression dir") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let case = FuzzCase::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(case.format, "classfile", "{}", path.display());
+        assert!(case.stack_workload.is_none(), "{}", path.display());
+    }
+}
+
+/// The Input-trait equivalence leg: each pinned case's program, driven
+/// by a reducer written against nothing but the trait, replays
+/// bit-identically across engines — same reduced bytes, same predicate
+/// calls, same probe-trace digest. This re-proves the classfile port on
+/// exactly the inputs fuzzing once found interesting.
+#[test]
+fn regression_programs_replay_identically_through_the_input_trait() {
+    use lbr_core::{EngineChoice, Input, InputOracle};
+    use lbr_decompiler::DecompilerOracle;
+    use lbr_jreduce::{ReductionReport, ReductionSession, RunOptions};
+
+    fn reduce_via_trait<I: Input, O: InputOracle<I>>(
+        input: &I,
+        oracle: &O,
+        options: RunOptions,
+    ) -> ReductionReport<I> {
+        ReductionSession::new(input, oracle)
+            .cost_per_call(33.0)
+            .options(options)
+            .run()
+            .expect("trait-driven reduction")
+    }
+
+    for name in [
+        "i5_ddmin_beats_gbr.json",
+        "broken_oracle_catch_a.json",
+        "broken_oracle_catch_b.json",
+    ] {
+        let case =
+            FuzzCase::load(&regression_dir().join(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let program = case.program();
+        let oracle = DecompilerOracle::new(&program, case.bugs());
+        let reference = reduce_via_trait(&program, &oracle, RunOptions::default());
+        for (tag, options) in [
+            ("legacy-scan", RunOptions::legacy()),
+            (
+                "cdcl",
+                RunOptions {
+                    engine: EngineChoice::Cdcl,
+                    ..RunOptions::default()
+                },
+            ),
+        ] {
+            let report = reduce_via_trait(&program, &oracle, options);
+            assert_eq!(
+                report.reduced.to_bytes(),
+                reference.reduced.to_bytes(),
+                "{name} {tag}: reduced bytes diverge"
+            );
+            assert_eq!(
+                report.predicate_calls, reference.predicate_calls,
+                "{name} {tag}: predicate calls diverge"
+            );
+            assert_eq!(
+                report.trace.digest(),
+                reference.trace.digest(),
+                "{name} {tag}: trace digest diverges"
+            );
+        }
+    }
+}
