@@ -42,6 +42,21 @@ trap cleanup EXIT
 grep -q '"format": "stackvm"' "$smoke_dir/seq.json"
 ./target/release/bench_compare --identical "$smoke_dir/seq.json" "$smoke_dir/par.json"
 
+echo "== strategy registry smoke (--list-strategies enumerates the zoo) =="
+# The CLI's strategy table is generated from the registry, not a hardcoded
+# list: the baseline zoo and the trace-guided mode must show up with their
+# capability flags, and trace-guided must not claim the engine capability
+# (it runs the scan-based MSA only).
+strategies=$(./target/release/reduce --list-strategies)
+for s in "logical/greedy" "jreduce" "ddmin-items" "hdd" "transform" "logical/trace-guided"; do
+    echo "$strategies" | grep -q "^$s " || {
+        echo "--list-strategies is missing $s" >&2
+        exit 1
+    }
+done
+echo "$strategies" | grep "^logical/trace-guided " | grep -qv "engine"
+echo "$strategies" | grep "^logical/trace-guided " | grep -q "model"
+
 echo "== CDCL/DPLL differential smoke (bit-identical engines) =="
 # --engine is a pure solver swap: the CDCL run must produce byte-identical
 # output and the same probe-trace digest as the DPLL reference.
@@ -280,9 +295,13 @@ echo "== saturation smoke (fixed seed, queue-full must shed, not hang) =="
 
 echo "== differential fuzzing gate (fixed seed, every progression) =="
 # A fixed-seed campaign across every progression — including the I8
-# CDCL-vs-DPLL agreement checks — must come back clean; the seed pins the
-# exact case stream, so a violation here is reproducible with the printed
-# `fuzz --replay` command.
+# CDCL-vs-DPLL agreement checks and the P13–P15 baseline-zoo runs (HDD,
+# transformation passes, trace-guided GBR) — must come back clean. The
+# case stream mixes both frontends and samples the adversarial workload
+# shapes (constraint-dense, wide-flat, deep-chain, multi-error) one case
+# in four; the
+# seed pins the exact stream, so a violation here is reproducible with
+# the printed `fuzz --replay` command.
 ./target/release/fuzz --budget-secs 60 --seed 0xC0FFEE --min-cases 200 \
     --out-dir "$smoke_dir"
 
@@ -305,37 +324,85 @@ if ./target/release/fuzz --replay "$broken_case" --no-daemon >/dev/null 2>&1; th
 fi
 
 # Optional wall-time gates against the committed baselines: BENCH_GATE=1 ./ci.sh
-if [ "${BENCH_GATE:-0}" = "1" ]; then
-    echo "== bench gate (<=10% wall, 0% predicate-call regression vs BENCH_baseline.json) =="
+# BENCH_REBASELINE=1 ./ci.sh instead REGENERATES BENCH_baseline.json at this
+# exact point in the script — after the fuzz campaign and the service/cluster
+# smokes have loaded the machine — so the committed wall numbers are measured
+# under the same conditions the gate later runs in (an idle-machine baseline
+# makes every sub-second row read 10-20% slow inside a full CI run).
+if [ "${BENCH_GATE:-0}" = "1" ] || [ "${BENCH_REBASELINE:-0}" = "1" ]; then
     # The engine/order grid covers the headline strategies plus the CDCL
-    # and learned/portfolio rows, over both frontends (the baseline holds
-    # per-format aggregate entries); predicate calls are deterministic, so
-    # any increase fails the gate outright. Wall numbers are taken
-    # sequentially (no cross-job core contention) as the minimum of five
+    # and learned/portfolio rows; the compare experiment covers the full
+    # baseline zoo — jreduce, logical/greedy, ddmin-items, hdd, transform,
+    # logical/trace-guided. Both run over both frontends, and the baseline
+    # holds one aggregate entry per (strategy, format) pair, so each
+    # strategy is gated at its own level rather than hiding behind a
+    # suite-wide total. Predicate calls are deterministic, so any increase
+    # on any row fails the gate outright. Wall numbers are taken
+    # sequentially (no cross-job core contention) as the minimum of nine
     # repeats — the same recipe that produced the committed baseline.
-    ./target/release/eval --experiment ablate-engine --format both \
-        --programs 2 --scale 0.6 \
-        --threads 1 --repeats 5 --json "$smoke_dir/current.json" >/dev/null
-    ./target/release/bench_compare BENCH_baseline.json "$smoke_dir/current.json"
+    #
+    # The container's clock jitters in multi-second throttling phases, so
+    # a wall-only trip is re-measured once from scratch before it fails
+    # the build. The thresholds never change: a real regression fails
+    # both attempts, and the predicate-call gate is deterministic either
+    # way.
+    measure_suites() {
+        ./target/release/eval --experiment ablate-engine --format both \
+            --programs 2 --scale 0.6 \
+            --threads 1 --repeats 9 --json "$smoke_dir/current.json" >/dev/null
+        ./target/release/eval --experiment compare --format both \
+            --programs 2 --scale 0.6 \
+            --threads 1 --repeats 9 --json "$smoke_dir/current-zoo.json" >/dev/null
+    }
+    compare_suites() {
+        echo "== bench gate (<=10% wall, 0% predicate-call regression vs BENCH_baseline.json) =="
+        ./target/release/bench_compare BENCH_baseline.json "$smoke_dir/current.json" &&
+            echo "== strategy-zoo gate (per-strategy, per-format, same thresholds) ==" &&
+            ./target/release/bench_compare BENCH_baseline.json "$smoke_dir/current-zoo.json"
+    }
+    measure_suites
+    if [ "${BENCH_REBASELINE:-0}" = "1" ]; then
+        echo "== rebaseline (BENCH_baseline.json from this machine, under CI load) =="
+        ./target/release/bench_compare "$smoke_dir/current.json" \
+            "$smoke_dir/current-zoo.json" --merge-baseline BENCH_baseline.json
+    else
+        if ! compare_suites; then
+            echo "-- wall gate tripped; re-measuring once (calls are deterministic, wall is not) --"
+            measure_suites
+            compare_suites
+        fi
+    fi
 
-    echo "== service gate (warm >=150 jobs/s, <=30% drift vs BENCH_service.json) =="
     # Warm throughput and p95 are wall-clock-sensitive, so the drift threshold
     # is looser than the deterministic wall gate above; the 150 jobs/s floor on
     # the highest-worker run is absolute.
-    ./target/release/loadgen --out "$smoke_dir/service.json" >/dev/null
-    ./target/release/bench_compare BENCH_service.json "$smoke_dir/service.json" \
-        --service --threshold 30 --min-warm-jps 150
+    service_gate() {
+        echo "== service gate (warm >=150 jobs/s, <=30% drift vs BENCH_service.json) =="
+        ./target/release/loadgen --out "$smoke_dir/service.json" >/dev/null
+        ./target/release/bench_compare BENCH_service.json "$smoke_dir/service.json" \
+            --service --threshold 30 --min-warm-jps 150
+    }
+    if ! service_gate; then
+        echo "-- service gate tripped; re-measuring once --"
+        service_gate
+    fi
 
-    echo "== cluster gate (warm >=30 jobs/s at 4 nodes, <=50% drift vs BENCH_cluster.json) =="
     # The 1/2/4-worker-node sweep; on top of the throughput/p95 drift
     # gates, every run must show non-zero worker verdicts — a cluster
     # where the coordinator computed everything inline is inert, however
     # fast it looks. The drift threshold is looser than the plain service
     # gate: every round runs real TCP worker nodes, so wall numbers are
     # noisier than the in-process paths.
-    ./target/release/loadgen --cluster --out "$smoke_dir/cluster.json" >/dev/null
-    ./target/release/bench_compare BENCH_cluster.json "$smoke_dir/cluster.json" \
-        --cluster --threshold 50 --min-warm-jps 30
+    cluster_gate() {
+        echo "== cluster gate (warm >=30 jobs/s at 4 nodes, <=50% drift vs BENCH_cluster.json) =="
+        ./target/release/loadgen --cluster --out "$smoke_dir/cluster.json" >/dev/null
+        ./target/release/bench_compare BENCH_cluster.json "$smoke_dir/cluster.json" \
+            --cluster --threshold 50 --min-warm-jps 30
+    }
+    if ! cluster_gate; then
+        echo "-- cluster gate tripped; re-measuring once --"
+        cluster_gate
+    fi
 fi
 
 echo "CI OK"

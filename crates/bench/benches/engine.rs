@@ -14,7 +14,7 @@ use lbr_core::{
     closure_size_order, generalized_binary_reduction, EngineChoice, GbrConfig, Instance, Oracle,
     PropagationMode,
 };
-use lbr_jreduce::{build_model, run_reduction_with, RunOptions, Strategy};
+use lbr_jreduce::{build_model, run_reduction_with, RunOptions};
 use lbr_logic::{dpll, msa, msa_scan, CdclEngine, Lit, MsaStrategy, VarSet};
 use lbr_workload::{generate, WorkloadConfig};
 
@@ -154,16 +154,10 @@ fn main() {
         ("legacy", RunOptions::legacy()),
     ] {
         let t = bench(&format!("pipeline/logical-greedy/{name}"), || {
-            run_reduction_with(
-                &program,
-                &oracle,
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                0.0,
-                &options,
-            )
-            .expect("reduces")
-            .final_metrics
-            .bytes
+            run_reduction_with(&program, &oracle, "logical/greedy", 0.0, &options)
+                .expect("reduces")
+                .final_metrics
+                .bytes
         });
         pipeline_times.push(t);
     }

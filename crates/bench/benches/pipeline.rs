@@ -2,10 +2,8 @@
 //! small NJR-like benchmark (this is the expensive, headline comparison).
 
 use lbr_bench::microbench::bench;
-use lbr_core::LossyPick;
 use lbr_decompiler::{BugSet, DecompilerOracle};
-use lbr_jreduce::{build_model, run_reduction, Strategy};
-use lbr_logic::MsaStrategy;
+use lbr_jreduce::{build_model, run_reduction};
 use lbr_workload::{generate, WorkloadConfig};
 
 fn bench_pipeline() {
@@ -19,13 +17,8 @@ fn bench_pipeline() {
     let oracle = DecompilerOracle::new(&program, BugSet::decompiler_a());
     assert!(oracle.is_failing());
 
-    for strategy in [
-        Strategy::JReduce,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        Strategy::Lossy(LossyPick::FirstFirst),
-        Strategy::Lossy(LossyPick::LastLast),
-    ] {
-        bench(&format!("pipeline/{}", strategy.name()), || {
+    for strategy in ["jreduce", "logical/greedy", "lossy-1", "lossy-2"] {
+        bench(&format!("pipeline/{strategy}"), || {
             run_reduction(&program, &oracle, strategy, 0.0)
                 .expect("reduces")
                 .final_metrics

@@ -2,7 +2,7 @@
 //! paper's Section 5 on the synthetic NJR-like suite.
 //!
 //! ```text
-//! eval [--experiment all|stats|fig8a|fig8b|lossy|ablate-msa|ablate-order|ablate-engine|ddmin|csv]
+//! eval [--experiment all|stats|fig8a|fig8b|lossy|compare|ablate-msa|ablate-order|ablate-engine|ddmin|csv]
 //!      [--format classfile|stackvm|both]
 //!      [--programs N] [--scale F] [--seed N] [--cost SECS]
 //!      [--threads N] [--repeats N] [--probe-threads N] [--legacy] [--json [PATH]]
@@ -19,7 +19,7 @@
 //! speculative parallel probing inside each GBR search (bit-identical
 //! results at any setting); `--engine cdcl` backs the logical strategies
 //! with the CDCL solver (bit-identical results, different solver effort);
-//! `--order` picks the GBR variable order of `Strategy::Logical`;
+//! `--order` picks the GBR variable order of the logical strategies;
 //! `--json` writes machine-readable results (default path
 //! `BENCH_results.json`). The `ablate-engine` experiment runs the
 //! engine/order variant grid in one shot (rows suffixed `+cdcl`,
@@ -27,13 +27,12 @@
 //! `BENCH_baseline.json`.
 
 use lbr_bench::{
-    compute_stats, headline_strategies, lossy_strategies, render_ablation, render_csv,
-    render_fig8a, render_fig8b, render_json, render_lossy, render_stats, run_engine_grid, run_grid,
-    EvalBenchmark, EvalConfig, RunRecord,
+    compare_strategies, compute_stats, headline_strategies, lossy_strategies, render_ablation,
+    render_compare, render_csv, render_fig8a, render_fig8b, render_json, render_lossy,
+    render_stats, run_engine_grid, run_grid, EvalBenchmark, EvalConfig, RunRecord,
 };
-use lbr_core::{EngineChoice, LossyPick};
-use lbr_jreduce::{OrderChoice, RunOptions, Strategy};
-use lbr_logic::MsaStrategy;
+use lbr_core::EngineChoice;
+use lbr_jreduce::{OrderChoice, RunOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -141,7 +140,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: eval [--experiment all|stats|fig8a|fig8b|lossy|per-error|ablate-msa|ablate-order|ablate-engine|ddmin|csv]"
+                    "usage: eval [--experiment all|stats|fig8a|fig8b|lossy|compare|per-error|ablate-msa|ablate-order|ablate-engine|ddmin|csv]"
                 );
                 println!("            [--format classfile|stackvm|both]");
                 println!("            [--programs N] [--scale F] [--seed N] [--cost SECS]");
@@ -166,7 +165,7 @@ fn main() {
                 println!("  --legacy      scan-BCP baseline: no incremental engine, no memo");
                 println!("  --engine E    complete-search solver behind the logical strategies:");
                 println!("                dpll (default) or cdcl (bit-identical results)");
-                println!("  --order O     GBR variable order for Strategy::Logical: baseline");
+                println!("  --order O     GBR variable order for the logical strategies: baseline");
                 println!("                (closure-size, default), learned (activity-refined),");
                 println!("                or portfolio (race baseline/learned/history orders)");
                 println!("  --slot-dir DIR  persist each finished run as DIR/slot-NNNN.json");
@@ -183,12 +182,13 @@ fn main() {
         }
     }
 
-    const EXPERIMENTS: [&str; 11] = [
+    const EXPERIMENTS: [&str; 12] = [
         "all",
         "stats",
         "fig8a",
         "fig8b",
         "lossy",
+        "compare",
         "per-error",
         "ablate-msa",
         "ablate-order",
@@ -273,7 +273,7 @@ fn drive<B: EvalBenchmark>(
     stats: Option<&lbr_bench::Stats>,
     failed_jobs: &std::cell::Cell<usize>,
 ) -> Vec<RunRecord> {
-    let run = |strategies: &[Strategy]| {
+    let run = |strategies: &[&str]| {
         let records = run_grid(config, benchmarks, strategies);
         let expected = benchmarks.len() * strategies.len();
         failed_jobs.set(failed_jobs.get() + (expected - records.len()));
@@ -307,20 +307,18 @@ fn drive<B: EvalBenchmark>(
             print!("{}", render_lossy(&records));
             records
         }
+        "compare" => {
+            let records = run(&compare_strategies());
+            print!("{}", render_compare(&records));
+            records
+        }
         "ablate-msa" => {
-            let strategies: Vec<Strategy> = MsaStrategy::ALL
-                .iter()
-                .map(|&m| Strategy::Logical(m))
-                .collect();
-            let records = run(&strategies);
+            let records = run(&["logical/greedy", "logical/greedy+min", "logical/dpll+min"]);
             print!("{}", render_ablation(&records, "A1: MSA strategy ablation"));
             records
         }
         "ablate-order" => {
-            let records = run(&[
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                Strategy::LogicalNaturalOrder,
-            ]);
+            let records = run(&["logical/greedy", "logical/natural-order"]);
             print!(
                 "{}",
                 render_ablation(&records, "A2: variable-order ablation (Theorem 4.5)")
@@ -328,10 +326,7 @@ fn drive<B: EvalBenchmark>(
             records
         }
         "ddmin" => {
-            let records = run(&[
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                Strategy::DdminItems,
-            ]);
+            let records = run(&["logical/greedy", "ddmin-items"]);
             print!("{}", render_ablation(&records, "A3: ddmin baseline"));
             records
         }
@@ -350,22 +345,12 @@ fn drive<B: EvalBenchmark>(
             Vec::new()
         }
         "csv" => {
-            let records = run(&[
-                Strategy::JReduce,
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                Strategy::Lossy(LossyPick::FirstFirst),
-                Strategy::Lossy(LossyPick::LastLast),
-            ]);
+            let records = run(&["jreduce", "logical/greedy", "lossy-1", "lossy-2"]);
             print!("{}", render_csv(&records));
             records
         }
         "all" => {
-            let records = run(&[
-                Strategy::JReduce,
-                Strategy::Logical(MsaStrategy::GreedyClosure),
-                Strategy::Lossy(LossyPick::FirstFirst),
-                Strategy::Lossy(LossyPick::LastLast),
-            ]);
+            let records = run(&["jreduce", "logical/greedy", "lossy-1", "lossy-2"]);
             render_stats_or_summary(&records);
             println!();
             print!("{}", render_fig8a(&records));

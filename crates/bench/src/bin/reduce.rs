@@ -4,11 +4,16 @@
 //! ```text
 //! reduce --input bench.lbrc [--format classfile|stackvm]
 //!        --decompiler a|b|c|all
-//!        [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]
+//!        [--strategy NAME] [--list-strategies]
 //!        [--out reduced.lbrc] [--json report.json] [--disasm]
 //!        [--per-error] [--cost SECS] [--probe-threads N]
 //!        [--engine dpll|cdcl] [--order baseline|learned|portfolio]
 //! ```
+//!
+//! `--strategy` takes any name in the strategy registry (see
+//! `--list-strategies` for the full zoo and each strategy's capability
+//! flags); the short aliases of earlier releases (`logical`,
+//! `logical-min`, `lossy1`, `lossy2`, `ddmin`) still resolve.
 //!
 //! `--format` selects the frontend; everything downstream of the parse —
 //! strategies, probe threading, engines, validation, the JSON report —
@@ -29,10 +34,9 @@
 //! fails, `2` on usage errors.
 
 use lbr_classfile::{disassemble_program, read_program, write_class_directory};
-use lbr_core::{EngineChoice, Input, InputOracle, LossyPick};
+use lbr_core::{EngineChoice, Input, InputOracle};
 use lbr_decompiler::{BugSet, DecompilerOracle};
-use lbr_jreduce::{check_report, OrderChoice, ReductionSession, RunOptions, Strategy};
-use lbr_logic::MsaStrategy;
+use lbr_jreduce::{check_report, OrderChoice, ReductionSession, RunOptions};
 use lbr_service::{atomic_write, atomic_write_str, Json};
 use lbr_stackvm::{Module as StackModule, StackBugSet, StackOracle};
 
@@ -121,12 +125,14 @@ fn main() {
             }
             "--disasm" => run.disasm = true,
             "--per-error" => run.per_error = true,
+            "--list-strategies" => {
+                list_strategies();
+                return;
+            }
             "--help" | "-h" => {
                 println!("usage: reduce --input bench.lbrc [--format classfile|stackvm]");
                 println!("              [--decompiler a|b|c|all]");
-                println!(
-                    "              [--strategy logical|logical-min|jreduce|lossy1|lossy2|ddmin]"
-                );
+                println!("              [--strategy NAME] [--list-strategies]");
                 println!(
                     "              [--out reduced.lbrc] [--out-dir dir/] [--json report.json]"
                 );
@@ -146,6 +152,10 @@ fn main() {
         eprintln!("--input is required (try --help)");
         std::process::exit(2);
     });
+    if !lbr_jreduce::known_strategy(&run.strategy) {
+        eprintln!("unknown strategy {} (try --list-strategies)", run.strategy);
+        std::process::exit(2);
+    }
     let bytes = std::fs::read(&input).unwrap_or_else(|e| fail(format!("cannot read {input}: {e}")));
     match format.as_str() {
         "classfile" => {
@@ -195,6 +205,27 @@ fn main() {
     }
 }
 
+/// Prints the strategy registry: every runnable name plus its
+/// capability flags (the single source of truth the daemon's `stats`
+/// response also enumerates).
+fn list_strategies() {
+    println!("{:<24} capabilities", "strategy");
+    for (name, caps) in lbr_jreduce::strategy_catalog() {
+        let flags: Vec<&str> = [
+            (caps.resumable, "resumable"),
+            (caps.speculative, "speculative"),
+            (caps.per_error, "per-error"),
+            (caps.honors_engine, "engine"),
+            (caps.honors_order, "order"),
+            (caps.uses_model, "model"),
+        ]
+        .iter()
+        .filter_map(|&(on, tag)| on.then_some(tag))
+        .collect();
+        println!("{name:<24} {}", flags.join(","));
+    }
+}
+
 /// The format-generic body: same session, strategies, validation, and
 /// reporting for every frontend behind the [`Input`] trait. The two
 /// closures are the only format-specific affordances (human-readable
@@ -238,20 +269,8 @@ fn run_reduce<I: Input, O: InputOracle<I>>(
         return;
     }
 
-    let strategy = match args.strategy.as_str() {
-        "logical" => Strategy::Logical(MsaStrategy::GreedyClosure),
-        "logical-min" => Strategy::LogicalMinimized,
-        "jreduce" => Strategy::JReduce,
-        "lossy1" => Strategy::Lossy(LossyPick::FirstFirst),
-        "lossy2" => Strategy::Lossy(LossyPick::LastLast),
-        "ddmin" => Strategy::DdminItems,
-        other => {
-            eprintln!("unknown strategy {other}");
-            std::process::exit(2);
-        }
-    };
     let report = ReductionSession::new(program, oracle)
-        .strategy(strategy)
+        .strategy(args.strategy.clone())
         .cost_per_call(args.cost)
         .options(args.options)
         .run()

@@ -15,9 +15,8 @@
 
 pub mod microbench;
 
-use lbr_core::{EngineChoice, Input, InputOracle, LossyPick, ProbeStats, ReductionTrace};
-use lbr_jreduce::{OrderChoice, ReductionSession, RunOptions, Strategy};
-use lbr_logic::MsaStrategy;
+use lbr_core::{EngineChoice, Input, InputOracle, ProbeStats, ReductionTrace};
+use lbr_jreduce::{OrderChoice, ReductionSession, RunOptions};
 use lbr_service::{atomic_write_str, Json};
 use lbr_workload::{
     geometric_mean, stack_suite, suite, suite_stats, Benchmark, StackBenchmark, SuiteConfig,
@@ -271,7 +270,7 @@ fn write_slot(dir: &Path, index: usize, result: &Result<RunRecord, String>) {
 fn run_one<B: EvalBenchmark>(
     config: &EvalConfig,
     b: &B,
-    strategy: Strategy,
+    strategy: &str,
 ) -> Result<RunRecord, String> {
     let oracle = b.oracle();
     let run = || {
@@ -280,13 +279,13 @@ fn run_one<B: EvalBenchmark>(
             .cost_per_call(config.cost_per_call_secs)
             .options(config.options)
             .run()
-            .map_err(|e| format!("{} / {}: {e}", b.name(), strategy.name()))
+            .map_err(|e| format!("{} / {strategy}: {e}", b.name()))
     };
     let mut report = run()?;
     // An unsound or non-round-tripping result must surface as a failed
     // job (eval exits non-zero), not as a quietly wrong table row.
     lbr_jreduce::check_report(&report)
-        .map_err(|e| format!("{} / {}: invalid result: {e}", b.name(), strategy.name()))?;
+        .map_err(|e| format!("{} / {strategy}: invalid result: {e}", b.name()))?;
     // Extra repeats only de-noise wall_secs (keep the fastest run); the
     // search itself is deterministic, so checking the first run suffices.
     for _ in 1..config.repeats.max(1) {
@@ -309,9 +308,9 @@ fn run_one<B: EvalBenchmark>(
 pub fn run_grid<B: EvalBenchmark>(
     config: &EvalConfig,
     benchmarks: &[B],
-    strategies: &[Strategy],
+    strategies: &[&str],
 ) -> Vec<RunRecord> {
-    let jobs: Vec<(&B, Strategy)> = benchmarks
+    let jobs: Vec<(&B, &str)> = benchmarks
         .iter()
         .flat_map(|b| strategies.iter().map(move |&s| (b, s)))
         .collect();
@@ -378,10 +377,22 @@ pub fn run_grid<B: EvalBenchmark>(
 }
 
 /// The strategies of the headline comparison (Figure 8a/8b).
-pub fn headline_strategies() -> Vec<Strategy> {
+pub fn headline_strategies() -> Vec<&'static str> {
+    vec!["jreduce", "logical/greedy"]
+}
+
+/// E7 — the baseline-zoo comparison: the headline pair plus the
+/// validity-filtered ddmin, HDD, transformation-pass, and trace-guided
+/// strategies, run over both frontends' suites by the `compare`
+/// experiment.
+pub fn compare_strategies() -> Vec<&'static str> {
     vec![
-        Strategy::JReduce,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
+        "jreduce",
+        "logical/greedy",
+        "ddmin-items",
+        "hdd",
+        "transform",
+        "logical/trace-guided",
     ]
 }
 
@@ -393,9 +404,9 @@ pub fn headline_strategies() -> Vec<Strategy> {
 /// all of them at once. The caller's `slot_dir` is ignored — the variant
 /// grids would otherwise overwrite each other's slot files.
 pub fn run_engine_grid<B: EvalBenchmark>(config: &EvalConfig, benchmarks: &[B]) -> Vec<RunRecord> {
-    let logical = Strategy::Logical(MsaStrategy::GreedyClosure);
-    let variants: [(Strategy, RunOptions); 5] = [
-        (Strategy::JReduce, config.options),
+    let logical = "logical/greedy";
+    let variants: [(&str, RunOptions); 5] = [
+        ("jreduce", config.options),
         (logical, config.options),
         (
             logical,
@@ -433,12 +444,8 @@ pub fn run_engine_grid<B: EvalBenchmark>(config: &EvalConfig, benchmarks: &[B]) 
 }
 
 /// The strategies of the lossy-encoding comparison.
-pub fn lossy_strategies() -> Vec<Strategy> {
-    vec![
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        Strategy::Lossy(LossyPick::FirstFirst),
-        Strategy::Lossy(LossyPick::LastLast),
-    ]
+pub fn lossy_strategies() -> Vec<&'static str> {
+    vec!["logical/greedy", "lossy-1", "lossy-2"]
 }
 
 fn records_of<'r>(records: &'r [RunRecord], strategy: &str) -> Vec<&'r RunRecord> {
@@ -702,6 +709,82 @@ pub fn render_ablation(records: &[RunRecord], title: &str) -> String {
     out
 }
 
+/// E7 — the baseline-zoo table: one row per (strategy, format) pair with
+/// geometric-mean sizes and predicate-call counts, so the trace-guided
+/// mode's call savings against plain GBR are directly readable. Rows
+/// follow [`compare_strategies`] order (then any extra strategies found
+/// in the records, sorted), formats within a strategy sorted.
+pub fn render_compare(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# E7: strategy zoo × input format");
+    let _ = writeln!(
+        out,
+        "#     geo-means per (strategy, format); calls is the predicate-call count"
+    );
+    let mut order: Vec<String> = compare_strategies()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    let mut extra: Vec<String> = records
+        .iter()
+        .map(|r| r.strategy.clone())
+        .filter(|s| !order.contains(s))
+        .collect();
+    extra.sort();
+    extra.dedup();
+    order.extend(extra);
+    let mut formats: Vec<String> = records.iter().map(|r| r.format.clone()).collect();
+    formats.sort();
+    formats.dedup();
+    let _ = writeln!(
+        out,
+        "{:<24} {:<10} {:>4} {:>10} {:>10} {:>10} {:>8}",
+        "strategy", "format", "n", "bytes%", "classes%", "calls", "sound"
+    );
+    for s in &order {
+        for format in &formats {
+            let rs: Vec<&RunRecord> = records
+                .iter()
+                .filter(|r| &r.strategy == s && &r.format == format)
+                .collect();
+            if rs.is_empty() {
+                continue;
+            }
+            let bytes = geometric_mean(rs.iter().map(|r| 100.0 * r.relative_bytes()));
+            let classes = geometric_mean(rs.iter().map(|r| 100.0 * r.relative_classes()));
+            let calls = geometric_mean(rs.iter().map(|r| r.calls as f64));
+            let sound = rs.iter().all(|r| r.sound);
+            let _ = writeln!(
+                out,
+                "{s:<24} {format:<10} {:>4} {bytes:>9.1}% {classes:>9.1}% {calls:>10.1} {:>8}",
+                rs.len(),
+                if sound { "yes" } else { "NO" }
+            );
+        }
+    }
+    // The headline claim of the trace-guided mode: fewer predicate calls
+    // than the plain greedy GBR it layers on, per format.
+    for format in &formats {
+        let calls_of = |name: &str| {
+            let rs: Vec<&RunRecord> = records
+                .iter()
+                .filter(|r| r.strategy == name && &r.format == format)
+                .collect();
+            (!rs.is_empty()).then(|| geometric_mean(rs.iter().map(|r| r.calls as f64)))
+        };
+        if let (Some(plain), Some(traced)) =
+            (calls_of("logical/greedy"), calls_of("logical/trace-guided"))
+        {
+            let _ = writeln!(
+                out,
+                "\n{format}: trace-guided makes {traced:.1} calls (geo-mean) vs {plain:.1} for logical/greedy ({:+.1}%)",
+                100.0 * (traced / plain.max(1e-9) - 1.0)
+            );
+        }
+    }
+    out
+}
+
 /// E6 — per-error reduction: one GBR search per distinct compiler error
 /// (the paper's long-running cases: "73 searches … 951 decompilations").
 pub fn render_per_error<B: EvalBenchmark>(config: &EvalConfig, benchmarks: &[B]) -> String {
@@ -957,7 +1040,7 @@ mod tests {
         assert!(json.contains("\"format\": \"stackvm\""));
         // Mixed-format records aggregate per (format, strategy): the same
         // strategy name shows up once per frontend.
-        let classfile = run_grid(&config, &config.suite(), &[Strategy::JReduce]);
+        let classfile = run_grid(&config, &config.suite(), &["jreduce"]);
         let mut mixed = records.clone();
         mixed.extend(classfile);
         let json = render_json(&mixed);

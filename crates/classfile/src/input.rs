@@ -22,9 +22,22 @@ impl Input for Program {
         let model = build_model(self).map_err(|e| e.to_string())?;
         let stats = model.stats();
         let registry = model.registry;
+        // Containment depth: class/interface files, then the members and
+        // relations they declare, then the method/constructor bodies
+        // nested inside those members.
+        let levels = registry
+            .items()
+            .iter()
+            .map(|item| match item {
+                crate::Item::Class(_) | crate::Item::Interface(_) => 0,
+                crate::Item::MethodCode(..) | crate::Item::ConstructorCode(..) => 2,
+                _ => 1,
+            })
+            .collect();
         Ok(InputModel {
             cnf: model.cnf,
             stats,
+            levels,
             materialize: Box::new(move |keep: &VarSet| reduce_program(self, &registry, keep)),
         })
     }

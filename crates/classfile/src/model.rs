@@ -66,6 +66,12 @@ impl std::fmt::Display for ModelError {
 
 impl std::error::Error for ModelError {}
 
+impl From<ModelError> for lbr_core::PipelineError {
+    fn from(e: ModelError) -> Self {
+        lbr_core::PipelineError::Model(e.to_string())
+    }
+}
+
 /// Builds the logical dependency model of a (verifying) program.
 ///
 /// # Errors

@@ -4,8 +4,9 @@
 //! One [`ClusterServer`] rides alongside one reduction daemon. It binds
 //! its own TCP listener (published in `cluster.addr` next to
 //! `daemon.addr`), accepts worker nodes, and implements the daemon's
-//! [`ClusterDispatch`] hook: every `logical` job gets a
-//! [`ProbeDistributor`] whose frontier the connected workers drain.
+//! [`ClusterDispatch`] hook: every job whose strategy is resumable and
+//! speculative (the logical GBR family) gets a [`ProbeDistributor`]
+//! whose frontier the connected workers drain.
 //!
 //! ```text
 //!                        coordinator host
@@ -177,7 +178,12 @@ impl ClusterServer {
 
 impl ClusterDispatch for ClusterServer {
     fn job_distributor(&self, spec: &JobSpec, input: &[u8]) -> Option<Box<dyn ProbeDistributor>> {
-        if spec.strategy != "logical" {
+        // Distributed probe batches only pay off for strategies whose
+        // search both checkpoints and probes speculatively (the GBR
+        // service path). The registry resolves aliases, so the legacy
+        // wire spelling `"logical"` keeps distributing.
+        let caps = lbr_jreduce::strategy_caps(&spec.strategy)?;
+        if !(caps.resumable && caps.speculative) {
             return None;
         }
         let descriptor = Json::obj([

@@ -37,6 +37,12 @@ pub struct InputModel<'i, I> {
     pub cnf: Cnf,
     /// Model-size statistics for reports.
     pub stats: ModelStats,
+    /// Containment depth of each item variable (index = variable index):
+    /// `0` for top-level units (classes, functions), increasing with
+    /// nesting. Hierarchical strategies (HDD, transformation passes)
+    /// sweep the tree level by level through this map; flat strategies
+    /// ignore it. A frontend without hierarchy reports all zeros.
+    pub levels: Vec<u8>,
     /// Keep-set → reduced input.
     pub materialize: Box<dyn Fn(&VarSet) -> I + Sync + 'i>,
 }
@@ -134,6 +140,18 @@ pub trait InputOracle<I>: Send + Sync {
     }
 }
 
+/// References delegate, so generic entry points taking `&O` can hand a
+/// `&dyn InputOracle<I>` to the object-safe strategy seam.
+impl<I, O: InputOracle<I> + ?Sized> InputOracle<I> for &O {
+    fn baseline(&self) -> &BTreeSet<String> {
+        (**self).baseline()
+    }
+
+    fn errors(&self, input: &I) -> BTreeSet<String> {
+        (**self).errors(input)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +172,7 @@ mod tests {
             Ok(InputModel {
                 cnf,
                 stats,
+                levels: vec![0; self.0.len()],
                 materialize: Box::new(move |keep: &VarSet| {
                     Toy(keep.iter().map(|v| self.0[v.index()]).collect())
                 }),

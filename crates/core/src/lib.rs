@@ -62,6 +62,7 @@ mod orders;
 mod problem;
 mod stack;
 mod stats;
+mod strategy;
 mod trace;
 
 pub use binary::{binary_reduction, BinaryReductionError, BinaryReductionOutcome};
@@ -90,8 +91,12 @@ pub use orders::{
 };
 pub use problem::{Instance, Oracle, Predicate};
 pub use stack::{
-    CacheLayer, FaultyCache, LatencyLayer, MemoryCache, OracleLayer, OracleStack, StatsLayer,
-    ValidationLayer,
+    CacheLayer, CoverageTrace, FaultyCache, LatencyLayer, MemoryCache, OracleLayer, OracleStack,
+    StatsLayer, TraceLayer, ValidationLayer,
 };
 pub use stats::{CacheStats, ProbeStats};
+pub use strategy::{
+    OrderChoice, PipelineError, ReductionStrategy, RunOptions, ServiceHooks, StrategyCaps,
+    StrategyOutput, StrategyRegistry,
+};
 pub use trace::{ReductionTrace, TracePoint};

@@ -152,6 +152,183 @@ impl OracleLayer for CacheLayer<'_> {
     }
 }
 
+/// Per-probe coverage statistics aggregated by a [`TraceLayer`].
+///
+/// This is the trace-guided prior of coverage-based debloating, recast
+/// over keep-sets: every failure-preserving probe "executes" exactly the
+/// items it kept, so the per-item frequency over failing probes is an
+/// execution-coverage profile of the bug, and the smallest failing
+/// keep-set seen is the covered set a trace-guided search should start
+/// from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageTrace {
+    probes: u64,
+    failing: u64,
+    freq: Vec<u64>,
+    best_failing: Option<VarSet>,
+}
+
+impl CoverageTrace {
+    /// An empty trace over `num_vars` item variables.
+    pub fn new(num_vars: usize) -> Self {
+        CoverageTrace {
+            probes: 0,
+            failing: 0,
+            freq: vec![0; num_vars],
+            best_failing: None,
+        }
+    }
+
+    /// Folds one probe into the trace. Only failure-preserving probes
+    /// contribute coverage; ties on the smallest failing keep-set go to
+    /// the earliest probe, keeping the trace deterministic.
+    pub fn record(&mut self, input: &VarSet, probe: Probe) {
+        self.probes += 1;
+        if probe.outcome {
+            self.failing += 1;
+            for v in input.iter() {
+                self.freq[v.index()] += 1;
+            }
+            let better = match &self.best_failing {
+                None => true,
+                Some(best) => input.len() < best.len(),
+            };
+            if better {
+                self.best_failing = Some(input.clone());
+            }
+        }
+    }
+
+    /// Probes recorded.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Probes whose outcome preserved the failure.
+    pub fn failing(&self) -> u64 {
+        self.failing
+    }
+
+    /// Per-variable count of failing probes that kept the variable.
+    pub fn frequencies(&self) -> &[u64] {
+        &self.freq
+    }
+
+    /// The smallest failure-preserving keep-set seen, if any — the
+    /// covered set a trace-guided search seeds its assignment with.
+    pub fn covered(&self) -> Option<&VarSet> {
+        self.best_failing.as_ref()
+    }
+
+    /// FNV-1a digest of the whole trace (counts, frequencies, covered
+    /// set), for bit-identity assertions across runs and store states.
+    pub fn digest(&self) -> u64 {
+        fn eat(h: u64, x: u64) -> u64 {
+            x.to_le_bytes()
+                .iter()
+                .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = eat(h, self.probes);
+        h = eat(h, self.failing);
+        for &f in &self.freq {
+            h = eat(h, f);
+        }
+        match &self.best_failing {
+            None => h = eat(h, u64::MAX),
+            Some(best) => {
+                h = eat(h, best.len() as u64);
+                for v in best.iter() {
+                    h = eat(h, v.index() as u64);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// The trace-recording layer: observes every probe into a
+/// [`CoverageTrace`], optionally backed by a cross-run trace *store* (a
+/// [`ProbeCache`]) that answers repeated probes without re-running the
+/// tool.
+///
+/// Canonical stack position: memo → **trace** → cache → latency → base.
+/// The store follows [`CacheLayer`]'s hit discipline exactly — a hit
+/// replaces the tool invocation only, and the probe is still recorded in
+/// the trace — so call counts, traces, digests and results are
+/// bit-identical whether the store is cold, warm, or absent.
+pub struct TraceLayer<'c> {
+    store: Option<&'c dyn ProbeCache>,
+    trace: Mutex<CoverageTrace>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'c> TraceLayer<'c> {
+    /// A store-less recorder over `num_vars` item variables.
+    pub fn new(num_vars: usize) -> Self {
+        TraceLayer {
+            store: None,
+            trace: Mutex::new(CoverageTrace::new(num_vars)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A recorder whose probes are answered from (and stored back to)
+    /// `store` — warm runs skip the tool, the trace sees every probe.
+    pub fn with_store(num_vars: usize, store: &'c dyn ProbeCache) -> Self {
+        TraceLayer {
+            store: Some(store),
+            ..TraceLayer::new(num_vars)
+        }
+    }
+
+    /// Probes answered by the trace store without the layers below.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probes that ran the layers below.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the coverage trace aggregated so far.
+    pub fn snapshot(&self) -> CoverageTrace {
+        self.trace.lock().expect("trace layer").clone()
+    }
+}
+
+impl OracleLayer for TraceLayer<'_> {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn probe(&self, input: &VarSet, next: &dyn Fn(&VarSet) -> Probe) -> Probe {
+        let probe = match self.store {
+            Some(store) => match store.lookup(input) {
+                Some(p) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    p
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let p = next(input);
+                    store.store(input, p);
+                    p
+                }
+            },
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                next(input)
+            }
+        };
+        self.trace.lock().expect("trace layer").record(input, probe);
+        probe
+    }
+}
+
 /// Emulated tool latency: sleeps for a fixed duration on every probe that
 /// reaches it, modeling the decompile+compile wall cost without the
 /// tools. Placed beneath the cache layer so cache hits stay instant.
@@ -480,6 +657,59 @@ mod tests {
         // Disarmed path returns the intact entry.
         let no_faults = FaultyCache::new(&inner, FaultPlan { rate: 0.0, seed: 1 });
         assert_eq!(no_faults.lookup(&key), Some(probe));
+    }
+
+    #[test]
+    fn trace_layer_aggregates_failing_coverage() {
+        let base = |s: &VarSet| s.contains(Var::new(0));
+        let trace = TraceLayer::new(4);
+        let stack = OracleStack::new(&base).with(&trace);
+        stack.probe(&set(4, &[0, 1]));
+        stack.probe(&set(4, &[0]));
+        stack.probe(&set(4, &[2]));
+        let cov = trace.snapshot();
+        assert_eq!((cov.probes(), cov.failing()), (3, 2));
+        assert_eq!(cov.frequencies(), &[2, 1, 0, 0]);
+        assert_eq!(cov.covered(), Some(&set(4, &[0])));
+        assert_eq!(trace.misses(), 3);
+    }
+
+    #[test]
+    fn warm_trace_store_is_invisible_in_the_trace() {
+        let runs = AtomicUsize::new(0);
+        let base = |s: &VarSet| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            s.contains(Var::new(1))
+        };
+        let store = MemoryCache::new();
+        let probes = [set(4, &[0, 1]), set(4, &[1]), set(4, &[3])];
+        let cold = TraceLayer::with_store(4, &store);
+        for p in &probes {
+            OracleStack::new(&base).with(&cold).probe(p);
+        }
+        let cold_runs = runs.load(Ordering::Relaxed);
+        let warm = TraceLayer::with_store(4, &store);
+        for p in &probes {
+            OracleStack::new(&base).with(&warm).probe(p);
+        }
+        assert_eq!(runs.load(Ordering::Relaxed), cold_runs, "warm skips tool");
+        assert_eq!(warm.hits(), 3);
+        assert_eq!(cold.snapshot(), warm.snapshot(), "trace sees every probe");
+        assert_eq!(cold.snapshot().digest(), warm.snapshot().digest());
+    }
+
+    #[test]
+    fn coverage_digest_separates_distinct_traces() {
+        let mut a = CoverageTrace::new(3);
+        let mut b = CoverageTrace::new(3);
+        let failing = Probe {
+            outcome: true,
+            size: 2,
+        };
+        a.record(&set(3, &[0, 1]), failing);
+        b.record(&set(3, &[0, 2]), failing);
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), CoverageTrace::new(3).digest());
     }
 
     #[test]

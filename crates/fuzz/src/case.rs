@@ -16,7 +16,7 @@ use lbr_decompiler::{BugKind, BugSet};
 use lbr_prng::SplitMix64;
 use lbr_service::Json;
 use lbr_stackvm::{Module, StackBugKind, StackBugSet};
-use lbr_workload::{StackShape, StackWorkloadConfig, WorkloadConfig};
+use lbr_workload::{AdversarialShape, StackShape, StackWorkloadConfig, WorkloadConfig};
 
 /// Format tag written into every case file. Old `v1` files (classfile
 /// only, no `format` key) are still accepted by [`FuzzCase::from_json`].
@@ -93,13 +93,22 @@ impl FuzzCase {
 
     /// Samples case `index` of the `master_seed` run: a random small
     /// workload geometry, a random decompiler, and that decompiler's bug
-    /// kinds planted so the oracle has something to preserve.
+    /// kinds planted so the oracle has something to preserve. Roughly one
+    /// case in four swaps the sampled geometry for an adversarial-shape
+    /// preset (constraint-dense, wide-flat, deep-chain, multi-error), so
+    /// every campaign exercises the strategy zoo's worst cases; the full
+    /// config is stored in the case file either way, so replay is exact.
     pub fn sampled(master_seed: u64, index: u64, break_oracle: bool) -> FuzzCase {
         let case_seed = Self::case_seed(master_seed, index);
         let mut rng = SplitMix64::seed_from_u64(case_seed ^ GOLDEN);
         let decompiler = ["a", "b", "c"][rng.gen_range(0usize..=2)].to_string();
         let bugs = bugset_by_name(&decompiler).expect("fixed name set");
-        let mut workload = WorkloadConfig::sampled(case_seed);
+        let mut workload = if rng.gen_range(0u64..=3) == 0 {
+            let shape = AdversarialShape::ALL[rng.gen_range(0usize..=3)];
+            WorkloadConfig::adversarial(shape, case_seed)
+        } else {
+            WorkloadConfig::sampled(case_seed)
+        };
         workload.plant = bugs.kinds().to_vec();
         FuzzCase {
             master_seed,

@@ -35,10 +35,8 @@ use lbr_classfile::{verify_program, Program};
 use lbr_cluster::{run_worker, ClusterServer, WorkerOptions};
 use lbr_core::{EngineChoice, Input, InputOracle, TestOutcome};
 use lbr_decompiler::DecompilerOracle;
-use lbr_jreduce::{
-    build_model, check_report, ReductionReport, ReductionSession, RunOptions, Strategy,
-};
-use lbr_logic::{count_models, CdclEngine, Cnf, CountSession, MsaStrategy, Var, VarSet};
+use lbr_jreduce::{build_model, check_report, ReductionReport, ReductionSession, RunOptions};
+use lbr_logic::{count_models, CdclEngine, Cnf, CountSession, Var, VarSet};
 use lbr_service::{
     namespace_digest, Client, Daemon, DaemonConfig, FaultPlan, Json, PersistentOracleCache,
 };
@@ -63,7 +61,7 @@ where
     O: InputOracle<I>,
 {
     ReductionSession::new(input, oracle)
-        .strategy(Strategy::Logical(MsaStrategy::GreedyClosure))
+        .strategy("logical/greedy")
         .cost_per_call(COST_SECS)
 }
 
@@ -296,10 +294,7 @@ impl Harness {
 
         // P3: the DPLL-conditioned MSA strategy — its own sound result
         // (a different search, so no bit-identity with the reference).
-        match session(input, oracle)
-            .strategy(Strategy::Logical(MsaStrategy::DpllMinimize))
-            .run()
-        {
+        match session(input, oracle).strategy("logical/dpll+min").run() {
             Ok(report) => {
                 out.progressions += 1;
                 soundness("I1-I3 dpll-minimize", &report, &mut out.violations);
@@ -309,8 +304,26 @@ impl Harness {
                 .push(format!("dpll-minimize run failed: {e}")),
         }
 
+        // P13–P15: the baseline zoo from the strategy registry — HDD over
+        // the containment tree, transformation passes before GBR, and the
+        // trace-guided GBR mode. Each is its own search (no bit-identity
+        // with the reference), checked for soundness (I1–I3).
+        for (tag, name) in [
+            ("hdd", "hdd"),
+            ("transform", "transform"),
+            ("trace-guided", "logical/trace-guided"),
+        ] {
+            match session(input, oracle).strategy(name).run() {
+                Ok(report) => {
+                    out.progressions += 1;
+                    soundness(&format!("I1-I3 {tag}"), &report, &mut out.violations);
+                }
+                Err(e) => out.violations.push(format!("{tag} run failed: {e}")),
+            }
+        }
+
         // P4: the ddmin baseline — sound, and never beaten by GBR (I5).
-        match session(input, oracle).strategy(Strategy::DdminItems).run() {
+        match session(input, oracle).strategy("ddmin-items").run() {
             Ok(report) => {
                 out.progressions += 1;
                 soundness("I1-I3 ddmin-items", &report, &mut out.violations);

@@ -6,8 +6,9 @@
 //! format in [`lbr_classfile`], the stack-machine bytecode in
 //! `lbr_stackvm`, ...):
 //!
-//! * [`run_reduction`] — drivers for the evaluated strategies
-//!   ([`Strategy`]), all generic over the input format,
+//! * [`run_reduction`] — drivers for the evaluated strategies, looked up
+//!   by name in the open [`strategy_registry`], all generic over the
+//!   input format,
 //! * [`ReductionSession`] — the builder the daemon, cluster, bins, and
 //!   fuzzer configure runs through.
 //!
@@ -19,15 +20,14 @@
 //! # Example
 //!
 //! ```no_run
-//! use lbr_jreduce::{run_reduction, Strategy};
+//! use lbr_jreduce::run_reduction;
 //! use lbr_decompiler::{BugSet, DecompilerOracle};
-//! use lbr_logic::MsaStrategy;
 //! # let program = lbr_classfile::Program::new();
 //! let oracle = DecompilerOracle::new(&program, BugSet::decompiler_a());
 //! let report = run_reduction(
 //!     &program,
 //!     &oracle,
-//!     Strategy::Logical(MsaStrategy::GreedyClosure),
+//!     "logical/greedy",
 //!     33.0, // modeled seconds per tool invocation
 //! )?;
 //! println!("reduced to {:.1}% of the bytes", 100.0 * report.relative_bytes());
@@ -46,8 +46,9 @@ pub use lbr_classfile::{
 };
 pub use lbr_core::ModelStats;
 pub use pipeline::{
-    check_report, run_logical_resumable, run_per_error, run_per_error_with, run_reduction,
-    run_reduction_with, CandidateProbe, OrderChoice, PerErrorReport, PipelineError,
-    ReductionReport, RunOptions, ServiceHooks, SizeMetrics, Strategy,
+    check_report, known_strategy, run_logical_resumable, run_per_error, run_per_error_with,
+    run_reduction, run_reduction_with, strategy_caps, strategy_catalog, strategy_registry,
+    CandidateProbe, OrderChoice, PerErrorReport, PipelineError, ReductionReport, ReductionStrategy,
+    RunOptions, ServiceHooks, SizeMetrics, StrategyCaps, StrategyOutput, StrategyRegistry,
 };
 pub use session::ReductionSession;

@@ -1,181 +1,50 @@
-//! End-to-end reduction drivers: one entry point per evaluated strategy.
+//! End-to-end reduction drivers: the strategy registry plus the one
+//! dispatcher every entry point funnels through.
 //!
-//! The paper evaluates four reduction strategies; [`Strategy`] mirrors
-//! them:
-//!
-//! * [`Strategy::Logical`] — the paper's tool: the full logical model plus
-//!   Generalized Binary Reduction,
-//! * [`Strategy::JReduce`] — the baseline: the coarse unit-mention graph
-//!   plus Binary Reduction over closures,
-//! * [`Strategy::Lossy`] — the logical model lossily encoded into graph
-//!   constraints (two variants), reduced with Binary Reduction,
-//! * [`Strategy::DdminItems`] — ddmin at item granularity with a validity
-//!   filter (the ablation showing why plain ddmin disappoints).
+//! The paper evaluates reduction *strategies* against each other; this
+//! module used to mirror that set as a closed enum, which made every
+//! addition a six-crate edit. Strategies are now open values behind
+//! `lbr-core`'s [`ReductionStrategy`] trait, registered by name in a
+//! [`StrategyRegistry`] (see [`strategy_registry`]): the paper's tool
+//! (`logical/greedy` and its MSA variants), the J-Reduce baseline
+//! (`jreduce`), the lossy encodings (`lossy-1`, `lossy-2`), validity-
+//! filtered ddmin (`ddmin-items`), hierarchical delta debugging (`hdd`),
+//! transformation passes (`transform`), and the trace-guided GBR mode
+//! (`logical/trace-guided`).
 //!
 //! Every driver is generic over the input format: an [`Input`] frontend
 //! supplies the logical and coarse models, and an [`InputOracle`]
 //! supplies the failure predicate. The stages live in submodules —
 //! [`logical`] (GBR with service hooks), [`baselines`] (J-Reduce, lossy,
-//! ddmin), [`per_error`] (the per-error sweep) — all built on the
-//! [`probe`] module's candidate probe and the `lbr-core` oracle
-//! middleware stack. This module owns the shared vocabulary
-//! ([`Strategy`], [`RunOptions`], [`ReductionReport`]) and the dispatch;
-//! the ergonomic front door is
+//! ddmin), [`guided`] (HDD, transform, trace-guided), [`per_error`] (the
+//! per-error sweep) — all built on the [`probe`] module's candidate
+//! probe and the `lbr-core` oracle middleware stack. This module owns
+//! the dispatch and the report; the shared run vocabulary
+//! ([`RunOptions`], [`ServiceHooks`], [`PipelineError`]) lives in
+//! `lbr-core` and is re-exported here. The ergonomic front door is
 //! [`ReductionSession`](crate::ReductionSession).
 
 mod baselines;
+mod guided;
 mod logical;
 mod per_error;
 mod probe;
+mod strategies;
 #[cfg(test)]
 mod tests;
 
-pub use logical::ServiceHooks;
+pub use lbr_core::{
+    OrderChoice, PipelineError, ReductionStrategy, RunOptions, ServiceHooks, StrategyCaps,
+    StrategyOutput, StrategyRegistry,
+};
 pub use per_error::PerErrorReport;
 pub use probe::CandidateProbe;
+pub use strategies::{known_strategy, strategy_caps, strategy_catalog, strategy_registry};
 
 use lbr_classfile::Program;
-use lbr_core::{
-    BinaryReductionError, EngineChoice, GbrError, Input, InputOracle, LossyPick, ModelStats,
-    ProbeStats, PropagationMode, ReductionTrace,
-};
+use lbr_core::{Input, InputOracle, ModelStats, ProbeStats, ReductionTrace};
 use lbr_logic::MsaStrategy;
-use probe::{OrderKind, RunParts};
 use std::time::Instant;
-
-/// A reduction strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Strategy {
-    /// The paper's reducer: logical model + GBR with the given MSA
-    /// strategy and the closure-size variable order.
-    Logical(MsaStrategy),
-    /// The order ablation: GBR with the *natural* (declaration) variable
-    /// order instead of the closure-size heuristic Theorem 4.5 wants.
-    LogicalNaturalOrder,
-    /// GBR followed by the local-minimization postpass
-    /// ([`lbr_core::minimize_solution`]): extra tool runs for a possibly
-    /// smaller output.
-    LogicalMinimized,
-    /// The J-Reduce baseline: coarse unit graph + Binary Reduction.
-    JReduce,
-    /// A lossy encoding of the logical model + Binary Reduction.
-    Lossy(LossyPick),
-    /// ddmin over items with a validity filter.
-    DdminItems,
-}
-
-impl Strategy {
-    /// A stable name for reports.
-    pub fn name(&self) -> String {
-        match self {
-            Strategy::Logical(m) => format!("logical/{}", m.name()),
-            Strategy::LogicalNaturalOrder => "logical/natural-order".to_owned(),
-            Strategy::LogicalMinimized => "logical/minimized".to_owned(),
-            Strategy::JReduce => "jreduce".to_owned(),
-            Strategy::Lossy(p) => p.name().to_owned(),
-            Strategy::DdminItems => "ddmin-items".to_owned(),
-        }
-    }
-}
-
-/// Which GBR variable order a [`Strategy::Logical`] run uses. The other
-/// strategies — including [`Strategy::LogicalNaturalOrder`], which *is* an
-/// order ablation — ignore this knob.
-///
-/// Unlike the other [`RunOptions`] knobs, a non-default order choice *is*
-/// allowed to change what a run computes (a better order finds smaller
-/// solutions in fewer probes); each choice remains bit-identical across
-/// repeats, thread counts, and the other knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum OrderChoice {
-    /// The closure-size order Theorem 4.5 wants (the historical default).
-    #[default]
-    Baseline,
-    /// The closure-size order refined by conflict-activity statistics from
-    /// a bounded, deterministic CDCL probe of the dependency model (zero
-    /// predicate calls; see [`lbr_core::activity_order`]).
-    Learned,
-    /// A fixed three-member portfolio — baseline, activity-learned, and
-    /// cache-history orders — raced over one shared probe scheduler, the
-    /// smallest solution committed with the lowest portfolio index winning
-    /// ties (see [`lbr_core::generalized_binary_reduction_portfolio`]).
-    Portfolio,
-}
-
-/// Performance knobs for a reduction run. They change how fast a run is,
-/// never what it computes: results, predicate-call counts, and traces are
-/// identical across all settings. (The one documented exception is
-/// [`order`](Self::order), which may trade extra probes for a smaller
-/// result — still deterministically.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunOptions {
-    /// How GBR propagates the dependency model (incremental watched-literal
-    /// engine vs the scan-based baseline).
-    pub propagation: PropagationMode,
-    /// Whether the oracle memoizes probe outcomes by candidate subset, so
-    /// repeated probes never re-run the tool.
-    pub memoize: bool,
-    /// Intra-run probe parallelism. `1` (the default) probes sequentially.
-    /// With `n > 1`, GBR-based strategies ([`Strategy::Logical`] and
-    /// [`Strategy::LogicalNaturalOrder`]) speculate on the binary search's
-    /// pending probe with `n`-way parallel tool runs, and the per-error
-    /// sweep runs up to `n` error searches concurrently — both with
-    /// bit-identical results and identical logical call counts. The other
-    /// strategies ignore the knob (Binary Reduction's closure sweep and
-    /// ddmin consume each probe result before choosing the next candidate,
-    /// so there is no pending-probe tree to speculate on).
-    pub probe_threads: usize,
-    /// Emulated latency of one tool invocation, in microseconds (default
-    /// `0`: no emulation). The paper's probes are ≈33 s subprocess
-    /// invocations (decompile + recompile) whose cost is dominated by
-    /// process launch and I/O, not CPU — the regime speculative probing
-    /// targets. The in-process model probes of this reproduction finish in
-    /// microseconds of pure CPU instead, so on a single core speculation
-    /// can only add overhead. A nonzero latency sleeps that long inside
-    /// every probe that actually runs the tool (memoized repeats stay
-    /// free), restoring the latency-bound regime for wall-clock
-    /// measurements. Results, call counts, traces and modeled times are
-    /// unaffected.
-    pub probe_latency_micros: u64,
-    /// Which complete-search solver backs the MSA computations of the
-    /// GBR-based logical strategies (DPLL vs CDCL with learned clauses).
-    /// Bit-identical results; only solver effort differs. Requires
-    /// [`PropagationMode::Incremental`] to take effect (the legacy scan
-    /// has no persistent engine).
-    pub engine: EngineChoice,
-    /// Which GBR variable order a [`Strategy::Logical`] run uses (see
-    /// [`OrderChoice`]). Non-default choices suffix the report's strategy
-    /// name (`+order-learned`, `+order-portfolio`).
-    pub order: OrderChoice,
-}
-
-impl Default for RunOptions {
-    fn default() -> Self {
-        RunOptions {
-            propagation: PropagationMode::default(),
-            memoize: true,
-            probe_threads: 1,
-            probe_latency_micros: 0,
-            engine: EngineChoice::default(),
-            order: OrderChoice::default(),
-        }
-    }
-}
-
-impl RunOptions {
-    /// The pre-engine configuration: scan-based propagation, no memo. Used
-    /// as the measurable baseline for the performance comparison.
-    pub fn legacy() -> Self {
-        RunOptions {
-            propagation: PropagationMode::LegacyScan,
-            memoize: false,
-            probe_threads: 1,
-            probe_latency_micros: 0,
-            engine: EngineChoice::Dpll,
-            order: OrderChoice::Baseline,
-        }
-    }
-}
 
 /// Size metrics of an input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,7 +69,9 @@ impl SizeMetrics {
 /// The outcome of one reduction run.
 #[derive(Debug, Clone)]
 pub struct ReductionReport<I = Program> {
-    /// Strategy name.
+    /// Strategy label (the registry name, suffixed for non-default
+    /// options the strategy honors — see
+    /// [`ReductionStrategy::label`]).
     pub strategy: String,
     /// Input sizes.
     pub initial: SizeMetrics,
@@ -275,55 +146,7 @@ impl<I> ReductionReport<I> {
     }
 }
 
-/// Why a pipeline run failed.
-#[derive(Debug)]
-pub enum PipelineError {
-    /// The input does not trigger the tool's bugs.
-    NotFailing,
-    /// The input does not verify, so no model can be built (the
-    /// frontend's message).
-    Model(String),
-    /// GBR failed (see [`GbrError`]).
-    Gbr(GbrError),
-    /// Binary Reduction failed.
-    Binary(BinaryReductionError),
-    /// The lossy encoding was contradictory (forbidden required items).
-    LossyContradiction,
-}
-
-impl std::fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PipelineError::NotFailing => write!(f, "input does not trigger the tool's bugs"),
-            PipelineError::Model(e) => write!(f, "{e}"),
-            PipelineError::Gbr(e) => write!(f, "gbr: {e}"),
-            PipelineError::Binary(e) => write!(f, "binary reduction: {e}"),
-            PipelineError::LossyContradiction => write!(f, "lossy encoding is contradictory"),
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
-
-impl From<lbr_classfile::ModelError> for PipelineError {
-    fn from(e: lbr_classfile::ModelError) -> Self {
-        PipelineError::Model(e.to_string())
-    }
-}
-
-impl From<GbrError> for PipelineError {
-    fn from(e: GbrError) -> Self {
-        PipelineError::Gbr(e)
-    }
-}
-
-impl From<BinaryReductionError> for PipelineError {
-    fn from(e: BinaryReductionError) -> Self {
-        PipelineError::Binary(e)
-    }
-}
-
-/// Runs one strategy on one benchmark.
+/// Runs one strategy — by registry name or alias — on one benchmark.
 ///
 /// `cost_per_call_secs` models the cost of one decompile+compile tool
 /// invocation (the paper measured ≈33 s); it drives the modeled-time axis
@@ -331,11 +154,12 @@ impl From<BinaryReductionError> for PipelineError {
 ///
 /// # Errors
 ///
-/// See [`PipelineError`].
+/// See [`PipelineError`]; an unregistered name surfaces as
+/// [`PipelineError::UnknownStrategy`].
 pub fn run_reduction<I: Input, O: InputOracle<I> + ?Sized>(
     input: &I,
     oracle: &O,
-    strategy: Strategy,
+    strategy: &str,
     cost_per_call_secs: f64,
 ) -> Result<ReductionReport<I>, PipelineError> {
     run_reduction_with(
@@ -357,7 +181,7 @@ pub fn run_reduction<I: Input, O: InputOracle<I> + ?Sized>(
 pub fn run_reduction_with<I: Input, O: InputOracle<I> + ?Sized>(
     input: &I,
     oracle: &O,
-    strategy: Strategy,
+    strategy: &str,
     cost_per_call_secs: f64,
     options: &RunOptions,
 ) -> Result<ReductionReport<I>, PipelineError> {
@@ -371,7 +195,7 @@ pub fn run_reduction_with<I: Input, O: InputOracle<I> + ?Sized>(
     )
 }
 
-/// [`Strategy::Logical`] with [`ServiceHooks`]: the entry point the
+/// The logical strategy with [`ServiceHooks`]: the entry point the
 /// reduction daemon drives. Equivalent to [`run_reduction_with`] when the
 /// hooks are default; see [`ServiceHooks`] for the exact determinism and
 /// resume semantics.
@@ -379,7 +203,7 @@ pub fn run_reduction_with<I: Input, O: InputOracle<I> + ?Sized>(
 /// # Errors
 ///
 /// See [`PipelineError`]; a fired cancellation hook surfaces as
-/// [`PipelineError::Gbr`]([`GbrError::Cancelled`]).
+/// [`PipelineError::Gbr`]([`lbr_core::GbrError::Cancelled`]).
 pub fn run_logical_resumable<I: Input, O: InputOracle<I> + ?Sized>(
     input: &I,
     oracle: &O,
@@ -391,66 +215,48 @@ pub fn run_logical_resumable<I: Input, O: InputOracle<I> + ?Sized>(
     dispatch(
         input,
         oracle,
-        Strategy::Logical(msa),
+        &format!("logical/{}", msa.name()),
         cost_per_call_secs,
         options,
         hooks,
     )
 }
 
-/// The one dispatcher every entry point funnels through: check the input
-/// actually fails, run the strategy's stage, assemble the report.
-/// [`ServiceHooks`] apply to the GBR-based logical strategies; the other
-/// stages have no pending-probe tree or resumable loop and ignore them.
+/// The one dispatcher every entry point funnels through: look the
+/// strategy up in the registry, check the input actually fails, run the
+/// strategy, assemble the report. Hooks a strategy's
+/// [`caps`](ReductionStrategy::caps) do not claim are ignored by that
+/// strategy.
 pub(crate) fn dispatch<I: Input, O: InputOracle<I> + ?Sized>(
     input: &I,
     oracle: &O,
-    strategy: Strategy,
+    strategy: &str,
     cost_per_call_secs: f64,
     options: &RunOptions,
     hooks: ServiceHooks<'_>,
 ) -> Result<ReductionReport<I>, PipelineError> {
+    let registry = strategy_registry::<I>();
+    let strat = registry
+        .get(strategy)
+        .ok_or_else(|| PipelineError::UnknownStrategy(strategy.to_owned()))?;
     if !oracle.is_failing() {
         return Err(PipelineError::NotFailing);
     }
     let start = Instant::now();
     let initial = SizeMetrics::of(input);
     let cost = cost_per_call_secs;
-    let parts = match strategy {
-        Strategy::Logical(msa) => logical::run_hooked(
-            input,
-            oracle,
-            msa,
-            OrderKind::ClosureSize,
-            cost,
-            options,
-            hooks,
-        )?,
-        Strategy::LogicalNaturalOrder => logical::run_hooked(
-            input,
-            oracle,
-            MsaStrategy::GreedyClosure,
-            OrderKind::Natural,
-            cost,
-            options,
-            hooks,
-        )?,
-        Strategy::LogicalMinimized => logical::run_minimized(input, oracle, cost, options)?,
-        Strategy::JReduce => baselines::run_jreduce(input, oracle, cost, options)?,
-        Strategy::Lossy(pick) => baselines::run_lossy(input, oracle, pick, cost, options)?,
-        Strategy::DdminItems => baselines::run_ddmin(input, oracle, cost, options)?,
-    };
-    let RunParts {
+    let oracle_dyn: &dyn InputOracle<I> = &oracle;
+    let StrategyOutput {
         reduced,
         calls,
         trace,
         model_stats,
         probe_stats,
-    } = parts;
+    } = strat.run(input, oracle_dyn, cost, options, hooks)?;
     let errors_preserved = oracle.preserves_failure(&reduced);
     let still_valid = reduced.validate().is_empty();
     Ok(ReductionReport {
-        strategy: strategy_label(strategy, options),
+        strategy: strat.label(options),
         initial,
         final_metrics: SizeMetrics::of(&reduced),
         predicate_calls: calls,
@@ -463,28 +269,6 @@ pub(crate) fn dispatch<I: Input, O: InputOracle<I> + ?Sized>(
         errors_preserved,
         still_valid,
     })
-}
-
-/// The report's strategy label: the strategy name, suffixed for every
-/// non-default option the strategy actually honors, so rows from
-/// different configurations stay distinguishable in comparisons.
-fn strategy_label(strategy: Strategy, options: &RunOptions) -> String {
-    let mut name = strategy.name();
-    let honors_engine = matches!(
-        strategy,
-        Strategy::Logical(_) | Strategy::LogicalNaturalOrder | Strategy::LogicalMinimized
-    ) && options.propagation == PropagationMode::Incremental;
-    if honors_engine && options.engine == EngineChoice::Cdcl {
-        name.push_str("+cdcl");
-    }
-    if matches!(strategy, Strategy::Logical(_)) {
-        match options.order {
-            OrderChoice::Baseline => {}
-            OrderChoice::Learned => name.push_str("+order-learned"),
-            OrderChoice::Portfolio => name.push_str("+order-portfolio"),
-        }
-    }
-    name
 }
 
 /// Reduces once *per distinct baseline error* — the paper's observation

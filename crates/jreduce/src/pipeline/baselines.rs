@@ -2,11 +2,12 @@
 //! Reduction, the lossy graph encodings, and validity-filtered ddmin —
 //! all generic over the input format via [`Input`]'s models.
 
-use crate::pipeline::probe::{wrap_oracle, CandidateProbe, RunParts};
+use crate::pipeline::probe::{wrap_oracle, CandidateProbe};
 use crate::pipeline::{PipelineError, RunOptions};
 use lbr_core::{
     binary_reduction, closure_size_order, ddmin, lossy_graph, ConcurrentPredicate, DepGraph, Input,
-    InputOracle, LatencyLayer, LossyPick, OracleStack, ProbeStats, ReductionTrace, TestOutcome,
+    InputOracle, LatencyLayer, LossyPick, OracleStack, ProbeStats, ReductionTrace, StrategyOutput,
+    TestOutcome,
 };
 use lbr_logic::VarSet;
 use std::cell::Cell;
@@ -19,7 +20,7 @@ pub(crate) fn run_jreduce<I: Input, O: InputOracle<I> + ?Sized>(
     oracle: &O,
     cost: f64,
     options: &RunOptions,
-) -> Result<RunParts<I>, PipelineError> {
+) -> Result<StrategyOutput<I>, PipelineError> {
     let coarse = input.coarse_model();
     let base = CandidateProbe {
         materialize: &*coarse.materialize,
@@ -39,7 +40,7 @@ pub(crate) fn run_jreduce<I: Input, O: InputOracle<I> + ?Sized>(
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
     let reduced = (coarse.materialize)(&outcome.solution);
-    Ok(RunParts {
+    Ok(StrategyOutput {
         reduced,
         calls,
         trace,
@@ -55,7 +56,7 @@ pub(crate) fn run_lossy<I: Input, O: InputOracle<I> + ?Sized>(
     pick: LossyPick,
     cost: f64,
     options: &RunOptions,
-) -> Result<RunParts<I>, PipelineError> {
+) -> Result<StrategyOutput<I>, PipelineError> {
     let model = input.model().map_err(PipelineError::Model)?;
     let stats = model.stats;
     let order = closure_size_order(&model.cnf);
@@ -84,7 +85,7 @@ pub(crate) fn run_lossy<I: Input, O: InputOracle<I> + ?Sized>(
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
     let reduced = (model.materialize)(&outcome.solution);
-    Ok(RunParts {
+    Ok(StrategyOutput {
         reduced,
         calls,
         trace,
@@ -100,7 +101,7 @@ pub(crate) fn run_ddmin<I: Input, O: InputOracle<I> + ?Sized>(
     oracle: &O,
     cost: f64,
     options: &RunOptions,
-) -> Result<RunParts<I>, PipelineError> {
+) -> Result<StrategyOutput<I>, PipelineError> {
     let model = input.model().map_err(PipelineError::Model)?;
     let stats = model.stats;
     let n = model.cnf.num_vars();
@@ -137,7 +138,7 @@ pub(crate) fn run_ddmin<I: Input, O: InputOracle<I> + ?Sized>(
         }
     });
     let reduced = (model.materialize)(&solution);
-    Ok(RunParts {
+    Ok(StrategyOutput {
         reduced,
         calls,
         trace,

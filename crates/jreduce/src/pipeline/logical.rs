@@ -4,71 +4,18 @@
 //! over the input format: the frontend's [`Input::model`] supplies the
 //! CNF and the solution applier.
 
-use crate::pipeline::probe::{wrap_oracle, CandidateProbe, OrderKind, RunParts};
-use crate::pipeline::{OrderChoice, PipelineError, RunOptions};
+use crate::pipeline::probe::{wrap_oracle, CandidateProbe, OrderKind};
+use crate::pipeline::{OrderChoice, PipelineError, RunOptions, ServiceHooks};
 use lbr_core::{
     activity_order, closure_size_order, generalized_binary_reduction,
     generalized_binary_reduction_controlled, generalized_binary_reduction_portfolio_controlled,
     generalized_binary_reduction_speculative_controlled, generalized_binary_reduction_with_source,
-    history_order, probe_activity, CacheLayer, ConcurrentPredicate, GbrCheckpoint, GbrConfig,
-    GbrControl, Input, InputOracle, Instance, LatencyLayer, OracleStack, ProbeCache,
-    ProbeDistributor, ProbeStats, SpeculationConfig,
+    history_order, probe_activity, CacheLayer, ConcurrentPredicate, GbrConfig, GbrControl, Input,
+    InputOracle, Instance, LatencyLayer, OracleStack, ProbeStats, SpeculationConfig,
+    StrategyOutput,
 };
 use lbr_logic::{MsaStrategy, VarSet};
 use std::cell::Cell;
-
-/// Long-running-service hooks for a logical reduction run: an external
-/// probe cache, cooperative cancellation, and checkpoint/resume. The
-/// default value is inert, making [`run_logical_resumable`] equivalent to
-/// [`run_reduction_with`] on [`Strategy::Logical`].
-///
-/// All four hooks preserve the pipeline's determinism contract:
-///
-/// * `cache` sits beneath every per-run counter — a hit replaces only the
-///   tool invocation, so verdicts, sizes, call counts, and traces are
-///   bit-identical whether it is cold, warm, or absent.
-/// * `cancel`/`checkpoint`/`resume` snapshot and restore the GBR loop
-///   between probes; a resumed run converges to the same solution as an
-///   uninterrupted one (its *trace* covers only the probes demanded after
-///   the resume point — replays of the interrupted iteration's tail,
-///   which a warm cache answers without tool runs).
-///
-/// [`run_logical_resumable`]: crate::run_logical_resumable
-/// [`run_reduction_with`]: crate::run_reduction_with
-/// [`Strategy::Logical`]: crate::Strategy::Logical
-#[derive(Default)]
-pub struct ServiceHooks<'h> {
-    /// Probe cache shared across runs of the *same* program + oracle
-    /// (callers must namespace keys; the keep-set alone is not unique).
-    pub cache: Option<&'h dyn ProbeCache>,
-    /// Polled between probes; `true` aborts with
-    /// [`PipelineError::Gbr`]([`lbr_core::GbrError::Cancelled`]).
-    pub cancel: Option<&'h (dyn Fn() -> bool + Sync)>,
-    /// Invoked with a resumable snapshot after every GBR iteration.
-    pub checkpoint: Option<&'h mut dyn FnMut(&GbrCheckpoint)>,
-    /// Continue a previous run from its last checkpoint.
-    pub resume: Option<GbrCheckpoint>,
-    /// Distributes the run's speculative probe frontier to external
-    /// evaluators (the cluster's worker nodes): GBR consumes the
-    /// distributor's [`VerdictSource`](lbr_core::VerdictSource) instead
-    /// of the local probe scheduler. Results stay bit-identical — the
-    /// driver demands the exact sequential probe order either way. A
-    /// [`OrderChoice::Portfolio`] run ignores the distributor (the race
-    /// shares one local scheduler across its members).
-    pub distributor: Option<&'h dyn ProbeDistributor>,
-}
-
-impl std::fmt::Debug for ServiceHooks<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServiceHooks")
-            .field("cache", &self.cache.is_some())
-            .field("cancel", &self.cancel.is_some())
-            .field("checkpoint", &self.checkpoint.is_some())
-            .field("resume", &self.resume)
-            .field("distributor", &self.distributor.is_some())
-            .finish()
-    }
-}
 
 /// Conflict-budget for the deterministic activity probe behind
 /// [`OrderChoice::Learned`] and the portfolio's activity member: how many
@@ -89,7 +36,7 @@ pub(crate) fn run_hooked<I: Input, O: InputOracle<I> + ?Sized>(
     cost: f64,
     options: &RunOptions,
     mut hooks: ServiceHooks<'_>,
-) -> Result<RunParts<I>, PipelineError> {
+) -> Result<StrategyOutput<I>, PipelineError> {
     let model = input.model().map_err(PipelineError::Model)?;
     let stats = model.stats;
     let order = match order_kind {
@@ -167,7 +114,7 @@ pub(crate) fn run_hooked<I: Input, O: InputOracle<I> + ?Sized>(
             &mut race_control,
         )?;
         let reduced = (model.materialize)(&race.run.outcome.solution);
-        return Ok(RunParts {
+        return Ok(StrategyOutput {
             reduced,
             calls: race.run.stats.useful_calls,
             trace: race.run.trace,
@@ -196,7 +143,7 @@ pub(crate) fn run_hooked<I: Input, O: InputOracle<I> + ?Sized>(
             &mut control,
         )?;
         let reduced = (model.materialize)(&run.outcome.solution);
-        return Ok(RunParts {
+        return Ok(StrategyOutput {
             reduced,
             calls: run.stats.useful_calls,
             trace: run.trace,
@@ -223,7 +170,7 @@ pub(crate) fn run_hooked<I: Input, O: InputOracle<I> + ?Sized>(
             &mut control,
         )?;
         let reduced = (model.materialize)(&run.outcome.solution);
-        return Ok(RunParts {
+        return Ok(StrategyOutput {
             reduced,
             calls: run.stats.useful_calls,
             trace: run.trace,
@@ -249,7 +196,7 @@ pub(crate) fn run_hooked<I: Input, O: InputOracle<I> + ?Sized>(
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
     let reduced = (model.materialize)(&outcome.solution);
-    Ok(RunParts {
+    Ok(StrategyOutput {
         reduced,
         calls,
         trace,
@@ -265,7 +212,7 @@ pub(crate) fn run_minimized<I: Input, O: InputOracle<I> + ?Sized>(
     oracle: &O,
     cost: f64,
     options: &RunOptions,
-) -> Result<RunParts<I>, PipelineError> {
+) -> Result<StrategyOutput<I>, PipelineError> {
     let model = input.model().map_err(PipelineError::Model)?;
     let stats = model.stats;
     let order = closure_size_order(&model.cnf);
@@ -295,7 +242,7 @@ pub(crate) fn run_minimized<I: Input, O: InputOracle<I> + ?Sized>(
     let (cache_hits, cache_misses) = (wrapped.cache_hits(), wrapped.cache_misses());
     let trace = wrapped.into_trace();
     let reduced = (model.materialize)(&minimized);
-    Ok(RunParts {
+    Ok(StrategyOutput {
         reduced,
         calls,
         trace,

@@ -11,9 +11,7 @@
 //! [`Oracle`], the speculative scheduler, or ddmin).
 
 use crate::pipeline::RunOptions;
-use lbr_core::{
-    ConcurrentPredicate, Input, InputOracle, ModelStats, Oracle, Probe, ProbeStats, ReductionTrace,
-};
+use lbr_core::{ConcurrentPredicate, Input, InputOracle, Oracle, Probe};
 use lbr_logic::VarSet;
 
 /// The base of every oracle stack: builds the candidate input for a
@@ -74,13 +72,4 @@ pub(crate) fn wrap_oracle<'p>(
 pub(crate) enum OrderKind {
     ClosureSize,
     Natural,
-}
-
-/// What a stage hands back to the report assembler.
-pub(crate) struct RunParts<I> {
-    pub reduced: I,
-    pub calls: u64,
-    pub trace: ReductionTrace,
-    pub model_stats: Option<ModelStats>,
-    pub probe_stats: ProbeStats,
 }

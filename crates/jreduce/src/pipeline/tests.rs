@@ -1,6 +1,6 @@
 use super::*;
 use lbr_classfile::{ClassFile, Code, Insn, MethodDescriptor, MethodInfo, MethodRef, Type};
-use lbr_core::MemoryCache;
+use lbr_core::{GbrError, MemoryCache};
 use lbr_decompiler::{BugKind, BugSet, DecompilerOracle};
 
 fn ctor() -> MethodInfo {
@@ -71,15 +71,9 @@ fn logical_beats_jreduce_on_the_benchmark() {
     assert!(lbr_classfile::verify_program(&p).is_empty());
     let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
     assert!(oracle.is_failing());
-    let logical = run_reduction(
-        &p,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        0.0,
-    )
-    .expect("logical runs");
+    let logical = run_reduction(&p, &oracle, "logical/greedy", 0.0).expect("logical runs");
     check_report(&logical).expect("logical sound");
-    let jreduce = run_reduction(&p, &oracle, Strategy::JReduce, 0.0).expect("jreduce runs");
+    let jreduce = run_reduction(&p, &oracle, "jreduce", 0.0).expect("jreduce runs");
     check_report(&jreduce).expect("jreduce sound");
     assert!(
         logical.final_metrics.bytes <= jreduce.final_metrics.bytes,
@@ -98,8 +92,8 @@ fn logical_beats_jreduce_on_the_benchmark() {
 fn lossy_variants_run_and_are_sound() {
     let p = benchmark();
     let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-    for pick in [LossyPick::FirstFirst, LossyPick::LastLast] {
-        let report = run_reduction(&p, &oracle, Strategy::Lossy(pick), 0.0).expect("lossy runs");
+    for name in ["lossy-1", "lossy-2"] {
+        let report = run_reduction(&p, &oracle, name, 0.0).expect("lossy runs");
         check_report(&report).unwrap_or_else(|e| panic!("{e}"));
     }
 }
@@ -108,7 +102,7 @@ fn lossy_variants_run_and_are_sound() {
 fn ddmin_runs_and_is_sound() {
     let p = benchmark();
     let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-    let report = run_reduction(&p, &oracle, Strategy::DdminItems, 0.0).expect("ddmin runs");
+    let report = run_reduction(&p, &oracle, "ddmin-items", 0.0).expect("ddmin runs");
     check_report(&report).unwrap_or_else(|e| panic!("{e}"));
 }
 
@@ -116,7 +110,7 @@ fn ddmin_runs_and_is_sound() {
 fn not_failing_is_an_error() {
     let p = benchmark();
     let oracle = DecompilerOracle::new(&p, BugSet::none());
-    let err = run_reduction(&p, &oracle, Strategy::JReduce, 0.0).unwrap_err();
+    let err = run_reduction(&p, &oracle, "jreduce", 0.0).unwrap_err();
     assert!(matches!(err, PipelineError::NotFailing));
 }
 
@@ -124,25 +118,20 @@ fn not_failing_is_an_error() {
 fn performance_options_do_not_change_results() {
     let p = benchmark();
     let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-    for strategy in [
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        Strategy::LogicalMinimized,
-        Strategy::JReduce,
-        Strategy::Lossy(LossyPick::FirstFirst),
-    ] {
+    for strategy in ["logical/greedy", "logical/minimized", "jreduce", "lossy-1"] {
         let fast = run_reduction_with(&p, &oracle, strategy, 33.0, &RunOptions::default())
             .expect("default options");
         let slow = run_reduction_with(&p, &oracle, strategy, 33.0, &RunOptions::legacy())
             .expect("legacy options");
-        assert_eq!(fast.final_metrics, slow.final_metrics, "{strategy:?}");
-        assert_eq!(fast.predicate_calls, slow.predicate_calls, "{strategy:?}");
+        assert_eq!(fast.final_metrics, slow.final_metrics, "{strategy}");
+        assert_eq!(fast.predicate_calls, slow.predicate_calls, "{strategy}");
         assert_eq!(
             fast.cache_hits() + fast.cache_misses(),
             fast.predicate_calls,
-            "{strategy:?}: every probe is a hit or a miss"
+            "{strategy}: every probe is a hit or a miss"
         );
-        assert_eq!(slow.cache_hits(), 0, "{strategy:?}");
-        assert_eq!(slow.cache_misses(), 0, "{strategy:?}");
+        assert_eq!(slow.cache_hits(), 0, "{strategy}");
+        assert_eq!(slow.cache_misses(), 0, "{strategy}");
     }
 }
 
@@ -216,19 +205,14 @@ fn per_error_cache_is_shared_across_searches() {
 fn probe_threads_do_not_change_results() {
     let p = benchmark();
     let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-    let sequential = run_reduction_with(
-        &p,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        33.0,
-        &RunOptions::default(),
-    )
-    .expect("sequential");
+    let sequential =
+        run_reduction_with(&p, &oracle, "logical/greedy", 33.0, &RunOptions::default())
+            .expect("sequential");
     for threads in [2usize, 4] {
         let parallel = run_reduction_with(
             &p,
             &oracle,
-            Strategy::Logical(MsaStrategy::GreedyClosure),
+            "logical/greedy",
             33.0,
             &RunOptions {
                 probe_threads: threads,
@@ -313,14 +297,8 @@ fn per_error_parallel_matches_sequential() {
 fn resumable_matches_plain_run_and_warm_cache_is_invisible() {
     let p = benchmark();
     let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-    let plain = run_reduction_with(
-        &p,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        33.0,
-        &RunOptions::default(),
-    )
-    .expect("plain");
+    let plain = run_reduction_with(&p, &oracle, "logical/greedy", 33.0, &RunOptions::default())
+        .expect("plain");
     let cache = MemoryCache::new();
     for round in 0..2 {
         // Round 0 fills the cache; round 1 is served warm. Both must be
@@ -359,14 +337,8 @@ fn resumable_matches_plain_run_and_warm_cache_is_invisible() {
 fn resumable_checkpoint_resume_matches_uninterrupted() {
     let p = benchmark();
     let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-    let plain = run_reduction_with(
-        &p,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        33.0,
-        &RunOptions::default(),
-    )
-    .expect("plain");
+    let plain = run_reduction_with(&p, &oracle, "logical/greedy", 33.0, &RunOptions::default())
+        .expect("plain");
     // Cancel after the first checkpoint, then resume from it — with a
     // shared cache, so the resumed run's replayed probes are warm.
     let cache = MemoryCache::new();
@@ -419,15 +391,87 @@ fn resumable_checkpoint_resume_matches_uninterrupted() {
 fn modeled_time_tracks_calls() {
     let p = benchmark();
     let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-    let report = run_reduction(
-        &p,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        33.0,
-    )
-    .expect("runs");
+    let report = run_reduction(&p, &oracle, "logical/greedy", 33.0).expect("runs");
     assert!(report.predicate_calls > 0);
     assert!((report.modeled_secs - report.predicate_calls as f64 * 33.0).abs() < 1e-9);
     assert!(report.relative_bytes() <= 1.0);
     assert!(report.relative_classes() <= 1.0);
+}
+
+#[test]
+fn unknown_strategy_is_an_error() {
+    let p = benchmark();
+    let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+    let err = run_reduction(&p, &oracle, "no-such-strategy", 0.0).unwrap_err();
+    assert!(matches!(err, PipelineError::UnknownStrategy(ref n) if n == "no-such-strategy"));
+}
+
+#[test]
+fn aliases_run_the_canonical_strategy() {
+    let p = benchmark();
+    let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+    let canonical = run_reduction(&p, &oracle, "logical/greedy", 0.0).expect("canonical");
+    let alias = run_reduction(&p, &oracle, "logical", 0.0).expect("alias");
+    assert_eq!(
+        alias.strategy, "logical/greedy",
+        "report shows the canonical label"
+    );
+    assert_eq!(alias.final_metrics, canonical.final_metrics);
+    assert_eq!(alias.predicate_calls, canonical.predicate_calls);
+    assert_eq!(alias.trace.digest(), canonical.trace.digest());
+}
+
+#[test]
+fn hdd_runs_and_is_sound() {
+    let p = benchmark();
+    let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+    let report = run_reduction(&p, &oracle, "hdd", 0.0).expect("hdd runs");
+    check_report(&report).unwrap_or_else(|e| panic!("{e}"));
+    // The coarse level already drops the ballast classes.
+    assert!(report.reduced.get("Ballast0").is_none());
+    // Determinism: repeat runs are bit-identical.
+    let again = run_reduction(&p, &oracle, "hdd", 0.0).expect("hdd repeats");
+    assert_eq!(again.predicate_calls, report.predicate_calls);
+    assert_eq!(again.trace.digest(), report.trace.digest());
+    assert_eq!(
+        lbr_classfile::write_program(&again.reduced),
+        lbr_classfile::write_program(&report.reduced)
+    );
+}
+
+#[test]
+fn transform_runs_and_is_sound() {
+    let p = benchmark();
+    let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+    let report = run_reduction(&p, &oracle, "transform", 0.0).expect("transform runs");
+    check_report(&report).unwrap_or_else(|e| panic!("{e}"));
+    let again = run_reduction(&p, &oracle, "transform", 0.0).expect("transform repeats");
+    assert_eq!(again.predicate_calls, report.predicate_calls);
+    assert_eq!(again.trace.digest(), report.trace.digest());
+    assert_eq!(
+        lbr_classfile::write_program(&again.reduced),
+        lbr_classfile::write_program(&report.reduced)
+    );
+}
+
+#[test]
+fn trace_guided_runs_sound_and_no_worse_than_plain_gbr_here() {
+    let p = benchmark();
+    let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
+    let guided = run_reduction(&p, &oracle, "logical/trace-guided", 0.0).expect("guided runs");
+    check_report(&guided).unwrap_or_else(|e| panic!("{e}"));
+    let again = run_reduction(&p, &oracle, "logical/trace-guided", 0.0).expect("guided repeats");
+    assert_eq!(again.predicate_calls, guided.predicate_calls);
+    assert_eq!(again.trace.digest(), guided.trace.digest());
+    assert_eq!(
+        lbr_classfile::write_program(&again.reduced),
+        lbr_classfile::write_program(&guided.reduced)
+    );
+    let plain = run_reduction(&p, &oracle, "logical/greedy", 0.0).expect("plain runs");
+    assert!(
+        guided.final_metrics.bytes <= plain.final_metrics.bytes,
+        "guided ({}) must end at least as small as plain GBR ({})",
+        guided.final_metrics.bytes,
+        plain.final_metrics.bytes
+    );
 }

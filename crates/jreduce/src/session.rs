@@ -10,12 +10,11 @@
 //! picks the entry point for you:
 //!
 //! ```no_run
-//! # use lbr_jreduce::{ReductionSession, Strategy};
-//! # use lbr_logic::MsaStrategy;
+//! # use lbr_jreduce::ReductionSession;
 //! # let (program, oracle): (lbr_classfile::Program, lbr_decompiler::DecompilerOracle) =
 //! #     unimplemented!();
 //! let report = ReductionSession::new(&program, &oracle)
-//!     .strategy(Strategy::Logical(MsaStrategy::GreedyClosure))
+//!     .strategy("logical/greedy")
 //!     .cost_per_call(33.0)
 //!     .probe_threads(4)
 //!     .run()?;
@@ -28,23 +27,21 @@
 
 use crate::pipeline::{
     self, OrderChoice, PerErrorReport, PipelineError, ReductionReport, RunOptions, ServiceHooks,
-    Strategy,
 };
 use lbr_core::{
     EngineChoice, GbrCheckpoint, Input, InputOracle, ProbeCache, ProbeDistributor, PropagationMode,
 };
-use lbr_logic::MsaStrategy;
 
 /// A configured reduction run waiting to happen, generic over the input
 /// format (classfile programs, stackvm modules, any [`Input`]). Build
 /// one with [`ReductionSession::new`], chain the knobs you care about,
-/// then call [`run`](Self::run) (one report for the chosen [`Strategy`])
-/// or [`run_per_error`](Self::run_per_error) (one row per distinct
+/// then call [`run`](Self::run) (one report for the chosen strategy) or
+/// [`run_per_error`](Self::run_per_error) (one row per distinct
 /// baseline error).
 ///
-/// Defaults: [`Strategy::Logical`] with [`MsaStrategy::GreedyClosure`],
-/// zero modeled cost per call, [`RunOptions::default`] (memoized,
-/// sequential, no latency emulation), and no service hooks.
+/// Defaults: the `logical/greedy` strategy (the paper's reducer), zero
+/// modeled cost per call, [`RunOptions::default`] (memoized, sequential,
+/// no latency emulation), and no service hooks.
 pub struct ReductionSession<
     's,
     I = lbr_classfile::Program,
@@ -52,7 +49,7 @@ pub struct ReductionSession<
 > {
     input: &'s I,
     oracle: &'s O,
-    strategy: Strategy,
+    strategy: String,
     cost_per_call_secs: f64,
     options: RunOptions,
     hooks: ServiceHooks<'s>,
@@ -65,16 +62,18 @@ impl<'s, I: Input, O: InputOracle<I> + ?Sized> ReductionSession<'s, I, O> {
         ReductionSession {
             input,
             oracle,
-            strategy: Strategy::Logical(MsaStrategy::GreedyClosure),
+            strategy: "logical/greedy".to_owned(),
             cost_per_call_secs: 0.0,
             options: RunOptions::default(),
             hooks: ServiceHooks::default(),
         }
     }
 
-    /// Which [`Strategy`] [`run`](Self::run) executes.
-    pub fn strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
+    /// Which strategy [`run`](Self::run) executes — a registry name or
+    /// alias (see [`crate::strategy_registry`]); unknown names surface as
+    /// [`PipelineError::UnknownStrategy`] from [`run`](Self::run).
+    pub fn strategy(mut self, strategy: impl Into<String>) -> Self {
+        self.strategy = strategy.into();
         self
     }
 
@@ -132,7 +131,7 @@ impl<'s, I: Input, O: InputOracle<I> + ?Sized> ReductionSession<'s, I, O> {
         self
     }
 
-    /// Which GBR variable order a [`Strategy::Logical`] run uses (default
+    /// Which GBR variable order a closure-size logical run uses (default
     /// baseline closure-size; see [`OrderChoice`]).
     pub fn order(mut self, order: OrderChoice) -> Self {
         self.options.order = order;
@@ -186,7 +185,7 @@ impl<'s, I: Input, O: InputOracle<I> + ?Sized> ReductionSession<'s, I, O> {
         pipeline::dispatch(
             self.input,
             self.oracle,
-            self.strategy,
+            &self.strategy,
             self.cost_per_call_secs,
             &self.options,
             self.hooks,
@@ -254,13 +253,7 @@ mod tests {
     fn session_defaults_match_run_reduction() {
         let p = tiny();
         let oracle = DecompilerOracle::new(&p, BugSet::of(&[BugKind::CastToObject]));
-        let direct = crate::run_reduction(
-            &p,
-            &oracle,
-            Strategy::Logical(MsaStrategy::GreedyClosure),
-            33.0,
-        )
-        .expect("direct");
+        let direct = crate::run_reduction(&p, &oracle, "logical/greedy", 33.0).expect("direct");
         let session = ReductionSession::new(&p, &oracle)
             .cost_per_call(33.0)
             .run()

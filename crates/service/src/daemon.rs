@@ -49,10 +49,12 @@ use crate::json::Json;
 use crate::queue::JobQueue;
 use crate::shard::{run_shard, ShardHandle, ShardMsg};
 use lbr_classfile::read_program;
-use lbr_core::{GbrError, Input, InputOracle, LossyPick, ProbeDistributor};
+use lbr_core::{GbrError, Input, InputOracle, ProbeDistributor};
 use lbr_decompiler::{BugSet, DecompilerOracle};
-use lbr_jreduce::{PipelineError, ReductionReport, ReductionSession, RunOptions, Strategy};
-use lbr_logic::MsaStrategy;
+use lbr_jreduce::{
+    strategy_catalog, strategy_registry, PipelineError, ReductionReport, ReductionSession,
+    RunOptions,
+};
 use lbr_stackvm::{Module as StackModule, StackBugSet, StackOracle};
 use std::collections::HashMap;
 use std::io;
@@ -1040,6 +1042,28 @@ fn handle_stats(state: &ServiceState) -> Json {
             ]),
         ),
         (
+            "strategies",
+            // Enumerated from the strategy registry — the same single
+            // source of truth the pipeline dispatches on, so clients
+            // never hardcode strategy strings.
+            Json::Arr(
+                strategy_catalog()
+                    .into_iter()
+                    .map(|(name, caps)| {
+                        Json::obj([
+                            ("name", Json::str(name)),
+                            ("resumable", Json::Bool(caps.resumable)),
+                            ("speculative", Json::Bool(caps.speculative)),
+                            ("per_error", Json::Bool(caps.per_error)),
+                            ("honors_engine", Json::Bool(caps.honors_engine)),
+                            ("honors_order", Json::Bool(caps.honors_order)),
+                            ("uses_model", Json::Bool(caps.uses_model)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "cache",
             // The counter names come from the one shared `CacheStats`
             // serialization, so the daemon can never drift from the CSV
@@ -1384,10 +1408,23 @@ fn run_reduction<I: Input, O: InputOracle<I>>(
         ..RunOptions::default()
     };
     let deadline = (spec.deadline_secs > 0.0).then(|| Duration::from_secs_f64(spec.deadline_secs));
-    let report = if spec.strategy == "logical" {
+    // The registry's capability flags decide the service path: resumable
+    // strategies get checkpoint/resume and the cluster distributor; every
+    // job shares the persistent probe cache (strategies that have no use
+    // for it — per their caps — simply ignore the hook; the trace-guided
+    // mode uses it as its cross-run trace store).
+    let resumable = strategy_registry::<I>()
+        .get(&spec.strategy)
+        .is_some_and(|s| s.caps().resumable);
+    let namespace = namespace_digest(&spec.decompiler, bytes);
+    let scoped = state.cache.namespaced(namespace);
+    let cancel_hook = move || {
+        cancel.load(Ordering::SeqCst)
+            || state.shutting_down()
+            || deadline.is_some_and(|d| started.elapsed() > d)
+    };
+    let report = if resumable {
         // The service path: persistent cache + checkpoint/resume + cancel.
-        let namespace = namespace_digest(&spec.decompiler, bytes);
-        let scoped = state.cache.namespaced(namespace);
         // With a cluster attached, the job's speculative frontier is
         // served by worker nodes; the session output stays bit-identical
         // (the distributor's contract), so checkpoints, caching, and
@@ -1409,11 +1446,6 @@ fn run_reduction<I: Input, O: InputOracle<I>>(
             }
         };
         let resumed = resume.is_some();
-        let cancel_hook = move || {
-            cancel.load(Ordering::SeqCst)
-                || state.shutting_down()
-                || deadline.is_some_and(|d| started.elapsed() > d)
-        };
         // Checkpoint (with the cache alongside) on the first iteration,
         // then at most every `checkpoint_interval`: the fsync pair is the
         // dominant per-iteration cost of warm jobs, and throttling it
@@ -1430,7 +1462,7 @@ fn run_reduction<I: Input, O: InputOracle<I>>(
             }
         };
         let mut session = ReductionSession::new(input, oracle)
-            .strategy(Strategy::Logical(MsaStrategy::GreedyClosure))
+            .strategy(spec.strategy.clone())
             .cost_per_call(spec.cost)
             .options(options)
             .cache(&scoped)
@@ -1445,18 +1477,15 @@ fn run_reduction<I: Input, O: InputOracle<I>>(
         let report = session.run().map_err(map_pipeline_error)?;
         (report, resumed)
     } else {
-        // Baseline strategies run uncached and uncheckpointed.
-        let strategy = match spec.strategy.as_str() {
-            "logical-min" => Strategy::LogicalMinimized,
-            "jreduce" => Strategy::JReduce,
-            "lossy1" => Strategy::Lossy(LossyPick::FirstFirst),
-            "lossy2" => Strategy::Lossy(LossyPick::LastLast),
-            _ => Strategy::DdminItems,
-        };
+        // Non-resumable strategies run uncheckpointed, but still share
+        // the persistent cache and honor cancellation where their caps
+        // wire it through.
         let report = ReductionSession::new(input, oracle)
-            .strategy(strategy)
+            .strategy(spec.strategy.clone())
             .cost_per_call(spec.cost)
             .options(options)
+            .cache(&scoped)
+            .cancel(&cancel_hook)
             .run()
             .map_err(map_pipeline_error)?;
         (report, false)

@@ -14,9 +14,11 @@ pub struct JobSpec {
     pub format: String,
     /// Decompiler whose bugs the oracle preserves: `a`, `b`, `c`, `all`.
     pub decompiler: String,
-    /// Reduction strategy. `logical` (the default) supports
-    /// checkpoint/resume and the persistent cache; the other CLI
-    /// strategies run uncached and restart from scratch after a crash.
+    /// Reduction strategy: any name or alias in the pipeline's strategy
+    /// registry (`logical`, the default, resolves to `logical/greedy`).
+    /// Strategies whose capability flags mark them resumable get
+    /// checkpoint/resume and the distributor; every job shares the
+    /// persistent probe cache.
     pub strategy: String,
     /// Queue priority, 0–255; higher pops first.
     pub priority: u8,
@@ -53,9 +55,8 @@ impl JobSpec {
             other => return Err(format!("submit: unknown decompiler {other:?}")),
         }
         let strategy = j.str_field("strategy").unwrap_or("logical").to_owned();
-        match strategy.as_str() {
-            "logical" | "logical-min" | "jreduce" | "lossy1" | "lossy2" | "ddmin" => {}
-            other => return Err(format!("submit: unknown strategy {other:?}")),
+        if !lbr_jreduce::known_strategy(&strategy) {
+            return Err(format!("submit: unknown strategy {strategy:?}"));
         }
         let priority = j.u64_field("priority").unwrap_or(0).min(255) as u8;
         // Same default as the `reduce` CLI: the paper's ≈33 s tool run.
@@ -184,6 +185,17 @@ mod tests {
             JobSpec::from_json(&Json::parse(r#"{"input":"x","strategy":"z"}"#).unwrap(), 0)
                 .is_err()
         );
+        // Registry names and historical aliases both validate.
+        for name in [
+            "hdd",
+            "transform",
+            "logical/trace-guided",
+            "ddmin",
+            "lossy2",
+        ] {
+            let doc = Json::parse(&format!(r#"{{"input":"x","strategy":"{name}"}}"#)).unwrap();
+            assert_eq!(JobSpec::from_json(&doc, 0).unwrap().strategy, name);
+        }
         assert!(JobSpec::from_json(&Json::parse("{}").unwrap(), 0).is_err());
     }
 }

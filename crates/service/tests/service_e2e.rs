@@ -6,7 +6,7 @@
 use lbr_classfile::write_program;
 use lbr_decompiler::{BugSet, DecompilerOracle};
 use lbr_jreduce::{
-    run_logical_resumable, run_reduction_with, ReductionReport, RunOptions, ServiceHooks, Strategy,
+    run_logical_resumable, run_reduction_with, ReductionReport, RunOptions, ServiceHooks,
 };
 use lbr_logic::MsaStrategy;
 use lbr_prng::SplitMix64;
@@ -47,7 +47,7 @@ fn baseline(bytes: &[u8]) -> ReductionReport {
     run_reduction_with(
         &program,
         &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
+        "logical/greedy",
         33.0,
         &RunOptions::default(),
     )

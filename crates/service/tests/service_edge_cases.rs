@@ -6,8 +6,7 @@
 
 use lbr_classfile::write_program;
 use lbr_decompiler::{BugSet, DecompilerOracle};
-use lbr_jreduce::{run_reduction_with, ReductionReport, RunOptions, Strategy};
-use lbr_logic::MsaStrategy;
+use lbr_jreduce::{run_reduction_with, ReductionReport, RunOptions};
 use lbr_service::{load_checkpoint, Client, Daemon, DaemonConfig, Json};
 use lbr_workload::{generate, WorkloadConfig};
 use std::io::{BufRead, BufReader, Write};
@@ -44,7 +43,7 @@ fn baseline(bytes: &[u8]) -> ReductionReport {
     run_reduction_with(
         &program,
         &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
+        "logical/greedy",
         33.0,
         &RunOptions::default(),
     )

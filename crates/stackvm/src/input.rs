@@ -23,9 +23,19 @@ impl Input for Module {
         let model = build_stack_model(self).map_err(|e| e.to_string())?;
         let stats = model.stats();
         let registry = model.registry;
+        // Containment depth: functions and globals are top-level units,
+        // bodies are nested inside their functions.
+        let levels = registry
+            .iter()
+            .map(|(_, item)| match item {
+                crate::StackItem::Body(_) => 1,
+                _ => 0,
+            })
+            .collect();
         Ok(InputModel {
             cnf: model.cnf,
             stats,
+            levels,
             materialize: Box::new(move |keep: &VarSet| reduce_module(self, &registry, keep)),
         })
     }

@@ -21,6 +21,40 @@ use lbr_classfile::{
 use lbr_decompiler::BugKind;
 use lbr_prng::{SliceChoose, SplitMix64};
 
+/// Adversarial program shapes for the classfile generator: each preset
+/// steers the dependency profile toward a different strategy's worst
+/// case, mirroring [`crate::StackShape`] on the stackvm side (plus the
+/// error-count axis that frontend lacks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversarialShape {
+    /// Dense cross-cluster references and heavy interface wiring — the
+    /// logical model's clause count dominates its graph fraction, so
+    /// closure pruning does the least work per probe.
+    ConstraintDense,
+    /// Many hierarchy-free classes in a few huge clusters — a wide,
+    /// shallow containment tree, HDD's best case and a stress on
+    /// per-level ddmin batch sizes.
+    WideFlat,
+    /// Near-mandatory subclassing and interface extension over tiny
+    /// clusters — long dependency chains, ddmin's worst case and the
+    /// best case for closure orders.
+    DeepChain,
+    /// Every bug kind planted several times over most clusters — many
+    /// distinct baseline errors with overlapping footprints, stressing
+    /// per-error reduction and trace-frequency orders.
+    MultiError,
+}
+
+impl AdversarialShape {
+    /// Every shape, in declaration order.
+    pub const ALL: [AdversarialShape; 4] = [
+        AdversarialShape::ConstraintDense,
+        AdversarialShape::WideFlat,
+        AdversarialShape::DeepChain,
+        AdversarialShape::MultiError,
+    ];
+}
+
 /// Configuration for [`generate`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
@@ -130,6 +164,61 @@ impl WorkloadConfig {
             iface_extends_prob: pct(&mut rng, 20, 50),
             plants_per_bug: rng.gen_range(1usize..=2),
             ..WorkloadConfig::default()
+        }
+    }
+
+    /// An adversarial-shape preset (see [`AdversarialShape`]): fixed
+    /// geometry per shape, fully deterministic per `seed`, sized to stay
+    /// cheap enough for fuzz campaigns. The plant list is left at the
+    /// default for every shape but [`AdversarialShape::MultiError`];
+    /// callers substitute the kinds matching the tool under test.
+    pub fn adversarial(shape: AdversarialShape, seed: u64) -> Self {
+        let base = WorkloadConfig {
+            seed,
+            ..WorkloadConfig::default()
+        };
+        match shape {
+            AdversarialShape::ConstraintDense => WorkloadConfig {
+                classes: 14,
+                interfaces: 7,
+                cluster_size: 3,
+                cross_cluster_prob: 0.25,
+                subclass_prob: 0.7,
+                implements_prob: 0.9,
+                iface_extends_prob: 0.8,
+                methods_per_class: (3, 5),
+                ..base
+            },
+            AdversarialShape::WideFlat => WorkloadConfig {
+                classes: 28,
+                interfaces: 2,
+                cluster_size: 14,
+                cross_cluster_prob: 0.0,
+                subclass_prob: 0.0,
+                implements_prob: 0.05,
+                iface_extends_prob: 0.0,
+                methods_per_class: (1, 2),
+                fields_per_class: (0, 1),
+                ..base
+            },
+            AdversarialShape::DeepChain => WorkloadConfig {
+                classes: 16,
+                interfaces: 4,
+                cluster_size: 2,
+                cross_cluster_prob: 0.3,
+                subclass_prob: 0.95,
+                implements_prob: 0.3,
+                iface_extends_prob: 0.9,
+                ..base
+            },
+            AdversarialShape::MultiError => WorkloadConfig {
+                classes: 18,
+                interfaces: 6,
+                bug_cluster_fraction: 0.75,
+                plants_per_bug: 4,
+                plant: BugKind::ALL.to_vec(),
+                ..base
+            },
         }
     }
 
@@ -1080,5 +1169,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn adversarial_shapes_verify_and_fail() {
+        use lbr_decompiler::BugSet;
+        for shape in AdversarialShape::ALL {
+            for seed in [1u64, 77, 4242] {
+                let mut config = WorkloadConfig::adversarial(shape, seed);
+                if shape != AdversarialShape::MultiError {
+                    config.plant = BugSet::decompiler_a().kinds().to_vec();
+                }
+                let p = generate(&config);
+                assert!(
+                    lbr_classfile::verify_program(&p).is_empty(),
+                    "{shape:?}/{seed} must verify"
+                );
+                let oracle = lbr_decompiler::DecompilerOracle::new(&p, BugSet::decompiler_a());
+                assert!(
+                    oracle.is_failing(),
+                    "{shape:?}/{seed} must fail decompiler a"
+                );
+            }
+        }
+        // MultiError's whole point: several distinct baseline errors.
+        let p = generate(&WorkloadConfig::adversarial(
+            AdversarialShape::MultiError,
+            9,
+        ));
+        let oracle = lbr_decompiler::DecompilerOracle::new(&p, BugSet::all());
+        assert!(
+            oracle.error_count() >= 4,
+            "multi-error shape yields {} errors",
+            oracle.error_count()
+        );
     }
 }

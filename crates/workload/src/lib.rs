@@ -31,7 +31,7 @@ mod stackgen;
 mod stats;
 mod suite;
 
-pub use gen::{generate, WorkloadConfig};
+pub use gen::{generate, AdversarialShape, WorkloadConfig};
 pub use stackgen::{generate_stack, stack_suite, StackBenchmark, StackShape, StackWorkloadConfig};
 pub use stats::{geometric_mean, suite_stats, SuiteStats};
 pub use suite::{suite, Benchmark, SuiteConfig};

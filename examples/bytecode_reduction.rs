@@ -7,8 +7,7 @@
 
 use lbr::classfile::program_byte_size;
 use lbr::decompiler::{decompile_program, BugSet, DecompilerOracle};
-use lbr::jreduce::{build_model, run_reduction, Strategy};
-use lbr::logic::MsaStrategy;
+use lbr::jreduce::{build_model, run_reduction};
 use lbr::workload::{generate, WorkloadConfig};
 
 fn main() {
@@ -48,12 +47,9 @@ fn main() {
         println!("  {e}");
     }
 
-    for strategy in [
-        Strategy::JReduce,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-    ] {
+    for strategy in ["jreduce", "logical/greedy"] {
         let report = run_reduction(&program, &oracle, strategy, 33.0)
-            .unwrap_or_else(|e| panic!("{}: {e}", strategy.name()));
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
         println!(
             "\n{}: {} → {} classes, {} → {} bytes ({:.1}%), {} tool runs (modeled {:.0}s)",
             report.strategy,
@@ -66,7 +62,7 @@ fn main() {
             report.modeled_secs,
         );
         assert!(report.errors_preserved && report.still_valid);
-        if matches!(strategy, Strategy::Logical(_)) {
+        if strategy.starts_with("logical/") {
             let source = decompile_program(&report.reduced, &BugSet::none());
             println!(
                 "decompiled reduced program: {} source lines",

@@ -1,8 +1,8 @@
 //! Integration tests for the extension features: per-error reduction, the
 //! local-minimization postpass, and backbone diagnostics on real models.
 
-use lbr::jreduce::{build_model, check_report, run_per_error, run_reduction, Strategy};
-use lbr::logic::{backbone, bcp_simplify, remove_subsumed, MsaStrategy};
+use lbr::jreduce::{build_model, check_report, run_per_error, run_reduction};
+use lbr::logic::{backbone, bcp_simplify, remove_subsumed};
 use lbr::workload::{suite, SuiteConfig};
 
 fn one_benchmark() -> lbr::workload::Benchmark {
@@ -26,13 +26,7 @@ fn per_error_reduction_produces_one_witness_per_error() {
         oracle.error_count(),
         "one reduction per distinct baseline error"
     );
-    let full = run_reduction(
-        &b.program,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        33.0,
-    )
-    .expect("full run");
+    let full = run_reduction(&b.program, &oracle, "logical/greedy", 33.0).expect("full run");
     // Each single-error witness is at most as large as the all-errors one.
     for (error, size) in &report.errors {
         assert!(
@@ -52,15 +46,9 @@ fn per_error_reduction_produces_one_witness_per_error() {
 fn minimized_strategy_is_sound_and_not_larger() {
     let b = one_benchmark();
     let oracle = b.oracle();
-    let plain = run_reduction(
-        &b.program,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        0.0,
-    )
-    .expect("plain runs");
-    let minimized = run_reduction(&b.program, &oracle, Strategy::LogicalMinimized, 0.0)
-        .expect("minimized runs");
+    let plain = run_reduction(&b.program, &oracle, "logical/greedy", 0.0).expect("plain runs");
+    let minimized =
+        run_reduction(&b.program, &oracle, "logical/minimized", 0.0).expect("minimized runs");
     check_report(&plain).expect("plain sound");
     check_report(&minimized).expect("minimized sound");
     assert!(

@@ -3,9 +3,7 @@
 //! the smallest outputs, the lossy encodings come close, and J-Reduce
 //! (class granularity) trails.
 
-use lbr::core::LossyPick;
-use lbr::jreduce::{check_report, run_reduction, Strategy};
-use lbr::logic::MsaStrategy;
+use lbr::jreduce::{check_report, run_reduction};
 use lbr::workload::{suite, SuiteConfig};
 
 #[test]
@@ -21,12 +19,7 @@ fn all_strategies_are_sound_and_ordered() {
         benchmarks.len()
     );
 
-    let strategies = [
-        Strategy::JReduce,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        Strategy::Lossy(LossyPick::FirstFirst),
-        Strategy::Lossy(LossyPick::LastLast),
-    ];
+    let strategies = ["jreduce", "logical/greedy", "lossy-1", "lossy-2"];
 
     let mut sum_bytes: Vec<(String, f64)> = Vec::new();
     for b in &benchmarks {
@@ -34,7 +27,7 @@ fn all_strategies_are_sound_and_ordered() {
         let mut per_benchmark = Vec::new();
         for &s in &strategies {
             let report = run_reduction(&b.program, &oracle, s, 0.0)
-                .unwrap_or_else(|e| panic!("{}/{}: {e}", b.name, s.name()));
+                .unwrap_or_else(|e| panic!("{}/{s}: {e}", b.name));
             check_report(&report).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             per_benchmark.push((report.strategy.clone(), report.relative_bytes()));
         }
@@ -81,14 +74,8 @@ fn ddmin_is_sound_but_expensive() {
     });
     let b = &benchmarks[0];
     let oracle = b.oracle();
-    let gbr = run_reduction(
-        &b.program,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        0.0,
-    )
-    .expect("gbr runs");
-    let ddmin = run_reduction(&b.program, &oracle, Strategy::DdminItems, 0.0).expect("ddmin runs");
+    let gbr = run_reduction(&b.program, &oracle, "logical/greedy", 0.0).expect("gbr runs");
+    let ddmin = run_reduction(&b.program, &oracle, "ddmin-items", 0.0).expect("ddmin runs");
     check_report(&gbr).expect("gbr sound");
     check_report(&ddmin).expect("ddmin sound");
     assert!(
@@ -111,25 +98,14 @@ fn reduction_is_idempotent_in_size() {
     });
     let b = &benchmarks[0];
     let oracle = b.oracle();
-    let first = run_reduction(
-        &b.program,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        0.0,
-    )
-    .expect("first reduction");
+    let first = run_reduction(&b.program, &oracle, "logical/greedy", 0.0).expect("first reduction");
     check_report(&first).expect("first sound");
     // The oracle's baseline is defined against the original; rebuilding it
     // against the reduced program gives the same error set.
     let oracle2 = lbr::decompiler::DecompilerOracle::new(&first.reduced, b.bugs.clone());
     assert_eq!(oracle2.baseline(), oracle.baseline());
-    let second = run_reduction(
-        &first.reduced,
-        &oracle2,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        0.0,
-    )
-    .expect("second reduction");
+    let second =
+        run_reduction(&first.reduced, &oracle2, "logical/greedy", 0.0).expect("second reduction");
     check_report(&second).expect("second sound");
     assert!(second.final_metrics.bytes <= first.final_metrics.bytes);
     let shrink = first.final_metrics.bytes - second.final_metrics.bytes;
@@ -149,14 +125,9 @@ fn order_ablation_natural_is_never_better() {
     });
     let b = &benchmarks[0];
     let oracle = b.oracle();
-    let good = run_reduction(
-        &b.program,
-        &oracle,
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        0.0,
-    )
-    .expect("closure order runs");
-    let natural = run_reduction(&b.program, &oracle, Strategy::LogicalNaturalOrder, 0.0)
+    let good =
+        run_reduction(&b.program, &oracle, "logical/greedy", 0.0).expect("closure order runs");
+    let natural = run_reduction(&b.program, &oracle, "logical/natural-order", 0.0)
         .expect("natural order runs");
     check_report(&good).expect("sound");
     check_report(&natural).expect("sound");

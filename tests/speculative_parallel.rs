@@ -9,8 +9,8 @@ use lbr::core::{
     GbrConfig, Instance, Oracle, SpeculationConfig,
 };
 use lbr::fji::{figure1_program, figure1b_solution, figure2_cnf, figure2_var, ItemRegistry};
-use lbr::jreduce::{check_report, run_per_error_with, run_reduction_with, RunOptions, Strategy};
-use lbr::logic::{count_models, count_models_parallel, MsaStrategy, VarSet};
+use lbr::jreduce::{check_report, run_per_error_with, run_reduction_with, RunOptions};
+use lbr::logic::{count_models, count_models_parallel, VarSet};
 use lbr::workload::{suite, SuiteConfig};
 
 /// Everything a trace records except wall-clock timestamps, which are the
@@ -73,10 +73,7 @@ fn pipeline_probe_threads_is_bit_identical() {
         programs: 1,
         scale: 0.6,
     });
-    let strategies = [
-        Strategy::Logical(MsaStrategy::GreedyClosure),
-        Strategy::Lossy(lbr::core::LossyPick::FirstFirst),
-    ];
+    let strategies = ["logical/greedy", "lossy-1"];
     for b in &benchmarks {
         let oracle = b.oracle();
         for &strategy in &strategies {

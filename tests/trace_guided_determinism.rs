@@ -1,0 +1,82 @@
+//! Trace-guided determinism: the trace store is a pure memo. A warm
+//! store answers repeated probes without re-running the tool, but the
+//! probe sequence, the trace digest, and the reduced bytes must be
+//! bit-identical to a cold run — under both frontends.
+
+use lbr::core::{Input, InputOracle, MemoryCache};
+use lbr::jreduce::{check_report, ReductionSession};
+use lbr::workload::{stack_suite, suite, SuiteConfig};
+
+fn assert_cold_equals_warm<I: Input, O: InputOracle<I>>(name: &str, input: &I, oracle: &O) {
+    let store = MemoryCache::new();
+    let cold = ReductionSession::new(input, oracle)
+        .strategy("logical/trace-guided")
+        .cache(&store)
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: cold run: {e}"));
+    check_report(&cold).unwrap_or_else(|e| panic!("{name}: cold report: {e}"));
+    assert!(
+        !store.is_empty(),
+        "{name}: cold run must populate the store"
+    );
+
+    let warm = ReductionSession::new(input, oracle)
+        .strategy("logical/trace-guided")
+        .cache(&store)
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: warm run: {e}"));
+    check_report(&warm).unwrap_or_else(|e| panic!("{name}: warm report: {e}"));
+    assert!(
+        store.hits() > 0,
+        "{name}: warm run must be served from the trace store"
+    );
+
+    assert_eq!(
+        cold.reduced.to_bytes(),
+        warm.reduced.to_bytes(),
+        "{name}: reduced bytes must not depend on store temperature"
+    );
+    assert_eq!(
+        cold.trace.digest(),
+        warm.trace.digest(),
+        "{name}: trace digests must match cold vs warm"
+    );
+    assert!(
+        cold.trace.same_probe_sequence(&warm.trace),
+        "{name}: probe sequences must be identical cold vs warm"
+    );
+    assert_eq!(cold.predicate_calls, warm.predicate_calls, "{name}: calls");
+
+    // A store-less run is the third corner of the contract: attaching a
+    // store must change nothing observable either.
+    let bare = ReductionSession::new(input, oracle)
+        .strategy("logical/trace-guided")
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: bare run: {e}"));
+    assert_eq!(bare.reduced.to_bytes(), cold.reduced.to_bytes(), "{name}");
+    assert_eq!(bare.trace.digest(), cold.trace.digest(), "{name}");
+}
+
+#[test]
+fn classfile_trace_guided_cold_vs_warm_store_is_bit_identical() {
+    let benchmarks = suite(&SuiteConfig {
+        seed: 11,
+        programs: 1,
+        scale: 0.5,
+    });
+    assert!(!benchmarks.is_empty());
+    for b in benchmarks.iter().take(2) {
+        let oracle = b.oracle();
+        assert_cold_equals_warm(&b.name, &b.program, &oracle);
+    }
+}
+
+#[test]
+fn stackvm_trace_guided_cold_vs_warm_store_is_bit_identical() {
+    let benchmarks = stack_suite(9, 2);
+    assert!(!benchmarks.is_empty());
+    for b in &benchmarks {
+        let oracle = b.oracle();
+        assert_cold_equals_warm(&b.name, &b.module, &oracle);
+    }
+}
